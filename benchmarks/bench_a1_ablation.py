@@ -1,0 +1,12 @@
+"""Bench R A1:self calibration ablation (full workload).
+
+Regenerates the R-A1 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_a1_ablation as exp
+
+
+def test_bench_a1_ablation(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

@@ -1,0 +1,52 @@
+"""Microbenchmarks of the sensor's hot paths.
+
+Not a paper figure — these time the reproduction's own primitives (one full
+conversion, one process extraction, one thermal steady-state solve) so
+regressions in the library's performance are visible independently of the
+experiment workloads.
+"""
+
+from repro.circuits.ring_oscillator import Environment
+from repro.core.decoupler import extract_process
+from repro.experiments.common import build_sensor, die_population, reference_setup
+from repro.thermal.grid import build_stack_grid
+from repro.thermal.power import uniform_power_map
+from repro.thermal.solver import steady_state
+from repro.tsv.geometry import StackDescriptor, TierSpec
+from repro.units import celsius_to_kelvin
+
+
+def test_bench_single_conversion(benchmark):
+    die = die_population(1)[0]
+    sensor = build_sensor(die)
+    reading = benchmark(sensor.read, 65.0)
+    assert reading.converged
+
+
+def test_bench_process_extraction(benchmark):
+    setup = reference_setup()
+    temp_k = celsius_to_kelvin(25.0)
+    f_n, f_p = setup.model.process_frequencies(0.015, -0.010, temp_k)
+    dvtn, dvtp = benchmark(
+        extract_process, setup.model, f_n, f_p, temp_k, lut=setup.lut
+    )
+    assert abs(dvtn - 0.015) < 1e-4
+    assert abs(dvtp + 0.010) < 1e-4
+
+
+def test_bench_thermal_steady_state(benchmark):
+    stack = StackDescriptor(tiers=[TierSpec(f"tier{i}") for i in range(4)])
+    nx = ny = 20
+    grid = build_stack_grid(
+        stack.thermal_layers(nx, ny), stack.die_width, stack.die_height, nx=nx, ny=ny
+    )
+    power = {f"tier{i}.si": uniform_power_map(nx, ny, 0.8) for i in range(4)}
+    field = benchmark(steady_state, grid, power)
+    assert field.peak("tier0.si") > grid.ambient_k
+
+
+def test_bench_oscillator_bank_evaluation(benchmark):
+    setup = reference_setup()
+    env = Environment(temp_k=celsius_to_kelvin(65.0), vdd=setup.technology.vdd)
+    freqs = benchmark(setup.model.bank.frequencies, env)
+    assert freqs.tsro > 0.0

@@ -1,0 +1,12 @@
+"""Bench R-E1 supply-aware calibration under droop (full workload, reconstruction extension).
+
+Run with ``-s`` to see the table.
+"""
+
+from repro.experiments import exp_e1_supply_aware as exp
+
+
+def test_bench_e1_supply_aware(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

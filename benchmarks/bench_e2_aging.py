@@ -1,0 +1,12 @@
+"""Bench R-E2 aging: drift-anchored self-calibration (full workload, reconstruction extension).
+
+Run with ``-s`` to see the table.
+"""
+
+from repro.experiments import exp_e2_aging as exp
+
+
+def test_bench_e2_aging(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench R-E3 tracking-mode monitoring energy (full workload, reconstruction extension).
+
+Run with ``-s`` to see the table.
+"""
+
+from repro.experiments import exp_e3_tracking as exp
+
+
+def test_bench_e3_tracking(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

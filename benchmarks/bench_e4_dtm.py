@@ -1,0 +1,12 @@
+"""Bench R-E4 sensor-driven DTM closed loop (full workload, reconstruction extension).
+
+Run with ``-s`` to see the table.
+"""
+
+from repro.experiments import exp_e4_dtm as exp
+
+
+def test_bench_e4_dtm(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

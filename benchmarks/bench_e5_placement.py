@@ -1,0 +1,12 @@
+"""Bench R-E5 sensor placement and reconstruction (full workload, reconstruction extension).
+
+Run with ``-s`` to see the table.
+"""
+
+from repro.experiments import exp_e5_placement as exp
+
+
+def test_bench_e5_placement(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench R-E6 oversampling accuracy/energy trade (full workload, reconstruction extension).
+
+Run with ``-s`` to see the table.
+"""
+
+from repro.experiments import exp_e6_averaging as exp
+
+
+def test_bench_e6_averaging(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

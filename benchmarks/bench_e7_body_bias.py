@@ -1,0 +1,12 @@
+"""Bench R-E7 sensor-driven adaptive body bias (full workload, reconstruction extension).
+
+Run with ``-s`` to see the table.
+"""
+
+from repro.experiments import exp_e7_body_bias as exp
+
+
+def test_bench_e7_body_bias(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

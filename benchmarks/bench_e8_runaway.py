@@ -1,0 +1,12 @@
+"""Bench R-E8 electrothermal runaway boundary (full workload, reconstruction extension).
+
+Run with ``-s`` to see the table.
+"""
+
+from repro.experiments import exp_e8_runaway as exp
+
+
+def test_bench_e8_runaway(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

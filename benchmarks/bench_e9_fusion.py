@@ -1,0 +1,12 @@
+"""Bench R-E9 Kalman fusion of cheap conversions (full workload, extension).
+
+Run with ``-s`` to see the table.
+"""
+
+from repro.experiments import exp_e9_fusion as exp
+
+
+def test_bench_e9_fusion(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench R F1:RO frequency vs temperature per corner (full workload).
+
+Regenerates the R-F1 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_f1_freq_vs_temp as exp
+
+
+def test_bench_f1_freq_vs_temp(benchmark):
+    result = benchmark(exp.run)
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench R F2:process sensitivity matrix (full workload).
+
+Regenerates the R-F2 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_f2_process_sensitivity as exp
+
+
+def test_bench_f2_process_sensitivity(benchmark):
+    result = benchmark(exp.run)
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench R F3:Vt extraction error over MC dies (full workload).
+
+Regenerates the R-F3 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_f3_vt_extraction as exp
+
+
+def test_bench_f3_vt_extraction(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

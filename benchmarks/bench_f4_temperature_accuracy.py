@@ -1,0 +1,12 @@
+"""Bench R F4:temperature inaccuracy before/after (full workload).
+
+Regenerates the R-F4 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_f4_temperature_accuracy as exp
+
+
+def test_bench_f4_temperature_accuracy(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

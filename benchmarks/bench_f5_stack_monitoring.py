@@ -1,0 +1,12 @@
+"""Bench R F5:per tier 3D stack monitoring (full workload).
+
+Regenerates the R-F5 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_f5_stack_monitoring as exp
+
+
+def test_bench_f5_stack_monitoring(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

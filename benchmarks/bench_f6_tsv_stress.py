@@ -1,0 +1,12 @@
+"""Bench R F6:TSV stress vs sensor (full workload).
+
+Regenerates the R-F6 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_f6_tsv_stress as exp
+
+
+def test_bench_f6_tsv_stress(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench R F7:energy vs resolution (full workload).
+
+Regenerates the R-F7 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_f7_energy_resolution as exp
+
+
+def test_bench_f7_energy_resolution(benchmark):
+    result = benchmark(exp.run)
+    print()
+    print(result.render())

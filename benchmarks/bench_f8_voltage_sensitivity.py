@@ -1,0 +1,12 @@
+"""Bench R F8:supply droop sensitivity (full workload).
+
+Regenerates the R-F8 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_f8_voltage_sensitivity as exp
+
+
+def test_bench_f8_voltage_sensitivity(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench R T1:sensor summary table (full workload).
+
+Regenerates the R-T1 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_t1_summary as exp
+
+
+def test_bench_t1_summary(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Bench R T2:scheme comparison table (full workload).
+
+Regenerates the R-T2 rows; run with -s to see the table.
+"""
+
+from repro.experiments import exp_t2_comparison as exp
+
+
+def test_bench_t2_comparison(benchmark):
+    result = benchmark.pedantic(exp.run, rounds=1, iterations=1)
+    print()
+    print(result.render())

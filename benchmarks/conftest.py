@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one reconstructed table/figure (R-F1..R-A1, see
+DESIGN.md) at full workload and prints the paper-style rows, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the whole evaluation.
+"""

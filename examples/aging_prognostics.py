@@ -1,0 +1,86 @@
+"""Aging prognostics: predicting end-of-life from the sensor's drift log.
+
+Because the self-calibrated sensor re-extracts the die's process point at
+every power-on, a deployed device accumulates a *drift log* for free.  BTI
+drift follows a power law, so a few noisy log entries suffice to fit the
+trajectory and extrapolate when the drift will cross the end-of-life
+threshold — field-return analysis without opening a package.
+
+The example simulates a device logging monthly self-checks over two years,
+fits dV_tp(t) = a * t^n to the (sensor-noisy) log, and compares the
+predicted end-of-life against the aging model's ground truth.
+
+Run:  python examples/aging_prognostics.py
+"""
+
+import numpy as np
+
+from repro import PTSensor, nominal_65nm, sample_dies
+from repro.core.drift import DriftAnchoredModel
+from repro.core.calibration import SelfCalibrationEngine
+from repro.circuits.oscillator_bank import build_oscillator_bank, environment_for_die
+from repro.units import celsius_to_kelvin
+from repro.variation.aging import BtiAgingModel
+
+EOL_DRIFT_V = 0.030  # the product's guard-band budget for V_tp drift
+LOG_MONTHS = 24
+CHECK_TEMP_C = 50.0
+
+
+def main() -> None:
+    technology = nominal_65nm()
+    die = sample_dies(technology, count=1, seed=314)[0]
+    aging = BtiAgingModel()
+
+    # Power-on at t=0: anchor the drift tracker.
+    base = PTSensor(technology, die=die)
+    t0 = base.read(CHECK_TEMP_C)
+    anchored_model = DriftAnchoredModel.from_time_zero(base.model, t0.dvtn, t0.dvtp)
+    engine = SelfCalibrationEngine(anchored_model, lut=None)
+
+    # Monthly self-checks: age the die, re-extract, log the drift.
+    months = np.arange(1, LOG_MONTHS + 1)
+    logged = []
+    for month in months:
+        years = month / 12.0
+        aged = aging.age_die(die, years)
+        bank = build_oscillator_bank(technology, die=aged)
+        env = environment_for_die(
+            aged, (2.5e-3, 2.5e-3), celsius_to_kelvin(CHECK_TEMP_C), technology.vdd
+        )
+        freqs = bank.frequencies(env)
+        state = engine.run(freqs.psro_n, freqs.psro_p, freqs.tsro)
+        logged.append(anchored_model.drift_from(state.dvtn, state.dvtp)[1])
+    logged = np.asarray(logged)
+
+    print("sensor drift log (dVtp, mV):")
+    for month in (1, 6, 12, 18, 24):
+        truth = aging.vt_drift(month / 12.0)[1]
+        print(
+            f"  month {month:2d}: logged {logged[month - 1] * 1e3:6.2f}"
+            f"  (truth {truth * 1e3:6.2f})"
+        )
+
+    # Fit the power law ln(d) = ln(a) + n ln(t) on the log.
+    years = months / 12.0
+    valid = logged > 1e-4
+    coeffs = np.polyfit(np.log(years[valid]), np.log(logged[valid]), 1)
+    n_fit, ln_a = coeffs[0], coeffs[1]
+    a_fit = float(np.exp(ln_a))
+    print(f"\nfitted drift law: dVtp(t) = {a_fit * 1e3:.2f} mV * t^{n_fit:.3f}")
+    print(f"model truth     : dVtp(t) = {aging.a_nbti * 1e3:.2f} mV * t^{aging.time_exponent:.3f}")
+
+    eol_predicted = (EOL_DRIFT_V / a_fit) ** (1.0 / n_fit)
+    eol_truth = (EOL_DRIFT_V / aging.a_nbti) ** (1.0 / aging.time_exponent)
+    print(
+        f"\npredicted end-of-life ({EOL_DRIFT_V * 1e3:.0f} mV budget): "
+        f"{eol_predicted:.1f} years (truth {eol_truth:.1f} years)"
+    )
+    assert abs(np.log(eol_predicted / eol_truth)) < np.log(2.0), (
+        "EOL prediction off by more than 2x"
+    )
+    print("prediction within 2x of truth from two years of noisy logs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Wafer-lot process binning with the sensor's V_t read-out.
+
+Beyond thermal management, an on-chip process monitor lets every die grade
+itself: the extracted (dV_tn, dV_tp) classifies the die into speed bins
+(fast / typical / slow) at power-on, with no wafer-probe corner testing.
+This example manufactures a 200-die lot, bins each die from its own
+sensor's extraction, and scores the binning against ground truth.
+
+Run:  python examples/process_binning.py
+"""
+
+from collections import Counter
+
+from repro import PTSensor, nominal_65nm, sample_dies
+
+LOT_SIZE = 200
+BIN_EDGE_V = 0.015  # |dVt| below this is "typical"
+
+
+def speed_bin(dvtn: float, dvtp: float) -> str:
+    """Classify a process point into a speed bin.
+
+    Average threshold shift drives speed: low thresholds = fast die.
+    """
+    average = (dvtn + dvtp) / 2.0
+    if average < -BIN_EDGE_V:
+        return "fast"
+    if average > BIN_EDGE_V:
+        return "slow"
+    return "typical"
+
+
+def main() -> None:
+    technology = nominal_65nm()
+    dies = sample_dies(technology, count=LOT_SIZE, seed=1234)
+
+    # Build one sensor per die; share the design-time model via the first
+    # sensor so the lot constructs quickly.
+    first = PTSensor(technology, die=dies[0])
+    sensors = [first] + [
+        PTSensor(
+            technology, die=die, sensing_model=first.model, lut=first.lut
+        )
+        for die in dies[1:]
+    ]
+
+    correct = 0
+    confusion = Counter()
+    true_bins = Counter()
+    for die, sensor in zip(dies, sensors):
+        true_n, true_p = sensor.true_process_shifts()
+        truth = speed_bin(true_n, true_p)
+        reading = sensor.read(30.0)  # power-on self-test at ~room temp
+        estimate = speed_bin(reading.dvtn, reading.dvtp)
+        true_bins[truth] += 1
+        confusion[(truth, estimate)] += 1
+        if truth == estimate:
+            correct += 1
+
+    print(f"lot size: {LOT_SIZE} dies")
+    print("true bin populations:", dict(sorted(true_bins.items())))
+    print(f"self-binning accuracy: {correct / LOT_SIZE * 100:.1f}%")
+    print("\nconfusion (true -> estimated):")
+    for (truth, estimate), count in sorted(confusion.items()):
+        marker = "" if truth == estimate else "   <-- misbin"
+        print(f"  {truth:8s} -> {estimate:8s}: {count:3d}{marker}")
+
+    # Misbins can only happen within a millivolt-class band around the bin
+    # edges; far-from-edge dies must never be misclassified.
+    for (truth, estimate), count in confusion.items():
+        if truth != estimate:
+            assert {truth, estimate} != {"fast", "slow"}, (
+                "a fast die was binned slow (or vice versa) - extraction is broken"
+            )
+    print("\nno fast<->slow misbins: extraction error stays millivolt-class")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: instantiate the self-calibrated PT sensor and read it.
+
+Builds the reference 65 nm-class design, manufactures one Monte-Carlo die,
+and runs full conversions across temperature — printing the estimated
+temperature, the extracted per-die threshold shifts and the conversion's
+energy breakdown, exactly the three outputs the paper's macro publishes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PTSensor, nominal_65nm, sample_dies
+
+
+def main() -> None:
+    technology = nominal_65nm()
+
+    # The typical (mismatch-free) sensor first.
+    sensor = PTSensor(technology)
+    print("== typical die ==")
+    for temp_c in (-40.0, 27.0, 85.0, 125.0):
+        reading = sensor.read(temp_c)
+        print(
+            f"true {temp_c:+7.1f} degC -> sensor {reading.temperature_c:+7.2f} degC"
+            f"  (error {reading.temperature_c - temp_c:+.2f} degC,"
+            f" {reading.energy.total * 1e12:.0f} pJ,"
+            f" {reading.conversion_time * 1e6:.1f} us)"
+        )
+
+    # Now a real (Monte-Carlo) die: the sensor also reports how far the
+    # die's thresholds sit from typical — with no external calibration.
+    die = sample_dies(technology, count=1, seed=42)[0]
+    skewed = PTSensor(technology, die=die)
+    true_n, true_p = skewed.true_process_shifts()
+    reading = skewed.read(65.0)
+    print("\n== Monte-Carlo die ==")
+    print(f"true process point: dVtn={true_n * 1e3:+.2f} mV, dVtp={true_p * 1e3:+.2f} mV")
+    print(
+        f"sensor extraction : dVtn={reading.dvtn * 1e3:+.2f} mV,"
+        f" dVtp={reading.dvtp * 1e3:+.2f} mV"
+    )
+    print(
+        f"temperature       : true +65.00 degC -> sensor"
+        f" {reading.temperature_c:+.2f} degC"
+    )
+    print("\nenergy breakdown of the last conversion:")
+    for label, joules in reading.energy.as_rows():
+        print(f"  {label:12s} {joules * 1e12:7.1f} pJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro: reproduction of "On-chip self-calibrated process-temperature
+sensor for TSV 3D integration" (Chiang et al., IEEE SOCC 2012).
+
+The package builds the paper's sensor and every substrate it stands on --
+device physics, ring-oscillator circuits, process variation, a 3-D stack
+thermal solver, TSV stress and read-out -- as documented in DESIGN.md.
+
+Quickstart::
+
+    from repro import PTSensor, nominal_65nm
+
+    sensor = PTSensor(nominal_65nm())
+    reading = sensor.read(temp_c=65.0)
+    print(reading.temperature_c, reading.dvtn, reading.dvtp)
+"""
+
+from repro.config import SensorConfig
+from repro.core import (
+    CalibrationState,
+    PTSensor,
+    ProcessLut,
+    SelfCalibrationEngine,
+    SensingModel,
+    SensorReading,
+    estimate_temperature,
+    extract_process,
+)
+from repro.device import Technology, nominal_65nm
+from repro.variation import DieSample, sample_dies
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibrationState",
+    "DieSample",
+    "PTSensor",
+    "ProcessLut",
+    "SelfCalibrationEngine",
+    "SensingModel",
+    "SensorConfig",
+    "SensorReading",
+    "Technology",
+    "__version__",
+    "estimate_temperature",
+    "extract_process",
+    "nominal_65nm",
+    "sample_dies",
+]

@@ -1,0 +1,90 @@
+"""Command-line interface: list and run the reconstructed experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run R-F4            # full workload
+    python -m repro run R-T1 --fast     # smoke workload
+    python -m repro run all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def _list_experiments() -> None:
+    print(f"{'id':6s} module")
+    for key, module in ALL_EXPERIMENTS.items():
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{key:6s} {summary}")
+
+
+def _run(keys, fast: bool) -> int:
+    for key in keys:
+        if key not in ALL_EXPERIMENTS:
+            known = ", ".join(ALL_EXPERIMENTS)
+            print(f"unknown experiment {key!r}; known: {known}", file=sys.stderr)
+            return 2
+    for key in keys:
+        started = time.time()
+        result = ALL_EXPERIMENTS[key].run(fast=fast)
+        elapsed = time.time() - started
+        print(f"\n### {key} ({'fast' if fast else 'full'} workload, {elapsed:.1f}s)")
+        print(result.render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction harness for the SOCC 2012 self-calibrated "
+        "PT sensor (see DESIGN.md for the experiment index).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list all experiments")
+    run_parser = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids, e.g. R-F4, or 'all'")
+    run_parser.add_argument(
+        "--fast", action="store_true", help="reduced smoke workload"
+    )
+    report_parser = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report_parser.add_argument(
+        "--fast", action="store_true", help="reduced smoke workload"
+    )
+    report_parser.add_argument(
+        "--output", default="REPORT.md", help="report path (default REPORT.md)"
+    )
+    report_parser.add_argument(
+        "--json", dest="json_path", default=None, help="also archive results as JSON"
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        _list_experiments()
+        return 0
+    if args.command == "report":
+        from repro.experiments.runner import run_all, write_report
+
+        result = run_all(fast=args.fast)
+        write_report(result, args.output)
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(result.to_json())
+        print(
+            f"wrote {args.output}: {len(result.outcomes)} experiments, "
+            + ("all ok" if result.all_ok else "FAILURES: " + ", ".join(result.failures()))
+        )
+        return 0 if result.all_ok else 1
+    keys = list(ALL_EXPERIMENTS) if args.ids == ["all"] else args.ids
+    return _run(keys, args.fast)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Metrics, table rendering and sweep helpers for the evaluation."""
+
+from repro.analysis.metrics import ErrorStats, error_stats, inaccuracy_band
+from repro.analysis.sweeps import sweep_temperature, temperature_axis
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "ErrorStats",
+    "error_stats",
+    "inaccuracy_band",
+    "render_table",
+    "sweep_temperature",
+    "temperature_axis",
+]

@@ -1,0 +1,103 @@
+"""Bootstrap confidence intervals for the evaluation's error statistics.
+
+A "+/- band" measured on N dies is itself a random variable; a paper-style
+8-die band in particular is a noisy estimate of the population band.  The
+reproduction reports bootstrap confidence intervals next to its headline
+bands so the comparison against the paper's numbers is statistically
+honest (a measured 1.55 mV band with a [1.2, 2.1] mV 95 % interval
+*contains* the paper's 1.6 mV — that is the right claim to make).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A bootstrap estimate with its confidence interval.
+
+    Attributes:
+        point: The statistic on the original sample.
+        low: Lower confidence bound.
+        high: Upper confidence bound.
+        confidence: The interval's coverage (e.g. 0.95).
+    """
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether a reference value lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def describe(self, scale: float = 1.0, unit: str = "") -> str:
+        """One-line summary, optionally unit-scaled."""
+        return (
+            f"{self.point * scale:.3f}{unit} "
+            f"[{self.low * scale:.3f}, {self.high * scale:.3f}]{unit} "
+            f"@{self.confidence * 100:.0f}%"
+        )
+
+
+def bootstrap_statistic(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile-bootstrap confidence interval for any statistic.
+
+    Args:
+        samples: The observed error sample.
+        statistic: Maps a sample array to the scalar of interest.
+        confidence: Interval coverage.
+        resamples: Bootstrap resample count.
+        seed: RNG seed (deterministic reporting).
+
+    Returns:
+        The :class:`BootstrapInterval`.
+    """
+    data = np.asarray(list(samples), dtype=float)
+    if data.size < 2:
+        raise ValueError("need at least two samples to bootstrap")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    if resamples < 100:
+        raise ValueError("use at least 100 resamples")
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(resamples)
+    for i in range(resamples):
+        resample = data[rng.integers(0, data.size, size=data.size)]
+        estimates[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        point=float(statistic(data)),
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def band_interval(
+    errors: Sequence[float], confidence: float = 0.95, resamples: int = 2000
+) -> BootstrapInterval:
+    """Bootstrap interval for the "+/- band" (worst absolute error)."""
+    return bootstrap_statistic(
+        errors, lambda sample: float(np.max(np.abs(sample))), confidence, resamples
+    )
+
+
+def sigma_interval(
+    errors: Sequence[float], confidence: float = 0.95, resamples: int = 2000
+) -> BootstrapInterval:
+    """Bootstrap interval for the error standard deviation."""
+    return bootstrap_statistic(
+        errors, lambda sample: float(np.std(sample)), confidence, resamples
+    )

@@ -1,0 +1,66 @@
+"""ASCII distribution rendering: the evaluation's histogram figures.
+
+Monte-Carlo sensor papers show error *distributions*, not just bands; this
+module renders them as fixed-width histograms and CDF summaries so the
+experiment output carries the same information the paper's figures would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+_BAR_WIDTH = 40
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    title: str = "",
+    unit: str = "",
+    scale: float = 1.0,
+) -> str:
+    """Render a horizontal ASCII histogram.
+
+    Args:
+        values: The sample.
+        bins: Histogram bin count.
+        title: Optional title line.
+        unit: Unit label for the bin edges.
+        scale: Multiplier applied to edges for display (e.g. 1e3 for mV).
+
+    Returns:
+        The rendered histogram.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot render an empty sample")
+    if bins < 2:
+        raise ValueError("need at least two bins")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = max(1, int(np.max(counts)))
+    lines: List[str] = [title] if title else []
+    for i, count in enumerate(counts):
+        lo = edges[i] * scale
+        hi = edges[i + 1] * scale
+        bar = "#" * int(round(_BAR_WIDTH * count / peak))
+        lines.append(f"{lo:+8.2f}..{hi:+8.2f}{unit} |{bar:<{_BAR_WIDTH}s}| {count}")
+    return "\n".join(lines)
+
+
+def quantile_summary(
+    values: Sequence[float],
+    quantiles: Sequence[float] = (0.01, 0.25, 0.50, 0.75, 0.99),
+    unit: str = "",
+    scale: float = 1.0,
+) -> str:
+    """One-line quantile summary of a sample."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    parts = [
+        f"p{int(q * 100):02d}={np.quantile(data, q) * scale:+.3f}{unit}"
+        for q in quantiles
+    ]
+    return "  ".join(parts)

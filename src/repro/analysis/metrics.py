@@ -1,0 +1,69 @@
+"""Accuracy metrics used throughout the evaluation.
+
+Sensor papers quote a zoo of error statistics; this module pins down the
+ones the reproduction reports so every experiment uses identical
+definitions:
+
+* ``inaccuracy_band`` — the "+/- X" figure: the worst absolute error over
+  the population/sweep (what a datasheet min/max spec means);
+* ``ErrorStats`` — the full picture: mean (systematic bias), sigma,
+  3-sigma, and the band, so paper-style small-sample "+/-" claims can be
+  compared honestly against large-sample statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary statistics of an error population.
+
+    Attributes:
+        count: Sample count.
+        mean: Mean error (systematic bias).
+        sigma: Standard deviation.
+        three_sigma: 3x the standard deviation.
+        band: Worst absolute error ("+/- band").
+    """
+
+    count: int
+    mean: float
+    sigma: float
+    three_sigma: float
+    band: float
+
+    def describe(self, unit: str = "", scale: float = 1.0) -> str:
+        """One-line human-readable summary, optionally unit-scaled."""
+        return (
+            f"n={self.count}  mean={self.mean * scale:+.3f}{unit}  "
+            f"sigma={self.sigma * scale:.3f}{unit}  "
+            f"3sigma={self.three_sigma * scale:.3f}{unit}  "
+            f"band=+/-{self.band * scale:.3f}{unit}"
+        )
+
+
+def error_stats(errors) -> ErrorStats:
+    """Compute :class:`ErrorStats` for a sequence of signed errors."""
+    arr = np.asarray(list(errors), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty error population")
+    sigma = float(np.std(arr))
+    return ErrorStats(
+        count=int(arr.size),
+        mean=float(np.mean(arr)),
+        sigma=sigma,
+        three_sigma=3.0 * sigma,
+        band=float(np.max(np.abs(arr))),
+    )
+
+
+def inaccuracy_band(errors) -> float:
+    """The "+/- X" worst-absolute-error figure of a population."""
+    arr = np.asarray(list(errors), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty error population")
+    return float(np.max(np.abs(arr)))

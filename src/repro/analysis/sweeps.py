@@ -1,0 +1,35 @@
+"""Sweep helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def temperature_axis(
+    temp_min_c: float = -40.0, temp_max_c: float = 125.0, points: int = 12
+) -> np.ndarray:
+    """A temperature sweep axis in Celsius."""
+    if points < 2:
+        raise ValueError("a sweep needs at least two points")
+    if temp_min_c >= temp_max_c:
+        raise ValueError("temperature range is empty")
+    return np.linspace(temp_min_c, temp_max_c, points)
+
+
+def sweep_temperature(
+    read: Callable[[float], float], temps_c: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run a sensor's read function across a sweep.
+
+    Args:
+        read: Maps a true temperature (Celsius) to an estimate (Celsius).
+        temps_c: The sweep points.
+
+    Returns:
+        ``(estimates, errors)`` arrays aligned with ``temps_c``.
+    """
+    estimates: List[float] = [read(float(t)) for t in temps_c]
+    est = np.asarray(estimates)
+    return est, est - np.asarray(temps_c, dtype=float)

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+Every experiment prints the rows/series its paper figure or table would
+contain; this module is the single formatter so all output looks alike and
+tests can assert on structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column headers.
+        rows: Row cell values; formatted with ``str`` (pre-format numbers
+            at the call site so units stay explicit).
+        title: Optional title line above the table.
+
+    Returns:
+        The rendered table as a single string.
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[col]) for col, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Baseline/comparison sensors.
+
+Every sensor here shares the paper sensor's substrate (same technology,
+same die samples, same counters) so comparisons isolate the *scheme*:
+
+* ``uncalibrated`` — a raw TSRO thermometer that trusts the typical curve;
+  what you get with zero calibration of any kind.
+* ``ratio`` — a dual-RO ratio-metric thermometer; partial process
+  cancellation without explicit extraction.
+* ``two_point`` — a factory two-point-calibrated TSRO thermometer; the
+  accuracy gold standard, but it needs a temperature chamber per die
+  (exactly the cost the paper's self-calibration removes).
+* ``diode`` — a behavioural BJT/diode analog sensor, the classic non-RO
+  alternative, for the comparison table.
+"""
+
+from repro.baselines.diode import DiodeSensor
+from repro.baselines.ratio import RatioSensor
+from repro.baselines.two_point import TwoPointCalibratedSensor
+from repro.baselines.uncalibrated import UncalibratedTsroSensor
+
+__all__ = [
+    "DiodeSensor",
+    "RatioSensor",
+    "TwoPointCalibratedSensor",
+    "UncalibratedTsroSensor",
+]

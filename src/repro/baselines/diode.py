@@ -1,0 +1,98 @@
+"""Behavioural BJT/diode analog temperature sensor.
+
+The classic non-RO alternative for the comparison table: a substrate-PNP
+base-emitter voltage digitised by an ADC.  V_BE is beautifully linear in
+temperature (about -1.6 mV/K around a ~1.2 V extrapolated bandgap) but its
+absolute value spreads with process (saturation-current spread), so an
+untrimmed diode sensor carries a few degrees of offset error; a one-point
+trim removes most of it.
+
+The model is behavioural — V_BE(T) with process spread, ADC quantisation —
+because the comparison needs the *scheme's* accuracy/energy/cost profile,
+not a BJT compact model.  Energy and area figures are typical published
+values for 65 nm-class analog sensors and feed the R-T2 table only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+from repro.variation.montecarlo import DieSample
+
+# Nominal V_BE line: V_BE(T) = VBE_300 + SLOPE * (T - 300 K) + curvature.
+_VBE_300 = 0.65
+_SLOPE_V_PER_K = -1.6e-3
+# Process spread of the V_BE offset (saturation-current lognormal spread
+# expressed as an equivalent voltage sigma).
+_OFFSET_SIGMA_V = 2.5e-3
+# V_BE curvature: the classic (eta - 1)(k/q) T ln(T_r/T) bowl, quadratic
+# approximation.  ~1.5 mV at the range ends, i.e. about a degree of
+# systematic error that a linear inversion cannot remove.
+_CURVATURE_V_PER_K2 = -1.55e-7
+
+# Typical published figures for a 65 nm-class analog diode sensor; used in
+# the comparison table, not in the physics.
+DIODE_SENSOR_ENERGY_J = 2.0e-9
+DIODE_SENSOR_AREA_MM2 = 0.05
+
+
+class DiodeSensor:
+    """Behavioural diode/BJT thermometer with optional one-point trim.
+
+    Args:
+        die: Monte-Carlo die (its index seeds the per-die V_BE offset);
+            ``None`` = typical (zero offset).
+        adc_bits: Resolution of the read-out ADC over the sensing range.
+        trimmed: Whether a one-point factory trim at 25 degC was applied.
+        seed: Noise seed override.
+    """
+
+    def __init__(
+        self,
+        die: Optional[DieSample] = None,
+        adc_bits: int = 10,
+        trimmed: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if adc_bits < 4:
+            raise ValueError("adc_bits must be >= 4")
+        self.die = die
+        self.adc_bits = adc_bits
+        self.trimmed = trimmed
+        if seed is None:
+            seed = 5 if die is None else die.mismatch_seed ^ 0xD10D
+        rng = np.random.default_rng(seed)
+        self._offset_v = 0.0 if die is None else float(rng.normal(0.0, _OFFSET_SIGMA_V))
+
+        # One-point trim measures the error at 25 degC and subtracts it.
+        self._trim_v = self._offset_v if trimmed else 0.0
+
+    def _vbe(self, temp_k: float) -> float:
+        delta = temp_k - 300.0
+        return (
+            _VBE_300
+            + _SLOPE_V_PER_K * delta
+            + _CURVATURE_V_PER_K2 * delta * delta
+            + self._offset_v
+        )
+
+    def read_temperature(
+        self, temp_c: float, vdd: Optional[float] = None, deterministic: bool = False
+    ) -> float:
+        """One conversion: V_BE sample -> ADC -> linear inversion."""
+        del vdd, deterministic  # analog path; supply-regulated, no phase noise
+        temp_k = celsius_to_kelvin(temp_c)
+        vbe = self._vbe(temp_k) - self._trim_v
+
+        # ADC spanning the V_BE range over the specified temperatures.
+        v_hi = _VBE_300 + _SLOPE_V_PER_K * (celsius_to_kelvin(-40.0) - 300.0)
+        v_lo = _VBE_300 + _SLOPE_V_PER_K * (celsius_to_kelvin(125.0) - 300.0)
+        lsb = (v_hi - v_lo) / (1 << self.adc_bits)
+        code = round((vbe - v_lo) / lsb)
+        vbe_quantised = v_lo + code * lsb
+
+        est_k = 300.0 + (vbe_quantised - _VBE_300) / _SLOPE_V_PER_K
+        return kelvin_to_celsius(est_k)

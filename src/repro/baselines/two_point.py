@@ -1,0 +1,109 @@
+"""Factory two-point-calibrated TSRO thermometer.
+
+The conventional accurate RO sensor: at the factory every die visits a
+temperature chamber at two known temperatures, its TSRO frequency is logged,
+and a per-die map from ln(f) to temperature is trimmed in.  The fit basis is
+``ln f = a - b / T`` — the Arrhenius form a weak-inversion-starved ring
+actually follows — so accuracy is limited only by the small residual
+curvature in that basis plus counter quantisation, typically within a
+degree even when extrapolating beyond the chamber points.
+
+What the paper attacks is the *cost column*: two chamber soaks per die,
+per-die fuse storage, and no way to re-trim in the field.  The comparison
+table (experiment R-T2) carries both the accuracy and the cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.oscillator_bank import build_oscillator_bank, environment_for_die
+from repro.circuits.ring_oscillator import Environment
+from repro.config import SensorConfig
+from repro.device.technology import Technology
+from repro.readout.counter import PeriodTimer
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+from repro.variation.montecarlo import DieSample
+
+
+class TwoPointCalibratedSensor:
+    """TSRO thermometer with per-die two-point factory trim.
+
+    Args:
+        technology: Technology the sensor is manufactured in.
+        config: Sensor design parameters; ``None`` uses the reference design.
+        die: Monte-Carlo die this instance sits on (``None`` = typical).
+        location: Sensor site on the die, metres.
+        cal_points_c: The factory chamber temperatures in Celsius.
+        seed: Measurement-noise seed.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        config: Optional[SensorConfig] = None,
+        die: Optional[DieSample] = None,
+        location: Tuple[float, float] = (2.5e-3, 2.5e-3),
+        cal_points_c: Tuple[float, float] = (-5.0, 95.0),
+        seed: Optional[int] = None,
+    ) -> None:
+        if cal_points_c[0] >= cal_points_c[1]:
+            raise ValueError("calibration points must be increasing")
+        self.technology = technology
+        self.config = config if config is not None else SensorConfig()
+        self.die = die
+        self.location = location
+        self.bank = build_oscillator_bank(
+            technology,
+            die=die,
+            psro_stages=self.config.psro_stages,
+            tsro_stages=self.config.tsro_stages,
+        )
+        self._timer = PeriodTimer(
+            periods=self.config.tsro_periods,
+            ref_clock_hz=self.config.ref_clock_hz,
+            bits=self.config.tsro_counter_bits,
+        )
+        if seed is None:
+            seed = 3 if die is None else die.mismatch_seed ^ 0x2B0C
+        self._rng = np.random.default_rng(seed)
+
+        # Factory trim: measure the real die at the two chamber points.
+        self._t1_k = celsius_to_kelvin(cal_points_c[0])
+        self._t2_k = celsius_to_kelvin(cal_points_c[1])
+        self._lnf1 = math.log(self._measure(self._t1_k, None, deterministic=True))
+        self._lnf2 = math.log(self._measure(self._t2_k, None, deterministic=True))
+        if self._lnf2 <= self._lnf1:
+            raise ValueError("TSRO is not monotone over the calibration points")
+
+    def _environment(self, temp_k: float, vdd: Optional[float]) -> Environment:
+        vdd = self.technology.vdd if vdd is None else vdd
+        if self.die is None:
+            return Environment(temp_k=temp_k, vdd=vdd)
+        return environment_for_die(self.die, self.location, temp_k, vdd)
+
+    def _measure(self, temp_k: float, vdd: Optional[float], deterministic: bool) -> float:
+        env = self._environment(temp_k, vdd)
+        f_t = self.bank.tsro.frequency(env)
+        rng = None if deterministic else self._rng
+        count = self._timer.count(f_t, rng)
+        return self._timer.frequency_from_count(count)
+
+    def read_temperature(
+        self, temp_c: float, vdd: Optional[float] = None, deterministic: bool = False
+    ) -> float:
+        """One conversion through the per-die Arrhenius ln(f) -> T trim.
+
+        With the two stored points the fit ``ln f = a - b / T`` inverts in
+        closed form: ``1/T = (a - ln f) / b``.
+        """
+        f_t_hat = self._measure(celsius_to_kelvin(temp_c), vdd, deterministic)
+        lnf = math.log(f_t_hat)
+        inv_t1, inv_t2 = 1.0 / self._t1_k, 1.0 / self._t2_k
+        b = (self._lnf1 - self._lnf2) / (inv_t2 - inv_t1)
+        a = self._lnf1 + b * inv_t1
+        inv_t = (a - lnf) / b
+        return kelvin_to_celsius(1.0 / inv_t)

@@ -1,0 +1,93 @@
+"""Uncalibrated TSRO thermometer — the "before" curve of experiment R-F4.
+
+Identical hardware to the paper sensor's temperature path (same TSRO, same
+period timer) but the conversion inverts the *typical* TSRO curve with no
+process information at all.  On an off-typical die the threshold shift is
+misread as temperature; at ~2 %/K TSRO slope and ~3 %/mV-class threshold
+sensitivity, every 10 mV of die skew costs several degrees — the error the
+paper's self-calibration eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.oscillator_bank import build_oscillator_bank, environment_for_die
+from repro.circuits.ring_oscillator import Environment
+from repro.config import SensorConfig
+from repro.core.sensing_model import SensingModel
+from repro.core.temperature import estimate_temperature_clamped
+from repro.device.technology import Technology
+from repro.readout.counter import PeriodTimer
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+from repro.variation.montecarlo import DieSample
+
+
+class UncalibratedTsroSensor:
+    """A TSRO + period timer with no process correction.
+
+    Args:
+        technology: Technology the sensor is manufactured in.
+        config: Sensor design parameters; ``None`` uses the reference design.
+        die: Monte-Carlo die this instance sits on (``None`` = typical).
+        location: Sensor site on the die, metres.
+        sensing_model: Shared design-time model (typical TSRO curve).
+        seed: Measurement-noise seed.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        config: Optional[SensorConfig] = None,
+        die: Optional[DieSample] = None,
+        location: Tuple[float, float] = (2.5e-3, 2.5e-3),
+        sensing_model: Optional[SensingModel] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.technology = technology
+        self.config = config if config is not None else SensorConfig()
+        self.die = die
+        self.location = location
+        self.bank = build_oscillator_bank(
+            technology,
+            die=die,
+            psro_stages=self.config.psro_stages,
+            tsro_stages=self.config.tsro_stages,
+        )
+        self.model = (
+            sensing_model
+            if sensing_model is not None
+            else SensingModel(technology, self.config)
+        )
+        self._timer = PeriodTimer(
+            periods=self.config.tsro_periods,
+            ref_clock_hz=self.config.ref_clock_hz,
+            bits=self.config.tsro_counter_bits,
+        )
+        if seed is None:
+            seed = 2 if die is None else die.mismatch_seed ^ 0xBA5E
+        self._rng = np.random.default_rng(seed)
+
+    def _environment(self, temp_k: float, vdd: Optional[float]) -> Environment:
+        vdd = self.technology.vdd if vdd is None else vdd
+        if self.die is None:
+            return Environment(temp_k=temp_k, vdd=vdd)
+        return environment_for_die(self.die, self.location, temp_k, vdd)
+
+    def read_temperature(
+        self, temp_c: float, vdd: Optional[float] = None, deterministic: bool = False
+    ) -> float:
+        """One temperature conversion at a true junction temperature.
+
+        Returns the estimated temperature in Celsius, inverted from the
+        typical curve with (dV_tn, dV_tp) assumed zero.
+        """
+        env = self._environment(celsius_to_kelvin(temp_c), vdd)
+        f_t = self.bank.tsro.frequency(env)
+        rng = None if deterministic else self._rng
+        count = self._timer.count(f_t, rng)
+        f_t_hat = self._timer.frequency_from_count(count)
+        temp_k = estimate_temperature_clamped(self.model, f_t_hat, 0.0, 0.0)
+        return kelvin_to_celsius(temp_k)

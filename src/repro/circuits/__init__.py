@@ -1,0 +1,49 @@
+"""Circuit-level substrate: stage delay models, ring oscillators, counters.
+
+The paper's sensor is three ring oscillators plus digital read-out.  This
+package models:
+
+* inverter-class stage delays driven by the analytic device model
+  (``inverter``): balanced stages, NMOS/PMOS-sensing skewed stages with
+  near-ZTC bias, and current-starved (temperature-sensing) stages;
+* ring oscillators composed of those stages, including per-instance
+  mismatch (``ring_oscillator``);
+* the sensor macro's oscillator bank (``oscillator_bank``);
+* behavioural digital primitives — windowed counters with real quantisation
+  (``digital``).
+"""
+
+from repro.circuits.digital import WindowCounter, ripple_counter_energy
+from repro.circuits.noise import JitterModel, averaged_sigma
+from repro.circuits.inverter import (
+    BalancedStage,
+    NmosSensingStage,
+    PmosSensingStage,
+    StageModel,
+    StarvedStage,
+)
+from repro.circuits.oscillator_bank import (
+    BankFrequencies,
+    OscillatorBank,
+    build_oscillator_bank,
+    environment_for_die,
+)
+from repro.circuits.ring_oscillator import Environment, RingOscillator
+
+__all__ = [
+    "BalancedStage",
+    "BankFrequencies",
+    "Environment",
+    "JitterModel",
+    "averaged_sigma",
+    "environment_for_die",
+    "NmosSensingStage",
+    "OscillatorBank",
+    "PmosSensingStage",
+    "RingOscillator",
+    "StageModel",
+    "StarvedStage",
+    "WindowCounter",
+    "build_oscillator_bank",
+    "ripple_counter_energy",
+]

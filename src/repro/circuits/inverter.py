@@ -1,0 +1,249 @@
+"""Stage delay models for the sensor's ring oscillators.
+
+Each stage model maps (NMOS template, PMOS template, V_DD, T) to a rise and a
+fall delay using the switching-charge approximation
+
+    t_edge = C_load * V_DD / (2 * I_drive)            (driven edge)
+    t_edge = C_load * V_DD / I_limit                  (starved edge)
+
+with drive currents evaluated by the device model at ``V_DS = V_DD / 2`` (the
+mid-swing "effective current" convention).  The factor-of-two difference
+reflects that a full-strength edge is an accelerating ramp while a starved
+edge is a constant-current ramp over the whole swing.
+
+Four stage flavours implement the paper's oscillator bank:
+
+* :class:`BalancedStage` — plain inverter, reference behaviour.
+* :class:`NmosSensingStage` — fall edge limited by a stacked NMOS sensing
+  pair whose gate sits at a near-ZTC bias; rise edge made fast by a wide
+  PMOS.  Stage delay tracks V_tn strongly, V_tp and T weakly.
+* :class:`PmosSensingStage` — the mirror image, sensing V_tp.
+* :class:`StarvedStage` — both edges limited by a weak-inversion bias
+  device: delay is exponential in (V_t - V_bias)/U_T, i.e. strongly
+  temperature dependent.  This is the temperature-sensing (TSRO) stage.
+
+Bias voltages are generated as fixed ratios of V_DD, matching an on-chip
+resistive divider; this is what makes supply droop a residual error term
+(experiment R-F8).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.device.mosfet import MosfetParams, drain_current, gate_capacitance
+from repro.device.stack import parallel_combine, series_stack_current
+from repro.device.technology import Technology
+
+# Drain-junction and local-wire parasitics as a fraction of the driven gate
+# capacitance; a standard lumped-load convention for hand delay models.
+_PARASITIC_FRACTION = 0.5
+# Local wire length per stage in micrometres.
+_STAGE_WIRE_UM = 2.0
+
+
+def _drive_current(params: MosfetParams, width_units: float, vgs: float, vdd: float, temp_k: float) -> float:
+    """Effective switching current of a ``width_units``-wide device."""
+    device = parallel_combine(params, 1).scaled(width_scale=width_units)
+    return drain_current(device, vgs, vdd / 2.0, temp_k)
+
+
+@dataclass(frozen=True)
+class StageModel(ABC):
+    """Delay/capacitance model of one ring-oscillator stage."""
+
+    @abstractmethod
+    def delays(
+        self, nmos: MosfetParams, pmos: MosfetParams, vdd: float, temp_k: float, load_cap: float
+    ) -> Tuple[float, float]:
+        """Return ``(t_rise, t_fall)`` in seconds for the given load."""
+
+    @abstractmethod
+    def input_capacitance(self, technology: Technology) -> float:
+        """Capacitance presented to the driving stage by switching gates."""
+
+    def load_capacitance(self, technology: Technology) -> float:
+        """Total switched node capacitance when driving an identical stage."""
+        gates = self.input_capacitance(technology)
+        wire = technology.wire_cap_per_um * _STAGE_WIRE_UM
+        return gates * (1.0 + _PARASITIC_FRACTION) + wire
+
+
+@dataclass(frozen=True)
+class BalancedStage(StageModel):
+    """Plain inverter stage with mobility-balanced pull-up/pull-down.
+
+    The sensor's reference ring uses a non-minimum ``length_scale`` and
+    generous widths: a reference is only useful if its own mismatch is far
+    below what it is referencing, and (in the supply-aware extension) its
+    gate area directly sets the V_DD read-out floor.
+
+    Attributes:
+        nmos_units: NMOS width in unit widths.
+        pmos_units: PMOS width in unit widths (larger to balance mobility).
+        length_scale: Channel-length multiplier of both devices.
+    """
+
+    nmos_units: float = 12.0
+    pmos_units: float = 30.0
+    length_scale: float = 3.0
+
+    def devices(self, nmos, pmos):
+        return (
+            nmos.scaled(width_scale=self.nmos_units, length_scale=self.length_scale),
+            pmos.scaled(width_scale=self.pmos_units, length_scale=self.length_scale),
+        )
+
+    def delays(self, nmos, pmos, vdd, temp_k, load_cap):
+        n_dev, p_dev = self.devices(nmos, pmos)
+        i_n = drain_current(n_dev, vdd, vdd / 2.0, temp_k)
+        i_p = drain_current(p_dev, vdd, vdd / 2.0, temp_k)
+        t_fall = load_cap * vdd / (2.0 * i_n)
+        t_rise = load_cap * vdd / (2.0 * i_p)
+        return t_rise, t_fall
+
+    def input_capacitance(self, technology):
+        n_dev, p_dev = self.devices(technology.nmos, technology.pmos)
+        return gate_capacitance(n_dev) + gate_capacitance(p_dev)
+
+
+@dataclass(frozen=True)
+class NmosSensingStage(StageModel):
+    """V_tn-sensing stage: starved fall edge through a stacked NMOS pair.
+
+    The sensing pair's gate sits at ``bias_ratio * V_DD``, chosen near the
+    NMOS zero-temperature-coefficient point so the stage delay is first-order
+    temperature flat.  The stack raises sensitivity to V_tn (lower overdrive)
+    while the oversized PMOS keeps the rise edge fast and the V_tp
+    cross-sensitivity small.
+
+    Attributes:
+        bias_ratio: Sensing-gate bias as a fraction of V_DD.
+        sense_units: Sensing-device width in unit widths (large, to average
+            down its own mismatch).
+        sense_length_scale: Sensing-device length multiplier.
+        stack: Number of series sensing devices.
+        switch_units: Width of the input switching NMOS.
+        pmos_units: Width of the fast pull-up PMOS.
+    """
+
+    bias_ratio: float = 0.70
+    sense_units: float = 8.0
+    sense_length_scale: float = 2.0
+    stack: int = 2
+    switch_units: float = 4.0
+    pmos_units: float = 6.0
+
+    def sensing_device(self, nmos: MosfetParams) -> MosfetParams:
+        """The (single) sensing transistor geometry used by this stage."""
+        return nmos.scaled(width_scale=self.sense_units, length_scale=self.sense_length_scale)
+
+    def delays(self, nmos, pmos, vdd, temp_k, load_cap):
+        bias = self.bias_ratio * vdd
+        sense = self.sensing_device(nmos)
+        i_limit = series_stack_current(sense, self.stack, bias, vdd / 2.0, temp_k)
+        i_p = _drive_current(pmos, self.pmos_units, vdd, vdd, temp_k)
+        t_fall = load_cap * vdd / i_limit
+        t_rise = load_cap * vdd / (2.0 * i_p)
+        return t_rise, t_fall
+
+    def input_capacitance(self, technology):
+        # The sensing gates sit at DC bias; only the switch NMOS and the
+        # PMOS gate load the previous stage.
+        return gate_capacitance(technology.nmos) * self.switch_units + gate_capacitance(
+            technology.pmos
+        ) * self.pmos_units
+
+
+@dataclass(frozen=True)
+class PmosSensingStage(StageModel):
+    """V_tp-sensing stage: the mirror image of :class:`NmosSensingStage`.
+
+    The sensing pair is drawn substantially larger than PSRO-N's: PMOS drive
+    is weak anyway, so the area is cheap, and the extra gate area averages
+    mismatch down far enough that the V_tp read-out resolves about twice as
+    finely as the V_tn one — the asymmetry the paper reports (+/-0.8 mV vs
+    +/-1.6 mV).
+    """
+
+    bias_ratio: float = 0.79
+    sense_units: float = 24.0
+    sense_length_scale: float = 3.0
+    stack: int = 2
+    switch_units: float = 6.0
+    nmos_units: float = 3.0
+
+    def sensing_device(self, pmos: MosfetParams) -> MosfetParams:
+        """The (single) sensing transistor geometry used by this stage."""
+        return pmos.scaled(width_scale=self.sense_units, length_scale=self.sense_length_scale)
+
+    def delays(self, nmos, pmos, vdd, temp_k, load_cap):
+        bias = self.bias_ratio * vdd  # gate-source magnitude of the PMOS pair
+        sense = self.sensing_device(pmos)
+        i_limit = series_stack_current(sense, self.stack, bias, vdd / 2.0, temp_k)
+        i_n = _drive_current(nmos, self.nmos_units, vdd, vdd, temp_k)
+        t_rise = load_cap * vdd / i_limit
+        t_fall = load_cap * vdd / (2.0 * i_n)
+        return t_rise, t_fall
+
+    def input_capacitance(self, technology):
+        return gate_capacitance(technology.pmos) * self.switch_units + gate_capacitance(
+            technology.nmos
+        ) * self.nmos_units
+
+
+@dataclass(frozen=True)
+class StarvedStage(StageModel):
+    """Temperature-sensing stage: both edges starved by weak-inversion bias.
+
+    A footer NMOS and a mirrored header PMOS, both biased just below
+    threshold, limit every transition.  The limiting current — and hence the
+    oscillation frequency — is exponential in temperature through U_T and
+    V_t(T).
+
+    The limiting devices are drawn very large (both wide and long): their
+    weak-inversion current sensitivity to threshold mismatch is 1/(n U_T)
+    per volt, ~40x higher than the process rings', and unlike the die-level
+    threshold shift this *private* offset cannot be corrected by the
+    self-calibration engine.  Gate area is the only lever, so it is spent
+    here.
+
+    Attributes:
+        bias_ratio: Bias-gate voltage as a fraction of V_DD (weak/moderate
+            inversion).
+        limiter_units: Width of the limiting devices in unit widths.
+        limiter_length_scale: Length multiplier of the limiting devices.
+        switch_units: Width of the inner switching inverter devices.
+    """
+
+    bias_ratio: float = 0.30
+    limiter_units: float = 32.0
+    limiter_length_scale: float = 8.0
+    switch_units: float = 2.0
+
+    def limiting_devices(self, nmos: MosfetParams, pmos: MosfetParams):
+        """The footer/header limiting transistor geometries."""
+        footer = nmos.scaled(
+            width_scale=self.limiter_units, length_scale=self.limiter_length_scale
+        )
+        header = pmos.scaled(
+            width_scale=self.limiter_units, length_scale=self.limiter_length_scale
+        )
+        return footer, header
+
+    def delays(self, nmos, pmos, vdd, temp_k, load_cap):
+        bias = self.bias_ratio * vdd
+        footer, header = self.limiting_devices(nmos, pmos)
+        i_fall = drain_current(footer, bias, vdd / 2.0, temp_k)
+        i_rise = drain_current(header, bias, vdd / 2.0, temp_k)
+        t_fall = load_cap * vdd / i_fall
+        t_rise = load_cap * vdd / i_rise
+        return t_rise, t_fall
+
+    def input_capacitance(self, technology):
+        units = self.switch_units
+        return gate_capacitance(technology.nmos) * units + gate_capacitance(
+            technology.pmos
+        ) * units

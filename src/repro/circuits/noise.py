@@ -1,0 +1,73 @@
+"""Ring-oscillator jitter: the noise floor under the quantisation floor.
+
+Thermal and flicker noise in the stage transistors make an RO's period a
+random variable.  Independent per-period errors accumulate as a random
+walk over the N = f * T_w periods of a counting window, so the *measured
+frequency* carries a relative error of
+
+    sigma_f / f = kappa / sqrt(N) = kappa / sqrt(f * T_w)
+
+where ``kappa`` is the oscillator's relative per-period jitter
+(dimensionless; 65 nm ring oscillators sit around 1e-4..1e-3).  Doubling
+the window halves the jitter *power* — the 1/sqrt(N) averaging law
+experiment R-E6 measures.
+
+Jitter is disabled by default throughout the library (kappa = 0) so the
+reproduced headline numbers stay quantisation/mismatch-limited as the
+paper's are; the experiment enables it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JitterModel:
+    """Accumulated-jitter model of a ring oscillator measurement.
+
+    Attributes:
+        kappa: Relative per-period jitter (dimensionless); 0 disables
+            jitter.
+    """
+
+    kappa: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kappa < 0.0:
+            raise ValueError("kappa must be non-negative")
+
+    def frequency_sigma(self, frequency: float, window: float) -> float:
+        """Standard deviation of the measured frequency in hertz."""
+        if frequency <= 0.0 or window <= 0.0:
+            raise ValueError("frequency and window must be positive")
+        if self.kappa == 0.0:
+            return 0.0
+        periods = frequency * window
+        return frequency * self.kappa / np.sqrt(periods)
+
+    def apply(
+        self,
+        frequency: float,
+        window: float,
+        rng: Optional[np.random.Generator],
+    ) -> float:
+        """The frequency a jittery measurement would report.
+
+        ``rng=None`` (deterministic mode) returns the noiseless frequency,
+        mirroring the counters' deterministic mid-phase convention.
+        """
+        sigma = self.frequency_sigma(frequency, window)
+        if rng is None or sigma == 0.0:
+            return frequency
+        return max(1.0, float(rng.normal(frequency, sigma)))
+
+
+def averaged_sigma(single_sigma: float, conversions: int) -> float:
+    """Sigma after averaging N independent conversions (the sqrt-N law)."""
+    if conversions < 1:
+        raise ValueError("conversions must be >= 1")
+    return single_sigma / np.sqrt(conversions)

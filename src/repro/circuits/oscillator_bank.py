@@ -1,0 +1,187 @@
+"""The sensor macro's oscillator bank and its per-die construction.
+
+One :class:`OscillatorBank` is the analog half of one PT-sensor site: the
+V_tn-sensing ring (PSRO-N), the V_tp-sensing ring (PSRO-P), the
+temperature-sensing ring (TSRO) and a balanced reference ring.  Building a
+bank for a concrete :class:`~repro.variation.montecarlo.DieSample` freezes
+that die's random mismatch into the oscillator instances, exactly as
+manufacture would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.inverter import (
+    BalancedStage,
+    NmosSensingStage,
+    PmosSensingStage,
+    StarvedStage,
+)
+from repro.circuits.ring_oscillator import Environment, RingOscillator
+from repro.device.technology import Technology
+from repro.variation.mismatch import mismatch_sigma_vt
+from repro.variation.montecarlo import DieSample
+
+
+@dataclass(frozen=True)
+class BankFrequencies:
+    """Frequencies of the four oscillators under one environment, in hertz."""
+
+    psro_n: float
+    psro_p: float
+    tsro: float
+    reference: float
+
+
+@dataclass(frozen=True)
+class OscillatorBank:
+    """The four ring oscillators of one sensor site."""
+
+    psro_n: RingOscillator
+    psro_p: RingOscillator
+    tsro: RingOscillator
+    reference: RingOscillator
+
+    def frequencies(self, env: Environment) -> BankFrequencies:
+        """Evaluate all oscillators under a common environment."""
+        return BankFrequencies(
+            psro_n=self.psro_n.frequency(env),
+            psro_p=self.psro_p.frequency(env),
+            tsro=self.tsro.frequency(env),
+            reference=self.reference.frequency(env),
+        )
+
+    def oscillators(self) -> Dict[str, RingOscillator]:
+        """Name-to-instance map, handy for sweeps and reports."""
+        return {
+            "PSRO-N": self.psro_n,
+            "PSRO-P": self.psro_p,
+            "TSRO": self.tsro,
+            "REF": self.reference,
+        }
+
+
+def _stage_averaged_offset(
+    rng: Optional[np.random.Generator], sigma_device: float, devices: int
+) -> float:
+    """Frequency-visible threshold offset of a ring: mean of device offsets."""
+    if rng is None or sigma_device <= 0.0:
+        return 0.0
+    return float(rng.normal(0.0, sigma_device / np.sqrt(devices)))
+
+
+def build_oscillator_bank(
+    technology: Technology,
+    die: Optional[DieSample] = None,
+    psro_stages: int = 13,
+    tsro_stages: int = 9,
+    psro_n_stage: Optional[NmosSensingStage] = None,
+    psro_p_stage: Optional[PmosSensingStage] = None,
+    tsro_stage: Optional[StarvedStage] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> OscillatorBank:
+    """Build one sensor site's oscillator bank.
+
+    Args:
+        technology: Target technology.
+        die: Monte-Carlo die the bank is manufactured on.  When given (and
+            ``rng`` is not), the die's own mismatch stream is used, so two
+            banks built on the same die get different mismatch while staying
+            reproducible.  ``None`` builds the *typical* (mismatch-free)
+            bank — the one the calibration model is characterised from.
+        psro_stages: Stage count of the process-sensing rings (odd).
+        tsro_stages: Stage count of the temperature-sensing ring (odd).
+        psro_n_stage: Override for the PSRO-N stage design.
+        psro_p_stage: Override for the PSRO-P stage design.
+        tsro_stage: Override for the TSRO stage design.
+        rng: Explicit mismatch stream, overriding the die's.
+
+    Returns:
+        The constructed :class:`OscillatorBank`.
+    """
+    n_stage = psro_n_stage if psro_n_stage is not None else NmosSensingStage()
+    p_stage = psro_p_stage if psro_p_stage is not None else PmosSensingStage()
+    t_stage = tsro_stage if tsro_stage is not None else StarvedStage()
+    ref_stage = BalancedStage()
+
+    if rng is None and die is not None:
+        rng = die.mismatch_rng()
+
+    # Per-device mismatch sigmas of the delay-dominating transistors.
+    sense_n = n_stage.sensing_device(technology.nmos)
+    sense_p = p_stage.sensing_device(technology.pmos)
+    footer, header = t_stage.limiting_devices(technology.nmos, technology.pmos)
+
+    ref_n_dev, ref_p_dev = ref_stage.devices(technology.nmos, technology.pmos)
+
+    sigma_sense_n = mismatch_sigma_vt(sense_n, technology.avt_n)
+    sigma_sense_p = mismatch_sigma_vt(sense_p, technology.avt_p)
+    sigma_footer = mismatch_sigma_vt(footer, technology.avt_n)
+    sigma_header = mismatch_sigma_vt(header, technology.avt_p)
+    # Cross-polarity devices of the sensing rings (switch/pull devices).
+    sigma_ref_n = mismatch_sigma_vt(technology.nmos, technology.avt_n)
+    sigma_ref_p = mismatch_sigma_vt(technology.pmos, technology.avt_p)
+    # The reference ring's own (large) devices.
+    sigma_refring_n = mismatch_sigma_vt(ref_n_dev, technology.avt_n)
+    sigma_refring_p = mismatch_sigma_vt(ref_p_dev, technology.avt_p)
+
+    psro_n = RingOscillator(
+        name="PSRO-N",
+        stage=n_stage,
+        stages=psro_stages,
+        technology=technology,
+        vtn_offset=_stage_averaged_offset(rng, sigma_sense_n, n_stage.stack * psro_stages),
+        vtp_offset=_stage_averaged_offset(rng, sigma_ref_p, psro_stages),
+    )
+    psro_p = RingOscillator(
+        name="PSRO-P",
+        stage=p_stage,
+        stages=psro_stages,
+        technology=technology,
+        vtn_offset=_stage_averaged_offset(rng, sigma_ref_n, psro_stages),
+        vtp_offset=_stage_averaged_offset(rng, sigma_sense_p, p_stage.stack * psro_stages),
+    )
+    tsro = RingOscillator(
+        name="TSRO",
+        stage=t_stage,
+        stages=tsro_stages,
+        technology=technology,
+        vtn_offset=_stage_averaged_offset(rng, sigma_footer, tsro_stages),
+        vtp_offset=_stage_averaged_offset(rng, sigma_header, tsro_stages),
+    )
+    reference = RingOscillator(
+        name="REF",
+        stage=ref_stage,
+        stages=psro_stages,
+        technology=technology,
+        vtn_offset=_stage_averaged_offset(rng, sigma_refring_n, psro_stages),
+        vtp_offset=_stage_averaged_offset(rng, sigma_refring_p, psro_stages),
+    )
+    return OscillatorBank(psro_n=psro_n, psro_p=psro_p, tsro=tsro, reference=reference)
+
+
+def environment_for_die(
+    die: DieSample,
+    location: Tuple[float, float],
+    temp_k: float,
+    vdd: float,
+) -> Environment:
+    """Physical operating environment of a sensor site on a die.
+
+    Combines the die's global corner (threshold and mobility) with the
+    within-die systematic fields at the site location.
+    """
+    x, y = location
+    dvtn, dvtp = die.vt_shifts_at(x, y)
+    return Environment(
+        temp_k=temp_k,
+        vdd=vdd,
+        dvtn=dvtn,
+        dvtp=dvtp,
+        mun_scale=die.corner.mun_scale,
+        mup_scale=die.corner.mup_scale,
+    )

@@ -1,0 +1,145 @@
+"""Ring oscillators built from stage models, with per-instance mismatch.
+
+A :class:`RingOscillator` is the *hardware* of one oscillator on one die: it
+carries the stage topology plus the frozen-at-manufacture effective threshold
+offsets of its own transistors (stage-averaged random mismatch).  Operating
+conditions — temperature, supply, and the die's systematic process shifts —
+arrive per call through an :class:`Environment`, so the same instance can be
+evaluated across temperature sweeps exactly like a fabricated oscillator in a
+temperature chamber.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.circuits.inverter import StageModel
+from repro.device.technology import ProcessCorner, Technology
+
+# Short-circuit current overhead on top of pure switching energy.
+_SHORT_CIRCUIT_FACTOR = 1.1
+
+
+@dataclass(frozen=True)
+class Environment:
+    """Operating condition of a circuit: temperature, supply, process shift.
+
+    Attributes:
+        temp_k: Junction temperature in kelvin.
+        vdd: Supply voltage in volts.
+        dvtn: Systematic NMOS threshold shift at this location (global corner
+            plus within-die field), in volts.
+        dvtp: Systematic PMOS threshold-magnitude shift, in volts.
+        mun_scale: NMOS mobility multiplier of the die.
+        mup_scale: PMOS mobility multiplier of the die.
+    """
+
+    temp_k: float
+    vdd: float
+    dvtn: float = 0.0
+    dvtp: float = 0.0
+    mun_scale: float = 1.0
+    mup_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.temp_k <= 0.0:
+            raise ValueError("temperature must be positive kelvin")
+        if self.vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        if self.mun_scale <= 0.0 or self.mup_scale <= 0.0:
+            raise ValueError("mobility scales must be positive")
+
+    @classmethod
+    def from_corner(
+        cls, corner: ProcessCorner, temp_k: float, vdd: float
+    ) -> "Environment":
+        """Environment of a die sitting exactly at a global corner."""
+        return cls(
+            temp_k=temp_k,
+            vdd=vdd,
+            dvtn=corner.dvtn,
+            dvtp=corner.dvtp,
+            mun_scale=corner.mun_scale,
+            mup_scale=corner.mup_scale,
+        )
+
+    def at(self, temp_k: float = None, vdd: float = None) -> "Environment":
+        """Copy with a different temperature and/or supply."""
+        return replace(
+            self,
+            temp_k=self.temp_k if temp_k is None else temp_k,
+            vdd=self.vdd if vdd is None else vdd,
+        )
+
+
+@dataclass(frozen=True)
+class RingOscillator:
+    """A ring oscillator instance on a particular die.
+
+    Attributes:
+        name: Oscillator label (``"PSRO-N"`` etc.), used in readings/reports.
+        stage: Delay model of each of the identical stages.
+        stages: Odd number of stages.
+        technology: Technology the oscillator is built in.
+        vtn_offset: Frozen effective NMOS threshold offset of this instance
+            (stage-averaged random mismatch), volts.
+        vtp_offset: Frozen effective PMOS threshold offset, volts.
+    """
+
+    name: str
+    stage: StageModel
+    stages: int
+    technology: Technology
+    vtn_offset: float = 0.0
+    vtp_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stages < 3 or self.stages % 2 == 0:
+            raise ValueError("a ring oscillator needs an odd stage count >= 3")
+
+    def _devices(self, env: Environment):
+        nmos = replace(
+            self.technology.nmos,
+            vt0=self.technology.nmos.vt0 + env.dvtn + self.vtn_offset,
+            mu0=self.technology.nmos.mu0 * env.mun_scale,
+        )
+        pmos = replace(
+            self.technology.pmos,
+            vt0=self.technology.pmos.vt0 + env.dvtp + self.vtp_offset,
+            mu0=self.technology.pmos.mu0 * env.mup_scale,
+        )
+        return nmos, pmos
+
+    def period(self, env: Environment) -> float:
+        """Oscillation period in seconds under ``env``."""
+        nmos, pmos = self._devices(env)
+        load = self.stage.load_capacitance(self.technology)
+        t_rise, t_fall = self.stage.delays(nmos, pmos, env.vdd, env.temp_k, load)
+        return self.stages * (t_rise + t_fall)
+
+    def frequency(self, env: Environment) -> float:
+        """Oscillation frequency in hertz under ``env``."""
+        return 1.0 / self.period(env)
+
+    def power(self, env: Environment) -> float:
+        """Dynamic power in watts while running under ``env``.
+
+        Every node toggles through one full swing per period, so the
+        switching power is ``N * C * V_DD^2 * f``, inflated by a standard
+        short-circuit overhead.
+        """
+        load = self.stage.load_capacitance(self.technology)
+        return (
+            _SHORT_CIRCUIT_FACTOR
+            * self.stages
+            * load
+            * env.vdd
+            * env.vdd
+            * self.frequency(env)
+        )
+
+    def energy_for_window(self, env: Environment, window: float) -> float:
+        """Energy in joules to keep the oscillator running for ``window`` s."""
+        if window < 0.0:
+            raise ValueError("window must be non-negative")
+        return self.power(env) * window

@@ -1,0 +1,107 @@
+"""Sensor configuration: the design-time knobs of the PT-sensor macro.
+
+A :class:`SensorConfig` captures everything the paper's designers fixed at
+tape-out: stage counts, measurement windows, counter widths, and the
+iteration budget of the self-calibration engine.  The defaults are the
+reproduction's reference operating point — the one whose summary row
+(experiment R-T1) is compared against the paper's headline numbers.
+
+Two measurement schemes coexist, matching standard practice for RO sensors:
+
+* the fast process rings (PSRO-N/P, hundreds of MHz) are measured by
+  **edge counting** inside a fixed window derived from the system reference
+  clock;
+* the slow, wide-dynamic-range temperature ring (TSRO, single-digit MHz when
+  cold) is measured by **period timing** — the reference clock is counted
+  while the TSRO completes a fixed number of periods — which keeps the
+  resolution roughly constant across the 30x frequency span of the
+  temperature range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import MEGA, MICRO
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """Design parameters of one PT-sensor macro.
+
+    Attributes:
+        psro_stages: Stage count of the process-sensing rings (odd).
+        tsro_stages: Stage count of the temperature-sensing ring (odd).
+        psro_window: Edge-counting window for PSRO-N / PSRO-P, seconds.
+        tsro_periods: Number of TSRO periods timed per temperature
+            measurement.
+        ref_clock_hz: System reference clock frequency in hertz.  A 3-D
+            stack has a distributed system clock; the sensor borrows it for
+            its time base (see DESIGN.md substitution ledger).
+        psro_counter_bits: Counter width for the process rings.
+        tsro_counter_bits: Width of the reference-clock counter used by the
+            period timer.
+        calibration_rounds: Iterations of the process/temperature
+            alternation in the self-calibration engine.
+        newton_iterations: Newton refinement steps per process extraction.
+        lut_points_per_axis: Grid resolution of the on-chip inversion LUT.
+        digital_overhead_energy: Fixed controller/FSM energy per conversion,
+            joules.
+        temp_min_c: Lower edge of the specified temperature range, Celsius.
+        temp_max_c: Upper edge of the specified temperature range, Celsius.
+    """
+
+    psro_stages: int = 13
+    tsro_stages: int = 9
+    psro_window: float = 0.6 * MICRO
+    tsro_periods: int = 96
+    ref_clock_hz: float = 200.0 * MEGA
+    psro_counter_bits: int = 12
+    tsro_counter_bits: int = 17
+    calibration_rounds: int = 5
+    newton_iterations: int = 8
+    lut_points_per_axis: int = 9
+    digital_overhead_energy: float = 20e-12
+    temp_min_c: float = -40.0
+    temp_max_c: float = 125.0
+
+    def __post_init__(self) -> None:
+        if self.psro_stages < 3 or self.psro_stages % 2 == 0:
+            raise ValueError("psro_stages must be an odd number >= 3")
+        if self.tsro_stages < 3 or self.tsro_stages % 2 == 0:
+            raise ValueError("tsro_stages must be an odd number >= 3")
+        if self.psro_window <= 0.0:
+            raise ValueError("psro_window must be positive")
+        if self.tsro_periods < 1:
+            raise ValueError("tsro_periods must be >= 1")
+        if self.ref_clock_hz <= 0.0:
+            raise ValueError("ref_clock_hz must be positive")
+        if self.calibration_rounds < 1:
+            raise ValueError("at least one calibration round is required")
+        if self.newton_iterations < 1:
+            raise ValueError("at least one Newton iteration is required")
+        if self.lut_points_per_axis < 2:
+            raise ValueError("the LUT needs at least two points per axis")
+        if self.temp_min_c >= self.temp_max_c:
+            raise ValueError("temperature range is empty")
+
+    def conversion_time(self, tsro_frequency: float) -> float:
+        """Total conversion time in seconds for a given TSRO frequency.
+
+        The rings are activated sequentially (they share one counter), so
+        the conversion takes both PSRO windows plus the TSRO period-timing
+        interval, which depends on how fast the TSRO runs.
+        """
+        if tsro_frequency <= 0.0:
+            raise ValueError("tsro_frequency must be positive")
+        return 2.0 * self.psro_window + self.tsro_periods / tsro_frequency
+
+    def with_windows(
+        self, psro_window: float = None, tsro_periods: int = None
+    ) -> "SensorConfig":
+        """Copy with different measurement windows (energy/resolution trades)."""
+        return replace(
+            self,
+            psro_window=self.psro_window if psro_window is None else psro_window,
+            tsro_periods=self.tsro_periods if tsro_periods is None else tsro_periods,
+        )

@@ -1,0 +1,51 @@
+"""The paper's contribution: the self-calibrated process-temperature sensor.
+
+* ``sensing_model`` — the design-time characterisation of the typical
+  oscillator bank: the frequency response surfaces and Jacobians the
+  on-chip calibration logic is derived from.
+* ``decoupler`` — inversion of the (PSRO-N, PSRO-P) frequencies into
+  (dV_tn, dV_tp): LUT seeding plus 2-D Newton refinement.
+* ``temperature`` — the process-corrected TSRO-to-temperature estimator.
+* ``calibration`` — the self-calibration engine alternating process
+  extraction and temperature estimation until both converge.
+* ``sensor`` — :class:`PTSensor`, the top-level macro: oscillator bank,
+  counters, calibration engine and energy accounting composed into the
+  object a user instantiates per die.
+"""
+
+from repro.core.calibration import CalibrationState, SelfCalibrationEngine
+from repro.core.decoupler import ProcessLut, extract_process
+from repro.core.drift import DriftAnchoredModel
+from repro.core.errors import (
+    CalibrationError,
+    ExtractionDivergedError,
+    SensorError,
+    TemperatureRangeError,
+)
+from repro.core.sensing_model import SensingModel
+from repro.core.sensor import PTSensor, SensorReading
+from repro.core.supply import SupplyAwareEngine, SupplyCalibrationState
+from repro.core.temperature import estimate_temperature, estimate_temperature_clamped
+from repro.core.tracking import TrackingPolicy, TrackingReading, TrackingSensor
+
+__all__ = [
+    "CalibrationError",
+    "CalibrationState",
+    "DriftAnchoredModel",
+    "ExtractionDivergedError",
+    "PTSensor",
+    "ProcessLut",
+    "SelfCalibrationEngine",
+    "SensingModel",
+    "SensorError",
+    "SensorReading",
+    "SupplyAwareEngine",
+    "SupplyCalibrationState",
+    "TemperatureRangeError",
+    "TrackingPolicy",
+    "TrackingReading",
+    "TrackingSensor",
+    "estimate_temperature",
+    "estimate_temperature_clamped",
+    "extract_process",
+]

@@ -1,0 +1,127 @@
+"""Macro area accounting: the silicon bill of the sensor.
+
+Sensor papers quote area next to energy; this module assembles the macro's
+area from the same design objects everything else uses — the stage
+geometries (transistor W x L with a layout overhead for wells, contacts and
+spacing), the counter flip-flops, the calibration ROM (from the LUT cost
+model) and the bias/control overhead — so the figure moves when the design
+does.
+
+The absolute number is a layout-free estimate (no standard-cell library
+here), but its *structure* is right: the TSRO's deliberately huge limiting
+devices and the calibration ROM are visible as the area they really are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.circuits.inverter import (
+    BalancedStage,
+    NmosSensingStage,
+    PmosSensingStage,
+    StarvedStage,
+)
+from repro.config import SensorConfig
+from repro.core.lut_cost import lut_storage
+from repro.device.technology import Technology
+
+# Active-to-layout blow-up: wells, contacts, poly pitch, routing.
+LAYOUT_OVERHEAD = 6.0
+# One 65 nm-class flip-flop including local routing, m^2.
+FLIPFLOP_AREA = 4.0e-12
+# One ROM bit, m^2.
+ROM_BIT_AREA = 0.3e-12
+# Bias generators, level shifters, control FSM: lumped fixed block, m^2.
+CONTROL_OVERHEAD_AREA = 400e-12
+
+
+@dataclass(frozen=True)
+class MacroArea:
+    """Area breakdown of one sensor macro, all fields in square metres.
+
+    Attributes:
+        oscillators: All four rings' active area (with layout overhead).
+        counters: Counter flip-flops.
+        rom: Calibration LUT storage.
+        control: Bias generation and FSM overhead.
+    """
+
+    oscillators: float
+    counters: float
+    rom: float
+    control: float
+
+    @property
+    def total(self) -> float:
+        return self.oscillators + self.counters + self.rom + self.control
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total * 1e6
+
+    def as_rows(self) -> List[Tuple[str, float]]:
+        """(label, m^2) rows, largest first."""
+        rows = [
+            ("oscillators", self.oscillators),
+            ("counters", self.counters),
+            ("calibration ROM", self.rom),
+            ("bias/control", self.control),
+        ]
+        return sorted(rows, key=lambda row: row[1], reverse=True)
+
+
+def _stage_active_area(devices) -> float:
+    return sum(dev.width * dev.length for dev in devices)
+
+
+def estimate_macro_area(
+    technology: Technology, config: SensorConfig = None
+) -> MacroArea:
+    """Assemble the macro's area from the reference design's geometry."""
+    config = config if config is not None else SensorConfig()
+    nmos, pmos = technology.nmos, technology.pmos
+
+    n_stage = NmosSensingStage()
+    p_stage = PmosSensingStage()
+    t_stage = StarvedStage()
+    ref_stage = BalancedStage()
+
+    per_stage = {
+        "psro_n": _stage_active_area(
+            [n_stage.sensing_device(nmos)] * n_stage.stack
+            + [nmos.scaled(width_scale=n_stage.switch_units)]
+            + [pmos.scaled(width_scale=n_stage.pmos_units)]
+        ),
+        "psro_p": _stage_active_area(
+            [p_stage.sensing_device(pmos)] * p_stage.stack
+            + [pmos.scaled(width_scale=p_stage.switch_units)]
+            + [nmos.scaled(width_scale=p_stage.nmos_units)]
+        ),
+        "tsro": _stage_active_area(
+            list(t_stage.limiting_devices(nmos, pmos))
+            + [
+                nmos.scaled(width_scale=t_stage.switch_units),
+                pmos.scaled(width_scale=t_stage.switch_units),
+            ]
+        ),
+        "ref": _stage_active_area(list(ref_stage.devices(nmos, pmos))),
+    }
+    oscillators = LAYOUT_OVERHEAD * (
+        config.psro_stages * (per_stage["psro_n"] + per_stage["psro_p"] + per_stage["ref"])
+        + config.tsro_stages * per_stage["tsro"]
+    )
+
+    counter_bits = 2 * config.psro_counter_bits + config.tsro_counter_bits
+    counters = counter_bits * FLIPFLOP_AREA
+
+    rom_bits = lut_storage(config.lut_points_per_axis).total_bits
+    rom = rom_bits * ROM_BIT_AREA
+
+    return MacroArea(
+        oscillators=oscillators,
+        counters=counters,
+        rom=rom,
+        control=CONTROL_OVERHEAD_AREA,
+    )

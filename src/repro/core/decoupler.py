@@ -1,0 +1,146 @@
+"""Process decoupling: inverting ring frequencies into threshold shifts.
+
+Given the measured (f_PSRO-N, f_PSRO-P) pair and a temperature estimate,
+find the (dV_tn, dV_tp) the typical model would need to produce those
+frequencies.  The on-chip-realistic implementation is a coarse LUT seed
+followed by a short 2-D Newton refinement on the model — mirroring how the
+silicon stores a characterisation grid and interpolates.
+
+Because the sensitivity matrix is diagonally dominant by construction
+(PSRO-N barely sees V_tp and vice versa — experiment R-F2), Newton from the
+LUT seed converges in a handful of iterations everywhere inside the
+characterised box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ExtractionDivergedError
+from repro.core.sensing_model import SensingModel
+
+
+@dataclass(frozen=True)
+class ProcessLut:
+    """Precomputed (dV_tn, dV_tp) -> (f_N, f_P) characterisation grid.
+
+    Built once at "design time" for a reference temperature and supply;
+    :meth:`seed` inverts it by nearest-neighbour search, which is exactly
+    as dumb as the hardware equivalent and only has to land Newton inside
+    its convergence basin.
+    """
+
+    dvtn_axis: np.ndarray
+    dvtp_axis: np.ndarray
+    f_n_grid: np.ndarray
+    f_p_grid: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        model: SensingModel,
+        temp_k: float = 300.0,
+        vdd: Optional[float] = None,
+        points: Optional[int] = None,
+    ) -> "ProcessLut":
+        """Characterise the model over its validity box.
+
+        Args:
+            model: The design-time sensing model.
+            temp_k: Reference temperature of the characterisation.
+            vdd: Supply of the characterisation (``None`` = nominal).
+            points: Grid points per axis (``None`` = the config's value).
+        """
+        points = model.config.lut_points_per_axis if points is None else points
+        if points < 2:
+            raise ValueError("the LUT needs at least two points per axis")
+        axis = np.linspace(-model.vt_box, model.vt_box, points)
+        f_n = np.empty((points, points))
+        f_p = np.empty((points, points))
+        for i, dvtn in enumerate(axis):
+            for j, dvtp in enumerate(axis):
+                f_n[i, j], f_p[i, j] = model.process_frequencies(
+                    float(dvtn), float(dvtp), temp_k, vdd
+                )
+        return cls(dvtn_axis=axis, dvtp_axis=axis.copy(), f_n_grid=f_n, f_p_grid=f_p)
+
+    def seed(self, f_n: float, f_p: float) -> Tuple[float, float]:
+        """Nearest grid point in relative-frequency distance."""
+        err_n = (self.f_n_grid - f_n) / self.f_n_grid
+        err_p = (self.f_p_grid - f_p) / self.f_p_grid
+        cost = err_n**2 + err_p**2
+        i, j = np.unravel_index(int(np.argmin(cost)), cost.shape)
+        return float(self.dvtn_axis[i]), float(self.dvtp_axis[j])
+
+
+def extract_process(
+    model: SensingModel,
+    f_n_measured: float,
+    f_p_measured: float,
+    temp_k: float,
+    vdd: Optional[float] = None,
+    lut: Optional[ProcessLut] = None,
+    iterations: Optional[int] = None,
+    tolerance_hz: float = 1.0,
+) -> Tuple[float, float]:
+    """Extract (dV_tn, dV_tp) from measured process-ring frequencies.
+
+    Args:
+        model: The design-time sensing model.
+        f_n_measured: Measured PSRO-N frequency in hertz.
+        f_p_measured: Measured PSRO-P frequency in hertz.
+        temp_k: Current temperature estimate in kelvin.
+        vdd: Supply during the measurement (``None`` = nominal).
+        lut: Optional prebuilt LUT for seeding; without it Newton starts
+            from the typical point (0, 0), which also converges but models
+            a LUT-less (cheaper, slower-locking) implementation.
+        iterations: Newton iteration budget (``None`` = the config's value).
+        tolerance_hz: Early-exit threshold on the frequency residual.
+
+    Returns:
+        The extracted ``(dvtn, dvtp)`` in volts.
+
+    Raises:
+        ExtractionDivergedError: If the iterate leaves the characterised box.
+    """
+    if f_n_measured <= 0.0 or f_p_measured <= 0.0:
+        raise ValueError("measured frequencies must be positive")
+    iterations = model.config.newton_iterations if iterations is None else iterations
+
+    if lut is not None:
+        dvtn, dvtp = lut.seed(f_n_measured, f_p_measured)
+    else:
+        dvtn, dvtp = 0.0, 0.0
+
+    target = np.array([f_n_measured, f_p_measured])
+    for _ in range(iterations):
+        f_model = np.array(model.process_frequencies(dvtn, dvtp, temp_k, vdd))
+        residual = f_model - target
+        if np.max(np.abs(residual)) < tolerance_hz:
+            break
+        jac = model.process_jacobian(dvtn, dvtp, temp_k, vdd)
+        try:
+            step = np.linalg.solve(jac, residual)
+        except np.linalg.LinAlgError as exc:
+            raise ExtractionDivergedError(
+                f"singular sensitivity matrix at dvtn={dvtn:.4f}, dvtp={dvtp:.4f}"
+            ) from exc
+        dvtn -= float(step[0])
+        dvtp -= float(step[1])
+        # Clamp to a slightly inflated box so a final iteration may pull a
+        # borderline iterate back inside before we declare divergence.
+        margin = 1.5 * model.vt_box
+        if abs(dvtn) > margin or abs(dvtp) > margin:
+            raise ExtractionDivergedError(
+                f"iterate left the characterised box: dvtn={dvtn:.4f}, dvtp={dvtp:.4f}"
+            )
+
+    if not model.inside_box(dvtn, dvtp):
+        raise ExtractionDivergedError(
+            f"extraction settled outside the characterised box: "
+            f"dvtn={dvtn:.4f}, dvtp={dvtp:.4f}"
+        )
+    return dvtn, dvtp

@@ -1,0 +1,24 @@
+"""Exceptions raised by the sensor core."""
+
+from __future__ import annotations
+
+
+class SensorError(Exception):
+    """Base class for all sensor-core failures."""
+
+
+class ExtractionDivergedError(SensorError):
+    """The process extraction left the model's validity region.
+
+    Raised when the Newton iteration walks outside the characterised
+    (dV_tn, dV_tp) box, which in hardware corresponds to a die so far off
+    the model that the stored LUT cannot represent it.
+    """
+
+
+class TemperatureRangeError(SensorError):
+    """A TSRO reading maps outside the specified temperature range."""
+
+
+class CalibrationError(SensorError):
+    """The self-calibration engine failed to converge."""

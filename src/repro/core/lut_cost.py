@@ -1,0 +1,138 @@
+"""LUT storage-cost analysis: what the on-chip characterisation costs.
+
+The self-calibration engine stores a (dV_tn, dV_tp) -> (f_N, f_P)
+characterisation grid.  On chip that grid is ROM/fuse bits, and its
+resolution is a real design knob:
+
+* too coarse, and the Newton seed lands outside the convergence basin (or
+  a seed-only 'LUT-interpolation' implementation loses accuracy);
+* too fine, and the macro's area is ROM, not sensor.
+
+This module computes the storage bill for a LUT configuration and measures
+the accuracy of a cheap *seed-only* implementation (bilinear LUT inversion
+with no Newton refinement) versus the shipped LUT+Newton scheme, so the
+design point can be justified quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.decoupler import ProcessLut, extract_process
+from repro.core.sensing_model import SensingModel
+
+
+@dataclass(frozen=True)
+class LutCost:
+    """Storage bill of one LUT configuration.
+
+    Attributes:
+        points_per_axis: Grid resolution.
+        entries: Total stored frequency pairs.
+        bits_per_entry: Storage width per frequency sample.
+        total_bits: The ROM bill in bits.
+    """
+
+    points_per_axis: int
+    entries: int
+    bits_per_entry: int
+    total_bits: int
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+
+def lut_storage(points_per_axis: int, bits_per_entry: int = 16) -> LutCost:
+    """Compute the ROM bill of a LUT configuration.
+
+    Each grid point stores two frequency samples (f_N, f_P) at
+    ``bits_per_entry`` each.
+    """
+    if points_per_axis < 2:
+        raise ValueError("need at least two points per axis")
+    if bits_per_entry < 4:
+        raise ValueError("bits_per_entry must be >= 4")
+    entries = 2 * points_per_axis * points_per_axis
+    return LutCost(
+        points_per_axis=points_per_axis,
+        entries=entries,
+        bits_per_entry=bits_per_entry,
+        total_bits=entries * bits_per_entry,
+    )
+
+
+def seed_only_extraction(
+    lut: ProcessLut, f_n_measured: float, f_p_measured: float
+) -> Tuple[float, float]:
+    """LUT-only inversion: nearest seed plus local bilinear refinement.
+
+    The cheapest hardware implementation — no Newton datapath at all.  A
+    local linearisation around the nearest grid cell solves the 2x2 system
+    from the stored neighbours' finite differences.
+    """
+    dvtn0, dvtp0 = lut.seed(f_n_measured, f_p_measured)
+    i = int(np.argmin(np.abs(lut.dvtn_axis - dvtn0)))
+    j = int(np.argmin(np.abs(lut.dvtp_axis - dvtp0)))
+    i = min(max(i, 1), lut.dvtn_axis.size - 2)
+    j = min(max(j, 1), lut.dvtp_axis.size - 2)
+
+    dn = lut.dvtn_axis[i + 1] - lut.dvtn_axis[i - 1]
+    dp = lut.dvtp_axis[j + 1] - lut.dvtp_axis[j - 1]
+    jac = np.array(
+        [
+            [
+                (lut.f_n_grid[i + 1, j] - lut.f_n_grid[i - 1, j]) / dn,
+                (lut.f_n_grid[i, j + 1] - lut.f_n_grid[i, j - 1]) / dp,
+            ],
+            [
+                (lut.f_p_grid[i + 1, j] - lut.f_p_grid[i - 1, j]) / dn,
+                (lut.f_p_grid[i, j + 1] - lut.f_p_grid[i, j - 1]) / dp,
+            ],
+        ]
+    )
+    residual = np.array(
+        [
+            lut.f_n_grid[i, j] - f_n_measured,
+            lut.f_p_grid[i, j] - f_p_measured,
+        ]
+    )
+    step = np.linalg.solve(jac, residual)
+    return float(lut.dvtn_axis[i] - step[0]), float(lut.dvtp_axis[j] - step[1])
+
+
+def compare_implementations(
+    model: SensingModel,
+    points_per_axis: int,
+    probe_points: int = 9,
+    temp_k: float = 300.0,
+) -> Tuple[float, float, LutCost]:
+    """Worst extraction error of seed-only vs LUT+Newton at one LUT size.
+
+    Args:
+        model: The design-time sensing model.
+        points_per_axis: LUT resolution under test.
+        probe_points: Probe grid per axis across the validity box
+            (off-grid points, the hard case for interpolation).
+        temp_k: Probe temperature.
+
+    Returns:
+        ``(seed_only_worst_v, newton_worst_v, storage)`` — worst absolute
+        dV_t error of each implementation in volts, plus the ROM bill.
+    """
+    lut = ProcessLut.build(model, temp_k=temp_k, points=points_per_axis)
+    span = 0.9 * model.vt_box
+    probes = np.linspace(-span, span, probe_points)
+    worst_seed = 0.0
+    worst_newton = 0.0
+    for dvtn in probes:
+        for dvtp in probes:
+            f_n, f_p = model.process_frequencies(float(dvtn), float(dvtp), temp_k)
+            got_n, got_p = seed_only_extraction(lut, f_n, f_p)
+            worst_seed = max(worst_seed, abs(got_n - dvtn), abs(got_p - dvtp))
+            ref_n, ref_p = extract_process(model, f_n, f_p, temp_k, lut=lut)
+            worst_newton = max(worst_newton, abs(ref_n - dvtn), abs(ref_p - dvtp))
+    return worst_seed, worst_newton, lut_storage(points_per_axis)

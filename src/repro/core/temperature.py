@@ -1,0 +1,90 @@
+"""Process-corrected temperature estimation from the TSRO frequency.
+
+The TSRO frequency is exponential in temperature *and* strongly dependent on
+the die's thresholds — an uncorrected TSRO is a bad thermometer (experiment
+R-F4's "before" curve).  With the extracted (dV_tn, dV_tp) plugged into the
+typical model, the model's f_TSRO(T) curve becomes die-specific and can be
+inverted for temperature.  The curve is strictly monotone increasing in T
+over any physical range, so bracketed root finding is exact and robust.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from scipy import optimize
+
+from repro.core.errors import TemperatureRangeError
+from repro.core.sensing_model import SensingModel
+from repro.units import celsius_to_kelvin
+
+# How far beyond the specified range the estimator searches before
+# declaring the reading out of range.  Sensors report slightly beyond spec
+# rather than failing at the boundary.
+_RANGE_GUARD_K = 15.0
+
+
+def estimate_temperature(
+    model: SensingModel,
+    f_t_measured: float,
+    dvtn: float,
+    dvtp: float,
+    vdd: Optional[float] = None,
+    tolerance_k: float = 1e-4,
+) -> float:
+    """Invert the die-corrected TSRO curve for temperature.
+
+    Args:
+        model: The design-time sensing model.
+        f_t_measured: Measured TSRO frequency in hertz.
+        dvtn: Extracted NMOS threshold shift of the die, volts.
+        dvtp: Extracted PMOS threshold-magnitude shift, volts.
+        vdd: Supply during the measurement (``None`` = nominal).
+        tolerance_k: Root-finding tolerance in kelvin.
+
+    Returns:
+        The estimated junction temperature in kelvin.
+
+    Raises:
+        TemperatureRangeError: If the reading falls outside the specified
+            range (plus a small guard band).
+    """
+    if f_t_measured <= 0.0:
+        raise ValueError("measured TSRO frequency must be positive")
+
+    lo = celsius_to_kelvin(model.config.temp_min_c) - _RANGE_GUARD_K
+    hi = celsius_to_kelvin(model.config.temp_max_c) + _RANGE_GUARD_K
+
+    def residual(temp_k: float) -> float:
+        return model.tsro_frequency(dvtn, dvtp, temp_k, vdd) - f_t_measured
+
+    res_lo, res_hi = residual(lo), residual(hi)
+    if res_lo > 0.0 or res_hi < 0.0:
+        raise TemperatureRangeError(
+            f"TSRO frequency {f_t_measured/1e6:.3f} MHz maps outside "
+            f"[{model.config.temp_min_c}, {model.config.temp_max_c}] degC"
+        )
+    return float(optimize.brentq(residual, lo, hi, xtol=tolerance_k))
+
+
+def estimate_temperature_clamped(
+    model: SensingModel,
+    f_t_measured: float,
+    dvtn: float,
+    dvtp: float,
+    vdd: Optional[float] = None,
+) -> float:
+    """Like :func:`estimate_temperature` but saturating at the range edges.
+
+    Hardware sensors report a pegged code rather than raising; baseline
+    sensors with large uncorrected process error need this behaviour to be
+    evaluated across the full range at all.
+    """
+    try:
+        return estimate_temperature(model, f_t_measured, dvtn, dvtp, vdd)
+    except TemperatureRangeError:
+        lo = celsius_to_kelvin(model.config.temp_min_c) - _RANGE_GUARD_K
+        f_lo = model.tsro_frequency(dvtn, dvtp, lo, vdd)
+        if f_t_measured < f_lo:
+            return lo
+        return celsius_to_kelvin(model.config.temp_max_c) + _RANGE_GUARD_K

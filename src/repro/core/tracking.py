@@ -1,0 +1,151 @@
+"""Runtime tracking mode: cheap temperature reads on a stored calibration.
+
+The paper's full conversion re-extracts the process point every time — the
+right thing at power-on, but wasteful for continuous thermal monitoring:
+a die's process point does not move between samples (it drifts over months,
+via aging, not milliseconds).  The tracking mode splits the sensor's
+operation the way a deployed monitoring network would:
+
+* **full conversion** (the paper's 367.5 pJ-class read) at power-on and
+  periodically thereafter — refreshes the stored (dV_tn, dV_tp);
+* **fast conversion** in between — only the TSRO runs, inverted against the
+  *stored* process point.  The PSRO rings stay power-gated, cutting the
+  per-sample energy by roughly the two PSRO windows (~90 % of the budget).
+
+The recalibration cadence bounds how much aging/supply drift can accumulate
+between refreshes; experiment R-E3 quantifies the energy/accuracy trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import SensorError
+from repro.core.sensor import PTSensor, SensorReading
+from repro.core.temperature import estimate_temperature_clamped
+from repro.readout.energy import ConversionEnergy, conversion_energy
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+
+
+@dataclass(frozen=True)
+class TrackingPolicy:
+    """When the tracking sensor refreshes its stored calibration.
+
+    Attributes:
+        recalibration_interval: Full conversion every N reads (N >= 1;
+            1 degenerates to the paper's always-full behaviour).
+        max_fast_failures: Consecutive fast-read failures (range errors)
+            that force an early full conversion.
+    """
+
+    recalibration_interval: int = 64
+    max_fast_failures: int = 2
+
+    def __post_init__(self) -> None:
+        if self.recalibration_interval < 1:
+            raise ValueError("recalibration_interval must be >= 1")
+        if self.max_fast_failures < 1:
+            raise ValueError("max_fast_failures must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrackingReading:
+    """One tracking-mode sample.
+
+    Attributes:
+        temperature_c: Estimated junction temperature, Celsius.
+        mode: ``"full"`` or ``"fast"``.
+        energy_j: Energy of this sample in joules.
+        dvtn: Process state used for the inversion (stored or fresh), volts.
+        dvtp: Process state used for the inversion, volts.
+    """
+
+    temperature_c: float
+    mode: str
+    energy_j: float
+    dvtn: float
+    dvtp: float
+
+
+class TrackingSensor:
+    """A PT sensor operated in full/fast tracking mode.
+
+    Args:
+        sensor: The underlying macro.
+        policy: Recalibration cadence; ``None`` uses the defaults.
+    """
+
+    def __init__(self, sensor: PTSensor, policy: Optional[TrackingPolicy] = None) -> None:
+        self.sensor = sensor
+        self.policy = policy if policy is not None else TrackingPolicy()
+        self._stored_dvtn: Optional[float] = None
+        self._stored_dvtp: Optional[float] = None
+        self._reads_since_full = 0
+        self._fast_failures = 0
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether a stored process point exists."""
+        return self._stored_dvtn is not None
+
+    def _fast_energy(self, reading_energy: ConversionEnergy) -> float:
+        """Energy of a fast conversion: TSRO phase + its counter share."""
+        return (
+            reading_energy.tsro
+            + reading_energy.counters / 3.0
+            + reading_energy.digital / 2.0
+        )
+
+    def _full_read(self, temp_c: float, vdd: Optional[float]) -> TrackingReading:
+        reading: SensorReading = self.sensor.read(temp_c, vdd=vdd)
+        self._stored_dvtn = reading.dvtn
+        self._stored_dvtp = reading.dvtp
+        self._reads_since_full = 0
+        self._fast_failures = 0
+        return TrackingReading(
+            temperature_c=reading.temperature_c,
+            mode="full",
+            energy_j=reading.energy.total,
+            dvtn=reading.dvtn,
+            dvtp=reading.dvtp,
+        )
+
+    def _fast_read(self, temp_c: float, vdd: Optional[float]) -> TrackingReading:
+        env = self.sensor.physical_environment(celsius_to_kelvin(temp_c), vdd)
+        f_t = self.sensor.bank.tsro.frequency(env)
+        count = self.sensor._timer_t.count(f_t, self.sensor._rng)
+        f_t_hat = self.sensor._timer_t.frequency_from_count(count)
+        temp_k = estimate_temperature_clamped(
+            self.sensor.model, f_t_hat, self._stored_dvtn, self._stored_dvtp
+        )
+        full_energy = conversion_energy(self.sensor.bank, env, self.sensor.config)
+        self._reads_since_full += 1
+        return TrackingReading(
+            temperature_c=kelvin_to_celsius(temp_k),
+            mode="fast",
+            energy_j=self._fast_energy(full_energy),
+            dvtn=self._stored_dvtn,
+            dvtp=self._stored_dvtp,
+        )
+
+    def read(self, temp_c: float, vdd: Optional[float] = None) -> TrackingReading:
+        """One sample: fast when the stored calibration is fresh enough.
+
+        Falls back to a full conversion at power-on, on schedule, or after
+        repeated fast-read failures.
+        """
+        due = (
+            not self.calibrated
+            or self._reads_since_full >= self.policy.recalibration_interval - 1
+            or self._fast_failures >= self.policy.max_fast_failures
+        )
+        if due:
+            return self._full_read(temp_c, vdd)
+        try:
+            return self._fast_read(temp_c, vdd)
+        except SensorError:
+            self._fast_failures += 1
+            if self._fast_failures >= self.policy.max_fast_failures:
+                return self._full_read(temp_c, vdd)
+            raise

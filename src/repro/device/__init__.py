@@ -1,0 +1,53 @@
+"""65 nm-class analytic MOSFET modelling substrate.
+
+This package replaces the paper's silicon/SPICE substrate with a
+physics-based analytic model (EKV-style weak/strong inversion interpolation
+with velocity saturation and first-order temperature laws).  See DESIGN.md's
+substitution ledger for why this preserves the behaviour the sensor relies
+on.
+"""
+
+from repro.device.bodybias import BodyBiasGenerator, compensate_die
+from repro.device.mosfet import (
+    MosfetParams,
+    drain_current,
+    gate_capacitance,
+    inversion_coefficient,
+    saturation_current,
+    specific_current,
+    subthreshold_swing,
+    threshold_voltage,
+    transconductance,
+)
+from repro.device.stack import (
+    parallel_combine,
+    series_stack_current,
+    series_stack_params,
+)
+from repro.device.technology import (
+    CornerName,
+    ProcessCorner,
+    Technology,
+    nominal_65nm,
+)
+
+__all__ = [
+    "BodyBiasGenerator",
+    "CornerName",
+    "compensate_die",
+    "MosfetParams",
+    "ProcessCorner",
+    "Technology",
+    "drain_current",
+    "gate_capacitance",
+    "inversion_coefficient",
+    "nominal_65nm",
+    "parallel_combine",
+    "saturation_current",
+    "series_stack_current",
+    "series_stack_params",
+    "specific_current",
+    "subthreshold_swing",
+    "threshold_voltage",
+    "transconductance",
+]

@@ -1,0 +1,88 @@
+"""Adaptive body bias (ABB): actuating on the sensor's process read-out.
+
+A process monitor is only half a loop; the classic actuator it drives is
+the body-bias generator.  Back-biasing a well shifts the threshold through
+the body effect:
+
+    dV_t = -k_body * V_bb       (forward bias lowers V_t, reverse raises)
+
+so a die whose sensor reports dV_tn = +20 mV can apply ~+0.13 V of forward
+body bias and pull itself back to the typical point — collapsing the
+performance/leakage spread of the whole population.  This module models
+the actuator (with its range and DAC-quantised steps) and the per-die
+compensation policy; experiment R-E7 measures the spread collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class BodyBiasGenerator:
+    """One tier's body-bias actuator.
+
+    Attributes:
+        k_body: Threshold sensitivity to body bias, volts per volt
+            (0.1-0.2 in partially-depleted bulk at 65 nm).
+        vbb_range: Maximum bias magnitude either direction, volts (junction
+            leakage caps forward bias near 0.4-0.5 V).
+        dac_steps: Number of programmable steps across the full range
+            (the bias DAC's resolution).
+    """
+
+    k_body: float = 0.15
+    vbb_range: float = 0.45
+    dac_steps: int = 32
+
+    def __post_init__(self) -> None:
+        if self.k_body <= 0.0:
+            raise ValueError("k_body must be positive")
+        if self.vbb_range <= 0.0:
+            raise ValueError("vbb_range must be positive")
+        if self.dac_steps < 2:
+            raise ValueError("the bias DAC needs at least two steps")
+
+    @property
+    def dac_lsb(self) -> float:
+        """Bias step size in volts."""
+        return 2.0 * self.vbb_range / (self.dac_steps - 1)
+
+    def quantise(self, vbb: float) -> float:
+        """Clamp and quantise a requested bias to the DAC grid."""
+        clamped = max(-self.vbb_range, min(self.vbb_range, vbb))
+        steps = round((clamped + self.vbb_range) / self.dac_lsb)
+        return -self.vbb_range + steps * self.dac_lsb
+
+    def bias_for_shift(self, target_dvt: float) -> float:
+        """DAC-quantised bias producing (approximately) ``target_dvt``."""
+        return self.quantise(-target_dvt / self.k_body)
+
+    def vt_shift(self, vbb: float) -> float:
+        """Threshold shift produced by a bias, volts."""
+        if abs(vbb) > self.vbb_range + 1e-12:
+            raise ValueError("bias outside the generator's range")
+        return -self.k_body * vbb
+
+
+def compensate_die(
+    generator: BodyBiasGenerator, measured_dvtn: float, measured_dvtp: float
+) -> Tuple[float, float, float, float]:
+    """Choose per-well biases that cancel a die's measured process point.
+
+    Args:
+        generator: The bias actuator (shared spec for both wells here).
+        measured_dvtn: Sensor-extracted NMOS shift, volts.
+        measured_dvtp: Sensor-extracted PMOS shift, volts.
+
+    Returns:
+        ``(vbb_n, vbb_p, residual_dvtn, residual_dvtp)`` — the applied
+        biases and the post-compensation threshold shifts (nonzero because
+        of DAC quantisation and range clipping).
+    """
+    vbb_n = generator.bias_for_shift(-measured_dvtn)
+    vbb_p = generator.bias_for_shift(-measured_dvtp)
+    residual_n = measured_dvtn + generator.vt_shift(vbb_n)
+    residual_p = measured_dvtp + generator.vt_shift(vbb_p)
+    return vbb_n, vbb_p, residual_n, residual_p

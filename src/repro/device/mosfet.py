@@ -1,0 +1,208 @@
+"""Analytic MOSFET drain-current model.
+
+The model is an EKV-style charge-based interpolation that is smooth and
+accurate across weak, moderate and strong inversion — exactly the operating
+regions the sensor's ring oscillators span (the temperature-sensitive RO is
+biased in weak inversion, the process-sensitive ROs in strong inversion).
+
+The forward/reverse normalised currents are
+
+    i_f = ln^2(1 + exp((V_P - V_S) / (2 U_T)))
+    i_r = ln^2(1 + exp((V_P - V_D) / (2 U_T)))
+
+with the pinch-off voltage ``V_P = (V_G - V_T) / n`` and the specific current
+
+    I_spec = 2 n mu(T) C_ox (W / L) U_T^2
+
+so that ``I_D = I_spec (i_f - i_r)``, reduced by a velocity-saturation factor
+``1 / (1 + lambda_c sqrt(i_f))`` that captures the alpha-power-law behaviour
+of short-channel devices.
+
+Temperature enters through three first-order laws:
+
+* ``U_T = k_B T / q`` (thermal voltage),
+* ``V_T(T) = V_T0 + (dV_T/dT)(T - T0)`` (threshold roll-off, negative),
+* ``mu(T) = mu0 (T / T0)^{-m}`` (phonon-limited mobility).
+
+The opposing signs of the V_T and mobility effects create the
+zero-temperature-coefficient (ZTC) bias point that the paper's
+process-sensitive ring oscillators exploit.
+
+All voltages are magnitudes referenced to the source, so the same code
+serves NMOS and PMOS; callers flip signs at the circuit level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.units import thermal_voltage
+
+ArrayLike = "float | np.ndarray"
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Parameters of a single MOSFET instance.
+
+    Attributes:
+        polarity: ``"n"`` or ``"p"``; informational (the model works on
+            voltage magnitudes) but used by circuit builders.
+        vt0: Threshold-voltage magnitude at ``temp_ref`` in volts.
+        n_slope: Subthreshold slope factor (dimensionless, typically 1.3-1.4).
+        mu0: Low-field carrier mobility at ``temp_ref`` in m^2/(V*s).
+        cox: Gate-oxide capacitance per unit area in F/m^2.
+        width: Drawn channel width in metres.
+        length: Drawn channel length in metres.
+        dvt_dt: Threshold temperature coefficient in V/K (negative: the
+            threshold magnitude shrinks as the die heats up).
+        mobility_exponent: Exponent ``m`` of the mobility power law.
+        lambda_c: Velocity-saturation coefficient (dimensionless); larger
+            values bend the strong-inversion current from quadratic toward
+            linear, emulating the alpha-power law with alpha < 2.
+        temp_ref: Reference temperature in kelvin for ``vt0`` and ``mu0``.
+    """
+
+    polarity: str
+    vt0: float
+    n_slope: float
+    mu0: float
+    cox: float
+    width: float
+    length: float
+    dvt_dt: float
+    mobility_exponent: float
+    lambda_c: float
+    temp_ref: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.vt0 <= 0.0:
+            raise ValueError("vt0 is a magnitude and must be positive")
+        if self.n_slope < 1.0:
+            raise ValueError("subthreshold slope factor must be >= 1")
+        if min(self.mu0, self.cox, self.width, self.length) <= 0.0:
+            raise ValueError("mu0, cox, width and length must be positive")
+        if self.lambda_c < 0.0:
+            raise ValueError("lambda_c must be non-negative")
+
+    def with_vt_shift(self, delta_vt: float) -> "MosfetParams":
+        """Return a copy whose threshold is shifted by ``delta_vt`` volts."""
+        return replace(self, vt0=self.vt0 + delta_vt)
+
+    def with_mobility_scale(self, scale: float) -> "MosfetParams":
+        """Return a copy whose mobility is multiplied by ``scale``."""
+        if scale <= 0.0:
+            raise ValueError("mobility scale must be positive")
+        return replace(self, mu0=self.mu0 * scale)
+
+    def scaled(self, width_scale: float = 1.0, length_scale: float = 1.0) -> "MosfetParams":
+        """Return a geometrically scaled copy."""
+        if width_scale <= 0.0 or length_scale <= 0.0:
+            raise ValueError("geometry scales must be positive")
+        return replace(
+            self, width=self.width * width_scale, length=self.length * length_scale
+        )
+
+
+def threshold_voltage(params: MosfetParams, temp_k: float) -> float:
+    """Threshold-voltage magnitude at temperature ``temp_k``."""
+    return params.vt0 + params.dvt_dt * (temp_k - params.temp_ref)
+
+
+def _mobility(params: MosfetParams, temp_k: float) -> float:
+    return params.mu0 * (temp_k / params.temp_ref) ** (-params.mobility_exponent)
+
+
+def specific_current(params: MosfetParams, temp_k: float) -> float:
+    """EKV specific current ``I_spec = 2 n mu C_ox (W/L) U_T^2`` in amperes."""
+    ut = thermal_voltage(temp_k)
+    return (
+        2.0
+        * params.n_slope
+        * _mobility(params, temp_k)
+        * params.cox
+        * (params.width / params.length)
+        * ut
+        * ut
+    )
+
+
+def _softplus(x):
+    """Numerically stable ``ln(1 + exp(x))`` for scalars and arrays."""
+    return np.logaddexp(0.0, x)
+
+
+def inversion_coefficient(params: MosfetParams, vgs, temp_k: float):
+    """Forward normalised current ``i_f`` at source-referenced gate drive.
+
+    ``i_f << 1`` is weak inversion, ``i_f >> 1`` strong inversion.
+    """
+    ut = thermal_voltage(temp_k)
+    vp = (np.asarray(vgs, dtype=float) - threshold_voltage(params, temp_k)) / params.n_slope
+    i_f = _softplus(vp / (2.0 * ut)) ** 2
+    if np.ndim(vgs) == 0:
+        return float(i_f)
+    return i_f
+
+
+def drain_current(params: MosfetParams, vgs, vds, temp_k: float):
+    """Drain-current magnitude in amperes.
+
+    ``vgs`` and ``vds`` are voltage magnitudes referenced to the source (use
+    the complementary magnitudes for PMOS).  Negative drives are legal and
+    simply land deep in weak inversion.
+    """
+    ut = thermal_voltage(temp_k)
+    vt = threshold_voltage(params, temp_k)
+    vgs = np.asarray(vgs, dtype=float)
+    vds = np.asarray(vds, dtype=float)
+    vp = (vgs - vt) / params.n_slope
+    i_f = _softplus(vp / (2.0 * ut)) ** 2
+    i_r = _softplus((vp - vds) / (2.0 * ut)) ** 2
+    vsat = 1.0 + params.lambda_c * np.sqrt(i_f)
+    current = specific_current(params, temp_k) * (i_f - i_r) / vsat
+    if np.ndim(current) == 0:
+        return float(current)
+    return current
+
+
+def saturation_current(params: MosfetParams, vgs, temp_k: float):
+    """Drain current with the drain in full saturation (``i_r -> 0``)."""
+    ut = thermal_voltage(temp_k)
+    vt = threshold_voltage(params, temp_k)
+    vgs = np.asarray(vgs, dtype=float)
+    vp = (vgs - vt) / params.n_slope
+    i_f = _softplus(vp / (2.0 * ut)) ** 2
+    vsat = 1.0 + params.lambda_c * np.sqrt(i_f)
+    current = specific_current(params, temp_k) * i_f / vsat
+    if np.ndim(current) == 0:
+        return float(current)
+    return current
+
+
+def transconductance(params: MosfetParams, vgs: float, temp_k: float, delta: float = 1e-5) -> float:
+    """Numeric ``g_m = dI_D/dV_GS`` in saturation, in siemens."""
+    hi = saturation_current(params, vgs + delta, temp_k)
+    lo = saturation_current(params, vgs - delta, temp_k)
+    return (hi - lo) / (2.0 * delta)
+
+
+def subthreshold_swing(params: MosfetParams, temp_k: float) -> float:
+    """Subthreshold swing ``S = n U_T ln 10`` in volts per decade."""
+    return params.n_slope * thermal_voltage(temp_k) * np.log(10.0)
+
+
+def gate_capacitance(params: MosfetParams, overhang_factor: float = 1.3) -> float:
+    """Total gate capacitance in farads.
+
+    ``overhang_factor`` lumps overlap and fringe contributions on top of the
+    intrinsic ``C_ox W L`` channel capacitance; 1.3 is a typical planar-bulk
+    value.
+    """
+    if overhang_factor < 1.0:
+        raise ValueError("overhang_factor must be >= 1")
+    return params.cox * params.width * params.length * overhang_factor

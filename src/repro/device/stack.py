@@ -1,0 +1,58 @@
+"""Transistor stacks: effective drive of series/parallel device groups.
+
+The process-sensitive ring oscillators use stacked (series) devices to
+amplify the sensitivity of stage delay to one threshold while suppressing the
+other.  In strong inversion a series stack of ``k`` identical transistors
+behaves to first order like one transistor of length ``k L``; in weak
+inversion the stack effect additionally raises the effective threshold
+because the intermediate node rises above the source.  Both effects are
+captured here with the standard approximations used in leakage/stack-effect
+literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.device.mosfet import MosfetParams, drain_current
+from repro.units import thermal_voltage
+
+# Empirical stack-effect threshold lift per stacked device in weak inversion,
+# expressed as a multiple of the thermal voltage (DIBL + body effect on the
+# internal node).  Typical bulk-CMOS values are 1-2 U_T per device.
+_STACK_EFFECT_UT_PER_DEVICE = 1.5
+
+
+def series_stack_params(params: MosfetParams, count: int, temp_k: float) -> MosfetParams:
+    """Equivalent single-device parameters for ``count`` series transistors.
+
+    The equivalent device has length ``count * L`` (strong-inversion current
+    division) and a threshold lifted by the weak-inversion stack effect.
+    """
+    if count < 1:
+        raise ValueError("stack count must be >= 1")
+    if count == 1:
+        return params
+    vt_lift = _STACK_EFFECT_UT_PER_DEVICE * (count - 1) * thermal_voltage(temp_k)
+    return replace(
+        params,
+        length=params.length * count,
+        vt0=params.vt0 + vt_lift,
+        # Velocity saturation weakens as the effective channel lengthens.
+        lambda_c=params.lambda_c / count,
+    )
+
+
+def series_stack_current(
+    params: MosfetParams, count: int, vgs: float, vds: float, temp_k: float
+) -> float:
+    """Drain current of a series stack of ``count`` identical devices."""
+    equivalent = series_stack_params(params, count, temp_k)
+    return drain_current(equivalent, vgs, vds, temp_k)
+
+
+def parallel_combine(params: MosfetParams, count: int) -> MosfetParams:
+    """Equivalent single-device parameters for ``count`` parallel fingers."""
+    if count < 1:
+        raise ValueError("finger count must be >= 1")
+    return replace(params, width=params.width * count)

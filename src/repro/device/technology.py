@@ -1,0 +1,161 @@
+"""65 nm-class technology description and process corners.
+
+The paper's sensor was fabricated in TSMC 65 nm CMOS.  We cannot ship foundry
+models, so this module defines a *65 nm-class* low-power parameter set with
+the textbook values for that node (V_t ~ 0.4 V, C_ox ~ 17 fF/um^2,
+V_DD = 1.2 V) and the five classic corners.  The sensor's behaviour depends
+on the structure of the model (V_t / mobility / U_T temperature laws, corner
+geometry in the (V_tn, V_tp) plane), not on matching a proprietary deck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.device.mosfet import MosfetParams
+
+CornerName = str
+"""One of ``"TT"``, ``"FF"``, ``"SS"``, ``"FS"``, ``"SF"``."""
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """A global (die-to-die) process corner.
+
+    Attributes:
+        name: Corner label; first letter is the NMOS speed, second the PMOS
+            speed (``F`` fast = low threshold, ``S`` slow = high threshold).
+        dvtn: NMOS threshold shift relative to typical, in volts.
+        dvtp: PMOS threshold-magnitude shift relative to typical, in volts.
+        mun_scale: NMOS mobility multiplier relative to typical.
+        mup_scale: PMOS mobility multiplier relative to typical.
+    """
+
+    name: CornerName
+    dvtn: float
+    dvtp: float
+    mun_scale: float = 1.0
+    mup_scale: float = 1.0
+
+
+def _standard_corners(vt_span: float, mu_span: float) -> Dict[CornerName, ProcessCorner]:
+    fast_mu = 1.0 + mu_span
+    slow_mu = 1.0 - mu_span
+    return {
+        "TT": ProcessCorner("TT", 0.0, 0.0, 1.0, 1.0),
+        "FF": ProcessCorner("FF", -vt_span, -vt_span, fast_mu, fast_mu),
+        "SS": ProcessCorner("SS", +vt_span, +vt_span, slow_mu, slow_mu),
+        "FS": ProcessCorner("FS", -vt_span, +vt_span, fast_mu, slow_mu),
+        "SF": ProcessCorner("SF", +vt_span, -vt_span, slow_mu, fast_mu),
+    }
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A CMOS technology: device templates plus environment defaults.
+
+    Attributes:
+        name: Human-readable technology label.
+        vdd: Nominal supply voltage in volts.
+        nmos: Unit-width NMOS template (width = ``unit_width``).
+        pmos: Unit-width PMOS template.
+        corners: The five global corners.
+        wire_cap_per_um: Local interconnect capacitance in F/um, used for
+            ring-oscillator stage loading.
+        avt_n: NMOS Pelgrom mismatch coefficient in V*m (sigma_Vt =
+            avt / sqrt(W L)).
+        avt_p: PMOS Pelgrom mismatch coefficient in V*m.
+        temp_nominal: Nominal die temperature in kelvin.
+    """
+
+    name: str
+    vdd: float
+    nmos: MosfetParams
+    pmos: MosfetParams
+    corners: Dict[CornerName, ProcessCorner] = field(repr=False)
+    wire_cap_per_um: float
+    avt_n: float
+    avt_p: float
+    temp_nominal: float = 300.0
+
+    def corner(self, name: CornerName) -> ProcessCorner:
+        """Look up a corner by name, raising ``KeyError`` with context."""
+        try:
+            return self.corners[name]
+        except KeyError:
+            known = ", ".join(sorted(self.corners))
+            raise KeyError(f"unknown corner {name!r}; known corners: {known}") from None
+
+    def devices_at(
+        self, corner: ProcessCorner, dvtn_extra: float = 0.0, dvtp_extra: float = 0.0
+    ) -> Tuple[MosfetParams, MosfetParams]:
+        """NMOS/PMOS templates shifted to a corner plus local V_t offsets.
+
+        ``dvtn_extra`` / ``dvtp_extra`` carry within-die systematic and random
+        components on top of the global corner; the variation package feeds
+        them in.
+        """
+        nmos = replace(
+            self.nmos,
+            vt0=self.nmos.vt0 + corner.dvtn + dvtn_extra,
+            mu0=self.nmos.mu0 * corner.mun_scale,
+        )
+        pmos = replace(
+            self.pmos,
+            vt0=self.pmos.vt0 + corner.dvtp + dvtp_extra,
+            mu0=self.pmos.mu0 * corner.mup_scale,
+        )
+        return nmos, pmos
+
+    def with_vdd(self, vdd: float) -> "Technology":
+        """Return a copy of the technology at a different supply voltage."""
+        if vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        return replace(self, vdd=vdd)
+
+
+def nominal_65nm() -> Technology:
+    """The 65 nm-class low-power technology used throughout the reproduction.
+
+    Values are standard for the node: 1.2 V supply, ~0.42/0.40 V thresholds,
+    effective mobilities of ~250/60 cm^2/Vs, C_ox of ~17 fF/um^2, threshold
+    temperature coefficients just under -1 mV/K, and +/-40 mV corner spans.
+    """
+    unit_width = 0.6e-6
+    drawn_length = 60e-9
+    nmos = MosfetParams(
+        polarity="n",
+        vt0=0.42,
+        n_slope=1.35,
+        mu0=0.025,
+        cox=1.7e-2,
+        width=unit_width,
+        length=drawn_length,
+        dvt_dt=-0.9e-3,
+        mobility_exponent=1.4,
+        lambda_c=0.35,
+    )
+    pmos = MosfetParams(
+        polarity="p",
+        vt0=0.40,
+        n_slope=1.38,
+        mu0=0.0065,
+        cox=1.7e-2,
+        width=unit_width,
+        length=drawn_length,
+        dvt_dt=-1.0e-3,
+        mobility_exponent=1.2,
+        lambda_c=0.20,
+    )
+    return Technology(
+        name="generic-65nm-LP",
+        vdd=1.2,
+        nmos=nmos,
+        pmos=pmos,
+        corners=_standard_corners(vt_span=0.040, mu_span=0.06),
+        wire_cap_per_um=0.20e-15,
+        avt_n=3.5e-9,  # 3.5 mV*um expressed in V*m
+        avt_p=3.0e-9,
+        temp_nominal=300.0,
+    )

@@ -1,0 +1,26 @@
+"""Event-driven simulation of the sensor's digital back-end.
+
+The read-out package (:mod:`repro.readout`) models counters *behaviourally*
+(closed-form counts and energies).  This package builds the same back-end
+at the event level — a discrete-event simulator, toggle-flip-flop ripple
+counters, gated oscillator sources and the conversion FSM — so the
+behavioural models can be *validated* rather than trusted:
+
+* event-driven counts match the behavioural ``WindowCounter``/
+  ``PeriodTimer`` within one LSB (tests assert it);
+* actual flip-flop toggle counts validate the "two toggles per increment"
+  energy rule of :func:`repro.circuits.digital.ripple_counter_energy`;
+* ripple-carry settle time is checked against the sampling margin.
+"""
+
+from repro.digital.conversion_fsm import ConversionResult, simulate_conversion
+from repro.digital.elements import GatedOscillator, RippleCounterSim
+from repro.digital.simulator import EventSimulator
+
+__all__ = [
+    "ConversionResult",
+    "EventSimulator",
+    "GatedOscillator",
+    "RippleCounterSim",
+    "simulate_conversion",
+]

@@ -1,0 +1,156 @@
+"""Event-level simulation of one full sensor conversion.
+
+Replays the conversion sequencer's schedule against real (event-driven)
+oscillators and ripple counters:
+
+1. enable PSRO-N, count its edges for one PSRO window, disable;
+2. same for PSRO-P;
+3. enable the TSRO and the reference-clock counter together; stop the
+   reference counter when the TSRO completes its period budget
+   (period-timing, as in :class:`repro.readout.PeriodTimer`).
+
+The result carries both the counts (to cross-check the behavioural models)
+and the observed flip-flop toggle totals (to validate the energy rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.oscillator_bank import BankFrequencies
+from repro.config import SensorConfig
+from repro.digital.elements import GatedOscillator, RippleCounterSim
+from repro.digital.simulator import EventSimulator
+
+
+@dataclass(frozen=True)
+class ConversionResult:
+    """Counts and event statistics of one event-level conversion.
+
+    Attributes:
+        counts_n: PSRO-N edges counted in its window.
+        counts_p: PSRO-P edges counted in its window.
+        counts_ref: Reference-clock ticks during the TSRO period budget.
+        tsro_periods_seen: TSRO periods actually elapsed (should equal the
+            configured budget).
+        counter_toggles: Total flip-flop toggles across all three counters.
+        conversion_time: End-to-end conversion time in seconds.
+        events: Total simulator events processed.
+    """
+
+    counts_n: int
+    counts_p: int
+    counts_ref: int
+    tsro_periods_seen: int
+    counter_toggles: int
+    conversion_time: float
+    events: int
+
+
+def simulate_conversion(
+    frequencies: BankFrequencies,
+    config: SensorConfig,
+    phase_n: float = 0.5,
+    phase_p: float = 0.5,
+    phase_t: float = 0.5,
+) -> ConversionResult:
+    """Run one conversion at the event level.
+
+    Args:
+        frequencies: The true oscillator frequencies during the conversion
+            (from the analog model; the digital back-end never sees
+            frequencies, only edges).
+        config: Sensor design parameters.
+        phase_n: PSRO-N start phase in [0, 1) — the behavioural model's
+            uniform phase variable, here an explicit input so tests can
+            sweep it.
+        phase_p: PSRO-P start phase.
+        phase_t: TSRO start phase.
+
+    Returns:
+        The event-level :class:`ConversionResult`.
+    """
+    sim = EventSimulator()
+
+    counter = RippleCounterSim(sim, bits=max(config.psro_counter_bits, config.tsro_counter_bits))
+    toggles_total = 0
+    counts = {}
+
+    # Phase 1 + 2: windowed edge counting for the process rings.
+    time_cursor = 0.0
+    for name, frequency, phase in (
+        ("n", frequencies.psro_n, phase_n),
+        ("p", frequencies.psro_p, phase_p),
+    ):
+        counter.reset()
+        osc = GatedOscillator(
+            sim, period=1.0 / frequency, on_edge=counter.clock, initial_phase=phase
+        )
+        osc.enable()
+        window_end = time_cursor + config.psro_window
+        sim.run_until(window_end)
+        osc.disable()
+        # Let the carry chain settle before sampling, as hardware must.
+        sim.run_until(window_end + counter.worst_case_settle_time())
+        counts[name] = counter.value()
+        toggles_total += counter.total_toggles()
+        time_cursor = sim.now
+
+    # Phase 3: period timing — count the reference clock while the TSRO
+    # completes its period budget.
+    counter.reset()
+    ref_osc = GatedOscillator(
+        sim, period=1.0 / config.ref_clock_hz, on_edge=counter.clock, initial_phase=phase_t
+    )
+    tsro_periods = 0
+    started = [False]
+    done_at = [None]
+
+    def tsro_edge() -> None:
+        # The first TSRO edge opens the timing interval (ungates the
+        # reference clock); each later edge completes one period; the
+        # budget-completing edge gates the reference clock again — exactly
+        # the hardware's start/stop clock gate.
+        nonlocal tsro_periods
+        if not started[0]:
+            started[0] = True
+            ref_osc.enable()
+            return
+        tsro_periods += 1
+        if tsro_periods >= config.tsro_periods and done_at[0] is None:
+            done_at[0] = sim.now
+            ref_osc.disable()
+            tsro.disable()
+
+    tsro = GatedOscillator(
+        sim, period=1.0 / frequencies.tsro, on_edge=tsro_edge, initial_phase=0.0
+    )
+    tsro.enable()
+    # Run until the TSRO has delivered its budget; poll in chunks.
+    chunk = config.tsro_periods / frequencies.tsro
+    deadline = time_cursor + 4.0 * chunk + 1e-6
+    while done_at[0] is None and sim.now < deadline:
+        sim.run_until(min(sim.now + chunk / 8.0, deadline))
+    tsro.disable()
+    ref_osc.disable()
+    if done_at[0] is None:
+        raise RuntimeError("TSRO failed to deliver its period budget")
+    sim.run_until(sim.now + counter.worst_case_settle_time())
+
+    counts_ref = counter.value()
+    toggles_total += counter.total_toggles()
+
+    # The conversion ends when the period budget gates the reference clock
+    # and the carry chain settles — not when the polling loop happened to
+    # stop (the chunked run_until may overshoot by a fraction of a chunk).
+    end_time = done_at[0] + counter.worst_case_settle_time()
+
+    return ConversionResult(
+        counts_n=counts["n"],
+        counts_p=counts["p"],
+        counts_ref=counts_ref,
+        tsro_periods_seen=tsro_periods,
+        counter_toggles=toggles_total,
+        conversion_time=end_time,
+        events=sim.events_processed,
+    )

@@ -1,0 +1,133 @@
+"""Event-level building blocks: gated oscillators and ripple counters.
+
+The ripple counter is built the way the silicon builds it: a chain of
+toggle flip-flops where each stage clocks the next on its falling edge,
+with a real clock-to-Q delay per stage.  That makes ripple-carry settle
+time and per-stage toggle counts observable — the two things the
+behavioural model abstracts away.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.digital.simulator import EventSimulator
+
+
+class GatedOscillator:
+    """A free-running edge source with an enable gate.
+
+    Emits rising edges every ``period`` seconds while enabled.  The first
+    edge after enabling arrives after ``initial_phase * period`` — exactly
+    the phase uncertainty the behavioural counter models as a uniform
+    random offset.
+    """
+
+    def __init__(
+        self,
+        sim: EventSimulator,
+        period: float,
+        on_edge: Callable[[], None],
+        initial_phase: float = 0.5,
+    ) -> None:
+        if period <= 0.0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= initial_phase < 1.0:
+            raise ValueError("initial_phase must lie in [0, 1)")
+        self._sim = sim
+        self.period = period
+        self._on_edge = on_edge
+        self._initial_phase = initial_phase
+        self._enabled = False
+        self._generation = 0
+        self.edges_emitted = 0
+
+    def enable(self) -> None:
+        """Start emitting edges (first one after the phase offset)."""
+        if self._enabled:
+            return
+        self._enabled = True
+        self._generation += 1
+        generation = self._generation
+        self._sim.schedule(
+            self._initial_phase * self.period, lambda: self._tick(generation)
+        )
+
+    def disable(self) -> None:
+        """Stop emitting edges (pending ones are dropped)."""
+        self._enabled = False
+        self._generation += 1
+
+    def _tick(self, generation: int) -> None:
+        if not self._enabled or generation != self._generation:
+            return
+        self.edges_emitted += 1
+        self._on_edge()
+        self._sim.schedule(self.period, lambda: self._tick(generation))
+
+
+class _ToggleFlipFlop:
+    """One ripple-counter bit: toggles on its clock's falling edge."""
+
+    def __init__(self, sim: EventSimulator, clk_to_q: float) -> None:
+        self._sim = sim
+        self._clk_to_q = clk_to_q
+        self.value = 0
+        self.toggles = 0
+        self.next_stage: Optional["_ToggleFlipFlop"] = None
+
+    def clock(self) -> None:
+        # Toggle after the clock-to-Q delay; the *falling* output edge
+        # (1 -> 0) clocks the next stage, implementing binary carry.
+        self._sim.schedule(self._clk_to_q, self._settle)
+
+    def _settle(self) -> None:
+        self.value ^= 1
+        self.toggles += 1
+        if self.value == 0 and self.next_stage is not None:
+            self.next_stage.clock()
+
+
+class RippleCounterSim:
+    """An event-level asynchronous (ripple) counter.
+
+    Attributes:
+        bits: Counter width.
+        clk_to_q: Per-stage clock-to-output delay in seconds.
+    """
+
+    def __init__(self, sim: EventSimulator, bits: int, clk_to_q: float = 50e-12) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        if clk_to_q <= 0.0:
+            raise ValueError("clk_to_q must be positive")
+        self._sim = sim
+        self.bits = bits
+        self.clk_to_q = clk_to_q
+        self._stages: List[_ToggleFlipFlop] = [
+            _ToggleFlipFlop(sim, clk_to_q) for _ in range(bits)
+        ]
+        for lower, upper in zip(self._stages, self._stages[1:]):
+            lower.next_stage = upper
+
+    def clock(self) -> None:
+        """One increment (an input rising edge)."""
+        self._stages[0].clock()
+
+    def value(self) -> int:
+        """Current count (LSB first stage)."""
+        return sum(stage.value << bit for bit, stage in enumerate(self._stages))
+
+    def total_toggles(self) -> int:
+        """Total flip-flop output transitions so far (the energy proxy)."""
+        return sum(stage.toggles for stage in self._stages)
+
+    def worst_case_settle_time(self) -> float:
+        """Full carry-chain ripple time (all bits toggling)."""
+        return self.bits * self.clk_to_q
+
+    def reset(self) -> None:
+        """Clear count and toggle statistics (synchronous clear)."""
+        for stage in self._stages:
+            stage.value = 0
+            stage.toggles = 0

@@ -1,0 +1,58 @@
+"""Experiment harness: one module per reconstructed paper table/figure.
+
+Every module exposes ``run(fast=False)`` returning a result object with a
+``render()`` method that prints the rows/series the paper's figure or table
+would contain, plus the metrics EXPERIMENTS.md records.  ``fast=True``
+shrinks the workload for smoke tests; benchmarks run the full workload.
+
+See DESIGN.md for the experiment index (R-F1 .. R-A1) and the rationale
+for each reconstruction.
+"""
+
+from repro.experiments import (
+    exp_a1_ablation,
+    exp_e1_supply_aware,
+    exp_e2_aging,
+    exp_e3_tracking,
+    exp_e4_dtm,
+    exp_e5_placement,
+    exp_e6_averaging,
+    exp_e7_body_bias,
+    exp_e8_runaway,
+    exp_e9_fusion,
+    exp_f1_freq_vs_temp,
+    exp_f2_process_sensitivity,
+    exp_f3_vt_extraction,
+    exp_f4_temperature_accuracy,
+    exp_f5_stack_monitoring,
+    exp_f6_tsv_stress,
+    exp_f7_energy_resolution,
+    exp_f8_voltage_sensitivity,
+    exp_t1_summary,
+    exp_t2_comparison,
+)
+
+ALL_EXPERIMENTS = {
+    "R-F1": exp_f1_freq_vs_temp,
+    "R-F2": exp_f2_process_sensitivity,
+    "R-F3": exp_f3_vt_extraction,
+    "R-F4": exp_f4_temperature_accuracy,
+    "R-F5": exp_f5_stack_monitoring,
+    "R-F6": exp_f6_tsv_stress,
+    "R-F7": exp_f7_energy_resolution,
+    "R-F8": exp_f8_voltage_sensitivity,
+    "R-T1": exp_t1_summary,
+    "R-T2": exp_t2_comparison,
+    "R-A1": exp_a1_ablation,
+    "R-E1": exp_e1_supply_aware,
+    "R-E2": exp_e2_aging,
+    "R-E3": exp_e3_tracking,
+    "R-E4": exp_e4_dtm,
+    "R-E5": exp_e5_placement,
+    "R-E6": exp_e6_averaging,
+    "R-E7": exp_e7_body_bias,
+    "R-E8": exp_e8_runaway,
+    "R-E9": exp_e9_fusion,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,79 @@
+"""Shared fixtures for the experiment suite.
+
+Centralises the reference design, the shared Monte-Carlo die populations
+and the paper's headline anchor numbers, so every experiment runs on
+identical inputs and EXPERIMENTS.md rows stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.config import SensorConfig
+from repro.core.decoupler import ProcessLut
+from repro.core.sensing_model import SensingModel
+from repro.core.sensor import PTSensor
+from repro.device.technology import Technology, nominal_65nm
+from repro.variation.montecarlo import DieSample, sample_dies
+
+DEFAULT_SEED = 2012
+"""Master seed of the reproduction (the paper's publication year)."""
+
+PAPER_ANCHORS = {
+    "energy_per_conversion_pj": 367.5,
+    "vtn_band_mv": 1.6,
+    "vtp_band_mv": 0.8,
+    "temperature_band_c": 1.5,
+    "technology": "TSMC 65 nm (paper) / generic-65nm-LP (reproduction)",
+}
+"""Headline numbers from the paper's abstract, used as acceptance anchors."""
+
+
+@dataclass(frozen=True)
+class ReferenceSetup:
+    """The reference design shared by all experiments."""
+
+    technology: Technology
+    config: SensorConfig
+    model: SensingModel
+    lut: ProcessLut
+
+
+@lru_cache(maxsize=1)
+def reference_setup() -> ReferenceSetup:
+    """Build (once) the reference technology, config, model and LUT."""
+    technology = nominal_65nm()
+    config = SensorConfig()
+    model = SensingModel(technology, config)
+    lut = ProcessLut.build(model)
+    return ReferenceSetup(technology=technology, config=config, model=model, lut=lut)
+
+
+@lru_cache(maxsize=8)
+def die_population(count: int, seed: int = DEFAULT_SEED) -> Tuple[DieSample, ...]:
+    """A cached, reproducible Monte-Carlo die population."""
+    setup = reference_setup()
+    return tuple(sample_dies(setup.technology, count, seed=seed))
+
+
+def build_sensor(die: DieSample = None, die_id: int = 0) -> PTSensor:
+    """A PT sensor of the reference design on a given die."""
+    setup = reference_setup()
+    return PTSensor(
+        setup.technology,
+        config=setup.config,
+        die=die,
+        die_id=die_id,
+        sensing_model=setup.model,
+        lut=setup.lut,
+    )
+
+
+def population_sensors(count: int, seed: int = DEFAULT_SEED) -> List[PTSensor]:
+    """Sensors of the reference design across a die population."""
+    return [
+        build_sensor(die, die_id=index % 64)
+        for index, die in enumerate(die_population(count, seed))
+    ]

@@ -1,0 +1,196 @@
+"""R-A1: ablation of the self-calibration design choices.
+
+Removes each ingredient of the scheme in turn and measures the temperature
+band on the same die population:
+
+* **full** — the shipped design;
+* **no V_tp correction / no V_tn correction** — the temperature estimator
+  sees only half the extracted process point (is the 2-D extraction really
+  necessary?);
+* **no correction** — equivalent to the uncalibrated baseline;
+* **1 round** — a single process/temperature alternation (does the
+  iteration matter?);
+* **no LUT seed** — Newton starts from the typical point (is the LUT
+  worth its storage?);
+* **non-ZTC bias** — PSROs biased away from the zero-temperature-
+  coefficient point (does the ZTC bias matter?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.metrics import ErrorStats, error_stats
+from repro.analysis.tables import render_table
+from repro.circuits.inverter import NmosSensingStage, PmosSensingStage
+from repro.circuits.oscillator_bank import build_oscillator_bank, environment_for_die
+from repro.core.calibration import SelfCalibrationEngine
+from repro.core.decoupler import ProcessLut, extract_process
+from repro.core.errors import SensorError
+from repro.core.sensing_model import SensingModel
+from repro.core.temperature import estimate_temperature_clamped
+from repro.experiments.common import die_population, reference_setup
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+
+ABLATION_TEMPS_C = (-20.0, 27.0, 85.0)
+
+# The non-ZTC ablation rebuilds the design with sensing biases well below
+# the zero-temperature-coefficient points.
+NONZTC_STAGE_N = NmosSensingStage(bias_ratio=0.585)
+NONZTC_STAGE_P = PmosSensingStage(bias_ratio=0.62)
+
+
+class _NonZtcSensingModel(SensingModel):
+    """Sensing model whose typical bank uses the non-ZTC stage designs."""
+
+    def __post_init__(self) -> None:
+        bank = build_oscillator_bank(
+            self.technology,
+            die=None,
+            psro_stages=self.config.psro_stages,
+            tsro_stages=self.config.tsro_stages,
+            psro_n_stage=NONZTC_STAGE_N,
+            psro_p_stage=NONZTC_STAGE_P,
+        )
+        object.__setattr__(self, "_bank", bank)
+
+
+@dataclass(frozen=True)
+class A1Result:
+    """Temperature-error stats per ablation variant."""
+
+    variants: Dict[str, ErrorStats]
+    newton_iters_with_lut: int
+    newton_iters_without_lut: int
+
+    def render(self) -> str:
+        rows = [
+            [name, f"+/-{stats.band:.2f}", f"{stats.three_sigma:.2f}"]
+            for name, stats in self.variants.items()
+        ]
+        table = render_table(
+            ["variant", "T inaccuracy (degC)", "3sigma (degC)"],
+            rows,
+            title="R-A1 ablation of the self-calibration scheme",
+        )
+        return (
+            f"{table}\n"
+            f"Newton iterations to converge: {self.newton_iters_with_lut} with LUT seed, "
+            f"{self.newton_iters_without_lut} from the typical point"
+        )
+
+
+def _newton_iterations(setup, with_lut: bool) -> int:
+    """Iterations Newton needs on a hard (corner) die."""
+    corner = setup.technology.corner("FS")
+    temp_k = celsius_to_kelvin(25.0)
+    f_n, f_p = setup.model.process_frequencies(corner.dvtn, corner.dvtp, temp_k)
+    lut = setup.lut if with_lut else None
+    for iters in range(1, 12):
+        try:
+            dvtn, dvtp = extract_process(
+                setup.model, f_n, f_p, temp_k, lut=lut, iterations=iters
+            )
+        except SensorError:
+            continue
+        if abs(dvtn - corner.dvtn) < 1e-4 and abs(dvtp - corner.dvtp) < 1e-4:
+            return iters
+    raise AssertionError("Newton failed to converge within 12 iterations")
+
+
+def run(fast: bool = False) -> A1Result:
+    """Execute the R-A1 ablation."""
+    setup = reference_setup()
+    die_count = 15 if fast else 80
+    dies = die_population(die_count)
+    temps = ABLATION_TEMPS_C[:2] if fast else ABLATION_TEMPS_C
+
+    errors: Dict[str, List[float]] = {
+        "full self-calibration": [],
+        "no V_tp correction": [],
+        "no V_tn correction": [],
+        "no correction (uncal)": [],
+        "single round": [],
+        "non-ZTC PSRO bias": [],
+    }
+
+    engine = SelfCalibrationEngine(setup.model, lut=setup.lut)
+
+    for die in dies:
+        bank = build_oscillator_bank(
+            setup.technology,
+            die=die,
+            psro_stages=setup.config.psro_stages,
+            tsro_stages=setup.config.tsro_stages,
+        )
+        for temp_c in temps:
+            env = environment_for_die(
+                die, (2.5e-3, 2.5e-3), celsius_to_kelvin(temp_c), setup.technology.vdd
+            )
+            freqs = bank.frequencies(env)
+
+            state = engine.run(freqs.psro_n, freqs.psro_p, freqs.tsro)
+            errors["full self-calibration"].append(
+                kelvin_to_celsius(state.temp_k) - temp_c
+            )
+
+            for variant, (dvtn, dvtp) in {
+                "no V_tp correction": (state.dvtn, 0.0),
+                "no V_tn correction": (0.0, state.dvtp),
+                "no correction (uncal)": (0.0, 0.0),
+            }.items():
+                est_k = estimate_temperature_clamped(setup.model, freqs.tsro, dvtn, dvtp)
+                errors[variant].append(kelvin_to_celsius(est_k) - temp_c)
+
+            single = engine.run(
+                freqs.psro_n, freqs.psro_p, freqs.tsro, rounds=1
+            )
+            errors["single round"].append(kelvin_to_celsius(single.temp_k) - temp_c)
+
+    # Non-ZTC variant: rebuild the whole design (hardware *and* its
+    # consistent sensing model) with low bias ratios, then run the full
+    # scheme — isolating the ZTC design choice itself.
+    nonztc_model = _NonZtcSensingModel(setup.technology, setup.config)
+    nonztc_lut = ProcessLut.build(nonztc_model)
+    nonztc_engine = SelfCalibrationEngine(nonztc_model, lut=nonztc_lut)
+    for die in dies:
+        bank = build_oscillator_bank(
+            setup.technology,
+            die=die,
+            psro_stages=setup.config.psro_stages,
+            tsro_stages=setup.config.tsro_stages,
+            psro_n_stage=NONZTC_STAGE_N,
+            psro_p_stage=NONZTC_STAGE_P,
+        )
+        for temp_c in temps:
+            env = environment_for_die(
+                die, (2.5e-3, 2.5e-3), celsius_to_kelvin(temp_c), setup.technology.vdd
+            )
+            freqs = bank.frequencies(env)
+            try:
+                state = nonztc_engine.run(
+                    freqs.psro_n, freqs.psro_p, freqs.tsro, rounds=8
+                )
+                errors["non-ZTC PSRO bias"].append(
+                    kelvin_to_celsius(state.temp_k) - temp_c
+                )
+            except SensorError:
+                # Divergence under non-ZTC bias is itself the ablation's
+                # finding; score it as a range-edge error.
+                errors["non-ZTC PSRO bias"].append(10.0)
+
+    variants = {name: error_stats(errs) for name, errs in errors.items()}
+    return A1Result(
+        variants=variants,
+        newton_iters_with_lut=_newton_iterations(setup, with_lut=True),
+        newton_iters_without_lut=_newton_iterations(setup, with_lut=False),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""R-E1 (extension): supply-aware calibration vs the paper's engine.
+
+Re-runs the R-F8 droop sweep with the four-ring joint estimator of
+:mod:`repro.core.supply` next to the paper's nominal-supply engine.  The
+shape to show: the paper engine degrades ~1 degC per % droop (R-F8), the
+supply-aware engine holds the R-F4 accuracy class across the droop window
+while additionally reporting the supply voltage itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.circuits.oscillator_bank import build_oscillator_bank, environment_for_die
+from repro.core.calibration import SelfCalibrationEngine
+from repro.core.errors import SensorError
+from repro.core.supply import SupplyAwareEngine
+from repro.experiments.common import die_population, reference_setup
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+
+
+@dataclass(frozen=True)
+class E1Row:
+    """Both engines' behaviour at one droop point (averaged over dies)."""
+
+    droop_percent: float
+    paper_temp_band_c: float
+    aware_temp_band_c: float
+    aware_vdd_band_mv: float
+
+
+@dataclass(frozen=True)
+class E1Result:
+    """The droop sweep comparison."""
+
+    rows: List[E1Row]
+    true_temp_c: float
+
+    def worst_aware_band(self) -> float:
+        return max(row.aware_temp_band_c for row in self.rows)
+
+    def worst_paper_band(self) -> float:
+        return max(row.paper_temp_band_c for row in self.rows)
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{r.droop_percent:+.0f}",
+                f"{r.paper_temp_band_c:.2f}",
+                f"{r.aware_temp_band_c:.2f}",
+                f"{r.aware_vdd_band_mv:.1f}",
+            ]
+            for r in self.rows
+        ]
+        table = render_table(
+            [
+                "droop (%)",
+                "paper engine T band (degC)",
+                "supply-aware T band (degC)",
+                "VDD read-out band (mV)",
+            ],
+            rows,
+            title=f"R-E1 supply-aware calibration under droop at {self.true_temp_c:.0f} degC",
+        )
+        return (
+            f"{table}\n"
+            f"worst band across droop: paper {self.worst_paper_band():.2f} degC, "
+            f"supply-aware {self.worst_aware_band():.2f} degC"
+        )
+
+
+def run(fast: bool = False, true_temp_c: float = 65.0) -> E1Result:
+    """Execute the R-E1 droop comparison over a die population."""
+    setup = reference_setup()
+    die_count = 6 if fast else 25
+    dies = die_population(die_count)
+    droops = (-8.0, -4.0, 0.0, 4.0, 8.0) if fast else (-10.0, -7.5, -5.0, -2.5, 0.0, 2.5, 5.0, 7.5, 10.0)
+    temp_k = celsius_to_kelvin(true_temp_c)
+
+    paper_engine = SelfCalibrationEngine(setup.model, lut=setup.lut)
+    aware_engine = SupplyAwareEngine(setup.model, lut=setup.lut)
+
+    rows: List[E1Row] = []
+    for droop in droops:
+        vdd_true = setup.technology.vdd * (1.0 + droop / 100.0)
+        paper_errors, aware_errors, vdd_errors = [], [], []
+        for die in dies:
+            bank = build_oscillator_bank(
+                setup.technology,
+                die=die,
+                psro_stages=setup.config.psro_stages,
+                tsro_stages=setup.config.tsro_stages,
+            )
+            env = environment_for_die(die, (2.5e-3, 2.5e-3), temp_k, vdd_true)
+            freqs = bank.frequencies(env)
+            try:
+                paper = paper_engine.run(freqs.psro_n, freqs.psro_p, freqs.tsro)
+                paper_errors.append(kelvin_to_celsius(paper.temp_k) - true_temp_c)
+            except SensorError:
+                paper_errors.append(15.0)  # diverged: scored at guard band
+            aware = aware_engine.run_or_fallback(
+                freqs.psro_n, freqs.psro_p, freqs.tsro, freqs.reference
+            )
+            aware_errors.append(kelvin_to_celsius(aware.temp_k) - true_temp_c)
+            vdd_errors.append((aware.vdd - vdd_true) * 1e3)
+        rows.append(
+            E1Row(
+                droop_percent=droop,
+                paper_temp_band_c=float(np.max(np.abs(paper_errors))),
+                aware_temp_band_c=float(np.max(np.abs(aware_errors))),
+                aware_vdd_band_mv=float(np.max(np.abs(vdd_errors))),
+            )
+        )
+    return E1Result(rows=rows, true_temp_c=true_temp_c)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,200 @@
+"""R-E2 (extension): aging — why calibration must be *self*-calibration.
+
+BTI drift raises thresholds over the product's life.  A factory trim
+captures the die at time zero and silently goes stale; the paper's sensor
+re-extracts the process point at every power-on, so it tracks the drift —
+and its V_t read-out *is* an in-field aging monitor.
+
+The experiment ages a die population (1/3/10 years of stress), then reads
+temperature with (a) the self-calibrated sensor re-extracting naively
+against the manufacturing model, (b) the drift-anchored variant
+(:mod:`repro.core.drift` — mobility frozen at the time-zero extraction),
+and (c) a sensor two-point factory-trimmed **before** aging; it also checks
+how well each V_t read-out recovers the injected drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.baselines.two_point import TwoPointCalibratedSensor
+from repro.circuits.oscillator_bank import build_oscillator_bank, environment_for_die
+from repro.core.calibration import SelfCalibrationEngine
+from repro.core.drift import DriftAnchoredModel
+from repro.experiments.common import die_population, reference_setup
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+from repro.variation.aging import BtiAgingModel
+from repro.variation.montecarlo import DieSample
+
+AGES_YEARS = (0.0, 1.0, 3.0, 10.0)
+READ_TEMPS_C = (27.0, 85.0)
+
+
+@dataclass(frozen=True)
+class E2Row:
+    """Accuracy after one aging step."""
+
+    years: float
+    injected_dvtp_drift_mv: float
+    detected_dvtp_drift_mv: float
+    anchored_dvtp_drift_mv: float
+    selfcal_temp_band_c: float
+    anchored_temp_band_c: float
+    stale_trim_temp_band_c: float
+
+
+@dataclass(frozen=True)
+class E2Result:
+    """The aging sweep."""
+
+    rows: List[E2Row]
+
+    def drift_tracking_error_mv(self) -> float:
+        """Worst anchored-read-out gap vs the injected dV_tp drift."""
+        return max(
+            abs(r.anchored_dvtp_drift_mv - r.injected_dvtp_drift_mv)
+            for r in self.rows
+        )
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{r.years:g}",
+                f"{r.injected_dvtp_drift_mv:+.2f}",
+                f"{r.detected_dvtp_drift_mv:+.2f}",
+                f"{r.anchored_dvtp_drift_mv:+.2f}",
+                f"{r.selfcal_temp_band_c:.2f}",
+                f"{r.anchored_temp_band_c:.2f}",
+                f"{r.stale_trim_temp_band_c:.2f}",
+            ]
+            for r in self.rows
+        ]
+        table = render_table(
+            [
+                "age (y)",
+                "injected dVtp (mV)",
+                "naive detect (mV)",
+                "anchored detect (mV)",
+                "naive T band (degC)",
+                "anchored T band (degC)",
+                "stale trim T band (degC)",
+            ],
+            rows,
+            title="R-E2 aging: drift-anchored self-calibration vs naive vs stale factory trim",
+        )
+        return (
+            f"{table}\n"
+            f"worst drift-tracking error: {self.drift_tracking_error_mv():.2f} mV"
+        )
+
+
+class _FrozenTrimSensor(TwoPointCalibratedSensor):
+    """A two-point sensor whose trim was taken on the *unaged* die.
+
+    Mimics factory calibration: the trim coefficients are measured at time
+    zero and stored in fuses; the die then ages underneath them.
+    """
+
+    def __init__(self, technology, config, fresh_die: DieSample):
+        super().__init__(technology, config=config, die=fresh_die)
+
+    def retarget(self, aged_die: DieSample) -> None:
+        """Point the *hardware* at the aged die, keeping the stored trim."""
+        self.die = aged_die
+        self.bank = build_oscillator_bank(
+            self.technology,
+            die=aged_die,
+            psro_stages=self.config.psro_stages,
+            tsro_stages=self.config.tsro_stages,
+        )
+
+
+def run(fast: bool = False) -> E2Result:
+    """Execute the R-E2 aging sweep."""
+    setup = reference_setup()
+    die_count = 6 if fast else 30
+    dies = die_population(die_count)
+    aging = BtiAgingModel()
+    engine = SelfCalibrationEngine(setup.model, lut=setup.lut)
+
+    def bank_for(die):
+        return build_oscillator_bank(
+            setup.technology,
+            die=die,
+            psro_stages=setup.config.psro_stages,
+            tsro_stages=setup.config.tsro_stages,
+        )
+
+    def frequencies_at(die, bank, temp_c):
+        env = environment_for_die(
+            die, (2.5e-3, 2.5e-3), celsius_to_kelvin(temp_c), setup.technology.vdd
+        )
+        return bank.frequencies(env)
+
+    # Time zero: factory trim (frozen) and the self-calibration anchor.
+    trim_sensors: Dict[int, _FrozenTrimSensor] = {}
+    anchor_engines: Dict[int, SelfCalibrationEngine] = {}
+    anchor_dvtp: Dict[int, float] = {}
+    for die in dies:
+        trim_sensors[die.index] = _FrozenTrimSensor(
+            setup.technology, setup.config, die
+        )
+        fresh_freqs = frequencies_at(die, bank_for(die), READ_TEMPS_C[0])
+        t0 = engine.run(fresh_freqs.psro_n, fresh_freqs.psro_p, fresh_freqs.tsro)
+        anchored = DriftAnchoredModel.from_time_zero(setup.model, t0.dvtn, t0.dvtp)
+        anchor_engines[die.index] = SelfCalibrationEngine(anchored, lut=None)
+        anchor_dvtp[die.index] = t0.dvtp
+
+    rows: List[E2Row] = []
+    for years in AGES_YEARS if not fast else AGES_YEARS[:3]:
+        naive_errors, anchored_errors, trim_errors = [], [], []
+        naive_drifts, anchored_drifts = [], []
+        _, injected_dvtp = aging.vt_drift(years)
+        for die in dies:
+            aged = aging.age_die(die, years)
+            bank = bank_for(aged)
+            trim = trim_sensors[die.index]
+            trim.retarget(aged)
+            anchored_engine = anchor_engines[die.index]
+            for temp_c in READ_TEMPS_C:
+                freqs = frequencies_at(aged, bank, temp_c)
+                naive = engine.run(freqs.psro_n, freqs.psro_p, freqs.tsro)
+                naive_errors.append(kelvin_to_celsius(naive.temp_k) - temp_c)
+                anchored = anchored_engine.run(
+                    freqs.psro_n, freqs.psro_p, freqs.tsro
+                )
+                anchored_errors.append(kelvin_to_celsius(anchored.temp_k) - temp_c)
+                trim_errors.append(
+                    trim.read_temperature(temp_c, deterministic=True) - temp_c
+                )
+                if temp_c == READ_TEMPS_C[0]:
+                    naive_drifts.append(
+                        (naive.dvtp - anchor_dvtp[die.index]) * 1e3
+                    )
+                    anchored_drifts.append(
+                        (anchored.dvtp - anchor_dvtp[die.index]) * 1e3
+                    )
+        rows.append(
+            E2Row(
+                years=years,
+                injected_dvtp_drift_mv=injected_dvtp * 1e3,
+                detected_dvtp_drift_mv=float(np.mean(naive_drifts)),
+                anchored_dvtp_drift_mv=float(np.mean(anchored_drifts)),
+                selfcal_temp_band_c=float(np.max(np.abs(naive_errors))),
+                anchored_temp_band_c=float(np.max(np.abs(anchored_errors))),
+                stale_trim_temp_band_c=float(np.max(np.abs(trim_errors))),
+            )
+        )
+    return E2Result(rows=rows)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""R-E4 (extension): sensor-driven dynamic thermal management.
+
+Closes the loop the paper's introduction motivates: per-tier sensors feed a
+throttling policy that must hold the stack under its thermal limit.  Run
+twice on the same stack and workload:
+
+* **open loop** — no throttling: shows the violation the workload causes;
+* **closed loop** — the DTM policy acting on *sensor* readings.
+
+The success criteria are systems-level: the closed loop caps the true peak
+near the throttle threshold (sensor error becomes guard-band, not failure),
+and it does so while keeping more power budget than a worst-case static
+derating would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import die_population, reference_setup
+from repro.network.aggregator import StackMonitor
+from repro.network.dtm import DtmPolicy, DtmTrace, run_closed_loop
+from repro.core.sensor import PTSensor
+from repro.thermal.grid import build_stack_grid
+from repro.thermal.power import hotspot_power_map
+from repro.thermal.solver import transient
+from repro.tsv.bus import TsvSensorBus
+from repro.tsv.geometry import StackDescriptor, TierSpec, regular_tsv_array
+from repro.units import kelvin_to_celsius
+
+SENSOR_SITE = (2.0e-3, 2.0e-3)
+
+
+@dataclass(frozen=True)
+class E4Result:
+    """Open- vs closed-loop outcome."""
+
+    open_peak_c: float
+    closed_trace: DtmTrace
+    policy: DtmPolicy
+
+    def closed_peak_c(self) -> float:
+        return self.closed_trace.max_true_peak()
+
+    def overshoot_c(self) -> float:
+        """How far the closed loop's true peak exceeds the throttle set-point."""
+        return self.closed_peak_c() - self.policy.throttle_c
+
+    def render(self) -> str:
+        final_scales = self.closed_trace.power_scales[-1]
+        rows = [
+            ["open loop (no DTM)", f"{self.open_peak_c:.1f}", "-"],
+            [
+                "closed loop (sensor DTM)",
+                f"{self.closed_peak_c():.1f}",
+                ", ".join(f"t{t}={s:.2f}" for t, s in sorted(final_scales.items())),
+            ],
+        ]
+        table = render_table(
+            ["configuration", "true peak (degC)", "final power scales"],
+            rows,
+            title=f"R-E4 DTM closed loop (throttle at {self.policy.throttle_c:.0f} degC)",
+        )
+        return (
+            f"{table}\n"
+            f"overshoot above set-point: {self.overshoot_c():+.1f} degC; "
+            f"worst sensing gap along trajectory: "
+            f"{self.closed_trace.worst_sensing_gap():.2f} degC; "
+            f"throttled on {self.closed_trace.throttled_steps}/"
+            f"{len(self.closed_trace.power_scales)} steps"
+        )
+
+
+def _assembly(nx: int, ny: int):
+    tiers = [TierSpec(f"tier{i}") for i in range(4)]
+    stack = StackDescriptor(
+        tiers=tiers,
+        tsv_sites=regular_tsv_array(8, 8, pitch=100e-6, origin=(2.1e-3, 2.1e-3)),
+    )
+    grid = build_stack_grid(
+        stack.thermal_layers(nx, ny), stack.die_width, stack.die_height, nx=nx, ny=ny
+    )
+    return stack, grid
+
+
+def _hot_workload(stack: StackDescriptor, nx: int, ny: int) -> Dict[str, np.ndarray]:
+    """A workload that violates the limit without DTM."""
+    maps = {}
+    for i, tier in enumerate(stack.tiers):
+        hotspots = (
+            [(1.5e-3, 1.5e-3, 1.2e-3, 1.2e-3, 4.5)] if i == 0 else []
+        )
+        maps[stack.transistor_layer_name(tier)] = hotspot_power_map(
+            nx, ny, stack.die_width, stack.die_height, hotspots, background_watts=0.8
+        )
+    return maps
+
+
+def run(fast: bool = False) -> E4Result:
+    """Execute the R-E4 open/closed-loop comparison."""
+    setup = reference_setup()
+    nx = ny = 10 if fast else 16
+    steps = 12 if fast else 40
+    dt = 0.02
+    stack, grid = _assembly(nx, ny)
+    workload = _hot_workload(stack, nx, ny)
+
+    # Open loop: integrate to (near) steady state, record the violation.
+    fields = transient(grid, lambda t: workload, dt=dt * 4, steps=steps)
+    open_peak = max(
+        kelvin_to_celsius(fields[-1].peak(stack.transistor_layer_name(t)))
+        for t in stack.tiers
+    )
+
+    # Closed loop: sensors + aggregator + throttling policy.
+    dies = die_population(len(stack.tiers))
+    sensors = {
+        tier_id: PTSensor(
+            setup.technology,
+            config=setup.config,
+            die=die,
+            location=SENSOR_SITE,
+            die_id=tier_id,
+            sensing_model=setup.model,
+            lut=setup.lut,
+        )
+        for tier_id, die in enumerate(dies)
+    }
+    policy = DtmPolicy(throttle_c=85.0, release_c=78.0)
+    monitor = StackMonitor(
+        sensors,
+        TsvSensorBus(tiers=len(stack.tiers)),
+        warning_c=policy.release_c,
+        emergency_c=policy.throttle_c + 15.0,
+    )
+    trace = run_closed_loop(
+        stack,
+        grid,
+        monitor,
+        workload,
+        policy,
+        dt=dt,
+        steps=steps * 4,
+        sensor_sites={i: SENSOR_SITE for i in range(len(stack.tiers))},
+    )
+    return E4Result(open_peak_c=open_peak, closed_trace=trace, policy=policy)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

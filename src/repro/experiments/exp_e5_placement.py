@@ -1,0 +1,183 @@
+"""R-E5 (extension): how many sensors per tier, where — and read how.
+
+The paper puts PT sensors on every tier; the floorplanner must choose the
+per-tier budget, the sites, and the reconstruction scheme that turns k
+point readings into a die temperature map.  This experiment compares the
+two reconstruction tiers on the same greedy-placed sensors:
+
+* **nearest-sensor** — each location inherits its closest sensor's reading
+  (zero model knowledge; what a bare monitor does);
+* **model-based observer** — the live field is fitted as a combination of
+  the design-time workload fields (thermal linearity), weights solved from
+  the sensor readings.
+
+Evaluation is held-out: a *mixture* workload inside the span of the
+design-time set, and a *novel* workload (hotspot at a location the model
+never saw).  The shapes to show: nearest-sensor leaves ~10 degC-class
+spatial error with sharp hotspots regardless of budget; the observer
+collapses in-span error to the sub-degree class once the budget reaches
+the model order, and degrades gracefully (not catastrophically) on novel
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.network.placement import (
+    candidate_grid,
+    greedy_placement,
+    observer_error,
+    reconstruction_error,
+)
+from repro.thermal.grid import build_stack_grid
+from repro.thermal.power import checkerboard_power_map, hotspot_power_map
+from repro.thermal.solver import steady_state
+from repro.tsv.geometry import StackDescriptor, TierSpec, regular_tsv_array
+
+LAYER = "tier0.si"
+
+
+@dataclass(frozen=True)
+class E5Row:
+    """Reconstruction errors at one sensor budget."""
+
+    budget: int
+    nearest_mix_c: float
+    observer_mix_c: float
+    nearest_novel_c: float
+    observer_novel_c: float
+
+
+@dataclass(frozen=True)
+class E5Result:
+    """Placement/reconstruction study results."""
+
+    rows: List[E5Row]
+    chosen_sites: List[tuple]
+
+    def best_observer_mix(self) -> float:
+        return min(row.observer_mix_c for row in self.rows)
+
+    def render(self) -> str:
+        rows = [
+            [
+                str(r.budget),
+                f"{r.nearest_mix_c:.2f}",
+                f"{r.observer_mix_c:.2f}",
+                f"{r.nearest_novel_c:.2f}",
+                f"{r.observer_novel_c:.2f}",
+            ]
+            for r in self.rows
+        ]
+        table = render_table(
+            [
+                "sensors",
+                "nearest, mixture (degC)",
+                "observer, mixture (degC)",
+                "nearest, novel (degC)",
+                "observer, novel (degC)",
+            ],
+            rows,
+            title="R-E5 sensor placement + reconstruction (held-out workloads)",
+        )
+        sites = ", ".join(
+            f"({x * 1e3:.1f}, {y * 1e3:.1f})mm" for x, y in self.chosen_sites
+        )
+        return f"{table}\ngreedy sites (selection order): {sites}"
+
+
+def _assembly(nx: int, ny: int):
+    tiers = [TierSpec(f"tier{i}") for i in range(2)]
+    stack = StackDescriptor(
+        tiers=tiers,
+        tsv_sites=regular_tsv_array(6, 6, pitch=120e-6, origin=(2.2e-3, 2.2e-3)),
+    )
+    grid = build_stack_grid(
+        stack.thermal_layers(nx, ny), stack.die_width, stack.die_height, nx=nx, ny=ny
+    )
+    return stack, grid
+
+
+def _training_workloads(stack, nx: int, ny: int) -> List[Dict[str, np.ndarray]]:
+    w, h = stack.die_width, stack.die_height
+    idle = hotspot_power_map(nx, ny, w, h, [], 0.3)
+    return [
+        {
+            "tier0.si": hotspot_power_map(nx, ny, w, h, [(0.8e-3, 0.8e-3, 1e-3, 1e-3, 2.0)], 0.4),
+            "tier1.si": idle,
+        },
+        {
+            "tier0.si": hotspot_power_map(nx, ny, w, h, [(3.2e-3, 3.2e-3, 1e-3, 1e-3, 2.0)], 0.4),
+            "tier1.si": idle,
+        },
+        {
+            "tier0.si": checkerboard_power_map(nx, ny, 2.5, blocks=4),
+            "tier1.si": idle,
+        },
+        {
+            "tier0.si": hotspot_power_map(nx, ny, w, h, [(1.8e-3, 1.8e-3, 1.4e-3, 1.4e-3, 2.2)], 0.2),
+            "tier1.si": idle,
+        },
+    ]
+
+
+def run(fast: bool = False) -> E5Result:
+    """Execute the R-E5 placement and reconstruction study."""
+    nx = ny = 12 if fast else 18
+    probe = 8 if fast else 12
+    budgets = [2, 4, 6] if fast else [1, 2, 3, 4, 5, 6, 8]
+    stack, grid = _assembly(nx, ny)
+    w, h = stack.die_width, stack.die_height
+
+    training = _training_workloads(stack, nx, ny)
+    basis_fields = [steady_state(grid, workload) for workload in training]
+
+    # Held-out mixture: a convex combination of training power maps.
+    mixture_power = {
+        layer: 0.5 * training[0][layer] + 0.3 * training[2][layer] + 0.2 * training[3][layer]
+        for layer in training[0]
+    }
+    mixture_field = steady_state(grid, mixture_power)
+
+    # Held-out novel workload: a hotspot the model never saw.
+    novel_power = {
+        "tier0.si": hotspot_power_map(nx, ny, w, h, [(0.9e-3, 3.1e-3, 1e-3, 1e-3, 1.8)], 0.35),
+        "tier1.si": training[0]["tier1.si"],
+    }
+    novel_field = steady_state(grid, novel_power)
+
+    candidates = candidate_grid(w, h, per_axis=4 if fast else 6)
+    placement = greedy_placement(
+        basis_fields, LAYER, candidates, sensor_budget=max(budgets), probe_grid=probe
+    )
+
+    rows: List[E5Row] = []
+    for budget in budgets:
+        sites = placement.sites[:budget]
+        rows.append(
+            E5Row(
+                budget=budget,
+                nearest_mix_c=reconstruction_error(mixture_field, LAYER, sites, probe),
+                observer_mix_c=observer_error(
+                    mixture_field, LAYER, sites, basis_fields, probe
+                ),
+                nearest_novel_c=reconstruction_error(novel_field, LAYER, sites, probe),
+                observer_novel_c=observer_error(
+                    novel_field, LAYER, sites, basis_fields, probe
+                ),
+            )
+        )
+    return E5Result(rows=rows, chosen_sites=placement.sites)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

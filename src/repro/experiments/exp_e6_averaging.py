@@ -1,0 +1,113 @@
+"""R-E6 (extension): oversampling — buying resolution with conversions.
+
+A single conversion's temperature error has a random part (counter phase
+quantisation + RO jitter) and a per-die systematic part (mismatch the
+calibration cannot see).  Averaging N conversions shrinks the random part
+by sqrt(N) until the systematic floor; this experiment measures that curve
+and locates the floor, quantifying how far oversampling can stretch the
+sensor before only a better *design* (larger devices) helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import build_sensor, die_population
+
+
+@dataclass(frozen=True)
+class E6Row:
+    """Error statistics at one oversampling factor."""
+
+    conversions: int
+    random_sigma_c: float
+    total_band_c: float
+    energy_pj: float
+
+
+@dataclass(frozen=True)
+class E6Result:
+    """The oversampling sweep."""
+
+    rows: List[E6Row]
+    systematic_floor_c: float
+
+    def render(self) -> str:
+        rows = [
+            [
+                str(r.conversions),
+                f"{r.random_sigma_c:.3f}",
+                f"{r.total_band_c:.2f}",
+                f"{r.energy_pj:.0f}",
+            ]
+            for r in self.rows
+        ]
+        table = render_table(
+            [
+                "conversions averaged",
+                "random sigma (degC)",
+                "total band (degC)",
+                "energy (pJ)",
+            ],
+            rows,
+            title="R-E6 oversampling: random error shrinks ~sqrt(N) to the mismatch floor",
+        )
+        return (
+            f"{table}\n"
+            f"per-die systematic floor (sigma across dies): "
+            f"{self.systematic_floor_c:.3f} degC"
+        )
+
+
+def run(fast: bool = False, temp_c: float = 65.0) -> E6Result:
+    """Execute the R-E6 oversampling sweep."""
+    die_count = 8 if fast else 25
+    repeats = 16 if fast else 64
+    factors = (1, 4, 16) if fast else (1, 2, 4, 8, 16, 32)
+    dies = die_population(die_count)
+    sensors = [build_sensor(die) for die in dies]
+
+    # Per-die mean over many single conversions isolates the systematic
+    # part (what averaging can never remove).
+    per_die_errors = np.empty((die_count, repeats))
+    energies = []
+    for i, sensor in enumerate(sensors):
+        for j in range(repeats):
+            reading = sensor.read(temp_c)
+            per_die_errors[i, j] = reading.temperature_c - temp_c
+            if i == 0 and j == 0:
+                single_energy = reading.energy.total * 1e12
+    systematic = per_die_errors.mean(axis=1)
+    random_part = per_die_errors - systematic[:, None]
+
+    rows: List[E6Row] = []
+    for n in factors:
+        # Average blocks of n conversions along the repeat axis.
+        usable = (repeats // n) * n
+        if usable == 0:
+            continue
+        averaged = per_die_errors[:, :usable].reshape(die_count, -1, n).mean(axis=2)
+        random_sigma = float(
+            np.std(random_part[:, :usable].reshape(die_count, -1, n).mean(axis=2))
+        )
+        rows.append(
+            E6Row(
+                conversions=n,
+                random_sigma_c=random_sigma,
+                total_band_c=float(np.max(np.abs(averaged))),
+                energy_pj=single_energy * n,
+            )
+        )
+    return E6Result(rows=rows, systematic_floor_c=float(np.std(systematic)))
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

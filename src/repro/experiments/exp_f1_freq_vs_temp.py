@@ -1,0 +1,109 @@
+"""R-F1: ring-oscillator frequency vs temperature across corners.
+
+The characterisation figure every RO-sensor paper opens with: each
+oscillator's frequency swept over -40..125 degC at the five process
+corners.  The shapes to reproduce:
+
+* the TSRO is strongly, monotonically temperature dependent (its whole job),
+* the PSROs are first-order temperature-flat (ZTC bias) but separate
+  cleanly by corner — PSRO-N tracks the first corner letter (NMOS),
+  PSRO-P the second (PMOS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.sweeps import temperature_axis
+from repro.analysis.tables import render_table
+from repro.circuits.ring_oscillator import Environment
+from repro.experiments.common import reference_setup
+from repro.units import celsius_to_kelvin
+
+CORNERS = ("TT", "FF", "SS", "FS", "SF")
+OSCILLATORS = ("PSRO-N", "PSRO-P", "TSRO")
+
+
+@dataclass(frozen=True)
+class F1Result:
+    """Frequency series per (oscillator, corner) over the sweep."""
+
+    temps_c: np.ndarray
+    series: Dict[Tuple[str, str], np.ndarray]
+
+    def temperature_coefficient(self, oscillator: str, corner: str) -> float:
+        """Mean fractional frequency slope in 1/K over the sweep."""
+        freqs = self.series[(oscillator, corner)]
+        span_k = (self.temps_c[-1] - self.temps_c[0])
+        return float((freqs[-1] - freqs[0]) / freqs[len(freqs) // 2] / span_k)
+
+    def corner_spread(self, oscillator: str, temp_index: int = 0) -> float:
+        """Fractional corner-to-corner frequency spread at one temperature."""
+        values = [self.series[(oscillator, c)][temp_index] for c in CORNERS]
+        return float((max(values) - min(values)) / np.mean(values))
+
+    def render(self) -> str:
+        """Paper-style characterisation rows."""
+        blocks: List[str] = []
+        for osc in OSCILLATORS:
+            rows = []
+            for corner in CORNERS:
+                freqs = self.series[(osc, corner)]
+                rows.append(
+                    [
+                        corner,
+                        f"{freqs[0]/1e6:.2f}",
+                        f"{freqs[len(freqs)//2]/1e6:.2f}",
+                        f"{freqs[-1]/1e6:.2f}",
+                        f"{self.temperature_coefficient(osc, corner)*100:+.4f}",
+                    ]
+                )
+            blocks.append(
+                render_table(
+                    ["corner", "f(-40C) MHz", "f(mid) MHz", "f(125C) MHz", "TC %/K"],
+                    rows,
+                    title=f"R-F1 {osc}: frequency vs temperature",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(fast: bool = False) -> F1Result:
+    """Execute the R-F1 characterisation sweep."""
+    setup = reference_setup()
+    temps_c = temperature_axis(
+        setup.config.temp_min_c, setup.config.temp_max_c, points=5 if fast else 23
+    )
+    bank = setup.model.bank
+    oscillators = {
+        "PSRO-N": bank.psro_n,
+        "PSRO-P": bank.psro_p,
+        "TSRO": bank.tsro,
+    }
+    series: Dict[Tuple[str, str], np.ndarray] = {}
+    for corner_name in CORNERS:
+        corner = setup.technology.corner(corner_name)
+        for osc_name, oscillator in oscillators.items():
+            freqs = np.array(
+                [
+                    oscillator.frequency(
+                        Environment.from_corner(
+                            corner, celsius_to_kelvin(float(t)), setup.technology.vdd
+                        )
+                    )
+                    for t in temps_c
+                ]
+            )
+            series[(osc_name, corner_name)] = freqs
+    return F1Result(temps_c=temps_c, series=series)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""R-F2: process-ring sensitivity matrix — the decoupling figure.
+
+Sweeps dV_tn and dV_tp independently and reports each ring's relative
+frequency sensitivity.  The paper's scheme stands or falls on this matrix
+being strongly diagonally dominant: PSRO-N must see V_tn and barely see
+V_tp, and vice versa, or the 2x2 inversion is ill-conditioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import reference_setup
+from repro.units import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class F2Result:
+    """Sensitivity matrix and sweep series at the reference condition."""
+
+    dvt_axis: np.ndarray
+    psro_n_vs_dvtn: np.ndarray
+    psro_n_vs_dvtp: np.ndarray
+    psro_p_vs_dvtn: np.ndarray
+    psro_p_vs_dvtp: np.ndarray
+    sensitivity_matrix: np.ndarray  # relative, per mV
+    decoupling_ratio: float
+    condition_number: float
+
+    def render(self) -> str:
+        rows = [
+            [
+                "PSRO-N",
+                f"{self.sensitivity_matrix[0, 0]*100:+.4f}",
+                f"{self.sensitivity_matrix[0, 1]*100:+.4f}",
+            ],
+            [
+                "PSRO-P",
+                f"{self.sensitivity_matrix[1, 0]*100:+.4f}",
+                f"{self.sensitivity_matrix[1, 1]*100:+.4f}",
+            ],
+        ]
+        table = render_table(
+            ["ring", "d f/f per mV dVtn (%)", "d f/f per mV dVtp (%)"],
+            rows,
+            title="R-F2 process sensitivity matrix at 25 degC",
+        )
+        return (
+            f"{table}\n"
+            f"decoupling ratio (diag/offdiag): {self.decoupling_ratio:.1f}\n"
+            f"condition number of the 2x2 system: {self.condition_number:.2f}"
+        )
+
+
+def run(fast: bool = False) -> F2Result:
+    """Execute the R-F2 sensitivity sweep."""
+    setup = reference_setup()
+    temp_k = celsius_to_kelvin(25.0)
+    points = 5 if fast else 25
+    axis = np.linspace(-0.060, 0.060, points)
+
+    def sweep(which: str) -> Dict[str, np.ndarray]:
+        f_n, f_p = [], []
+        for dvt in axis:
+            shifts = {"dvtn": 0.0, "dvtp": 0.0}
+            shifts[which] = float(dvt)
+            fn, fp = setup.model.process_frequencies(
+                shifts["dvtn"], shifts["dvtp"], temp_k
+            )
+            f_n.append(fn)
+            f_p.append(fp)
+        return {"n": np.array(f_n), "p": np.array(f_p)}
+
+    by_dvtn = sweep("dvtn")
+    by_dvtp = sweep("dvtp")
+
+    f_n0, f_p0 = setup.model.process_frequencies(0.0, 0.0, temp_k)
+    jac = setup.model.process_jacobian(0.0, 0.0, temp_k)
+    relative = jac / np.array([[f_n0], [f_p0]]) * 1e-3  # per mV
+
+    return F2Result(
+        dvt_axis=axis,
+        psro_n_vs_dvtn=by_dvtn["n"],
+        psro_n_vs_dvtp=by_dvtp["n"],
+        psro_p_vs_dvtn=by_dvtn["p"],
+        psro_p_vs_dvtp=by_dvtp["p"],
+        sensitivity_matrix=relative,
+        decoupling_ratio=setup.model.decoupling_ratio(temp_k),
+        condition_number=float(np.linalg.cond(jac)),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

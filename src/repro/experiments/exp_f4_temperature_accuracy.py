@@ -1,0 +1,128 @@
+"""R-F4: temperature inaccuracy before/after self-calibration.
+
+The paper's money figure: temperature error across process, over the full
+range.  "Before" is the identical hardware read through the typical TSRO
+curve with no process correction (the uncalibrated baseline); "after" is
+the full self-calibrated conversion.  The shape to reproduce: uncalibrated
+error is dominated by the die's process point (several degC, different
+sign per corner), self-calibrated error collapses to the +/-1.5 degC class
+with no systematic corner dependence left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.analysis.metrics import ErrorStats, error_stats
+from repro.analysis.sweeps import temperature_axis
+from repro.analysis.tables import render_table
+from repro.baselines.uncalibrated import UncalibratedTsroSensor
+from repro.experiments.common import (
+    PAPER_ANCHORS,
+    die_population,
+    population_sensors,
+    reference_setup,
+)
+
+PAPER_SAMPLE_DIES = 8
+
+
+@dataclass(frozen=True)
+class F4Result:
+    """Error matrices of shape (dies, temps), degrees Celsius."""
+
+    temps_c: np.ndarray
+    calibrated_errors: np.ndarray
+    uncalibrated_errors: np.ndarray
+
+    @property
+    def calibrated_stats(self) -> ErrorStats:
+        return error_stats(self.calibrated_errors.ravel())
+
+    @property
+    def uncalibrated_stats(self) -> ErrorStats:
+        return error_stats(self.uncalibrated_errors.ravel())
+
+    def small_sample_band_c(self) -> float:
+        """Paper-style +/- band over the first PAPER_SAMPLE_DIES dies."""
+        n = min(PAPER_SAMPLE_DIES, self.calibrated_errors.shape[0])
+        return float(np.max(np.abs(self.calibrated_errors[:n])))
+
+    def improvement_factor(self) -> float:
+        """Uncalibrated band / calibrated band."""
+        return self.uncalibrated_stats.band / self.calibrated_stats.band
+
+    def render(self) -> str:
+        rows = []
+        for j, temp in enumerate(self.temps_c):
+            cal = self.calibrated_errors[:, j]
+            unc = self.uncalibrated_errors[:, j]
+            rows.append(
+                [
+                    f"{temp:+.0f}",
+                    f"{np.max(np.abs(unc)):.2f}",
+                    f"{np.std(unc):.2f}",
+                    f"{np.max(np.abs(cal)):.2f}",
+                    f"{np.std(cal):.2f}",
+                ]
+            )
+        table = render_table(
+            [
+                "T (degC)",
+                "uncal band (degC)",
+                "uncal sigma",
+                "self-cal band (degC)",
+                "self-cal sigma",
+            ],
+            rows,
+            title="R-F4 temperature error vs temperature (before/after self-calibration)",
+        )
+        cal, unc = self.calibrated_stats, self.uncalibrated_stats
+        return (
+            f"{table}\n"
+            f"overall: uncalibrated {unc.describe(' degC')}\n"
+            f"         self-calibrated {cal.describe(' degC')}\n"
+            f"paper-style band (n={min(PAPER_SAMPLE_DIES, self.calibrated_errors.shape[0])} dies): "
+            f"+/-{self.small_sample_band_c():.2f} degC "
+            f"(paper: +/-{PAPER_ANCHORS['temperature_band_c']} degC)\n"
+            f"improvement factor: {self.improvement_factor():.1f}x"
+        )
+
+
+def run(fast: bool = False) -> F4Result:
+    """Execute the R-F4 before/after accuracy study."""
+    setup = reference_setup()
+    die_count = 25 if fast else 150
+    temps_c = temperature_axis(
+        setup.config.temp_min_c, setup.config.temp_max_c, points=5 if fast else 9
+    )
+    sensors = population_sensors(die_count)
+    dies = die_population(die_count)
+
+    calibrated = np.empty((die_count, temps_c.size))
+    uncalibrated = np.empty((die_count, temps_c.size))
+    for i, (sensor, die) in enumerate(zip(sensors, dies)):
+        baseline = UncalibratedTsroSensor(
+            setup.technology,
+            config=setup.config,
+            die=die,
+            sensing_model=setup.model,
+        )
+        for j, temp in enumerate(temps_c):
+            calibrated[i, j] = sensor.read(float(temp)).temperature_c - temp
+            uncalibrated[i, j] = baseline.read_temperature(float(temp)) - temp
+
+    return F4Result(
+        temps_c=temps_c,
+        calibrated_errors=calibrated,
+        uncalibrated_errors=uncalibrated,
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

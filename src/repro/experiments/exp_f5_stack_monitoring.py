@@ -1,0 +1,178 @@
+"""R-F5: per-tier monitoring of a TSV 3-D stack — the use-case experiment.
+
+A four-tier stack (bottom tier farthest from the heat sink) runs a hotspot
+workload; the thermal solver provides the ground-truth junction-temperature
+field, one sensor per tier (two sites: die centre and inside the hotspot)
+reads its local environment, and readings travel the TSV bus to the
+aggregator.  The shapes to reproduce: tiers far from the sink run hotter,
+intra-die gradients of several degC exist between the sites, and every
+sensor tracks its *local* ground truth within the R-F4 accuracy class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.sensor import PTSensor
+from repro.experiments.common import die_population, reference_setup
+from repro.readout.interface import SensorFrame, encode_frame
+from repro.thermal.grid import build_stack_grid
+from repro.thermal.power import hotspot_power_map
+from repro.thermal.solver import steady_state
+from repro.tsv.bus import TsvSensorBus
+from repro.tsv.geometry import StackDescriptor, TierSpec, regular_tsv_array
+from repro.units import kelvin_to_celsius
+
+GRID_NX = 20
+GRID_NY = 20
+HOTSPOT_SITE = (1.4e-3, 1.4e-3)
+CENTER_SITE = (2.5e-3, 2.5e-3)
+
+
+@dataclass(frozen=True)
+class TierReading:
+    """Ground truth vs sensor estimate at one site of one tier."""
+
+    tier: str
+    site: str
+    true_c: float
+    estimated_c: float
+
+    @property
+    def error_c(self) -> float:
+        return self.estimated_c - self.true_c
+
+
+@dataclass(frozen=True)
+class F5Result:
+    """All tier/site readings plus bus health."""
+
+    readings: List[TierReading]
+    tier_peaks_c: Dict[str, float]
+    bus_healthy: bool
+
+    def max_error_c(self) -> float:
+        return max(abs(r.error_c) for r in self.readings)
+
+    def inter_tier_gradient_c(self) -> float:
+        """Hottest minus coolest tier peak."""
+        peaks = list(self.tier_peaks_c.values())
+        return max(peaks) - min(peaks)
+
+    def render(self) -> str:
+        rows = [
+            [r.tier, r.site, f"{r.true_c:.2f}", f"{r.estimated_c:.2f}", f"{r.error_c:+.2f}"]
+            for r in self.readings
+        ]
+        table = render_table(
+            ["tier", "site", "true T (degC)", "sensor T (degC)", "error (degC)"],
+            rows,
+            title="R-F5 per-tier monitoring of a 4-tier TSV stack (hotspot workload)",
+        )
+        peaks = ", ".join(f"{k}={v:.1f}" for k, v in self.tier_peaks_c.items())
+        return (
+            f"{table}\n"
+            f"tier peak temperatures (degC): {peaks}\n"
+            f"inter-tier gradient: {self.inter_tier_gradient_c():.2f} degC\n"
+            f"worst sensor error: {self.max_error_c():.2f} degC\n"
+            f"TSV read-out chain healthy: {self.bus_healthy}"
+        )
+
+
+def _build_stack() -> Tuple[StackDescriptor, list]:
+    tiers = [TierSpec(f"tier{i}") for i in range(4)]
+    tsvs = regular_tsv_array(8, 8, pitch=100e-6, origin=(2.1e-3, 2.1e-3))
+    stack = StackDescriptor(tiers=tiers, tsv_sites=tsvs)
+    return stack, tiers
+
+
+def _workload(stack: StackDescriptor, nx: int, ny: int) -> Dict[str, np.ndarray]:
+    """Hotspot workload: compute tier hot at the bottom, lighter tiers above."""
+    spots = {
+        "tier0.si": ([(1.0e-3, 1.0e-3, 0.9e-3, 0.9e-3, 2.0)], 0.6),
+        "tier1.si": ([], 0.35),
+        "tier2.si": ([(3.0e-3, 3.0e-3, 0.8e-3, 0.8e-3, 1.2)], 0.3),
+        "tier3.si": ([], 0.25),
+    }
+    return {
+        layer: hotspot_power_map(
+            nx, ny, stack.die_width, stack.die_height, hotspots, background
+        )
+        for layer, (hotspots, background) in spots.items()
+    }
+
+
+def run(fast: bool = False) -> F5Result:
+    """Execute the R-F5 stack-monitoring experiment."""
+    setup = reference_setup()
+    stack, tiers = _build_stack()
+    nx = 12 if fast else GRID_NX
+    ny = 12 if fast else GRID_NY
+    grid = build_stack_grid(
+        stack.thermal_layers(nx, ny), stack.die_width, stack.die_height, nx=nx, ny=ny
+    )
+    workload = _workload(stack, nx, ny)
+    field = steady_state(grid, workload)
+
+    dies = die_population(len(tiers))
+    readings: List[TierReading] = []
+    frames = {}
+    for tier_id, (tier, die) in enumerate(zip(tiers, dies)):
+        layer = stack.transistor_layer_name(tier)
+        sites = {"center": CENTER_SITE} if fast else {
+            "center": CENTER_SITE,
+            "hotspot": HOTSPOT_SITE,
+        }
+        for site_name, (x, y) in sites.items():
+            true_k = field.at(layer, x, y)
+            sensor_at_site = PTSensor(
+                setup.technology,
+                config=setup.config,
+                die=die,
+                location=(x, y),
+                die_id=tier_id,
+                sensing_model=setup.model,
+                lut=setup.lut,
+            )
+            env = sensor_at_site.physical_environment(true_k)
+            reading = sensor_at_site.read_environment(env)
+            readings.append(
+                TierReading(
+                    tier=tier.name,
+                    site=site_name,
+                    true_c=kelvin_to_celsius(true_k),
+                    estimated_c=reading.temperature_c,
+                )
+            )
+            if site_name == "center":
+                frames[tier_id] = encode_frame(
+                    SensorFrame(
+                        die_id=tier_id,
+                        vtn_shift=reading.dvtn,
+                        vtp_shift=reading.dvtp,
+                        temperature_c=reading.temperature_c,
+                    )
+                )
+
+    bus = TsvSensorBus(tiers=len(tiers))
+    report = bus.collect(frames)
+
+    tier_peaks = {
+        tier.name: kelvin_to_celsius(field.peak(stack.transistor_layer_name(tier)))
+        for tier in tiers
+    }
+    return F5Result(
+        readings=readings, tier_peaks_c=tier_peaks, bus_healthy=report.healthy
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""R-F7: energy vs resolution — where 367.5 pJ/conversion comes from.
+
+The counting windows are the sensor's only energy knob: a longer PSRO
+window buys finer V_t quantisation linearly in energy, and more TSRO
+periods buy finer temperature quantisation almost for free (the TSRO burns
+microwatts).  Sweeping both maps the Pareto front and locates the reference
+design point next to the paper's headline energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import render_table
+from repro.circuits.ring_oscillator import Environment
+from repro.config import SensorConfig
+from repro.experiments.common import PAPER_ANCHORS, reference_setup
+from repro.readout.energy import conversion_energy
+from repro.units import MICRO, celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class F7Row:
+    """One operating point of the energy/resolution trade."""
+
+    psro_window_us: float
+    tsro_periods: int
+    energy_pj: float
+    conversion_time_us: float
+    vtn_lsb_mv: float
+    temp_lsb_c: float
+    is_reference: bool
+
+
+@dataclass(frozen=True)
+class F7Result:
+    """The swept trade-off table."""
+
+    rows: List[F7Row]
+
+    def reference_row(self) -> F7Row:
+        for row in self.rows:
+            if row.is_reference:
+                return row
+        raise ValueError("no reference operating point in the sweep")
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{r.psro_window_us:.2f}" + (" *" if r.is_reference else ""),
+                f"{r.tsro_periods}",
+                f"{r.energy_pj:.1f}",
+                f"{r.conversion_time_us:.1f}",
+                f"{r.vtn_lsb_mv:.3f}",
+                f"{r.temp_lsb_c:.3f}",
+            ]
+            for r in self.rows
+        ]
+        table = render_table(
+            [
+                "PSRO window (us)",
+                "TSRO periods",
+                "energy (pJ)",
+                "t_conv (us)",
+                "Vtn LSB (mV)",
+                "T LSB (degC)",
+            ],
+            rows,
+            title="R-F7 energy vs resolution (* = reference design point)",
+        )
+        ref = self.reference_row()
+        return (
+            f"{table}\n"
+            f"reference point: {ref.energy_pj:.1f} pJ/conversion "
+            f"(paper: {PAPER_ANCHORS['energy_per_conversion_pj']} pJ)"
+        )
+
+
+def _vtn_lsb_mv(setup, config: SensorConfig, temp_k: float) -> float:
+    """V_tn quantisation step implied by one PSRO-N count."""
+    f_n0, _ = setup.model.process_frequencies(0.0, 0.0, temp_k)
+    jac = setup.model.process_jacobian(0.0, 0.0, temp_k)
+    counts = f_n0 * config.psro_window
+    df = f_n0 / counts  # one-count frequency step
+    return abs(df / jac[0, 0]) * 1e3
+
+
+def _temp_lsb_c(setup, config: SensorConfig, temp_k: float) -> float:
+    """Temperature quantisation step implied by one reference count."""
+    f_t = setup.model.tsro_frequency(0.0, 0.0, temp_k)
+    interval = config.tsro_periods / f_t
+    counts = interval * config.ref_clock_hz
+    relative_step = 1.0 / counts
+    delta = 0.5
+    f_hi = setup.model.tsro_frequency(0.0, 0.0, temp_k + delta)
+    f_lo = setup.model.tsro_frequency(0.0, 0.0, temp_k - delta)
+    slope = (f_hi - f_lo) / (2.0 * delta) / f_t  # fractional per kelvin
+    return relative_step / slope
+
+
+def run(fast: bool = False, temp_c: float = 27.0) -> F7Result:
+    """Execute the R-F7 window sweep on the typical die."""
+    setup = reference_setup()
+    temp_k = celsius_to_kelvin(temp_c)
+    reference = setup.config
+
+    windows_us = [0.3, 0.6, 1.2] if fast else [0.15, 0.3, 0.6, 1.2, 2.4, 4.8]
+    periods = [48, 96] if fast else [24, 48, 96, 192, 384]
+
+    rows: List[F7Row] = []
+    for window_us in windows_us:
+        for n_periods in periods:
+            config = reference.with_windows(
+                psro_window=window_us * MICRO, tsro_periods=n_periods
+            )
+            env = Environment(temp_k=temp_k, vdd=setup.technology.vdd)
+            energy = conversion_energy(setup.model.bank, env, config)
+            f_t = setup.model.bank.tsro.frequency(env)
+            rows.append(
+                F7Row(
+                    psro_window_us=window_us,
+                    tsro_periods=n_periods,
+                    energy_pj=energy.total * 1e12,
+                    conversion_time_us=config.conversion_time(f_t) * 1e6,
+                    vtn_lsb_mv=_vtn_lsb_mv(setup, config, temp_k),
+                    temp_lsb_c=_temp_lsb_c(setup, config, temp_k),
+                    is_reference=(
+                        abs(window_us * MICRO - reference.psro_window) < 1e-12
+                        and n_periods == reference.tsro_periods
+                    ),
+                )
+            )
+    if not any(row.is_reference for row in rows):
+        raise AssertionError("sweep must include the reference design point")
+    return F7Result(rows=rows)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

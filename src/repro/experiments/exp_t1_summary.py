@@ -1,0 +1,119 @@
+"""R-T1: the sensor summary table — headline numbers vs the paper.
+
+The one-row-per-spec table every sensor paper ends with: technology,
+supply, range, accuracy of each output, energy and rate.  Every measured
+cell comes from the other experiments' machinery run at the reference
+design point, so this table *is* the reproduction scorecard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import render_table
+from repro.circuits.ring_oscillator import Environment
+from repro.core.area import estimate_macro_area
+from repro.experiments import exp_f3_vt_extraction, exp_f4_temperature_accuracy
+from repro.experiments.common import PAPER_ANCHORS, reference_setup
+from repro.readout.energy import conversion_energy
+from repro.readout.sequencer import ConversionSequencer
+from repro.units import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class T1Result:
+    """Measured headline figures at the reference design point."""
+
+    technology: str
+    vdd: float
+    temp_range_c: tuple
+    vtn_band_mv: float
+    vtp_band_mv: float
+    temp_band_c: float
+    energy_pj_27c: float
+    conversion_rate_ks_27c: float
+    area_mm2: float
+
+    def render(self) -> str:
+        anchors = PAPER_ANCHORS
+        rows: List[List[str]] = [
+            ["technology", self.technology, "TSMC 65 nm"],
+            ["supply (V)", f"{self.vdd:.2f}", "1.2 (node nominal)"],
+            (
+                [
+                    "temperature range (degC)",
+                    f"{self.temp_range_c[0]:.0f} .. {self.temp_range_c[1]:.0f}",
+                    "industrial-class range",
+                ]
+            ),
+            [
+                "V_tn read-out band (mV)",
+                f"+/-{self.vtn_band_mv:.2f}",
+                f"+/-{anchors['vtn_band_mv']}",
+            ],
+            [
+                "V_tp read-out band (mV)",
+                f"+/-{self.vtp_band_mv:.2f}",
+                f"+/-{anchors['vtp_band_mv']}",
+            ],
+            [
+                "temperature inaccuracy (degC)",
+                f"+/-{self.temp_band_c:.2f}",
+                f"+/-{anchors['temperature_band_c']}",
+            ],
+            [
+                "energy per conversion (pJ)",
+                f"{self.energy_pj_27c:.1f}",
+                f"{anchors['energy_per_conversion_pj']}",
+            ],
+            [
+                "conversion rate @27C (kS/s)",
+                f"{self.conversion_rate_ks_27c:.1f}",
+                "(not in abstract)",
+            ],
+            [
+                "macro area (mm^2)",
+                f"{self.area_mm2:.4f}",
+                "(not in abstract; RO-sensor class)",
+            ],
+        ]
+        return render_table(
+            ["specification", "measured", "paper"],
+            rows,
+            title="R-T1 sensor summary (paper-style)",
+        )
+
+
+def run(fast: bool = False) -> T1Result:
+    """Assemble the summary from the reference design and small MC runs."""
+    setup = reference_setup()
+
+    f3 = exp_f3_vt_extraction.run(fast=True)  # paper-style sample size
+    f4 = exp_f4_temperature_accuracy.run(fast=fast)
+
+    env_27 = Environment(temp_k=celsius_to_kelvin(27.0), vdd=setup.technology.vdd)
+    energy = conversion_energy(setup.model.bank, env_27, setup.config)
+    sequencer = ConversionSequencer(setup.config)
+    f_t = setup.model.bank.tsro.frequency(env_27)
+
+    small_n, small_p = f3.small_sample_band_mv()
+    return T1Result(
+        technology=setup.technology.name,
+        vdd=setup.technology.vdd,
+        temp_range_c=(setup.config.temp_min_c, setup.config.temp_max_c),
+        vtn_band_mv=small_n,
+        vtp_band_mv=small_p,
+        temp_band_c=f4.small_sample_band_c(),
+        energy_pj_27c=energy.total * 1e12,
+        conversion_rate_ks_27c=sequencer.conversion_rate(f_t) / 1e3,
+        area_mm2=estimate_macro_area(setup.technology, setup.config).total_mm2,
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

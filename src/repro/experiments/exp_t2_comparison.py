@@ -1,0 +1,154 @@
+"""R-T2: scheme comparison on an identical die population.
+
+The prior-art-style table: every sensor scheme reads the *same* Monte-Carlo
+dies at the same temperatures, so the only difference is the calibration
+scheme.  Columns carry both accuracy and the cost that accuracy was bought
+with — the paper's pitch is the bottom-left cell: two-point-class accuracy
+at zero factory-calibration cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.metrics import ErrorStats, error_stats
+from repro.analysis.tables import render_table
+from repro.baselines.diode import DIODE_SENSOR_ENERGY_J, DiodeSensor
+from repro.baselines.ratio import RatioSensor
+from repro.baselines.two_point import TwoPointCalibratedSensor
+from repro.baselines.uncalibrated import UncalibratedTsroSensor
+from repro.circuits.ring_oscillator import Environment
+from repro.experiments.common import die_population, population_sensors, reference_setup
+from repro.readout.energy import conversion_energy
+from repro.units import celsius_to_kelvin
+
+COMPARISON_TEMPS_C = (-20.0, 27.0, 85.0)
+
+
+@dataclass(frozen=True)
+class SchemeRow:
+    """One comparison row."""
+
+    scheme: str
+    stats: ErrorStats
+    energy_pj: float
+    factory_cost: str
+
+
+@dataclass(frozen=True)
+class T2Result:
+    """The assembled comparison."""
+
+    rows: List[SchemeRow]
+
+    def row(self, scheme: str) -> SchemeRow:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row
+        raise KeyError(f"unknown scheme {scheme!r}")
+
+    def render(self) -> str:
+        rows = [
+            [
+                r.scheme,
+                f"+/-{r.stats.band:.2f}",
+                f"{r.stats.three_sigma:.2f}",
+                f"{r.energy_pj:.0f}",
+                r.factory_cost,
+            ]
+            for r in self.rows
+        ]
+        return render_table(
+            [
+                "scheme",
+                "T inaccuracy (degC)",
+                "3sigma (degC)",
+                "energy/conv (pJ)",
+                "factory calibration",
+            ],
+            rows,
+            title="R-T2 scheme comparison (same dies, same temperatures)",
+        )
+
+
+def run(fast: bool = False) -> T2Result:
+    """Execute the R-T2 comparison."""
+    setup = reference_setup()
+    die_count = 20 if fast else 120
+    dies = die_population(die_count)
+    sensors = population_sensors(die_count)
+
+    env_27 = Environment(temp_k=celsius_to_kelvin(27.0), vdd=setup.technology.vdd)
+    full_energy_pj = conversion_energy(setup.model.bank, env_27, setup.config).total * 1e12
+    # Temperature-only schemes skip the two PSRO phases.
+    tsro_energy = conversion_energy(setup.model.bank, env_27, setup.config)
+    tsro_only_pj = (tsro_energy.tsro + tsro_energy.counters / 3.0 + tsro_energy.digital) * 1e12
+
+    errors: Dict[str, List[float]] = {
+        "uncalibrated TSRO": [],
+        "ratio-metric dual-RO": [],
+        "diode (untrimmed)": [],
+        "diode (1-pt trim)": [],
+        "two-point factory cal": [],
+        "self-calibrated (paper)": [],
+    }
+
+    for die, sensor in zip(dies, sensors):
+        baselines = {
+            "uncalibrated TSRO": UncalibratedTsroSensor(
+                setup.technology, config=setup.config, die=die, sensing_model=setup.model
+            ),
+            "ratio-metric dual-RO": RatioSensor(
+                setup.technology, config=setup.config, die=die, sensing_model=setup.model
+            ),
+            "diode (untrimmed)": DiodeSensor(die=die, trimmed=False),
+            "diode (1-pt trim)": DiodeSensor(die=die, trimmed=True),
+            "two-point factory cal": TwoPointCalibratedSensor(
+                setup.technology, config=setup.config, die=die
+            ),
+        }
+        for temp in COMPARISON_TEMPS_C:
+            for name, baseline in baselines.items():
+                errors[name].append(baseline.read_temperature(temp) - temp)
+            errors["self-calibrated (paper)"].append(
+                sensor.read(temp).temperature_c - temp
+            )
+
+    costs = {
+        "uncalibrated TSRO": "none",
+        "ratio-metric dual-RO": "none",
+        "diode (untrimmed)": "none (analog area)",
+        "diode (1-pt trim)": "1 chamber point/die",
+        "two-point factory cal": "2 chamber points/die",
+        "self-calibrated (paper)": "none (on-chip)",
+    }
+    energies = {
+        "uncalibrated TSRO": tsro_only_pj,
+        "ratio-metric dual-RO": tsro_only_pj * 1.5,
+        "diode (untrimmed)": DIODE_SENSOR_ENERGY_J * 1e12,
+        "diode (1-pt trim)": DIODE_SENSOR_ENERGY_J * 1e12,
+        "two-point factory cal": tsro_only_pj,
+        "self-calibrated (paper)": full_energy_pj,
+    }
+
+    rows = [
+        SchemeRow(
+            scheme=name,
+            stats=error_stats(np.asarray(errs)),
+            energy_pj=energies[name],
+            factory_cost=costs[name],
+        )
+        for name, errs in errors.items()
+    ]
+    return T2Result(rows=rows)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Run-everything orchestration and report generation.
+
+``run_all`` executes every registered experiment and collects renders,
+runtimes and failures into a :class:`SuiteResult`; ``write_report`` turns
+that into a single markdown document (the machine-generated companion to
+the hand-written EXPERIMENTS.md).  The CLI exposes this as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One experiment's execution record.
+
+    Attributes:
+        key: Experiment id (R-F1 ...).
+        ok: Whether ``run`` and ``render`` completed.
+        runtime_s: Wall-clock runtime.
+        rendered: The rendered table(s), or the traceback on failure.
+    """
+
+    key: str
+    ok: bool
+    runtime_s: float
+    rendered: str
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """The whole suite's outcome."""
+
+    outcomes: List[ExperimentOutcome]
+    fast: bool
+
+    @property
+    def all_ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def failures(self) -> List[str]:
+        return [outcome.key for outcome in self.outcomes if not outcome.ok]
+
+    def to_json(self) -> str:
+        """Serialise for archival next to the report."""
+        payload = {
+            "fast": self.fast,
+            "outcomes": [
+                {
+                    "key": o.key,
+                    "ok": o.ok,
+                    "runtime_s": round(o.runtime_s, 3),
+                    "rendered": o.rendered,
+                }
+                for o in self.outcomes
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+
+def run_all(
+    fast: bool = False, only: Optional[List[str]] = None
+) -> SuiteResult:
+    """Execute every (or a subset of) registered experiment.
+
+    Failures are captured, not raised: a report with one broken experiment
+    is more useful than no report.
+    """
+    keys = list(ALL_EXPERIMENTS) if only is None else list(only)
+    unknown = [key for key in keys if key not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    outcomes: List[ExperimentOutcome] = []
+    for key in keys:
+        started = time.time()
+        try:
+            rendered = ALL_EXPERIMENTS[key].run(fast=fast).render()
+            ok = True
+        except Exception:
+            rendered = traceback.format_exc()
+            ok = False
+        outcomes.append(
+            ExperimentOutcome(
+                key=key, ok=ok, runtime_s=time.time() - started, rendered=rendered
+            )
+        )
+    return SuiteResult(outcomes=outcomes, fast=fast)
+
+
+def write_report(result: SuiteResult, path: str) -> None:
+    """Write the suite's markdown report to ``path``."""
+    lines = [
+        "# Generated experiment report",
+        "",
+        f"Workload: {'fast (smoke)' if result.fast else 'full'};"
+        f" {len(result.outcomes)} experiments;"
+        f" {'all passed' if result.all_ok else 'FAILURES: ' + ', '.join(result.failures())}.",
+        "",
+        "Regenerate with `python -m repro report"
+        + (" --fast" if result.fast else "")
+        + "`.",
+        "",
+    ]
+    for outcome in result.outcomes:
+        status = "ok" if outcome.ok else "FAILED"
+        lines.append(f"## {outcome.key} ({status}, {outcome.runtime_s:.1f}s)")
+        lines.append("")
+        lines.append("```")
+        lines.append(outcome.rendered.rstrip())
+        lines.append("```")
+        lines.append("")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))

@@ -1,0 +1,42 @@
+"""Stack-level sensor-network management.
+
+The paper delivers one sensor macro; a deployed 3-D stack runs one per
+tier and needs the layer above: an aggregator that polls tiers over the
+TSV chain and survives failures (``aggregator``), a dynamic thermal
+management policy that acts on the readings (``dtm``), and a sampling
+scheduler that spends conversion energy where the thermal action is
+(``scheduler``).  All three are reconstruction extensions (flagged in
+DESIGN.md) built strictly on the reproduced sensor.
+"""
+
+from repro.network.aggregator import MonitorSnapshot, StackMonitor, TierState
+from repro.network.consensus import ConsensusReport, check_consensus
+from repro.network.dtm import DtmPolicy, DtmTrace, run_closed_loop
+from repro.network.fusion import TemperatureKalman, filter_trace
+from repro.network.placement import (
+    PlacementResult,
+    candidate_grid,
+    greedy_placement,
+    observer_error,
+    reconstruction_error,
+)
+from repro.network.scheduler import AdaptiveSampler
+
+__all__ = [
+    "AdaptiveSampler",
+    "ConsensusReport",
+    "DtmPolicy",
+    "DtmTrace",
+    "MonitorSnapshot",
+    "PlacementResult",
+    "StackMonitor",
+    "TemperatureKalman",
+    "TierState",
+    "candidate_grid",
+    "check_consensus",
+    "filter_trace",
+    "greedy_placement",
+    "observer_error",
+    "reconstruction_error",
+    "run_closed_loop",
+]

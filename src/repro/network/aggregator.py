@@ -1,0 +1,188 @@
+"""The stack monitor: polling every tier's sensor over the TSV chain.
+
+One conversion round = every alive tier senses, frames its reading, and the
+frames traverse the TSV daisy chain.  The aggregator's job is the
+unglamorous part a real monitoring network lives or dies by:
+
+* **parity errors** — re-poll the affected tier (bounded retries);
+* **missing tiers** — count consecutive misses and declare the tier dead
+  after a threshold instead of silently reporting stale data;
+* **alarms** — classify each tier against warning/emergency thresholds so
+  the DTM layer gets actionable state, not raw frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.sensor import PTSensor
+from repro.tsv.bus import TsvSensorBus
+
+DEAD_AFTER_CONSECUTIVE_MISSES = 3
+
+
+@dataclass
+class TierState:
+    """Aggregator-side state of one tier.
+
+    Attributes:
+        tier: Tier index.
+        temperature_c: Last good temperature reading.
+        dvtn: Last good NMOS threshold shift, volts.
+        dvtp: Last good PMOS threshold-magnitude shift, volts.
+        consecutive_misses: Polls in a row with no clean frame.
+        alive: False once the tier is declared dead.
+    """
+
+    tier: int
+    temperature_c: Optional[float] = None
+    dvtn: Optional[float] = None
+    dvtp: Optional[float] = None
+    consecutive_misses: int = 0
+    alive: bool = True
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """Result of one polling round.
+
+    Attributes:
+        temperatures_c: Fresh readings by tier (only tiers that answered).
+        hottest_tier: Tier with the highest fresh reading, or None.
+        warnings: Tiers at or above the warning threshold.
+        emergencies: Tiers at or above the emergency threshold.
+        dead_tiers: Tiers declared dead so far.
+        retries_used: Bus re-polls needed this round.
+    """
+
+    temperatures_c: Dict[int, float]
+    hottest_tier: Optional[int]
+    warnings: List[int]
+    emergencies: List[int]
+    dead_tiers: List[int]
+    retries_used: int
+
+
+class StackMonitor:
+    """Polls a stack of PT sensors over the TSV chain.
+
+    Args:
+        sensors: Tier index -> sensor macro.
+        bus: The TSV read-out chain (its failure modes apply).
+        warning_c: Warning threshold in Celsius.
+        emergency_c: Emergency threshold in Celsius.
+        retry_limit: Bus re-polls per round for parity-failed tiers.
+        rng: Randomness for bus corruption; ``None`` = clean bus.
+    """
+
+    def __init__(
+        self,
+        sensors: Dict[int, PTSensor],
+        bus: TsvSensorBus,
+        warning_c: float = 95.0,
+        emergency_c: float = 110.0,
+        retry_limit: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if warning_c >= emergency_c:
+            raise ValueError("warning threshold must sit below emergency")
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be non-negative")
+        self.sensors = dict(sensors)
+        self.bus = bus
+        self.warning_c = warning_c
+        self.emergency_c = emergency_c
+        self.retry_limit = retry_limit
+        self.rng = rng
+        self.states: Dict[int, TierState] = {
+            tier: TierState(tier=tier) for tier in self.sensors
+        }
+        self.history: List[MonitorSnapshot] = []
+
+    def _sense_tier(self, tier: int, temp_c: float, vdd: Optional[float]) -> int:
+        sensor = self.sensors[tier]
+        reading = sensor.read(temp_c, vdd=vdd)
+        return sensor.frame(reading)
+
+    def poll(
+        self, true_temps_c: Dict[int, float], vdd: Optional[float] = None
+    ) -> MonitorSnapshot:
+        """One polling round against the true per-tier temperatures.
+
+        Args:
+            true_temps_c: Physical junction temperature at each tier's
+                sensor site (from the thermal solver or a test harness).
+            vdd: True supply voltage (``None`` = nominal).
+
+        Returns:
+            The round's :class:`MonitorSnapshot`; tier states update as a
+            side effect.
+        """
+        pending = [
+            tier
+            for tier, state in self.states.items()
+            if state.alive and tier in true_temps_c
+        ]
+        fresh: Dict[int, float] = {}
+        retries_used = 0
+
+        attempts = 0
+        while pending and attempts <= self.retry_limit:
+            polled = set(pending)
+            frames = {
+                tier: self._sense_tier(tier, true_temps_c[tier], vdd)
+                for tier in pending
+            }
+            report = self.bus.collect(frames, rng=self.rng)
+            for tier, frame in report.frames.items():
+                state = self.states[tier]
+                state.temperature_c = frame.temperature_c
+                state.dvtn = frame.vtn_shift
+                state.dvtp = frame.vtp_shift
+                state.consecutive_misses = 0
+                fresh[tier] = frame.temperature_c
+            # Parity-failed tiers get re-polled; missing tiers do not (a
+            # stuck tier will not answer a retry either).  The bus reports
+            # every chain position absent from the shift-in as missing, so
+            # only tiers we actually polled this round count.
+            for tier in report.missing:
+                if tier in polled:
+                    self._register_miss(tier)
+            pending = list(report.parity_errors)
+            if pending:
+                retries_used += 1
+            attempts += 1
+        for tier in pending:  # parity failures that survived all retries
+            self._register_miss(tier)
+
+        warnings = sorted(
+            t for t, temp in fresh.items() if self.warning_c <= temp < self.emergency_c
+        )
+        emergencies = sorted(t for t, temp in fresh.items() if temp >= self.emergency_c)
+        snapshot = MonitorSnapshot(
+            temperatures_c=fresh,
+            hottest_tier=max(fresh, key=fresh.get) if fresh else None,
+            warnings=warnings,
+            emergencies=emergencies,
+            dead_tiers=sorted(t for t, s in self.states.items() if not s.alive),
+            retries_used=retries_used,
+        )
+        self.history.append(snapshot)
+        return snapshot
+
+    def _register_miss(self, tier: int) -> None:
+        state = self.states[tier]
+        state.consecutive_misses += 1
+        if state.consecutive_misses >= DEAD_AFTER_CONSECUTIVE_MISSES:
+            state.alive = False
+
+    def process_map(self) -> Dict[int, tuple]:
+        """Last known (dV_tn, dV_tp) per tier — the stack's process map."""
+        return {
+            tier: (state.dvtn, state.dvtp)
+            for tier, state in self.states.items()
+            if state.dvtn is not None
+        }

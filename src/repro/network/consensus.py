@@ -1,0 +1,117 @@
+"""Cross-sensor consensus: catching the sensor that lies plausibly.
+
+BIST (:mod:`repro.readout.selftest`) catches structural faults — dead
+rings, stuck counters.  It cannot catch a sensor that is *plausibly
+wrong*: in-window, repeatable, but biased (a cracked TSV changed its local
+stress, a latent defect shifted a sensing device).  The network layer can:
+neighbouring sensors sample a smooth temperature field, so a reading that
+deviates from the value its neighbours imply — by more than the field's
+physical roughness plus the sensor accuracy class — is suspect.
+
+The detector uses median-based robust statistics (a faulty sensor must not
+poison its own consensus) and distance-weighted neighbour prediction, and
+flags rather than drops: policy about suspects belongs to the operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+Site = Tuple[float, float]
+
+# Scale factor turning the median absolute deviation into a robust sigma.
+_MAD_TO_SIGMA = 1.4826
+
+
+@dataclass(frozen=True)
+class ConsensusReport:
+    """Outcome of one consensus check over co-located sensors.
+
+    Attributes:
+        suspects: Sensor indices whose readings deviate beyond the
+            threshold from their neighbour-implied value.
+        residuals_c: Per-sensor residual (reading minus neighbour
+            prediction), degC.
+        threshold_c: The deviation threshold actually applied.
+    """
+
+    suspects: List[int]
+    residuals_c: Dict[int, float]
+    threshold_c: float
+
+    @property
+    def healthy(self) -> bool:
+        return not self.suspects
+
+
+def neighbour_prediction(
+    sites: Sequence[Site], readings_c: Sequence[float], index: int
+) -> float:
+    """Robust prediction of one sensor from all the others.
+
+    The prediction is the **median** of the other sensors' readings, not a
+    distance-weighted mean: a weighted mean lets a single large-bias liar
+    contaminate every neighbour's prediction (and thereby hide behind the
+    inflated residuals it causes), while the median tolerates any single
+    fault among >= 3 neighbours.  The price — ignoring the spatial
+    gradient between sites — is carried by the ``field_roughness_c`` floor
+    of :func:`check_consensus`.
+    """
+    if len(sites) != len(readings_c):
+        raise ValueError("sites and readings must have equal length")
+    if len(sites) < 3:
+        raise ValueError("consensus needs at least three sensors")
+    if not 0 <= index < len(sites):
+        raise ValueError("index out of range")
+    others = [value for j, value in enumerate(readings_c) if j != index]
+    return float(np.median(others))
+
+
+def check_consensus(
+    sites: Sequence[Site],
+    readings_c: Sequence[float],
+    sensor_accuracy_c: float = 1.5,
+    field_roughness_c: float = 2.0,
+    mad_multiplier: float = 4.0,
+) -> ConsensusReport:
+    """Flag sensors inconsistent with their neighbours.
+
+    The threshold is the larger of (a) a physical floor — sensor accuracy
+    plus expected field roughness between sites — and (b) a robust
+    statistical bound (``mad_multiplier`` robust sigmas of the residual
+    population), so neither a quiet die nor a steep gradient produces
+    false alarms.
+
+    Args:
+        sites: Sensor locations (metres).
+        readings_c: Their simultaneous readings, degC.
+        sensor_accuracy_c: The sensor's accuracy class.
+        field_roughness_c: Expected |T difference| between a sensor and
+            its neighbour-implied value on a healthy die (workload
+            dependent; derive from the thermal sign-off runs).
+        mad_multiplier: Robust-sigma multiplier for the statistical bound.
+
+    Returns:
+        The :class:`ConsensusReport`.
+    """
+    if sensor_accuracy_c <= 0.0 or field_roughness_c < 0.0:
+        raise ValueError("accuracy must be positive and roughness non-negative")
+    residuals = {
+        i: float(readings_c[i] - neighbour_prediction(sites, readings_c, i))
+        for i in range(len(sites))
+    }
+    values = np.asarray(list(residuals.values()))
+    mad = float(np.median(np.abs(values - np.median(values))))
+    robust_sigma = _MAD_TO_SIGMA * mad
+    threshold = max(
+        sensor_accuracy_c + field_roughness_c, mad_multiplier * robust_sigma
+    )
+    suspects = sorted(
+        index for index, residual in residuals.items() if abs(residual) > threshold
+    )
+    return ConsensusReport(
+        suspects=suspects, residuals_c=residuals, threshold_c=threshold
+    )

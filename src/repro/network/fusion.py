@@ -1,0 +1,94 @@
+"""Temperature-tracking fusion: a Kalman filter on the sensor stream.
+
+A single conversion's random error (counter phase, jitter) is white between
+conversions while the junction temperature moves smoothly on thermal time
+constants — textbook Kalman territory.  The filter here is the deployable
+minimum: a scalar random-walk state per site,
+
+    predict:  T_k|k-1 = T_k-1,     P += Q     (Q from the expected slew)
+    update:   K = P / (P + R),     T += K (z - T),   P *= (1 - K)
+
+with the measurement variance R taken from the sensor's characterised
+random error and the process variance Q from the control period times the
+worst expected slew.  The filter's job is *noise* suppression; it cannot
+remove the per-die systematic error (R-E6's floor), and the experiment
+machinery keeps the two separated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class TemperatureKalman:
+    """Scalar random-walk Kalman filter for one sensor site.
+
+    Attributes:
+        measurement_sigma_c: Random error sigma of one conversion, degC.
+        slew_limit_c_per_s: Worst expected temperature slew; together with
+            the sample interval this sets the process noise.
+        state_c: Current temperature estimate (``None`` until the first
+            update).
+    """
+
+    measurement_sigma_c: float = 0.12
+    slew_limit_c_per_s: float = 200.0
+    state_c: Optional[float] = None
+    _variance: float = field(default=0.0, repr=False)
+    _last_time_s: Optional[float] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.measurement_sigma_c <= 0.0:
+            raise ValueError("measurement_sigma_c must be positive")
+        if self.slew_limit_c_per_s <= 0.0:
+            raise ValueError("slew_limit_c_per_s must be positive")
+
+    def update(self, time_s: float, measurement_c: float) -> float:
+        """Fuse one reading; returns the filtered temperature estimate."""
+        r = self.measurement_sigma_c**2
+        if self.state_c is None:
+            self.state_c = measurement_c
+            self._variance = r
+            self._last_time_s = time_s
+            return self.state_c
+        if time_s <= self._last_time_s:
+            raise ValueError("readings must arrive in increasing time order")
+
+        dt = time_s - self._last_time_s
+        q = (self.slew_limit_c_per_s * dt) ** 2
+        self._variance += q
+
+        gain = self._variance / (self._variance + r)
+        self.state_c += gain * (measurement_c - self.state_c)
+        self._variance *= 1.0 - gain
+        self._last_time_s = time_s
+        return self.state_c
+
+    @property
+    def sigma_c(self) -> float:
+        """Current estimate's standard deviation in degC."""
+        return self._variance**0.5
+
+    def reset(self) -> None:
+        """Forget the track (e.g. after a power-state discontinuity)."""
+        self.state_c = None
+        self._variance = 0.0
+        self._last_time_s = None
+
+
+def filter_trace(
+    times_s: List[float],
+    readings_c: List[float],
+    measurement_sigma_c: float = 0.12,
+    slew_limit_c_per_s: float = 200.0,
+) -> List[float]:
+    """Convenience: run one filter over a whole reading trace."""
+    if len(times_s) != len(readings_c):
+        raise ValueError("times and readings must have equal length")
+    kalman = TemperatureKalman(
+        measurement_sigma_c=measurement_sigma_c,
+        slew_limit_c_per_s=slew_limit_c_per_s,
+    )
+    return [kalman.update(t, z) for t, z in zip(times_s, readings_c)]

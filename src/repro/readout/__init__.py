@@ -1,0 +1,30 @@
+"""Frequency-to-digital read-out: timers, energy accounting, register map.
+
+This package models the digital half of the sensor macro:
+
+* ``counter`` — the period timer used for the slow temperature ring (the
+  fast rings use :class:`repro.circuits.WindowCounter` directly);
+* ``sequencer`` — the conversion schedule (which ring is powered when);
+* ``energy`` — the per-conversion energy breakdown behind the paper's
+  367.5 pJ/conversion headline;
+* ``interface`` — the sensor's register frame as shipped over the TSV bus.
+"""
+
+from repro.readout.counter import PeriodTimer
+from repro.readout.energy import ConversionEnergy, conversion_energy
+from repro.readout.interface import SensorFrame, decode_frame, encode_frame
+from repro.readout.selftest import SelfTestReport, SensorSelfTest
+from repro.readout.sequencer import ConversionPhase, ConversionSequencer
+
+__all__ = [
+    "ConversionEnergy",
+    "ConversionPhase",
+    "ConversionSequencer",
+    "PeriodTimer",
+    "SelfTestReport",
+    "SensorFrame",
+    "SensorSelfTest",
+    "conversion_energy",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,88 @@
+"""Period timer: measuring a slow oscillator against the reference clock.
+
+The temperature ring spans a ~30x frequency range between -40 and 125 degC.
+Edge counting in a fixed window would starve at the cold end (a handful of
+counts) and overflow at the hot end.  Instead the sensor times a fixed
+number of TSRO periods with the fast system reference clock:
+
+    count = round(K / f_tsro * f_ref)        (plus +/-1 quantisation)
+
+so the *relative* resolution ``1 / count`` improves exactly where the TSRO
+is slow, keeping the temperature LSB roughly flat across the range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PeriodTimer:
+    """Times ``periods`` cycles of a target oscillator with a reference clock.
+
+    Attributes:
+        periods: Number of target periods per measurement.
+        ref_clock_hz: Reference clock frequency in hertz.
+        bits: Width of the reference-clock counter; measurements that would
+            overflow saturate at the maximum count (hardware sticky-overflow
+            behaviour), which callers can detect with :meth:`saturated`.
+    """
+
+    periods: int
+    ref_clock_hz: float
+    bits: int = 14
+
+    def __post_init__(self) -> None:
+        if self.periods < 1:
+            raise ValueError("periods must be >= 1")
+        if self.ref_clock_hz <= 0.0:
+            raise ValueError("ref_clock_hz must be positive")
+        if self.bits < 1:
+            raise ValueError("counter needs at least one bit")
+
+    @property
+    def max_count(self) -> int:
+        """Largest representable reference count."""
+        return (1 << self.bits) - 1
+
+    def count(self, frequency: float, rng: Optional[np.random.Generator] = None) -> int:
+        """Reference-clock ticks while the target completes ``periods`` cycles.
+
+        Args:
+            frequency: Target oscillator frequency in hertz.
+            rng: Source of the start-phase randomness between the two clock
+                domains; ``None`` gives the deterministic mid-phase count.
+        """
+        if frequency <= 0.0:
+            raise ValueError("frequency must be positive")
+        interval = self.periods / frequency
+        phase = 0.5 if rng is None else float(rng.uniform(0.0, 1.0))
+        raw = int(math.floor(interval * self.ref_clock_hz + phase))
+        return min(raw, self.max_count)
+
+    def saturated(self, count: int) -> bool:
+        """Whether a count hit the sticky-overflow ceiling."""
+        return count >= self.max_count
+
+    def frequency_from_count(self, count: int) -> float:
+        """Invert a reference count back to a target-frequency estimate."""
+        if count < 1:
+            raise ValueError("count must be >= 1 to invert")
+        return self.periods * self.ref_clock_hz / count
+
+    def measurement_time(self, frequency: float) -> float:
+        """Wall-clock duration of one measurement in seconds."""
+        if frequency <= 0.0:
+            raise ValueError("frequency must be positive")
+        return self.periods / frequency
+
+    def relative_resolution(self, frequency: float) -> float:
+        """One-count relative frequency resolution at ``frequency``."""
+        count = self.count(frequency)
+        if count < 1:
+            return math.inf
+        return 1.0 / count

@@ -1,0 +1,170 @@
+"""Power-on self-test (BIST) of the sensor macro.
+
+A monitoring network must not trust a broken sensor: a stuck counter or a
+dead ring produces confidently wrong temperatures.  The self-test runs a
+set of structural checks that need no external reference — only the
+design-time expectations the calibration ROM already encodes:
+
+* every ring oscillates (non-zero, non-stuck counts);
+* every count lies inside the window the characterised (corner + range)
+  box allows;
+* the ring *ratios* are mutually plausible — the V_tn/V_tp correlation
+  bounds how far a real die can skew N against P, so a ratio outside the
+  correlated envelope indicates a fault even when both rings are
+  individually in-window;
+* back-to-back conversions agree within the quantisation budget (a
+  metastable counter bit shows up as wild repeat-to-repeat jumps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.circuits.oscillator_bank import BankFrequencies
+from repro.core.sensing_model import SensingModel
+from repro.units import celsius_to_kelvin
+
+# Corner box used for the expected-window check, volts.  Slightly wider
+# than the characterised box so a legal extreme die never fails BIST.
+_BIST_VT_MARGIN = 1.1
+# Allowed repeat-to-repeat relative jump between back-to-back conversions.
+_REPEAT_TOLERANCE = 0.02
+# Allowed deviation of the PSRO-N/PSRO-P ratio from the corner envelope.
+_RATIO_MARGIN = 1.15
+# Largest plausible |dV_tn - dV_tp| skew of a real die, volts.  The global
+# shifts are positively correlated (shared gate stack/litho causes), so a
+# die skewed far beyond the FS/SF sign-off corners (+/-40 mV each way) is
+# manufacturable-implausible even though each threshold alone is in range;
+# the ratio check uses this prior (set to double the corner skew).
+_MAX_PLAUSIBLE_SKEW = 0.080
+
+
+@dataclass(frozen=True)
+class SelfTestReport:
+    """Result of one power-on self-test.
+
+    Attributes:
+        passed: Overall verdict.
+        failures: Human-readable failure descriptions (empty when passed).
+        checks_run: Number of individual checks executed.
+    """
+
+    passed: bool
+    failures: List[str]
+    checks_run: int
+
+
+class SensorSelfTest:
+    """Structural BIST built on the design-time sensing model.
+
+    Args:
+        model: The design-time model (provides the expected windows).
+    """
+
+    def __init__(self, model: SensingModel) -> None:
+        self.model = model
+        box = model.vt_box * _BIST_VT_MARGIN
+        t_lo = celsius_to_kelvin(model.config.temp_min_c)
+        t_hi = celsius_to_kelvin(model.config.temp_max_c)
+
+        # Expected frequency windows over the full legal operating box.
+        corners = [(-box, -box), (-box, box), (box, -box), (box, box), (0.0, 0.0)]
+        f_n, f_p, f_t = [], [], []
+        for dvtn, dvtp in corners:
+            for temp_k in (t_lo, t_hi):
+                fn, fp = model.process_frequencies(dvtn, dvtp, temp_k)
+                f_n.append(fn)
+                f_p.append(fp)
+                f_t.append(model.tsro_frequency(dvtn, dvtp, temp_k))
+        self._window_n = (min(f_n) * 0.9, max(f_n) * 1.1)
+        self._window_p = (min(f_p) * 0.9, max(f_p) * 1.1)
+        self._window_t = (min(f_t) * 0.5, max(f_t) * 2.0)
+
+        # Ratio envelope over *plausible* dies only: thresholds inside the
+        # box AND N-vs-P skew inside the correlated-manufacturing prior.
+        ratios = []
+        skew = _MAX_PLAUSIBLE_SKEW
+        for dvtn in (-box, 0.0, box):
+            for dvtp in (dvtn - skew, dvtn, dvtn + skew):
+                dvtp = max(-box, min(box, dvtp))
+                for temp_k in (t_lo, t_hi):
+                    fn, fp = model.process_frequencies(dvtn, dvtp, temp_k)
+                    ratios.append(fn / fp)
+        self._ratio_window = (
+            min(ratios) / _RATIO_MARGIN,
+            max(ratios) * _RATIO_MARGIN,
+        )
+
+    def _check_window(
+        self, label: str, value: float, window: Tuple[float, float], failures: List[str]
+    ) -> None:
+        lo, hi = window
+        if not lo <= value <= hi:
+            failures.append(
+                f"{label} = {value / 1e6:.3f} MHz outside expected "
+                f"[{lo / 1e6:.3f}, {hi / 1e6:.3f}] MHz"
+            )
+
+    def run(
+        self,
+        first: BankFrequencies,
+        repeat: Optional[BankFrequencies] = None,
+    ) -> SelfTestReport:
+        """Judge one (optionally two back-to-back) conversion measurements.
+
+        Args:
+            first: Measured ring frequencies (as reconstructed from counts).
+            repeat: Optional second measurement at the same condition for
+                the repeatability check.
+
+        Returns:
+            The :class:`SelfTestReport`.
+        """
+        failures: List[str] = []
+        checks = 0
+
+        # Liveness: nothing may be stuck at (or effectively at) zero.
+        for label, value in (
+            ("PSRO-N", first.psro_n),
+            ("PSRO-P", first.psro_p),
+            ("TSRO", first.tsro),
+        ):
+            checks += 1
+            if value <= 1e3:
+                failures.append(f"{label} is not oscillating (counts ~0)")
+
+        # Window checks against the characterised envelope.
+        checks += 3
+        self._check_window("PSRO-N", first.psro_n, self._window_n, failures)
+        self._check_window("PSRO-P", first.psro_p, self._window_p, failures)
+        self._check_window("TSRO", first.tsro, self._window_t, failures)
+
+        # Cross-ring consistency: the N/P ratio has a corner envelope.
+        checks += 1
+        if first.psro_p > 0.0:
+            ratio = first.psro_n / first.psro_p
+            lo, hi = self._ratio_window
+            if not lo <= ratio <= hi:
+                failures.append(
+                    f"PSRO-N/PSRO-P ratio {ratio:.3f} outside corner envelope "
+                    f"[{lo:.3f}, {hi:.3f}]"
+                )
+
+        # Repeatability: back-to-back conversions must agree.
+        if repeat is not None:
+            for label, a, b in (
+                ("PSRO-N", first.psro_n, repeat.psro_n),
+                ("PSRO-P", first.psro_p, repeat.psro_p),
+                ("TSRO", first.tsro, repeat.tsro),
+            ):
+                checks += 1
+                if a > 0.0 and abs(a - b) / a > _REPEAT_TOLERANCE:
+                    failures.append(
+                        f"{label} repeat disagreement {abs(a - b) / a * 100:.1f}% "
+                        f"(> {_REPEAT_TOLERANCE * 100:.0f}%)"
+                    )
+
+        return SelfTestReport(
+            passed=not failures, failures=failures, checks_run=checks
+        )

@@ -1,0 +1,66 @@
+"""Conversion sequencing: which oscillator is powered when.
+
+The macro owns a single counter datapath, so the three rings are measured
+sequentially and each ring is power-gated outside its own phase — that
+gating is what makes the energy-per-conversion figure small and
+window-proportional.  The sequencer produces the phase schedule for one
+conversion; the energy model integrates power over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import SensorConfig
+
+
+@dataclass(frozen=True)
+class ConversionPhase:
+    """One phase of the conversion schedule.
+
+    Attributes:
+        name: Ring being measured (``"PSRO-N"``, ``"PSRO-P"``, ``"TSRO"``).
+        start: Phase start relative to conversion start, seconds.
+        duration: Phase duration, seconds.
+    """
+
+    name: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """Phase end relative to conversion start, seconds."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ConversionSequencer:
+    """Builds the phase schedule of one conversion."""
+
+    config: SensorConfig
+
+    def schedule(self, tsro_frequency: float) -> List[ConversionPhase]:
+        """Phase list for one conversion given the current TSRO speed.
+
+        The TSRO phase length is data-dependent (period timing), which is
+        why conversion time — unlike energy — varies with temperature.
+        """
+        if tsro_frequency <= 0.0:
+            raise ValueError("tsro_frequency must be positive")
+        window = self.config.psro_window
+        tsro_time = self.config.tsro_periods / tsro_frequency
+        return [
+            ConversionPhase("PSRO-N", 0.0, window),
+            ConversionPhase("PSRO-P", window, window),
+            ConversionPhase("TSRO", 2.0 * window, tsro_time),
+        ]
+
+    def conversion_time(self, tsro_frequency: float) -> float:
+        """Total conversion time in seconds."""
+        return self.schedule(tsro_frequency)[-1].end
+
+    def conversion_rate(self, tsro_frequency: float) -> float:
+        """Back-to-back conversion rate in samples per second."""
+        return 1.0 / self.conversion_time(tsro_frequency)

@@ -1,0 +1,58 @@
+"""3-D die-stack thermal substrate.
+
+The paper motivates per-tier sensing with the thermal problems of TSV 3-D
+integration: stacked dies trap heat, gradients develop both across a die
+and between tiers, and the sensor must report the *local* junction
+temperature.  This package supplies the physics: a finite-volume RC network
+of a die stack (silicon, back-end-of-line, bonding layers, TSVs, heat sink)
+with steady-state and transient solvers, driven by per-tier power maps.
+"""
+
+from repro.thermal.coupling import (
+    ElectrothermalResult,
+    LeakageModel,
+    runaway_power_boundary,
+    solve_electrothermal,
+)
+from repro.thermal.grid import StackThermalGrid, build_stack_grid
+from repro.thermal.materials import (
+    BEOL,
+    BONDING,
+    COPPER,
+    HEAT_SPREADER,
+    Material,
+    SILICON,
+    tsv_effective_conductivity,
+)
+from repro.thermal.power import (
+    PowerMap,
+    checkerboard_power_map,
+    hotspot_power_map,
+    uniform_power_map,
+)
+from repro.thermal.reduced import FosterModel, fit_foster
+from repro.thermal.solver import steady_state, transient
+
+__all__ = [
+    "BEOL",
+    "BONDING",
+    "COPPER",
+    "ElectrothermalResult",
+    "FosterModel",
+    "LeakageModel",
+    "HEAT_SPREADER",
+    "Material",
+    "PowerMap",
+    "SILICON",
+    "StackThermalGrid",
+    "build_stack_grid",
+    "checkerboard_power_map",
+    "fit_foster",
+    "runaway_power_boundary",
+    "solve_electrothermal",
+    "hotspot_power_map",
+    "steady_state",
+    "transient",
+    "tsv_effective_conductivity",
+    "uniform_power_map",
+]

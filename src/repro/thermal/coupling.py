@@ -1,0 +1,198 @@
+"""Electrothermal coupling: leakage-temperature feedback in a stack.
+
+Leakage power grows exponentially with temperature (subthreshold slope)
+and with lower thresholds (fast corners), while temperature grows with
+total power — a positive feedback loop that 3-D stacking makes dangerous:
+the buried tiers run hot, leak more, heat further.  Below a critical power
+level the loop converges to a (leakage-elevated) fixed point; above it the
+stack *thermally runs away*.
+
+The model iterates the linear thermal solver against the exponential
+leakage law to the fixed point (damped Picard iteration, the standard
+electrothermal co-simulation loop), and exposes the runaway boundary —
+the quantity the sensor network's emergency thresholds guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.thermal.grid import StackThermalGrid, TemperatureField
+from repro.thermal.solver import steady_state
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Per-tier leakage as a function of temperature and process.
+
+    Attributes:
+        leakage_at_ref: Leakage power of one tier at the reference
+            temperature on a typical die, watts.
+        doubling_k: Temperature increase that doubles leakage, kelvin
+            (8-12 K is the classic bulk-CMOS figure).
+        dvt_sensitivity: Fractional leakage change per volt of threshold
+            shift (negative: higher V_t leaks less); subthreshold slope
+            gives ~ -1/(n U_T) ~ -28/V, reduced here for the whole-tier
+            mix of device flavours.
+        ref_temp_k: Reference temperature.
+    """
+
+    leakage_at_ref: float = 0.3
+    doubling_k: float = 10.0
+    dvt_sensitivity: float = -18.0
+    ref_temp_k: float = 298.15
+
+    def __post_init__(self) -> None:
+        if self.leakage_at_ref < 0.0:
+            raise ValueError("leakage_at_ref must be non-negative")
+        if self.doubling_k <= 0.0:
+            raise ValueError("doubling_k must be positive")
+
+    def tier_leakage(self, temp_k: float, dvt: float = 0.0) -> float:
+        """Leakage power of one tier in watts."""
+        thermal = 2.0 ** ((temp_k - self.ref_temp_k) / self.doubling_k)
+        process = float(np.exp(self.dvt_sensitivity * dvt))
+        return self.leakage_at_ref * thermal * process
+
+
+@dataclass(frozen=True)
+class ElectrothermalResult:
+    """Fixed point of the leakage-temperature loop.
+
+    Attributes:
+        field: Converged temperature field (``None`` if diverged).
+        leakage_by_layer: Converged per-layer leakage power, watts.
+        iterations: Picard iterations used.
+        converged: False means thermal runaway (no fixed point below the
+            divergence ceiling).
+    """
+
+    field: Optional[TemperatureField]
+    leakage_by_layer: Dict[str, float]
+    iterations: int
+    converged: bool
+
+
+def solve_electrothermal(
+    grid: StackThermalGrid,
+    dynamic_power: Dict[str, np.ndarray],
+    leakage: LeakageModel,
+    tier_dvt: Optional[Dict[str, float]] = None,
+    damping: float = 0.5,
+    tolerance_k: float = 0.01,
+    max_iterations: int = 100,
+    runaway_ceiling_c: float = 400.0,
+) -> ElectrothermalResult:
+    """Find the electrothermal fixed point (or detect runaway).
+
+    Args:
+        grid: Assembled stack grid.
+        dynamic_power: Per-layer switching power maps (temperature
+            independent).
+        leakage: The leakage law.
+        tier_dvt: Optional per-layer threshold shift (fast tiers leak
+            more); ``None`` = typical everywhere.
+        damping: Picard damping factor on the leakage update (0..1].
+        tolerance_k: Convergence threshold on the peak temperature.
+        max_iterations: Iteration budget.
+        runaway_ceiling_c: Peak temperature above which the loop is
+            declared diverged (silicon is long dead anyway).
+
+    Returns:
+        The :class:`ElectrothermalResult`.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError("damping must lie in (0, 1]")
+    tier_dvt = tier_dvt or {}
+    source_layers = [layer.name for layer in grid.layers if layer.heat_source]
+    if not source_layers:
+        raise ValueError("the grid has no heat-source layers")
+
+    cells = grid.nx * grid.ny
+    leak_power = {name: 0.0 for name in source_layers}
+    field = None
+    previous_peak = grid.ambient_k
+    for iteration in range(1, max_iterations + 1):
+        total_power = {}
+        for name in source_layers:
+            base = dynamic_power.get(name)
+            base = np.zeros((grid.ny, grid.nx)) if base is None else base
+            total_power[name] = base + leak_power[name] / cells
+        field = steady_state(grid, total_power)
+
+        peak = max(field.peak(name) for name in source_layers)
+        if peak - 273.15 > runaway_ceiling_c:
+            return ElectrothermalResult(
+                field=None,
+                leakage_by_layer=dict(leak_power),
+                iterations=iteration,
+                converged=False,
+            )
+
+        new_leak = {}
+        for name in source_layers:
+            tier_temp = float(np.mean(field.layer(name)))
+            target = leakage.tier_leakage(tier_temp, tier_dvt.get(name, 0.0))
+            new_leak[name] = (1.0 - damping) * leak_power[name] + damping * target
+        leak_power = new_leak
+
+        if abs(peak - previous_peak) < tolerance_k and iteration > 1:
+            return ElectrothermalResult(
+                field=field,
+                leakage_by_layer=dict(leak_power),
+                iterations=iteration,
+                converged=True,
+            )
+        previous_peak = peak
+
+    return ElectrothermalResult(
+        field=None,
+        leakage_by_layer=dict(leak_power),
+        iterations=max_iterations,
+        converged=False,
+    )
+
+
+def runaway_power_boundary(
+    grid: StackThermalGrid,
+    make_dynamic_power,
+    leakage: LeakageModel,
+    power_lo: float,
+    power_hi: float,
+    resolution: float = 0.05,
+) -> Tuple[float, float]:
+    """Bisect the per-tier dynamic power at the thermal-runaway boundary.
+
+    Args:
+        grid: Assembled stack grid.
+        make_dynamic_power: Callable mapping a per-tier power (watts) to
+            the per-layer dynamic power maps.
+        leakage: The leakage law.
+        power_lo: A power known (or assumed) stable.
+        power_hi: A power known (or assumed) to run away.
+        resolution: Bisection stop width in watts.
+
+    Returns:
+        ``(last_stable, first_runaway)`` per-tier powers in watts.
+    """
+    if power_lo >= power_hi:
+        raise ValueError("need power_lo < power_hi")
+
+    def stable(power: float) -> bool:
+        return solve_electrothermal(grid, make_dynamic_power(power), leakage).converged
+
+    if not stable(power_lo):
+        raise ValueError("power_lo already runs away")
+    if stable(power_hi):
+        raise ValueError("power_hi does not run away")
+    lo, hi = power_lo, power_hi
+    while hi - lo > resolution:
+        mid = 0.5 * (lo + hi)
+        if stable(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo, hi

@@ -1,0 +1,281 @@
+"""Finite-volume meshing of a 3-D die stack.
+
+The stack is a list of :class:`ThermalLayer` slabs sharing one lateral
+footprint, each meshed ``nx x ny`` laterally and one cell thick vertically
+(layers are thin compared to the footprint, which is the standard compact
+thermal-model discretisation for die stacks; lateral resolution carries the
+intra-die gradients the sensor network must observe).
+
+The mesh is assembled once into a sparse conductance matrix ``G`` such that
+steady state solves ``G T = q`` with boundary exchange to ambient folded
+into the diagonal and the right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.thermal.materials import Material
+
+
+@dataclass(frozen=True)
+class ThermalLayer:
+    """One slab of the stack.
+
+    Attributes:
+        name: Unique layer label (power maps and probes refer to it).
+        thickness: Slab thickness in metres.
+        material: Host material.
+        kz_scale: Optional per-cell vertical-conductivity multiplier of
+            shape ``(ny, nx)``; this is how TSV arrays locally boost
+            vertical conduction.
+        heat_source: Whether device power is injected in this layer
+            (the transistor layer of each die).
+    """
+
+    name: str
+    thickness: float
+    material: Material
+    kz_scale: Optional[np.ndarray] = None
+    heat_source: bool = False
+
+    def __post_init__(self) -> None:
+        if self.thickness <= 0.0:
+            raise ValueError("layer thickness must be positive")
+
+
+@dataclass(frozen=True)
+class TemperatureField:
+    """A solved temperature distribution over the stack.
+
+    Attributes:
+        grid: The grid the field was solved on.
+        values: Temperatures in kelvin, shape ``(nz, ny, nx)``.
+    """
+
+    grid: "StackThermalGrid"
+    values: np.ndarray
+
+    def layer(self, name: str) -> np.ndarray:
+        """Temperature map of one layer, shape ``(ny, nx)``, kelvin."""
+        return self.values[self.grid.layer_index(name)]
+
+    def at(self, name: str, x: float, y: float) -> float:
+        """Bilinear temperature sample at metres-coordinates on a layer."""
+        plane = self.layer(name)
+        ny, nx = plane.shape
+        fx = np.clip(x / self.grid.width, 0.0, 1.0) * (nx - 1)
+        fy = np.clip(y / self.grid.height, 0.0, 1.0) * (ny - 1)
+        ix0, iy0 = int(fx), int(fy)
+        ix1, iy1 = min(ix0 + 1, nx - 1), min(iy0 + 1, ny - 1)
+        tx, ty = fx - ix0, fy - iy0
+        top = (1 - tx) * plane[iy0, ix0] + tx * plane[iy0, ix1]
+        bottom = (1 - tx) * plane[iy1, ix0] + tx * plane[iy1, ix1]
+        return float((1 - ty) * top + ty * bottom)
+
+    def peak(self, name: str) -> float:
+        """Hottest cell of a layer in kelvin."""
+        return float(np.max(self.layer(name)))
+
+
+@dataclass
+class StackThermalGrid:
+    """The assembled finite-volume system of a die stack.
+
+    Built by :func:`build_stack_grid`; holds the sparse conductance matrix,
+    the per-cell heat capacity, and the ambient-coupling right-hand-side
+    contribution.  Solvers in :mod:`repro.thermal.solver` consume it.
+    """
+
+    layers: List[ThermalLayer]
+    width: float
+    height: float
+    nx: int
+    ny: int
+    conductance: sparse.csr_matrix = field(repr=False)
+    capacitance: np.ndarray = field(repr=False)
+    ambient_rhs: np.ndarray = field(repr=False)
+    ambient_k: float = 298.15
+
+    @property
+    def nz(self) -> int:
+        """Number of layers (vertical cells)."""
+        return len(self.layers)
+
+    @property
+    def cells(self) -> int:
+        """Total cell count."""
+        return self.nz * self.ny * self.nx
+
+    def layer_index(self, name: str) -> int:
+        """Index of a layer by name."""
+        for index, layer in enumerate(self.layers):
+            if layer.name == name:
+                return index
+        known = ", ".join(layer.name for layer in self.layers)
+        raise KeyError(f"unknown layer {name!r}; known layers: {known}")
+
+    def heat_vector(self, power_by_layer: Dict[str, np.ndarray]) -> np.ndarray:
+        """Assemble the per-cell heat-injection vector in watts.
+
+        Args:
+            power_by_layer: Layer name -> power map of shape ``(ny, nx)``.
+                Only heat-source layers accept power.
+        """
+        q = np.zeros(self.cells)
+        for name, pmap in power_by_layer.items():
+            iz = self.layer_index(name)
+            if not self.layers[iz].heat_source:
+                raise ValueError(f"layer {name!r} is not a heat-source layer")
+            pmap = np.asarray(pmap, dtype=float)
+            if pmap.shape != (self.ny, self.nx):
+                raise ValueError(
+                    f"power map for {name!r} has shape {pmap.shape}, "
+                    f"expected {(self.ny, self.nx)}"
+                )
+            if np.any(pmap < 0.0):
+                raise ValueError("power maps must be non-negative")
+            base = iz * self.ny * self.nx
+            q[base : base + self.ny * self.nx] += pmap.ravel()
+        return q
+
+    def field_from_vector(self, vector: np.ndarray) -> TemperatureField:
+        """Reshape a flat solution vector into a :class:`TemperatureField`."""
+        return TemperatureField(
+            grid=self, values=vector.reshape(self.nz, self.ny, self.nx).copy()
+        )
+
+
+def _vertical_conductance(
+    lower: ThermalLayer, upper: ThermalLayer, area: float, iy: int, ix: int
+) -> float:
+    def half_resistance(layer: ThermalLayer) -> float:
+        k = layer.material.conductivity
+        if layer.kz_scale is not None:
+            k *= float(layer.kz_scale[iy, ix])
+        return layer.thickness / (2.0 * k * area)
+
+    return 1.0 / (half_resistance(lower) + half_resistance(upper))
+
+
+def build_stack_grid(
+    layers: Sequence[ThermalLayer],
+    width: float,
+    height: float,
+    nx: int = 20,
+    ny: int = 20,
+    top_htc: float = 8.7e3,
+    bottom_htc: float = 250.0,
+    ambient_c: float = 25.0,
+) -> StackThermalGrid:
+    """Mesh and assemble a die stack into a solvable thermal system.
+
+    Args:
+        layers: Slabs from bottom (index 0) to top.  TSV-enhanced layers
+            carry ``kz_scale`` maps.
+        width: Lateral x extent in metres.
+        height: Lateral y extent in metres.
+        nx: Lateral cells along x.
+        ny: Lateral cells along y.
+        top_htc: Heat-transfer coefficient from the top layer to ambient in
+            W/(m^2*K) — the heat-sink path (default: forced-air sink class).
+        bottom_htc: Coefficient from the bottom layer to ambient — the
+            package/board path (weak).
+        ambient_c: Ambient temperature in Celsius.
+
+    Returns:
+        The assembled :class:`StackThermalGrid`.
+    """
+    layers = list(layers)
+    if not layers:
+        raise ValueError("the stack needs at least one layer")
+    names = [layer.name for layer in layers]
+    if len(set(names)) != len(names):
+        raise ValueError("layer names must be unique")
+    if nx < 2 or ny < 2:
+        raise ValueError("need at least 2x2 lateral cells")
+    if width <= 0.0 or height <= 0.0:
+        raise ValueError("lateral dimensions must be positive")
+    if top_htc < 0.0 or bottom_htc < 0.0:
+        raise ValueError("heat-transfer coefficients must be non-negative")
+
+    dx = width / nx
+    dy = height / ny
+    cell_area_z = dx * dy
+    nz = len(layers)
+    cells = nz * ny * nx
+
+    def idx(iz: int, iy: int, ix: int) -> int:
+        return (iz * ny + iy) * nx + ix
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    diag = np.zeros(cells)
+    ambient_rhs = np.zeros(cells)
+    capacitance = np.empty(cells)
+    ambient_k = ambient_c + 273.15
+
+    for iz, layer in enumerate(layers):
+        cap = layer.material.volumetric_heat_capacity * dx * dy * layer.thickness
+        base = iz * ny * nx
+        capacitance[base : base + ny * nx] = cap
+
+    def couple(a: int, b: int, g: float) -> None:
+        rows.extend((a, b))
+        cols.extend((b, a))
+        vals.extend((-g, -g))
+        diag[a] += g
+        diag[b] += g
+
+    for iz, layer in enumerate(layers):
+        k = layer.material.conductivity
+        g_x = k * (dy * layer.thickness) / dx
+        g_y = k * (dx * layer.thickness) / dy
+        for iy in range(ny):
+            for ix in range(nx):
+                here = idx(iz, iy, ix)
+                if ix + 1 < nx:
+                    couple(here, idx(iz, iy, ix + 1), g_x)
+                if iy + 1 < ny:
+                    couple(here, idx(iz, iy + 1, ix), g_y)
+                if iz + 1 < nz:
+                    g_z = _vertical_conductance(
+                        layer, layers[iz + 1], cell_area_z, iy, ix
+                    )
+                    couple(here, idx(iz + 1, iy, ix), g_z)
+
+    # Ambient exchange: bottom of layer 0 and top of the last layer.
+    for iy in range(ny):
+        for ix in range(nx):
+            bottom = idx(0, iy, ix)
+            g_b = bottom_htc * cell_area_z
+            diag[bottom] += g_b
+            ambient_rhs[bottom] += g_b * ambient_k
+            top = idx(nz - 1, iy, ix)
+            g_t = top_htc * cell_area_z
+            diag[top] += g_t
+            ambient_rhs[top] += g_t * ambient_k
+
+    rows.extend(range(cells))
+    cols.extend(range(cells))
+    vals.extend(diag.tolist())
+    conductance = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(cells, cells)
+    )
+
+    return StackThermalGrid(
+        layers=layers,
+        width=width,
+        height=height,
+        nx=nx,
+        ny=ny,
+        conductance=conductance,
+        capacitance=capacitance,
+        ambient_rhs=ambient_rhs,
+        ambient_k=ambient_k,
+    )

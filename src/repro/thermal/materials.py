@@ -1,0 +1,61 @@
+"""Thermal material properties for the stack model.
+
+Bulk literature values around 350 K; conductivities in W/(m*K), volumetric
+heat capacities in J/(m^3*K).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Material:
+    """An isotropic thermal material.
+
+    Attributes:
+        name: Human-readable label.
+        conductivity: Thermal conductivity in W/(m*K).
+        volumetric_heat_capacity: rho * c_p in J/(m^3*K).
+    """
+
+    name: str
+    conductivity: float
+    volumetric_heat_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.conductivity <= 0.0 or self.volumetric_heat_capacity <= 0.0:
+            raise ValueError("material properties must be positive")
+
+
+SILICON = Material("silicon", conductivity=120.0, volumetric_heat_capacity=1.63e6)
+"""Doped bulk silicon near operating temperature."""
+
+BEOL = Material("beol", conductivity=2.0, volumetric_heat_capacity=2.2e6)
+"""Back-end-of-line metal/dielectric composite (effective vertical value)."""
+
+BONDING = Material("bonding", conductivity=0.9, volumetric_heat_capacity=2.0e6)
+"""Die-to-die bonding layer: adhesive/underfill with micro-bumps."""
+
+COPPER = Material("copper", conductivity=390.0, volumetric_heat_capacity=3.4e6)
+"""Electroplated copper (TSVs, micro-bumps)."""
+
+HEAT_SPREADER = Material(
+    "heat-spreader", conductivity=380.0, volumetric_heat_capacity=3.4e6
+)
+"""Copper lid / heat spreader on the package top."""
+
+
+def tsv_effective_conductivity(base: Material, copper_fill_fraction: float) -> float:
+    """Vertical conductivity of a cell partially filled with copper TSVs.
+
+    TSVs conduct heat in parallel with the host material, so the effective
+    vertical conductivity is the area-weighted (parallel-rule) mix.  This is
+    the mechanism that makes TSV arrays act as thermal vias between tiers.
+    """
+    if not 0.0 <= copper_fill_fraction <= 1.0:
+        raise ValueError("copper_fill_fraction must lie in [0, 1]")
+    return (
+        copper_fill_fraction * COPPER.conductivity
+        + (1.0 - copper_fill_fraction) * base.conductivity
+    )

@@ -1,0 +1,75 @@
+"""Power-map builders: the workloads that heat the stack.
+
+A power map is a ``(ny, nx)`` array of watts injected into one die's
+transistor layer.  The builders here produce the canonical evaluation
+workloads: uniform background power, rectangular hotspots (a core running
+hot), and mixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+PowerMap = np.ndarray
+"""A ``(ny, nx)`` array of per-cell power in watts."""
+
+
+def uniform_power_map(nx: int, ny: int, total_watts: float) -> PowerMap:
+    """Spread ``total_watts`` evenly over the die."""
+    if total_watts < 0.0:
+        raise ValueError("power must be non-negative")
+    return np.full((ny, nx), total_watts / (nx * ny))
+
+
+def hotspot_power_map(
+    nx: int,
+    ny: int,
+    die_width: float,
+    die_height: float,
+    hotspots: Sequence[Tuple[float, float, float, float, float]],
+    background_watts: float = 0.0,
+) -> PowerMap:
+    """Background power plus rectangular hotspots.
+
+    Args:
+        nx: Lateral cells along x.
+        ny: Lateral cells along y.
+        die_width: Die x extent in metres.
+        die_height: Die y extent in metres.
+        hotspots: ``(x, y, width, height, watts)`` tuples in metres/watts;
+            ``(x, y)`` is the hotspot's lower-left corner.  Hotspot power is
+            spread over the cells the rectangle covers.
+        background_watts: Uniformly spread baseline power.
+
+    Returns:
+        The combined power map.
+    """
+    pmap = uniform_power_map(nx, ny, background_watts)
+    dx = die_width / nx
+    dy = die_height / ny
+    for x, y, w, h, watts in hotspots:
+        if watts < 0.0:
+            raise ValueError("hotspot power must be non-negative")
+        ix0 = int(np.clip(np.floor(x / dx), 0, nx - 1))
+        iy0 = int(np.clip(np.floor(y / dy), 0, ny - 1))
+        ix1 = int(np.clip(np.ceil((x + w) / dx), ix0 + 1, nx))
+        iy1 = int(np.clip(np.ceil((y + h) / dy), iy0 + 1, ny))
+        cells = (ix1 - ix0) * (iy1 - iy0)
+        pmap[iy0:iy1, ix0:ix1] += watts / cells
+    return pmap
+
+
+def checkerboard_power_map(
+    nx: int, ny: int, total_watts: float, blocks: int = 4
+) -> PowerMap:
+    """Alternating active/idle blocks — a worst-case gradient workload."""
+    if blocks < 1:
+        raise ValueError("blocks must be >= 1")
+    pattern = np.add.outer(np.arange(ny) * blocks // ny, np.arange(nx) * blocks // nx)
+    mask = (pattern % 2 == 0).astype(float)
+    active = float(np.sum(mask))
+    if active == 0.0:
+        raise ValueError("checkerboard has no active cells")
+    return mask * (total_watts / active)

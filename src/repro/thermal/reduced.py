@@ -1,0 +1,131 @@
+"""Reduced-order thermal models: Foster chains fitted from the full solver.
+
+A DTM control loop evaluating the full finite-volume grid every control
+period wastes most of its work: the controller only needs the temperature
+at the sensor sites.  The classic compression is a per-site **Foster
+model** — the step response expressed as a sum of exponentials
+
+    T(t) - T_amb = dT_ss * (1 - sum_i a_i exp(-t / tau_i)),  sum_i a_i = 1
+
+fitted once from the full solver and then integrated in O(poles) per step.
+The fit here uses a fixed log-spaced time-constant grid with non-negative
+least squares for the amplitudes — the numerically robust cousin of Prony's
+method (no nonlinear optimisation, no sign-flipping poles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.thermal.grid import StackThermalGrid
+from repro.thermal.solver import steady_state, thermal_time_constant, transient
+
+
+@dataclass(frozen=True)
+class FosterModel:
+    """A fitted per-site reduced thermal model.
+
+    Attributes:
+        ambient_k: Ambient temperature the model is referenced to.
+        delta_ss: Steady-state temperature rise at unit power scale, kelvin.
+        amplitudes: Foster amplitudes (sum to ~1).
+        taus: Foster time constants in seconds.
+    """
+
+    ambient_k: float
+    delta_ss: float
+    amplitudes: np.ndarray
+    taus: np.ndarray
+
+    def step_response(self, t: float, power_scale: float = 1.0) -> float:
+        """Temperature in kelvin ``t`` seconds after a power step from idle."""
+        if t < 0.0:
+            raise ValueError("time must be non-negative")
+        decay = float(np.sum(self.amplitudes * np.exp(-t / self.taus)))
+        return self.ambient_k + power_scale * self.delta_ss * (1.0 - decay)
+
+    def simulate(self, power_scales: Sequence[float], dt: float) -> List[float]:
+        """Integrate a piecewise-constant power trace, O(poles) per step.
+
+        Each Foster branch is a first-order system updated exactly per
+        step: ``x_i <- x_i * exp(-dt/tau_i) + target_i * (1 - exp(-dt/tau_i))``.
+
+        Args:
+            power_scales: Power scale at each step (1.0 = the fitted power).
+            dt: Step duration in seconds.
+
+        Returns:
+            Temperature in kelvin after each step.
+        """
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        alphas = np.exp(-dt / self.taus)
+        state = np.zeros_like(self.amplitudes)
+        out: List[float] = []
+        for scale in power_scales:
+            target = scale * self.delta_ss * self.amplitudes
+            state = state * alphas + target * (1.0 - alphas)
+            out.append(self.ambient_k + float(np.sum(state)))
+        return out
+
+
+def fit_foster(
+    grid: StackThermalGrid,
+    power_by_layer: Dict[str, np.ndarray],
+    layer: str,
+    site: Tuple[float, float],
+    poles: int = 12,
+    samples: int = 40,
+) -> FosterModel:
+    """Fit a Foster model at one site from the full solver's step response.
+
+    Args:
+        grid: The assembled stack grid.
+        power_by_layer: The power maps defining the unit-scale workload.
+        layer: Observed layer.
+        site: Observed (x, y) location in metres.
+        poles: Size of the log-spaced time-constant dictionary.
+        samples: Step-response samples used for the fit.
+
+    Returns:
+        The fitted :class:`FosterModel`.
+    """
+    if poles < 2:
+        raise ValueError("need at least two poles")
+    x, y = site
+    steady = steady_state(grid, power_by_layer)
+    delta_ss = steady.at(layer, x, y) - grid.ambient_k
+    if delta_ss <= 1e-6:
+        raise ValueError("the workload does not heat the observed site")
+
+    tau_dominant = thermal_time_constant(grid)
+    # Sample the step response on a log-ish time axis out to ~5 tau.
+    times = np.linspace(tau_dominant / samples, 5.0 * tau_dominant, samples)
+    dt = float(times[0])
+    fields = transient(grid, lambda t: power_by_layer, dt=dt, steps=samples * 5)
+    response = np.array(
+        [fields[min(int(round(t / dt)) - 1, len(fields) - 1)].at(layer, x, y) for t in times]
+    )
+
+    # Fit the *decay* d(t) = 1 - rise(t) on the tau dictionary with NNLS.
+    decay = 1.0 - (response - grid.ambient_k) / delta_ss
+    taus = np.logspace(
+        np.log10(tau_dominant / 300.0), np.log10(3.0 * tau_dominant), poles
+    )
+    basis = np.exp(-times[:, None] / taus[None, :])
+    # Append the normalisation row sum(a) = 1 with a strong weight.
+    weight = 10.0
+    a_matrix = np.vstack([basis, weight * np.ones(poles)])
+    b_vector = np.concatenate([decay, [weight]])
+    amplitudes, _ = optimize.nnls(a_matrix, b_vector)
+
+    return FosterModel(
+        ambient_k=grid.ambient_k,
+        delta_ss=float(delta_ss),
+        amplitudes=amplitudes,
+        taus=taus,
+    )

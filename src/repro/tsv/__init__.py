@@ -1,0 +1,28 @@
+"""TSV 3-D integration substrate.
+
+The sensor exists because of this package's physics: stacked dies connected
+by through-silicon vias develop inter-tier thermal gradients (``geometry``
+feeds the thermal solver) and TSV thermo-mechanical stress perturbs nearby
+transistor thresholds and mobilities (``stress``, ``keepout``) — the
+"thermal stress and V_t scatter" the paper's abstract opens with.  Sensor
+readings travel between tiers over a TSV daisy chain (``bus``) with
+realistic corruption modes.
+"""
+
+from repro.tsv.bus import BusReport, TsvSensorBus
+from repro.tsv.electrical import TsvElectricalModel
+from repro.tsv.geometry import StackDescriptor, TierSpec, TsvSite, regular_tsv_array
+from repro.tsv.keepout import keep_out_radius
+from repro.tsv.stress import StressModel
+
+__all__ = [
+    "BusReport",
+    "StackDescriptor",
+    "StressModel",
+    "TierSpec",
+    "TsvElectricalModel",
+    "TsvSensorBus",
+    "TsvSite",
+    "keep_out_radius",
+    "regular_tsv_array",
+]

@@ -1,0 +1,109 @@
+"""The inter-tier sensor read-out chain over TSVs.
+
+Every tier's sensor publishes one 40-bit frame per conversion; frames hop
+tier-to-tier down a TSV daisy chain to the aggregator on the controller
+tier.  The chain models the two failure modes that matter for a monitoring
+network:
+
+* **bit errors** on the TSV links (coupling noise, marginal bonds) — caught
+  by frame parity with probability 1 for odd-weight corruption;
+* **stuck tiers** — a tier whose sensor or link is dead contributes no
+  frame, and the aggregator must report the hole rather than hide it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.readout.interface import FRAME_BITS, FrameError, SensorFrame, decode_frame
+
+
+@dataclass(frozen=True)
+class BusReport:
+    """Result of collecting one conversion round from every tier.
+
+    Attributes:
+        frames: Successfully decoded frames keyed by tier index.
+        parity_errors: Tiers whose frame failed the parity check.
+        missing: Tiers that produced no frame at all (stuck/dead).
+    """
+
+    frames: Dict[int, SensorFrame]
+    parity_errors: List[int]
+    missing: List[int]
+
+    @property
+    def healthy(self) -> bool:
+        """True when every tier delivered a clean frame."""
+        return not self.parity_errors and not self.missing
+
+
+@dataclass
+class TsvSensorBus:
+    """A TSV daisy chain collecting sensor frames from all tiers.
+
+    Attributes:
+        tiers: Number of tiers on the chain.
+        bit_error_rate: Per-bit flip probability per hop.
+        stuck_tiers: Tiers that never deliver a frame.
+    """
+
+    tiers: int
+    bit_error_rate: float = 0.0
+    stuck_tiers: Set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.tiers < 1:
+            raise ValueError("the bus needs at least one tier")
+        if not 0.0 <= self.bit_error_rate < 1.0:
+            raise ValueError("bit_error_rate must lie in [0, 1)")
+        for tier in self.stuck_tiers:
+            if not 0 <= tier < self.tiers:
+                raise ValueError(f"stuck tier {tier} out of range")
+
+    def _corrupt(self, word: int, hops: int, rng: Optional[np.random.Generator]) -> int:
+        if rng is None or self.bit_error_rate == 0.0 or hops == 0:
+            return word
+        # Each bit survives `hops` link traversals.
+        flip_probability = 1.0 - (1.0 - self.bit_error_rate) ** hops
+        flips = rng.random(FRAME_BITS) < flip_probability
+        for bit, flipped in enumerate(flips):
+            if flipped:
+                word ^= 1 << bit
+        return word
+
+    def collect(
+        self,
+        frames_by_tier: Dict[int, int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> BusReport:
+        """Shift every tier's encoded frame down the chain and decode.
+
+        Args:
+            frames_by_tier: Tier index -> encoded 40-bit frame word.  A
+                tier absent from the dict (or marked stuck) is reported
+                missing.
+            rng: Randomness for bit-error injection; ``None`` disables
+                corruption regardless of the configured rate.
+
+        Returns:
+            The :class:`BusReport` for this round.
+        """
+        frames: Dict[int, SensorFrame] = {}
+        parity_errors: List[int] = []
+        missing: List[int] = []
+
+        for tier in range(self.tiers):
+            if tier in self.stuck_tiers or tier not in frames_by_tier:
+                missing.append(tier)
+                continue
+            # A frame from tier t crosses t inter-tier links to tier 0.
+            word = self._corrupt(frames_by_tier[tier], hops=tier, rng=rng)
+            try:
+                frames[tier] = decode_frame(word)
+            except FrameError:
+                parity_errors.append(tier)
+        return BusReport(frames=frames, parity_errors=parity_errors, missing=missing)

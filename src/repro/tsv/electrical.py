@@ -1,0 +1,98 @@
+"""TSV electrical model: the read-out chain's physical link budget.
+
+A through-silicon via is electrically a short, fat wire through a lossy
+dielectric: series resistance from the copper column, capacitance from the
+coaxial oxide liner to the substrate.  Those two numbers set the bus's RC
+delay per hop, its switching energy per bit, and (with the driver) the
+maximum chain clock — the quantities behind the bus substrate's frame
+timing and the group's own "GHz high-frequency TSV" characterisation work.
+
+Standard closed forms:
+
+    R = rho_cu * depth / (pi * r^2)
+    C = 2 * pi * eps_ox * depth / ln((r + t_ox) / r)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tsv.geometry import TsvSite
+
+RHO_COPPER = 1.72e-8
+"""Copper resistivity in ohm-metres (slightly elevated for plated films)."""
+
+EPS_OXIDE = 3.9 * 8.854e-12
+"""SiO2 liner permittivity in F/m."""
+
+# Delay constant of an RC-limited link charged through a driver: ~0.69 RC
+# for the wire itself plus the driver's own RC, lumped as a factor.
+_RC_DELAY_FACTOR = 0.69
+
+
+@dataclass(frozen=True)
+class TsvElectricalModel:
+    """Electrical parameters of one TSV.
+
+    Attributes:
+        depth: Via depth (thinned-silicon + bond thickness), metres.
+        liner_thickness: Oxide liner thickness, metres.
+        driver_resistance: On-resistance of the bus driver, ohms.
+        load_capacitance: Receiver gate + ESD load at the far end, farads.
+    """
+
+    depth: float = 120e-6
+    liner_thickness: float = 0.5e-6
+    driver_resistance: float = 500.0
+    load_capacitance: float = 5e-15
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0.0 or self.liner_thickness <= 0.0:
+            raise ValueError("depth and liner_thickness must be positive")
+        if self.driver_resistance <= 0.0 or self.load_capacitance <= 0.0:
+            raise ValueError("driver and load parameters must be positive")
+
+    def resistance(self, site: TsvSite) -> float:
+        """Series resistance of the copper column, ohms."""
+        return RHO_COPPER * self.depth / (np.pi * site.radius**2)
+
+    def capacitance(self, site: TsvSite) -> float:
+        """Coaxial liner capacitance to the substrate, farads."""
+        ratio = (site.radius + self.liner_thickness) / site.radius
+        return 2.0 * np.pi * EPS_OXIDE * self.depth / np.log(ratio)
+
+    def hop_delay(self, site: TsvSite) -> float:
+        """Driver-to-receiver delay of one inter-tier hop, seconds."""
+        c_total = self.capacitance(site) + self.load_capacitance
+        r_total = self.resistance(site) + self.driver_resistance
+        return _RC_DELAY_FACTOR * r_total * c_total
+
+    def max_bus_clock(self, site: TsvSite, hops: int = 1, margin: float = 2.0) -> float:
+        """Highest safe bus clock for a chain of ``hops`` links, hertz.
+
+        The chain is registered per tier, so timing closes per hop; the
+        margin covers clock skew and setup.
+        """
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1")
+        return 1.0 / (margin * self.hop_delay(site))
+
+    def bit_energy(self, site: TsvSite, vdd: float) -> float:
+        """Switching energy of one bit transition over one hop, joules."""
+        if vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        c_total = self.capacitance(site) + self.load_capacitance
+        return c_total * vdd * vdd
+
+    def frame_energy(self, site: TsvSite, vdd: float, frame_bits: int = 40, activity: float = 0.5) -> float:
+        """Energy to ship one frame over one hop, joules.
+
+        ``activity`` is the fraction of bits that actually transition.
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must lie in [0, 1]")
+        return frame_bits * activity * self.bit_energy(site, vdd)

@@ -1,0 +1,61 @@
+"""Keep-out-zone (KOZ) analysis around TSVs.
+
+Design rules forbid placing matching-critical transistors where TSV stress
+shifts their behaviour beyond a tolerance.  The KOZ radius for a tolerance
+``eta`` on fractional mobility shift follows directly from the Lame field:
+
+    |pi * sigma_edge| (R / r)^2 = eta   =>   r_koz = R sqrt(|pi| sigma_edge / eta)
+
+This module computes that radius and checks sensor placements against it —
+the design guidance experiment R-F6 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tsv.geometry import TsvSite
+from repro.tsv.stress import StressModel
+
+
+def keep_out_radius(
+    model: StressModel, site: TsvSite, mobility_tolerance: float = 0.05
+) -> float:
+    """KOZ radius (from the via centre) for a mobility tolerance, metres.
+
+    Uses the worse of the NMOS/PMOS sensitivities; never smaller than the
+    via radius itself.
+    """
+    if mobility_tolerance <= 0.0:
+        raise ValueError("mobility_tolerance must be positive")
+    pi_worst = max(abs(model.pi_mu_n), abs(model.pi_mu_p))
+    ratio = pi_worst * model.sigma_edge_pa / mobility_tolerance
+    return site.radius * max(1.0, float(np.sqrt(ratio)))
+
+
+def placement_is_clear(
+    model: StressModel,
+    x: float,
+    y: float,
+    sites: Sequence[TsvSite],
+    mobility_tolerance: float = 0.05,
+) -> bool:
+    """Whether a die location is outside every TSV's keep-out zone."""
+    for site in sites:
+        distance = float(np.hypot(x - site.x, y - site.y))
+        if distance < keep_out_radius(model, site, mobility_tolerance):
+            return False
+    return True
+
+
+def minimum_clear_distance(
+    model: StressModel,
+    sites: Sequence[TsvSite],
+    mobility_tolerance: float = 0.05,
+) -> float:
+    """Largest KOZ radius across an array — the array's placement margin."""
+    if not sites:
+        return 0.0
+    return max(keep_out_radius(model, site, mobility_tolerance) for site in sites)

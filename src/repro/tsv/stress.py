@@ -1,0 +1,100 @@
+"""TSV thermo-mechanical stress and its effect on nearby transistors.
+
+Copper expands ~4x more per kelvin than silicon.  After the post-plating
+anneal cools down, each TSV squeezes the surrounding silicon with a
+classic Lame (thick-wall cylinder) residual field:
+
+    sigma_r(r)     = +sigma_edge * (R / r)^2
+    sigma_theta(r) = -sigma_edge * (R / r)^2
+
+with ``sigma_edge`` of order 100-200 MPa at the via wall.  Through silicon's
+piezoresistive response this shifts carrier mobility (strongly, and with
+opposite sign for electrons and holes) and weakly shifts the thresholds —
+the "V_t scatter" the paper's sensor is built to observe.
+
+Coefficients are the standard bulk-silicon piezoresistive values reduced to
+a scalar worst-channel-orientation model; the keep-out-zone radii this
+produces (a few micrometres to tens of micrometres at 5 % mobility
+threshold) match the published TSV KOZ literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.tsv.geometry import TsvSite
+
+
+@dataclass(frozen=True)
+class StressModel:
+    """Stress field and device-shift coefficients.
+
+    Attributes:
+        sigma_edge_pa: Radial stress magnitude at the via wall, pascals.
+        pi_mu_n: NMOS mobility sensitivity, fractional change per pascal
+            (electrons gain mobility under the dominant tensile component).
+        pi_mu_p: PMOS mobility sensitivity, fractional change per pascal
+            (holes lose mobility; larger magnitude).
+        k_vt_n: NMOS threshold sensitivity, volts per pascal.
+        k_vt_p: PMOS threshold-magnitude sensitivity, volts per pascal.
+    """
+
+    sigma_edge_pa: float = 1.5e8
+    pi_mu_n: float = 2.0e-10
+    pi_mu_p: float = -7.0e-10
+    k_vt_n: float = -2.0e-11
+    k_vt_p: float = 3.0e-11
+
+    def radial_stress(self, distance: float, site: TsvSite) -> float:
+        """Radial stress magnitude at ``distance`` from a via centre, Pa.
+
+        Inside the via wall the field is clamped to the wall value (the
+        Lame solution only holds outside the inclusion).
+        """
+        if distance < 0.0:
+            raise ValueError("distance must be non-negative")
+        r = max(distance, site.radius)
+        return self.sigma_edge_pa * (site.radius / r) ** 2
+
+    def _total_stress(self, x: float, y: float, sites: Sequence[TsvSite]) -> float:
+        total = 0.0
+        for site in sites:
+            distance = float(np.hypot(x - site.x, y - site.y))
+            total += self.radial_stress(distance, site)
+        return total
+
+    def mobility_shifts_at(
+        self, x: float, y: float, sites: Sequence[TsvSite]
+    ) -> Tuple[float, float]:
+        """Fractional (d_mu_n/mu, d_mu_p/mu) at a die location.
+
+        Stress from multiple vias superposes linearly (valid at the small
+        strains involved).
+        """
+        sigma = self._total_stress(x, y, sites)
+        return self.pi_mu_n * sigma, self.pi_mu_p * sigma
+
+    def vt_shifts_at(
+        self, x: float, y: float, sites: Sequence[TsvSite]
+    ) -> Tuple[float, float]:
+        """Stress-induced (dV_tn, dV_tp) at a die location, volts."""
+        sigma = self._total_stress(x, y, sites)
+        return self.k_vt_n * sigma, self.k_vt_p * sigma
+
+    def effective_vt_shifts_at(
+        self, x: float, y: float, sites: Sequence[TsvSite]
+    ) -> Tuple[float, float]:
+        """Threshold-equivalent total device shift, volts.
+
+        Folds the mobility change into an equivalent threshold shift (a
+        1 % drive change looks like roughly a 3 mV threshold move for the
+        sensor's near-threshold sensing devices) so stress can be injected
+        into circuit environments that only expose threshold knobs.
+        """
+        dvt_n, dvt_p = self.vt_shifts_at(x, y, sites)
+        dmu_n, dmu_p = self.mobility_shifts_at(x, y, sites)
+        mu_to_vt = -0.3  # volts of equivalent V_t per unit fractional mobility
+        return dvt_n + mu_to_vt * dmu_n, dvt_p + mu_to_vt * dmu_p

@@ -1,0 +1,69 @@
+"""Physical constants and unit helpers used throughout the library.
+
+All internal computation is in SI units (volts, amperes, seconds, kelvin,
+metres).  Degrees Celsius appear only at API boundaries, because circuit and
+sensor specifications are conventionally quoted in Celsius; the helpers here
+make those conversions explicit so no module ever mixes the two scales by
+accident.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Fundamental constants (CODATA 2018).
+ELEMENTARY_CHARGE = 1.602176634e-19
+"""Elementary charge ``q`` in coulombs."""
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant ``k_B`` in joules per kelvin."""
+
+ZERO_CELSIUS_IN_KELVIN = 273.15
+"""Offset between the Celsius and Kelvin scales."""
+
+ROOM_TEMPERATURE_K = 300.0
+"""Reference temperature for device parameters (approximately 27 degC)."""
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    kelvin = temp_c + ZERO_CELSIUS_IN_KELVIN
+    if kelvin <= 0.0:
+        raise ValueError(f"temperature {temp_c} degC is at or below absolute zero")
+    return kelvin
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    if temp_k <= 0.0:
+        raise ValueError(f"temperature {temp_k} K is at or below absolute zero")
+    return temp_k - ZERO_CELSIUS_IN_KELVIN
+
+
+def thermal_voltage(temp_k: float) -> float:
+    """Thermal voltage ``U_T = k_B T / q`` in volts.
+
+    At 300 K this is approximately 25.85 mV; every subthreshold expression in
+    the device model is built on it.
+    """
+    if temp_k <= 0.0:
+        raise ValueError(f"temperature {temp_k} K is at or below absolute zero")
+    return BOLTZMANN * temp_k / ELEMENTARY_CHARGE
+
+
+# Convenience SI prefixes, used to keep parameter tables readable.
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def db(ratio: float) -> float:
+    """Express a power ratio in decibels."""
+    if ratio <= 0.0:
+        raise ValueError("dB is undefined for non-positive ratios")
+    return 10.0 * math.log10(ratio)

@@ -1,0 +1,34 @@
+"""Statistical process-variation substrate.
+
+Models the three classic layers of CMOS variability the paper's sensor must
+survive:
+
+* **die-to-die** — global threshold/mobility shifts, either the five named
+  corners or continuous Monte-Carlo samples (``corners``/``montecarlo``);
+* **within-die systematic** — smooth, spatially correlated threshold fields
+  plus deterministic gradients across a die (``spatial``);
+* **random mismatch** — Pelgrom-law per-device offsets (``mismatch``).
+"""
+
+from repro.variation.aging import BtiAgingModel
+from repro.variation.corners import monte_carlo_corner, sample_global_shifts
+from repro.variation.mismatch import mismatch_sigma_vt, sample_mismatch
+from repro.variation.montecarlo import DieSample, sample_dies
+from repro.variation.spatial import SpatialField, make_spatial_field
+from repro.variation.wafer import WaferDie, WaferModel, fit_radial_signature, sample_wafer
+
+__all__ = [
+    "BtiAgingModel",
+    "DieSample",
+    "SpatialField",
+    "WaferDie",
+    "WaferModel",
+    "fit_radial_signature",
+    "make_spatial_field",
+    "sample_wafer",
+    "mismatch_sigma_vt",
+    "monte_carlo_corner",
+    "sample_dies",
+    "sample_global_shifts",
+    "sample_mismatch",
+]

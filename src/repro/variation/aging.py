@@ -1,0 +1,113 @@
+"""Bias-temperature-instability (BTI) aging: threshold drift over lifetime.
+
+Transistor thresholds are not constant over a product's life: negative-BTI
+raises the PMOS threshold magnitude (the dominant 65 nm mechanism) and
+positive-BTI raises the NMOS threshold, both following the empirical
+power law
+
+    dV_t(t) = A * duty^0.5 * exp(Ea_like * (T - T0)) * (t / t_ref)^n
+
+with n ~ 0.15-0.25 and A of millivolts-to-tens-of-millivolts per year of
+stress at elevated temperature.
+
+Aging is the sharpest argument for the paper's *self*-calibration: a
+factory trim captures the die at time zero and goes stale as the TSRO's
+own thresholds drift, while the self-calibrated sensor re-extracts the
+process point at every power-on — and its V_t read-out doubles as an
+in-field aging monitor (prognostics).  Experiment R-E2 measures exactly
+this.
+
+Key physical detail: BTI shifts thresholds *without* the fast-die/slow-die
+mobility coupling of manufacturing variation, so aged dies sit off the
+foundry correlation line.  The model preserves this, which costs the sensor
+a small honest residual on heavily aged dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.device.technology import ProcessCorner
+from repro.variation.montecarlo import DieSample
+
+
+@dataclass(frozen=True)
+class BtiAgingModel:
+    """Empirical BTI drift model.
+
+    Attributes:
+        a_nbti: PMOS threshold-magnitude drift after ``reference_years`` of
+            full-duty stress at the reference temperature, volts.
+        a_pbti: NMOS threshold drift under the same conditions, volts
+            (smaller: PBTI is mild in 65 nm poly/SiON).
+        time_exponent: Power-law exponent ``n``.
+        temp_accel_per_k: Fractional drift increase per kelvin above the
+            reference stress temperature (Arrhenius linearised).
+        reference_years: Stress time that yields ``a_nbti``/``a_pbti``.
+        reference_temp_c: Stress temperature of the reference drift.
+    """
+
+    a_nbti: float = 0.018
+    a_pbti: float = 0.006
+    time_exponent: float = 0.2
+    temp_accel_per_k: float = 0.02
+    reference_years: float = 1.0
+    reference_temp_c: float = 85.0
+
+    def __post_init__(self) -> None:
+        if self.a_nbti < 0.0 or self.a_pbti < 0.0:
+            raise ValueError("drift amplitudes must be non-negative")
+        if not 0.0 < self.time_exponent < 1.0:
+            raise ValueError("time_exponent must lie in (0, 1)")
+        if self.reference_years <= 0.0:
+            raise ValueError("reference_years must be positive")
+
+    def vt_drift(
+        self, years: float, duty: float = 1.0, stress_temp_c: float = None
+    ) -> Tuple[float, float]:
+        """Threshold drift ``(dV_tn, dV_tp)`` in volts after ``years``.
+
+        Args:
+            years: Operating time in years.
+            duty: Fraction of time under bias stress (0..1); BTI relaxation
+                gives the classic square-root duty dependence.
+            stress_temp_c: Average junction temperature during stress;
+                ``None`` uses the reference temperature.
+        """
+        if years < 0.0:
+            raise ValueError("years must be non-negative")
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("duty must lie in [0, 1]")
+        if years == 0.0 or duty == 0.0:
+            return 0.0, 0.0
+        stress_temp_c = (
+            self.reference_temp_c if stress_temp_c is None else stress_temp_c
+        )
+        accel = 1.0 + self.temp_accel_per_k * (stress_temp_c - self.reference_temp_c)
+        accel = max(0.1, accel)
+        scale = duty**0.5 * accel * (years / self.reference_years) ** self.time_exponent
+        return self.a_pbti * scale, self.a_nbti * scale
+
+    def age_die(
+        self,
+        die: DieSample,
+        years: float,
+        duty: float = 1.0,
+        stress_temp_c: float = None,
+    ) -> DieSample:
+        """Return a copy of ``die`` with BTI drift folded into its corner.
+
+        The drift adds to the global threshold shift but deliberately does
+        NOT touch the mobility scales: aging breaks the manufacturing
+        threshold-mobility correlation (see module docstring).
+        """
+        dvtn_drift, dvtp_drift = self.vt_drift(years, duty, stress_temp_c)
+        aged_corner = ProcessCorner(
+            name=f"{die.corner.name}+BTI{years:g}y",
+            dvtn=die.corner.dvtn + dvtn_drift,
+            dvtp=die.corner.dvtp + dvtp_drift,
+            mun_scale=die.corner.mun_scale,
+            mup_scale=die.corner.mup_scale,
+        )
+        return replace(die, corner=aged_corner)

@@ -1,0 +1,64 @@
+"""Die-to-die (global) variation: continuous corner sampling.
+
+The named corners of :mod:`repro.device.technology` are the sign-off
+extremes; real die populations fill the ellipse between them.  This module
+draws continuous global shifts with the empirically standard structure:
+
+* ``dV_tn`` and ``dV_tp`` are jointly Gaussian with positive correlation
+  (shared gate-stack and lithography causes) but far from unity (doping is
+  independent), and
+* mobility moves opposite to threshold (a fast corner is fast for both
+  reasons).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.technology import ProcessCorner
+
+# Correlation between NMOS and PMOS global threshold shifts.
+_VTN_VTP_CORRELATION = 0.6
+# Fractional mobility change per volt of threshold shift (opposite sign).
+_MU_PER_VT = -1.5
+
+
+def sample_global_shifts(
+    rng: np.random.Generator,
+    count: int,
+    sigma_vtn: float = 0.020,
+    sigma_vtp: float = 0.020,
+    correlation: float = _VTN_VTP_CORRELATION,
+) -> np.ndarray:
+    """Draw ``count`` correlated (dV_tn, dV_tp) pairs.
+
+    Returns an array of shape ``(count, 2)`` in volts.  Default sigmas put the
+    named +/-40 mV corners at the 2-sigma ellipse, the usual foundry
+    convention.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not -1.0 < correlation < 1.0:
+        raise ValueError("correlation must lie strictly inside (-1, 1)")
+    cov = np.array(
+        [
+            [sigma_vtn**2, correlation * sigma_vtn * sigma_vtp],
+            [correlation * sigma_vtn * sigma_vtp, sigma_vtp**2],
+        ]
+    )
+    return rng.multivariate_normal(np.zeros(2), cov, size=count)
+
+
+def monte_carlo_corner(dvtn: float, dvtp: float, label: str = "MC") -> ProcessCorner:
+    """Build a continuous-process ``ProcessCorner`` from global V_t shifts.
+
+    Mobility tracks threshold with the standard negative coupling so that a
+    low-threshold die is also a high-mobility die.
+    """
+    return ProcessCorner(
+        name=label,
+        dvtn=dvtn,
+        dvtp=dvtp,
+        mun_scale=max(0.5, 1.0 + _MU_PER_VT * dvtn),
+        mup_scale=max(0.5, 1.0 + _MU_PER_VT * dvtp),
+    )

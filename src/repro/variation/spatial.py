@@ -1,0 +1,108 @@
+"""Within-die systematic variation: spatially correlated threshold fields.
+
+A die's threshold landscape has two systematic components on top of random
+mismatch:
+
+* a smooth **correlated random field** (lens aberrations, CMP, RTA
+  non-uniformity) with a correlation length of a few millimetres, and
+* a deterministic **gradient** across the reticle.
+
+The correlated field is synthesised by low-pass filtering white Gaussian
+noise with a kernel matched to the correlation length and re-normalising to
+the target sigma — the standard construction for quadtree-style variation
+models, without the quadtree bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+
+@dataclass(frozen=True)
+class SpatialField:
+    """A sampled threshold-offset field over a die.
+
+    Attributes:
+        die_width: Die extent along x in metres.
+        die_height: Die extent along y in metres.
+        values: 2-D offset grid in volts, indexed ``[iy, ix]``.
+    """
+
+    die_width: float
+    die_height: float
+    values: np.ndarray
+
+    def at(self, x: float, y: float) -> float:
+        """Bilinear sample of the field at die coordinates ``(x, y)``.
+
+        Coordinates outside the die are clamped to the die boundary, which is
+        the physically sensible behaviour for sensors placed at the edge.
+        """
+        ny, nx = self.values.shape
+        fx = np.clip(x / self.die_width, 0.0, 1.0) * (nx - 1)
+        fy = np.clip(y / self.die_height, 0.0, 1.0) * (ny - 1)
+        ix0, iy0 = int(fx), int(fy)
+        ix1, iy1 = min(ix0 + 1, nx - 1), min(iy0 + 1, ny - 1)
+        tx, ty = fx - ix0, fy - iy0
+        top = (1 - tx) * self.values[iy0, ix0] + tx * self.values[iy0, ix1]
+        bottom = (1 - tx) * self.values[iy1, ix0] + tx * self.values[iy1, ix1]
+        return float((1 - ty) * top + ty * bottom)
+
+    @property
+    def sigma(self) -> float:
+        """Standard deviation of the sampled field in volts."""
+        return float(np.std(self.values))
+
+
+def make_spatial_field(
+    rng: np.random.Generator,
+    die_width: float = 5e-3,
+    die_height: float = 5e-3,
+    sigma: float = 0.005,
+    correlation_length: float = 1.5e-3,
+    gradient: float = 0.0,
+    resolution: int = 64,
+) -> SpatialField:
+    """Synthesize a correlated within-die threshold-offset field.
+
+    Args:
+        rng: Seeded generator; the field is fully reproducible.
+        die_width: Die x extent in metres.
+        die_height: Die y extent in metres.
+        sigma: Target standard deviation of the correlated component, volts.
+        correlation_length: 1/e correlation distance in metres.
+        gradient: Peak-to-peak deterministic tilt across the diagonal, volts.
+        resolution: Grid points per axis.
+
+    Returns:
+        A :class:`SpatialField` whose correlated part has standard deviation
+        ``sigma`` (up to sampling noise) and the requested tilt added.
+    """
+    if sigma < 0.0 or gradient < 0.0:
+        raise ValueError("sigma and gradient must be non-negative")
+    if resolution < 4:
+        raise ValueError("resolution must be at least 4")
+    if correlation_length <= 0.0:
+        raise ValueError("correlation_length must be positive")
+
+    noise = rng.normal(0.0, 1.0, size=(resolution, resolution))
+    # Kernel sigma in pixels; the Gaussian filter imposes a correlation
+    # length of roughly sqrt(2) * kernel sigma on the output.
+    pixel = max(die_width, die_height) / resolution
+    kernel_sigma = correlation_length / (np.sqrt(2.0) * pixel)
+    smooth = ndimage.gaussian_filter(noise, kernel_sigma, mode="nearest")
+    spread = float(np.std(smooth))
+    if spread > 0.0 and sigma > 0.0:
+        smooth *= sigma / spread
+    else:
+        smooth = np.zeros_like(smooth)
+
+    if gradient > 0.0:
+        xs = np.linspace(-0.5, 0.5, resolution)
+        tilt = gradient * (xs[None, :] + xs[:, None]) / 2.0
+        smooth = smooth + tilt
+
+    return SpatialField(die_width=die_width, die_height=die_height, values=smooth)

@@ -1,0 +1,109 @@
+"""Tests for metrics, tables, sweeps and the sensor configuration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import error_stats, inaccuracy_band
+from repro.analysis.sweeps import sweep_temperature, temperature_axis
+from repro.analysis.tables import render_table
+from repro.config import SensorConfig
+
+
+class TestErrorStats:
+    def test_basic_statistics(self):
+        stats = error_stats([-1.0, 0.0, 1.0, 2.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.band == pytest.approx(2.0)
+        assert stats.three_sigma == pytest.approx(3.0 * np.std([-1.0, 0.0, 1.0, 2.0]))
+
+    def test_band_is_worst_absolute(self):
+        assert inaccuracy_band([-3.0, 2.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_stats([])
+        with pytest.raises(ValueError):
+            inaccuracy_band([])
+
+    def test_describe_scales_units(self):
+        stats = error_stats([0.001, -0.001])
+        text = stats.describe(unit="mV", scale=1e3)
+        assert "1.000mV" in text
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        table = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1  # equal widths
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_numbers_stringified(self):
+        table = render_table(["x"], [[1.5]])
+        assert "1.5" in table
+
+
+class TestSweeps:
+    def test_temperature_axis_bounds(self):
+        axis = temperature_axis(-40.0, 125.0, points=12)
+        assert axis[0] == -40.0 and axis[-1] == 125.0
+
+    def test_temperature_axis_validation(self):
+        with pytest.raises(ValueError):
+            temperature_axis(50.0, 50.0)
+        with pytest.raises(ValueError):
+            temperature_axis(0.0, 10.0, points=1)
+
+    def test_sweep_errors(self):
+        estimates, errors = sweep_temperature(lambda t: t + 0.5, [0.0, 10.0])
+        np.testing.assert_allclose(estimates, [0.5, 10.5])
+        np.testing.assert_allclose(errors, [0.5, 0.5])
+
+
+class TestSensorConfig:
+    def test_defaults_valid(self):
+        SensorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"psro_stages": 12},
+            {"psro_stages": 1},
+            {"tsro_stages": 8},
+            {"psro_window": 0.0},
+            {"tsro_periods": 0},
+            {"ref_clock_hz": 0.0},
+            {"calibration_rounds": 0},
+            {"newton_iterations": 0},
+            {"lut_points_per_axis": 1},
+            {"temp_min_c": 125.0, "temp_max_c": -40.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SensorConfig(**kwargs)
+
+    def test_conversion_time(self):
+        config = SensorConfig()
+        t = config.conversion_time(tsro_frequency=10e6)
+        assert t == pytest.approx(2 * config.psro_window + config.tsro_periods / 10e6)
+
+    def test_conversion_time_validation(self):
+        with pytest.raises(ValueError):
+            SensorConfig().conversion_time(0.0)
+
+    def test_with_windows(self):
+        config = SensorConfig().with_windows(psro_window=1e-6, tsro_periods=48)
+        assert config.psro_window == 1e-6
+        assert config.tsro_periods == 48
+
+    def test_with_windows_partial(self):
+        base = SensorConfig()
+        config = base.with_windows(tsro_periods=48)
+        assert config.psro_window == base.psro_window
+        assert config.tsro_periods == 48

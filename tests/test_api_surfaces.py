@@ -1,0 +1,179 @@
+"""Behavioural tests for API surfaces not covered elsewhere.
+
+Each class targets a public surface (result-object helpers, trace
+accessors, failure paths) with assertions on behaviour, not just types.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import TrackingPolicy, TrackingSensor
+from repro.experiments import (
+    exp_f1_freq_vs_temp,
+    exp_t2_comparison,
+)
+from repro.experiments.common import (
+    PAPER_ANCHORS,
+    build_sensor,
+    die_population,
+    population_sensors,
+    reference_setup,
+)
+from repro.network.dtm import DtmTrace
+from repro.readout.energy import ConversionEnergy
+
+
+class TestCommonFixtures:
+    def test_reference_setup_is_cached(self):
+        assert reference_setup() is reference_setup()
+
+    def test_die_population_cached_and_stable(self):
+        a = die_population(5)
+        b = die_population(5)
+        assert a is b
+        assert len(a) == 5
+
+    def test_population_sensors_wrap_die_ids(self):
+        sensors = population_sensors(3)
+        assert [s.die_id for s in sensors] == [0, 1, 2]
+
+    def test_paper_anchors_present(self):
+        assert PAPER_ANCHORS["energy_per_conversion_pj"] == pytest.approx(367.5)
+        assert PAPER_ANCHORS["temperature_band_c"] == pytest.approx(1.5)
+
+    def test_build_sensor_shares_design_objects(self):
+        a = build_sensor()
+        b = build_sensor()
+        assert a.model is b.model
+        assert a.lut is b.lut
+
+
+class TestF1ResultHelpers:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_f1_freq_vs_temp.run(fast=True)
+
+    def test_corner_spread_positive(self, result):
+        for osc in exp_f1_freq_vs_temp.OSCILLATORS:
+            assert result.corner_spread(osc) > 0.0
+
+    def test_temperature_coefficient_sign_structure(self, result):
+        assert result.temperature_coefficient("TSRO", "SS") > 0.0
+        assert abs(result.temperature_coefficient("PSRO-N", "TT")) < 1e-4
+
+    def test_unknown_series_raises(self, result):
+        with pytest.raises(KeyError):
+            _ = result.series[("PSRO-N", "XX")]
+
+
+class TestT2ResultHelpers:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_t2_comparison.run(fast=True)
+
+    def test_row_lookup(self, result):
+        row = result.row("self-calibrated (paper)")
+        assert row.factory_cost == "none (on-chip)"
+
+    def test_unknown_row_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("nonexistent scheme")
+
+    def test_all_expected_schemes_present(self, result):
+        names = {row.scheme for row in result.rows}
+        assert "uncalibrated TSRO" in names
+        assert "two-point factory cal" in names
+        assert len(names) == 6
+
+
+class TestDtmTraceHelpers:
+    @pytest.fixture
+    def trace(self):
+        return DtmTrace(
+            times_s=[0.1, 0.2, 0.3],
+            true_peak_c=[80.0, 86.0, 84.0],
+            sensed_peak_c=[79.5, 85.0, 84.5],
+            power_scales=[{0: 1.0, 1: 1.0}, {0: 0.7, 1: 1.0}, {0: 0.7, 1: 1.0}],
+        )
+
+    def test_max_true_peak(self, trace):
+        assert trace.max_true_peak() == pytest.approx(86.0)
+
+    def test_worst_sensing_gap(self, trace):
+        assert trace.worst_sensing_gap() == pytest.approx(1.0)
+
+    def test_throttled_steps(self, trace):
+        assert trace.throttled_steps == 2
+
+
+class TestConversionEnergyHelpers:
+    def test_rows_and_total(self):
+        energy = ConversionEnergy(
+            psro_n=150e-12, psro_p=160e-12, tsro=7e-12, counters=10e-12, digital=20e-12
+        )
+        assert energy.total == pytest.approx(347e-12)
+        labels = [label for label, _ in energy.as_rows()]
+        assert labels[0] == "PSRO-P ring"  # largest first
+
+
+class TestTrackingFailurePaths:
+    def test_fast_failure_forces_full_conversion(self):
+        """Out-of-range fast reads eventually trigger a recalibration."""
+        setup = reference_setup()
+        die = die_population(2)[1]
+        sensor = build_sensor(die)
+        tracker = TrackingSensor(
+            sensor, TrackingPolicy(recalibration_interval=1000, max_fast_failures=1)
+        )
+        tracker.read(50.0)
+        # estimate_temperature_clamped never raises, so the fast path
+        # stays alive even at range edges — verify it pegs, not crashes.
+        reading = tracker.read(140.0)
+        assert reading.mode == "fast"
+        assert reading.temperature_c >= setup.config.temp_max_c
+
+    def test_calibrated_flag(self):
+        die = die_population(2)[0]
+        tracker = TrackingSensor(build_sensor(die))
+        assert not tracker.calibrated
+        tracker.read(30.0)
+        assert tracker.calibrated
+
+
+class TestSensorReadingInvariants:
+    def test_energy_breakdown_consistent_with_total(self):
+        reading = build_sensor().read(27.0)
+        parts = sum(value for _, value in reading.energy.as_rows())
+        assert parts == pytest.approx(reading.energy.total)
+
+    def test_conversion_time_positive_and_sane(self):
+        reading = build_sensor().read(27.0)
+        assert 1e-6 < reading.conversion_time < 1e-3
+
+    def test_counts_fit_configured_widths(self):
+        setup = reference_setup()
+        reading = build_sensor().read(125.0)
+        assert reading.counts_n < (1 << setup.config.psro_counter_bits)
+        assert reading.counts_ref < (1 << setup.config.tsro_counter_bits)
+
+
+class TestDeterminismAcrossProcesses:
+    """Seeded reproducibility: the exact numbers the docs quote must be
+    recomputable from a clean population."""
+
+    def test_population_statistics_stable(self):
+        from repro.variation.montecarlo import sample_dies
+
+        tech = reference_setup().technology
+        dies = sample_dies(tech, 50, seed=2012)
+        dvtns = np.array([die.corner.dvtn for die in dies])
+        # These two moments pin the population; a silent RNG change that
+        # would invalidate every documented number fails here.
+        assert np.mean(dvtns) == pytest.approx(-0.0005254, abs=2e-3)
+        assert np.std(dvtns) == pytest.approx(0.020, abs=0.006)
+
+    def test_same_seed_same_reading(self):
+        a = build_sensor(die_population(4)[3]).read(65.0)
+        b = build_sensor(die_population(4)[3]).read(65.0)
+        assert a.temperature_c == b.temperature_c
+        assert a.counts_n == b.counts_n

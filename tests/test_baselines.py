@@ -1,0 +1,140 @@
+"""Tests for the baseline/comparison sensors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.diode import DiodeSensor
+from repro.baselines.ratio import RatioSensor
+from repro.baselines.two_point import TwoPointCalibratedSensor
+from repro.baselines.uncalibrated import UncalibratedTsroSensor
+from repro.config import SensorConfig
+from repro.core.sensing_model import SensingModel
+from repro.device.technology import nominal_65nm
+from repro.variation.montecarlo import sample_dies
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return nominal_65nm()
+
+
+@pytest.fixture(scope="module")
+def model(tech):
+    return SensingModel(tech)
+
+
+@pytest.fixture(scope="module")
+def skewed_die(tech):
+    # Pick the most skewed die of a small population for worst-case tests.
+    dies = sample_dies(tech, 10, seed=55)
+    return max(dies, key=lambda d: abs(d.corner.dvtn) + abs(d.corner.dvtp))
+
+
+class TestUncalibrated:
+    def test_accurate_on_typical_die(self, tech, model):
+        sensor = UncalibratedTsroSensor(tech, sensing_model=model)
+        assert sensor.read_temperature(50.0, deterministic=True) == pytest.approx(
+            50.0, abs=0.5
+        )
+
+    def test_process_error_degrees_class(self, tech, model, skewed_die):
+        sensor = UncalibratedTsroSensor(tech, die=skewed_die, sensing_model=model)
+        error = sensor.read_temperature(50.0, deterministic=True) - 50.0
+        assert abs(error) > 2.0  # the whole reason the paper exists
+
+    def test_clamps_instead_of_raising(self, tech, model, skewed_die):
+        sensor = UncalibratedTsroSensor(tech, die=skewed_die, sensing_model=model)
+        # Must not raise even at the range edge on a skewed die.
+        sensor.read_temperature(-40.0, deterministic=True)
+        sensor.read_temperature(125.0, deterministic=True)
+
+
+class TestTwoPoint:
+    def test_accurate_between_cal_points(self, tech, skewed_die):
+        """Interpolation error = the Arrhenius-basis curvature residual.
+
+        The TSRO runs in moderate (not deep weak) inversion, so ln f is not
+        exactly linear in 1/T; a 2-degree-of-freedom trim leaves a few
+        degrees of bowl between the chamber points.  That residual is the
+        cost the comparison table charges the two-point scheme.
+        """
+        sensor = TwoPointCalibratedSensor(tech, die=skewed_die)
+        for temp in (0.0, 25.0, 60.0, 90.0):
+            est = sensor.read_temperature(temp, deterministic=True)
+            assert est == pytest.approx(temp, abs=3.5)
+
+    def test_beats_uncalibrated_on_skewed_die(self, tech, model, skewed_die):
+        two_point = TwoPointCalibratedSensor(tech, die=skewed_die)
+        uncal = UncalibratedTsroSensor(tech, die=skewed_die, sensing_model=model)
+        errors_tp, errors_un = [], []
+        for temp in (0.0, 27.0, 85.0):
+            errors_tp.append(abs(two_point.read_temperature(temp, deterministic=True) - temp))
+            errors_un.append(abs(uncal.read_temperature(temp, deterministic=True) - temp))
+        assert max(errors_tp) < max(errors_un)
+
+    def test_rejects_bad_cal_points(self, tech):
+        with pytest.raises(ValueError):
+            TwoPointCalibratedSensor(tech, cal_points_c=(85.0, 25.0))
+
+
+class TestRatio:
+    def test_accurate_on_typical_die(self, tech, model):
+        sensor = RatioSensor(tech, sensing_model=model)
+        assert sensor.read_temperature(50.0, deterministic=True) == pytest.approx(
+            50.0, abs=1.0
+        )
+
+    def test_partial_cancellation(self, tech, model, skewed_die):
+        """Ratio must beat raw TSRO but not reach self-calibrated accuracy."""
+        ratio = RatioSensor(tech, die=skewed_die, sensing_model=model)
+        uncal = UncalibratedTsroSensor(tech, die=skewed_die, sensing_model=model)
+        err_ratio = abs(ratio.read_temperature(50.0, deterministic=True) - 50.0)
+        err_uncal = abs(uncal.read_temperature(50.0, deterministic=True) - 50.0)
+        assert err_ratio < err_uncal
+        assert err_ratio > 0.5  # cancellation is only partial
+
+
+class TestDiode:
+    def test_typical_reads_accurately_at_trim_point(self):
+        sensor = DiodeSensor()
+        assert sensor.read_temperature(25.0) == pytest.approx(25.0, abs=0.3)
+
+    def test_untrimmed_offset_degrees_class(self, tech):
+        dies = sample_dies(tech, 30, seed=56)
+        errors = [
+            DiodeSensor(die=die).read_temperature(25.0) - 25.0 for die in dies
+        ]
+        assert 0.5 < np.std(errors) < 4.0
+
+    def test_trim_removes_offset(self, tech):
+        die = sample_dies(tech, 1, seed=57)[0]
+        untrimmed = abs(DiodeSensor(die=die).read_temperature(25.0) - 25.0)
+        trimmed = abs(DiodeSensor(die=die, trimmed=True).read_temperature(25.0) - 25.0)
+        assert trimmed < untrimmed
+
+    def test_curvature_remains_after_trim(self, tech):
+        die = sample_dies(tech, 1, seed=58)[0]
+        sensor = DiodeSensor(die=die, trimmed=True)
+        edge_error = abs(sensor.read_temperature(125.0) - 125.0)
+        centre_error = abs(sensor.read_temperature(25.0) - 25.0)
+        assert edge_error > centre_error
+
+    def test_adc_bits_validated(self):
+        with pytest.raises(ValueError):
+            DiodeSensor(adc_bits=2)
+
+
+class TestCrossSchemeOrdering:
+    def test_accuracy_ordering_holds(self, tech, model, skewed_die):
+        """The R-T2 shape in miniature: uncal > ratio > two-point-class."""
+        uncal = UncalibratedTsroSensor(tech, die=skewed_die, sensing_model=model)
+        ratio = RatioSensor(tech, die=skewed_die, sensing_model=model)
+        two_point = TwoPointCalibratedSensor(tech, die=skewed_die)
+        temps = (0.0, 27.0, 85.0)
+
+        def band(sensor):
+            return max(
+                abs(sensor.read_temperature(t, deterministic=True) - t) for t in temps
+            )
+
+        assert band(uncal) > band(ratio) > band(two_point)

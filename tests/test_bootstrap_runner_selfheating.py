@@ -1,0 +1,139 @@
+"""Tests for bootstrap CIs, the suite runner, self-heating, DVFS mode."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import (
+    band_interval,
+    bootstrap_statistic,
+    sigma_interval,
+)
+from repro.core.self_heating import analyse_self_heating
+from repro.experiments.common import build_sensor, die_population
+from repro.experiments.runner import run_all, write_report
+
+
+class TestBootstrap:
+    def test_point_estimate_matches_statistic(self):
+        interval = band_interval([-1.0, 0.5, 2.0])
+        assert interval.point == pytest.approx(2.0)
+
+    def test_interval_brackets_point(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(0.0, 1.0, 200)
+        interval = sigma_interval(samples)
+        assert interval.low <= interval.point <= interval.high
+
+    def test_coverage_roughly_nominal(self):
+        """95% intervals for sigma should contain the truth ~95% of runs."""
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 60
+        for trial in range(trials):
+            samples = rng.normal(0.0, 1.0, 60)
+            interval = bootstrap_statistic(
+                samples, lambda s: float(np.std(s)), resamples=400, seed=trial
+            )
+            if interval.contains(1.0):
+                hits += 1
+        assert hits / trials > 0.80  # generous: percentile bootstrap is biased low
+
+    def test_deterministic_given_seed(self):
+        samples = [0.1, -0.4, 0.9, -1.2, 0.3]
+        a = band_interval(samples)
+        b = band_interval(samples)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_describe_scaling(self):
+        interval = band_interval([0.001, -0.002])
+        text = interval.describe(scale=1e3, unit="mV")
+        assert "2.000mV" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            band_interval([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_statistic([1.0, 2.0], np.mean, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_statistic([1.0, 2.0], np.mean, resamples=10)
+
+
+class TestRunner:
+    def test_subset_run_and_report(self, tmp_path):
+        result = run_all(fast=True, only=["R-F1", "R-F2"])
+        assert result.all_ok
+        assert [o.key for o in result.outcomes] == ["R-F1", "R-F2"]
+        report = tmp_path / "report.md"
+        write_report(result, str(report))
+        text = report.read_text()
+        assert "## R-F1 (ok" in text and "## R-F2 (ok" in text
+
+    def test_json_round_trip(self):
+        result = run_all(fast=True, only=["R-F2"])
+        payload = json.loads(result.to_json())
+        assert payload["fast"] is True
+        assert payload["outcomes"][0]["key"] == "R-F2"
+        assert payload["outcomes"][0]["ok"] is True
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            run_all(fast=True, only=["R-XX"])
+
+    def test_failures_captured_not_raised(self, monkeypatch):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        class Broken:
+            @staticmethod
+            def run(fast=False):
+                raise RuntimeError("boom")
+
+        monkeypatch.setitem(ALL_EXPERIMENTS, "R-F1", Broken)
+        result = run_all(fast=True, only=["R-F1", "R-F2"])
+        assert not result.all_ok
+        assert result.failures() == ["R-F1"]
+        assert "boom" in result.outcomes[0].rendered
+
+
+class TestSelfHeating:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyse_self_heating()
+
+    def test_steady_rise_sub_kelvin(self, report):
+        """Even running forever, 550 uW in a 60 um macro stays < 1 K."""
+        assert 0.0 < report.steady_rise_k < 1.0
+
+    def test_transient_rise_negligible(self, report):
+        """One 6 us conversion cannot heat the macro measurably."""
+        assert report.transient_rise_k < 0.05
+        assert report.transient_rise_k < report.steady_rise_k
+
+    def test_duty_cycled_rise_negligible(self, report):
+        """At 1 kS/s the average self-heating is millikelvin-class."""
+        assert report.duty_cycled_rise_k < 0.01
+
+    def test_time_constant_much_longer_than_conversion(self, report):
+        assert report.local_time_constant_s > 100.0 * 6.3e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyse_self_heating(macro_power_w=0.0)
+
+
+class TestDvfsKnownSetpoint:
+    @pytest.mark.parametrize("vdd", [1.0, 1.1, 1.2])
+    def test_accuracy_maintained_across_dvfs_points(self, vdd):
+        die = die_population(3)[1]
+        sensor = build_sensor(die)
+        reading = sensor.read(65.0, vdd=vdd, assume_vdd=vdd, deterministic=True)
+        assert reading.temperature_c == pytest.approx(65.0, abs=1.0)
+
+    def test_unknown_setpoint_reproduces_droop_error(self):
+        """Without the setpoint, a low DVFS rail looks like a huge error."""
+        sensor = build_sensor()
+        informed = sensor.read(65.0, vdd=1.08, assume_vdd=1.08, deterministic=True)
+        naive = sensor.read(65.0, vdd=1.08, deterministic=True)
+        assert abs(informed.temperature_c - 65.0) < abs(naive.temperature_c - 65.0)

@@ -1,0 +1,106 @@
+"""Tests for counters and digital energy models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.digital import (
+    WindowCounter,
+    required_bits,
+    ripple_counter_energy,
+)
+
+
+class TestWindowCounter:
+    def test_deterministic_count(self):
+        counter = WindowCounter(window=1e-6, bits=16)
+        assert counter.count(100e6) == 100
+
+    def test_zero_frequency_counts_zero(self):
+        counter = WindowCounter(window=1e-6)
+        assert counter.count(0.0) == 0
+
+    def test_rejects_negative_frequency(self):
+        counter = WindowCounter(window=1e-6)
+        with pytest.raises(ValueError):
+            counter.count(-1.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            WindowCounter(window=0.0)
+
+    def test_overflow_wraps(self):
+        counter = WindowCounter(window=1e-6, bits=4)
+        # 100 counts into a 4-bit counter: 100 & 15 == 4
+        assert counter.count(100e6) == 4
+        assert counter.overflows_at(100e6)
+
+    def test_inversion_round_trip(self):
+        counter = WindowCounter(window=2e-6, bits=16)
+        count = counter.count(123.4e6)
+        assert counter.frequency_from_count(count) == pytest.approx(
+            123.4e6, abs=counter.quantisation_step()
+        )
+
+    def test_quantisation_step(self):
+        counter = WindowCounter(window=4e-6)
+        assert counter.quantisation_step() == pytest.approx(250e3)
+
+    def test_phase_randomness_within_one_lsb(self):
+        counter = WindowCounter(window=1e-6, bits=16)
+        rng = np.random.default_rng(0)
+        counts = {counter.count(100.5e6, rng) for _ in range(200)}
+        assert counts <= {100, 101}
+        assert len(counts) == 2  # the phase dither must actually dither
+
+    @settings(max_examples=50, deadline=None)
+    @given(freq=st.floats(min_value=1e3, max_value=1e9))
+    def test_count_error_bounded_by_one(self, freq):
+        counter = WindowCounter(window=1e-6, bits=32)
+        count = counter.count(freq)
+        assert abs(count - freq * 1e-6) <= 1.0
+
+
+class TestRippleCounterEnergy:
+    def test_zero_counts_zero_energy(self):
+        assert ripple_counter_energy(0, 1.2) == 0.0
+
+    def test_linear_in_counts(self):
+        one = ripple_counter_energy(100, 1.2)
+        two = ripple_counter_energy(200, 1.2)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_quadratic_in_vdd(self):
+        lo = ripple_counter_energy(100, 0.6)
+        hi = ripple_counter_energy(100, 1.2)
+        assert hi == pytest.approx(4.0 * lo)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            ripple_counter_energy(-1, 1.2)
+
+    def test_pj_class_for_typical_conversion(self):
+        # ~1000 counts at 1.2 V is single-digit pJ.
+        assert 1e-13 < ripple_counter_energy(1000, 1.2) < 1e-10
+
+
+class TestRequiredBits:
+    def test_exact_power_of_two(self):
+        assert required_bits(1023e6, 1e-6) == 10
+
+    def test_one_more_count_needs_a_bit(self):
+        assert required_bits(1024e6, 1e-6) == 11
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            required_bits(0.0, 1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        freq=st.floats(min_value=1e3, max_value=1e10),
+        window=st.floats(min_value=1e-8, max_value=1e-3),
+    )
+    def test_counter_sized_by_required_bits_never_overflows(self, freq, window):
+        bits = required_bits(freq, window)
+        counter = WindowCounter(window=window, bits=bits)
+        assert not counter.overflows_at(freq)

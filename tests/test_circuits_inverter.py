@@ -1,0 +1,129 @@
+"""Tests for the stage delay models."""
+
+import pytest
+
+from repro.circuits.inverter import (
+    BalancedStage,
+    NmosSensingStage,
+    PmosSensingStage,
+    StarvedStage,
+)
+from repro.device.technology import nominal_65nm
+
+
+@pytest.fixture
+def tech():
+    return nominal_65nm()
+
+
+def delays_of(stage, tech, vdd=1.2, temp_k=300.0, dvtn=0.0, dvtp=0.0):
+    nmos = tech.nmos.with_vt_shift(dvtn)
+    pmos = tech.pmos.with_vt_shift(dvtp)
+    load = stage.load_capacitance(tech)
+    return stage.delays(nmos, pmos, vdd, temp_k, load)
+
+
+class TestBalancedStage:
+    def test_delays_positive_and_picosecond_class(self, tech):
+        t_rise, t_fall = delays_of(BalancedStage(), tech)
+        assert 0.0 < t_rise < 1e-9
+        assert 0.0 < t_fall < 1e-9
+
+    def test_roughly_balanced(self, tech):
+        t_rise, t_fall = delays_of(BalancedStage(), tech)
+        assert 0.3 < t_rise / t_fall < 3.0
+
+    def test_load_includes_parasitics(self, tech):
+        stage = BalancedStage()
+        assert stage.load_capacitance(tech) > stage.input_capacitance(tech)
+
+
+class TestNmosSensingStage:
+    def test_fall_edge_dominates(self, tech):
+        t_rise, t_fall = delays_of(NmosSensingStage(), tech)
+        assert t_fall > 3.0 * t_rise
+
+    def test_fall_delay_tracks_vtn(self, tech):
+        _, fall_typ = delays_of(NmosSensingStage(), tech)
+        _, fall_slow = delays_of(NmosSensingStage(), tech, dvtn=0.02)
+        assert fall_slow > fall_typ * 1.02
+
+    def test_fall_delay_ignores_vtp(self, tech):
+        _, fall_typ = delays_of(NmosSensingStage(), tech)
+        _, fall_skew = delays_of(NmosSensingStage(), tech, dvtp=0.02)
+        assert fall_skew == pytest.approx(fall_typ, rel=1e-6)
+
+    def test_sensing_gate_not_in_input_capacitance(self, tech):
+        """The sensing pair sits at DC bias; only switch+PMOS load the input."""
+        stage = NmosSensingStage()
+        bigger_sense = NmosSensingStage(sense_units=stage.sense_units * 4)
+        assert stage.input_capacitance(tech) == pytest.approx(
+            bigger_sense.input_capacitance(tech)
+        )
+
+    def test_near_ztc_bias(self, tech):
+        """Total stage delay moves <1% across the full temperature range."""
+        stage = NmosSensingStage()
+        cold = sum(delays_of(stage, tech, temp_k=233.15))
+        hot = sum(delays_of(stage, tech, temp_k=398.15))
+        mid = sum(delays_of(stage, tech, temp_k=300.0))
+        assert abs(hot - cold) / mid < 0.02
+
+
+class TestPmosSensingStage:
+    def test_rise_edge_dominates(self, tech):
+        t_rise, t_fall = delays_of(PmosSensingStage(), tech)
+        assert t_rise > 3.0 * t_fall
+
+    def test_rise_delay_tracks_vtp(self, tech):
+        rise_typ, _ = delays_of(PmosSensingStage(), tech)
+        rise_slow, _ = delays_of(PmosSensingStage(), tech, dvtp=0.02)
+        assert rise_slow > rise_typ * 1.02
+
+    def test_rise_delay_ignores_vtn(self, tech):
+        rise_typ, _ = delays_of(PmosSensingStage(), tech)
+        rise_skew, _ = delays_of(PmosSensingStage(), tech, dvtn=0.02)
+        assert rise_skew == pytest.approx(rise_typ, rel=1e-6)
+
+    def test_near_ztc_bias(self, tech):
+        stage = PmosSensingStage()
+        cold = sum(delays_of(stage, tech, temp_k=233.15))
+        hot = sum(delays_of(stage, tech, temp_k=398.15))
+        mid = sum(delays_of(stage, tech, temp_k=300.0))
+        assert abs(hot - cold) / mid < 0.02
+
+
+class TestStarvedStage:
+    def test_both_edges_slow(self, tech):
+        t_rise, t_fall = delays_of(StarvedStage(), tech)
+        bal_rise, bal_fall = delays_of(BalancedStage(), tech)
+        assert t_rise > 10.0 * bal_rise
+        assert t_fall > 10.0 * bal_fall
+
+    def test_strong_temperature_dependence(self, tech):
+        """Delay shrinks by >10x from cold to hot (weak-inversion bias)."""
+        stage = StarvedStage()
+        cold = sum(delays_of(stage, tech, temp_k=233.15))
+        hot = sum(delays_of(stage, tech, temp_k=398.15))
+        assert cold / hot > 10.0
+
+    def test_strong_vtn_dependence(self, tech):
+        _, fall_typ = delays_of(StarvedStage(), tech)
+        _, fall_slow = delays_of(StarvedStage(), tech, dvtn=0.02)
+        assert fall_slow / fall_typ > 1.3
+
+    def test_limiter_geometry_is_large(self, tech):
+        footer, header = StarvedStage().limiting_devices(tech.nmos, tech.pmos)
+        # Mismatch budget demands large gate area (see stage docstring).
+        assert footer.width * footer.length > 50.0 * tech.nmos.width * tech.nmos.length
+        assert header.width * header.length > 50.0 * tech.pmos.width * tech.pmos.length
+
+
+class TestSupplyDependence:
+    @pytest.mark.parametrize(
+        "stage", [BalancedStage(), NmosSensingStage(), PmosSensingStage()]
+    )
+    def test_lower_vdd_slows_stage(self, tech, stage):
+        nominal = sum(delays_of(stage, tech, vdd=1.2))
+        droop = sum(delays_of(stage, tech, vdd=1.08))
+        assert droop > nominal

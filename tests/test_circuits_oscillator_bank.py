@@ -1,0 +1,105 @@
+"""Tests for the oscillator bank and per-die construction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.oscillator_bank import (
+    build_oscillator_bank,
+    environment_for_die,
+)
+from repro.circuits.ring_oscillator import Environment
+from repro.device.technology import nominal_65nm
+from repro.variation.montecarlo import sample_dies
+
+
+@pytest.fixture
+def tech():
+    return nominal_65nm()
+
+
+@pytest.fixture
+def env():
+    return Environment(temp_k=300.0, vdd=1.2)
+
+
+class TestTypicalBank:
+    def test_typical_bank_has_no_offsets(self, tech):
+        bank = build_oscillator_bank(tech)
+        for oscillator in bank.oscillators().values():
+            assert oscillator.vtn_offset == 0.0
+            assert oscillator.vtp_offset == 0.0
+
+    def test_frequencies_all_positive(self, tech, env):
+        freqs = build_oscillator_bank(tech).frequencies(env)
+        assert min(freqs.psro_n, freqs.psro_p, freqs.tsro, freqs.reference) > 0.0
+
+    def test_tsro_is_the_slow_ring(self, tech, env):
+        freqs = build_oscillator_bank(tech).frequencies(env)
+        assert freqs.tsro < freqs.psro_n / 5.0
+        assert freqs.tsro < freqs.psro_p / 5.0
+
+    def test_oscillators_map_names(self, tech):
+        bank = build_oscillator_bank(tech)
+        assert set(bank.oscillators()) == {"PSRO-N", "PSRO-P", "TSRO", "REF"}
+
+    def test_stage_counts_respected(self, tech):
+        bank = build_oscillator_bank(tech, psro_stages=15, tsro_stages=11)
+        assert bank.psro_n.stages == 15
+        assert bank.tsro.stages == 11
+
+
+class TestPerDieBank:
+    def test_die_banks_carry_mismatch(self, tech):
+        die = sample_dies(tech, 1, seed=6)[0]
+        bank = build_oscillator_bank(tech, die=die)
+        offsets = [
+            bank.psro_n.vtn_offset,
+            bank.psro_p.vtp_offset,
+            bank.tsro.vtn_offset,
+        ]
+        assert any(abs(offset) > 1e-6 for offset in offsets)
+
+    def test_same_die_same_bank(self, tech):
+        die = sample_dies(tech, 1, seed=7)[0]
+        a = build_oscillator_bank(tech, die=die)
+        b = build_oscillator_bank(tech, die=die)
+        assert a.psro_n.vtn_offset == b.psro_n.vtn_offset
+
+    def test_different_dies_different_mismatch(self, tech):
+        dies = sample_dies(tech, 2, seed=8)
+        a = build_oscillator_bank(tech, die=dies[0])
+        b = build_oscillator_bank(tech, die=dies[1])
+        assert a.psro_n.vtn_offset != b.psro_n.vtn_offset
+
+    def test_mismatch_magnitude_sub_mv_after_averaging(self, tech):
+        """Sensing-device offsets must land in the sub-mV class (sized so)."""
+        dies = sample_dies(tech, 40, seed=9)
+        offsets = [
+            build_oscillator_bank(tech, die=die).psro_n.vtn_offset for die in dies
+        ]
+        assert np.std(offsets) < 2e-3
+
+    def test_explicit_rng_overrides_die(self, tech):
+        die = sample_dies(tech, 1, seed=10)[0]
+        rng = np.random.default_rng(123)
+        bank = build_oscillator_bank(tech, die=die, rng=rng)
+        rng2 = np.random.default_rng(123)
+        bank2 = build_oscillator_bank(tech, die=die, rng=rng2)
+        assert bank.psro_n.vtn_offset == bank2.psro_n.vtn_offset
+
+
+class TestEnvironmentForDie:
+    def test_combines_corner_and_field(self, tech):
+        die = sample_dies(tech, 1, seed=11)[0]
+        env = environment_for_die(die, (2.5e-3, 2.5e-3), 330.0, 1.2)
+        expected_n, expected_p = die.vt_shifts_at(2.5e-3, 2.5e-3)
+        assert env.dvtn == pytest.approx(expected_n)
+        assert env.dvtp == pytest.approx(expected_p)
+        assert env.mun_scale == die.corner.mun_scale
+        assert env.temp_k == 330.0
+
+    def test_location_matters(self, tech):
+        die = sample_dies(tech, 1, seed=12)[0]
+        a = environment_for_die(die, (0.5e-3, 0.5e-3), 300.0, 1.2)
+        b = environment_for_die(die, (4.5e-3, 4.5e-3), 300.0, 1.2)
+        assert a.dvtn != b.dvtn

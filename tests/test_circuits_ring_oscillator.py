@@ -1,0 +1,109 @@
+"""Tests for ring oscillators and environments."""
+
+import pytest
+
+from repro.circuits.inverter import BalancedStage, StarvedStage
+from repro.circuits.ring_oscillator import Environment, RingOscillator
+from repro.device.technology import nominal_65nm
+
+
+@pytest.fixture
+def tech():
+    return nominal_65nm()
+
+
+@pytest.fixture
+def ref_ro(tech):
+    return RingOscillator("REF", BalancedStage(), 13, tech)
+
+
+class TestEnvironment:
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            Environment(temp_k=0.0, vdd=1.2)
+
+    def test_rejects_nonpositive_vdd(self):
+        with pytest.raises(ValueError):
+            Environment(temp_k=300.0, vdd=-1.0)
+
+    def test_from_corner_copies_everything(self, tech):
+        ff = tech.corner("FF")
+        env = Environment.from_corner(ff, 300.0, 1.2)
+        assert env.dvtn == ff.dvtn
+        assert env.dvtp == ff.dvtp
+        assert env.mun_scale == ff.mun_scale
+
+    def test_at_changes_only_requested(self):
+        env = Environment(temp_k=300.0, vdd=1.2, dvtn=0.01)
+        warmer = env.at(temp_k=350.0)
+        assert warmer.temp_k == 350.0
+        assert warmer.vdd == 1.2
+        assert warmer.dvtn == 0.01
+
+
+class TestRingOscillator:
+    def test_rejects_even_stage_count(self, tech):
+        with pytest.raises(ValueError):
+            RingOscillator("bad", BalancedStage(), 12, tech)
+
+    def test_rejects_too_few_stages(self, tech):
+        with pytest.raises(ValueError):
+            RingOscillator("bad", BalancedStage(), 1, tech)
+
+    def test_frequency_is_inverse_period(self, ref_ro):
+        env = Environment(temp_k=300.0, vdd=1.2)
+        assert ref_ro.frequency(env) == pytest.approx(1.0 / ref_ro.period(env))
+
+    def test_more_stages_lower_frequency(self, tech):
+        env = Environment(temp_k=300.0, vdd=1.2)
+        short = RingOscillator("a", BalancedStage(), 13, tech)
+        long = RingOscillator("b", BalancedStage(), 31, tech)
+        assert short.frequency(env) > long.frequency(env)
+        assert long.frequency(env) == pytest.approx(
+            short.frequency(env) * 13.0 / 31.0, rel=1e-9
+        )
+
+    def test_mismatch_offset_shifts_frequency(self, tech):
+        env = Environment(temp_k=300.0, vdd=1.2)
+        clean = RingOscillator("a", StarvedStage(), 9, tech)
+        offset = RingOscillator("b", StarvedStage(), 9, tech, vtn_offset=0.005)
+        assert offset.frequency(env) < clean.frequency(env)
+
+    def test_systematic_and_offset_compose(self, tech):
+        """Instance offset and environment shift must add."""
+        via_offset = RingOscillator(
+            "a", StarvedStage(), 9, tech, vtn_offset=0.004
+        ).frequency(Environment(temp_k=300.0, vdd=1.2, dvtn=0.003))
+        combined = RingOscillator("b", StarvedStage(), 9, tech).frequency(
+            Environment(temp_k=300.0, vdd=1.2, dvtn=0.007)
+        )
+        assert via_offset == pytest.approx(combined, rel=1e-9)
+
+    def test_power_positive_and_uw_class(self, ref_ro):
+        env = Environment(temp_k=300.0, vdd=1.2)
+        assert 1e-6 < ref_ro.power(env) < 1e-2
+
+    def test_power_scales_with_vdd_cubed_roughly(self, ref_ro):
+        """P = C V^2 f and f grows with V: super-quadratic overall."""
+        env_lo = Environment(temp_k=300.0, vdd=1.0)
+        env_hi = Environment(temp_k=300.0, vdd=1.2)
+        ratio = ref_ro.power(env_hi) / ref_ro.power(env_lo)
+        assert ratio > (1.2 / 1.0) ** 2
+
+    def test_energy_for_window(self, ref_ro):
+        env = Environment(temp_k=300.0, vdd=1.2)
+        assert ref_ro.energy_for_window(env, 1e-6) == pytest.approx(
+            ref_ro.power(env) * 1e-6
+        )
+
+    def test_energy_rejects_negative_window(self, ref_ro):
+        env = Environment(temp_k=300.0, vdd=1.2)
+        with pytest.raises(ValueError):
+            ref_ro.energy_for_window(env, -1.0)
+
+    def test_mobility_scale_speeds_up(self, ref_ro):
+        base = ref_ro.frequency(Environment(temp_k=300.0, vdd=1.2))
+        fast = ref_ro.frequency(
+            Environment(temp_k=300.0, vdd=1.2, mun_scale=1.1, mup_scale=1.1)
+        )
+        assert fast > base

@@ -1,0 +1,87 @@
+"""Tests for cross-sensor consensus / plausible-liar detection."""
+
+import numpy as np
+import pytest
+
+from repro.network.consensus import (
+    check_consensus,
+    neighbour_prediction,
+)
+from repro.thermal.grid import ThermalLayer, build_stack_grid
+from repro.thermal.materials import SILICON
+from repro.thermal.power import hotspot_power_map
+from repro.thermal.solver import steady_state
+from repro.units import kelvin_to_celsius
+
+SITES = [
+    (1.0e-3, 1.0e-3),
+    (4.0e-3, 1.0e-3),
+    (1.0e-3, 4.0e-3),
+    (4.0e-3, 4.0e-3),
+    (2.5e-3, 2.5e-3),
+]
+
+
+class TestNeighbourPrediction:
+    def test_uniform_field_predicts_exactly(self):
+        readings = [50.0] * len(SITES)
+        assert neighbour_prediction(SITES, readings, 2) == pytest.approx(50.0)
+
+    def test_single_outlier_neighbour_ignored(self):
+        """Median prediction: one lying neighbour cannot move it."""
+        readings = [50.0, 50.4, 49.8, 90.0, 50.1]
+        assert neighbour_prediction(SITES, readings, 0) == pytest.approx(50.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            neighbour_prediction(SITES[:2], [1.0, 2.0], 0)
+        with pytest.raises(ValueError):
+            neighbour_prediction(SITES, [1.0], 0)
+        with pytest.raises(ValueError):
+            neighbour_prediction(SITES, [1.0] * 5, 9)
+
+
+class TestConsensus:
+    def test_healthy_uniform_readings_pass(self):
+        report = check_consensus(SITES, [55.0, 55.4, 54.8, 55.2, 55.1])
+        assert report.healthy
+
+    def test_biased_sensor_flagged(self):
+        readings = [55.0, 55.4, 54.8, 55.2, 67.0]  # centre sensor lies +12
+        report = check_consensus(SITES, readings)
+        assert report.suspects == [4]
+        assert abs(report.residuals_c[4]) > report.threshold_c
+
+    def test_negative_bias_flagged(self):
+        readings = [55.0, 55.4, 54.8, 55.2, 43.0]
+        assert check_consensus(SITES, readings).suspects == [4]
+
+    def test_liar_does_not_poison_consensus(self):
+        """The robust bound must not inflate so much that the liar hides."""
+        readings = [50.0, 50.5, 49.5, 50.2, 80.0]
+        report = check_consensus(SITES, readings)
+        assert 4 in report.suspects
+        assert len(report.suspects) == 1  # and nobody else gets dragged in
+
+    def test_real_gradient_not_flagged(self):
+        """A genuine hotspot gradient must survive the physical floor."""
+        layers = [ThermalLayer("si", 1.5e-4, SILICON, heat_source=True)]
+        nx = ny = 16
+        grid = build_stack_grid(layers, 5e-3, 5e-3, nx=nx, ny=ny, top_htc=3e3)
+        pmap = hotspot_power_map(
+            nx, ny, 5e-3, 5e-3, [(2.0e-3, 2.0e-3, 1e-3, 1e-3, 2.0)], 0.5
+        )
+        field = steady_state(grid, {"si": pmap})
+        readings = [kelvin_to_celsius(field.at("si", x, y)) for x, y in SITES]
+        spread = max(readings) - min(readings)
+        assert spread > 2.0  # the gradient is real
+        report = check_consensus(SITES, readings, field_roughness_c=spread)
+        assert report.healthy, report.residuals_c
+
+    def test_threshold_reported(self):
+        report = check_consensus(SITES, [55.0] * 5)
+        assert report.threshold_c >= 3.5  # accuracy + roughness floor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            check_consensus(SITES, [55.0] * 5, sensor_accuracy_c=0.0)

@@ -1,0 +1,83 @@
+"""Tests for the self-calibration engine."""
+
+import pytest
+
+from repro.config import SensorConfig
+from repro.core.calibration import SelfCalibrationEngine
+from repro.core.decoupler import ProcessLut
+from repro.core.errors import CalibrationError
+from repro.core.sensing_model import SensingModel
+from repro.device.technology import nominal_65nm
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SensingModel(nominal_65nm())
+
+
+@pytest.fixture(scope="module")
+def engine(model):
+    return SelfCalibrationEngine(model, lut=ProcessLut.build(model))
+
+
+def measurements(model, dvtn, dvtp, temp_c):
+    temp_k = celsius_to_kelvin(temp_c)
+    f_n, f_p = model.process_frequencies(dvtn, dvtp, temp_k)
+    f_t = model.tsro_frequency(dvtn, dvtp, temp_k)
+    return f_n, f_p, f_t
+
+
+class TestConvergence:
+    def test_typical_die_room_temperature(self, model, engine):
+        f_n, f_p, f_t = measurements(model, 0.0, 0.0, 27.0)
+        state = engine.run(f_n, f_p, f_t)
+        assert state.converged
+        assert state.temp_k == pytest.approx(celsius_to_kelvin(27.0), abs=0.05)
+        assert abs(state.dvtn) < 1e-4
+        assert abs(state.dvtp) < 1e-4
+
+    @pytest.mark.parametrize("temp_c", [-40.0, 0.0, 65.0, 125.0])
+    def test_skewed_die_across_range(self, model, engine, temp_c):
+        f_n, f_p, f_t = measurements(model, 0.025, -0.020, temp_c)
+        state = engine.run(f_n, f_p, f_t)
+        assert state.converged
+        assert state.temp_k == pytest.approx(celsius_to_kelvin(temp_c), abs=0.1)
+        assert state.dvtn == pytest.approx(0.025, abs=5e-4)
+        assert state.dvtp == pytest.approx(-0.020, abs=5e-4)
+
+    def test_joint_fix_with_no_external_reference(self, model, engine):
+        """The scheme's claim: process AND temperature from the three
+        frequencies alone, starting from a deliberately wrong prior."""
+        f_n, f_p, f_t = measurements(model, -0.030, 0.015, 110.0)
+        state = engine.run(f_n, f_p, f_t, initial_temp_k=250.0)
+        assert state.temp_k == pytest.approx(celsius_to_kelvin(110.0), abs=0.1)
+
+    def test_round_counter_reported(self, model, engine):
+        f_n, f_p, f_t = measurements(model, 0.0, 0.0, 27.0)
+        state = engine.run(f_n, f_p, f_t)
+        assert 1 <= state.rounds_used <= model.config.calibration_rounds
+
+    def test_cold_extreme_needs_more_rounds(self, model, engine):
+        f_n, f_p, f_t = measurements(model, 0.0, 0.0, -40.0)
+        cold = engine.run(f_n, f_p, f_t)
+        f_n, f_p, f_t = measurements(model, 0.0, 0.0, 27.0)
+        warm = engine.run(f_n, f_p, f_t)
+        assert cold.rounds_used >= warm.rounds_used
+
+
+class TestFailureModes:
+    def test_insufficient_rounds_raises(self, model):
+        strict = SelfCalibrationEngine(
+            model, lut=ProcessLut.build(model), convergence_k=1e-6
+        )
+        f_n, f_p, f_t = measurements(model, 0.02, 0.02, -40.0)
+        with pytest.raises(CalibrationError):
+            strict.run(f_n, f_p, f_t, rounds=2)
+
+    def test_single_round_mode_returns_unconverged(self, model, engine):
+        f_n, f_p, f_t = measurements(model, 0.02, 0.02, -40.0)
+        state = engine.run(f_n, f_p, f_t, rounds=1)
+        assert not state.converged
+        # Still a usable (coarser) estimate.
+        assert abs(state.temp_k - celsius_to_kelvin(-40.0)) < 10.0

@@ -1,0 +1,99 @@
+"""Tests for the design-time sensing model."""
+
+import numpy as np
+import pytest
+
+from repro.config import SensorConfig
+from repro.core.sensing_model import SensingModel
+from repro.device.technology import nominal_65nm
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SensingModel(nominal_65nm())
+
+
+class TestForwardModel:
+    def test_typical_frequencies_positive(self, model):
+        f_n, f_p = model.process_frequencies(0.0, 0.0, 300.0)
+        assert f_n > 0.0 and f_p > 0.0
+
+    def test_higher_vtn_slows_psro_n(self, model):
+        f_n0, _ = model.process_frequencies(0.0, 0.0, 300.0)
+        f_n1, _ = model.process_frequencies(0.02, 0.0, 300.0)
+        assert f_n1 < f_n0
+
+    def test_higher_vtp_slows_psro_p(self, model):
+        _, f_p0 = model.process_frequencies(0.0, 0.0, 300.0)
+        _, f_p1 = model.process_frequencies(0.0, 0.02, 300.0)
+        assert f_p1 < f_p0
+
+    def test_tsro_monotone_in_temperature(self, model):
+        temps = np.linspace(230.0, 400.0, 12)
+        freqs = [model.tsro_frequency(0.0, 0.0, float(t)) for t in temps]
+        assert all(b > a for a, b in zip(freqs, freqs[1:]))
+
+    def test_tsro_slows_on_slow_dies(self, model):
+        fast = model.tsro_frequency(-0.02, -0.02, 300.0)
+        slow = model.tsro_frequency(0.02, 0.02, 300.0)
+        assert fast > slow
+
+    def test_custom_vdd_respected(self, model):
+        nominal = model.process_frequencies(0.0, 0.0, 300.0)
+        droop = model.process_frequencies(0.0, 0.0, 300.0, vdd=1.08)
+        assert droop[0] < nominal[0]
+
+
+class TestJacobian:
+    def test_diagonal_dominance(self, model):
+        """Each ring must see its own threshold much harder than the other.
+
+        The residual cross-sensitivity comes almost entirely from the
+        threshold-mobility coupling (a dV_tp also moves PMOS mobility,
+        which touches PSRO-N's fast rise edge), so ~5x dominance — not
+        infinity — is the physically honest figure.
+        """
+        jac = model.process_jacobian(0.0, 0.0, 300.0)
+        f_n, f_p = model.process_frequencies(0.0, 0.0, 300.0)
+        rel = np.abs(jac / np.array([[f_n], [f_p]]))
+        assert rel[0, 0] > 4.0 * rel[0, 1]
+        assert rel[1, 1] > 4.0 * rel[1, 0]
+
+    def test_negative_diagonal(self, model):
+        """Raising a threshold always slows its ring."""
+        jac = model.process_jacobian(0.0, 0.0, 300.0)
+        assert jac[0, 0] < 0.0
+        assert jac[1, 1] < 0.0
+
+    def test_decoupling_ratio_large(self, model):
+        assert model.decoupling_ratio(300.0) > 4.0
+
+    def test_jacobian_consistent_with_finite_difference(self, model):
+        jac = model.process_jacobian(0.0, 0.0, 300.0)
+        delta = 2e-3
+        f_hi = model.process_frequencies(delta, 0.0, 300.0)
+        f_lo = model.process_frequencies(-delta, 0.0, 300.0)
+        fd = (f_hi[0] - f_lo[0]) / (2.0 * delta)
+        assert jac[0, 0] == pytest.approx(fd, rel=0.05)
+
+
+class TestValidityBox:
+    def test_inside(self, model):
+        assert model.inside_box(0.05, -0.05)
+
+    def test_outside(self, model):
+        assert not model.inside_box(0.09, 0.0)
+
+    def test_custom_box(self):
+        tight = SensingModel(nominal_65nm(), SensorConfig(), vt_box=0.010)
+        assert not tight.inside_box(0.02, 0.0)
+
+
+class TestMobilityCoupling:
+    def test_model_env_couples_mobility(self, model):
+        env = model.environment(0.02, 0.0, 300.0)
+        assert env.mun_scale < 1.0  # slow die modelled with lower mobility
+
+    def test_typical_env_unity_mobility(self, model):
+        env = model.environment(0.0, 0.0, 300.0)
+        assert env.mun_scale == pytest.approx(1.0)

@@ -1,0 +1,138 @@
+"""Integration tests for the top-level PTSensor macro."""
+
+import numpy as np
+import pytest
+
+from repro.config import SensorConfig
+from repro.core.decoupler import ProcessLut
+from repro.core.sensing_model import SensingModel
+from repro.core.sensor import PTSensor
+from repro.device.technology import nominal_65nm
+from repro.readout.interface import decode_frame
+from repro.units import celsius_to_kelvin
+from repro.variation.montecarlo import sample_dies
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return nominal_65nm()
+
+
+@pytest.fixture(scope="module")
+def model(tech):
+    return SensingModel(tech)
+
+
+@pytest.fixture(scope="module")
+def lut(model):
+    return ProcessLut.build(model)
+
+
+def make_sensor(tech, model, lut, die=None, **kwargs):
+    return PTSensor(tech, die=die, sensing_model=model, lut=lut, **kwargs)
+
+
+class TestTypicalSensor:
+    @pytest.mark.parametrize("temp_c", [-40.0, 0.0, 27.0, 85.0, 125.0])
+    def test_accuracy_across_range(self, tech, model, lut, temp_c):
+        sensor = make_sensor(tech, model, lut)
+        reading = sensor.read(temp_c, deterministic=True)
+        assert reading.temperature_c == pytest.approx(temp_c, abs=0.3)
+
+    def test_process_reads_zero(self, tech, model, lut):
+        reading = make_sensor(tech, model, lut).read(27.0, deterministic=True)
+        assert abs(reading.dvtn) < 1e-3
+        assert abs(reading.dvtp) < 1e-3
+
+    def test_energy_in_headline_class(self, tech, model, lut):
+        reading = make_sensor(tech, model, lut).read(27.0)
+        assert 250e-12 < reading.energy.total < 500e-12
+
+    def test_conversion_time_reported(self, tech, model, lut):
+        sensor = make_sensor(tech, model, lut)
+        cold = sensor.read(-40.0)
+        hot = sensor.read(125.0)
+        # Period timing: the conversion takes longer when the TSRO is slow.
+        assert cold.conversion_time > hot.conversion_time
+
+    def test_counts_exposed(self, tech, model, lut):
+        reading = make_sensor(tech, model, lut).read(27.0)
+        assert reading.counts_n > 100
+        assert reading.counts_p > 100
+        assert reading.counts_ref > 100
+
+    def test_temperature_k_property(self, tech, model, lut):
+        reading = make_sensor(tech, model, lut).read(27.0, deterministic=True)
+        assert reading.temperature_k == pytest.approx(
+            celsius_to_kelvin(reading.temperature_c)
+        )
+
+
+class TestMonteCarloSensors:
+    def test_population_accuracy(self, tech, model, lut):
+        """The headline claims on a small population."""
+        dies = sample_dies(tech, 12, seed=77)
+        temp_errors, vtn_errors, vtp_errors = [], [], []
+        for die in dies:
+            sensor = make_sensor(tech, model, lut, die=die)
+            truth_n, truth_p = sensor.true_process_shifts()
+            reading = sensor.read(65.0)
+            temp_errors.append(reading.temperature_c - 65.0)
+            vtn_errors.append(reading.dvtn - truth_n)
+            vtp_errors.append(reading.dvtp - truth_p)
+        assert max(abs(e) for e in temp_errors) < 2.0
+        assert max(abs(e) for e in vtn_errors) < 3.5e-3
+        assert max(abs(e) for e in vtp_errors) < 3.5e-3
+
+    def test_reads_are_reproducible_per_sensor_stream(self, tech, model, lut):
+        die = sample_dies(tech, 1, seed=78)[0]
+        a = make_sensor(tech, model, lut, die=die).read(40.0)
+        b = make_sensor(tech, model, lut, die=die).read(40.0)
+        assert a.temperature_c == b.temperature_c  # same seed, same stream
+
+    def test_deterministic_mode_removes_phase_noise(self, tech, model, lut):
+        die = sample_dies(tech, 1, seed=79)[0]
+        sensor = make_sensor(tech, model, lut, die=die)
+        a = sensor.read(40.0, deterministic=True)
+        b = sensor.read(40.0, deterministic=True)
+        assert a.counts_n == b.counts_n
+        assert a.temperature_c == b.temperature_c
+
+    def test_noise_mode_dithers(self, tech, model, lut):
+        die = sample_dies(tech, 1, seed=80)[0]
+        sensor = make_sensor(tech, model, lut, die=die)
+        counts = {sensor.read(40.0).counts_n for _ in range(20)}
+        assert len(counts) >= 2
+
+
+class TestFrames:
+    def test_frame_round_trips_reading(self, tech, model, lut):
+        die = sample_dies(tech, 1, seed=81)[0]
+        sensor = make_sensor(tech, model, lut, die=die, die_id=9)
+        reading = sensor.read(55.0)
+        frame = decode_frame(sensor.frame(reading))
+        assert frame.die_id == 9
+        assert frame.temperature_c == pytest.approx(reading.temperature_c, abs=0.51)
+        assert frame.vtn_shift == pytest.approx(reading.dvtn, abs=1e-4)
+
+
+class TestConfigInteraction:
+    def test_custom_config_windows_flow_through(self, tech, model):
+        config = SensorConfig(psro_window=1.2e-6)
+        sensor = PTSensor(tech, config=config, sensing_model=model)
+        reading = sensor.read(27.0)
+        # Double window, roughly double the PSRO counts and energy.
+        default_counts = PTSensor(tech, sensing_model=model).read(27.0).counts_n
+        assert reading.counts_n == pytest.approx(2 * default_counts, rel=0.05)
+
+    def test_physical_environment_typical(self, tech, model, lut):
+        sensor = make_sensor(tech, model, lut)
+        env = sensor.physical_environment(300.0)
+        assert env.dvtn == 0.0 and env.dvtp == 0.0
+
+    def test_physical_environment_die(self, tech, model, lut):
+        die = sample_dies(tech, 1, seed=82)[0]
+        sensor = make_sensor(tech, model, lut, die=die)
+        env = sensor.physical_environment(300.0)
+        truth_n, _ = sensor.true_process_shifts()
+        assert env.dvtn == pytest.approx(truth_n)

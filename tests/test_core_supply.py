@@ -1,0 +1,82 @@
+"""Tests for the supply-aware (four-ring) calibration engine."""
+
+import pytest
+
+from repro.core.decoupler import ProcessLut
+from repro.core.sensing_model import SensingModel
+from repro.core.supply import SupplyAwareEngine
+from repro.device.technology import nominal_65nm
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SensingModel(nominal_65nm())
+
+
+@pytest.fixture(scope="module")
+def engine(model):
+    return SupplyAwareEngine(model, lut=ProcessLut.build(model))
+
+
+def measurements(model, dvtn, dvtp, temp_c, vdd):
+    temp_k = celsius_to_kelvin(temp_c)
+    env = model.environment(dvtn, dvtp, temp_k, vdd)
+    bank = model.bank
+    return (
+        bank.psro_n.frequency(env),
+        bank.psro_p.frequency(env),
+        bank.tsro.frequency(env),
+        bank.reference.frequency(env),
+    )
+
+
+class TestJointEstimation:
+    def test_nominal_conditions_recovered(self, model, engine):
+        f = measurements(model, 0.0, 0.0, 27.0, 1.2)
+        state = engine.run(*f)
+        assert state.converged
+        assert state.vdd == pytest.approx(1.2, abs=1e-3)
+        assert state.temp_k == pytest.approx(celsius_to_kelvin(27.0), abs=0.1)
+
+    @pytest.mark.parametrize("droop", [-0.10, -0.05, 0.05, 0.10])
+    def test_droop_recovered_exactly(self, model, engine, droop):
+        vdd_true = 1.2 * (1.0 + droop)
+        f = measurements(model, 0.015, -0.010, 65.0, vdd_true)
+        state = engine.run(*f)
+        assert state.vdd == pytest.approx(vdd_true, abs=2e-3)
+        assert state.temp_k == pytest.approx(celsius_to_kelvin(65.0), abs=0.2)
+        assert state.dvtn == pytest.approx(0.015, abs=1e-3)
+        assert state.dvtp == pytest.approx(-0.010, abs=1e-3)
+
+    def test_converges_quickly(self, model, engine):
+        f = measurements(model, 0.0, 0.0, 27.0, 1.14)
+        assert engine.run(*f).rounds_used <= 10
+
+    @pytest.mark.parametrize("temp_c", [-40.0, 125.0])
+    def test_temperature_extremes(self, model, engine, temp_c):
+        f = measurements(model, -0.02, 0.02, temp_c, 1.15)
+        state = engine.run(*f)
+        assert state.temp_k == pytest.approx(celsius_to_kelvin(temp_c), abs=0.3)
+
+    def test_rejects_nonpositive_frequency(self, engine):
+        with pytest.raises(ValueError):
+            engine.run(1e8, 1e8, 1e7, 0.0)
+
+
+class TestFallback:
+    def test_fallback_on_out_of_window_droop(self, model, engine):
+        """Droop beyond the validity window degrades, never crashes."""
+        f = measurements(model, 0.0, 0.0, 65.0, 1.2 * 0.80)  # -20 % droop
+        state = engine.run_or_fallback(*f)
+        assert not state.converged  # fallback or pinned solve is flagged
+        assert state.vdd > 0.0
+
+    def test_fallback_matches_paper_engine_when_used(self, model):
+        engine = SupplyAwareEngine(model, max_rounds=1)  # force failure
+        f = measurements(model, 0.0, 0.0, 65.0, 1.2)
+        state = engine.run_or_fallback(*f)
+        assert not state.converged
+        assert state.vdd == pytest.approx(model.technology.vdd)
+        # The paper engine still gets temperature right at nominal supply.
+        assert state.temp_k == pytest.approx(celsius_to_kelvin(65.0), abs=0.2)

@@ -1,0 +1,161 @@
+"""Tests for tracking mode and drift-anchored recalibration."""
+
+import pytest
+
+from repro.core.calibration import SelfCalibrationEngine
+from repro.core.drift import DriftAnchoredModel
+from repro.core.sensing_model import SensingModel
+from repro.core.sensor import PTSensor
+from repro.core.tracking import TrackingPolicy, TrackingSensor
+from repro.device.technology import nominal_65nm
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+from repro.variation.aging import BtiAgingModel
+from repro.variation.montecarlo import sample_dies
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return nominal_65nm()
+
+
+@pytest.fixture(scope="module")
+def model(tech):
+    return SensingModel(tech)
+
+
+class TestTrackingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackingPolicy(recalibration_interval=0)
+        with pytest.raises(ValueError):
+            TrackingPolicy(max_fast_failures=0)
+
+
+class TestTrackingSensor:
+    @pytest.fixture
+    def tracker(self, tech, model):
+        die = sample_dies(tech, 1, seed=91)[0]
+        sensor = PTSensor(tech, die=die, sensing_model=model)
+        return TrackingSensor(sensor, TrackingPolicy(recalibration_interval=4))
+
+    def test_first_read_is_full(self, tracker):
+        reading = tracker.read(50.0)
+        assert reading.mode == "full"
+        assert tracker.calibrated
+
+    def test_subsequent_reads_fast(self, tracker):
+        tracker.read(50.0)
+        assert tracker.read(52.0).mode == "fast"
+        assert tracker.read(54.0).mode == "fast"
+
+    def test_recalibrates_on_schedule(self, tracker):
+        modes = [tracker.read(50.0 + i).mode for i in range(9)]
+        assert modes[0] == "full"
+        assert modes[4] == "full"  # interval=4: full, fast, fast, fast, full
+        assert modes.count("full") == 3
+
+    def test_fast_reads_much_cheaper(self, tracker):
+        full = tracker.read(50.0)
+        fast = tracker.read(50.0)
+        assert fast.energy_j < full.energy_j / 5.0
+
+    def test_fast_reads_stay_accurate(self, tech, model):
+        die = sample_dies(tech, 1, seed=94)[0]
+        sensor = PTSensor(tech, die=die, sensing_model=model)
+        tracker = TrackingSensor(sensor, TrackingPolicy(recalibration_interval=32))
+        tracker.read(40.0)
+        for temp in (45.0, 60.0, 85.0, 110.0):
+            reading = tracker.read(temp)
+            assert reading.mode == "fast"
+            assert reading.temperature_c == pytest.approx(temp, abs=1.5)
+
+    def test_interval_one_is_always_full(self, tech, model):
+        die = sample_dies(tech, 1, seed=92)[0]
+        sensor = PTSensor(tech, die=die, sensing_model=model)
+        tracker = TrackingSensor(sensor, TrackingPolicy(recalibration_interval=1))
+        assert all(tracker.read(50.0).mode == "full" for _ in range(3))
+
+
+class TestDriftAnchoredModel:
+    def test_anchor_freezes_mobility(self, model):
+        anchored = DriftAnchoredModel.from_time_zero(model, 0.020, 0.020)
+        env = anchored.environment(0.030, 0.030, 300.0)
+        # Mobility reflects the anchor (0.020), not the current point (0.030).
+        plain_env = model.environment(0.020, 0.020, 300.0)
+        assert env.mun_scale == pytest.approx(plain_env.mun_scale)
+        assert env.dvtn == pytest.approx(0.030)
+
+    def test_drift_from(self, model):
+        anchored = DriftAnchoredModel.from_time_zero(model, 0.005, -0.004)
+        dn, dp = anchored.drift_from(0.010, 0.002)
+        assert dn == pytest.approx(0.005)
+        assert dp == pytest.approx(0.006)
+
+    def test_recovers_pure_vt_drift(self, model, tech):
+        """The whole point: a V_t-only (aging) shift extracts exactly."""
+        anchor = (0.010, -0.008)
+        drift = (0.004, 0.015)
+        # Aged-die truth: thresholds move, mobility stays at the anchor.
+        from repro.circuits.ring_oscillator import Environment
+        from repro.variation.corners import monte_carlo_corner
+
+        corner = monte_carlo_corner(*anchor)
+        env = Environment(
+            temp_k=celsius_to_kelvin(55.0),
+            vdd=tech.vdd,
+            dvtn=anchor[0] + drift[0],
+            dvtp=anchor[1] + drift[1],
+            mun_scale=corner.mun_scale,
+            mup_scale=corner.mup_scale,
+        )
+        freqs = model.bank.frequencies(env)
+        anchored = DriftAnchoredModel.from_time_zero(model, *anchor)
+        engine = SelfCalibrationEngine(anchored, lut=None)
+        state = engine.run(freqs.psro_n, freqs.psro_p, freqs.tsro)
+        got_drift = anchored.drift_from(state.dvtn, state.dvtp)
+        assert got_drift[0] == pytest.approx(drift[0], abs=2e-4)
+        assert got_drift[1] == pytest.approx(drift[1], abs=2e-4)
+        assert kelvin_to_celsius(state.temp_k) == pytest.approx(55.0, abs=0.2)
+
+
+class TestAgingModel:
+    def test_zero_years_zero_drift(self):
+        assert BtiAgingModel().vt_drift(0.0) == (0.0, 0.0)
+
+    def test_power_law_sublinear(self):
+        model = BtiAgingModel()
+        one = model.vt_drift(1.0)[1]
+        four = model.vt_drift(4.0)[1]
+        assert one < four < 4.0 * one
+
+    def test_nbti_dominates(self):
+        dn, dp = BtiAgingModel().vt_drift(3.0)
+        assert dp > dn
+
+    def test_duty_cycle_reduces_drift(self):
+        model = BtiAgingModel()
+        assert model.vt_drift(1.0, duty=0.25)[1] == pytest.approx(
+            0.5 * model.vt_drift(1.0, duty=1.0)[1]
+        )
+
+    def test_hotter_stress_drifts_more(self):
+        model = BtiAgingModel()
+        cool = model.vt_drift(1.0, stress_temp_c=55.0)[1]
+        hot = model.vt_drift(1.0, stress_temp_c=105.0)[1]
+        assert hot > cool
+
+    def test_age_die_shifts_thresholds_only(self, tech):
+        die = sample_dies(tech, 1, seed=93)[0]
+        aged = BtiAgingModel().age_die(die, 3.0)
+        assert aged.corner.dvtp > die.corner.dvtp
+        assert aged.corner.dvtn > die.corner.dvtn
+        assert aged.corner.mup_scale == die.corner.mup_scale  # no coupling
+        assert aged.mismatch_seed == die.mismatch_seed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BtiAgingModel(time_exponent=1.5)
+        with pytest.raises(ValueError):
+            BtiAgingModel().vt_drift(-1.0)
+        with pytest.raises(ValueError):
+            BtiAgingModel().vt_drift(1.0, duty=2.0)

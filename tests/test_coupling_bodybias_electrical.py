@@ -1,0 +1,187 @@
+"""Tests for electrothermal coupling, body bias and the TSV electrical model."""
+
+import numpy as np
+import pytest
+
+from repro.device.bodybias import BodyBiasGenerator, compensate_die
+from repro.thermal.coupling import (
+    LeakageModel,
+    runaway_power_boundary,
+    solve_electrothermal,
+)
+from repro.thermal.grid import ThermalLayer, build_stack_grid
+from repro.thermal.materials import BEOL, COPPER, SILICON
+from repro.thermal.power import uniform_power_map
+from repro.thermal.solver import steady_state
+from repro.tsv.electrical import TsvElectricalModel
+from repro.tsv.geometry import TsvSite
+
+
+@pytest.fixture(scope="module")
+def grid():
+    layers = [
+        ThermalLayer("t0.si", 100e-6, SILICON, heat_source=True),
+        ThermalLayer("t0.beol", 8e-6, BEOL),
+        ThermalLayer("bond0", 20e-6, BEOL),
+        ThermalLayer("t1.si", 100e-6, SILICON, heat_source=True),
+        ThermalLayer("spreader", 500e-6, COPPER),
+    ]
+    return build_stack_grid(layers, 5e-3, 5e-3, nx=8, ny=8)
+
+
+class TestLeakageModel:
+    def test_doubles_per_doubling_k(self):
+        model = LeakageModel(doubling_k=10.0)
+        base = model.tier_leakage(model.ref_temp_k)
+        assert model.tier_leakage(model.ref_temp_k + 10.0) == pytest.approx(2.0 * base)
+
+    def test_fast_die_leaks_more(self):
+        model = LeakageModel()
+        typical = model.tier_leakage(320.0, dvt=0.0)
+        fast = model.tier_leakage(320.0, dvt=-0.03)
+        assert fast > 1.5 * typical
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeakageModel(leakage_at_ref=-1.0)
+        with pytest.raises(ValueError):
+            LeakageModel(doubling_k=0.0)
+
+
+class TestElectrothermal:
+    def test_converges_at_low_power(self, grid):
+        power = {"t0.si": uniform_power_map(8, 8, 0.3), "t1.si": uniform_power_map(8, 8, 0.3)}
+        result = solve_electrothermal(grid, power, LeakageModel(leakage_at_ref=0.05))
+        assert result.converged
+        assert result.field is not None
+
+    def test_fixed_point_hotter_than_no_leakage(self, grid):
+        power = {"t0.si": uniform_power_map(8, 8, 0.5), "t1.si": uniform_power_map(8, 8, 0.5)}
+        with_leak = solve_electrothermal(grid, power, LeakageModel(leakage_at_ref=0.08))
+        without = steady_state(grid, power)
+        assert with_leak.field.peak("t0.si") > without.peak("t0.si")
+
+    def test_leakage_positive_at_fixed_point(self, grid):
+        power = {"t0.si": uniform_power_map(8, 8, 0.3)}
+        result = solve_electrothermal(grid, power, LeakageModel(leakage_at_ref=0.05))
+        assert all(value > 0.0 for value in result.leakage_by_layer.values())
+
+    def test_runaway_detected_at_huge_leakage(self, grid):
+        power = {"t0.si": uniform_power_map(8, 8, 1.0)}
+        result = solve_electrothermal(grid, power, LeakageModel(leakage_at_ref=5.0))
+        assert not result.converged
+        assert result.field is None
+
+    def test_process_shift_raises_fixed_point(self, grid):
+        power = {"t0.si": uniform_power_map(8, 8, 0.3)}
+        leak = LeakageModel(leakage_at_ref=0.05)
+        typical = solve_electrothermal(grid, power, leak)
+        fast = solve_electrothermal(
+            grid, power, leak, tier_dvt={"t0.si": -0.02, "t1.si": -0.02}
+        )
+        assert fast.field.peak("t0.si") > typical.field.peak("t0.si")
+
+    def test_boundary_bisection(self, grid):
+        leak = LeakageModel(leakage_at_ref=0.08)
+
+        def dynamic(power):
+            return {
+                "t0.si": uniform_power_map(8, 8, power),
+                "t1.si": uniform_power_map(8, 8, power),
+            }
+
+        lo, hi = runaway_power_boundary(grid, dynamic, leak, 0.1, 20.0, resolution=0.5)
+        assert lo < hi
+        assert solve_electrothermal(grid, dynamic(lo), leak).converged
+        assert not solve_electrothermal(grid, dynamic(hi), leak).converged
+
+    def test_boundary_validation(self, grid):
+        leak = LeakageModel(leakage_at_ref=0.08)
+
+        def dynamic(power):
+            return {"t0.si": uniform_power_map(8, 8, power)}
+
+        with pytest.raises(ValueError):
+            runaway_power_boundary(grid, dynamic, leak, 2.0, 1.0)
+
+
+class TestBodyBias:
+    def test_dac_quantisation(self):
+        generator = BodyBiasGenerator(vbb_range=0.4, dac_steps=9)
+        assert generator.dac_lsb == pytest.approx(0.1)
+        assert generator.quantise(0.17) == pytest.approx(0.2)
+        assert generator.quantise(-1.0) == pytest.approx(-0.4)
+
+    def test_bias_for_shift_round_trip(self):
+        generator = BodyBiasGenerator(dac_steps=4096)  # fine DAC: ~exact
+        vbb = generator.bias_for_shift(-0.02)
+        assert generator.vt_shift(vbb) == pytest.approx(-0.02, abs=1e-3)
+
+    def test_range_clipping_limits_compensation(self):
+        generator = BodyBiasGenerator(k_body=0.15, vbb_range=0.2)
+        # 100 mV shift needs 0.67 V of bias: out of range.
+        _, _, residual_n, _ = compensate_die(generator, 0.100, 0.0)
+        assert residual_n > 0.05
+
+    def test_compensation_cancels_measured_shift(self):
+        generator = BodyBiasGenerator(dac_steps=4096)
+        _, _, residual_n, residual_p = compensate_die(generator, 0.020, -0.015)
+        assert abs(residual_n) < 2e-3
+        assert abs(residual_p) < 2e-3
+
+    def test_residual_bounded_by_dac_lsb(self):
+        generator = BodyBiasGenerator()
+        lsb_vt = generator.dac_lsb * generator.k_body
+        for shift in np.linspace(-0.04, 0.04, 17):
+            _, _, residual_n, _ = compensate_die(generator, float(shift), 0.0)
+            assert abs(residual_n) <= lsb_vt / 2.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BodyBiasGenerator(k_body=0.0)
+        with pytest.raises(ValueError):
+            BodyBiasGenerator(dac_steps=1)
+        with pytest.raises(ValueError):
+            BodyBiasGenerator().vt_shift(10.0)
+
+
+class TestTsvElectrical:
+    @pytest.fixture
+    def model(self):
+        return TsvElectricalModel()
+
+    @pytest.fixture
+    def via(self):
+        return TsvSite(0.0, 0.0, radius=5e-6)
+
+    def test_resistance_milliohm_class(self, model, via):
+        assert 1e-3 < model.resistance(via) < 1.0
+
+    def test_capacitance_tens_to_hundreds_ff(self, model, via):
+        assert 10e-15 < model.capacitance(via) < 1e-12
+
+    def test_wider_via_lower_resistance(self, model):
+        thin = model.resistance(TsvSite(0.0, 0.0, radius=2e-6))
+        wide = model.resistance(TsvSite(0.0, 0.0, radius=10e-6))
+        assert wide < thin
+
+    def test_ghz_class_bus_clock(self, model, via):
+        """The group's own TSV papers demonstrate GHz operation."""
+        assert model.max_bus_clock(via) > 1e9
+
+    def test_bit_energy_fj_class(self, model, via):
+        energy = model.bit_energy(via, vdd=1.2)
+        assert 1e-15 < energy < 1e-12
+
+    def test_frame_energy_scales_with_activity(self, model, via):
+        half = model.frame_energy(via, 1.2, activity=0.5)
+        full = model.frame_energy(via, 1.2, activity=1.0)
+        assert full == pytest.approx(2.0 * half)
+
+    def test_validation(self, model, via):
+        with pytest.raises(ValueError):
+            TsvElectricalModel(depth=0.0)
+        with pytest.raises(ValueError):
+            model.max_bus_clock(via, hops=0)
+        with pytest.raises(ValueError):
+            model.frame_energy(via, 1.2, activity=1.5)

@@ -1,0 +1,210 @@
+"""Tests for the analytic MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.device.mosfet import (
+    MosfetParams,
+    drain_current,
+    gate_capacitance,
+    inversion_coefficient,
+    saturation_current,
+    specific_current,
+    subthreshold_swing,
+    threshold_voltage,
+    transconductance,
+)
+from repro.device.technology import nominal_65nm
+
+
+@pytest.fixture
+def nmos():
+    return nominal_65nm().nmos
+
+
+@pytest.fixture
+def pmos():
+    return nominal_65nm().pmos
+
+
+class TestParams:
+    def test_rejects_bad_polarity(self, nmos):
+        with pytest.raises(ValueError):
+            MosfetParams(
+                polarity="x",
+                vt0=0.4,
+                n_slope=1.3,
+                mu0=0.02,
+                cox=1.7e-2,
+                width=1e-6,
+                length=60e-9,
+                dvt_dt=-1e-3,
+                mobility_exponent=1.4,
+                lambda_c=0.3,
+            )
+
+    def test_rejects_negative_vt(self, nmos):
+        with pytest.raises(ValueError):
+            MosfetParams(
+                polarity="n",
+                vt0=-0.4,
+                n_slope=1.3,
+                mu0=0.02,
+                cox=1.7e-2,
+                width=1e-6,
+                length=60e-9,
+                dvt_dt=-1e-3,
+                mobility_exponent=1.4,
+                lambda_c=0.3,
+            )
+
+    def test_vt_shift(self, nmos):
+        shifted = nmos.with_vt_shift(0.02)
+        assert shifted.vt0 == pytest.approx(nmos.vt0 + 0.02)
+
+    def test_mobility_scale(self, nmos):
+        scaled = nmos.with_mobility_scale(1.1)
+        assert scaled.mu0 == pytest.approx(nmos.mu0 * 1.1)
+        with pytest.raises(ValueError):
+            nmos.with_mobility_scale(0.0)
+
+    def test_geometry_scaling(self, nmos):
+        scaled = nmos.scaled(width_scale=4.0, length_scale=2.0)
+        assert scaled.width == pytest.approx(4.0 * nmos.width)
+        assert scaled.length == pytest.approx(2.0 * nmos.length)
+
+
+class TestThresholdAndTemperature:
+    def test_threshold_decreases_with_temperature(self, nmos):
+        assert threshold_voltage(nmos, 400.0) < threshold_voltage(nmos, 300.0)
+
+    def test_threshold_at_reference(self, nmos):
+        assert threshold_voltage(nmos, nmos.temp_ref) == pytest.approx(nmos.vt0)
+
+    def test_specific_current_grows_with_temperature(self, nmos):
+        # U_T^2 growth beats the mobility decay (exponent < 2).
+        assert specific_current(nmos, 400.0) > specific_current(nmos, 300.0)
+
+    def test_subthreshold_swing_around_90mv_dec(self, nmos):
+        swing = subthreshold_swing(nmos, 300.0)
+        assert 0.075 < swing < 0.095
+
+
+class TestDrainCurrent:
+    def test_on_current_magnitude_realistic(self, nmos):
+        # ~100-1000 uA/um on-current class at full drive for a 65 nm LP NMOS.
+        device = nmos.scaled(width_scale=1.0 / (nmos.width / 1e-6))  # 1 um wide
+        i_on = drain_current(device, 1.2, 1.2, 300.0)
+        assert 100e-6 < i_on < 1000e-6
+
+    def test_off_current_small(self, nmos):
+        i_off = drain_current(nmos, 0.0, 1.2, 300.0)
+        assert i_off < 1e-9
+
+    def test_subthreshold_exponential_slope(self, nmos):
+        # Deep in weak inversion, one swing of gate drive changes the
+        # current ~10x (the EKV interpolation approaches the ideal
+        # exponential only well below threshold).
+        swing = subthreshold_swing(nmos, 300.0)
+        v1 = nmos.vt0 - 0.30
+        i1 = saturation_current(nmos, v1, 300.0)
+        i2 = saturation_current(nmos, v1 + swing, 300.0)
+        assert i2 / i1 == pytest.approx(10.0, rel=0.15)
+
+    def test_zero_vds_zero_current(self, nmos):
+        assert drain_current(nmos, 1.0, 0.0, 300.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_vectorised_matches_scalar(self, nmos):
+        vgs = np.linspace(0.0, 1.2, 7)
+        vec = drain_current(nmos, vgs, 0.6, 300.0)
+        scal = [drain_current(nmos, float(v), 0.6, 300.0) for v in vgs]
+        np.testing.assert_allclose(vec, scal, rtol=1e-12)
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        vgs=st.floats(min_value=-0.2, max_value=1.4),
+        temp=st.floats(min_value=230.0, max_value=400.0),
+    )
+    def test_current_nonnegative(self, nmos, vgs, temp):
+        assert drain_current(nmos, vgs, 0.6, temp) >= 0.0
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        v1=st.floats(min_value=0.0, max_value=1.2),
+        dv=st.floats(min_value=1e-3, max_value=0.2),
+    )
+    def test_monotone_in_vgs(self, nmos, v1, dv):
+        i1 = saturation_current(nmos, v1, 300.0)
+        i2 = saturation_current(nmos, v1 + dv, 300.0)
+        assert i2 > i1
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        v1=st.floats(min_value=0.05, max_value=0.6),
+        dv=st.floats(min_value=1e-3, max_value=0.3),
+    )
+    def test_monotone_in_vds(self, nmos, v1, dv):
+        i1 = drain_current(nmos, 1.0, v1, 300.0)
+        i2 = drain_current(nmos, 1.0, v1 + dv, 300.0)
+        assert i2 >= i1
+
+
+class TestZtcBehaviour:
+    """The zero-temperature-coefficient crossover the PSRO bias exploits."""
+
+    def test_subthreshold_current_increases_with_temperature(self, nmos):
+        lo = saturation_current(nmos, 0.3, 250.0)
+        hi = saturation_current(nmos, 0.3, 390.0)
+        assert hi > lo
+
+    def test_strong_inversion_current_decreases_with_temperature(self, nmos):
+        lo = saturation_current(nmos, 1.2, 250.0)
+        hi = saturation_current(nmos, 1.2, 390.0)
+        assert hi < lo
+
+    def test_ztc_point_exists_between(self, nmos):
+        # Somewhere between weak and strong inversion the TC changes sign.
+        biases = np.linspace(0.3, 1.2, 50)
+        tc = [
+            saturation_current(nmos, float(v), 390.0)
+            - saturation_current(nmos, float(v), 250.0)
+            for v in biases
+        ]
+        assert tc[0] > 0.0 and tc[-1] < 0.0
+
+
+class TestSmallSignal:
+    def test_transconductance_positive(self, nmos):
+        assert transconductance(nmos, 0.8, 300.0) > 0.0
+
+    def test_gm_peaks_above_threshold(self, nmos):
+        gm_below = transconductance(nmos, 0.2, 300.0)
+        gm_above = transconductance(nmos, 0.9, 300.0)
+        assert gm_above > gm_below
+
+
+class TestCapacitance:
+    def test_gate_capacitance_scales_with_area(self, nmos):
+        big = nmos.scaled(width_scale=2.0, length_scale=3.0)
+        assert gate_capacitance(big) == pytest.approx(6.0 * gate_capacitance(nmos))
+
+    def test_overhang_must_be_at_least_one(self, nmos):
+        with pytest.raises(ValueError):
+            gate_capacitance(nmos, overhang_factor=0.9)
+
+    def test_femtofarad_class(self, nmos):
+        assert 1e-17 < gate_capacitance(nmos) < 1e-14
+
+
+class TestInversionCoefficient:
+    def test_weak_inversion_below_one(self, nmos):
+        assert inversion_coefficient(nmos, nmos.vt0 - 0.2, 300.0) < 1.0
+
+    def test_strong_inversion_above_ten(self, nmos):
+        assert inversion_coefficient(nmos, nmos.vt0 + 0.5, 300.0) > 10.0
+
+    def test_pmos_model_same_shape(self, pmos):
+        weak = inversion_coefficient(pmos, pmos.vt0 - 0.2, 300.0)
+        strong = inversion_coefficient(pmos, pmos.vt0 + 0.5, 300.0)
+        assert weak < 1.0 < strong

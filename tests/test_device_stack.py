@@ -1,0 +1,76 @@
+"""Tests for transistor stack (series/parallel) equivalents."""
+
+import pytest
+
+from repro.device.mosfet import drain_current
+from repro.device.stack import (
+    parallel_combine,
+    series_stack_current,
+    series_stack_params,
+)
+from repro.device.technology import nominal_65nm
+
+
+@pytest.fixture
+def nmos():
+    return nominal_65nm().nmos
+
+
+class TestSeriesStack:
+    def test_single_device_unchanged(self, nmos):
+        assert series_stack_params(nmos, 1, 300.0) is nmos
+
+    def test_length_scales_with_count(self, nmos):
+        stacked = series_stack_params(nmos, 3, 300.0)
+        assert stacked.length == pytest.approx(3.0 * nmos.length)
+
+    def test_threshold_lifted_by_stack_effect(self, nmos):
+        stacked = series_stack_params(nmos, 2, 300.0)
+        assert stacked.vt0 > nmos.vt0
+
+    def test_stack_current_less_than_single(self, nmos):
+        single = drain_current(nmos, 1.0, 0.6, 300.0)
+        stacked = series_stack_current(nmos, 2, 1.0, 0.6, 300.0)
+        assert stacked < single
+
+    def test_stack_suppresses_leakage_superlinearly(self, nmos):
+        """The classic stack effect: 2-stack leakage << half of 1-device."""
+        single = drain_current(nmos, 0.0, 1.2, 300.0)
+        stacked = series_stack_current(nmos, 2, 0.0, 1.2, 300.0)
+        assert stacked < single / 2.5
+
+    def test_strong_inversion_roughly_divides(self, nmos):
+        """In strong inversion the stack behaves like length scaling.
+
+        A 2-stack loses less than 2x because doubling the channel also
+        relieves velocity saturation (lambda_c halves); the reduction still
+        has to be substantial.
+        """
+        single = drain_current(nmos, 1.2, 0.6, 300.0)
+        stacked = series_stack_current(nmos, 2, 1.2, 0.6, 300.0)
+        assert 0.3 * single < stacked < 0.85 * single
+
+    def test_rejects_zero_count(self, nmos):
+        with pytest.raises(ValueError):
+            series_stack_params(nmos, 0, 300.0)
+
+    def test_deeper_stacks_monotone(self, nmos):
+        currents = [
+            series_stack_current(nmos, k, 0.8, 0.6, 300.0) for k in (1, 2, 3, 4)
+        ]
+        assert currents == sorted(currents, reverse=True)
+
+
+class TestParallelCombine:
+    def test_width_multiplies(self, nmos):
+        wide = parallel_combine(nmos, 4)
+        assert wide.width == pytest.approx(4.0 * nmos.width)
+
+    def test_current_scales_linearly(self, nmos):
+        single = drain_current(nmos, 1.0, 0.6, 300.0)
+        quad = drain_current(parallel_combine(nmos, 4), 1.0, 0.6, 300.0)
+        assert quad == pytest.approx(4.0 * single, rel=1e-9)
+
+    def test_rejects_zero_count(self, nmos):
+        with pytest.raises(ValueError):
+            parallel_combine(nmos, 0)

@@ -1,0 +1,89 @@
+"""Tests for the technology description and corners."""
+
+import pytest
+
+from repro.device.technology import nominal_65nm
+
+
+@pytest.fixture
+def tech():
+    return nominal_65nm()
+
+
+class TestTechnology:
+    def test_nominal_supply(self, tech):
+        assert tech.vdd == pytest.approx(1.2)
+
+    def test_five_corners_present(self, tech):
+        assert set(tech.corners) == {"TT", "FF", "SS", "FS", "SF"}
+
+    def test_unknown_corner_raises_with_context(self, tech):
+        with pytest.raises(KeyError, match="known corners"):
+            tech.corner("XX")
+
+    def test_with_vdd_returns_copy(self, tech):
+        low = tech.with_vdd(1.0)
+        assert low.vdd == pytest.approx(1.0)
+        assert tech.vdd == pytest.approx(1.2)
+
+    def test_with_vdd_rejects_nonpositive(self, tech):
+        with pytest.raises(ValueError):
+            tech.with_vdd(0.0)
+
+
+class TestCornerGeometry:
+    """The corner letters must map onto the (dVtn, dVtp) plane correctly."""
+
+    def test_tt_is_origin(self, tech):
+        tt = tech.corner("TT")
+        assert tt.dvtn == 0.0 and tt.dvtp == 0.0
+
+    def test_ff_lowers_both_thresholds(self, tech):
+        ff = tech.corner("FF")
+        assert ff.dvtn < 0.0 and ff.dvtp < 0.0
+
+    def test_ss_raises_both_thresholds(self, tech):
+        ss = tech.corner("SS")
+        assert ss.dvtn > 0.0 and ss.dvtp > 0.0
+
+    def test_skew_corners_oppose(self, tech):
+        fs = tech.corner("FS")
+        sf = tech.corner("SF")
+        assert fs.dvtn < 0.0 < fs.dvtp
+        assert sf.dvtp < 0.0 < sf.dvtn
+
+    def test_fast_corner_has_higher_mobility(self, tech):
+        assert tech.corner("FF").mun_scale > tech.corner("SS").mun_scale
+
+
+class TestDevicesAt:
+    def test_corner_shifts_thresholds(self, tech):
+        ff = tech.corner("FF")
+        nmos, pmos = tech.devices_at(ff)
+        assert nmos.vt0 == pytest.approx(tech.nmos.vt0 + ff.dvtn)
+        assert pmos.vt0 == pytest.approx(tech.pmos.vt0 + ff.dvtp)
+
+    def test_extra_offsets_add(self, tech):
+        tt = tech.corner("TT")
+        nmos, pmos = tech.devices_at(tt, dvtn_extra=0.005, dvtp_extra=-0.003)
+        assert nmos.vt0 == pytest.approx(tech.nmos.vt0 + 0.005)
+        assert pmos.vt0 == pytest.approx(tech.pmos.vt0 - 0.003)
+
+    def test_corner_scales_mobility(self, tech):
+        ss = tech.corner("SS")
+        nmos, _ = tech.devices_at(ss)
+        assert nmos.mu0 == pytest.approx(tech.nmos.mu0 * ss.mun_scale)
+
+
+class TestParameterSanity:
+    def test_pelgrom_coefficients_mv_um_class(self, tech):
+        # A_vt for 65 nm bulk sits around 3-5 mV*um = 3-5e-9 V*m.
+        assert 1e-9 < tech.avt_n < 1e-8
+        assert 1e-9 < tech.avt_p < 1e-8
+
+    def test_pmos_mobility_lower_than_nmos(self, tech):
+        assert tech.pmos.mu0 < tech.nmos.mu0
+
+    def test_thresholds_in_lp_class(self, tech):
+        assert 0.3 < tech.nmos.vt0 < 0.55
+        assert 0.3 < tech.pmos.vt0 < 0.55

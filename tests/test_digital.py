@@ -1,0 +1,225 @@
+"""Tests for the event-driven digital back-end and its cross-validation
+against the behavioural read-out models."""
+
+import pytest
+
+from repro.circuits.digital import WindowCounter
+from repro.circuits.oscillator_bank import BankFrequencies
+from repro.config import SensorConfig
+from repro.core.sensing_model import SensingModel
+from repro.device.technology import nominal_65nm
+from repro.digital.conversion_fsm import simulate_conversion
+from repro.digital.elements import GatedOscillator, RippleCounterSim
+from repro.digital.simulator import EventSimulator
+from repro.readout.counter import PeriodTimer
+from repro.units import celsius_to_kelvin
+
+
+class TestEventSimulator:
+    def test_time_ordering(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(3e-9, lambda: log.append("c"))
+        sim.schedule(1e-9, lambda: log.append("a"))
+        sim.schedule(2e-9, lambda: log.append("b"))
+        sim.run_until(1e-8)
+        assert log == ["a", "b", "c"]
+
+    def test_ties_broken_by_schedule_order(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(1e-9, lambda: log.append("first"))
+        sim.schedule(1e-9, lambda: log.append("second"))
+        sim.run_until(1e-8)
+        assert log == ["first", "second"]
+
+    def test_callbacks_can_reschedule(self):
+        sim = EventSimulator()
+        hits = []
+
+        def tick():
+            hits.append(sim.now)
+            if len(hits) < 5:
+                sim.schedule(1e-9, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run_until(1e-8)
+        assert len(hits) == 5
+        assert hits[-1] == pytest.approx(4e-9)
+
+    def test_horizon_respected(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(5e-9, lambda: log.append("late"))
+        sim.run_until(4e-9)
+        assert not log
+        assert sim.pending() == 1
+        assert sim.now == pytest.approx(4e-9)
+
+    def test_rejects_past(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        sim.run_until(1.0)
+        with pytest.raises(ValueError):
+            sim.run_until(0.5)
+
+    def test_runaway_guard(self):
+        sim = EventSimulator()
+
+        def forever():
+            sim.schedule(1e-12, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run_until(1.0, max_events=1000)
+
+
+class TestGatedOscillator:
+    def test_edge_count_matches_window(self):
+        sim = EventSimulator()
+        edges = []
+        osc = GatedOscillator(sim, period=1e-9, on_edge=lambda: edges.append(sim.now))
+        osc.enable()
+        sim.run_until(10.4e-9)
+        # First edge at 0.5 ns (phase 0.5), then every 1 ns: 0.5..9.5 = 10.
+        assert len(edges) == 10
+
+    def test_disable_stops_edges(self):
+        sim = EventSimulator()
+        count = [0]
+        osc = GatedOscillator(sim, period=1e-9, on_edge=lambda: count.__setitem__(0, count[0] + 1))
+        osc.enable()
+        sim.run_until(3.6e-9)
+        osc.disable()
+        seen = count[0]
+        sim.run_until(10e-9)
+        assert count[0] == seen
+
+    def test_reenable_restarts_phase(self):
+        sim = EventSimulator()
+        times = []
+        osc = GatedOscillator(
+            sim, period=1e-9, on_edge=lambda: times.append(sim.now), initial_phase=0.25
+        )
+        osc.enable()
+        sim.run_until(1e-9)
+        osc.disable()
+        sim.run_until(5e-9)
+        osc.enable()
+        sim.run_until(5.3e-9)
+        assert times[-1] == pytest.approx(5.25e-9)
+
+    def test_validation(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            GatedOscillator(sim, period=0.0, on_edge=lambda: None)
+        with pytest.raises(ValueError):
+            GatedOscillator(sim, period=1e-9, on_edge=lambda: None, initial_phase=1.0)
+
+
+class TestRippleCounterSim:
+    def clocked(self, bits, increments, clk_to_q=10e-12):
+        sim = EventSimulator()
+        counter = RippleCounterSim(sim, bits=bits, clk_to_q=clk_to_q)
+        for i in range(increments):
+            sim.schedule(i * 1e-9, counter.clock)
+        sim.run_until(increments * 1e-9 + counter.worst_case_settle_time())
+        return counter
+
+    def test_counts_correctly(self):
+        assert self.clocked(8, 13).value() == 13
+
+    def test_wraps_at_width(self):
+        assert self.clocked(4, 18).value() == 2
+
+    def test_toggle_count_near_two_per_increment(self):
+        counter = self.clocked(12, 1000)
+        assert counter.total_toggles() == pytest.approx(2000, rel=0.01)
+
+    def test_reset(self):
+        counter = self.clocked(8, 7)
+        counter.reset()
+        assert counter.value() == 0
+        assert counter.total_toggles() == 0
+
+    def test_settle_time_scales_with_bits(self):
+        sim = EventSimulator()
+        small = RippleCounterSim(sim, bits=4, clk_to_q=50e-12)
+        big = RippleCounterSim(sim, bits=16, clk_to_q=50e-12)
+        assert big.worst_case_settle_time() == 4.0 * small.worst_case_settle_time()
+
+    def test_validation(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            RippleCounterSim(sim, bits=0)
+        with pytest.raises(ValueError):
+            RippleCounterSim(sim, bits=4, clk_to_q=0.0)
+
+
+class TestConversionCrossValidation:
+    """The point of the package: event level == behavioural level."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        technology = nominal_65nm()
+        config = SensorConfig()
+        model = SensingModel(technology, config)
+        return model, config
+
+    @pytest.mark.parametrize("temp_c", [-40.0, 27.0, 125.0])
+    def test_counts_match_behavioural(self, setup, temp_c):
+        model, config = setup
+        env = model.environment(0.0, 0.0, celsius_to_kelvin(temp_c))
+        freqs = model.bank.frequencies(env)
+        result = simulate_conversion(freqs, config)
+        window = WindowCounter(config.psro_window, config.psro_counter_bits)
+        timer = PeriodTimer(
+            config.tsro_periods, config.ref_clock_hz, config.tsro_counter_bits
+        )
+        assert abs(result.counts_n - window.count(freqs.psro_n)) <= 1
+        assert abs(result.counts_p - window.count(freqs.psro_p)) <= 1
+        assert abs(result.counts_ref - timer.count(freqs.tsro)) <= 1
+
+    def test_period_budget_exact(self, setup):
+        model, config = setup
+        freqs = model.bank.frequencies(model.environment(0.0, 0.0, 300.0))
+        result = simulate_conversion(freqs, config)
+        assert result.tsro_periods_seen == config.tsro_periods
+
+    def test_energy_rule_validated(self, setup):
+        """The behavioural '2 toggles per increment' rule holds at event level."""
+        model, config = setup
+        freqs = model.bank.frequencies(model.environment(0.0, 0.0, 300.0))
+        result = simulate_conversion(freqs, config)
+        increments = result.counts_n + result.counts_p + result.counts_ref
+        assert result.counter_toggles == pytest.approx(2.0 * increments, rel=0.02)
+
+    def test_phase_sweep_moves_counts_by_one(self, setup):
+        model, config = setup
+        freqs = model.bank.frequencies(model.environment(0.0, 0.0, 300.0))
+        counts = {
+            simulate_conversion(freqs, config, phase_n=phase).counts_n
+            for phase in (0.01, 0.25, 0.5, 0.75, 0.99)
+        }
+        assert max(counts) - min(counts) <= 1
+
+    def test_conversion_time_matches_config(self, setup):
+        model, config = setup
+        freqs = model.bank.frequencies(model.environment(0.0, 0.0, 300.0))
+        result = simulate_conversion(freqs, config)
+        assert result.conversion_time == pytest.approx(
+            config.conversion_time(freqs.tsro), rel=0.05
+        )
+
+    def test_synthetic_frequencies(self):
+        """Deterministic artificial frequencies, exact expectations."""
+        config = SensorConfig(psro_window=1e-6, tsro_periods=10, ref_clock_hz=100e6)
+        freqs = BankFrequencies(
+            psro_n=100e6, psro_p=200e6, tsro=10e6, reference=300e6
+        )
+        result = simulate_conversion(freqs, config)
+        assert result.counts_n == 100
+        assert result.counts_p == 200
+        # 10 periods at 10 MHz = 1 us -> 100 ref ticks (within one tick).
+        assert abs(result.counts_ref - 100) <= 1

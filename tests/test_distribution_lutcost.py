@@ -1,0 +1,83 @@
+"""Tests for distribution rendering and the LUT cost analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import ascii_histogram, quantile_summary
+from repro.core.lut_cost import (
+    compare_implementations,
+    lut_storage,
+    seed_only_extraction,
+)
+from repro.core.decoupler import ProcessLut
+from repro.core.sensing_model import SensingModel
+from repro.device.technology import nominal_65nm
+
+
+class TestAsciiHistogram:
+    def test_counts_sum_preserved(self):
+        values = list(np.random.default_rng(0).normal(0, 1, 100))
+        text = ascii_histogram(values, bins=8)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == 100
+
+    def test_title_included(self):
+        text = ascii_histogram([1.0, 2.0, 3.0], bins=2, title="demo")
+        assert text.splitlines()[0] == "demo"
+
+    def test_scale_applied_to_edges(self):
+        text = ascii_histogram([0.001, 0.002], bins=2, scale=1e3)
+        assert "+1.00" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([], bins=4)
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], bins=1)
+
+    def test_quantile_summary(self):
+        text = quantile_summary(np.linspace(-1, 1, 101), quantiles=(0.5,))
+        assert "p50=+0.000" in text
+        with pytest.raises(ValueError):
+            quantile_summary([])
+
+
+class TestLutCost:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return SensingModel(nominal_65nm())
+
+    def test_storage_bill(self):
+        cost = lut_storage(9, bits_per_entry=16)
+        assert cost.entries == 162
+        assert cost.total_bits == 2592
+        assert cost.total_bytes == pytest.approx(324.0)
+
+    def test_storage_validation(self):
+        with pytest.raises(ValueError):
+            lut_storage(1)
+        with pytest.raises(ValueError):
+            lut_storage(9, bits_per_entry=2)
+
+    def test_seed_only_exact_on_grid_points(self, model):
+        lut = ProcessLut.build(model, points=9)
+        i, j = 3, 5
+        got = seed_only_extraction(lut, lut.f_n_grid[i, j], lut.f_p_grid[i, j])
+        assert got[0] == pytest.approx(lut.dvtn_axis[i], abs=1e-5)
+        assert got[1] == pytest.approx(lut.dvtp_axis[j], abs=1e-5)
+
+    def test_seed_only_error_shrinks_with_resolution(self, model):
+        coarse, _, _ = compare_implementations(model, 5, probe_points=5)
+        fine, _, _ = compare_implementations(model, 17, probe_points=5)
+        assert fine < coarse / 5.0
+
+    def test_newton_exact_at_any_resolution(self, model):
+        _, newton_err, _ = compare_implementations(model, 5, probe_points=5)
+        assert newton_err < 1e-5
+
+    def test_reference_design_point_justified(self, model):
+        """The shipped 9x9 LUT: even seed-only would be sub-mV; the ROM is
+        a few hundred bytes — the quantitative basis for the config."""
+        seed_err, _, cost = compare_implementations(model, 9, probe_points=5)
+        assert seed_err < 1e-3
+        assert cost.total_bytes < 1024

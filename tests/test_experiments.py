@@ -1,0 +1,231 @@
+"""Smoke + shape tests for every reconstructed experiment (fast mode).
+
+These assert the *shapes* the paper's evaluation must show — who wins, what
+is monotone, which correction matters — not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    exp_a1_ablation,
+    exp_f1_freq_vs_temp,
+    exp_f2_process_sensitivity,
+    exp_f3_vt_extraction,
+    exp_f4_temperature_accuracy,
+    exp_f5_stack_monitoring,
+    exp_f6_tsv_stress,
+    exp_f7_energy_resolution,
+    exp_f8_voltage_sensitivity,
+    exp_t1_summary,
+    exp_t2_comparison,
+)
+
+
+@pytest.mark.parametrize("key", sorted(ALL_EXPERIMENTS))
+def test_every_experiment_runs_and_renders(key):
+    result = ALL_EXPERIMENTS[key].run(fast=True)
+    text = result.render()
+    assert key.replace("R-", "R-") in text or len(text) > 50
+
+
+class TestF1Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_f1_freq_vs_temp.run(fast=True)
+
+    def test_tsro_strongly_temperature_dependent(self, result):
+        tc = result.temperature_coefficient("TSRO", "TT")
+        assert tc > 0.005  # >0.5 %/K
+
+    def test_psros_temperature_flat(self, result):
+        for osc in ("PSRO-N", "PSRO-P"):
+            assert abs(result.temperature_coefficient(osc, "TT")) < 5e-4
+
+    def test_tsro_monotone_every_corner(self, result):
+        for corner in exp_f1_freq_vs_temp.CORNERS:
+            freqs = result.series[("TSRO", corner)]
+            assert np.all(np.diff(freqs) > 0.0)
+
+    def test_corners_separate_psros(self, result):
+        assert result.corner_spread("PSRO-N") > 0.10
+
+    def test_psro_n_tracks_nmos_corner_letter(self, result):
+        ff = result.series[("PSRO-N", "FF")][0]
+        ss = result.series[("PSRO-N", "SS")][0]
+        fs = result.series[("PSRO-N", "FS")][0]
+        assert ff > fs or np.isclose(ff, fs, rtol=0.15)  # both fast NMOS
+        assert fs > ss  # fast NMOS beats slow NMOS regardless of PMOS
+
+
+class TestF2Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_f2_process_sensitivity.run(fast=True)
+
+    def test_diagonal_dominance(self, result):
+        matrix = np.abs(result.sensitivity_matrix)
+        assert matrix[0, 0] > 4.0 * matrix[0, 1]
+        assert matrix[1, 1] > 4.0 * matrix[1, 0]
+
+    def test_well_conditioned(self, result):
+        assert result.condition_number < 10.0
+
+    def test_sweeps_monotone(self, result):
+        assert np.all(np.diff(result.psro_n_vs_dvtn) < 0.0)
+        assert np.all(np.diff(result.psro_p_vs_dvtp) < 0.0)
+
+
+class TestF3Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_f3_vt_extraction.run(fast=True)
+
+    def test_millivolt_class(self, result):
+        assert result.vtn_stats.band < 5e-3
+        assert result.vtp_stats.band < 5e-3
+
+    def test_unbiased(self, result):
+        assert abs(result.vtn_stats.mean) < 1e-3
+        assert abs(result.vtp_stats.mean) < 1e-3
+
+    def test_small_sample_near_paper_anchor(self, result):
+        band_n, band_p = result.small_sample_band_mv()
+        assert band_n < 4.0  # paper: 1.6 mV class
+        assert band_p < 4.0  # paper: 0.8 mV class
+
+
+class TestF4Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_f4_temperature_accuracy.run(fast=True)
+
+    def test_calibration_improves_massively(self, result):
+        assert result.improvement_factor() > 5.0
+
+    def test_calibrated_band_paper_class(self, result):
+        assert result.calibrated_stats.band < 2.5
+
+    def test_uncalibrated_process_limited(self, result):
+        assert result.uncalibrated_stats.band > 10.0
+
+
+class TestF5Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_f5_stack_monitoring.run(fast=True)
+
+    def test_bottom_tier_hottest(self, result):
+        assert result.tier_peaks_c["tier0"] == max(result.tier_peaks_c.values())
+
+    def test_inter_tier_gradient_exists(self, result):
+        assert result.inter_tier_gradient_c() > 2.0
+
+    def test_sensors_track_local_truth(self, result):
+        assert result.max_error_c() < 2.0
+
+    def test_bus_healthy(self, result):
+        assert result.bus_healthy
+
+
+class TestF6Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_f6_tsv_stress.run(fast=True)
+
+    def test_stress_profile_decays(self, result):
+        assert abs(result.profile_dvtp_mv[0]) > abs(result.profile_dvtp_mv[-1])
+
+    def test_sensor_detects_stress(self, result):
+        near = result.site_rows[0]
+        assert near.detected_dvtp_mv == pytest.approx(
+            near.stress_dvtp_mv, abs=max(2.0, 0.5 * abs(near.stress_dvtp_mv))
+        )
+
+    def test_calibrated_beats_uncalibrated_under_stress(self, result):
+        for row in result.site_rows:
+            assert abs(row.calibrated_temp_error_c) <= abs(
+                row.uncalibrated_temp_error_c
+            ) + 0.05
+
+    def test_koz_ordering(self, result):
+        assert result.koz_radii_um[0.01] > result.koz_radii_um[0.05]
+
+
+class TestF7Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_f7_energy_resolution.run(fast=True)
+
+    def test_reference_point_in_sweep(self, result):
+        ref = result.reference_row()
+        assert 250.0 < ref.energy_pj < 500.0  # the 367.5 pJ class
+
+    def test_energy_monotone_in_window(self, result):
+        by_periods = [r for r in result.rows if r.tsro_periods == 96]
+        by_periods.sort(key=lambda r: r.psro_window_us)
+        energies = [r.energy_pj for r in by_periods]
+        assert energies == sorted(energies)
+
+    def test_resolution_improves_with_window(self, result):
+        by_periods = [r for r in result.rows if r.tsro_periods == 96]
+        by_periods.sort(key=lambda r: r.psro_window_us)
+        lsbs = [r.vtn_lsb_mv for r in by_periods]
+        assert lsbs == sorted(lsbs, reverse=True)
+
+
+class TestF8Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_f8_voltage_sensitivity.run(fast=True)
+
+    def test_nominal_point_accurate(self, result):
+        mid = result.rows[len(result.rows) // 2]
+        assert abs(mid.temp_error_c) < 0.3
+
+    def test_droop_is_a_real_error_term(self, result):
+        errs = [abs(r.temp_error_c) for r in result.rows if not np.isnan(r.temp_error_c)]
+        assert max(errs) > 0.5
+
+
+class TestT1T2Shapes:
+    def test_t1_summary_anchors(self):
+        result = exp_t1_summary.run(fast=True)
+        assert 250.0 < result.energy_pj_27c < 500.0
+        assert result.vtn_band_mv < 4.0
+        assert result.temp_band_c < 2.5
+
+    def test_t2_self_calibrated_wins_where_it_should(self):
+        result = exp_t2_comparison.run(fast=True)
+        self_cal = result.row("self-calibrated (paper)")
+        assert self_cal.stats.band < result.row("uncalibrated TSRO").stats.band
+        assert self_cal.stats.band < result.row("ratio-metric dual-RO").stats.band
+        assert self_cal.stats.band <= result.row("two-point factory cal").stats.band
+        assert self_cal.factory_cost == "none (on-chip)"
+
+
+class TestA1Shapes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_a1_ablation.run(fast=True)
+
+    def test_full_scheme_best(self, result):
+        full = result.variants["full self-calibration"].band
+        for name, stats in result.variants.items():
+            if name != "full self-calibration":
+                assert stats.band >= full * 0.9
+
+    def test_both_corrections_necessary(self, result):
+        full = result.variants["full self-calibration"].band
+        assert result.variants["no V_tp correction"].band > 3.0 * full
+        assert result.variants["no V_tn correction"].band > 3.0 * full
+
+    def test_iteration_matters(self, result):
+        assert (
+            result.variants["single round"].band
+            > result.variants["full self-calibration"].band
+        )
+
+    def test_lut_accelerates_newton(self, result):
+        assert result.newton_iters_with_lut <= result.newton_iters_without_lut

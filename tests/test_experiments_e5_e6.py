@@ -1,0 +1,63 @@
+"""Shape tests for experiments R-E5 (placement) and R-E6 (averaging)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import exp_e5_placement, exp_e6_averaging
+
+
+class TestE5Placement:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_e5_placement.run(fast=True)
+
+    def test_observer_collapses_in_span_error(self, result):
+        """At/above the model order, the mixture reconstructs ~exactly."""
+        saturated = [r for r in result.rows if r.budget >= 4]
+        assert saturated
+        assert all(r.observer_mix_c < 0.2 for r in saturated)
+
+    def test_observer_beats_nearest_in_span(self, result):
+        best_observer = min(r.observer_mix_c for r in result.rows)
+        best_nearest = min(r.nearest_mix_c for r in result.rows)
+        assert best_observer < best_nearest / 5.0
+
+    def test_novel_workload_is_the_hard_case(self, result):
+        """Out-of-span hotspots defeat both schemes — the honest finding."""
+        for row in result.rows:
+            assert row.observer_novel_c > row.observer_mix_c
+
+    def test_sites_are_distinct(self, result):
+        assert len(set(result.chosen_sites)) == len(result.chosen_sites)
+
+    def test_renders(self, result):
+        assert "R-E5" in result.render()
+
+
+class TestE6Averaging:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_e6_averaging.run(fast=True)
+
+    def test_random_sigma_shrinks_with_averaging(self, result):
+        sigmas = [row.random_sigma_c for row in result.rows]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_sqrt_n_law_roughly(self, result):
+        """sigma(N=4) ~ sigma(N=1)/2 within sampling slop."""
+        by_n = {row.conversions: row.random_sigma_c for row in result.rows}
+        if 1 in by_n and 4 in by_n and by_n[4] > 0:
+            ratio = by_n[1] / by_n[4]
+            assert 1.3 < ratio < 3.5
+
+    def test_systematic_floor_remains(self, result):
+        """Averaging cannot beat the per-die mismatch floor."""
+        assert result.systematic_floor_c > 0.05
+        most_averaged = result.rows[-1]
+        assert most_averaged.total_band_c > result.systematic_floor_c
+
+    def test_energy_scales_linearly(self, result):
+        for row in result.rows:
+            assert row.energy_pj == pytest.approx(
+                result.rows[0].energy_pj * row.conversions, rel=1e-6
+            )

@@ -1,0 +1,60 @@
+"""Shape tests for experiments R-E7 (body bias) and R-E8 (runaway)."""
+
+import pytest
+
+from repro.experiments import exp_e7_body_bias, exp_e8_runaway
+
+
+class TestE7BodyBias:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_e7_body_bias.run(fast=True)
+
+    def test_threshold_spread_collapses(self, result):
+        assert result.vtn_collapse_factor() > 5.0
+        assert result.vtp_sigma_after_mv < result.vtp_sigma_before_mv / 5.0
+
+    def test_residual_bounded_by_sensor_and_dac(self, result):
+        """Post-ABB sigma ~ sensor extraction error + DAC quantisation."""
+        floor_mv = result.dac_lsb_mv / 2.0 + 1.0  # half LSB + mV-class sensing
+        assert result.vtn_sigma_after_mv < floor_mv + 1.5
+
+    def test_speed_spread_shrinks(self, result):
+        assert result.speed_spread_after < result.speed_spread_before
+
+    def test_leakage_spread_collapses(self, result):
+        assert result.leakage_ratio_after < result.leakage_ratio_before / 3.0
+
+    def test_renders(self, result):
+        assert "R-E7" in result.render()
+
+
+class TestE8Runaway:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_e8_runaway.run(fast=True)
+
+    def test_low_power_stable_high_power_runs_away(self, result):
+        assert result.rows[0].converged
+        assert not result.rows[-1].converged
+
+    def test_stable_peaks_monotone_in_power(self, result):
+        stable = [row for row in result.rows if row.converged]
+        peaks = [row.peak_c for row in stable]
+        assert peaks == sorted(peaks)
+
+    def test_boundary_ordering_by_process(self, result):
+        """Fast (leaky) silicon must run away earliest."""
+        assert (
+            result.boundary_fast_w
+            < result.boundary_typical_w
+            < result.boundary_slow_w
+        )
+
+    def test_leakage_share_substantial_near_boundary(self, result):
+        """Approaching runaway, leakage carries a large share of the heat."""
+        stable = [row for row in result.rows if row.converged]
+        assert stable[-1].leakage_fraction > 0.25
+
+    def test_renders(self, result):
+        assert "R-E8" in result.render()

@@ -1,0 +1,89 @@
+"""Shape tests for the extension experiments (R-E1..R-E4), fast mode."""
+
+import pytest
+
+from repro.experiments import (
+    exp_e1_supply_aware,
+    exp_e2_aging,
+    exp_e3_tracking,
+    exp_e4_dtm,
+)
+
+
+class TestE1SupplyAware:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_e1_supply_aware.run(fast=True)
+
+    def test_aware_flat_across_droop(self, result):
+        assert result.worst_aware_band() < 2.0
+
+    def test_paper_engine_degrades_with_droop(self, result):
+        assert result.worst_paper_band() > 3.0 * result.worst_aware_band()
+
+    def test_vdd_readout_millivolt_class(self, result):
+        assert all(row.aware_vdd_band_mv < 20.0 for row in result.rows)
+
+    def test_renders(self, result):
+        assert "R-E1" in result.render()
+
+
+class TestE2Aging:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_e2_aging.run(fast=True)
+
+    def test_anchored_tracks_drift_exactly(self, result):
+        assert result.drift_tracking_error_mv() < 0.5
+
+    def test_anchored_holds_accuracy_class(self, result):
+        assert all(row.anchored_temp_band_c < 2.0 for row in result.rows)
+
+    def test_factory_trim_goes_stale(self, result):
+        aged = [row for row in result.rows if row.years >= 1.0]
+        assert all(
+            row.stale_trim_temp_band_c > 3.0 * row.anchored_temp_band_c
+            for row in aged
+        )
+
+    def test_naive_underestimates_drift(self, result):
+        aged = [row for row in result.rows if row.years >= 1.0]
+        assert all(
+            row.detected_dvtp_drift_mv < row.injected_dvtp_drift_mv for row in aged
+        )
+
+
+class TestE3Tracking:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_e3_tracking.run(fast=True)
+
+    def test_big_energy_saving(self, result):
+        assert result.energy_saving_factor() > 5.0
+
+    def test_accuracy_class_preserved(self, result):
+        assert all(row.temp_band_c < 2.5 for row in result.rows)
+
+    def test_fast_fraction_grows_with_interval(self, result):
+        fractions = [row.fast_fraction for row in result.rows]
+        assert fractions == sorted(fractions)
+
+
+class TestE4Dtm:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_e4_dtm.run(fast=True)
+
+    def test_open_loop_violates(self, result):
+        assert result.open_peak_c > result.policy.throttle_c + 5.0
+
+    def test_closed_loop_caps_peak(self, result):
+        assert result.closed_peak_c() < result.policy.throttle_c + 5.0
+
+    def test_loop_actually_throttled(self, result):
+        assert result.closed_trace.throttled_steps > 0
+
+    def test_only_hot_tier_throttled(self, result):
+        final = result.closed_trace.power_scales[-1]
+        assert final[0] < 1.0  # the hotspot tier
+        assert final[3] == pytest.approx(1.0)  # the cool top tier

@@ -1,0 +1,118 @@
+"""Tests for the Kalman fusion filter and the macro area model."""
+
+import numpy as np
+import pytest
+
+from repro.config import SensorConfig
+from repro.core.area import estimate_macro_area
+from repro.device.technology import nominal_65nm
+from repro.experiments import exp_e9_fusion
+from repro.network.fusion import TemperatureKalman, filter_trace
+
+
+class TestTemperatureKalman:
+    def test_first_update_adopts_measurement(self):
+        kalman = TemperatureKalman()
+        assert kalman.update(0.0, 55.0) == pytest.approx(55.0)
+
+    def test_constant_signal_noise_suppression(self):
+        """On a constant truth, the track's error variance must shrink."""
+        rng = np.random.default_rng(0)
+        kalman = TemperatureKalman(measurement_sigma_c=0.5, slew_limit_c_per_s=1.0)
+        errors = []
+        for k in range(400):
+            reading = 60.0 + rng.normal(0.0, 0.5)
+            errors.append(kalman.update(k * 1e-3, reading) - 60.0)
+        late = np.std(errors[200:])
+        assert late < 0.5 / 2.0  # at least 2x suppression after settling
+
+    def test_tracks_a_ramp_with_bounded_lag(self):
+        kalman = TemperatureKalman(measurement_sigma_c=0.1, slew_limit_c_per_s=50.0)
+        lag = 0.0
+        for k in range(300):
+            t = k * 1e-3
+            truth = 40.0 + 20.0 * t  # 20 degC/s ramp
+            estimate = kalman.update(t, truth)  # noiseless readings
+            lag = truth - estimate
+        assert 0.0 <= lag < 0.1
+
+    def test_uncertainty_shrinks_with_updates(self):
+        kalman = TemperatureKalman(measurement_sigma_c=0.3, slew_limit_c_per_s=1.0)
+        kalman.update(0.0, 50.0)
+        first = kalman.sigma_c
+        for k in range(1, 50):
+            kalman.update(k * 1e-3, 50.0)
+        assert kalman.sigma_c < first
+
+    def test_time_order_enforced(self):
+        kalman = TemperatureKalman()
+        kalman.update(1.0, 50.0)
+        with pytest.raises(ValueError):
+            kalman.update(0.5, 51.0)
+
+    def test_reset(self):
+        kalman = TemperatureKalman()
+        kalman.update(0.0, 50.0)
+        kalman.reset()
+        assert kalman.state_c is None
+        assert kalman.update(5.0, 80.0) == pytest.approx(80.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemperatureKalman(measurement_sigma_c=0.0)
+        with pytest.raises(ValueError):
+            TemperatureKalman(slew_limit_c_per_s=-1.0)
+
+    def test_filter_trace_length_and_validation(self):
+        out = filter_trace([0.0, 1e-3, 2e-3], [1.0, 2.0, 3.0])
+        assert len(out) == 3
+        with pytest.raises(ValueError):
+            filter_trace([0.0], [1.0, 2.0])
+
+
+class TestE9Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp_e9_fusion.run(fast=True)
+
+    def test_cheap_sensor_noisier_raw(self, result):
+        assert result.cheap_raw_sigma > 2.0 * result.reference_sigma
+
+    def test_filtering_recovers_resolution(self, result):
+        assert result.cheap_filtered_sigma < result.cheap_raw_sigma / 1.5
+
+    def test_energy_saving_substantial(self, result):
+        assert result.energy_saving() > 2.5
+
+    def test_renders(self, result):
+        assert "R-E9" in result.render()
+
+
+class TestMacroArea:
+    @pytest.fixture(scope="class")
+    def area(self):
+        return estimate_macro_area(nominal_65nm())
+
+    def test_total_is_sum(self, area):
+        assert area.total == pytest.approx(
+            area.oscillators + area.counters + area.rom + area.control
+        )
+
+    def test_published_sensor_class(self, area):
+        """RO-based PVT sensors occupy 0.001-0.05 mm^2 at 65 nm."""
+        assert 0.001 < area.total_mm2 < 0.05
+
+    def test_oscillators_dominate(self, area):
+        """The deliberately large sensing/limiting devices are the cost."""
+        assert area.oscillators == max(value for _, value in area.as_rows())
+
+    def test_rows_sorted(self, area):
+        values = [value for _, value in area.as_rows()]
+        assert values == sorted(values, reverse=True)
+
+    def test_bigger_lut_more_rom(self):
+        tech = nominal_65nm()
+        small = estimate_macro_area(tech, SensorConfig(lut_points_per_axis=5))
+        big = estimate_macro_area(tech, SensorConfig(lut_points_per_axis=17))
+        assert big.rom > small.rom
+        assert big.oscillators == pytest.approx(small.oscillators)

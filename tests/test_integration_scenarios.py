@@ -1,0 +1,181 @@
+"""End-to-end scenario tests: the substrates composed the way a user would.
+
+Each scenario is a miniature of a real deployment story and must hold
+together across package boundaries — these are the tests that catch
+integration drift that unit tests cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.drift import DriftAnchoredModel
+from repro.core.calibration import SelfCalibrationEngine
+from repro.core.sensor import PTSensor
+from repro.core.supply import SupplyAwareEngine
+from repro.core.tracking import TrackingPolicy, TrackingSensor
+from repro.circuits.oscillator_bank import build_oscillator_bank, environment_for_die
+from repro.experiments.common import reference_setup
+from repro.network.aggregator import StackMonitor
+from repro.thermal.grid import build_stack_grid
+from repro.thermal.power import hotspot_power_map
+from repro.thermal.solver import steady_state
+from repro.tsv.bus import TsvSensorBus
+from repro.tsv.geometry import StackDescriptor, TierSpec, regular_tsv_array
+from repro.tsv.stress import StressModel
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+from repro.variation.aging import BtiAgingModel
+from repro.variation.montecarlo import sample_dies
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return reference_setup()
+
+
+class TestLifetimeScenario:
+    """A die's whole life: fab -> stress -> power-on cal -> aging -> recal."""
+
+    def test_full_lifetime(self, setup):
+        tech = setup.technology
+        die = sample_dies(tech, 1, seed=2024)[0]
+        engine = SelfCalibrationEngine(setup.model, lut=setup.lut)
+
+        # Power-on: time-zero extraction becomes the drift anchor.
+        bank = build_oscillator_bank(
+            tech, die=die, psro_stages=setup.config.psro_stages,
+            tsro_stages=setup.config.tsro_stages,
+        )
+        env = environment_for_die(die, (2.5e-3, 2.5e-3), celsius_to_kelvin(45.0), tech.vdd)
+        freqs = bank.frequencies(env)
+        t0 = engine.run(freqs.psro_n, freqs.psro_p, freqs.tsro)
+        anchored_model = DriftAnchoredModel.from_time_zero(setup.model, t0.dvtn, t0.dvtp)
+        anchored = SelfCalibrationEngine(anchored_model, lut=None)
+
+        # Five years in the field at high duty.
+        aged_die = BtiAgingModel().age_die(die, years=5.0, duty=0.8)
+        aged_bank = build_oscillator_bank(
+            tech, die=aged_die, psro_stages=setup.config.psro_stages,
+            tsro_stages=setup.config.tsro_stages,
+        )
+        aged_env = environment_for_die(
+            aged_die, (2.5e-3, 2.5e-3), celsius_to_kelvin(45.0), tech.vdd
+        )
+        aged_freqs = aged_bank.frequencies(aged_env)
+        state = anchored.run(aged_freqs.psro_n, aged_freqs.psro_p, aged_freqs.tsro)
+
+        # Temperature still in class; drift read-out matches the injection.
+        assert kelvin_to_celsius(state.temp_k) == pytest.approx(45.0, abs=1.0)
+        injected = BtiAgingModel().vt_drift(5.0, duty=0.8)
+        drift = anchored_model.drift_from(state.dvtn, state.dvtp)
+        assert drift[1] == pytest.approx(injected[1], abs=1e-3)
+
+
+class TestStressedStackScenario:
+    """Sensors near a TSV array on a thermally loaded stack stay in class."""
+
+    def test_stressed_hot_tier(self, setup):
+        tech = setup.technology
+        tiers = [TierSpec("t0"), TierSpec("t1")]
+        tsvs = regular_tsv_array(6, 6, pitch=80e-6, origin=(2.2e-3, 2.2e-3))
+        stack = StackDescriptor(tiers=tiers, tsv_sites=tsvs)
+        nx = ny = 12
+        grid = build_stack_grid(
+            stack.thermal_layers(nx, ny), stack.die_width, stack.die_height, nx=nx, ny=ny
+        )
+        power = {
+            "t0.si": hotspot_power_map(nx, ny, 5e-3, 5e-3, [(2e-3, 2e-3, 1e-3, 1e-3, 2.0)], 0.5),
+            "t1.si": hotspot_power_map(nx, ny, 5e-3, 5e-3, [], 0.4),
+        }
+        field = steady_state(grid, power)
+
+        die = sample_dies(tech, 1, seed=7)[0]
+        # Sensor placed outside the keep-out zone but in the hot region.
+        site = (2.2e-3 - 30e-6, 2.2e-3)
+        stress = StressModel()
+        stress_n, stress_p = stress.effective_vt_shifts_at(*site, tsvs)
+
+        true_k = field.at("t0.si", *site)
+        base_env = environment_for_die(die, site, true_k, tech.vdd)
+        env = base_env.__class__(
+            temp_k=base_env.temp_k,
+            vdd=base_env.vdd,
+            dvtn=base_env.dvtn + stress_n,
+            dvtp=base_env.dvtp + stress_p,
+            mun_scale=base_env.mun_scale,
+            mup_scale=base_env.mup_scale,
+        )
+        sensor = PTSensor(
+            tech, config=setup.config, die=die, location=site,
+            sensing_model=setup.model, lut=setup.lut,
+        )
+        reading = sensor.read_environment(env)
+        assert reading.temperature_c == pytest.approx(
+            kelvin_to_celsius(true_k), abs=1.5
+        )
+
+
+class TestDvfsMonitoringScenario:
+    """Tracking-mode monitoring across DVFS transitions with known setpoints."""
+
+    def test_tracking_across_rails(self, setup):
+        die = sample_dies(setup.technology, 1, seed=9)[0]
+        sensor = PTSensor(
+            setup.technology, config=setup.config, die=die,
+            sensing_model=setup.model, lut=setup.lut,
+        )
+        for rail in (1.2, 1.1, 1.2):
+            reading = sensor.read(70.0, vdd=rail, assume_vdd=rail)
+            assert reading.temperature_c == pytest.approx(70.0, abs=1.2)
+
+
+class TestDegradedNetworkScenario:
+    """The monitor keeps reporting through a dead tier and a noisy bus."""
+
+    def test_monitoring_through_failures(self, setup):
+        tech = setup.technology
+        dies = sample_dies(tech, 4, seed=31)
+        sensors = {
+            tier: PTSensor(
+                tech, config=setup.config, die=die, die_id=tier,
+                sensing_model=setup.model, lut=setup.lut,
+            )
+            for tier, die in enumerate(dies)
+        }
+        bus = TsvSensorBus(tiers=4, bit_error_rate=5e-3, stuck_tiers={1})
+        monitor = StackMonitor(
+            sensors, bus, retry_limit=3, rng=np.random.default_rng(12)
+        )
+        temps = {0: 72.0, 1: 60.0, 2: 55.0, 3: 50.0}
+        last = None
+        for _ in range(6):
+            last = monitor.poll(temps)
+        # Tier 1 is dead; all other tiers keep reporting accurately.
+        assert 1 in last.dead_tiers
+        for tier in (0, 2, 3):
+            assert monitor.states[tier].temperature_c == pytest.approx(
+                temps[tier], abs=1.5
+            )
+        assert last.hottest_tier == 0
+
+
+class TestSupplyAwareStackScenario:
+    """Four-ring estimation survives a per-tier IR-drop gradient."""
+
+    def test_ir_drop_gradient(self, setup):
+        tech = setup.technology
+        dies = sample_dies(tech, 3, seed=44)
+        engine = SupplyAwareEngine(setup.model, lut=setup.lut)
+        # Deeper tiers see more IR drop on the shared rail.
+        for tier, (die, drop) in enumerate(zip(dies, (0.00, 0.03, 0.06))):
+            vdd = tech.vdd * (1.0 - drop)
+            bank = build_oscillator_bank(
+                tech, die=die, psro_stages=setup.config.psro_stages,
+                tsro_stages=setup.config.tsro_stages,
+            )
+            env = environment_for_die(die, (2.5e-3, 2.5e-3), celsius_to_kelvin(80.0), vdd)
+            freqs = bank.frequencies(env)
+            state = engine.run_or_fallback(
+                freqs.psro_n, freqs.psro_p, freqs.tsro, freqs.reference
+            )
+            assert kelvin_to_celsius(state.temp_k) == pytest.approx(80.0, abs=1.5)
+            assert state.vdd == pytest.approx(vdd, abs=0.015)

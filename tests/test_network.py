@@ -1,0 +1,174 @@
+"""Tests for the stack-level sensor network: aggregator, DTM, scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensing_model import SensingModel
+from repro.core.sensor import PTSensor
+from repro.device.technology import nominal_65nm
+from repro.network.aggregator import (
+    DEAD_AFTER_CONSECUTIVE_MISSES,
+    StackMonitor,
+)
+from repro.network.dtm import DtmPolicy
+from repro.network.scheduler import AdaptiveSampler
+from repro.tsv.bus import TsvSensorBus
+from repro.variation.montecarlo import sample_dies
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return nominal_65nm()
+
+
+@pytest.fixture(scope="module")
+def model(tech):
+    return SensingModel(tech)
+
+
+def make_sensors(tech, model, count=4, seed=101):
+    dies = sample_dies(tech, count, seed=seed)
+    return {
+        tier: PTSensor(tech, die=die, die_id=tier, sensing_model=model)
+        for tier, die in enumerate(dies)
+    }
+
+
+class TestStackMonitor:
+    def test_clean_poll(self, tech, model):
+        sensors = make_sensors(tech, model)
+        monitor = StackMonitor(sensors, TsvSensorBus(tiers=4))
+        snap = monitor.poll({0: 60.0, 1: 55.0, 2: 50.0, 3: 45.0})
+        assert sorted(snap.temperatures_c) == [0, 1, 2, 3]
+        assert snap.hottest_tier == 0
+        assert not snap.warnings and not snap.emergencies
+        assert snap.retries_used == 0
+
+    def test_readings_track_truth(self, tech, model):
+        sensors = make_sensors(tech, model)
+        monitor = StackMonitor(sensors, TsvSensorBus(tiers=4))
+        snap = monitor.poll({t: 70.0 + 5.0 * t for t in range(4)})
+        for tier, reading in snap.temperatures_c.items():
+            assert reading == pytest.approx(70.0 + 5.0 * tier, abs=1.5)
+
+    def test_warning_and_emergency_classification(self, tech, model):
+        sensors = make_sensors(tech, model)
+        monitor = StackMonitor(
+            sensors, TsvSensorBus(tiers=4), warning_c=90.0, emergency_c=110.0
+        )
+        snap = monitor.poll({0: 115.0, 1: 95.0, 2: 60.0, 3: 60.0})
+        assert snap.emergencies == [0]
+        assert snap.warnings == [1]
+
+    def test_stuck_tier_declared_dead_after_misses(self, tech, model):
+        sensors = make_sensors(tech, model)
+        monitor = StackMonitor(sensors, TsvSensorBus(tiers=4, stuck_tiers={2}))
+        temps = {t: 50.0 for t in range(4)}
+        for round_index in range(DEAD_AFTER_CONSECUTIVE_MISSES):
+            snap = monitor.poll(temps)
+        assert snap.dead_tiers == [2]
+        # Dead tiers are no longer polled; others keep reporting.
+        snap = monitor.poll(temps)
+        assert 2 not in snap.temperatures_c
+        assert len(snap.temperatures_c) == 3
+
+    def test_parity_errors_retried(self, tech, model):
+        sensors = make_sensors(tech, model)
+        bus = TsvSensorBus(tiers=4, bit_error_rate=0.02)
+        monitor = StackMonitor(
+            sensors, bus, retry_limit=4, rng=np.random.default_rng(5)
+        )
+        total_retries = 0
+        for _ in range(10):
+            snap = monitor.poll({t: 60.0 for t in range(4)})
+            total_retries += snap.retries_used
+        assert total_retries > 0  # corruption happened and was retried
+        # With 4 retries at 2 % BER, everyone eventually reports.
+        assert monitor.states[3].temperature_c is not None
+
+    def test_process_map(self, tech, model):
+        sensors = make_sensors(tech, model)
+        monitor = StackMonitor(sensors, TsvSensorBus(tiers=4))
+        monitor.poll({t: 50.0 for t in range(4)})
+        pmap = monitor.process_map()
+        assert len(pmap) == 4
+        for tier, (dvtn, dvtp) in pmap.items():
+            truth_n, truth_p = sensors[tier].true_process_shifts()
+            assert dvtn == pytest.approx(truth_n, abs=3.5e-3)
+            assert dvtp == pytest.approx(truth_p, abs=3.5e-3)
+
+    def test_threshold_validation(self, tech, model):
+        sensors = make_sensors(tech, model)
+        with pytest.raises(ValueError):
+            StackMonitor(sensors, TsvSensorBus(tiers=4), warning_c=110.0, emergency_c=100.0)
+
+
+class TestDtmPolicy:
+    def test_throttle_reduces_power(self):
+        policy = DtmPolicy()
+        assert policy.update(1.0, 90.0) == pytest.approx(policy.decrease_factor)
+
+    def test_recovery_below_release(self):
+        policy = DtmPolicy()
+        assert policy.update(0.5, 70.0) == pytest.approx(0.55)
+
+    def test_hysteresis_band_holds(self):
+        policy = DtmPolicy(throttle_c=85.0, release_c=78.0)
+        assert policy.update(0.6, 80.0) == pytest.approx(0.6)
+
+    def test_floor_respected(self):
+        policy = DtmPolicy(floor=0.3)
+        scale = 0.31
+        for _ in range(10):
+            scale = policy.update(scale, 120.0)
+        assert scale == pytest.approx(0.3)
+
+    def test_full_power_cap(self):
+        policy = DtmPolicy()
+        assert policy.update(0.99, 60.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DtmPolicy(throttle_c=80.0, release_c=85.0)
+        with pytest.raises(ValueError):
+            DtmPolicy(decrease_factor=1.5)
+
+
+class TestAdaptiveSampler:
+    def test_first_sample_cautious(self):
+        sampler = AdaptiveSampler()
+        assert sampler.next_interval(0.0, 50.0) == sampler.min_interval_s
+
+    def test_fast_slew_fast_sampling(self):
+        sampler = AdaptiveSampler(resolution_margin_c=1.0)
+        sampler.next_interval(0.0, 50.0)
+        fast = sampler.next_interval(0.001, 55.0)  # 5000 degC/s
+        assert fast == pytest.approx(max(1.0 / 5000.0, sampler.min_interval_s))
+
+    def test_idle_falls_to_floor_rate(self):
+        sampler = AdaptiveSampler()
+        sampler.next_interval(0.0, 50.0)
+        assert sampler.next_interval(0.01, 50.0) == sampler.max_interval_s
+
+    def test_clamped_to_bounds(self):
+        sampler = AdaptiveSampler(min_interval_s=1e-3, max_interval_s=1e-1)
+        sampler.next_interval(0.0, 50.0)
+        assert 1e-3 <= sampler.next_interval(0.001, 80.0) <= 1e-1
+
+    def test_time_must_increase(self):
+        sampler = AdaptiveSampler()
+        sampler.next_interval(1.0, 50.0)
+        with pytest.raises(ValueError):
+            sampler.next_interval(0.5, 51.0)
+
+    def test_reset(self):
+        sampler = AdaptiveSampler()
+        sampler.next_interval(0.0, 50.0)
+        sampler.reset()
+        assert sampler.next_interval(1.0, 60.0) == sampler.min_interval_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSampler(resolution_margin_c=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveSampler(min_interval_s=1.0, max_interval_s=0.5)

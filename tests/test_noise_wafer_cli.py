@@ -1,0 +1,144 @@
+"""Tests for the jitter model, wafer-level variation and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.noise import JitterModel, averaged_sigma
+from repro.device.technology import nominal_65nm
+from repro.variation.wafer import (
+    WaferModel,
+    fit_radial_signature,
+    sample_wafer,
+)
+from repro.__main__ import main as cli_main
+
+
+class TestJitterModel:
+    def test_disabled_by_default(self):
+        model = JitterModel()
+        assert model.frequency_sigma(1e9, 1e-6) == 0.0
+        assert model.apply(1e9, 1e-6, np.random.default_rng(0)) == 1e9
+
+    def test_sigma_scaling(self):
+        model = JitterModel(kappa=1e-3)
+        short = model.frequency_sigma(1e9, 0.5e-6)
+        long = model.frequency_sigma(1e9, 2.0e-6)
+        assert short == pytest.approx(2.0 * long)  # sqrt(4x window) = 2x
+
+    def test_relative_sigma_is_kappa_over_sqrt_counts(self):
+        model = JitterModel(kappa=1e-3)
+        frequency, window = 1e9, 1e-6  # 1000 periods
+        sigma = model.frequency_sigma(frequency, window)
+        assert sigma / frequency == pytest.approx(1e-3 / np.sqrt(1000.0))
+
+    def test_apply_statistics(self):
+        model = JitterModel(kappa=1e-2)
+        rng = np.random.default_rng(1)
+        samples = [model.apply(1e8, 1e-6, rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(1e8, rel=1e-3)
+        assert np.std(samples) == pytest.approx(
+            model.frequency_sigma(1e8, 1e-6), rel=0.1
+        )
+
+    def test_deterministic_mode(self):
+        model = JitterModel(kappa=1e-2)
+        assert model.apply(1e8, 1e-6, None) == 1e8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JitterModel(kappa=-1.0)
+        with pytest.raises(ValueError):
+            JitterModel().frequency_sigma(0.0, 1e-6)
+
+    def test_averaging_law(self):
+        assert averaged_sigma(1.0, 16) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            averaged_sigma(1.0, 0)
+
+
+class TestWafer:
+    @pytest.fixture(scope="class")
+    def tech(self):
+        return nominal_65nm()
+
+    def test_circular_mask(self, tech):
+        wafer = sample_wafer(tech, grid_diameter=9, seed=1)
+        assert len(wafer) < 81  # corners cut
+        assert all(die.radius_fraction <= 1.0 for die in wafer)
+
+    def test_reproducible(self, tech):
+        a = sample_wafer(tech, grid_diameter=7, seed=2)
+        b = sample_wafer(tech, grid_diameter=7, seed=2)
+        assert [d.die.corner.dvtn for d in a] == [d.die.corner.dvtn for d in b]
+
+    def test_edge_dies_slower_on_average(self, tech):
+        wafer = sample_wafer(tech, grid_diameter=15, seed=3)
+        centre = [d.die.corner.dvtn for d in wafer if d.radius_fraction < 0.3]
+        edge = [d.die.corner.dvtn for d in wafer if d.radius_fraction > 0.8]
+        assert np.mean(edge) > np.mean(centre)
+
+    def test_systematic_is_quadratic(self):
+        model = WaferModel(bowl_dvtn=0.02, bowl_dvtp=0.02)
+        half = model.systematic(0.5)[0]
+        full = model.systematic(1.0)[0]
+        assert full == pytest.approx(4.0 * half)
+
+    def test_fit_recovers_signature_from_truth(self, tech):
+        model = WaferModel()
+        wafer = sample_wafer(tech, grid_diameter=15, seed=4, model=model)
+        readings = {
+            (d.row, d.col): d.die.corner.dvtn for d in wafer
+        }
+        offset, bowl = fit_radial_signature(readings, 15)
+        assert bowl == pytest.approx(model.bowl_dvtn, abs=0.004)
+        assert offset == pytest.approx(0.0, abs=0.004)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_radial_signature({(0, 0): 0.0}, 7)
+
+    def test_systematic_validation(self):
+        with pytest.raises(ValueError):
+            WaferModel().systematic(1.5)
+
+    def test_grid_validation(self, tech):
+        with pytest.raises(ValueError):
+            sample_wafer(tech, grid_diameter=2)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "R-F1" in out and "R-T2" in out and "R-E4" in out
+
+    def test_run_fast(self, capsys):
+        assert cli_main(["run", "R-F2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity matrix" in out
+
+    def test_run_unknown(self, capsys):
+        assert cli_main(["run", "R-XX"]) == 2
+
+    def test_run_multiple(self, capsys):
+        assert cli_main(["run", "R-F1", "R-F2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "### R-F1" in out and "### R-F2" in out
+
+
+class TestCliReport:
+    def test_report_command_writes_files(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        # Keep the CLI test fast: run only two experiments.
+        subset = {k: ALL_EXPERIMENTS[k] for k in ("R-F1", "R-F2")}
+        monkeypatch.setattr("repro.experiments.runner.ALL_EXPERIMENTS", subset)
+        report = tmp_path / "r.md"
+        archive = tmp_path / "r.json"
+        code = cli_main(
+            ["report", "--fast", "--output", str(report), "--json", str(archive)]
+        )
+        assert code == 0
+        assert "all ok" in capsys.readouterr().out
+        assert "## R-F1 (ok" in report.read_text()
+        assert archive.exists()

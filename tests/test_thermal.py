@@ -1,0 +1,215 @@
+"""Tests for the 3-D stack thermal substrate."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.grid import ThermalLayer, build_stack_grid
+from repro.thermal.materials import (
+    BEOL,
+    BONDING,
+    COPPER,
+    SILICON,
+    Material,
+    tsv_effective_conductivity,
+)
+from repro.thermal.power import (
+    checkerboard_power_map,
+    hotspot_power_map,
+    uniform_power_map,
+)
+from repro.thermal.solver import steady_state, thermal_time_constant, transient
+
+
+def simple_stack(nx=10, ny=10, top_htc=8.7e3, bottom_htc=250.0):
+    layers = [
+        ThermalLayer("die.si", 100e-6, SILICON, heat_source=True),
+        ThermalLayer("die.beol", 8e-6, BEOL),
+        ThermalLayer("spreader", 500e-6, COPPER),
+    ]
+    return build_stack_grid(
+        layers, 5e-3, 5e-3, nx=nx, ny=ny, top_htc=top_htc, bottom_htc=bottom_htc
+    )
+
+
+class TestMaterials:
+    def test_properties_positive(self):
+        with pytest.raises(ValueError):
+            Material("bad", conductivity=-1.0, volumetric_heat_capacity=1.0)
+
+    def test_tsv_mix_bounds(self):
+        k0 = tsv_effective_conductivity(BONDING, 0.0)
+        k1 = tsv_effective_conductivity(BONDING, 1.0)
+        assert k0 == pytest.approx(BONDING.conductivity)
+        assert k1 == pytest.approx(COPPER.conductivity)
+
+    def test_tsv_mix_monotone(self):
+        ks = [tsv_effective_conductivity(SILICON, f) for f in (0.0, 0.1, 0.3, 0.6)]
+        assert ks == sorted(ks)
+
+    def test_tsv_fraction_validated(self):
+        with pytest.raises(ValueError):
+            tsv_effective_conductivity(SILICON, 1.5)
+
+
+class TestGridAssembly:
+    def test_rejects_duplicate_layer_names(self):
+        layers = [
+            ThermalLayer("a", 1e-4, SILICON, heat_source=True),
+            ThermalLayer("a", 1e-4, SILICON),
+        ]
+        with pytest.raises(ValueError):
+            build_stack_grid(layers, 5e-3, 5e-3)
+
+    def test_rejects_empty_stack(self):
+        with pytest.raises(ValueError):
+            build_stack_grid([], 5e-3, 5e-3)
+
+    def test_layer_lookup(self):
+        grid = simple_stack()
+        assert grid.layer_index("die.si") == 0
+        with pytest.raises(KeyError, match="known layers"):
+            grid.layer_index("nope")
+
+    def test_heat_vector_validates_layer(self):
+        grid = simple_stack()
+        with pytest.raises(ValueError, match="not a heat-source"):
+            grid.heat_vector({"spreader": uniform_power_map(10, 10, 1.0)})
+
+    def test_heat_vector_validates_shape(self):
+        grid = simple_stack()
+        with pytest.raises(ValueError, match="shape"):
+            grid.heat_vector({"die.si": uniform_power_map(5, 5, 1.0)})
+
+    def test_heat_vector_rejects_negative_power(self):
+        grid = simple_stack()
+        pmap = uniform_power_map(10, 10, 1.0)
+        pmap[0, 0] = -0.1
+        with pytest.raises(ValueError):
+            grid.heat_vector({"die.si": pmap})
+
+    def test_conductance_matrix_symmetric(self):
+        grid = simple_stack(nx=6, ny=6)
+        asymmetry = (grid.conductance - grid.conductance.T).toarray()
+        assert np.max(np.abs(asymmetry)) < 1e-12
+
+
+class TestSteadyState:
+    def test_no_power_sits_at_ambient(self):
+        grid = simple_stack()
+        field = steady_state(grid, {})
+        np.testing.assert_allclose(field.values, grid.ambient_k, rtol=1e-9)
+
+    def test_power_heats_above_ambient(self):
+        grid = simple_stack()
+        field = steady_state(grid, {"die.si": uniform_power_map(10, 10, 1.0)})
+        assert np.all(field.values > grid.ambient_k)
+
+    def test_energy_conservation(self):
+        """Heat leaving through the boundaries equals heat injected."""
+        grid = simple_stack()
+        power = 2.5
+        field = steady_state(grid, {"die.si": uniform_power_map(10, 10, power)})
+        temps = field.values.ravel()
+        boundary_g = grid.ambient_rhs / grid.ambient_k  # per-cell G to ambient
+        heat_out = float(np.sum(boundary_g * (temps - grid.ambient_k)))
+        assert heat_out == pytest.approx(power, rel=1e-6)
+
+    def test_linear_in_power(self):
+        grid = simple_stack()
+        one = steady_state(grid, {"die.si": uniform_power_map(10, 10, 1.0)})
+        two = steady_state(grid, {"die.si": uniform_power_map(10, 10, 2.0)})
+        rise_one = one.values - grid.ambient_k
+        rise_two = two.values - grid.ambient_k
+        np.testing.assert_allclose(rise_two, 2.0 * rise_one, rtol=1e-9)
+
+    def test_hotspot_is_local_maximum(self):
+        grid = simple_stack(nx=20, ny=20)
+        pmap = hotspot_power_map(
+            20, 20, 5e-3, 5e-3, [(1e-3, 1e-3, 0.5e-3, 0.5e-3, 2.0)]
+        )
+        field = steady_state(grid, {"die.si": pmap})
+        plane = field.layer("die.si")
+        hot_iy, hot_ix = np.unravel_index(np.argmax(plane), plane.shape)
+        # The hotspot rectangle spans cells ~4-6 in both axes.
+        assert 3 <= hot_ix <= 7
+        assert 3 <= hot_iy <= 7
+
+    def test_weak_sink_runs_hotter(self):
+        strong = simple_stack(top_htc=10e3)
+        weak = simple_stack(top_htc=1e3)
+        power = {"die.si": uniform_power_map(10, 10, 1.0)}
+        assert steady_state(weak, power).peak("die.si") > steady_state(
+            strong, power
+        ).peak("die.si")
+
+    def test_field_bilinear_sampling(self):
+        grid = simple_stack()
+        field = steady_state(grid, {"die.si": uniform_power_map(10, 10, 1.0)})
+        center = field.at("die.si", 2.5e-3, 2.5e-3)
+        plane = field.layer("die.si")
+        assert plane.min() <= center <= plane.max()
+
+    def test_grid_refinement_converges(self):
+        """Peak temperature must converge as the mesh refines."""
+        power_total = 1.5
+        peaks = []
+        for n in (8, 16, 32):
+            grid = simple_stack(nx=n, ny=n)
+            field = steady_state(grid, {"die.si": uniform_power_map(n, n, power_total)})
+            peaks.append(field.peak("die.si"))
+        assert abs(peaks[2] - peaks[1]) < abs(peaks[1] - peaks[0]) + 1e-6
+        assert abs(peaks[2] - peaks[1]) / peaks[2] < 0.01
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self):
+        grid = simple_stack(nx=6, ny=6)
+        power = {"die.si": uniform_power_map(6, 6, 1.0)}
+        steady = steady_state(grid, power)
+        tau = thermal_time_constant(grid)
+        fields = transient(grid, lambda t: power, dt=tau / 4.0, steps=60)
+        np.testing.assert_allclose(
+            fields[-1].values, steady.values, rtol=1e-3
+        )
+
+    def test_monotone_heating_from_ambient(self):
+        grid = simple_stack(nx=6, ny=6)
+        power = {"die.si": uniform_power_map(6, 6, 1.0)}
+        fields = transient(grid, lambda t: power, dt=1e-3, steps=10)
+        peaks = [f.peak("die.si") for f in fields]
+        assert peaks == sorted(peaks)
+
+    def test_cooling_after_power_off(self):
+        grid = simple_stack(nx=6, ny=6)
+        power = {"die.si": uniform_power_map(6, 6, 2.0)}
+        hot = steady_state(grid, power)
+        fields = transient(grid, lambda t: {}, dt=1e-3, steps=10, initial=hot)
+        peaks = [f.peak("die.si") for f in fields]
+        assert peaks == sorted(peaks, reverse=True)
+
+    def test_rejects_bad_dt(self):
+        grid = simple_stack(nx=4, ny=4)
+        with pytest.raises(ValueError):
+            transient(grid, lambda t: {}, dt=0.0, steps=1)
+
+
+class TestPowerMaps:
+    def test_uniform_total(self):
+        pmap = uniform_power_map(8, 8, 3.2)
+        assert np.sum(pmap) == pytest.approx(3.2)
+
+    def test_hotspot_total(self):
+        pmap = hotspot_power_map(
+            16, 16, 5e-3, 5e-3, [(1e-3, 1e-3, 1e-3, 1e-3, 2.0)], background_watts=1.0
+        )
+        assert np.sum(pmap) == pytest.approx(3.0)
+
+    def test_checkerboard_total_and_contrast(self):
+        pmap = checkerboard_power_map(8, 8, 4.0, blocks=4)
+        assert np.sum(pmap) == pytest.approx(4.0)
+        assert np.min(pmap) == 0.0
+        assert np.max(pmap) > 0.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_power_map(4, 4, -1.0)

@@ -1,0 +1,232 @@
+"""Tests for the TSV substrate: geometry, stress, keep-out, bus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.readout.interface import SensorFrame, encode_frame
+from repro.thermal.grid import build_stack_grid
+from repro.thermal.power import uniform_power_map
+from repro.thermal.solver import steady_state
+from repro.tsv.bus import TsvSensorBus
+from repro.tsv.geometry import (
+    StackDescriptor,
+    TierSpec,
+    TsvSite,
+    regular_tsv_array,
+)
+from repro.tsv.keepout import (
+    keep_out_radius,
+    minimum_clear_distance,
+    placement_is_clear,
+)
+from repro.tsv.stress import StressModel
+
+
+class TestGeometry:
+    def test_regular_array_count_and_pitch(self):
+        sites = regular_tsv_array(3, 4, pitch=50e-6, origin=(1e-3, 1e-3))
+        assert len(sites) == 12
+        assert sites[1].x - sites[0].x == pytest.approx(50e-6)
+
+    def test_rejects_bad_array(self):
+        with pytest.raises(ValueError):
+            regular_tsv_array(0, 4, pitch=50e-6)
+
+    def test_stack_requires_unique_tier_names(self):
+        with pytest.raises(ValueError):
+            StackDescriptor(tiers=[TierSpec("a"), TierSpec("a")])
+
+    def test_thermal_layers_structure(self):
+        stack = StackDescriptor(tiers=[TierSpec("t0"), TierSpec("t1")])
+        layers = stack.thermal_layers(8, 8)
+        names = [layer.name for layer in layers]
+        assert names == ["t0.si", "t0.beol", "bond0", "t1.si", "t1.beol", "spreader"]
+        assert layers[0].heat_source and layers[3].heat_source
+
+    def test_tsv_fill_map_fraction(self):
+        stack = StackDescriptor(
+            tiers=[TierSpec("t0")],
+            tsv_sites=regular_tsv_array(2, 2, pitch=1e-3, origin=(1e-3, 1e-3)),
+        )
+        fill = stack.tsv_fill_map(10, 10)
+        assert fill.max() > 0.0
+        assert fill.min() == 0.0
+        assert np.all(fill <= 0.6)
+
+    def test_tsvs_boost_vertical_conductivity(self):
+        tsvs = regular_tsv_array(6, 6, pitch=100e-6, origin=(2.2e-3, 2.2e-3), radius=15e-6)
+        with_tsv = StackDescriptor(tiers=[TierSpec("t0"), TierSpec("t1")], tsv_sites=tsvs)
+        without = StackDescriptor(tiers=[TierSpec("t0"), TierSpec("t1")])
+        kz = with_tsv.thermal_layers(12, 12)[2].kz_scale  # bond layer
+        assert kz is not None and kz.max() > 2.0
+        assert without.thermal_layers(12, 12)[2].kz_scale is None
+
+    def test_tsv_array_cools_the_bottom_tier(self):
+        """The thermal-via effect must be visible in the solved field."""
+        tsvs = regular_tsv_array(10, 10, pitch=150e-6, origin=(1.8e-3, 1.8e-3), radius=20e-6)
+        power = None
+        peaks = {}
+        for label, sites in (("with", tsvs), ("without", [])):
+            stack = StackDescriptor(
+                tiers=[TierSpec("t0"), TierSpec("t1")], tsv_sites=sites
+            )
+            nx = ny = 14
+            grid = build_stack_grid(
+                stack.thermal_layers(nx, ny), 5e-3, 5e-3, nx=nx, ny=ny
+            )
+            power = {"t0.si": uniform_power_map(nx, ny, 2.0)}
+            peaks[label] = steady_state(grid, power).peak("t0.si")
+        assert peaks["with"] < peaks["without"]
+
+
+class TestStress:
+    @pytest.fixture
+    def model(self):
+        return StressModel()
+
+    @pytest.fixture
+    def via(self):
+        return TsvSite(x=1e-3, y=1e-3, radius=5e-6)
+
+    def test_wall_stress_is_sigma_edge(self, model, via):
+        assert model.radial_stress(via.radius, via) == pytest.approx(
+            model.sigma_edge_pa
+        )
+
+    def test_inside_wall_clamped(self, model, via):
+        assert model.radial_stress(0.0, via) == pytest.approx(model.sigma_edge_pa)
+
+    def test_inverse_square_decay(self, model, via):
+        near = model.radial_stress(10e-6, via)
+        far = model.radial_stress(20e-6, via)
+        assert near / far == pytest.approx(4.0)
+
+    def test_shift_signs(self, model, via):
+        dvtn, dvtp = model.vt_shifts_at(via.x + 8e-6, via.y, [via])
+        assert dvtn < 0.0  # NMOS threshold drops
+        assert dvtp > 0.0  # PMOS threshold magnitude rises
+
+    def test_mobility_signs(self, model, via):
+        dmun, dmup = model.mobility_shifts_at(via.x + 8e-6, via.y, [via])
+        assert dmun > 0.0  # electrons gain
+        assert dmup < 0.0  # holes lose
+
+    def test_superposition(self, model):
+        a = TsvSite(1e-3, 1e-3)
+        b = TsvSite(1.05e-3, 1e-3)
+        x, y = 1.025e-3, 1e-3
+        single_a = model.vt_shifts_at(x, y, [a])[0]
+        single_b = model.vt_shifts_at(x, y, [b])[0]
+        both = model.vt_shifts_at(x, y, [a, b])[0]
+        assert both == pytest.approx(single_a + single_b)
+
+    def test_effective_shift_includes_mobility(self, model, via):
+        pure_vt = model.vt_shifts_at(via.x + 8e-6, via.y, [via])
+        effective = model.effective_vt_shifts_at(via.x + 8e-6, via.y, [via])
+        assert effective != pure_vt
+
+    @settings(max_examples=25, deadline=None)
+    @given(distance=st.floats(min_value=1e-6, max_value=1e-3))
+    def test_stress_nonnegative_and_bounded(self, distance):
+        model = StressModel()
+        via = TsvSite(0.0, 0.0)
+        sigma = model.radial_stress(distance, via)
+        assert 0.0 <= sigma <= model.sigma_edge_pa
+
+
+class TestKeepOut:
+    def test_koz_larger_for_tighter_tolerance(self):
+        model = StressModel()
+        via = TsvSite(0.0, 0.0)
+        assert keep_out_radius(model, via, 0.01) > keep_out_radius(model, via, 0.05)
+
+    def test_koz_never_smaller_than_via(self):
+        model = StressModel()
+        via = TsvSite(0.0, 0.0, radius=5e-6)
+        assert keep_out_radius(model, via, mobility_tolerance=10.0) >= via.radius
+
+    def test_koz_micrometre_class(self):
+        """Published TSV KOZ values at 5% are single-digit to tens of um."""
+        model = StressModel()
+        via = TsvSite(0.0, 0.0, radius=5e-6)
+        radius = keep_out_radius(model, via, 0.05)
+        assert 3e-6 < radius < 50e-6
+
+    def test_placement_check(self):
+        model = StressModel()
+        sites = [TsvSite(0.0, 0.0)]
+        koz = keep_out_radius(model, sites[0], 0.05)
+        assert not placement_is_clear(model, koz * 0.5, 0.0, sites)
+        assert placement_is_clear(model, koz * 2.0, 0.0, sites)
+
+    def test_minimum_clear_distance(self):
+        model = StressModel()
+        sites = regular_tsv_array(2, 2, pitch=100e-6)
+        assert minimum_clear_distance(model, sites) == keep_out_radius(
+            model, sites[0], 0.05
+        )
+        assert minimum_clear_distance(model, []) == 0.0
+
+
+class TestBus:
+    def frames(self, tiers):
+        return {
+            t: encode_frame(
+                SensorFrame(
+                    die_id=t, vtn_shift=0.001 * t, vtp_shift=-0.001, temperature_c=50.0 + t
+                )
+            )
+            for t in range(tiers)
+        }
+
+    def test_clean_collection(self):
+        bus = TsvSensorBus(tiers=4)
+        report = bus.collect(self.frames(4))
+        assert report.healthy
+        assert sorted(report.frames) == [0, 1, 2, 3]
+        assert report.frames[2].temperature_c == pytest.approx(52.0, abs=0.51)
+
+    def test_stuck_tier_reported_missing(self):
+        bus = TsvSensorBus(tiers=4, stuck_tiers={1})
+        report = bus.collect(self.frames(4))
+        assert not report.healthy
+        assert report.missing == [1]
+        assert 1 not in report.frames
+
+    def test_absent_frame_reported_missing(self):
+        bus = TsvSensorBus(tiers=4)
+        frames = self.frames(4)
+        del frames[3]
+        report = bus.collect(frames)
+        assert report.missing == [3]
+
+    def test_bit_errors_caught_by_parity(self):
+        bus = TsvSensorBus(tiers=8, bit_error_rate=5e-3)
+        rng = np.random.default_rng(3)
+        corrupted = 0
+        for _ in range(60):
+            report = bus.collect(self.frames(8), rng=rng)
+            corrupted += len(report.parity_errors)
+        assert corrupted > 0  # errors occurred and were caught
+
+    def test_tier0_never_corrupted(self):
+        """Tier 0 sits at the aggregator: zero hops, zero corruption."""
+        bus = TsvSensorBus(tiers=4, bit_error_rate=0.4)
+        rng = np.random.default_rng(4)
+        for _ in range(25):
+            report = bus.collect(self.frames(4), rng=rng)
+            assert 0 in report.frames
+
+    def test_no_rng_disables_corruption(self):
+        bus = TsvSensorBus(tiers=4, bit_error_rate=0.5)
+        report = bus.collect(self.frames(4), rng=None)
+        assert report.healthy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TsvSensorBus(tiers=0)
+        with pytest.raises(ValueError):
+            TsvSensorBus(tiers=2, bit_error_rate=1.5)
+        with pytest.raises(ValueError):
+            TsvSensorBus(tiers=2, stuck_tiers={5})

@@ -1,0 +1,67 @@
+"""Tests for physical constants and unit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestTemperatureConversion:
+    def test_zero_celsius(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_room_temperature(self):
+        assert units.kelvin_to_celsius(300.0) == pytest.approx(26.85)
+
+    def test_round_trip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(65.0)) == pytest.approx(65.0)
+
+    def test_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            units.celsius_to_kelvin(-300.0)
+
+    def test_nonpositive_kelvin_rejected(self):
+        with pytest.raises(ValueError):
+            units.kelvin_to_celsius(0.0)
+
+    @given(st.floats(min_value=-270.0, max_value=1000.0))
+    def test_round_trip_property(self, temp_c):
+        back = units.kelvin_to_celsius(units.celsius_to_kelvin(temp_c))
+        assert back == pytest.approx(temp_c, abs=1e-9)
+
+
+class TestThermalVoltage:
+    def test_value_at_300k(self):
+        # kT/q at 300 K is the canonical 25.85 mV.
+        assert units.thermal_voltage(300.0) == pytest.approx(0.025852, rel=1e-3)
+
+    def test_scales_linearly_with_temperature(self):
+        assert units.thermal_voltage(600.0) == pytest.approx(
+            2.0 * units.thermal_voltage(300.0)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(-1.0)
+
+
+class TestDb:
+    def test_10x_is_10db(self):
+        assert units.db(10.0) == pytest.approx(10.0)
+
+    def test_unity_is_zero(self):
+        assert units.db(1.0) == pytest.approx(0.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+
+
+def test_prefixes_are_consistent():
+    assert units.MILLI * units.KILO == pytest.approx(1.0)
+    assert units.MICRO * units.MEGA == pytest.approx(1.0)
+    assert units.NANO * units.GIGA == pytest.approx(1.0)
+    assert math.isclose(units.PICO, 1e-12)
+    assert math.isclose(units.FEMTO, 1e-15)

@@ -1,0 +1,174 @@
+"""Tests for the process-variation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.device.technology import nominal_65nm
+from repro.variation.corners import monte_carlo_corner, sample_global_shifts
+from repro.variation.mismatch import (
+    mismatch_sigma_vt,
+    sample_mismatch,
+    stage_average_mismatch,
+)
+from repro.variation.montecarlo import sample_dies
+from repro.variation.spatial import make_spatial_field
+
+
+@pytest.fixture
+def tech():
+    return nominal_65nm()
+
+
+class TestGlobalShifts:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        shifts = sample_global_shifts(rng, 50)
+        assert shifts.shape == (50, 2)
+
+    def test_sigma_matches_request(self):
+        rng = np.random.default_rng(1)
+        shifts = sample_global_shifts(rng, 20000, sigma_vtn=0.02, sigma_vtp=0.01)
+        assert np.std(shifts[:, 0]) == pytest.approx(0.02, rel=0.05)
+        assert np.std(shifts[:, 1]) == pytest.approx(0.01, rel=0.05)
+
+    def test_correlation_positive(self):
+        rng = np.random.default_rng(2)
+        shifts = sample_global_shifts(rng, 20000)
+        rho = np.corrcoef(shifts[:, 0], shifts[:, 1])[0, 1]
+        assert 0.4 < rho < 0.8
+
+    def test_rejects_bad_correlation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            sample_global_shifts(rng, 10, correlation=1.0)
+
+    def test_rejects_zero_count(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            sample_global_shifts(rng, 0)
+
+
+class TestMonteCarloCorner:
+    def test_fast_die_has_high_mobility(self):
+        corner = monte_carlo_corner(-0.02, -0.02)
+        assert corner.mun_scale > 1.0
+        assert corner.mup_scale > 1.0
+
+    def test_slow_die_has_low_mobility(self):
+        corner = monte_carlo_corner(0.02, 0.02)
+        assert corner.mun_scale < 1.0
+
+    def test_mobility_floor(self):
+        corner = monte_carlo_corner(1.0, 1.0)
+        assert corner.mun_scale == pytest.approx(0.5)
+
+
+class TestMismatch:
+    def test_pelgrom_scaling(self, tech):
+        small = mismatch_sigma_vt(tech.nmos, tech.avt_n)
+        big = mismatch_sigma_vt(
+            tech.nmos.scaled(width_scale=4.0), tech.avt_n
+        )
+        assert big == pytest.approx(small / 2.0)
+
+    def test_sigma_mv_class(self, tech):
+        sigma = mismatch_sigma_vt(tech.nmos, tech.avt_n)
+        assert 1e-3 < sigma < 30e-3
+
+    def test_sample_statistics(self, tech):
+        rng = np.random.default_rng(5)
+        sigma = mismatch_sigma_vt(tech.nmos, tech.avt_n)
+        samples = sample_mismatch(rng, tech.nmos, tech.avt_n, count=20000)
+        assert np.std(samples) == pytest.approx(sigma, rel=0.05)
+        assert abs(np.mean(samples)) < sigma / 10.0
+
+    def test_stage_averaging_shrinks_sigma(self, tech):
+        rng = np.random.default_rng(6)
+        averaged = [
+            stage_average_mismatch(rng, tech.nmos, tech.avt_n, stages=16)
+            for _ in range(2000)
+        ]
+        device_sigma = mismatch_sigma_vt(tech.nmos, tech.avt_n)
+        assert np.std(averaged) == pytest.approx(device_sigma / 4.0, rel=0.1)
+
+    def test_rejects_bad_avt(self, tech):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            sample_mismatch(rng, tech.nmos, 0.0)
+
+
+class TestSpatialField:
+    def test_sigma_matches_request(self):
+        rng = np.random.default_rng(8)
+        field = make_spatial_field(rng, sigma=0.004, gradient=0.0)
+        assert field.sigma == pytest.approx(0.004, rel=1e-6)
+
+    def test_gradient_tilts_field(self):
+        rng = np.random.default_rng(9)
+        field = make_spatial_field(rng, sigma=0.0, gradient=0.010)
+        corner_low = field.at(0.0, 0.0)
+        corner_high = field.at(field.die_width, field.die_height)
+        assert corner_high - corner_low == pytest.approx(0.010, rel=0.05)
+
+    def test_sampling_is_continuous(self):
+        rng = np.random.default_rng(10)
+        field = make_spatial_field(rng, sigma=0.005)
+        a = field.at(2.0e-3, 2.0e-3)
+        b = field.at(2.0e-3 + 1e-6, 2.0e-3)
+        assert abs(a - b) < 1e-4
+
+    def test_out_of_die_clamps(self):
+        rng = np.random.default_rng(11)
+        field = make_spatial_field(rng, sigma=0.005)
+        assert field.at(-1.0, -1.0) == pytest.approx(field.at(0.0, 0.0))
+
+    def test_correlation_length_smooths(self):
+        rng_short = np.random.default_rng(12)
+        rng_long = np.random.default_rng(12)
+        short = make_spatial_field(rng_short, correlation_length=0.2e-3, sigma=0.004)
+        long = make_spatial_field(rng_long, correlation_length=3.0e-3, sigma=0.004)
+
+        def roughness(field):
+            return float(np.mean(np.abs(np.diff(field.values, axis=0))))
+
+        assert roughness(short) > roughness(long)
+
+    @settings(max_examples=10, deadline=None)
+    @given(sigma=st.floats(min_value=0.0, max_value=0.02))
+    def test_any_sigma_is_reproduced(self, sigma):
+        rng = np.random.default_rng(13)
+        field = make_spatial_field(rng, sigma=sigma, gradient=0.0)
+        assert field.sigma == pytest.approx(sigma, abs=1e-9)
+
+
+class TestDiePopulation:
+    def test_reproducible(self, tech):
+        a = sample_dies(tech, 5, seed=99)
+        b = sample_dies(tech, 5, seed=99)
+        for die_a, die_b in zip(a, b):
+            assert die_a.corner.dvtn == die_b.corner.dvtn
+            assert die_a.mismatch_seed == die_b.mismatch_seed
+            np.testing.assert_array_equal(die_a.field_n.values, die_b.field_n.values)
+
+    def test_different_seeds_differ(self, tech):
+        a = sample_dies(tech, 3, seed=1)
+        b = sample_dies(tech, 3, seed=2)
+        assert a[0].corner.dvtn != b[0].corner.dvtn
+
+    def test_vt_shifts_combine_global_and_local(self, tech):
+        die = sample_dies(tech, 1, seed=3)[0]
+        dvtn, dvtp = die.vt_shifts_at(2.5e-3, 2.5e-3)
+        local_n = die.field_n.at(2.5e-3, 2.5e-3)
+        assert dvtn == pytest.approx(die.corner.dvtn + local_n)
+        assert dvtp == pytest.approx(die.corner.dvtp + die.field_p.at(2.5e-3, 2.5e-3))
+
+    def test_mismatch_rng_streams_independent(self, tech):
+        dies = sample_dies(tech, 2, seed=4)
+        a = dies[0].mismatch_rng().normal()
+        b = dies[1].mismatch_rng().normal()
+        assert a != b
+
+    def test_mismatch_rng_fresh_per_call(self, tech):
+        die = sample_dies(tech, 1, seed=5)[0]
+        assert die.mismatch_rng().normal() == die.mismatch_rng().normal()
