@@ -1,0 +1,98 @@
+"""Population-sweep benchmark: the batch engine vs the scalar loop.
+
+The acceptance workload for the batch engine is a 200-die x 9-temperature
+bank-frequency sweep — the inner kernel of every population experiment
+(R-F3/F4/E6).  ``test_batch_speedup_and_equivalence`` pins both halves of
+the contract at once: the batch path must be at least 10x faster than the
+scalar loop on the same workload, and numerically equivalent to rtol 1e-9.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.sweeps import temperature_axis
+from repro.batch import read_population, ring_frequency_batch
+from repro.batch.population import population_bank_frequencies, population_grid
+from repro.experiments.common import population_sensors, reference_setup
+from repro.units import ZERO_CELSIUS_IN_KELVIN, celsius_to_kelvin
+
+N_DIES = 200
+N_TEMPS = 9
+MIN_SPEEDUP = 10.0
+EQUIVALENCE_RTOL = 1e-9
+
+
+def _workload():
+    setup = reference_setup()
+    sensors = population_sensors(N_DIES)
+    temps_c = temperature_axis(
+        setup.config.temp_min_c, setup.config.temp_max_c, points=N_TEMPS
+    )
+    return sensors, temps_c
+
+
+def _scalar_sweep(sensors, temps_c):
+    out = np.empty((len(sensors), temps_c.size, 4))
+    for i, sensor in enumerate(sensors):
+        for j, temp_c in enumerate(temps_c):
+            env = sensor.physical_environment(celsius_to_kelvin(float(temp_c)))
+            f = sensor.bank.frequencies(env)
+            out[i, j] = (f.psro_n, f.psro_p, f.tsro, f.reference)
+    return out
+
+
+def _batch_sweep(sensors, temps_c):
+    reference = sensors[0]
+    grid = population_grid(
+        sensors, temps_c + ZERO_CELSIUS_IN_KELVIN, reference.technology.vdd
+    )
+    bank = population_bank_frequencies(sensors, grid)
+    ref_ring = ring_frequency_batch(
+        reference.bank.reference.stage,
+        reference.bank.reference.stages,
+        reference.technology,
+        grid,
+        vtn_offset=np.array([s.bank.reference.vtn_offset for s in sensors]).reshape(
+            -1, 1
+        ),
+        vtp_offset=np.array([s.bank.reference.vtp_offset for s in sensors]).reshape(
+            -1, 1
+        ),
+    )
+    return np.stack([bank.psro_n, bank.psro_p, bank.tsro, ref_ring], axis=-1)
+
+
+def test_bench_population_sweep_batch(benchmark):
+    sensors, temps_c = _workload()
+    frequencies = benchmark(_batch_sweep, sensors, temps_c)
+    assert frequencies.shape == (N_DIES, N_TEMPS, 4)
+    assert np.all(frequencies > 0.0)
+
+
+def test_bench_population_read_batch(benchmark):
+    sensors, temps_c = _workload()
+    readings = benchmark(read_population, sensors, temps_c, deterministic=True)
+    assert readings.converged.all()
+
+
+def test_batch_speedup_and_equivalence():
+    sensors, temps_c = _workload()
+
+    started = time.perf_counter()
+    scalar = _scalar_sweep(sensors, temps_c)
+    scalar_seconds = time.perf_counter() - started
+
+    batch_seconds = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        batch = _batch_sweep(sensors, temps_c)
+        batch_seconds = min(batch_seconds, time.perf_counter() - started)
+
+    np.testing.assert_allclose(batch, scalar, rtol=EQUIVALENCE_RTOL)
+    speedup = scalar_seconds / batch_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch sweep only {speedup:.1f}x faster than scalar "
+        f"({batch_seconds*1e3:.1f} ms vs {scalar_seconds*1e3:.1f} ms); "
+        f"need >= {MIN_SPEEDUP:.0f}x"
+    )

@@ -6,6 +6,8 @@ Usage::
     python -m repro run R-F4            # full workload
     python -m repro run R-T1 --fast     # smoke workload
     python -m repro run all --fast
+    python -m repro report --jobs 4     # full report, experiments in parallel
+    python -m repro bench --check       # performance regression gate
 """
 
 from __future__ import annotations
@@ -39,6 +41,38 @@ def _run(keys, fast: bool) -> int:
     return 0
 
 
+def _bench(args) -> int:
+    from repro import benchmark
+
+    baseline_path = args.baseline or benchmark.DEFAULT_BASELINE_PATH
+    if args.tolerance is not None and args.tolerance < 0.0:
+        print("--tolerance must be non-negative", file=sys.stderr)
+        return 2
+    results = benchmark.run_benchmarks()
+    print(benchmark.render_results(results))
+    if args.update:
+        benchmark.save_baseline(results, baseline_path)
+        print(f"wrote baseline {baseline_path}")
+    if args.check:
+        try:
+            baseline = benchmark.load_baseline(baseline_path)
+        except FileNotFoundError:
+            print(f"no baseline at {baseline_path}; run with --update first",
+                  file=sys.stderr)
+            return 2
+        tolerance = (
+            benchmark.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+        )
+        failures = benchmark.check_against_baseline(results, baseline, tolerance)
+        if failures:
+            print("benchmark regressions:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"benchmark check ok (tolerance +{tolerance:.0%})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -64,15 +98,48 @@ def main(argv=None) -> int:
     report_parser.add_argument(
         "--json", dest="json_path", default=None, help="also archive results as JSON"
     )
+    report_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run up to N experiments concurrently (default 1, serial)",
+    )
+    bench_parser = sub.add_parser(
+        "bench", help="run the performance benchmarks (see repro.benchmark)"
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when any benchmark regresses past the baseline tolerance",
+    )
+    bench_parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from this run"
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON path (default benchmarks/BENCH_baseline.json)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed slowdown vs baseline as a fraction (default 2.0 = 3x)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
         _list_experiments()
         return 0
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "report":
         from repro.experiments.runner import run_all, write_report
 
-        result = run_all(fast=args.fast)
+        if args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        result = run_all(fast=args.fast, jobs=args.jobs)
         write_report(result, args.output)
         if args.json_path:
             with open(args.json_path, "w", encoding="utf-8") as handle:

@@ -33,3 +33,28 @@ def sweep_temperature(
     estimates: List[float] = [read(float(t)) for t in temps_c]
     est = np.asarray(estimates)
     return est, est - np.asarray(temps_c, dtype=float)
+
+
+def population_temperature_sweep(
+    sensors: Sequence, temps_c: Sequence[float], **read_kwargs
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Temperature sweep of a whole sensor population via the batch engine.
+
+    One :func:`repro.batch.read_population` call replaces the
+    ``(sensor, temperature)`` double loop of scalar reads.
+
+    Args:
+        sensors: :class:`~repro.core.sensor.PTSensor` instances of one design.
+        temps_c: The sweep points in Celsius.
+        **read_kwargs: Forwarded to :func:`~repro.batch.read_population`
+            (``vdd``, ``deterministic``, ``assume_vdd``).
+
+    Returns:
+        ``(estimates, errors)`` arrays of shape ``(n_sensors, n_temps)``.
+    """
+    from repro.batch import read_population
+
+    temps = np.asarray(temps_c, dtype=float)
+    readings = read_population(sensors, temps, **read_kwargs)
+    estimates = readings.temperature_c[:, :, 0]
+    return estimates, estimates - temps.reshape(1, -1)

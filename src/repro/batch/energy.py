@@ -1,0 +1,113 @@
+"""Array twin of the per-conversion energy accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batch.bank import BankFrequenciesBatch, oscillator_power_batch
+from repro.batch.grid import EnvironmentGrid
+from repro.circuits.digital import FLIPFLOP_CAP
+from repro.circuits.oscillator_bank import OscillatorBank
+from repro.config import SensorConfig
+from repro.readout.energy import ConversionEnergy
+
+
+@dataclass(frozen=True)
+class ConversionEnergyBatch:
+    """Per-block conversion energies over a grid, all fields in joules."""
+
+    psro_n: np.ndarray
+    psro_p: np.ndarray
+    tsro: np.ndarray
+    counters: np.ndarray
+    digital: np.ndarray
+
+    @property
+    def total(self) -> np.ndarray:
+        """Total energy of each conversion."""
+        return self.psro_n + self.psro_p + self.tsro + self.counters + self.digital
+
+    @property
+    def shape(self):
+        return np.broadcast_shapes(
+            np.shape(self.psro_n),
+            np.shape(self.psro_p),
+            np.shape(self.tsro),
+            np.shape(self.counters),
+            np.shape(self.digital),
+        )
+
+    def at(self, index) -> ConversionEnergy:
+        """The scalar :class:`ConversionEnergy` at a grid index."""
+        shape = self.shape
+
+        def pick(field: np.ndarray) -> float:
+            return float(np.broadcast_to(field, shape)[index])
+
+        return ConversionEnergy(
+            psro_n=pick(self.psro_n),
+            psro_p=pick(self.psro_p),
+            tsro=pick(self.tsro),
+            counters=pick(self.counters),
+            digital=pick(self.digital),
+        )
+
+
+def _ripple_energy_batch(counts: np.ndarray, vdd) -> np.ndarray:
+    """Array twin of :func:`repro.circuits.digital.ripple_counter_energy`
+    (counts already integer-truncated)."""
+    return (2.0 * counts) * FLIPFLOP_CAP * vdd * vdd
+
+
+def conversion_energy_batch(
+    bank: OscillatorBank,
+    grid: EnvironmentGrid,
+    config: SensorConfig,
+    frequencies: BankFrequenciesBatch,
+) -> ConversionEnergyBatch:
+    """Array twin of
+    :func:`repro.readout.energy.conversion_energy_from_frequencies`.
+
+    ``frequencies`` must already hold the evaluated ring frequencies (the
+    batch pipeline always has them in hand by the time it costs energy).
+    """
+    f_n = frequencies.psro_n
+    f_p = frequencies.psro_p
+    f_t = frequencies.tsro
+
+    window = config.psro_window
+    tsro_time = config.tsro_periods / f_t
+
+    e_psro_n = oscillator_power_batch(bank.psro_n, grid, frequency=f_n) * window
+    e_psro_p = oscillator_power_batch(bank.psro_p, grid, frequency=f_p) * window
+    e_tsro = oscillator_power_batch(bank.tsro, grid, frequency=f_t) * tsro_time
+
+    counts_n = np.floor(f_n * window)
+    counts_p = np.floor(f_p * window)
+    counts_ref = np.floor(tsro_time * config.ref_clock_hz)
+    e_counters = (
+        _ripple_energy_batch(counts_n, grid.vdd)
+        + _ripple_energy_batch(counts_p, grid.vdd)
+        + _ripple_energy_batch(counts_ref, grid.vdd)
+    )
+
+    shape = np.broadcast_shapes(
+        np.shape(e_psro_n), np.shape(e_psro_p), np.shape(e_tsro), np.shape(e_counters)
+    )
+    return ConversionEnergyBatch(
+        psro_n=np.broadcast_to(e_psro_n, shape),
+        psro_p=np.broadcast_to(e_psro_p, shape),
+        tsro=np.broadcast_to(e_tsro, shape),
+        counters=np.broadcast_to(e_counters, shape),
+        digital=np.full(shape, config.digital_overhead_energy),
+    )
+
+
+def conversion_time_batch(config: SensorConfig, tsro_frequency) -> np.ndarray:
+    """Array twin of :meth:`SensorConfig.conversion_time`."""
+    f_t = np.asarray(tsro_frequency, dtype=float)
+    if np.any(f_t <= 0.0):
+        raise ValueError("tsro_frequency must be positive")
+    return 2.0 * config.psro_window + config.tsro_periods / f_t

@@ -1,0 +1,342 @@
+"""Array twins of the sensing-model / calibration stack.
+
+The scalar pipeline (``repro.core``) runs, per die and per conversion,
+a LUT-seeded 2-D Newton extraction followed by a bracketed temperature
+inversion, alternated until the temperature fix stops moving.  Population
+studies repeat that thousands of times on identical control flow, so this
+module runs the *same* algorithms with every die as one lane of a NumPy
+array: converged lanes freeze behind an active-point mask (mirroring the
+scalar early exits), the 2x2 Newton systems solve in closed form, and the
+monotone TSRO curve inverts by vectorised bisection at the same 1e-4 K
+tolerance ``brentq`` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.batch.bank import oscillator_frequency_batch
+from repro.batch.grid import EnvironmentGrid
+from repro.core.decoupler import ProcessLut
+from repro.core.errors import (
+    CalibrationError,
+    ExtractionDivergedError,
+    TemperatureRangeError,
+)
+from repro.core.sensing_model import SensingModel
+from repro.core.temperature import _RANGE_GUARD_K
+from repro.units import celsius_to_kelvin
+from repro.variation.corners import mobility_scales
+
+
+def _first_lane(mask) -> tuple:
+    """Index of the first True lane of a (possibly 0-d) boolean mask."""
+    return tuple(int(k[0]) for k in np.atleast_1d(mask).nonzero())
+
+
+def _model_grid(
+    model: SensingModel, dvtn, dvtp, temp_k, vdd: Optional[float]
+) -> EnvironmentGrid:
+    """Typical-die grid at hypothetical process points (array twin of
+    :meth:`SensingModel.environment`, including the threshold-mobility
+    coupling)."""
+    mun, mup = mobility_scales(dvtn, dvtp)
+    return EnvironmentGrid.of(
+        temp_k=temp_k,
+        vdd=model.technology.vdd if vdd is None else vdd,
+        dvtn=dvtn,
+        dvtp=dvtp,
+        mun_scale=mun,
+        mup_scale=mup,
+    )
+
+
+def process_frequencies_batch(
+    model: SensingModel, dvtn, dvtp, temp_k, vdd: Optional[float] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Model (f_PSRO-N, f_PSRO-P) arrays at process-point arrays."""
+    grid = _model_grid(model, dvtn, dvtp, temp_k, vdd)
+    return (
+        oscillator_frequency_batch(model.bank.psro_n, grid),
+        oscillator_frequency_batch(model.bank.psro_p, grid),
+    )
+
+
+def tsro_frequency_batch(
+    model: SensingModel, dvtn, dvtp, temp_k, vdd: Optional[float] = None
+) -> np.ndarray:
+    """Model TSRO frequency array at process-point arrays."""
+    grid = _model_grid(model, dvtn, dvtp, temp_k, vdd)
+    return oscillator_frequency_batch(model.bank.tsro, grid)
+
+
+def process_jacobian_batch(
+    model: SensingModel,
+    dvtn,
+    dvtp,
+    temp_k,
+    vdd: Optional[float] = None,
+    delta: float = 0.5e-3,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-point 2x2 Jacobians ``d(f_N, f_P)/d(dV_tn, dV_tp)``.
+
+    Returns the four entries ``(j_nn, j_np, j_pn, j_pp)`` as arrays, using
+    the same 0.5 mV central differences as the scalar
+    :meth:`SensingModel.process_jacobian`.
+    """
+    dvtn = np.asarray(dvtn, dtype=float)
+    dvtp = np.asarray(dvtp, dtype=float)
+    fn_hi_n, fp_hi_n = process_frequencies_batch(model, dvtn + delta, dvtp, temp_k, vdd)
+    fn_lo_n, fp_lo_n = process_frequencies_batch(model, dvtn - delta, dvtp, temp_k, vdd)
+    fn_hi_p, fp_hi_p = process_frequencies_batch(model, dvtn, dvtp + delta, temp_k, vdd)
+    fn_lo_p, fp_lo_p = process_frequencies_batch(model, dvtn, dvtp - delta, temp_k, vdd)
+    scale = 1.0 / (2.0 * delta)
+    return (
+        (fn_hi_n - fn_lo_n) * scale,
+        (fn_hi_p - fn_lo_p) * scale,
+        (fp_hi_n - fp_lo_n) * scale,
+        (fp_hi_p - fp_lo_p) * scale,
+    )
+
+
+def _lut_seed_batch(
+    lut: ProcessLut, f_n: np.ndarray, f_p: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised :meth:`ProcessLut.seed`: nearest grid point per lane."""
+    shape = f_n.shape
+    err_n = (lut.f_n_grid[None, :, :] - f_n.reshape(-1, 1, 1)) / lut.f_n_grid
+    err_p = (lut.f_p_grid[None, :, :] - f_p.reshape(-1, 1, 1)) / lut.f_p_grid
+    cost = err_n**2 + err_p**2
+    flat = np.argmin(cost.reshape(cost.shape[0], -1), axis=1)
+    i, j = np.unravel_index(flat, lut.f_n_grid.shape)
+    return lut.dvtn_axis[i].reshape(shape), lut.dvtp_axis[j].reshape(shape)
+
+
+def extract_process_batch(
+    model: SensingModel,
+    f_n_measured,
+    f_p_measured,
+    temp_k,
+    vdd: Optional[float] = None,
+    lut: Optional[ProcessLut] = None,
+    iterations: Optional[int] = None,
+    tolerance_hz: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Array twin of :func:`repro.core.decoupler.extract_process`.
+
+    All lanes Newton-iterate together; a lane that meets the residual
+    tolerance freezes (exactly like the scalar early ``break``) while the
+    rest continue.  Any lane diverging — singular sensitivity, or an
+    iterate leaving the inflated characterised box — raises
+    :class:`ExtractionDivergedError`, as every scalar call in a loop would.
+    """
+    f_n = np.asarray(f_n_measured, dtype=float)
+    f_p = np.asarray(f_p_measured, dtype=float)
+    if np.any(f_n <= 0.0) or np.any(f_p <= 0.0):
+        raise ValueError("measured frequencies must be positive")
+    iterations = model.config.newton_iterations if iterations is None else iterations
+
+    shape = np.broadcast_shapes(f_n.shape, f_p.shape, np.shape(temp_k))
+    f_n = np.broadcast_to(f_n, shape)
+    f_p = np.broadcast_to(f_p, shape)
+    temp_k = np.broadcast_to(np.asarray(temp_k, dtype=float), shape)
+
+    if lut is not None:
+        dvtn, dvtp = _lut_seed_batch(lut, f_n, f_p)
+        dvtn = dvtn.copy()
+        dvtp = dvtp.copy()
+    else:
+        dvtn = np.zeros(shape)
+        dvtp = np.zeros(shape)
+
+    active = np.ones(shape, dtype=bool)
+    margin = 1.5 * model.vt_box
+    for _ in range(iterations):
+        fm_n, fm_p = process_frequencies_batch(model, dvtn, dvtp, temp_k, vdd)
+        res_n = fm_n - f_n
+        res_p = fm_p - f_p
+        active &= np.maximum(np.abs(res_n), np.abs(res_p)) >= tolerance_hz
+        if not active.any():
+            break
+        j_nn, j_np, j_pn, j_pp = process_jacobian_batch(
+            model, dvtn, dvtp, temp_k, vdd
+        )
+        det = j_nn * j_pp - j_np * j_pn
+        if np.any(active & (det == 0.0)):
+            raise ExtractionDivergedError("singular sensitivity matrix in batch")
+        safe_det = np.where(det == 0.0, 1.0, det)
+        step_n = (j_pp * res_n - j_np * res_p) / safe_det
+        step_p = (j_nn * res_p - j_pn * res_n) / safe_det
+        dvtn = np.where(active, dvtn - step_n, dvtn)
+        dvtp = np.where(active, dvtp - step_p, dvtp)
+        left = active & (
+            (np.abs(dvtn) > margin) | (np.abs(dvtp) > margin)
+        )
+        if left.any():
+            index = _first_lane(left)
+            raise ExtractionDivergedError(
+                f"iterate left the characterised box at lane {index}: "
+                f"dvtn={float(np.atleast_1d(dvtn)[index]):.4f}, "
+                f"dvtp={float(np.atleast_1d(dvtp)[index]):.4f}"
+            )
+
+    outside = (np.abs(dvtn) > model.vt_box) | (np.abs(dvtp) > model.vt_box)
+    if outside.any():
+        index = _first_lane(outside)
+        raise ExtractionDivergedError(
+            f"extraction settled outside the characterised box at lane "
+            f"{index}: dvtn={float(np.atleast_1d(dvtn)[index]):.4f}, "
+            f"dvtp={float(np.atleast_1d(dvtp)[index]):.4f}"
+        )
+    return dvtn, dvtp
+
+
+def estimate_temperature_batch(
+    model: SensingModel,
+    f_t_measured,
+    dvtn,
+    dvtp,
+    vdd: Optional[float] = None,
+    tolerance_k: float = 1e-4,
+    clamp: bool = False,
+) -> np.ndarray:
+    """Array twin of :func:`repro.core.temperature.estimate_temperature`.
+
+    The die-corrected TSRO curve is strictly monotone in temperature, so
+    every lane inverts by bisection down to ``tolerance_k``.  With
+    ``clamp=True`` out-of-range lanes peg at the guard-banded range edges
+    (the hardware behaviour of
+    :func:`~repro.core.temperature.estimate_temperature_clamped`);
+    otherwise any out-of-range lane raises :class:`TemperatureRangeError`.
+    """
+    f_t = np.asarray(f_t_measured, dtype=float)
+    if np.any(f_t <= 0.0):
+        raise ValueError("measured TSRO frequency must be positive")
+
+    shape = np.broadcast_shapes(f_t.shape, np.shape(dvtn), np.shape(dvtp))
+    f_t = np.broadcast_to(f_t, shape)
+    dvtn = np.broadcast_to(np.asarray(dvtn, dtype=float), shape)
+    dvtp = np.broadcast_to(np.asarray(dvtp, dtype=float), shape)
+
+    lo_k = celsius_to_kelvin(model.config.temp_min_c) - _RANGE_GUARD_K
+    hi_k = celsius_to_kelvin(model.config.temp_max_c) + _RANGE_GUARD_K
+
+    f_lo = tsro_frequency_batch(model, dvtn, dvtp, np.full(shape, lo_k), vdd)
+    f_hi = tsro_frequency_batch(model, dvtn, dvtp, np.full(shape, hi_k), vdd)
+    below = f_t < f_lo
+    above = f_t > f_hi
+    if not clamp and (below.any() or above.any()):
+        index = _first_lane(below | above)
+        raise TemperatureRangeError(
+            f"TSRO frequency {float(np.atleast_1d(f_t)[index])/1e6:.3f} MHz "
+            f"at lane {index} "
+            f"maps outside [{model.config.temp_min_c}, "
+            f"{model.config.temp_max_c}] degC"
+        )
+    # Clip pegged lanes into the bracket so bisection stays well defined;
+    # their results are overwritten with the pegged edge below.
+    target = np.clip(f_t, f_lo, f_hi)
+
+    lo = np.full(shape, lo_k)
+    hi = np.full(shape, hi_k)
+    # ceil(log2(range / tol)) halvings reach the tolerance everywhere.
+    steps = int(np.ceil(np.log2((hi_k - lo_k) / tolerance_k))) + 1
+    for _ in range(steps):
+        mid = 0.5 * (lo + hi)
+        res = tsro_frequency_batch(model, dvtn, dvtp, mid, vdd) - target
+        hi = np.where(res >= 0.0, mid, hi)
+        lo = np.where(res >= 0.0, lo, mid)
+        if float(np.max(hi - lo)) <= tolerance_k:
+            break
+    temp = 0.5 * (lo + hi)
+    if clamp:
+        temp = np.where(below, lo_k, np.where(above, hi_k, temp))
+    return temp
+
+
+@dataclass(frozen=True)
+class BatchCalibration:
+    """Converged self-calibration state for every lane of a population.
+
+    Array twin of :class:`repro.core.calibration.CalibrationState`.
+    """
+
+    dvtn: np.ndarray
+    dvtp: np.ndarray
+    temp_k: np.ndarray
+    rounds_used: np.ndarray
+    converged: np.ndarray
+
+
+def calibrate_batch(
+    model: SensingModel,
+    f_n_measured,
+    f_p_measured,
+    f_t_measured,
+    vdd: Optional[float] = None,
+    initial_temp_k: float = 300.0,
+    rounds: Optional[int] = None,
+    lut: Optional[ProcessLut] = None,
+    convergence_k: float = 0.05,
+) -> BatchCalibration:
+    """Array twin of :meth:`SelfCalibrationEngine.run`.
+
+    All lanes alternate process extraction and temperature estimation
+    together; a lane whose temperature fix moves less than
+    ``convergence_k`` freezes, exactly like the scalar per-reading loop.
+
+    Raises:
+        CalibrationError: If any lane exhausts the round budget while its
+            temperature iterate is still moving (and ``rounds >= 2``, the
+            same ablation escape hatch the scalar engine has).
+    """
+    f_n = np.asarray(f_n_measured, dtype=float)
+    f_p = np.asarray(f_p_measured, dtype=float)
+    f_t = np.asarray(f_t_measured, dtype=float)
+    rounds = model.config.calibration_rounds if rounds is None else rounds
+
+    shape = np.broadcast_shapes(f_n.shape, f_p.shape, f_t.shape)
+    f_n = np.broadcast_to(f_n, shape)
+    f_p = np.broadcast_to(f_p, shape)
+    f_t = np.broadcast_to(f_t, shape)
+
+    temp_k = np.full(shape, float(initial_temp_k))
+    dvtn = np.zeros(shape)
+    dvtp = np.zeros(shape)
+    converged = np.zeros(shape, dtype=bool)
+    rounds_used = np.zeros(shape, dtype=int)
+    moved = np.full(shape, np.inf)
+
+    for round_index in range(1, rounds + 1):
+        active = ~converged
+        if not active.any():
+            break
+        new_dvtn, new_dvtp = extract_process_batch(
+            model, f_n, f_p, temp_k, vdd, lut=lut
+        )
+        new_temp = estimate_temperature_batch(model, f_t, new_dvtn, new_dvtp, vdd)
+        step = np.abs(new_temp - temp_k)
+        dvtn = np.where(active, new_dvtn, dvtn)
+        dvtp = np.where(active, new_dvtp, dvtp)
+        temp_k = np.where(active, new_temp, temp_k)
+        moved = np.where(active, step, moved)
+        rounds_used = np.where(active, round_index, rounds_used)
+        converged |= active & (step < convergence_k)
+
+    if not converged.all() and rounds >= 2:
+        worst = float(np.max(np.where(converged, 0.0, moved)))
+        count = int(np.count_nonzero(~converged))
+        raise CalibrationError(
+            f"self-calibration still moving {worst:.3f} K on {count} lanes "
+            f"after {rounds} rounds"
+        )
+    return BatchCalibration(
+        dvtn=dvtn,
+        dvtp=dvtp,
+        temp_k=temp_k,
+        rounds_used=rounds_used,
+        converged=converged,
+    )

@@ -1,0 +1,143 @@
+"""Array twins of the four :class:`~repro.circuits.inverter.StageModel` delays.
+
+Each kernel reproduces one stage flavour's ``delays`` over an
+:class:`~repro.batch.grid.EnvironmentGrid`, taking the *total* per-point
+threshold shifts (die systematic + ring's frozen mismatch) as arrays.  A
+registry maps stage classes to kernels so downstream code dispatches on the
+stage instance exactly like the scalar path does, and new stage flavours
+can plug in via :func:`register_delay_kernel`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Type
+
+import numpy as np
+
+from repro.batch.device import drain_current_batch, series_stack_current_batch
+from repro.batch.grid import EnvironmentGrid
+from repro.circuits.inverter import (
+    BalancedStage,
+    NmosSensingStage,
+    PmosSensingStage,
+    StageModel,
+    StarvedStage,
+)
+from repro.device.mosfet import MosfetParams
+
+DelayKernel = Callable[
+    [StageModel, MosfetParams, MosfetParams, EnvironmentGrid, np.ndarray, np.ndarray, float],
+    Tuple[np.ndarray, np.ndarray],
+]
+
+_DELAY_KERNELS: Dict[Type[StageModel], DelayKernel] = {}
+
+
+def register_delay_kernel(stage_type: Type[StageModel], kernel: DelayKernel) -> None:
+    """Register the batch delay kernel of a stage class."""
+    _DELAY_KERNELS[stage_type] = kernel
+
+
+def stage_delays_batch(
+    stage: StageModel,
+    nmos: MosfetParams,
+    pmos: MosfetParams,
+    grid: EnvironmentGrid,
+    dvtn,
+    dvtp,
+    load_cap: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(t_rise, t_fall)`` arrays of one stage over a grid.
+
+    Args:
+        stage: The stage model instance (dispatches to its kernel).
+        nmos: Unit NMOS template of the technology (unshifted).
+        pmos: Unit PMOS template of the technology (unshifted).
+        grid: Operating points (supplies temp/vdd/mobility scales).
+        dvtn: Total per-point NMOS threshold shift (grid systematic plus the
+            oscillator's frozen mismatch offset), volts.
+        dvtp: Total per-point PMOS threshold-magnitude shift, volts.
+        load_cap: Stage load capacitance in farads (scalar — geometry).
+    """
+    kernel = _DELAY_KERNELS.get(type(stage))
+    if kernel is None:
+        raise TypeError(
+            f"no batch delay kernel registered for {type(stage).__name__}; "
+            "register one with repro.batch.stages.register_delay_kernel"
+        )
+    return kernel(stage, nmos, pmos, grid, dvtn, dvtp, load_cap)
+
+
+def _balanced_delays(stage, nmos, pmos, grid, dvtn, dvtp, load_cap):
+    n_dev = nmos.scaled(width_scale=stage.nmos_units, length_scale=stage.length_scale)
+    p_dev = pmos.scaled(width_scale=stage.pmos_units, length_scale=stage.length_scale)
+    i_n = drain_current_batch(
+        n_dev, grid.vdd, grid.vdd / 2.0, grid.temp_k, dvt=dvtn, mu_scale=grid.mun_scale
+    )
+    i_p = drain_current_batch(
+        p_dev, grid.vdd, grid.vdd / 2.0, grid.temp_k, dvt=dvtp, mu_scale=grid.mup_scale
+    )
+    t_fall = load_cap * grid.vdd / (2.0 * i_n)
+    t_rise = load_cap * grid.vdd / (2.0 * i_p)
+    return t_rise, t_fall
+
+
+def _nmos_sensing_delays(stage, nmos, pmos, grid, dvtn, dvtp, load_cap):
+    bias = stage.bias_ratio * grid.vdd
+    sense = nmos.scaled(
+        width_scale=stage.sense_units, length_scale=stage.sense_length_scale
+    )
+    i_limit = series_stack_current_batch(
+        sense, stage.stack, bias, grid.vdd / 2.0, grid.temp_k,
+        dvt=dvtn, mu_scale=grid.mun_scale,
+    )
+    p_dev = pmos.scaled(width_scale=stage.pmos_units)
+    i_p = drain_current_batch(
+        p_dev, grid.vdd, grid.vdd / 2.0, grid.temp_k, dvt=dvtp, mu_scale=grid.mup_scale
+    )
+    t_fall = load_cap * grid.vdd / i_limit
+    t_rise = load_cap * grid.vdd / (2.0 * i_p)
+    return t_rise, t_fall
+
+
+def _pmos_sensing_delays(stage, nmos, pmos, grid, dvtn, dvtp, load_cap):
+    bias = stage.bias_ratio * grid.vdd
+    sense = pmos.scaled(
+        width_scale=stage.sense_units, length_scale=stage.sense_length_scale
+    )
+    i_limit = series_stack_current_batch(
+        sense, stage.stack, bias, grid.vdd / 2.0, grid.temp_k,
+        dvt=dvtp, mu_scale=grid.mup_scale,
+    )
+    n_dev = nmos.scaled(width_scale=stage.nmos_units)
+    i_n = drain_current_batch(
+        n_dev, grid.vdd, grid.vdd / 2.0, grid.temp_k, dvt=dvtn, mu_scale=grid.mun_scale
+    )
+    t_rise = load_cap * grid.vdd / i_limit
+    t_fall = load_cap * grid.vdd / (2.0 * i_n)
+    return t_rise, t_fall
+
+
+def _starved_delays(stage, nmos, pmos, grid, dvtn, dvtp, load_cap):
+    bias = stage.bias_ratio * grid.vdd
+    footer = nmos.scaled(
+        width_scale=stage.limiter_units, length_scale=stage.limiter_length_scale
+    )
+    header = pmos.scaled(
+        width_scale=stage.limiter_units, length_scale=stage.limiter_length_scale
+    )
+    i_fall = drain_current_batch(
+        footer, bias, grid.vdd / 2.0, grid.temp_k, dvt=dvtn, mu_scale=grid.mun_scale
+    )
+    i_rise = drain_current_batch(
+        header, bias, grid.vdd / 2.0, grid.temp_k, dvt=dvtp, mu_scale=grid.mup_scale
+    )
+    t_fall = load_cap * grid.vdd / i_fall
+    t_rise = load_cap * grid.vdd / i_rise
+    return t_rise, t_fall
+
+
+register_delay_kernel(BalancedStage, _balanced_delays)
+register_delay_kernel(NmosSensingStage, _nmos_sensing_delays)
+register_delay_kernel(PmosSensingStage, _pmos_sensing_delays)
+register_delay_kernel(StarvedStage, _starved_delays)

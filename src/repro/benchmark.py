@@ -1,0 +1,216 @@
+"""Performance regression benchmarks of the library's hot paths.
+
+Times the batch engine against the scalar loops it replaces, plus the
+thermal solver's factorization cache, and compares the timings against a
+checked-in baseline (``benchmarks/BENCH_baseline.json``) so performance
+regressions fail loudly::
+
+    python -m repro bench               # run and print
+    python -m repro bench --check       # compare against the baseline
+    python -m repro bench --update      # rewrite the baseline on this host
+
+Timings are wall-clock minima over a few repetitions; the check tolerance
+is deliberately loose (machines differ far more than regressions do) — it
+exists to catch order-of-magnitude slips like accidentally re-entering the
+scalar path, not 10 % noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+DEFAULT_BASELINE_PATH = "benchmarks/BENCH_baseline.json"
+# A benchmark fails the check when it runs slower than baseline * (1 + tol).
+DEFAULT_TOLERANCE = 2.0
+
+
+def _time(fn: Callable[[], object], repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _population_setup(n_dies: int, n_temps: int):
+    from repro.analysis.sweeps import temperature_axis
+    from repro.experiments.common import population_sensors, reference_setup
+
+    setup = reference_setup()
+    sensors = population_sensors(n_dies)
+    temps_c = temperature_axis(
+        setup.config.temp_min_c, setup.config.temp_max_c, points=n_temps
+    )
+    return setup, sensors, temps_c
+
+
+def bench_population_sweep_scalar(n_dies: int = 50, n_temps: int = 9) -> float:
+    """Bank-frequency sweep through the scalar per-point loop."""
+    from repro.units import celsius_to_kelvin
+
+    _, sensors, temps_c = _population_setup(n_dies, n_temps)
+
+    def sweep():
+        out = np.empty((len(sensors), temps_c.size, 4))
+        for i, sensor in enumerate(sensors):
+            for j, temp_c in enumerate(temps_c):
+                env = sensor.physical_environment(celsius_to_kelvin(float(temp_c)))
+                f = sensor.bank.frequencies(env)
+                out[i, j] = (f.psro_n, f.psro_p, f.tsro, f.reference)
+        return out
+
+    return _time(sweep, repeats=1)
+
+
+def bench_population_sweep_batch(n_dies: int = 200, n_temps: int = 9) -> float:
+    """The same sweep through the batch engine (all four oscillator roles)."""
+    from repro.batch import ring_frequency_batch
+    from repro.batch.population import population_bank_frequencies, population_grid
+    from repro.units import ZERO_CELSIUS_IN_KELVIN
+
+    _, sensors, temps_c = _population_setup(n_dies, n_temps)
+    reference = sensors[0]
+    vtn = np.array([s.bank.reference.vtn_offset for s in sensors]).reshape(-1, 1)
+    vtp = np.array([s.bank.reference.vtp_offset for s in sensors]).reshape(-1, 1)
+
+    def sweep():
+        grid = population_grid(
+            sensors, temps_c + ZERO_CELSIUS_IN_KELVIN, reference.technology.vdd
+        )
+        bank = population_bank_frequencies(sensors, grid)
+        ref_ring = ring_frequency_batch(
+            reference.bank.reference.stage,
+            reference.bank.reference.stages,
+            reference.technology,
+            grid,
+            vtn_offset=vtn,
+            vtp_offset=vtp,
+        )
+        return bank, ref_ring
+
+    return _time(sweep)
+
+
+def bench_read_population(n_dies: int = 50, n_temps: int = 5) -> float:
+    """Full conversions (counters + calibration + energy) via the batch engine."""
+    from repro.batch import read_population
+
+    _, sensors, temps_c = _population_setup(n_dies, n_temps)
+
+    def sweep():
+        return read_population(sensors, temps_c, deterministic=True)
+
+    return _time(sweep)
+
+
+def _thermal_setup():
+    from repro.thermal.grid import build_stack_grid
+    from repro.thermal.power import uniform_power_map
+    from repro.tsv.geometry import StackDescriptor, TierSpec
+
+    stack = StackDescriptor(tiers=[TierSpec(f"tier{i}") for i in range(4)])
+    nx = ny = 20
+    grid = build_stack_grid(
+        stack.thermal_layers(nx, ny), stack.die_width, stack.die_height, nx=nx, ny=ny
+    )
+    power = {f"tier{i}.si": uniform_power_map(nx, ny, 0.8) for i in range(4)}
+    return grid, power
+
+
+def bench_thermal_steady_cold() -> float:
+    """Steady-state solve including the sparse factorization (cache cleared)."""
+    from repro.thermal.solver import clear_factorization_caches, steady_state
+
+    grid, power = _thermal_setup()
+
+    def solve():
+        clear_factorization_caches()
+        return steady_state(grid, power)
+
+    return _time(solve)
+
+
+def bench_thermal_steady_warm() -> float:
+    """Steady-state solve re-using the cached factorization."""
+    from repro.thermal.solver import steady_state
+
+    grid, power = _thermal_setup()
+    steady_state(grid, power)  # prime the cache
+    return _time(lambda: steady_state(grid, power))
+
+
+BENCHMARKS: Dict[str, Callable[[], float]] = {
+    "population_sweep_scalar_50x9": bench_population_sweep_scalar,
+    "population_sweep_batch_200x9": bench_population_sweep_batch,
+    "read_population_batch_50x5": bench_read_population,
+    "thermal_steady_cold": bench_thermal_steady_cold,
+    "thermal_steady_warm": bench_thermal_steady_warm,
+}
+
+
+def run_benchmarks(names: Optional[List[str]] = None) -> Dict[str, float]:
+    """Run (a subset of) the benchmarks, returning name -> seconds."""
+    keys = list(BENCHMARKS) if names is None else list(names)
+    unknown = [key for key in keys if key not in BENCHMARKS]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {unknown}")
+    return {key: BENCHMARKS[key]() for key in keys}
+
+
+def save_baseline(results: Dict[str, float], path: str = DEFAULT_BASELINE_PATH) -> None:
+    """Write a baseline file for later ``--check`` runs."""
+    payload = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": {name: round(seconds, 6) for name, seconds in results.items()},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def load_baseline(path: str = DEFAULT_BASELINE_PATH) -> Dict[str, float]:
+    """Load the baseline's name -> seconds mapping."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {name: float(seconds) for name, seconds in payload["results"].items()}
+
+
+def check_against_baseline(
+    results: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Regressions: benchmarks slower than ``baseline * (1 + tolerance)``.
+
+    Benchmarks absent from the baseline are ignored (new benchmarks get a
+    baseline on the next ``--update``); returns human-readable failure
+    messages, empty when the check passes.
+    """
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be non-negative")
+    failures = []
+    for name, seconds in results.items():
+        reference = baseline.get(name)
+        if reference is None:
+            continue
+        limit = reference * (1.0 + tolerance)
+        if seconds > limit:
+            failures.append(
+                f"{name}: {seconds*1e3:.1f} ms vs baseline {reference*1e3:.1f} ms "
+                f"(limit {limit*1e3:.1f} ms at +{tolerance:.0%})"
+            )
+    return failures
+
+
+def render_results(results: Dict[str, float]) -> str:
+    """Plain-text table of benchmark timings."""
+    width = max(len(name) for name in results)
+    lines = [f"{name:<{width}}  {seconds*1e3:10.2f} ms" for name, seconds in results.items()]
+    return "\n".join(lines)

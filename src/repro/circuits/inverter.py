@@ -66,9 +66,43 @@ class StageModel(ABC):
 
     def load_capacitance(self, technology: Technology) -> float:
         """Total switched node capacitance when driving an identical stage."""
-        gates = self.input_capacitance(technology)
+        return load_capacitance_cached(self, technology)
+
+
+# Stage capacitances depend only on the stage geometry and the technology's
+# device templates, both frozen at construction, yet the scalar path used to
+# recompute them inside every period()/power() call.  Technology itself holds
+# an unhashable corner dict, so the cache keys on the hashable pieces the
+# capacitances actually depend on (stage, device templates, wire cap).
+_CAPACITANCE_CACHE: dict = {}
+_CAPACITANCE_CACHE_MAX = 1024
+
+
+def _cache_put(key, value: float) -> float:
+    if len(_CAPACITANCE_CACHE) >= _CAPACITANCE_CACHE_MAX:
+        _CAPACITANCE_CACHE.clear()
+    _CAPACITANCE_CACHE[key] = value
+    return value
+
+
+def input_capacitance_cached(stage: "StageModel", technology: Technology) -> float:
+    """Memoised :meth:`StageModel.input_capacitance` per (stage, technology)."""
+    key = ("input", stage, technology.nmos, technology.pmos)
+    try:
+        return _CAPACITANCE_CACHE[key]
+    except KeyError:
+        return _cache_put(key, stage.input_capacitance(technology))
+
+
+def load_capacitance_cached(stage: "StageModel", technology: Technology) -> float:
+    """Memoised stage load capacitance per (stage, technology)."""
+    key = ("load", stage, technology.nmos, technology.pmos, technology.wire_cap_per_um)
+    try:
+        return _CAPACITANCE_CACHE[key]
+    except KeyError:
+        gates = input_capacitance_cached(stage, technology)
         wire = technology.wire_cap_per_um * _STAGE_WIRE_UM
-        return gates * (1.0 + _PARASITIC_FRACTION) + wire
+        return _cache_put(key, gates * (1.0 + _PARASITIC_FRACTION) + wire)
 
 
 @dataclass(frozen=True)

@@ -12,8 +12,9 @@ temperature chamber.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
-from repro.circuits.inverter import StageModel
+from repro.circuits.inverter import StageModel, load_capacitance_cached
 from repro.device.technology import ProcessCorner, Technology
 
 # Short-circuit current overhead on top of pure switching energy.
@@ -63,7 +64,9 @@ class Environment:
             mup_scale=corner.mup_scale,
         )
 
-    def at(self, temp_k: float = None, vdd: float = None) -> "Environment":
+    def at(
+        self, temp_k: Optional[float] = None, vdd: Optional[float] = None
+    ) -> "Environment":
         """Copy with a different temperature and/or supply."""
         return replace(
             self,
@@ -113,7 +116,7 @@ class RingOscillator:
     def period(self, env: Environment) -> float:
         """Oscillation period in seconds under ``env``."""
         nmos, pmos = self._devices(env)
-        load = self.stage.load_capacitance(self.technology)
+        load = load_capacitance_cached(self.stage, self.technology)
         t_rise, t_fall = self.stage.delays(nmos, pmos, env.vdd, env.temp_k, load)
         return self.stages * (t_rise + t_fall)
 
@@ -128,14 +131,18 @@ class RingOscillator:
         switching power is ``N * C * V_DD^2 * f``, inflated by a standard
         short-circuit overhead.
         """
-        load = self.stage.load_capacitance(self.technology)
+        return self.power_from_frequency(env, self.frequency(env))
+
+    def power_from_frequency(self, env: Environment, frequency: float) -> float:
+        """Dynamic power at an already-evaluated oscillation frequency."""
+        load = load_capacitance_cached(self.stage, self.technology)
         return (
             _SHORT_CIRCUIT_FACTOR
             * self.stages
             * load
             * env.vdd
             * env.vdd
-            * self.frequency(env)
+            * frequency
         )
 
     def energy_for_window(self, env: Environment, window: float) -> float:

@@ -11,6 +11,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.config import SensorConfig
 from repro.core.decoupler import ProcessLut
 from repro.core.sensing_model import SensingModel
@@ -77,3 +79,12 @@ def population_sensors(count: int, seed: int = DEFAULT_SEED) -> List[PTSensor]:
         build_sensor(die, die_id=index % 64)
         for index, die in enumerate(die_population(count, seed))
     ]
+
+
+def population_truths(sensors: List[PTSensor]) -> np.ndarray:
+    """Ground-truth systematic (dV_tn, dV_tp) per sensor, shape ``(n, 2)``.
+
+    The reference the batch population experiments score extractions
+    against; row ``i`` is ``sensors[i].true_process_shifts()``.
+    """
+    return np.array([sensor.true_process_shifts() for sensor in sensors])

@@ -16,6 +16,7 @@ from typing import List
 import numpy as np
 
 from repro.analysis.tables import render_table
+from repro.batch import read_population
 from repro.experiments.common import build_sensor, die_population
 
 
@@ -73,14 +74,9 @@ def run(fast: bool = False, temp_c: float = 65.0) -> E6Result:
 
     # Per-die mean over many single conversions isolates the systematic
     # part (what averaging can never remove).
-    per_die_errors = np.empty((die_count, repeats))
-    energies = []
-    for i, sensor in enumerate(sensors):
-        for j in range(repeats):
-            reading = sensor.read(temp_c)
-            per_die_errors[i, j] = reading.temperature_c - temp_c
-            if i == 0 and j == 0:
-                single_energy = reading.energy.total * 1e12
+    readings = read_population(sensors, [temp_c], repeats=repeats)
+    per_die_errors = readings.temperature_c[:, 0, :] - temp_c
+    single_energy = float(readings.energy.at((0, 0, 0)).total) * 1e12
     systematic = per_die_errors.mean(axis=1)
     random_part = per_die_errors - systematic[:, None]
 

@@ -14,6 +14,7 @@ from typing import Dict
 import numpy as np
 
 from repro.analysis.tables import render_table
+from repro.batch import process_frequencies_batch
 from repro.experiments.common import reference_setup
 from repro.units import celsius_to_kelvin
 
@@ -64,16 +65,12 @@ def run(fast: bool = False) -> F2Result:
     axis = np.linspace(-0.060, 0.060, points)
 
     def sweep(which: str) -> Dict[str, np.ndarray]:
-        f_n, f_p = [], []
-        for dvt in axis:
-            shifts = {"dvtn": 0.0, "dvtp": 0.0}
-            shifts[which] = float(dvt)
-            fn, fp = setup.model.process_frequencies(
-                shifts["dvtn"], shifts["dvtp"], temp_k
-            )
-            f_n.append(fn)
-            f_p.append(fp)
-        return {"n": np.array(f_n), "p": np.array(f_p)}
+        shifts = {"dvtn": 0.0, "dvtp": 0.0}
+        shifts[which] = axis
+        f_n, f_p = process_frequencies_batch(
+            setup.model, shifts["dvtn"], shifts["dvtp"], temp_k
+        )
+        return {"n": f_n, "p": f_p}
 
     by_dvtn = sweep("dvtn")
     by_dvtp = sweep("dvtp")

@@ -16,7 +16,12 @@ from repro.analysis.bootstrap import band_interval
 from repro.analysis.distribution import ascii_histogram
 from repro.analysis.metrics import ErrorStats, error_stats
 from repro.analysis.tables import render_table
-from repro.experiments.common import PAPER_ANCHORS, population_sensors
+from repro.batch import read_population
+from repro.experiments.common import (
+    PAPER_ANCHORS,
+    population_sensors,
+    population_truths,
+)
 
 PAPER_SAMPLE_DIES = 8
 
@@ -97,13 +102,10 @@ class F3Result:
 def run(fast: bool = False, read_temp_c: float = 25.0) -> F3Result:
     """Execute the R-F3 Monte-Carlo extraction study."""
     sensors = population_sensors(60 if fast else 500)
-    vtn_errors: List[float] = []
-    vtp_errors: List[float] = []
-    for sensor in sensors:
-        true_n, true_p = sensor.true_process_shifts()
-        reading = sensor.read(read_temp_c)
-        vtn_errors.append(reading.dvtn - true_n)
-        vtp_errors.append(reading.dvtp - true_p)
+    truths = population_truths(sensors)
+    readings = read_population(sensors, [read_temp_c])
+    vtn_errors: List[float] = list(readings.dvtn[:, 0, 0] - truths[:, 0])
+    vtp_errors: List[float] = list(readings.dvtp[:, 0, 0] - truths[:, 1])
     return F3Result(
         vtn_errors=vtn_errors, vtp_errors=vtp_errors, read_temp_c=read_temp_c
     )

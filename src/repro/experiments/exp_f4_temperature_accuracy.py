@@ -15,9 +15,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.metrics import ErrorStats, error_stats
-from repro.analysis.sweeps import temperature_axis
+from repro.analysis.sweeps import population_temperature_sweep, temperature_axis
 from repro.analysis.tables import render_table
 from repro.baselines.uncalibrated import UncalibratedTsroSensor
+from repro.batch import read_uncalibrated_population
 from repro.experiments.common import (
     PAPER_ANCHORS,
     die_population,
@@ -100,18 +101,19 @@ def run(fast: bool = False) -> F4Result:
     sensors = population_sensors(die_count)
     dies = die_population(die_count)
 
-    calibrated = np.empty((die_count, temps_c.size))
-    uncalibrated = np.empty((die_count, temps_c.size))
-    for i, (sensor, die) in enumerate(zip(sensors, dies)):
-        baseline = UncalibratedTsroSensor(
+    baselines = [
+        UncalibratedTsroSensor(
             setup.technology,
             config=setup.config,
             die=die,
             sensing_model=setup.model,
         )
-        for j, temp in enumerate(temps_c):
-            calibrated[i, j] = sensor.read(float(temp)).temperature_c - temp
-            uncalibrated[i, j] = baseline.read_temperature(float(temp)) - temp
+        for die in dies
+    ]
+    _, calibrated = population_temperature_sweep(sensors, temps_c)
+    uncalibrated = read_uncalibrated_population(baselines, temps_c) - temps_c.reshape(
+        1, -1
+    )
 
     return F4Result(
         temps_c=temps_c,

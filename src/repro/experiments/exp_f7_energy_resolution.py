@@ -13,10 +13,11 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.tables import render_table
+from repro.circuits.oscillator_bank import BankFrequencies
 from repro.circuits.ring_oscillator import Environment
 from repro.config import SensorConfig
 from repro.experiments.common import PAPER_ANCHORS, reference_setup
-from repro.readout.energy import conversion_energy
+from repro.readout.energy import conversion_energy_from_frequencies
 from repro.units import MICRO, celsius_to_kelvin
 
 
@@ -77,26 +78,19 @@ class F7Result:
         )
 
 
-def _vtn_lsb_mv(setup, config: SensorConfig, temp_k: float) -> float:
+def _vtn_lsb_mv(f_n0: float, jac, config: SensorConfig) -> float:
     """V_tn quantisation step implied by one PSRO-N count."""
-    f_n0, _ = setup.model.process_frequencies(0.0, 0.0, temp_k)
-    jac = setup.model.process_jacobian(0.0, 0.0, temp_k)
     counts = f_n0 * config.psro_window
     df = f_n0 / counts  # one-count frequency step
     return abs(df / jac[0, 0]) * 1e3
 
 
-def _temp_lsb_c(setup, config: SensorConfig, temp_k: float) -> float:
+def _temp_lsb_c(f_t: float, tsro_slope: float, config: SensorConfig) -> float:
     """Temperature quantisation step implied by one reference count."""
-    f_t = setup.model.tsro_frequency(0.0, 0.0, temp_k)
     interval = config.tsro_periods / f_t
     counts = interval * config.ref_clock_hz
     relative_step = 1.0 / counts
-    delta = 0.5
-    f_hi = setup.model.tsro_frequency(0.0, 0.0, temp_k + delta)
-    f_lo = setup.model.tsro_frequency(0.0, 0.0, temp_k - delta)
-    slope = (f_hi - f_lo) / (2.0 * delta) / f_t  # fractional per kelvin
-    return relative_step / slope
+    return relative_step / tsro_slope
 
 
 def run(fast: bool = False, temp_c: float = 27.0) -> F7Result:
@@ -108,23 +102,43 @@ def run(fast: bool = False, temp_c: float = 27.0) -> F7Result:
     windows_us = [0.3, 0.6, 1.2] if fast else [0.15, 0.3, 0.6, 1.2, 2.4, 4.8]
     periods = [48, 96] if fast else [24, 48, 96, 192, 384]
 
+    # The operating point is fixed across the sweep: evaluate the device
+    # model once and re-cost each (window, periods) point from the same
+    # frequencies instead of re-walking the bank 30 times.
+    env = Environment(temp_k=temp_k, vdd=setup.technology.vdd)
+    frequencies = BankFrequencies(
+        psro_n=setup.model.bank.psro_n.frequency(env),
+        psro_p=setup.model.bank.psro_p.frequency(env),
+        tsro=setup.model.bank.tsro.frequency(env),
+        reference=0.0,  # not powered during a conversion
+    )
+    f_t = frequencies.tsro
+    f_n0, _ = setup.model.process_frequencies(0.0, 0.0, temp_k)
+    jac = setup.model.process_jacobian(0.0, 0.0, temp_k)
+    delta = 0.5
+    f_hi = setup.model.tsro_frequency(0.0, 0.0, temp_k + delta)
+    f_lo = setup.model.tsro_frequency(0.0, 0.0, temp_k - delta)
+    tsro_slope = (f_hi - f_lo) / (2.0 * delta) / setup.model.tsro_frequency(
+        0.0, 0.0, temp_k
+    )  # fractional per kelvin
+
     rows: List[F7Row] = []
     for window_us in windows_us:
         for n_periods in periods:
             config = reference.with_windows(
                 psro_window=window_us * MICRO, tsro_periods=n_periods
             )
-            env = Environment(temp_k=temp_k, vdd=setup.technology.vdd)
-            energy = conversion_energy(setup.model.bank, env, config)
-            f_t = setup.model.bank.tsro.frequency(env)
+            energy = conversion_energy_from_frequencies(
+                setup.model.bank, env, config, frequencies
+            )
             rows.append(
                 F7Row(
                     psro_window_us=window_us,
                     tsro_periods=n_periods,
                     energy_pj=energy.total * 1e12,
                     conversion_time_us=config.conversion_time(f_t) * 1e6,
-                    vtn_lsb_mv=_vtn_lsb_mv(setup, config, temp_k),
-                    temp_lsb_c=_temp_lsb_c(setup, config, temp_k),
+                    vtn_lsb_mv=_vtn_lsb_mv(f_n0, jac, config),
+                    temp_lsb_c=_temp_lsb_c(f_t, tsro_slope, config),
                     is_reference=(
                         abs(window_us * MICRO - reference.psro_window) < 1e-12
                         and n_periods == reference.tsro_periods

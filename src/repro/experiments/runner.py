@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import time
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -66,32 +67,49 @@ class SuiteResult:
         return json.dumps(payload, indent=2)
 
 
+def _run_one(key: str, fast: bool) -> ExperimentOutcome:
+    """Execute a single experiment, capturing failures into the outcome."""
+    started = time.perf_counter()
+    try:
+        rendered = ALL_EXPERIMENTS[key].run(fast=fast).render()
+        ok = True
+    except Exception:
+        rendered = traceback.format_exc()
+        ok = False
+    return ExperimentOutcome(
+        key=key, ok=ok, runtime_s=time.perf_counter() - started, rendered=rendered
+    )
+
+
 def run_all(
-    fast: bool = False, only: Optional[List[str]] = None
+    fast: bool = False, only: Optional[List[str]] = None, jobs: int = 1
 ) -> SuiteResult:
     """Execute every (or a subset of) registered experiment.
 
     Failures are captured, not raised: a report with one broken experiment
     is more useful than no report.
+
+    Args:
+        fast: Use the reduced smoke workloads.
+        only: Restrict to a subset of experiment ids.
+        jobs: Worker threads.  Experiments are independent (each builds its
+            own sensors with private rng streams, and the shared fixtures
+            are cached read-only), so ``jobs > 1`` overlaps their NumPy
+            sections while keeping outcome order and renders identical to
+            a serial run.
     """
     keys = list(ALL_EXPERIMENTS) if only is None else list(only)
     unknown = [key for key in keys if key not in ALL_EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
-    outcomes: List[ExperimentOutcome] = []
-    for key in keys:
-        started = time.time()
-        try:
-            rendered = ALL_EXPERIMENTS[key].run(fast=fast).render()
-            ok = True
-        except Exception:
-            rendered = traceback.format_exc()
-            ok = False
-        outcomes.append(
-            ExperimentOutcome(
-                key=key, ok=ok, runtime_s=time.time() - started, rendered=rendered
-            )
-        )
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1 or len(keys) <= 1:
+        outcomes = [_run_one(key, fast) for key in keys]
+    else:
+        with ThreadPoolExecutor(max_workers=min(jobs, len(keys))) as pool:
+            # map() preserves submission order regardless of finish order.
+            outcomes = list(pool.map(lambda key: _run_one(key, fast), keys))
     return SuiteResult(outcomes=outcomes, fast=fast)
 
 

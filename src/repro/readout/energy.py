@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.circuits.digital import ripple_counter_energy
-from repro.circuits.oscillator_bank import OscillatorBank
+from repro.circuits.oscillator_bank import BankFrequencies, OscillatorBank
 from repro.circuits.ring_oscillator import Environment
 from repro.config import SensorConfig
 
@@ -57,16 +57,39 @@ def conversion_energy(
     Returns:
         The per-block energy breakdown.
     """
-    f_n = bank.psro_n.frequency(env)
-    f_p = bank.psro_p.frequency(env)
-    f_t = bank.tsro.frequency(env)
+    frequencies = BankFrequencies(
+        psro_n=bank.psro_n.frequency(env),
+        psro_p=bank.psro_p.frequency(env),
+        tsro=bank.tsro.frequency(env),
+        reference=0.0,  # the reference ring is not powered during a conversion
+    )
+    return conversion_energy_from_frequencies(bank, env, config, frequencies)
+
+
+def conversion_energy_from_frequencies(
+    bank: OscillatorBank,
+    env: Environment,
+    config: SensorConfig,
+    frequencies: BankFrequencies,
+) -> ConversionEnergy:
+    """Energy of one conversion given already-evaluated ring frequencies.
+
+    Splitting the frequency evaluation from the energy bookkeeping lets
+    callers that already hold the frequencies — window sweeps re-costing one
+    operating point under many configs, or the batch engine — avoid
+    re-walking the device model.
+    """
+    f_n = frequencies.psro_n
+    f_p = frequencies.psro_p
+    f_t = frequencies.tsro
 
     window = config.psro_window
     tsro_time = config.tsro_periods / f_t
 
-    e_psro_n = bank.psro_n.energy_for_window(env, window)
-    e_psro_p = bank.psro_p.energy_for_window(env, window)
-    e_tsro = bank.tsro.energy_for_window(env, tsro_time)
+    # energy_for_window = power * window with power = k * N * C * V^2 * f.
+    e_psro_n = bank.psro_n.power_from_frequency(env, f_n) * window
+    e_psro_p = bank.psro_p.power_from_frequency(env, f_p) * window
+    e_tsro = bank.tsro.power_from_frequency(env, f_t) * tsro_time
 
     counts_n = f_n * window
     counts_p = f_p * window

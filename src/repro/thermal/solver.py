@@ -5,15 +5,23 @@ Transient uses implicit (backward) Euler — unconditionally stable, so the
 step size is chosen for accuracy, not stability:
 
     (C/dt + G) T_{n+1} = (C/dt) T_n + q_{n+1} + q_ambient
+
+Both solvers share a small per-grid LRU factorization cache: the sparse
+matrix of a grid never changes after assembly, but DTM loops, placement
+studies and sensor-fusion experiments call :func:`steady_state` on the same
+grid hundreds of times.  Factorising once (SuperLU) and reusing the factors
+turns every repeat solve into two cheap triangular solves.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import weakref
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List
 
 import numpy as np
 from scipy.sparse import diags
-from scipy.sparse.linalg import factorized, spsolve
+from scipy.sparse.linalg import factorized
 
 from repro.thermal.grid import StackThermalGrid, TemperatureField
 
@@ -21,10 +29,85 @@ PowerSchedule = Callable[[float], Dict[str, np.ndarray]]
 """Maps simulation time (seconds) to the per-layer power maps."""
 
 
+class _FactorizationCache:
+    """LRU cache of sparse LU factorizations, keyed by grid identity.
+
+    ``StackThermalGrid`` is a plain dataclass holding numpy arrays — it is
+    neither hashable nor value-comparable cheaply — so entries key on
+    ``id(grid)`` (plus an optional extra key such as the transient ``dt``)
+    and hold a weak reference to guard against id reuse after collection.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError("cache needs at least one slot")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def get(self, grid: StackThermalGrid, extra: Hashable = None):
+        key = (id(grid), extra)
+        entry = self._entries.get(key)
+        if entry is not None:
+            ref, solve = entry
+            if ref() is grid:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return solve
+            del self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, grid: StackThermalGrid, solve, extra: Hashable = None) -> None:
+        key = (id(grid), extra)
+        self._entries[key] = (weakref.ref(grid), solve)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_STEADY_CACHE = _FactorizationCache()
+_TRANSIENT_CACHE = _FactorizationCache()
+
+
+def clear_factorization_caches() -> None:
+    """Drop all cached factorizations (tests and memory-pressure hooks)."""
+    _STEADY_CACHE.clear()
+    _TRANSIENT_CACHE.clear()
+
+
+def factorization_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the solver caches (observability/tests)."""
+    return {
+        "steady_hits": _STEADY_CACHE.hits,
+        "steady_misses": _STEADY_CACHE.misses,
+        "transient_hits": _TRANSIENT_CACHE.hits,
+        "transient_misses": _TRANSIENT_CACHE.misses,
+    }
+
+
+def _steady_solver(grid: StackThermalGrid):
+    solve = _STEADY_CACHE.get(grid)
+    if solve is None:
+        solve = factorized(grid.conductance.tocsc())
+        _STEADY_CACHE.put(grid, solve)
+    return solve
+
+
 def steady_state(
     grid: StackThermalGrid, power_by_layer: Dict[str, np.ndarray]
 ) -> TemperatureField:
     """Solve the steady-state temperature field for fixed power maps.
+
+    The conductance factorization is cached per grid, so repeated calls on
+    the same grid (DTM loops, workload sweeps) cost only the triangular
+    solves.
 
     Args:
         grid: The assembled stack grid.
@@ -35,7 +118,7 @@ def steady_state(
     """
     q = grid.heat_vector(power_by_layer)
     rhs = q + grid.ambient_rhs
-    solution = spsolve(grid.conductance.tocsc(), rhs)
+    solution = _steady_solver(grid)(rhs)
     return grid.field_from_vector(np.asarray(solution))
 
 
@@ -47,6 +130,9 @@ def transient(
     initial: TemperatureField = None,
 ) -> List[TemperatureField]:
     """Integrate the transient response with implicit Euler.
+
+    The ``(C/dt + G)`` factorization is cached per (grid, dt), so repeated
+    transient runs with the same step size reuse the factors.
 
     Args:
         grid: The assembled stack grid.
@@ -64,8 +150,11 @@ def transient(
         raise ValueError("steps must be >= 1")
 
     c_over_dt = grid.capacitance / dt
-    system = (grid.conductance + diags(c_over_dt)).tocsc()
-    solve = factorized(system)
+    solve = _TRANSIENT_CACHE.get(grid, extra=dt)
+    if solve is None:
+        system = (grid.conductance + diags(c_over_dt)).tocsc()
+        solve = factorized(system)
+        _TRANSIENT_CACHE.put(grid, solve, extra=dt)
 
     if initial is None:
         state = np.full(grid.cells, grid.ambient_k)

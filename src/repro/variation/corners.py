@@ -49,16 +49,29 @@ def sample_global_shifts(
     return rng.multivariate_normal(np.zeros(2), cov, size=count)
 
 
+def mobility_scales(dvtn, dvtp):
+    """Threshold-to-mobility coupling, array-safe.
+
+    Maps global (dV_tn, dV_tp) shifts to (mun_scale, mup_scale) with the
+    standard negative coupling, accepting scalars or broadcastable arrays so
+    the batch engine can evaluate whole populations in one call.
+    """
+    mun = np.maximum(0.5, 1.0 + _MU_PER_VT * np.asarray(dvtn, dtype=float))
+    mup = np.maximum(0.5, 1.0 + _MU_PER_VT * np.asarray(dvtp, dtype=float))
+    return mun, mup
+
+
 def monte_carlo_corner(dvtn: float, dvtp: float, label: str = "MC") -> ProcessCorner:
     """Build a continuous-process ``ProcessCorner`` from global V_t shifts.
 
     Mobility tracks threshold with the standard negative coupling so that a
     low-threshold die is also a high-mobility die.
     """
+    mun, mup = mobility_scales(dvtn, dvtp)
     return ProcessCorner(
         name=label,
         dvtn=dvtn,
         dvtp=dvtp,
-        mun_scale=max(0.5, 1.0 + _MU_PER_VT * dvtn),
-        mup_scale=max(0.5, 1.0 + _MU_PER_VT * dvtp),
+        mun_scale=float(mun),
+        mup_scale=float(mup),
     )

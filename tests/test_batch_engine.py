@@ -1,0 +1,381 @@
+"""Golden equivalence of the batch engine against the scalar model stack.
+
+Every layer of ``repro.batch`` claims to be an array twin of a scalar
+function.  These tests pin that claim: device currents and bank
+frequencies to ~1e-12 relative, extraction to 1e-6, temperature inversion
+to the shared 1e-4 K root tolerance, and whole-population conversions
+count-exact (same rng streams, same quantisation) against the scalar
+``PTSensor.read`` double loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BatchCalibration,
+    EnvironmentGrid,
+    bank_frequencies_batch,
+    calibrate_batch,
+    drain_current_batch,
+    estimate_temperature_batch,
+    extract_process_batch,
+    process_frequencies_batch,
+    read_population,
+    read_uncalibrated_population,
+    series_stack_current_batch,
+    stage_delays_batch,
+)
+from repro.baselines.uncalibrated import UncalibratedTsroSensor
+from repro.circuits.inverter import (
+    _CAPACITANCE_CACHE,
+    BalancedStage,
+    input_capacitance_cached,
+    load_capacitance_cached,
+)
+from repro.circuits.ring_oscillator import Environment
+from repro.core.decoupler import extract_process
+from repro.core.errors import TemperatureRangeError
+from repro.core.temperature import estimate_temperature, estimate_temperature_clamped
+from repro.device.mosfet import drain_current
+from repro.device.stack import series_stack_current
+from repro.experiments.common import (
+    build_sensor,
+    die_population,
+    population_sensors,
+    reference_setup,
+)
+from repro.units import ZERO_CELSIUS_IN_KELVIN, celsius_to_kelvin
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return reference_setup()
+
+
+class TestEnvironmentGrid:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            EnvironmentGrid.of(temp_k=[300.0, -5.0], vdd=1.0)
+        with pytest.raises(ValueError):
+            EnvironmentGrid.of(temp_k=300.0, vdd=0.0)
+        with pytest.raises(ValueError):
+            EnvironmentGrid.of(temp_k=300.0, vdd=1.0, mun_scale=0.0)
+
+    def test_rejects_incompatible_shapes(self):
+        with pytest.raises(ValueError):
+            EnvironmentGrid.of(temp_k=np.ones(3) * 300.0, vdd=np.ones(4))
+
+    def test_product_shape_and_roundtrip(self):
+        grid = EnvironmentGrid.product([250.0, 300.0, 350.0], [0.9, 1.0])
+        assert grid.shape == (3, 2)
+        assert grid.size == 6
+        env = grid.environment_at((2, 1))
+        assert env.temp_k == 350.0 and env.vdd == 1.0
+
+    def test_for_dies_matches_scalar_environments(self):
+        dies = die_population(4)
+        sensor = build_sensor(dies[0])
+        temps_k = np.array([250.0, 300.0, 390.0])
+        grid = EnvironmentGrid.for_dies(dies, sensor.location, temps_k, 1.0)
+        assert grid.shape == (4, 3)
+        for i, die in enumerate(dies):
+            scalar = build_sensor(die)
+            for j, temp_k in enumerate(temps_k):
+                env = scalar.physical_environment(float(temp_k), 1.0)
+                batch_env = grid.environment_at((i, j))
+                assert batch_env == env
+
+    def test_from_environments_iterates_back(self):
+        envs = [
+            Environment(temp_k=300.0, vdd=1.0, dvtn=0.01),
+            Environment(temp_k=350.0, vdd=0.9, dvtp=-0.02, mup_scale=1.1),
+        ]
+        grid = EnvironmentGrid.from_environments(envs)
+        assert list(grid.environments()) == envs
+
+
+class TestDeviceEquivalence:
+    def test_drain_current_matches_scalar(self, setup):
+        params = setup.technology.nmos
+        vgs = np.linspace(0.2, 1.0, 7)
+        temps = np.array([233.15, 300.0, 398.15]).reshape(-1, 1)
+        batch = drain_current_batch(params, vgs, 0.5, temps)
+        for i, temp_k in enumerate(temps[:, 0]):
+            for j, v in enumerate(vgs):
+                scalar = drain_current(params, float(v), 0.5, float(temp_k))
+                np.testing.assert_allclose(batch[i, j], scalar, rtol=1e-12)
+
+    def test_dvt_and_mu_scale_match_param_replacement(self, setup):
+        params = setup.technology.nmos
+        dvt, mu = 0.02, 1.07
+        shifted = params.with_vt_shift(dvt).with_mobility_scale(mu)
+        batch = drain_current_batch(params, 0.8, 0.5, 300.0, dvt=dvt, mu_scale=mu)
+        scalar = drain_current(shifted, 0.8, 0.5, 300.0)
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+
+    def test_series_stack_matches_scalar(self, setup):
+        params = setup.technology.pmos
+        for count in (1, 2, 3):
+            batch = series_stack_current_batch(
+                params, count, np.array([0.7, 0.9]), 0.45, 320.0
+            )
+            for j, vgs in enumerate((0.7, 0.9)):
+                scalar = series_stack_current(params, count, vgs, 0.45, 320.0)
+                np.testing.assert_allclose(batch[j], scalar, rtol=1e-9)
+
+
+class TestCircuitEquivalence:
+    def test_stage_delays_match_scalar(self, setup):
+        tech = setup.technology
+        bank = setup.model.bank
+        grid = EnvironmentGrid.product([250.0, 300.0, 390.0], [0.95, 1.0])
+        for osc in (bank.psro_n, bank.psro_p, bank.tsro, bank.reference):
+            stage = osc.stage
+            load = load_capacitance_cached(stage, tech)
+            rise, fall = stage_delays_batch(
+                stage, tech.nmos, tech.pmos, grid, grid.dvtn, grid.dvtp, load
+            )
+            for index in np.ndindex(grid.shape):
+                env = grid.environment_at(index)
+                s_rise, s_fall = stage.delays(
+                    tech.nmos, tech.pmos, env.vdd, env.temp_k, load
+                )
+                np.testing.assert_allclose(rise[index], s_rise, rtol=1e-12)
+                np.testing.assert_allclose(fall[index], s_fall, rtol=1e-12)
+
+    def test_unregistered_stage_type_raises(self, setup):
+        class MysteryStage(BalancedStage):
+            pass
+
+        tech = setup.technology
+        grid = EnvironmentGrid.of(temp_k=300.0, vdd=1.0)
+        with pytest.raises(TypeError):
+            stage_delays_batch(
+                MysteryStage(), tech.nmos, tech.pmos, grid, 0.0, 0.0, 1e-15
+            )
+
+    def test_bank_frequencies_match_scalar(self, setup):
+        dies = die_population(3)
+        sensors = [build_sensor(die) for die in dies]
+        bank = sensors[0].bank
+        temps_k = np.array([260.0, 330.0])
+        grid = EnvironmentGrid.for_dies(
+            dies[:1], sensors[0].location, temps_k, setup.technology.vdd
+        )
+        batch = bank_frequencies_batch(bank, grid)
+        assert batch.shape == (1, 2)
+        for j, temp_k in enumerate(temps_k):
+            env = sensors[0].physical_environment(float(temp_k))
+            scalar = bank.frequencies(env)
+            point = batch.at((0, j))
+            np.testing.assert_allclose(point.psro_n, scalar.psro_n, rtol=1e-12)
+            np.testing.assert_allclose(point.psro_p, scalar.psro_p, rtol=1e-12)
+            np.testing.assert_allclose(point.tsro, scalar.tsro, rtol=1e-12)
+            np.testing.assert_allclose(point.reference, scalar.reference, rtol=1e-12)
+
+
+class TestModelEquivalence:
+    def test_extraction_matches_scalar(self, setup):
+        temp_k = celsius_to_kelvin(40.0)
+        shifts = [(0.0, 0.0), (0.02, -0.015), (-0.025, 0.01), (0.03, 0.03)]
+        f_n, f_p = process_frequencies_batch(
+            setup.model,
+            np.array([s[0] for s in shifts]),
+            np.array([s[1] for s in shifts]),
+            temp_k,
+        )
+        dvtn, dvtp = extract_process_batch(
+            setup.model, f_n, f_p, temp_k, lut=setup.lut
+        )
+        for k, (true_n, true_p) in enumerate(shifts):
+            s_n, s_p = extract_process(
+                setup.model, float(f_n[k]), float(f_p[k]), temp_k, lut=setup.lut
+            )
+            np.testing.assert_allclose(dvtn[k], s_n, rtol=1e-6, atol=1e-9)
+            np.testing.assert_allclose(dvtp[k], s_p, rtol=1e-6, atol=1e-9)
+            assert abs(dvtn[k] - true_n) < 1e-4
+            assert abs(dvtp[k] - true_p) < 1e-4
+
+    def test_temperature_inversion_matches_scalar(self, setup):
+        temps_k = np.array([-30.0, 25.0, 110.0]) + ZERO_CELSIUS_IN_KELVIN
+        f_t = np.array(
+            [setup.model.tsro_frequency(0.01, -0.01, float(t)) for t in temps_k]
+        )
+        batch = estimate_temperature_batch(setup.model, f_t, 0.01, -0.01)
+        for k, f in enumerate(f_t):
+            scalar = estimate_temperature(setup.model, float(f), 0.01, -0.01)
+            assert abs(batch[k] - scalar) < 5e-4
+            assert abs(batch[k] - temps_k[k]) < 1e-2
+
+    def test_temperature_clamping_matches_scalar(self, setup):
+        cold_f = setup.model.tsro_frequency(
+            0.0, 0.0, celsius_to_kelvin(setup.config.temp_min_c) - 40.0
+        )
+        with pytest.raises(TemperatureRangeError):
+            estimate_temperature_batch(setup.model, cold_f, 0.0, 0.0)
+        clamped = estimate_temperature_batch(
+            setup.model, np.array([cold_f]), 0.0, 0.0, clamp=True
+        )
+        scalar = estimate_temperature_clamped(setup.model, cold_f, 0.0, 0.0)
+        np.testing.assert_allclose(clamped[0], scalar, atol=1e-9)
+
+    def test_calibration_matches_per_point(self, setup):
+        temp_k = np.array([0.0, 85.0]) + ZERO_CELSIUS_IN_KELVIN
+        dvtn = np.array([0.02, -0.02])
+        f_n, f_p = process_frequencies_batch(setup.model, dvtn, 0.01, temp_k)
+        f_t = np.array(
+            [
+                setup.model.tsro_frequency(float(dvtn[k]), 0.01, float(temp_k[k]))
+                for k in range(2)
+            ]
+        )
+        result = calibrate_batch(setup.model, f_n, f_p, f_t, lut=setup.lut)
+        assert isinstance(result, BatchCalibration)
+        assert result.converged.all()
+        np.testing.assert_allclose(result.dvtn, dvtn, atol=1e-4)
+        np.testing.assert_allclose(result.temp_k, temp_k, atol=0.05)
+        # scalar lane-by-lane must agree with the batch solve
+        single = calibrate_batch(
+            setup.model,
+            f_n[1:],
+            f_p[1:],
+            f_t[1:],
+            lut=setup.lut,
+        )
+        np.testing.assert_allclose(single.dvtn, result.dvtn[1:], atol=1e-12)
+        np.testing.assert_allclose(single.temp_k, result.temp_k[1:], atol=1e-12)
+
+
+class TestPopulationEquivalence:
+    def test_read_population_matches_scalar_reads(self):
+        n_dies, temps_c = 5, [-20.0, 35.0, 100.0]
+        batch_sensors = population_sensors(n_dies)
+        scalar_sensors = population_sensors(n_dies)
+        readings = read_population(batch_sensors, temps_c, repeats=2)
+
+        for i, sensor in enumerate(scalar_sensors):
+            for j, temp_c in enumerate(temps_c):
+                for r in range(2):
+                    scalar = sensor.read(temp_c)
+                    assert readings.counts_n[i, j, r] == scalar.counts_n
+                    assert readings.counts_p[i, j, r] == scalar.counts_p
+                    assert readings.counts_ref[i, j, r] == scalar.counts_ref
+                    assert readings.rounds_used[i, j, r] == scalar.rounds_used
+                    assert bool(readings.converged[i, j, r]) == scalar.converged
+                    assert (
+                        abs(readings.temperature_c[i, j, r] - scalar.temperature_c)
+                        < 1e-3
+                    )
+                    assert abs(readings.dvtn[i, j, r] - scalar.dvtn) < 1e-7
+                    assert abs(readings.dvtp[i, j, r] - scalar.dvtp) < 1e-7
+                    np.testing.assert_allclose(
+                        readings.energy_total[i, j, r], scalar.energy.total, rtol=1e-9
+                    )
+                    np.testing.assert_allclose(
+                        readings.conversion_time[i, j, r],
+                        scalar.conversion_time,
+                        rtol=1e-9,
+                    )
+
+    def test_rng_streams_stay_aligned_after_batch_read(self):
+        batch_sensors = population_sensors(3)
+        scalar_sensors = population_sensors(3)
+        read_population(batch_sensors, [25.0, 75.0])
+        for sensor in scalar_sensors:
+            for temp_c in (25.0, 75.0):
+                sensor.read(temp_c)
+        # Next conversions must consume identical rng draws on both paths.
+        for batch_s, scalar_s in zip(batch_sensors, scalar_sensors):
+            follow_b = batch_s.read(55.0)
+            follow_s = scalar_s.read(55.0)
+            assert follow_b.counts_n == follow_s.counts_n
+            assert follow_b.counts_p == follow_s.counts_p
+            assert follow_b.counts_ref == follow_s.counts_ref
+
+    def test_deterministic_read_matches_scalar(self):
+        sensors = population_sensors(2)
+        readings = read_population(sensors, [65.0], deterministic=True)
+        scalar = population_sensors(2)[0].read(65.0, deterministic=True)
+        assert readings.counts_n[0, 0, 0] == scalar.counts_n
+        assert abs(readings.temperature_c[0, 0, 0] - scalar.temperature_c) < 1e-3
+
+    def test_mixed_designs_rejected(self, setup):
+        from repro.core.sensor import PTSensor
+
+        sensors = population_sensors(2)
+        odd = PTSensor(
+            setup.technology,
+            config=setup.config.with_windows(
+                psro_window=setup.config.psro_window * 2,
+                tsro_periods=setup.config.tsro_periods,
+            ),
+            die=die_population(3)[2],
+        )
+        with pytest.raises(ValueError):
+            read_population(sensors + [odd], [25.0])
+
+    def test_uncalibrated_population_matches_scalar(self, setup):
+        dies = die_population(4)
+        make = lambda die: UncalibratedTsroSensor(
+            setup.technology, config=setup.config, die=die, sensing_model=setup.model
+        )
+        batch_baselines = [make(die) for die in dies]
+        scalar_baselines = [make(die) for die in dies]
+        temps_c = np.array([-40.0, 30.0, 125.0])
+        estimates = read_uncalibrated_population(batch_baselines, temps_c)
+        assert estimates.shape == (4, 3)
+        for i, baseline in enumerate(scalar_baselines):
+            for j, temp_c in enumerate(temps_c):
+                scalar = baseline.read_temperature(float(temp_c))
+                assert abs(estimates[i, j] - scalar) < 1e-3
+
+
+class TestCaches:
+    def test_capacitance_cache_hits(self, setup):
+        stage = BalancedStage()
+        _CAPACITANCE_CACHE.clear()
+        first = load_capacitance_cached(stage, setup.technology)
+        assert len(_CAPACITANCE_CACHE) == 2  # input + load entries
+        again = load_capacitance_cached(stage, setup.technology)
+        assert again == first
+        assert len(_CAPACITANCE_CACHE) == 2
+        direct = stage.input_capacitance(setup.technology)
+        assert input_capacitance_cached(stage, setup.technology) == direct
+
+    def test_factorization_cache_behaviour(self):
+        from repro.thermal.grid import ThermalLayer, build_stack_grid
+        from repro.thermal.materials import BEOL, SILICON
+        from repro.thermal.power import uniform_power_map
+        from repro.thermal.solver import (
+            clear_factorization_caches,
+            factorization_cache_stats,
+            steady_state,
+        )
+
+        def make_grid():
+            layers = [
+                ThermalLayer("die.si", 100e-6, SILICON, heat_source=True),
+                ThermalLayer("die.beol", 8e-6, BEOL),
+            ]
+            return build_stack_grid(layers, 5e-3, 5e-3, nx=8, ny=8)
+
+        grid = make_grid()
+        power = {"die.si": uniform_power_map(8, 8, 1.0)}
+        clear_factorization_caches()
+        cold = steady_state(grid, power)
+        stats = factorization_cache_stats()
+        assert stats["steady_misses"] == 1 and stats["steady_hits"] == 0
+
+        warm = steady_state(grid, power)
+        stats = factorization_cache_stats()
+        assert stats["steady_hits"] == 1
+        np.testing.assert_array_equal(cold.values, warm.values)
+
+        other = make_grid()
+        steady_state(other, power)
+        stats = factorization_cache_stats()
+        assert stats["steady_misses"] == 2
+
+        clear_factorization_caches()
+        stats = factorization_cache_stats()
+        assert stats["steady_hits"] == 0 and stats["steady_misses"] == 0

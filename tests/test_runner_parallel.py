@@ -1,0 +1,40 @@
+"""The concurrent experiment runner must be a pure speedup.
+
+Experiments are independent (private rng streams, read-only shared
+fixtures), so ``run_all(jobs > 1)`` has to produce byte-identical renders
+in the same order as a serial run — anything else would mean hidden shared
+state between experiments.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_all
+
+SUBSET = ["R-F2", "R-F7", "R-T1", "R-E6"]
+
+
+class TestRunnerValidation:
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(KeyError):
+            run_all(fast=True, only=["R-F2", "R-XX"])
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            run_all(fast=True, only=["R-F2"], jobs=0)
+
+
+class TestParallelEquivalence:
+    def test_parallel_renders_match_serial(self):
+        serial = run_all(fast=True, only=SUBSET, jobs=1)
+        parallel = run_all(fast=True, only=SUBSET, jobs=3)
+
+        assert [o.key for o in serial.outcomes] == SUBSET
+        assert [o.key for o in parallel.outcomes] == SUBSET
+        assert serial.all_ok and parallel.all_ok
+        for left, right in zip(serial.outcomes, parallel.outcomes):
+            assert left.rendered == right.rendered
+
+    def test_single_key_runs_serially(self):
+        result = run_all(fast=True, only=["R-F7"], jobs=8)
+        assert result.all_ok
+        assert result.outcomes[0].runtime_s >= 0.0
