@@ -67,8 +67,8 @@ def read_all_tiers(stack, tiers, field, sensors):
         frames[tier_id] = encode_frame(
             SensorFrame(
                 die_id=tier_id,
-                vtn_shift=reading.dvtn,
-                vtp_shift=reading.dvtp,
+                dvtn=reading.dvtn,
+                dvtp=reading.dvtp,
                 temperature_c=reading.temperature_c,
             )
         )
@@ -86,7 +86,7 @@ def main() -> None:
         print(
             f"tier{tier_id}: sensor {frame.temperature_c:+6.1f} degC"
             f"  (truth {truth[tier_id]:+6.2f})"
-            f"  dVtn={frame.vtn_shift * 1e3:+5.1f} mV dVtp={frame.vtp_shift * 1e3:+5.1f} mV"
+            f"  dVtn={frame.dvtn * 1e3:+5.1f} mV dVtp={frame.dvtp * 1e3:+5.1f} mV"
         )
     hottest = max(report.frames, key=lambda t: report.frames[t].temperature_c)
     print(f"aggregator: hottest tier is tier{hottest}")

@@ -7,6 +7,8 @@ Usage::
     python -m repro run R-T1 --fast     # smoke workload
     python -m repro run all --fast
     python -m repro report --jobs 4     # full report, experiments in parallel
+    python -m repro report --telemetry out.jsonl   # + metrics/spans JSONL
+    python -m repro telemetry summary out.jsonl    # aggregate tables
     python -m repro bench --check       # performance regression gate
 """
 
@@ -73,6 +75,31 @@ def _bench(args) -> int:
     return 0
 
 
+def _telemetry_summary(path: str) -> int:
+    from repro.telemetry.summary import (
+        TelemetryFileError,
+        load_summary_file,
+        render_summary,
+    )
+
+    try:
+        summary = load_summary_file(path)
+    except FileNotFoundError:
+        print(f"no telemetry file at {path}", file=sys.stderr)
+        return 2
+    except TelemetryFileError as error:
+        print(f"telemetry file {path} is malformed: {error}", file=sys.stderr)
+        return 1
+    print(render_summary(summary))
+    print(
+        f"\n{summary.records} records; "
+        f"{len(summary.metrics)} metrics across "
+        f"{len(summary.subsystems)} subsystems; "
+        f"{sum(a.count for a in summary.spans.values())} spans"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -104,6 +131,29 @@ def main(argv=None) -> int:
         default=1,
         help="run up to N experiments concurrently (default 1, serial)",
     )
+    report_parser.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="ID",
+        help="restrict the report to a subset of experiment ids",
+    )
+    report_parser.add_argument(
+        "--telemetry",
+        dest="telemetry_path",
+        default=None,
+        metavar="PATH",
+        help="stream telemetry (spans + metric snapshot) to a JSON-lines file",
+    )
+    telemetry_parser = sub.add_parser(
+        "telemetry", help="inspect telemetry captured by report --telemetry"
+    )
+    telemetry_sub = telemetry_parser.add_subparsers(dest="telemetry_command",
+                                                    required=True)
+    summary_parser = telemetry_sub.add_parser(
+        "summary", help="aggregate a telemetry JSONL file into tables"
+    )
+    summary_parser.add_argument("path", help="telemetry JSON-lines file")
     bench_parser = sub.add_parser(
         "bench", help="run the performance benchmarks (see repro.benchmark)"
     )
@@ -133,13 +183,29 @@ def main(argv=None) -> int:
         return 0
     if args.command == "bench":
         return _bench(args)
+    if args.command == "telemetry":
+        return _telemetry_summary(args.path)
     if args.command == "report":
         from repro.experiments.runner import run_all, write_report
 
         if args.jobs < 1:
             print("--jobs must be >= 1", file=sys.stderr)
             return 2
-        result = run_all(fast=args.fast, jobs=args.jobs)
+        try:
+            if args.telemetry_path:
+                from repro import telemetry
+                from repro.telemetry import JsonlSink
+
+                sink = JsonlSink(args.telemetry_path)
+                with telemetry.capture(sink=sink):
+                    result = run_all(fast=args.fast, only=args.only, jobs=args.jobs)
+                sink.close()
+                print(f"wrote telemetry {args.telemetry_path}")
+            else:
+                result = run_all(fast=args.fast, only=args.only, jobs=args.jobs)
+        except KeyError as error:
+            print(str(error), file=sys.stderr)
+            return 2
         write_report(result, args.output)
         if args.json_path:
             with open(args.json_path, "w", encoding="utf-8") as handle:

@@ -1,0 +1,70 @@
+"""The stable public API facade of the reproduction.
+
+``repro.api`` is the one import surface downstream code should build
+against: everything re-exported here follows the deprecation policy in
+docs/architecture.md (nothing disappears without a DeprecationWarning
+shim for at least one release), and the snapshot test in
+``tests/test_api_surfaces.py`` fails the suite on any accidental change
+to this surface.
+
+Quickstart::
+
+    from repro.api import PTSensor, nominal_65nm, telemetry
+
+    sensor = PTSensor(nominal_65nm())
+    with telemetry.capture() as sink:
+        reading = sensor.read(65.0)
+    print(reading.temperature_c, sink.spans_named("core.conversion"))
+
+Internals (``repro.core.calibration``, ``repro.thermal.solver`` etc.)
+remain importable but carry no stability promise.
+"""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.batch.grid import EnvironmentGrid
+from repro.batch.population import PopulationReadings, read_population
+from repro.circuits.ring_oscillator import Environment
+from repro.config import SensorConfig
+from repro.core.sensor import PTSensor, SensorReading
+from repro.core.tracking import TrackingPolicy, TrackingReading, TrackingSensor
+from repro.device.technology import Technology, nominal_65nm
+from repro.experiments.runner import (
+    ExperimentOutcome,
+    SuiteResult,
+    run_all,
+    run_experiment,
+)
+from repro.network.aggregator import MonitorSnapshot, StackMonitor, TierState
+from repro.readout.interface import SensorFrame
+from repro.tsv.bus import BusReport, TsvSensorBus
+from repro.variation.montecarlo import DieSample, sample_dies
+
+__all__ = [
+    "BusReport",
+    "DieSample",
+    "Environment",
+    "EnvironmentGrid",
+    "ExperimentOutcome",
+    "MonitorSnapshot",
+    "PTSensor",
+    "PopulationReadings",
+    "SensorConfig",
+    "SensorFrame",
+    "SensorReading",
+    "StackMonitor",
+    "SuiteResult",
+    "Technology",
+    "TierState",
+    "TrackingPolicy",
+    "TrackingReading",
+    "TrackingSensor",
+    "TsvSensorBus",
+    "nominal_65nm",
+    "read_population",
+    "run_all",
+    "run_experiment",
+    "sample_dies",
+    "telemetry",
+]

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.batch.bank import BankFrequenciesBatch, ring_frequency_batch
 from repro.batch.energy import (
     ConversionEnergyBatch,
@@ -29,8 +30,28 @@ from repro.batch.energy import (
 )
 from repro.batch.grid import EnvironmentGrid
 from repro.batch.model import calibrate_batch, estimate_temperature_batch
+from repro.circuits.ring_oscillator import Environment
 from repro.core.sensor import PTSensor
 from repro.units import ZERO_CELSIUS_IN_KELVIN
+
+_BATCH_CONVERSIONS = telemetry.counter(
+    "batch.population_conversions",
+    unit="conversions",
+    help="Conversions evaluated through the vectorised engine",
+)
+_BATCH_CALLS = telemetry.counter(
+    "batch.read_population_calls", unit="calls", help="read_population invocations"
+)
+_BATCH_CONVERGENCE_FAILURES = telemetry.counter(
+    "batch.convergence_failures",
+    unit="conversions",
+    help="Batch conversions whose self-calibration did not converge",
+)
+_BATCH_ROUNDS = telemetry.histogram(
+    "batch.calibration_rounds",
+    unit="rounds",
+    help="Self-calibration rounds per batch conversion",
+)
 
 
 @dataclass(frozen=True)
@@ -147,6 +168,30 @@ def population_bank_frequencies(
     )
 
 
+def _environment_axis(envs: Sequence[Environment], vdd: Optional[float]):
+    """Convert an Environment sweep into the (temps_c, vdd) the engine uses.
+
+    The batch engine derives each sensor's process point from its die, so
+    the environments may only carry temperature and supply; one that sets
+    process fields would silently disagree with the per-sensor grid and is
+    rejected instead.
+    """
+    vdds = {env.vdd for env in envs}
+    if len(vdds) != 1:
+        raise ValueError("environment sweep must share a single vdd")
+    env_vdd = vdds.pop()
+    if vdd is not None and vdd != env_vdd:
+        raise ValueError("pass vdd inside the environments, not alongside them")
+    for env in envs:
+        if (env.dvtn, env.dvtp, env.mun_scale, env.mup_scale) != (0.0, 0.0, 1.0, 1.0):
+            raise ValueError(
+                "environment sweeps must leave process fields at their "
+                "defaults; the population's process points come from the dies"
+            )
+    temps_c = np.array([env.temp_k for env in envs]) - ZERO_CELSIUS_IN_KELVIN
+    return temps_c, env_vdd
+
+
 def read_population(
     sensors: Sequence[PTSensor],
     temps_c,
@@ -159,8 +204,12 @@ def read_population(
 
     Array twin of the nested loop ``for sensor: for temp: for repeat:
     sensor.read(temp, ...)`` — see :meth:`PTSensor.read` for the argument
-    semantics.  Raises ``ValueError`` on an empty population, mixed sensor
-    designs, or ``repeats < 1``.
+    semantics.  ``temps_c`` accepts the same environment-style call form
+    as the scalar paths: a single
+    :class:`~repro.circuits.ring_oscillator.Environment` or a sequence of
+    them stands in for the Celsius axis (their shared ``vdd`` replaces the
+    ``vdd`` argument).  Raises ``ValueError`` on an empty population,
+    mixed sensor designs, or ``repeats < 1``.
     """
     sensors = list(sensors)
     if not sensors:
@@ -169,6 +218,15 @@ def read_population(
         raise ValueError("repeats must be >= 1")
     reference = _require_uniform_design(sensors)
     config = reference.config
+
+    if isinstance(temps_c, Environment):
+        temps_c = [temps_c]
+    if (
+        isinstance(temps_c, (list, tuple))
+        and temps_c
+        and isinstance(temps_c[0], Environment)
+    ):
+        temps_c, vdd = _environment_axis(temps_c, vdd)
 
     temps_c = np.atleast_1d(np.asarray(temps_c, dtype=float))
     temps_k = temps_c + ZERO_CELSIUS_IN_KELVIN
@@ -179,6 +237,41 @@ def read_population(
     n_sensors = len(sensors)
     n_temps = temps_c.size
     shape = (n_sensors, n_temps, repeats)
+
+    with telemetry.span(
+        "batch.read_population",
+        sensors=n_sensors,
+        temps=n_temps,
+        repeats=repeats,
+    ) as trace:
+        readings = _read_population_grid(
+            sensors, reference, config, temps_k, vdd, shape, deterministic, assume_vdd
+        )
+        _BATCH_CALLS.inc()
+        _BATCH_CONVERSIONS.inc(int(np.prod(shape)))
+        failures = int(np.size(readings.converged) - np.count_nonzero(readings.converged))
+        _BATCH_CONVERGENCE_FAILURES.inc(failures)
+        _BATCH_ROUNDS.observe_many(np.asarray(readings.rounds_used).ravel().tolist())
+        trace.set(
+            conversions=int(np.prod(shape)),
+            convergence_failures=failures,
+            rounds_mean=float(np.mean(readings.rounds_used)),
+        )
+        return readings
+
+
+def _read_population_grid(
+    sensors: Sequence[PTSensor],
+    reference: PTSensor,
+    config,
+    temps_k: np.ndarray,
+    vdd: float,
+    shape,
+    deterministic: bool,
+    assume_vdd: Optional[float],
+) -> PopulationReadings:
+    """The vectorised conversion pipeline behind :func:`read_population`."""
+    n_sensors, n_temps, repeats = shape
 
     grid = population_grid(sensors, temps_k, vdd)
     frequencies = population_bank_frequencies(sensors, grid)

@@ -109,6 +109,27 @@ def bench_read_population(n_dies: int = 50, n_temps: int = 5) -> float:
     return _time(sweep)
 
 
+def bench_read_population_telemetry(n_dies: int = 50, n_temps: int = 5) -> float:
+    """The read_population workload with telemetry enabled into a null sink.
+
+    Pins the enabled-mode overhead of the instrumentation: this entry must
+    track ``read_population_batch_50x5`` closely (the acceptance bar for
+    the telemetry layer is <2 % on the population sweep with the null
+    sink; benchmarks/bench_telemetry_overhead.py asserts the ratio).
+    """
+    from repro import telemetry
+    from repro.batch import read_population
+    from repro.telemetry import NullSink
+
+    _, sensors, temps_c = _population_setup(n_dies, n_temps)
+
+    def sweep():
+        return read_population(sensors, temps_c, deterministic=True)
+
+    with telemetry.get().capture(sink=NullSink(), reset=False):
+        return _time(sweep)
+
+
 def _thermal_setup():
     from repro.thermal.grid import build_stack_grid
     from repro.thermal.power import uniform_power_map
@@ -149,6 +170,7 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "population_sweep_scalar_50x9": bench_population_sweep_scalar,
     "population_sweep_batch_200x9": bench_population_sweep_batch,
     "read_population_batch_50x5": bench_read_population,
+    "read_population_telemetry_50x5": bench_read_population_telemetry,
     "thermal_steady_cold": bench_thermal_steady_cold,
     "thermal_steady_warm": bench_thermal_steady_warm,
 }

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.circuits.digital import WindowCounter
 from repro.circuits.oscillator_bank import (
     OscillatorBank,
@@ -36,6 +37,23 @@ from repro.readout.energy import ConversionEnergy, conversion_energy
 from repro.readout.interface import SensorFrame, encode_frame
 from repro.units import celsius_to_kelvin, kelvin_to_celsius
 from repro.variation.montecarlo import DieSample
+
+_CONVERSIONS = telemetry.counter(
+    "core.conversions", unit="conversions", help="Full PT conversions executed"
+)
+_CONVERGENCE_FAILURES = telemetry.counter(
+    "core.convergence_failures",
+    unit="conversions",
+    help="Conversions whose self-calibration did not converge",
+)
+_CALIBRATION_ROUNDS = telemetry.histogram(
+    "core.calibration_rounds",
+    unit="rounds",
+    help="Self-calibration rounds used per conversion",
+)
+_CONVERSION_ENERGY = telemetry.histogram(
+    "core.conversion_energy_pj", unit="pJ", help="Energy per full conversion"
+)
 
 
 @dataclass(frozen=True)
@@ -147,7 +165,7 @@ class PTSensor:
 
     def read(
         self,
-        temp_c: float,
+        temp_c,
         vdd: Optional[float] = None,
         deterministic: bool = False,
         assume_vdd: Optional[float] = None,
@@ -155,7 +173,12 @@ class PTSensor:
         """Run one full conversion at a true junction temperature.
 
         Args:
-            temp_c: True junction temperature at the sensor site, Celsius.
+            temp_c: True junction temperature at the sensor site, Celsius —
+                or a full :class:`Environment`, which is forwarded to
+                :meth:`read_environment` unchanged (the common
+                environment-style call form shared with
+                :class:`repro.core.tracking.TrackingSensor` and
+                :func:`repro.batch.read_population`).
             vdd: True supply voltage (``None`` = nominal).
             deterministic: Suppress counter phase randomness (mid-phase
                 counts); used by tests and characterisation sweeps.
@@ -168,7 +191,14 @@ class PTSensor:
         Returns:
             The :class:`SensorReading` the macro would publish.
         """
-        env = self.physical_environment(celsius_to_kelvin(temp_c), vdd)
+        if isinstance(temp_c, Environment):
+            if vdd is not None:
+                raise ValueError(
+                    "pass vdd inside the Environment, not alongside it"
+                )
+            env = temp_c
+        else:
+            env = self.physical_environment(celsius_to_kelvin(temp_c), vdd)
         return self.read_environment(
             env, deterministic=deterministic, assume_vdd=assume_vdd
         )
@@ -187,45 +217,59 @@ class PTSensor:
         """
         rng = None if deterministic else self._rng
 
-        frequencies = self.bank.frequencies(env)
-        counts_n = self._counter_n.count(frequencies.psro_n, rng)
-        counts_p = self._counter_p.count(frequencies.psro_p, rng)
-        counts_ref = self._timer_t.count(frequencies.tsro, rng)
+        with telemetry.span(
+            "core.conversion", die_id=self.die_id, temp_k=env.temp_k, vdd=env.vdd
+        ) as trace:
+            frequencies = self.bank.frequencies(env)
+            counts_n = self._counter_n.count(frequencies.psro_n, rng)
+            counts_p = self._counter_p.count(frequencies.psro_p, rng)
+            counts_ref = self._timer_t.count(frequencies.tsro, rng)
 
-        f_n_hat = self._counter_n.frequency_from_count(counts_n)
-        f_p_hat = self._counter_p.frequency_from_count(counts_p)
-        f_t_hat = self._timer_t.frequency_from_count(counts_ref)
+            f_n_hat = self._counter_n.frequency_from_count(counts_n)
+            f_p_hat = self._counter_p.frequency_from_count(counts_p)
+            f_t_hat = self._timer_t.frequency_from_count(counts_ref)
 
-        # Unless told the DVFS setpoint (assume_vdd), the sensor does not
-        # know the true supply and assumes nominal; droop then shows up as
-        # residual error (experiment R-F8), exactly as in the silicon.
-        state: CalibrationState = self.engine.run(
-            f_n_hat, f_p_hat, f_t_hat, vdd=assume_vdd
-        )
+            # Unless told the DVFS setpoint (assume_vdd), the sensor does not
+            # know the true supply and assumes nominal; droop then shows up as
+            # residual error (experiment R-F8), exactly as in the silicon.
+            state: CalibrationState = self.engine.run(
+                f_n_hat, f_p_hat, f_t_hat, vdd=assume_vdd
+            )
 
-        energy = conversion_energy(self.bank, env, self.config)
-        conversion_time = self.config.conversion_time(frequencies.tsro)
+            energy = conversion_energy(self.bank, env, self.config)
+            conversion_time = self.config.conversion_time(frequencies.tsro)
 
-        return SensorReading(
-            temperature_c=kelvin_to_celsius(state.temp_k),
-            dvtn=state.dvtn,
-            dvtp=state.dvtp,
-            counts_n=counts_n,
-            counts_p=counts_p,
-            counts_ref=counts_ref,
-            energy=energy,
-            conversion_time=conversion_time,
-            rounds_used=state.rounds_used,
-            converged=state.converged,
-        )
+            _CONVERSIONS.inc()
+            _CALIBRATION_ROUNDS.observe(state.rounds_used)
+            _CONVERSION_ENERGY.observe(energy.total * 1e12)
+            if not state.converged:
+                _CONVERGENCE_FAILURES.inc()
+            trace.set(
+                rounds_used=state.rounds_used,
+                converged=state.converged,
+                energy_pj=energy.total * 1e12,
+            )
+
+            return SensorReading(
+                temperature_c=kelvin_to_celsius(state.temp_k),
+                dvtn=state.dvtn,
+                dvtp=state.dvtp,
+                counts_n=counts_n,
+                counts_p=counts_p,
+                counts_ref=counts_ref,
+                energy=energy,
+                conversion_time=conversion_time,
+                rounds_used=state.rounds_used,
+                converged=state.converged,
+            )
 
     def frame(self, reading: SensorReading) -> int:
         """Encode a reading into the 40-bit TSV-bus frame."""
         return encode_frame(
             SensorFrame(
                 die_id=self.die_id,
-                vtn_shift=reading.dvtn,
-                vtp_shift=reading.dvtp,
+                dvtn=reading.dvtn,
+                dvtp=reading.dvtp,
                 temperature_c=reading.temperature_c,
                 valid=reading.converged,
             )

@@ -21,11 +21,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import telemetry
+from repro.circuits.ring_oscillator import Environment
 from repro.core.errors import SensorError
 from repro.core.sensor import PTSensor, SensorReading
 from repro.core.temperature import estimate_temperature_clamped
 from repro.readout.energy import ConversionEnergy, conversion_energy
 from repro.units import celsius_to_kelvin, kelvin_to_celsius
+
+_FULL_READS = telemetry.counter(
+    "core.tracking.full_reads",
+    unit="reads",
+    help="Tracking-mode samples served by a full conversion",
+)
+_FAST_READS = telemetry.counter(
+    "core.tracking.fast_reads",
+    unit="reads",
+    help="Tracking-mode samples served by the TSRO-only fast path",
+)
+_FAST_FAILURES = telemetry.counter(
+    "core.tracking.fast_failures",
+    unit="reads",
+    help="Fast reads that raised a range error",
+)
 
 
 @dataclass(frozen=True)
@@ -97,12 +115,13 @@ class TrackingSensor:
             + reading_energy.digital / 2.0
         )
 
-    def _full_read(self, temp_c: float, vdd: Optional[float]) -> TrackingReading:
-        reading: SensorReading = self.sensor.read(temp_c, vdd=vdd)
+    def _full_read(self, env: Environment) -> TrackingReading:
+        reading: SensorReading = self.sensor.read_environment(env)
         self._stored_dvtn = reading.dvtn
         self._stored_dvtp = reading.dvtp
         self._reads_since_full = 0
         self._fast_failures = 0
+        _FULL_READS.inc()
         return TrackingReading(
             temperature_c=reading.temperature_c,
             mode="full",
@@ -111,8 +130,7 @@ class TrackingSensor:
             dvtp=reading.dvtp,
         )
 
-    def _fast_read(self, temp_c: float, vdd: Optional[float]) -> TrackingReading:
-        env = self.sensor.physical_environment(celsius_to_kelvin(temp_c), vdd)
+    def _fast_read(self, env: Environment) -> TrackingReading:
         f_t = self.sensor.bank.tsro.frequency(env)
         count = self.sensor._timer_t.count(f_t, self.sensor._rng)
         f_t_hat = self.sensor._timer_t.frequency_from_count(count)
@@ -121,6 +139,7 @@ class TrackingSensor:
         )
         full_energy = conversion_energy(self.sensor.bank, env, self.sensor.config)
         self._reads_since_full += 1
+        _FAST_READS.inc()
         return TrackingReading(
             temperature_c=kelvin_to_celsius(temp_k),
             mode="fast",
@@ -129,23 +148,35 @@ class TrackingSensor:
             dvtp=self._stored_dvtp,
         )
 
-    def read(self, temp_c: float, vdd: Optional[float] = None) -> TrackingReading:
+    def read(self, temp_c, vdd: Optional[float] = None) -> TrackingReading:
         """One sample: fast when the stored calibration is fresh enough.
 
         Falls back to a full conversion at power-on, on schedule, or after
-        repeated fast-read failures.
+        repeated fast-read failures.  ``temp_c`` is a Celsius temperature,
+        or a full :class:`Environment` — the common environment-style call
+        form shared with :meth:`PTSensor.read` and
+        :func:`repro.batch.read_population`.
         """
+        if isinstance(temp_c, Environment):
+            if vdd is not None:
+                raise ValueError(
+                    "pass vdd inside the Environment, not alongside it"
+                )
+            env = temp_c
+        else:
+            env = self.sensor.physical_environment(celsius_to_kelvin(temp_c), vdd)
         due = (
             not self.calibrated
             or self._reads_since_full >= self.policy.recalibration_interval - 1
             or self._fast_failures >= self.policy.max_fast_failures
         )
         if due:
-            return self._full_read(temp_c, vdd)
+            return self._full_read(env)
         try:
-            return self._fast_read(temp_c, vdd)
+            return self._fast_read(env)
         except SensorError:
             self._fast_failures += 1
+            _FAST_FAILURES.inc()
             if self._fast_failures >= self.policy.max_fast_failures:
-                return self._full_read(temp_c, vdd)
+                return self._full_read(env)
             raise

@@ -152,8 +152,8 @@ def run(fast: bool = False) -> F5Result:
                 frames[tier_id] = encode_frame(
                     SensorFrame(
                         die_id=tier_id,
-                        vtn_shift=reading.dvtn,
-                        vtp_shift=reading.dvtp,
+                        dvtn=reading.dvtn,
+                        dvtp=reading.dvtp,
                         temperature_c=reading.temperature_c,
                     )
                 )

@@ -16,7 +16,23 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import telemetry
 from repro.experiments import ALL_EXPERIMENTS
+
+_RUNS = telemetry.counter(
+    "experiments.runs", unit="experiments", help="Experiment executions"
+)
+_FAILURES = telemetry.counter(
+    "experiments.failures",
+    unit="experiments",
+    help="Experiment executions that raised",
+)
+_RUNTIME = telemetry.histogram(
+    "experiments.runtime_s", unit="s", help="Wall-clock runtime per experiment"
+)
+_JOBS = telemetry.gauge(
+    "experiments.jobs", unit="threads", help="Worker threads of the last run_all"
+)
 
 
 @dataclass(frozen=True)
@@ -67,18 +83,37 @@ class SuiteResult:
         return json.dumps(payload, indent=2)
 
 
+def run_experiment(key: str, fast: bool = False):
+    """Run one registered experiment and return its result object.
+
+    The stable single-experiment entry point of the facade
+    (:mod:`repro.api`): ``run_experiment("R-F4").render()`` prints the
+    same rows ``python -m repro run R-F4`` does.  Raises ``KeyError`` on
+    an unknown experiment id.
+    """
+    if key not in ALL_EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {key!r}; known: {', '.join(ALL_EXPERIMENTS)}"
+        )
+    with telemetry.span("experiments.run", key=key, fast=fast):
+        return ALL_EXPERIMENTS[key].run(fast=fast)
+
+
 def _run_one(key: str, fast: bool) -> ExperimentOutcome:
     """Execute a single experiment, capturing failures into the outcome."""
     started = time.perf_counter()
     try:
-        rendered = ALL_EXPERIMENTS[key].run(fast=fast).render()
+        rendered = run_experiment(key, fast=fast).render()
         ok = True
     except Exception:
         rendered = traceback.format_exc()
         ok = False
-    return ExperimentOutcome(
-        key=key, ok=ok, runtime_s=time.perf_counter() - started, rendered=rendered
-    )
+    runtime_s = time.perf_counter() - started
+    _RUNS.inc()
+    _RUNTIME.observe(runtime_s)
+    if not ok:
+        _FAILURES.inc()
+    return ExperimentOutcome(key=key, ok=ok, runtime_s=runtime_s, rendered=rendered)
 
 
 def run_all(
@@ -104,13 +139,19 @@ def run_all(
         raise KeyError(f"unknown experiments: {unknown}")
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-    if jobs == 1 or len(keys) <= 1:
-        outcomes = [_run_one(key, fast) for key in keys]
-    else:
-        with ThreadPoolExecutor(max_workers=min(jobs, len(keys))) as pool:
-            # map() preserves submission order regardless of finish order.
-            outcomes = list(pool.map(lambda key: _run_one(key, fast), keys))
-    return SuiteResult(outcomes=outcomes, fast=fast)
+    _JOBS.set(min(jobs, max(len(keys), 1)))
+    with telemetry.span(
+        "experiments.run_all", experiments=len(keys), jobs=jobs, fast=fast
+    ) as trace:
+        if jobs == 1 or len(keys) <= 1:
+            outcomes = [_run_one(key, fast) for key in keys]
+        else:
+            with ThreadPoolExecutor(max_workers=min(jobs, len(keys))) as pool:
+                # map() preserves submission order regardless of finish order.
+                outcomes = list(pool.map(lambda key: _run_one(key, fast), keys))
+        result = SuiteResult(outcomes=outcomes, fast=fast)
+        trace.set(failures=len(result.failures()))
+        return result
 
 
 def write_report(result: SuiteResult, path: str) -> None:

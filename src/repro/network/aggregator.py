@@ -7,21 +7,66 @@ unglamorous part a real monitoring network lives or dies by:
 * **parity errors** — re-poll the affected tier (bounded retries);
 * **missing tiers** — count consecutive misses and declare the tier dead
   after a threshold instead of silently reporting stale data;
+* **revival probes** — a dead tier is still probed each round, so a tier
+  that recovers (re-seated link, cleared fault) rejoins the network
+  instead of being ignored forever;
 * **alarms** — classify each tier against warning/emergency thresholds so
   the DTM layer gets actionable state, not raw frames.
+
+The monitor distinguishes *why* a tier missed a round: a parity-failed
+re-poll that never delivered a clean frame is **corruption** (the tier is
+alive, the link is noisy), while silence is **possible death**.  Both
+count toward the dead-tier threshold, but they are tracked — and reported
+through telemetry — separately, so a noisy link and a dead tier look
+different on a dashboard.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.sensor import PTSensor
 from repro.tsv.bus import TsvSensorBus
 
 DEAD_AFTER_CONSECUTIVE_MISSES = 3
+
+_POLLS = telemetry.counter(
+    "network.monitor.polls", unit="rounds", help="Polling rounds executed"
+)
+_RETRIES = telemetry.counter(
+    "network.monitor.retries",
+    unit="rounds",
+    help="Bus re-poll rounds triggered by parity failures",
+)
+_PARITY_MISSES = telemetry.counter(
+    "network.monitor.parity_misses",
+    unit="misses",
+    help="Tier-rounds lost to corruption after exhausting retries",
+)
+_SILENT_MISSES = telemetry.counter(
+    "network.monitor.silent_misses",
+    unit="misses",
+    help="Tier-rounds lost to silence (no frame at all)",
+)
+_DEAD_TIER_EVENTS = telemetry.counter(
+    "network.monitor.dead_tier_events",
+    unit="events",
+    help="Alive -> dead transitions",
+)
+_TIER_REVIVALS = telemetry.counter(
+    "network.monitor.tier_revivals",
+    unit="events",
+    help="Dead -> alive transitions (a probed tier answered cleanly)",
+)
+_ALARM_TRANSITIONS = telemetry.counter(
+    "network.monitor.alarm_transitions",
+    unit="events",
+    help="Tiers newly entering the warning or emergency band",
+)
 
 
 @dataclass
@@ -33,8 +78,14 @@ class TierState:
         temperature_c: Last good temperature reading.
         dvtn: Last good NMOS threshold shift, volts.
         dvtp: Last good PMOS threshold-magnitude shift, volts.
-        consecutive_misses: Polls in a row with no clean frame.
-        alive: False once the tier is declared dead.
+        consecutive_misses: Polls in a row with no clean frame (either
+            cause); the dead-tier threshold applies to this total.
+        consecutive_parity_misses: The corruption share of the streak —
+            rounds lost to parity failures that survived every retry.
+        consecutive_silent_misses: The silence share of the streak —
+            rounds where the tier produced no frame at all.
+        alive: False while the tier is declared dead (it is still probed
+            and revives on the next clean frame).
     """
 
     tier: int
@@ -42,7 +93,14 @@ class TierState:
     dvtn: Optional[float] = None
     dvtp: Optional[float] = None
     consecutive_misses: int = 0
+    consecutive_parity_misses: int = 0
+    consecutive_silent_misses: int = 0
     alive: bool = True
+
+    def _register_good_frame(self) -> None:
+        self.consecutive_misses = 0
+        self.consecutive_parity_misses = 0
+        self.consecutive_silent_misses = 0
 
 
 @dataclass(frozen=True)
@@ -54,8 +112,11 @@ class MonitorSnapshot:
         hottest_tier: Tier with the highest fresh reading, or None.
         warnings: Tiers at or above the warning threshold.
         emergencies: Tiers at or above the emergency threshold.
-        dead_tiers: Tiers declared dead so far.
+        dead_tiers: Tiers currently declared dead.
         retries_used: Bus re-polls needed this round.
+        parity_faults: Parity-failed frame receptions this round (across
+            all attempts, before retries resolved them).
+        revived_tiers: Tiers that came back from the dead this round.
     """
 
     temperatures_c: Dict[int, float]
@@ -64,6 +125,8 @@ class MonitorSnapshot:
     emergencies: List[int]
     dead_tiers: List[int]
     retries_used: int
+    parity_faults: int = 0
+    revived_tiers: List[int] = field(default_factory=list)
 
 
 class StackMonitor:
@@ -101,6 +164,7 @@ class StackMonitor:
             tier: TierState(tier=tier) for tier in self.sensors
         }
         self.history: List[MonitorSnapshot] = []
+        self._alarmed: Dict[int, str] = {}
 
     def _sense_tier(self, tier: int, temp_c: float, vdd: Optional[float]) -> int:
         sensor = self.sensors[tier]
@@ -121,63 +185,113 @@ class StackMonitor:
             The round's :class:`MonitorSnapshot`; tier states update as a
             side effect.
         """
-        pending = [
-            tier
-            for tier, state in self.states.items()
-            if state.alive and tier in true_temps_c
-        ]
+        # Dead tiers are probed too: polling them costs one conversion
+        # attempt, and it is the only way a revived tier can rejoin.
+        pending = [tier for tier in self.states if tier in true_temps_c]
         fresh: Dict[int, float] = {}
+        revived: List[int] = []
         retries_used = 0
+        parity_faults = 0
 
-        attempts = 0
-        while pending and attempts <= self.retry_limit:
-            polled = set(pending)
-            frames = {
-                tier: self._sense_tier(tier, true_temps_c[tier], vdd)
-                for tier in pending
-            }
-            report = self.bus.collect(frames, rng=self.rng)
-            for tier, frame in report.frames.items():
-                state = self.states[tier]
-                state.temperature_c = frame.temperature_c
-                state.dvtn = frame.vtn_shift
-                state.dvtp = frame.vtp_shift
-                state.consecutive_misses = 0
-                fresh[tier] = frame.temperature_c
-            # Parity-failed tiers get re-polled; missing tiers do not (a
-            # stuck tier will not answer a retry either).  The bus reports
-            # every chain position absent from the shift-in as missing, so
-            # only tiers we actually polled this round count.
-            for tier in report.missing:
-                if tier in polled:
-                    self._register_miss(tier)
-            pending = list(report.parity_errors)
-            if pending:
-                retries_used += 1
-            attempts += 1
-        for tier in pending:  # parity failures that survived all retries
-            self._register_miss(tier)
+        with telemetry.span(
+            "network.poll_round", tiers=len(pending), retry_limit=self.retry_limit
+        ) as trace:
+            attempts = 0
+            while pending and attempts <= self.retry_limit:
+                polled = set(pending)
+                frames = {
+                    tier: self._sense_tier(tier, true_temps_c[tier], vdd)
+                    for tier in pending
+                }
+                with telemetry.span(
+                    "network.bus_collect", attempt=attempts, tiers=len(frames)
+                ) as bus_trace:
+                    report = self.bus.collect(frames, rng=self.rng)
+                    bus_trace.set(
+                        delivered=len(report.frames),
+                        parity_errors=len(report.parity_errors),
+                        missing=len(report.missing),
+                    )
+                parity_faults += len(report.parity_errors)
+                for tier, frame in report.frames.items():
+                    state = self.states[tier]
+                    if not state.alive:
+                        state.alive = True
+                        revived.append(tier)
+                        _TIER_REVIVALS.inc()
+                    state.temperature_c = frame.temperature_c
+                    state.dvtn = frame.dvtn
+                    state.dvtp = frame.dvtp
+                    state._register_good_frame()
+                    fresh[tier] = frame.temperature_c
+                # Parity-failed tiers get re-polled; missing tiers do not (a
+                # stuck tier will not answer a retry either).  The bus reports
+                # every chain position absent from the shift-in as missing, so
+                # only tiers we actually polled this round count.
+                for tier in report.missing:
+                    if tier in polled:
+                        self._register_miss(tier, silent=True)
+                pending = list(report.parity_errors)
+                if pending:
+                    retries_used += 1
+                    _RETRIES.inc()
+                attempts += 1
+            for tier in pending:  # parity failures that survived all retries
+                self._register_miss(tier, silent=False)
 
-        warnings = sorted(
-            t for t, temp in fresh.items() if self.warning_c <= temp < self.emergency_c
-        )
-        emergencies = sorted(t for t, temp in fresh.items() if temp >= self.emergency_c)
-        snapshot = MonitorSnapshot(
-            temperatures_c=fresh,
-            hottest_tier=max(fresh, key=fresh.get) if fresh else None,
-            warnings=warnings,
-            emergencies=emergencies,
-            dead_tiers=sorted(t for t, s in self.states.items() if not s.alive),
-            retries_used=retries_used,
-        )
+            warnings = sorted(
+                t
+                for t, temp in fresh.items()
+                if self.warning_c <= temp < self.emergency_c
+            )
+            emergencies = sorted(
+                t for t, temp in fresh.items() if temp >= self.emergency_c
+            )
+            self._track_alarm_transitions(warnings, emergencies)
+            snapshot = MonitorSnapshot(
+                temperatures_c=fresh,
+                hottest_tier=max(fresh, key=fresh.get) if fresh else None,
+                warnings=warnings,
+                emergencies=emergencies,
+                dead_tiers=sorted(t for t, s in self.states.items() if not s.alive),
+                retries_used=retries_used,
+                parity_faults=parity_faults,
+                revived_tiers=sorted(revived),
+            )
+            _POLLS.inc()
+            trace.set(
+                fresh=len(fresh),
+                retries_used=retries_used,
+                parity_faults=parity_faults,
+                dead_tiers=len(snapshot.dead_tiers),
+                revived=len(revived),
+            )
         self.history.append(snapshot)
         return snapshot
 
-    def _register_miss(self, tier: int) -> None:
+    def _register_miss(self, tier: int, silent: bool) -> None:
         state = self.states[tier]
         state.consecutive_misses += 1
-        if state.consecutive_misses >= DEAD_AFTER_CONSECUTIVE_MISSES:
+        if silent:
+            state.consecutive_silent_misses += 1
+            _SILENT_MISSES.inc()
+        else:
+            state.consecutive_parity_misses += 1
+            _PARITY_MISSES.inc()
+        if state.alive and state.consecutive_misses >= DEAD_AFTER_CONSECUTIVE_MISSES:
             state.alive = False
+            _DEAD_TIER_EVENTS.inc()
+
+    def _track_alarm_transitions(
+        self, warnings: List[int], emergencies: List[int]
+    ) -> None:
+        """Count tiers whose alarm band changed upward or sideways."""
+        current = {tier: "warning" for tier in warnings}
+        current.update({tier: "emergency" for tier in emergencies})
+        for tier, band in current.items():
+            if self._alarmed.get(tier) != band:
+                _ALARM_TRANSITIONS.inc()
+        self._alarmed = current
 
     def process_map(self) -> Dict[int, tuple]:
         """Last known (dV_tn, dV_tp) per tier — the stack's process map."""

@@ -18,6 +18,7 @@ Frame layout, MSB first (40 bits):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 FRAME_BITS = 40
@@ -31,23 +32,81 @@ VT_CODE_LSB_V = 1e-4
 TEMP_CODE_OFFSET_C = 40.0
 
 
-@dataclass(frozen=True)
+def _warn_renamed(old: str, new: str) -> None:
+    warnings.warn(
+        f"SensorFrame.{old} is deprecated; use SensorFrame.{new} "
+        "(one naming scheme for threshold shifts across the stack, "
+        "matching SensorReading.dvtn/dvtp)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True, init=False)
 class SensorFrame:
     """One decoded sensor frame.
 
     Attributes:
         die_id: Tier identifier (0-63).
-        vtn_shift: Extracted NMOS threshold shift in volts.
-        vtp_shift: Extracted PMOS threshold-magnitude shift in volts.
+        dvtn: Extracted NMOS threshold shift in volts.
+        dvtp: Extracted PMOS threshold-magnitude shift in volts.
         temperature_c: Temperature reading in Celsius.
         valid: Whether the sensor marked the conversion valid.
+
+    The threshold-shift fields were named ``vtn_shift``/``vtp_shift``
+    before the stack converged on the ``dvtn``/``dvtp`` scheme used by
+    :class:`repro.core.sensor.SensorReading` and
+    :class:`repro.circuits.ring_oscillator.Environment`; the old names
+    still work — as constructor keywords and read-only properties — but
+    emit :class:`DeprecationWarning`.
     """
 
     die_id: int
-    vtn_shift: float
-    vtp_shift: float
+    dvtn: float
+    dvtp: float
     temperature_c: float
     valid: bool = True
+
+    def __init__(
+        self,
+        die_id: int,
+        dvtn: float = None,
+        dvtp: float = None,
+        temperature_c: float = 0.0,
+        valid: bool = True,
+        *,
+        vtn_shift: float = None,
+        vtp_shift: float = None,
+    ) -> None:
+        if vtn_shift is not None:
+            if dvtn is not None:
+                raise TypeError("pass dvtn or vtn_shift, not both")
+            _warn_renamed("vtn_shift", "dvtn")
+            dvtn = vtn_shift
+        if vtp_shift is not None:
+            if dvtp is not None:
+                raise TypeError("pass dvtp or vtp_shift, not both")
+            _warn_renamed("vtp_shift", "dvtp")
+            dvtp = vtp_shift
+        if dvtn is None or dvtp is None:
+            raise TypeError("SensorFrame requires dvtn and dvtp")
+        object.__setattr__(self, "die_id", die_id)
+        object.__setattr__(self, "dvtn", float(dvtn))
+        object.__setattr__(self, "dvtp", float(dvtp))
+        object.__setattr__(self, "temperature_c", float(temperature_c))
+        object.__setattr__(self, "valid", valid)
+
+    @property
+    def vtn_shift(self) -> float:
+        """Deprecated alias of :attr:`dvtn`."""
+        _warn_renamed("vtn_shift", "dvtn")
+        return self.dvtn
+
+    @property
+    def vtp_shift(self) -> float:
+        """Deprecated alias of :attr:`dvtp`."""
+        _warn_renamed("vtp_shift", "dvtp")
+        return self.dvtp
 
 
 class FrameError(ValueError):
@@ -73,8 +132,8 @@ def encode_frame(frame: SensorFrame) -> int:
     """Encode a :class:`SensorFrame` into its 40-bit wire representation."""
     if not 0 <= frame.die_id < (1 << _DIE_BITS):
         raise FrameError(f"die_id {frame.die_id} does not fit in {_DIE_BITS} bits")
-    vtn_code = _to_twos_complement(round(frame.vtn_shift / VT_CODE_LSB_V), _VT_BITS)
-    vtp_code = _to_twos_complement(round(frame.vtp_shift / VT_CODE_LSB_V), _VT_BITS)
+    vtn_code = _to_twos_complement(round(frame.dvtn / VT_CODE_LSB_V), _VT_BITS)
+    vtp_code = _to_twos_complement(round(frame.dvtp / VT_CODE_LSB_V), _VT_BITS)
     temp_raw = round(frame.temperature_c + TEMP_CODE_OFFSET_C)
     temp_code = max(0, min((1 << _TEMP_BITS) - 1, temp_raw))
 
@@ -108,8 +167,8 @@ def decode_frame(word: int) -> SensorFrame:
 
     return SensorFrame(
         die_id=die_id,
-        vtn_shift=_from_twos_complement(vtn_code, _VT_BITS) * VT_CODE_LSB_V,
-        vtp_shift=_from_twos_complement(vtp_code, _VT_BITS) * VT_CODE_LSB_V,
+        dvtn=_from_twos_complement(vtn_code, _VT_BITS) * VT_CODE_LSB_V,
+        dvtp=_from_twos_complement(vtp_code, _VT_BITS) * VT_CODE_LSB_V,
         temperature_c=temp_code - TEMP_CODE_OFFSET_C,
         valid=valid,
     )

@@ -1,0 +1,202 @@
+"""Unified telemetry for the sensing stack: metrics + trace spans.
+
+One process-wide :class:`Telemetry` instance owns a metric registry and
+a sink.  Call sites bind instrument handles once at import time and hit
+them from the hot seams::
+
+    from repro import telemetry
+
+    _CONVERSIONS = telemetry.counter("core.conversions", unit="conversions")
+
+    def read(...):
+        with telemetry.span("core.conversion", die_id=die_id) as span:
+            ...
+            _CONVERSIONS.inc()
+            span.set(rounds_used=state.rounds_used)
+
+Semantics, chosen for near-zero overhead on the paths PR 1 made fast:
+
+* **Metrics always record.**  A counter increment is a lock and an
+  integer add; leaving them unconditionally on keeps accounting like the
+  thermal LU-cache hit rate available without any setup (and is what
+  :func:`repro.thermal.solver.factorization_cache_stats` now reads).
+* **Spans and export are gated.**  While disabled (the default),
+  :func:`span` returns the shared no-op span and nothing reaches the
+  sink; enabling telemetry (``configure`` or the :func:`capture`
+  context manager) streams finished spans to the configured sink and
+  :func:`flush_metrics` writes one snapshot record per instrument.
+
+The JSON-lines schema (``{"type": "span"|"metric", ...}``) is documented
+in docs/telemetry.md together with the full metric catalogue.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    MetricsRegistry,
+    TelemetryError,
+    subsystem_of,
+)
+from repro.telemetry.sinks import InMemorySink, JsonlSink, NullSink, Sink
+from repro.telemetry.spans import NULL_SPAN, NullSpan, Span, _SpanStack
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "Instrument",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "Sink",
+    "Span",
+    "Telemetry",
+    "TelemetryError",
+    "capture",
+    "configure",
+    "counter",
+    "enabled",
+    "flush_metrics",
+    "gauge",
+    "get",
+    "histogram",
+    "reset_metrics",
+    "span",
+    "subsystem_of",
+]
+
+
+class Telemetry:
+    """The registry + sink + enable flag behind the module-level API.
+
+    The process-wide instance (from :func:`get`) is never replaced, only
+    reconfigured — so instrument handles bound at import time stay valid
+    across ``configure``/``capture`` cycles.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.sink: Sink = NullSink()
+        self._enabled = False
+        self._stack = _SpanStack()
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def configure(
+        self, sink: Optional[Sink] = None, enabled: Optional[bool] = None
+    ) -> None:
+        """Swap the sink and/or flip the enable flag."""
+        if sink is not None:
+            self.sink = sink
+        if enabled is not None:
+            self._enabled = bool(enabled)
+
+    def counter(self, name: str, unit: str = "", help: str = "") -> Counter:
+        return self.registry.counter(name, unit=unit, help=help)
+
+    def gauge(self, name: str, unit: str = "", help: str = "") -> Gauge:
+        return self.registry.gauge(name, unit=unit, help=help)
+
+    def histogram(self, name: str, unit: str = "", help: str = "") -> Histogram:
+        return self.registry.histogram(name, unit=unit, help=help)
+
+    def span(self, name: str, **attributes):
+        """An open span context manager (the shared no-op when disabled)."""
+        if not self._enabled:
+            return NULL_SPAN
+        return Span(name, attributes, self.sink, self._stack)
+
+    def flush_metrics(self) -> None:
+        """Write one snapshot record per registered instrument to the sink."""
+        for record in self.registry.snapshot():
+            self.sink.emit_metric(record)
+        self.sink.flush()
+
+    def reset_metrics(self) -> None:
+        """Zero every instrument (handles stay valid)."""
+        self.registry.reset()
+
+    @contextmanager
+    def capture(
+        self, sink: Optional[Sink] = None, reset: bool = True
+    ) -> Iterator[Sink]:
+        """Temporarily enable telemetry into ``sink`` (default in-memory).
+
+        Restores the previous sink and enable flag on exit and flushes a
+        metric snapshot into the sink first.  ``reset=True`` (default)
+        zeroes all metrics on entry so captured counts reflect only the
+        enclosed block — the test-isolation mode.
+        """
+        target = sink if sink is not None else InMemorySink()
+        previous_sink, previous_enabled = self.sink, self._enabled
+        if reset:
+            self.reset_metrics()
+        self.configure(sink=target, enabled=True)
+        try:
+            yield target
+        finally:
+            self.flush_metrics()
+            self.configure(sink=previous_sink, enabled=previous_enabled)
+
+
+_TELEMETRY = Telemetry()
+
+
+def get() -> Telemetry:
+    """The process-wide telemetry instance."""
+    return _TELEMETRY
+
+
+def counter(name: str, unit: str = "", help: str = "") -> Counter:
+    """Get-or-create a counter in the process-wide registry."""
+    return _TELEMETRY.counter(name, unit=unit, help=help)
+
+
+def gauge(name: str, unit: str = "", help: str = "") -> Gauge:
+    """Get-or-create a gauge in the process-wide registry."""
+    return _TELEMETRY.gauge(name, unit=unit, help=help)
+
+
+def histogram(name: str, unit: str = "", help: str = "") -> Histogram:
+    """Get-or-create a histogram in the process-wide registry."""
+    return _TELEMETRY.histogram(name, unit=unit, help=help)
+
+
+def span(name: str, **attributes):
+    """An open span on the process-wide instance (no-op when disabled)."""
+    return _TELEMETRY.span(name, **attributes)
+
+
+def configure(sink: Optional[Sink] = None, enabled: Optional[bool] = None) -> None:
+    """Reconfigure the process-wide instance."""
+    _TELEMETRY.configure(sink=sink, enabled=enabled)
+
+
+def enabled() -> bool:
+    """Whether span tracing/export is currently on."""
+    return _TELEMETRY.enabled
+
+
+def flush_metrics() -> None:
+    """Snapshot every metric into the current sink."""
+    _TELEMETRY.flush_metrics()
+
+
+def reset_metrics() -> None:
+    """Zero every metric in the process-wide registry."""
+    _TELEMETRY.reset_metrics()
+
+
+def capture(sink: Optional[Sink] = None, reset: bool = True):
+    """Context manager: temporarily enable telemetry (see Telemetry.capture)."""
+    return _TELEMETRY.capture(sink=sink, reset=reset)

@@ -1,0 +1,293 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds cover everything the sensing stack wants to count:
+
+* :class:`Counter` — monotonically increasing event counts (conversions,
+  parity errors, cache hits);
+* :class:`Gauge` — last-written values (worker counts, configuration);
+* :class:`Histogram` — bounded-memory distributions (calibration rounds,
+  conversion energy) keeping exact count/sum/min/max plus a decimating
+  reservoir for quantiles.
+
+Metric *recording* is always on: an increment is a lock plus an integer
+add, cheap enough to leave in every hot seam unconditionally (the global
+enable flag in :mod:`repro.telemetry` gates the expensive parts — spans
+and sink export).  All instruments are thread-safe; the parallel
+experiment runner increments them from worker threads.
+
+Names are dotted lowercase paths (``network.bus.parity_errors``); the
+first segment is the subsystem and is what the report/summary tooling
+groups by.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Optional
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+# Reservoir capacity of a histogram.  When full the reservoir decimates
+# (keeps every other sample) and doubles its stride — deterministic, no
+# RNG involved, so telemetry never perturbs seeded experiments.
+RESERVOIR_CAPACITY = 512
+
+
+class TelemetryError(ValueError):
+    """Invalid metric name, kind conflict, or bad instrument arguments."""
+
+
+def subsystem_of(name: str) -> str:
+    """The subsystem a metric belongs to: the first dotted segment."""
+    return name.split(".", 1)[0]
+
+
+class Instrument:
+    """Common base: identity, locking and the snapshot contract."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, unit: str = "", help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise TelemetryError(
+                f"metric name {name!r} must be dotted lowercase "
+                "(e.g. 'core.conversions')"
+            )
+        self.name = name
+        self.unit = unit
+        self.help = help
+        self._lock = threading.Lock()
+
+    @property
+    def subsystem(self) -> str:
+        return subsystem_of(self.name)
+
+    def reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """One JSON-serialisable record of the instrument's current state."""
+        record = {
+            "type": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "subsystem": self.subsystem,
+            "unit": self.unit,
+        }
+        record.update(self._state())
+        return record
+
+    def _state(self) -> dict:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(Instrument):
+    """A monotonically increasing event count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str = "", help: str = "") -> None:
+        super().__init__(name, unit=unit, help=help)
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (>= 0) events."""
+        if n < 0:
+            raise TelemetryError(f"counter {self.name} cannot decrease (n={n})")
+        if n == 0:
+            return
+        with self._lock:
+            self._value += int(n)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def _state(self) -> dict:
+        return {"value": self._value}
+
+
+class Gauge(Instrument):
+    """A last-written value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, unit: str = "", help: str = "") -> None:
+        super().__init__(name, unit=unit, help=help)
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = None
+
+    def _state(self) -> dict:
+        return {"value": self._value}
+
+
+class Histogram(Instrument):
+    """A distribution with exact moments and a bounded reservoir.
+
+    Count, sum, min and max are exact over every observation; quantiles
+    come from a reservoir that keeps every ``stride``-th sample and
+    decimates (deterministically) whenever it fills, so memory stays
+    bounded at :data:`RESERVOIR_CAPACITY` samples regardless of volume.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, unit: str = "", help: str = "") -> None:
+        super().__init__(name, unit=unit, help=help)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._reservoir: List[float] = []
+        self._stride = 1
+        self._since_kept = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self._count if self._count else None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._record(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations (one lock acquisition)."""
+        with self._lock:
+            for value in values:
+                self._record(float(value))
+
+    def _record(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._since_kept += 1
+        if self._since_kept >= self._stride:
+            self._since_kept = 0
+            self._reservoir.append(value)
+            if len(self._reservoir) >= RESERVOIR_CAPACITY:
+                self._reservoir = self._reservoir[::2]
+                self._stride *= 2
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-quantile from the reservoir (None when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError("quantile must lie in [0, 1]")
+        with self._lock:
+            if not self._reservoir:
+                return None
+            ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+            self._reservoir = []
+            self._stride = 1
+            self._since_kept = 0
+
+    def _state(self) -> dict:
+        if not self._count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p90": None}
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._sum / self._count,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument store with get-or-create semantics.
+
+    Asking twice for the same name returns the same instrument, so call
+    sites can bind handles at import time; asking for an existing name
+    with a different kind is an error (one name, one meaning).
+    """
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(
+        self, kind: str, name: str, unit: str, help: str
+    ) -> Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind}"
+                    )
+                return existing
+            instrument = self._KINDS[kind](name, unit=unit, help=help)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, unit: str = "", help: str = "") -> Counter:
+        return self._get_or_create("counter", name, unit, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, unit: str = "", help: str = "") -> Gauge:
+        return self._get_or_create("gauge", name, unit, help)  # type: ignore[return-value]
+
+    def histogram(self, name: str, unit: str = "", help: str = "") -> Histogram:
+        return self._get_or_create("histogram", name, unit, help)  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument registered under ``name``, or None."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def instruments(self) -> List[Instrument]:
+        """All instruments, sorted by name."""
+        with self._lock:
+            return sorted(self._instruments.values(), key=lambda i: i.name)
+
+    def reset(self) -> None:
+        """Zero every instrument (identities are preserved)."""
+        for instrument in self.instruments():
+            instrument.reset()
+
+    def snapshot(self) -> List[dict]:
+        """One serialisable record per instrument, sorted by name."""
+        return [instrument.snapshot() for instrument in self.instruments()]

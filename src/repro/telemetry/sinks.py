@@ -1,0 +1,111 @@
+"""Where telemetry records go: null, in-memory, or JSON-lines file.
+
+A sink receives two record streams — finished trace spans (one dict per
+span, streamed as they close) and metric snapshots (one dict per
+instrument, written on flush).  Records are plain JSON-serialisable
+dicts; see :mod:`repro.telemetry.registry` and
+:mod:`repro.telemetry.spans` for the schemas.
+
+All sinks are thread-safe: the parallel experiment runner closes spans
+from worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, List, Optional, Union
+
+
+class Sink:
+    """Base sink: discards everything (also serves as the null sink)."""
+
+    def emit_span(self, record: dict) -> None:
+        """Receive one finished span record."""
+
+    def emit_metric(self, record: dict) -> None:
+        """Receive one metric snapshot record."""
+
+    def flush(self) -> None:
+        """Push buffered records to their destination."""
+
+    def close(self) -> None:
+        """Release resources; the sink must not be used afterwards."""
+
+
+class NullSink(Sink):
+    """Explicit do-nothing sink (telemetry on, export off)."""
+
+
+class InMemorySink(Sink):
+    """Collects records into lists — the test/debugging sink.
+
+    Attributes:
+        spans: Finished span records, in completion order.
+        metrics: Metric snapshot records, in flush order.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[dict] = []
+        self.metrics: List[dict] = []
+        self._lock = threading.Lock()
+
+    def emit_span(self, record: dict) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    def emit_metric(self, record: dict) -> None:
+        with self._lock:
+            self.metrics.append(record)
+
+    def spans_named(self, name: str) -> List[dict]:
+        """The collected spans with a given name (test helper)."""
+        with self._lock:
+            return [span for span in self.spans if span["name"] == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans = []
+            self.metrics = []
+
+
+class JsonlSink(Sink):
+    """Appends every record as one JSON line to a file.
+
+    Args:
+        target: Path to open (truncating) or an already-open text handle
+            (not closed by :meth:`close` when handed in).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._handle: Optional[IO[str]] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._lock = threading.Lock()
+
+    def _write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                raise ValueError("JsonlSink is closed")
+            self._handle.write(line + "\n")
+
+    def emit_span(self, record: dict) -> None:
+        self._write(record)
+
+    def emit_metric(self, record: dict) -> None:
+        self._write(record)
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and self._owns_handle:
+                self._handle.close()
+            self._handle = None

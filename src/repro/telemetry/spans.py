@@ -1,0 +1,90 @@
+"""Lightweight trace spans: name, parent, duration, attributes.
+
+A span brackets one operation (a conversion, a polling round, an
+experiment) as a context manager.  Nesting is tracked per thread, so a
+conversion performed inside a polling round records the round as its
+parent.  On exit the span becomes one JSON-serialisable record::
+
+    {"type": "span", "name": "core.conversion", "parent": "network.poll_round",
+     "duration_s": 1.3e-4, "attrs": {"die_id": 3, "rounds_used": 2, ...}}
+
+When telemetry is disabled, :meth:`repro.telemetry.Telemetry.span`
+returns the shared :data:`NULL_SPAN` instead — entering it, setting
+attributes on it and leaving it are all no-ops with no allocation, which
+is what keeps the disabled-mode overhead of an instrumented hot path at
+a single attribute check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class NullSpan:
+    """The do-nothing span handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes) -> None:
+        """Discard attributes."""
+
+
+NULL_SPAN = NullSpan()
+
+
+class _SpanStack(threading.local):
+    """Per-thread stack of open span names (for parent attribution)."""
+
+    def __init__(self) -> None:
+        self.names: List[str] = []
+
+
+class Span:
+    """One live span; emitted to the sink as a record when it closes."""
+
+    __slots__ = ("name", "attributes", "_sink", "_stack", "_started", "parent")
+
+    def __init__(self, name: str, attributes: Dict, sink, stack: _SpanStack) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.parent: Optional[str] = None
+        self._sink = sink
+        self._stack = stack
+        self._started = 0.0
+
+    def set(self, **attributes) -> None:
+        """Attach or update attributes on the open span."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        names = self._stack.names
+        self.parent = names[-1] if names else None
+        names.append(self.name)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._started
+        names = self._stack.names
+        if names and names[-1] == self.name:
+            names.pop()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._sink.emit_span(
+            {
+                "type": "span",
+                "name": self.name,
+                "parent": self.parent,
+                "duration_s": duration,
+                "attrs": self.attributes,
+            }
+        )
+        return False

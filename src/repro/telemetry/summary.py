@@ -1,0 +1,134 @@
+"""Aggregate a telemetry JSON-lines file into human-readable tables.
+
+This is the consumer side of :class:`repro.telemetry.JsonlSink`: it
+re-parses every record (so it doubles as a format check — CI runs it
+against the bench/report smoke output), folds spans by name and keeps
+the last snapshot of every metric, and renders the two tables the
+``python -m repro telemetry summary`` command prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+
+class TelemetryFileError(ValueError):
+    """The JSONL file contains a malformed or untyped record."""
+
+
+@dataclass
+class SpanAggregate:
+    """Roll-up of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    errors: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class TelemetrySummary:
+    """Parsed content of one telemetry JSONL file."""
+
+    metrics: Dict[str, dict] = field(default_factory=dict)
+    spans: Dict[str, SpanAggregate] = field(default_factory=dict)
+    records: int = 0
+
+    @property
+    def subsystems(self) -> Set[str]:
+        """Subsystems covered by at least one metric record."""
+        return {record["subsystem"] for record in self.metrics.values()}
+
+
+def load_summary(lines: Iterable[str]) -> TelemetrySummary:
+    """Fold JSONL lines into a :class:`TelemetrySummary`.
+
+    Raises :class:`TelemetryFileError` on the first malformed line — the
+    point of the smoke check is that *every* record parses.
+    """
+    summary = TelemetrySummary()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TelemetryFileError(f"line {lineno}: not JSON ({error})") from None
+        kind = record.get("type")
+        if kind == "metric":
+            summary.metrics[record["name"]] = record
+        elif kind == "span":
+            aggregate = summary.spans.setdefault(
+                record["name"], SpanAggregate(name=record["name"])
+            )
+            aggregate.count += 1
+            duration = float(record.get("duration_s", 0.0))
+            aggregate.total_s += duration
+            aggregate.max_s = max(aggregate.max_s, duration)
+            if "error" in record.get("attrs", {}):
+                aggregate.errors += 1
+        else:
+            raise TelemetryFileError(f"line {lineno}: unknown record type {kind!r}")
+        summary.records += 1
+    return summary
+
+
+def load_summary_file(path: str) -> TelemetrySummary:
+    """Parse a telemetry JSONL file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_summary(handle)
+
+
+def _metric_value(record: dict) -> str:
+    if record["kind"] == "histogram":
+        if not record.get("count"):
+            return "n=0"
+        return (
+            f"n={record['count']} mean={record['mean']:.4g} "
+            f"p50={record['p50']:.4g} max={record['max']:.4g}"
+        )
+    value = record.get("value")
+    return "-" if value is None else f"{value:g}"
+
+
+def render_summary(summary: TelemetrySummary) -> str:
+    """The two aggregate tables: metrics by name, spans by name."""
+    lines: List[str] = []
+    if summary.metrics:
+        width = max(len(name) for name in summary.metrics)
+        lines.append("metrics")
+        lines.append(f"  {'name':<{width}}  {'kind':<9}  {'unit':<12}  value")
+        for name in sorted(summary.metrics):
+            record = summary.metrics[name]
+            lines.append(
+                f"  {name:<{width}}  {record['kind']:<9}  "
+                f"{record.get('unit') or '-':<12}  {_metric_value(record)}"
+            )
+    if summary.spans:
+        if lines:
+            lines.append("")
+        width = max(len(name) for name in summary.spans)
+        lines.append("spans")
+        lines.append(
+            f"  {'name':<{width}}  {'count':>7}  {'total':>10}  "
+            f"{'mean':>10}  {'max':>10}  errors"
+        )
+        for name in sorted(summary.spans):
+            aggregate = summary.spans[name]
+            lines.append(
+                f"  {name:<{width}}  {aggregate.count:>7}  "
+                f"{aggregate.total_s * 1e3:>8.2f}ms  "
+                f"{aggregate.mean_s * 1e3:>8.3f}ms  "
+                f"{aggregate.max_s * 1e3:>8.3f}ms  {aggregate.errors}"
+            )
+    if not lines:
+        lines.append("(empty telemetry file)")
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ import numpy as np
 from scipy.sparse import diags
 from scipy.sparse.linalg import factorized
 
+from repro import telemetry
 from repro.thermal.grid import StackThermalGrid, TemperatureField
 
 PowerSchedule = Callable[[float], Dict[str, np.ndarray]]
@@ -36,15 +37,36 @@ class _FactorizationCache:
     neither hashable nor value-comparable cheaply — so entries key on
     ``id(grid)`` (plus an optional extra key such as the transient ``dt``)
     and hold a weak reference to guard against id reuse after collection.
+
+    Hit/miss accounting lives in the telemetry registry
+    (``thermal.lu_cache.<name>.hits``/``.misses``), where every other
+    subsystem's counters live; :func:`factorization_cache_stats` reads
+    the same counters for backwards compatibility.
     """
 
-    def __init__(self, maxsize: int = 8) -> None:
+    def __init__(self, name: str, maxsize: int = 8) -> None:
         if maxsize < 1:
             raise ValueError("cache needs at least one slot")
         self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
+        self._hits = telemetry.counter(
+            f"thermal.lu_cache.{name}.hits",
+            unit="solves",
+            help="Factorization reuses in the %s solver" % name,
+        )
+        self._misses = telemetry.counter(
+            f"thermal.lu_cache.{name}.misses",
+            unit="solves",
+            help="Fresh factorizations in the %s solver" % name,
+        )
         self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
 
     def get(self, grid: StackThermalGrid, extra: Hashable = None):
         key = (id(grid), extra)
@@ -53,10 +75,10 @@ class _FactorizationCache:
             ref, solve = entry
             if ref() is grid:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._hits.inc()
                 return solve
             del self._entries[key]
-        self.misses += 1
+        self._misses.inc()
         return None
 
     def put(self, grid: StackThermalGrid, solve, extra: Hashable = None) -> None:
@@ -68,12 +90,12 @@ class _FactorizationCache:
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        self._hits.reset()
+        self._misses.reset()
 
 
-_STEADY_CACHE = _FactorizationCache()
-_TRANSIENT_CACHE = _FactorizationCache()
+_STEADY_CACHE = _FactorizationCache("steady")
+_TRANSIENT_CACHE = _FactorizationCache("transient")
 
 
 def clear_factorization_caches() -> None:
@@ -83,7 +105,11 @@ def clear_factorization_caches() -> None:
 
 
 def factorization_cache_stats() -> Dict[str, int]:
-    """Hit/miss counters of the solver caches (observability/tests)."""
+    """Hit/miss counters of the solver caches (observability/tests).
+
+    Thin view over the ``thermal.lu_cache.*`` telemetry counters, kept
+    for callers that predate the telemetry registry.
+    """
     return {
         "steady_hits": _STEADY_CACHE.hits,
         "steady_misses": _STEADY_CACHE.misses,

@@ -18,7 +18,29 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from repro import telemetry
 from repro.readout.interface import FRAME_BITS, FrameError, SensorFrame, decode_frame
+
+_FRAMES_DELIVERED = telemetry.counter(
+    "network.bus.frames_delivered",
+    unit="frames",
+    help="Frames decoded cleanly off the TSV chain",
+)
+_PARITY_ERRORS = telemetry.counter(
+    "network.bus.parity_errors",
+    unit="frames",
+    help="Frames dropped by the parity check (corruption in transit)",
+)
+_MISSING_FRAMES = telemetry.counter(
+    "network.bus.missing_frames",
+    unit="frames",
+    help="Chain positions that produced no frame (stuck/dead tier)",
+)
+_BITS_FLIPPED = telemetry.counter(
+    "network.bus.bits_flipped",
+    unit="bits",
+    help="Injected TSV link bit flips",
+)
 
 
 @dataclass(frozen=True)
@@ -70,9 +92,12 @@ class TsvSensorBus:
         # Each bit survives `hops` link traversals.
         flip_probability = 1.0 - (1.0 - self.bit_error_rate) ** hops
         flips = rng.random(FRAME_BITS) < flip_probability
+        flipped_bits = 0
         for bit, flipped in enumerate(flips):
             if flipped:
                 word ^= 1 << bit
+                flipped_bits += 1
+        _BITS_FLIPPED.inc(flipped_bits)
         return word
 
     def collect(
@@ -106,4 +131,7 @@ class TsvSensorBus:
                 frames[tier] = decode_frame(word)
             except FrameError:
                 parity_errors.append(tier)
+        _FRAMES_DELIVERED.inc(len(frames))
+        _PARITY_ERRORS.inc(len(parity_errors))
+        _MISSING_FRAMES.inc(len(missing))
         return BusReport(frames=frames, parity_errors=parity_errors, missing=missing)

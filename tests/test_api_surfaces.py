@@ -23,6 +23,67 @@ from repro.network.dtm import DtmTrace
 from repro.readout.energy import ConversionEnergy
 
 
+# The stable public surface of repro.api.  Additions extend this set in
+# the same change; removals or renames require a deprecation cycle (see
+# docs/architecture.md, "API stability").
+PUBLIC_API_SNAPSHOT = frozenset({
+    "BusReport",
+    "DieSample",
+    "Environment",
+    "EnvironmentGrid",
+    "ExperimentOutcome",
+    "MonitorSnapshot",
+    "PTSensor",
+    "PopulationReadings",
+    "SensorConfig",
+    "SensorFrame",
+    "SensorReading",
+    "StackMonitor",
+    "SuiteResult",
+    "Technology",
+    "TierState",
+    "TrackingPolicy",
+    "TrackingReading",
+    "TrackingSensor",
+    "TsvSensorBus",
+    "nominal_65nm",
+    "read_population",
+    "run_all",
+    "run_experiment",
+    "sample_dies",
+    "telemetry",
+})
+
+
+class TestPublicApiFacade:
+    def test_all_matches_snapshot(self):
+        import repro.api
+
+        assert set(repro.api.__all__) == PUBLIC_API_SNAPSHOT
+        assert repro.api.__all__ == sorted(repro.api.__all__)
+
+    def test_every_name_resolves(self):
+        import repro.api
+
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+    def test_headline_imports(self):
+        from repro.api import PTSensor, StackMonitor, telemetry
+
+        assert hasattr(PTSensor, "read")
+        assert hasattr(StackMonitor, "poll")
+        assert callable(telemetry.span)
+
+    def test_facade_objects_are_the_canonical_ones(self):
+        import repro.api
+        from repro.core.sensor import PTSensor
+        from repro.network.aggregator import StackMonitor
+
+        assert repro.api.PTSensor is PTSensor
+        assert repro.api.StackMonitor is StackMonitor
+
+
 class TestCommonFixtures:
     def test_reference_setup_is_cached(self):
         assert reference_setup() is reference_setup()

@@ -113,7 +113,7 @@ class TestFrames:
         frame = decode_frame(sensor.frame(reading))
         assert frame.die_id == 9
         assert frame.temperature_c == pytest.approx(reading.temperature_c, abs=0.51)
-        assert frame.vtn_shift == pytest.approx(reading.dvtn, abs=1e-4)
+        assert frame.dvtn == pytest.approx(reading.dvtn, abs=1e-4)
 
 
 class TestConfigInteraction:

@@ -67,10 +67,37 @@ class TestStackMonitor:
         for round_index in range(DEAD_AFTER_CONSECUTIVE_MISSES):
             snap = monitor.poll(temps)
         assert snap.dead_tiers == [2]
-        # Dead tiers are no longer polled; others keep reporting.
+        # Dead tiers are still probed (for revival) but a stuck tier never
+        # answers; others keep reporting.
         snap = monitor.poll(temps)
         assert 2 not in snap.temperatures_c
         assert len(snap.temperatures_c) == 3
+        assert snap.dead_tiers == [2]
+
+    def test_dead_tier_revives_on_clean_frame(self, tech, model):
+        sensors = make_sensors(tech, model)
+        bus = TsvSensorBus(tiers=4, stuck_tiers={2})
+        monitor = StackMonitor(sensors, bus)
+        temps = {t: 50.0 for t in range(4)}
+        for _ in range(DEAD_AFTER_CONSECUTIVE_MISSES):
+            monitor.poll(temps)
+        assert not monitor.states[2].alive
+        bus.stuck_tiers.discard(2)  # the link comes back
+        snap = monitor.poll(temps)
+        assert monitor.states[2].alive
+        assert snap.revived_tiers == [2]
+        assert snap.dead_tiers == []
+        assert 2 in snap.temperatures_c
+        assert monitor.states[2].consecutive_misses == 0
+
+    def test_silent_and_parity_misses_tracked_separately(self, tech, model):
+        sensors = make_sensors(tech, model)
+        monitor = StackMonitor(sensors, TsvSensorBus(tiers=4, stuck_tiers={1}))
+        monitor.poll({t: 50.0 for t in range(4)})
+        state = monitor.states[1]
+        assert state.consecutive_misses == 1
+        assert state.consecutive_silent_misses == 1
+        assert state.consecutive_parity_misses == 0
 
     def test_parity_errors_retried(self, tech, model):
         sensors = make_sensors(tech, model)

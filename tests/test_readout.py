@@ -129,24 +129,24 @@ class TestConversionEnergy:
 class TestSensorFrame:
     def test_round_trip(self):
         frame = SensorFrame(
-            die_id=5, vtn_shift=0.0123, vtp_shift=-0.0087, temperature_c=66.0
+            die_id=5, dvtn=0.0123, dvtp=-0.0087, temperature_c=66.0
         )
         decoded = decode_frame(encode_frame(frame))
         assert decoded.die_id == 5
-        assert decoded.vtn_shift == pytest.approx(0.0123, abs=1e-4)
-        assert decoded.vtp_shift == pytest.approx(-0.0087, abs=1e-4)
+        assert decoded.dvtn == pytest.approx(0.0123, abs=1e-4)
+        assert decoded.dvtp == pytest.approx(-0.0087, abs=1e-4)
         assert decoded.temperature_c == pytest.approx(66.0, abs=0.5)
         assert decoded.valid
 
     def test_invalid_flag_survives(self):
         frame = SensorFrame(
-            die_id=1, vtn_shift=0.0, vtp_shift=0.0, temperature_c=25.0, valid=False
+            die_id=1, dvtn=0.0, dvtp=0.0, temperature_c=25.0, valid=False
         )
         assert not decode_frame(encode_frame(frame)).valid
 
     def test_single_bit_flip_detected(self):
         word = encode_frame(
-            SensorFrame(die_id=3, vtn_shift=0.005, vtp_shift=0.001, temperature_c=80.0)
+            SensorFrame(die_id=3, dvtn=0.005, dvtp=0.001, temperature_c=80.0)
         )
         for bit in range(40):
             with pytest.raises(FrameError):
@@ -154,7 +154,7 @@ class TestSensorFrame:
 
     def test_temperature_saturates(self):
         frame = SensorFrame(
-            die_id=0, vtn_shift=0.0, vtp_shift=0.0, temperature_c=500.0
+            die_id=0, dvtn=0.0, dvtp=0.0, temperature_c=500.0
         )
         decoded = decode_frame(encode_frame(frame))
         assert decoded.temperature_c == pytest.approx(215.0)  # 8-bit ceiling - 40
@@ -162,7 +162,7 @@ class TestSensorFrame:
     def test_die_id_overflow_rejected(self):
         with pytest.raises(FrameError):
             encode_frame(
-                SensorFrame(die_id=64, vtn_shift=0.0, vtp_shift=0.0, temperature_c=0.0)
+                SensorFrame(die_id=64, dvtn=0.0, dvtp=0.0, temperature_c=0.0)
             )
 
     @settings(max_examples=50, deadline=None)
@@ -176,11 +176,11 @@ class TestSensorFrame:
         decoded = decode_frame(
             encode_frame(
                 SensorFrame(
-                    die_id=die_id, vtn_shift=vtn, vtp_shift=vtp, temperature_c=temp
+                    die_id=die_id, dvtn=vtn, dvtp=vtp, temperature_c=temp
                 )
             )
         )
         assert decoded.die_id == die_id
-        assert decoded.vtn_shift == pytest.approx(vtn, abs=1e-4)
-        assert decoded.vtp_shift == pytest.approx(vtp, abs=1e-4)
+        assert decoded.dvtn == pytest.approx(vtn, abs=1e-4)
+        assert decoded.dvtp == pytest.approx(vtp, abs=1e-4)
         assert decoded.temperature_c == pytest.approx(temp, abs=0.51)

@@ -131,10 +131,10 @@ class TestFrameFuzz:
     def test_out_of_range_fields_saturate_not_wrap(self, die_id, vtn, temp):
         decoded = decode_frame(
             encode_frame(
-                SensorFrame(die_id=die_id, vtn_shift=vtn, vtp_shift=0.0, temperature_c=temp)
+                SensorFrame(die_id=die_id, dvtn=vtn, dvtp=0.0, temperature_c=temp)
             )
         )
-        assert -0.21 < decoded.vtn_shift < 0.21
+        assert -0.21 < decoded.dvtn < 0.21
         assert -41.0 <= decoded.temperature_c <= 215.5
 
 

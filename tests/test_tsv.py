@@ -174,7 +174,7 @@ class TestBus:
         return {
             t: encode_frame(
                 SensorFrame(
-                    die_id=t, vtn_shift=0.001 * t, vtp_shift=-0.001, temperature_c=50.0 + t
+                    die_id=t, dvtn=0.001 * t, dvtp=-0.001, temperature_c=50.0 + t
                 )
             )
             for t in range(tiers)
