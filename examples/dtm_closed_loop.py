@@ -9,7 +9,10 @@ their full budget — per-tier sensing is exactly what makes that
 selectivity possible.
 
 Run:  python examples/dtm_closed_loop.py
+      REPRO_EXAMPLE_FAST=1 python examples/dtm_closed_loop.py  # CI-sized loop
 """
+
+import os
 
 from repro import PTSensor, nominal_65nm, sample_dies
 from repro.experiments.exp_e4_dtm import _assembly, _hot_workload
@@ -18,7 +21,9 @@ from repro.network.dtm import DtmPolicy, run_closed_loop
 from repro.network.scheduler import AdaptiveSampler
 from repro.tsv.bus import TsvSensorBus
 
-NX = NY = 14
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+NX = NY = 10 if FAST else 14
+STEPS = 30 if FAST else 50
 SITE = (2.0e-3, 2.0e-3)
 
 
@@ -55,7 +60,7 @@ def main() -> None:
         workload,
         policy,
         dt=0.02,
-        steps=50,
+        steps=STEPS,
         sensor_sites={i: SITE for i in range(len(stack.tiers))},
     )
 

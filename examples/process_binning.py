@@ -7,13 +7,15 @@ This example manufactures a 200-die lot, bins each die from its own
 sensor's extraction, and scores the binning against ground truth.
 
 Run:  python examples/process_binning.py
+      REPRO_EXAMPLE_FAST=1 python examples/process_binning.py   # CI-sized lot
 """
 
+import os
 from collections import Counter
 
 from repro import PTSensor, nominal_65nm, sample_dies
 
-LOT_SIZE = 200
+LOT_SIZE = 50 if os.environ.get("REPRO_EXAMPLE_FAST") else 200
 BIN_EDGE_V = 0.015  # |dVt| below this is "typical"
 
 

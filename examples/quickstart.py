@@ -4,11 +4,22 @@ Builds the reference 65 nm-class design, manufactures one Monte-Carlo die,
 and runs full conversions across temperature — printing the estimated
 temperature, the extracted per-die threshold shifts and the conversion's
 energy breakdown, exactly the three outputs the paper's macro publishes.
+A final section breaks the read-out path on purpose and shows the stack
+monitor degrading gracefully instead of crashing.
 
 Run:  python examples/quickstart.py
+      REPRO_EXAMPLE_FAST=1 python examples/quickstart.py   # CI-sized
 """
 
+import os
+
 from repro import PTSensor, nominal_65nm, sample_dies
+from repro import faults
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.network.aggregator import StackMonitor
+from repro.tsv.bus import TsvSensorBus
+
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
 
 
 def main() -> None:
@@ -17,7 +28,8 @@ def main() -> None:
     # The typical (mismatch-free) sensor first.
     sensor = PTSensor(technology)
     print("== typical die ==")
-    for temp_c in (-40.0, 27.0, 85.0, 125.0):
+    temps = (27.0, 85.0) if FAST else (-40.0, 27.0, 85.0, 125.0)
+    for temp_c in temps:
         reading = sensor.read(temp_c)
         print(
             f"true {temp_c:+7.1f} degC -> sensor {reading.temperature_c:+7.2f} degC"
@@ -45,6 +57,30 @@ def main() -> None:
     print("\nenergy breakdown of the last conversion:")
     for label, joules in reading.energy.as_rows():
         print(f"  {label:12s} {joules * 1e12:7.1f} pJ")
+
+    # Finally, break the read-out path on purpose: tier 1's TSV cracks
+    # open after the first round.  The monitor serves tier 1's last good
+    # reading as "stale" instead of crashing, and flags the snapshot as
+    # degraded.  docs/faults.md walks through the full machinery.
+    print("\n== degraded mode: tier 1's TSV cracks open ==")
+    monitor = StackMonitor(
+        {tier: PTSensor(technology, die_id=tier) for tier in range(2)},
+        TsvSensorBus(tiers=2),
+    )
+    plan = FaultPlan(name="quickstart-open", specs=(
+        FaultSpec(FaultKind.TSV_OPEN, tier=1, onset_round=1),
+    ))
+    with faults.inject(plan):
+        for round_index in range(3):
+            snapshot = monitor.poll({0: 55.0, 1: 48.0})
+            served = snapshot.effective_temperatures_c
+            print(
+                f"round {round_index}: quality={snapshot.quality:8s} "
+                + "  ".join(
+                    f"tier{t}={served[t]:+5.1f} ({snapshot.tier_quality[t]})"
+                    for t in sorted(served)
+                )
+            )
 
 
 if __name__ == "__main__":

@@ -5,14 +5,22 @@ ground-truth junction-temperature field; one PT sensor per tier reads its
 local environment; readings travel the TSV daisy chain to the aggregator,
 which compares tiers and flags the hottest one.  A second phase steps the
 workload (hotspot migrates between tiers) and shows the sensor network
-tracking the transient within its accuracy class.
+tracking the transient within its accuracy class.  A third phase cracks
+one tier's TSV open mid-run and shows the resilient aggregator riding it
+out: stale service, quarantine, and revival once the link heals.
 
 Run:  python examples/stack_thermal_monitoring.py
+      REPRO_EXAMPLE_FAST=1 python examples/stack_thermal_monitoring.py  # CI-sized
 """
+
+import os
 
 import numpy as np
 
 from repro import PTSensor, nominal_65nm, sample_dies
+from repro import faults
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.network.aggregator import StackMonitor
 from repro.readout.interface import SensorFrame, encode_frame
 from repro.thermal.grid import build_stack_grid
 from repro.thermal.power import hotspot_power_map
@@ -21,7 +29,10 @@ from repro.tsv.bus import TsvSensorBus
 from repro.tsv.geometry import StackDescriptor, TierSpec, regular_tsv_array
 from repro.units import kelvin_to_celsius
 
-NX = NY = 16
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+NX = NY = 8 if FAST else 16
+TRANSIENT_STEPS = 4 if FAST else 8
+MIGRATE_AT_S = 0.030 if FAST else 0.060
 SENSOR_SITE = (2.5e-3, 2.5e-3)
 
 
@@ -91,9 +102,12 @@ def main() -> None:
     hottest = max(report.frames, key=lambda t: report.frames[t].temperature_c)
     print(f"aggregator: hottest tier is tier{hottest}")
 
-    print("\n== transient: hotspot migrates tier0 -> tier2 at t=60 ms ==")
-    schedule = lambda t: workload(hot_tier=0 if t < 0.060 else 2)
-    fields = transient(grid, schedule, dt=0.015, steps=8)
+    print(
+        f"\n== transient: hotspot migrates tier0 -> tier2"
+        f" at t={MIGRATE_AT_S * 1e3:.0f} ms =="
+    )
+    schedule = lambda t: workload(hot_tier=0 if t < MIGRATE_AT_S else 2)
+    fields = transient(grid, schedule, dt=0.015, steps=TRANSIENT_STEPS)
     for step, field in enumerate(fields, start=1):
         report, truth = read_all_tiers(stack, tiers, field, sensors)
         sensed = {t: f.temperature_c for t, f in report.frames.items()}
@@ -107,6 +121,40 @@ def main() -> None:
     errors = [abs(sensed[t] - truth[t]) for t in sensed]
     assert max(errors) < 2.0, "sensor network left its accuracy class"
     print("\nsensor network tracked the migration within 2 degC everywhere")
+
+    # Phase 3: the same stack, but tier 2's TSV cracks open for three
+    # rounds.  The resilient StackMonitor (rather than the raw bus of the
+    # phases above) serves tier 2's last reading as "stale", quarantines
+    # it when the staleness budget runs out, keeps probing, and revives
+    # it the round the link heals — no crash, no code changes, just a
+    # FaultPlan activated around the polling loop (see docs/faults.md).
+    print("\n== fault ride-through: tier2 TSV open for rounds 1-3 ==")
+    monitor = StackMonitor(
+        {tier_id: sensor for tier_id, sensor in enumerate(sensors)},
+        TsvSensorBus(tiers=len(tiers)),
+    )
+    true_temps = dict(truth)  # last transient field's per-tier truth
+    plan = FaultPlan(name="open-tier2", specs=(
+        FaultSpec(FaultKind.TSV_OPEN, tier=2, onset_round=1, duration_rounds=3),
+    ))
+    with faults.inject(plan):
+        for round_index in range(6):
+            snapshot = monitor.poll(true_temps)
+            served = snapshot.effective_temperatures_c
+            dead = f" quarantined={snapshot.dead_tiers}" if snapshot.dead_tiers else ""
+            print(
+                f"round {round_index}: quality={snapshot.quality:8s} "
+                + "  ".join(
+                    f"tier{t}={served[t]:+6.1f}({snapshot.tier_quality[t][0]})"
+                    for t in sorted(served)
+                )
+                + dead
+            )
+    final = monitor.history[-1]
+    assert final.quality == "fused", "tier2 should have revived by the last round"
+    assert not final.dead_tiers
+    print("tier2 quarantined while open, revived when the link healed"
+          "  (f=fresh, s=stale, l=lost)")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,10 @@ Floorplanning around TSVs needs two answers the library provides:
    the stress model; the V_t read-out doubles as a stress monitor.
 
 Run:  python examples/tsv_keepout_planner.py
+      REPRO_EXAMPLE_FAST=1 python examples/tsv_keepout_planner.py  # fewer sites
 """
+
+import os
 
 import numpy as np
 
@@ -21,6 +24,9 @@ from repro.tsv.stress import StressModel
 from repro.units import celsius_to_kelvin, kelvin_to_celsius
 
 TRUE_TEMP_C = 55.0
+CANDIDATE_OFFSETS_UM = (
+    (8.0, 25.0) if os.environ.get("REPRO_EXAMPLE_FAST") else (8.0, 15.0, 30.0, 80.0)
+)
 
 
 def main() -> None:
@@ -39,7 +45,7 @@ def main() -> None:
     engine = SelfCalibrationEngine(model, lut=ProcessLut.build(model))
     temp_k = celsius_to_kelvin(TRUE_TEMP_C)
 
-    for offset_um in (8.0, 15.0, 30.0, 80.0):
+    for offset_um in CANDIDATE_OFFSETS_UM:
         x = via.x - offset_um * 1e-6
         y = via.y
         clear = placement_is_clear(stress, x, y, array, mobility_tolerance=0.05)

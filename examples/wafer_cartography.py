@@ -11,14 +11,17 @@ lets each die's sensor extract its own process point, fits the radial
 signature from the extractions, and compares it against the ground truth.
 
 Run:  python examples/wafer_cartography.py
+      REPRO_EXAMPLE_FAST=1 python examples/wafer_cartography.py  # CI-sized wafer
 """
+
+import os
 
 import numpy as np
 
 from repro import PTSensor, nominal_65nm
 from repro.variation.wafer import WaferModel, fit_radial_signature, sample_wafer
 
-GRID_DIAMETER = 11
+GRID_DIAMETER = 7 if os.environ.get("REPRO_EXAMPLE_FAST") else 11
 READ_TEMP_C = 30.0
 
 

@@ -10,6 +10,8 @@ Usage::
     python -m repro report --telemetry out.jsonl   # + metrics/spans JSONL
     python -m repro telemetry summary out.jsonl    # aggregate tables
     python -m repro bench --check       # performance regression gate
+    python -m repro faultsim            # fault-injection campaign (docs/faults.md)
+    python -m repro faultsim --plan open-tsv thermal-runaway --rounds 60
 """
 
 from __future__ import annotations
@@ -72,6 +74,50 @@ def _bench(args) -> int:
                 print(f"  {failure}", file=sys.stderr)
             return 1
         print(f"benchmark check ok (tolerance +{tolerance:.0%})")
+    return 0
+
+
+def _faultsim(args) -> int:
+    from repro.faults.campaign import builtin_plans, run_campaign
+
+    if args.tiers < 1 or args.rounds < 1:
+        print("--tiers and --rounds must be >= 1", file=sys.stderr)
+        return 2
+    plans = builtin_plans(tiers=args.tiers, seed=args.seed)
+    if args.plan:
+        by_name = {plan.name: plan for plan in plans}
+        unknown = [name for name in args.plan if name not in by_name]
+        if unknown:
+            print(
+                f"unknown plan(s): {', '.join(unknown)}; "
+                f"known: {', '.join(by_name)}",
+                file=sys.stderr,
+            )
+            return 2
+        plans = [by_name[name] for name in args.plan]
+
+    def campaign():
+        return run_campaign(
+            plans=plans, tiers=args.tiers, rounds=args.rounds, seed=args.seed
+        )
+
+    if args.telemetry_path:
+        from repro import telemetry
+        from repro.telemetry import JsonlSink
+
+        sink = JsonlSink(args.telemetry_path)
+        with telemetry.capture(sink=sink):
+            report = campaign()
+        sink.close()
+    else:
+        report = campaign()
+    print(report.render())
+    if args.telemetry_path:
+        print(f"\nwrote telemetry {args.telemetry_path}")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json_path}")
     return 0
 
 
@@ -154,6 +200,37 @@ def main(argv=None) -> int:
         "summary", help="aggregate a telemetry JSONL file into tables"
     )
     summary_parser.add_argument("path", help="telemetry JSON-lines file")
+    faultsim_parser = sub.add_parser(
+        "faultsim",
+        help="run a fault-injection campaign over a monitored stack "
+        "(see docs/faults.md)",
+    )
+    faultsim_parser.add_argument(
+        "--tiers", type=int, default=8, help="stack height (default 8)"
+    )
+    faultsim_parser.add_argument(
+        "--rounds", type=int, default=40, help="polling rounds per plan (default 40)"
+    )
+    faultsim_parser.add_argument(
+        "--seed", type=int, default=2012, help="campaign seed (default 2012)"
+    )
+    faultsim_parser.add_argument(
+        "--plan",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict to named built-in plans (default: all; see 'plans:' output)",
+    )
+    faultsim_parser.add_argument(
+        "--json", dest="json_path", default=None, help="archive the scores as JSON"
+    )
+    faultsim_parser.add_argument(
+        "--telemetry",
+        dest="telemetry_path",
+        default=None,
+        metavar="PATH",
+        help="stream faults.* telemetry to a JSON-lines file",
+    )
     bench_parser = sub.add_parser(
         "bench", help="run the performance benchmarks (see repro.benchmark)"
     )
@@ -183,6 +260,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "bench":
         return _bench(args)
+    if args.command == "faultsim":
+        return _faultsim(args)
     if args.command == "telemetry":
         return _telemetry_summary(args.path)
     if args.command == "report":

@@ -18,11 +18,36 @@ Quickstart::
 
 Internals (``repro.core.calibration``, ``repro.thermal.solver`` etc.)
 remain importable but carry no stability promise.
+
+Every entry in the ``__test__`` mapping below is an executable example
+for one slice of this surface; CI runs them with
+``pytest --doctest-modules src/repro/api.py``.  They double as the
+smallest-possible usage recipes:
+
+=====================  ==============================================
+surface                exports
+=====================  ==============================================
+single sensor          ``PTSensor``, ``SensorReading``, ``SensorConfig``,
+                       ``Technology``, ``nominal_65nm``, ``Environment``
+die populations        ``DieSample``, ``sample_dies``,
+                       ``read_population``, ``PopulationReadings``,
+                       ``EnvironmentGrid``
+tracking mode          ``TrackingSensor``, ``TrackingPolicy``,
+                       ``TrackingReading``
+stack monitoring       ``StackMonitor``, ``MonitorSnapshot``,
+                       ``TierState``, ``ResiliencePolicy``,
+                       ``TsvSensorBus``, ``BusReport``, ``SensorFrame``
+fault injection        ``faults`` (module), ``FaultKind``, ``FaultPlan``,
+                       ``FaultSpec``
+experiments            ``run_experiment``, ``run_all``,
+                       ``ExperimentOutcome``, ``SuiteResult``
+observability          ``telemetry`` (module)
+=====================  ==============================================
 """
 
 from __future__ import annotations
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.batch.grid import EnvironmentGrid
 from repro.batch.population import PopulationReadings, read_population
 from repro.circuits.ring_oscillator import Environment
@@ -36,7 +61,13 @@ from repro.experiments.runner import (
     run_all,
     run_experiment,
 )
-from repro.network.aggregator import MonitorSnapshot, StackMonitor, TierState
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.network.aggregator import (
+    MonitorSnapshot,
+    ResiliencePolicy,
+    StackMonitor,
+    TierState,
+)
 from repro.readout.interface import SensorFrame
 from repro.tsv.bus import BusReport, TsvSensorBus
 from repro.variation.montecarlo import DieSample, sample_dies
@@ -47,9 +78,13 @@ __all__ = [
     "Environment",
     "EnvironmentGrid",
     "ExperimentOutcome",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "MonitorSnapshot",
     "PTSensor",
     "PopulationReadings",
+    "ResiliencePolicy",
     "SensorConfig",
     "SensorFrame",
     "SensorReading",
@@ -61,6 +96,7 @@ __all__ = [
     "TrackingReading",
     "TrackingSensor",
     "TsvSensorBus",
+    "faults",
     "nominal_65nm",
     "read_population",
     "run_all",
@@ -68,3 +104,146 @@ __all__ = [
     "sample_dies",
     "telemetry",
 ]
+
+
+# Executable examples, one per surface.  Doctest picks these up via the
+# __test__ protocol; each runs in its own namespace, is deterministic
+# (seeded or `deterministic=True`), and completes in well under a second.
+__test__ = {
+    "single_sensor": """
+    A sensor on the typical die self-calibrates with no external
+    reference: one `read` yields the junction temperature plus the die's
+    extracted process point (near zero on the typical die).
+
+    >>> from repro.api import PTSensor, nominal_65nm
+    >>> sensor = PTSensor(nominal_65nm())
+    >>> reading = sensor.read(65.0, deterministic=True)
+    >>> abs(reading.temperature_c - 65.0) < 1.5   # the paper's class
+    True
+    >>> abs(reading.dvtn) < 2e-3 and abs(reading.dvtp) < 2e-3
+    True
+    >>> reading.converged and reading.energy.total < 1e-9
+    True
+    """,
+    "environment_and_config": """
+    `Environment` is the physical truth a sensor site sees; `SensorConfig`
+    holds the design parameters (validated at construction).
+
+    >>> from repro.api import Environment, SensorConfig
+    >>> env = Environment(temp_k=300.0, vdd=1.2)
+    >>> (env.temp_k, env.vdd)
+    (300.0, 1.2)
+    >>> SensorConfig().psro_stages
+    13
+    >>> SensorConfig(psro_stages=4)
+    Traceback (most recent call last):
+        ...
+    ValueError: psro_stages must be an odd number >= 3
+    """,
+    "die_population": """
+    Monte-Carlo die populations are seeded and reproducible; the batch
+    engine converts a whole population in one vectorised call.
+
+    >>> from repro.api import PTSensor, nominal_65nm, read_population, sample_dies
+    >>> technology = nominal_65nm()
+    >>> dies = sample_dies(technology, 3, seed=2012)
+    >>> [die.index for die in dies]
+    [0, 1, 2]
+    >>> again = sample_dies(technology, 3, seed=2012)
+    >>> again[1].corner.dvtn == dies[1].corner.dvtn
+    True
+    >>> sensor = PTSensor(technology, die=dies[0], die_id=0)
+    >>> readings = read_population([sensor], [30.0, 60.0], deterministic=True)
+    >>> readings.temperature_c.shape   # (sensors, temperatures, repeats)
+    (1, 2, 1)
+    """,
+    "tracking_mode": """
+    Tracking mode serves most samples from the cheap TSRO-only fast path
+    and refreshes the stored process point on schedule.
+
+    >>> from repro.api import PTSensor, TrackingPolicy, TrackingSensor, nominal_65nm
+    >>> tracker = TrackingSensor(
+    ...     PTSensor(nominal_65nm()),
+    ...     TrackingPolicy(recalibration_interval=3),
+    ... )
+    >>> [tracker.read(40.0).mode for _ in range(4)]
+    ['full', 'fast', 'fast', 'full']
+    >>> tracker.read(40.0).energy_j < tracker.sensor.read(40.0).energy.total
+    True
+    """,
+    "stack_monitoring": """
+    A `StackMonitor` polls one sensor per tier over the TSV chain and
+    reports per-round snapshots with explicit quality flags.
+
+    >>> from repro.api import PTSensor, StackMonitor, TsvSensorBus, nominal_65nm
+    >>> technology = nominal_65nm()
+    >>> sensors = {tier: PTSensor(technology, die_id=tier) for tier in range(2)}
+    >>> monitor = StackMonitor(sensors, TsvSensorBus(tiers=2))
+    >>> snapshot = monitor.poll({0: 55.0, 1: 48.0})
+    >>> snapshot.quality, snapshot.hottest_tier
+    ('fused', 0)
+    >>> abs(snapshot.fused_temperature_c - 51.5) < 2.0
+    True
+    """,
+    "resilience_policy": """
+    `ResiliencePolicy` tunes how the monitor rides through faults; the
+    defaults reproduce the historical behaviour exactly.
+
+    >>> from repro.api import ResiliencePolicy
+    >>> policy = ResiliencePolicy()
+    >>> (policy.retry_limit, policy.dead_after, policy.revive_after)
+    (2, 3, 1)
+    >>> ResiliencePolicy(backoff_base_s=1e-6).backoff_s(attempt=2)
+    4e-06
+    """,
+    "fault_injection": """
+    A `FaultPlan` declares what breaks, where and when; `faults.inject`
+    activates it process-wide, and the empty plan is a golden no-op.
+
+    >>> from repro.api import FaultKind, FaultPlan, FaultSpec, faults
+    >>> plan = FaultPlan(name="demo", specs=(
+    ...     FaultSpec(FaultKind.TSV_OPEN, tier=1, onset_round=0),
+    ... ))
+    >>> plan.tiers_faulted()
+    {1}
+    >>> from repro.api import TsvSensorBus
+    >>> bus = TsvSensorBus(tiers=2)
+    >>> from repro.readout.interface import SensorFrame, encode_frame
+    >>> word = encode_frame(SensorFrame(die_id=0, dvtn=0.0, dvtp=0.0,
+    ...                                 temperature_c=50.0))
+    >>> with faults.inject(plan):
+    ...     report = bus.collect({0: word, 1: word})
+    >>> report.missing       # tier 1's frame never arrived
+    [1]
+    >>> clean = bus.collect({0: word, 1: word})
+    >>> clean.healthy        # outside the block the bus is untouched
+    True
+    """,
+    "telemetry_capture": """
+    The telemetry layer counts what happened without perturbing any
+    seeded number; `capture()` resets metrics and collects spans.
+
+    >>> from repro.api import PTSensor, nominal_65nm, telemetry
+    >>> sensor = PTSensor(nominal_65nm())
+    >>> with telemetry.capture() as sink:
+    ...     _ = sensor.read(65.0, deterministic=True)
+    >>> telemetry.counter("core.conversions").value
+    1
+    >>> len(sink.spans_named("core.conversion"))
+    1
+    """,
+    "experiments": """
+    Every reconstructed table/figure is an experiment module;
+    `run_experiment` runs one by id and returns its result object, whose
+    `render()` prints the same rows the CLI does.
+
+    >>> from repro.api import run_experiment
+    >>> result = run_experiment("R-F1", fast=True)
+    >>> "TSRO" in result.render()
+    True
+    >>> run_experiment("R-F99", fast=True)   # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    KeyError: "unknown experiment 'R-F99'; known: ..."
+    """,
+}

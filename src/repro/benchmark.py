@@ -166,6 +166,44 @@ def bench_thermal_steady_warm() -> float:
     return _time(lambda: steady_state(grid, power))
 
 
+def _faultsim_config(rounds: int):
+    from repro.faults.campaign import CampaignConfig
+
+    return CampaignConfig(tiers=8, rounds=rounds)
+
+
+def bench_stack_monitor_8tier(rounds: int = 10) -> float:
+    """8-tier monitored-stack polling loop with no faults layer active.
+
+    The reference for ``faultsim_8tier_smoke``: the delta between the two
+    is the price of the injection seams plus the campaign scorer under a
+    zero-fault plan, which must stay in the noise
+    (benchmarks/bench_faultsim_campaign.py asserts the ratio).
+    """
+    from repro.faults.campaign import _build_stack
+
+    config = _faultsim_config(rounds)
+
+    def loop():
+        monitor = _build_stack(config)
+        for r in range(config.rounds):
+            monitor.poll(
+                {t: config.truth_c(t, r) for t in range(config.tiers)}
+            )
+
+    return _time(loop)
+
+
+def bench_faultsim_zero_fault(rounds: int = 10) -> float:
+    """The same 8-tier loop run through the campaign under the empty plan."""
+    from repro.faults.campaign import run_plan
+    from repro.faults.plan import FaultPlan
+
+    config = _faultsim_config(rounds)
+    plan = FaultPlan(name="zero-fault")
+    return _time(lambda: run_plan(plan, config))
+
+
 BENCHMARKS: Dict[str, Callable[[], float]] = {
     "population_sweep_scalar_50x9": bench_population_sweep_scalar,
     "population_sweep_batch_200x9": bench_population_sweep_batch,
@@ -173,6 +211,8 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "read_population_telemetry_50x5": bench_read_population_telemetry,
     "thermal_steady_cold": bench_thermal_steady_cold,
     "thermal_steady_warm": bench_thermal_steady_warm,
+    "stack_monitor_8tier_poll": bench_stack_monitor_8tier,
+    "faultsim_8tier_smoke": bench_faultsim_zero_fault,
 }
 
 

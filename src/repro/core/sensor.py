@@ -21,6 +21,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.circuits.digital import WindowCounter
+from repro.faults.runtime import active_injector
 from repro.circuits.oscillator_bank import (
     OscillatorBank,
     build_oscillator_bank,
@@ -214,7 +215,16 @@ class PTSensor:
         This is the entry point for thermal-solver-driven simulation: the
         solver computes the junction temperature field and hands each sensor
         its local environment.
+
+        When a fault plan is active (:func:`repro.faults.inject`), faults
+        targeting this sensor's ``die_id`` apply here: supply droop and
+        thermal runaway perturb the physical environment before the
+        oscillators see it, and stuck/drifting-output faults override the
+        published reading afterwards.
         """
+        injector = active_injector()
+        if injector is not None:
+            env = injector.perturb_environment(self.die_id, env)
         rng = None if deterministic else self._rng
 
         with telemetry.span(
@@ -250,7 +260,7 @@ class PTSensor:
                 energy_pj=energy.total * 1e12,
             )
 
-            return SensorReading(
+            reading = SensorReading(
                 temperature_c=kelvin_to_celsius(state.temp_k),
                 dvtn=state.dvtn,
                 dvtp=state.dvtp,
@@ -262,6 +272,9 @@ class PTSensor:
                 rounds_used=state.rounds_used,
                 converged=state.converged,
             )
+            if injector is not None:
+                reading = injector.perturb_reading(self.die_id, reading)
+            return reading
 
     def frame(self, reading: SensorReading) -> int:
         """Encode a reading into the 40-bit TSV-bus frame."""

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro import telemetry
 from repro.circuits.ring_oscillator import Environment
+from repro.faults.runtime import active_injector
 from repro.core.errors import SensorError
 from repro.core.sensor import PTSensor, SensorReading
 from repro.core.temperature import estimate_temperature_clamped
@@ -131,6 +132,14 @@ class TrackingSensor:
         )
 
     def _fast_read(self, env: Environment) -> TrackingReading:
+        # The fast path bypasses PTSensor.read_environment, so active
+        # fault plans hook here instead: environment faults (droop,
+        # runaway) before the TSRO runs, output faults (stuck, drift)
+        # on the published sample.  Full reads inherit both hooks from
+        # the sensor macro itself.
+        injector = active_injector()
+        if injector is not None:
+            env = injector.perturb_environment(self.sensor.die_id, env)
         f_t = self.sensor.bank.tsro.frequency(env)
         count = self.sensor._timer_t.count(f_t, self.sensor._rng)
         f_t_hat = self.sensor._timer_t.frequency_from_count(count)
@@ -140,13 +149,16 @@ class TrackingSensor:
         full_energy = conversion_energy(self.sensor.bank, env, self.sensor.config)
         self._reads_since_full += 1
         _FAST_READS.inc()
-        return TrackingReading(
+        reading = TrackingReading(
             temperature_c=kelvin_to_celsius(temp_k),
             mode="fast",
             energy_j=self._fast_energy(full_energy),
             dvtn=self._stored_dvtn,
             dvtp=self._stored_dvtp,
         )
+        if injector is not None:
+            reading = injector.perturb_reading(self.sensor.die_id, reading)
+        return reading
 
     def read(self, temp_c, vdd: Optional[float] = None) -> TrackingReading:
         """One sample: fast when the stored calibration is fresh enough.

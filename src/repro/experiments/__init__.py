@@ -20,6 +20,7 @@ from repro.experiments import (
     exp_e7_body_bias,
     exp_e8_runaway,
     exp_e9_fusion,
+    exp_e10_fault_resilience,
     exp_f1_freq_vs_temp,
     exp_f2_process_sensitivity,
     exp_f3_vt_extraction,
@@ -53,6 +54,7 @@ ALL_EXPERIMENTS = {
     "R-E7": exp_e7_body_bias,
     "R-E8": exp_e8_runaway,
     "R-E9": exp_e9_fusion,
+    "R-E10": exp_e10_fault_resilience,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,106 @@
+"""R-E10: resilience of the monitoring network under injected faults.
+
+The paper's monitoring story assumes the read-out path works; this
+extension asks what the network does when it does not.  A monitored
+stack runs the built-in fault-plan catalogue (``repro.faults.campaign``)
+— open TSVs, bit-flip bursts, resistive wear-out, dropped frames, stuck
+and drifting sensors, supply droop, thermal runaway — and the campaign
+scores detection latency, misdetection rate, and accuracy under fault.
+
+The shapes to reproduce:
+
+* the zero-fault control plan is clean — no degraded rounds, no false
+  flags, and accuracy identical to an uninstrumented run;
+* loud faults (open TSV, parity-visible bursts, dropped frames) are
+  detected within the staleness budget and quarantined;
+* quiet faults (even-weight flips, stuck/drifting sensors, droop)
+  evade frame-level detection and surface only in the accuracy columns
+  — the motivation for cross-tier plausibility checks (R-E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.campaign import (
+    CampaignReport,
+    PlanOutcome,
+    builtin_plans,
+    run_campaign,
+)
+
+FAST_TIERS = 4
+FAST_ROUNDS = 14
+FAST_PLANS = ("zero-fault", "open-tsv", "stealth-flips", "flaky-frames")
+
+FULL_TIERS = 8
+FULL_ROUNDS = 40
+
+#: Plans whose faults corrupt data without ever touching frame delivery —
+#: the monitor keeps fusing, and only the error columns betray them.
+QUIET_PLANS = ("stealth-flips", "stuck-sensor", "drifting-sensor", "supply-droop")
+
+
+@dataclass(frozen=True)
+class E10Result:
+    """The campaign report plus the shape accessors the tests assert on."""
+
+    report: CampaignReport
+
+    def outcome(self, name: str) -> PlanOutcome:
+        for outcome in self.report.outcomes:
+            if outcome.plan.name == name:
+                return outcome
+        raise KeyError(f"no plan named {name!r} in this campaign")
+
+    @property
+    def zero_fault(self) -> PlanOutcome:
+        return self.outcome("zero-fault")
+
+    def detected_loud_faults(self) -> bool:
+        """Every frame-visible fault plan in the run got flagged."""
+        return all(
+            o.faults_detected == o.faults_total
+            for o in self.report.outcomes
+            if o.plan.specs and o.plan.name not in QUIET_PLANS
+        )
+
+    def worst_quiet_error_c(self) -> float:
+        """Largest silent error among the quiet plans present in the run."""
+        errors = [
+            o.max_abs_error_c
+            for o in self.report.outcomes
+            if o.plan.name in QUIET_PLANS
+        ]
+        return max(errors) if errors else 0.0
+
+    def render(self) -> str:
+        return (
+            f"{self.report.render()}\n\n"
+            f"loud faults all detected: {self.detected_loud_faults()}\n"
+            f"worst silent (quiet-plan) error: "
+            f"{self.worst_quiet_error_c():.1f} degC\n"
+            f"zero-fault control: "
+            f"{self.zero_fault.degraded_rounds} degraded rounds, "
+            f"misdetection rate {self.zero_fault.misdetection_rate:.3f}"
+        )
+
+
+def run(fast: bool = False, seed: Optional[int] = None) -> E10Result:
+    """Run the R-E10 campaign.
+
+    Args:
+        fast: Smoke workload — a 4-tier stack, 14 rounds, and the four
+            plans that exercise the loud/quiet split, instead of the
+            full 8-tier catalogue sweep.
+        seed: Campaign seed; ``None`` uses the suite default (2012).
+    """
+    seed = 2012 if seed is None else seed
+    tiers = FAST_TIERS if fast else FULL_TIERS
+    rounds = FAST_ROUNDS if fast else FULL_ROUNDS
+    plans = builtin_plans(tiers=tiers, seed=seed)
+    if fast:
+        plans = [plan for plan in plans if plan.name in FAST_PLANS]
+    report = run_campaign(plans=plans, tiers=tiers, rounds=rounds, seed=seed)
+    return E10Result(report=report)

@@ -1,0 +1,72 @@
+"""Fault injection and resilience evaluation for the TSV sensor stack.
+
+The subsystem has three layers (docs/faults.md is the full guide):
+
+* **plans** (:mod:`repro.faults.plan`) — declarative, seeded fault
+  descriptions: what breaks, on which tier, when, and how badly;
+* **injection** (:mod:`repro.faults.injector`) — a process-wide active
+  injector consulted by the stack's seams (sensor reads, TSV bus
+  collection), so any experiment runs under a plan without code
+  changes::
+
+      from repro import faults
+      from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+      plan = FaultPlan(specs=(FaultSpec(FaultKind.TSV_OPEN, tier=2),))
+      with faults.inject(plan):
+          snapshot = monitor.poll(temps)   # tier 2's frames never arrive
+
+* **campaigns** (:mod:`repro.faults.campaign`) — sweep plans over an
+  N-tier monitored stack and score detection latency, misdetection
+  rate, and accuracy under fault (``python -m repro faultsim``).
+
+The empty plan is a golden no-op: activating it leaves every result
+bit-identical to not touching the faults layer at all.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.faults.injector import FaultInjector, sync_active_gauge
+from repro.faults.models import ResistiveDriftModel
+from repro.faults.plan import (
+    BUS_KINDS,
+    SENSOR_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.runtime import active_injector, set_active
+
+__all__ = [
+    "BUS_KINDS",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "ResistiveDriftModel",
+    "SENSOR_KINDS",
+    "active_injector",
+    "inject",
+]
+
+
+@contextmanager
+def inject(plan: FaultPlan, **injector_kwargs) -> Iterator[FaultInjector]:
+    """Activate a fault plan for the duration of the block.
+
+    Builds a fresh :class:`FaultInjector` (round clock at 0) and
+    installs it as the process-wide active injector; the previous
+    injector — usually ``None`` — is restored on exit, so campaigns
+    nest safely inside experiments.
+    """
+    injector = FaultInjector(plan, **injector_kwargs)
+    previous = active_injector()
+    set_active(injector)
+    try:
+        yield injector
+    finally:
+        set_active(previous)
+        sync_active_gauge(previous)

@@ -1,0 +1,449 @@
+"""Fault-injection campaigns: sweep plans, score the monitoring network.
+
+A campaign runs one monitored N-tier stack per plan for a fixed number
+of polling rounds under a deterministic temperature profile, and scores
+what a resilience evaluation actually cares about:
+
+* **detection latency** — rounds from a fault's onset until the monitor
+  flags its tier (quarantine, staleness, or an alarm band);
+* **misdetection rate** — flagged tier-rounds among tiers the plan
+  never touches (false alarms);
+* **accuracy under fault** — |sensor − truth| statistics against the
+  *perturbed* ground truth (a runaway tier really is hotter);
+* **degraded rounds** — how often the aggregator had to fall back from
+  the fused estimate to per-tier readings.
+
+``python -m repro faultsim`` drives :func:`run_campaign` over the
+built-in plan catalogue; experiments (R-E10) reuse the same scorer.
+Everything is seeded — same seed, same plans, same report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import faults, telemetry
+from repro.analysis.tables import render_table
+from repro.config import SensorConfig
+from repro.core.decoupler import ProcessLut
+from repro.core.sensing_model import SensingModel
+from repro.core.sensor import PTSensor
+from repro.device.technology import nominal_65nm
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.network.aggregator import MonitorSnapshot, ResiliencePolicy, StackMonitor
+from repro.tsv.bus import TsvSensorBus
+from repro.variation.montecarlo import sample_dies
+
+_PLANS_RUN = telemetry.counter(
+    "faults.campaign_plans", unit="plans", help="Fault plans executed by campaigns"
+)
+_DETECTIONS = telemetry.counter(
+    "faults.detections", unit="faults", help="Injected faults the monitor flagged"
+)
+_MISSED_FAULTS = telemetry.counter(
+    "faults.missed", unit="faults", help="Injected faults never flagged"
+)
+_DETECTION_LATENCY = telemetry.histogram(
+    "faults.detection_latency_rounds",
+    unit="rounds",
+    help="Rounds from fault onset to first flag",
+)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape of one campaign run.
+
+    Attributes:
+        tiers: Stack height (sensors + bus chain length).
+        rounds: Polling rounds per plan.
+        seed: Master seed (die population; plans carry their own).
+        base_temp_c: Coolest tier's baseline temperature.
+        tier_gradient_c: Added per tier toward the heat-sink-far end
+            (tier 0 runs hottest, as in R-F5).
+        swing_c: Amplitude of the slow workload swing over the run.
+        warning_c: Monitor warning threshold.
+        emergency_c: Monitor emergency threshold.
+        policy: Resilience policy under test; ``None`` = defaults.
+    """
+
+    tiers: int = 8
+    rounds: int = 40
+    seed: int = 2012
+    base_temp_c: float = 45.0
+    tier_gradient_c: float = 4.0
+    swing_c: float = 6.0
+    warning_c: float = 95.0
+    emergency_c: float = 110.0
+    policy: Optional[ResiliencePolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.tiers < 1:
+            raise ValueError("tiers must be >= 1")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+
+    def truth_c(self, tier: int, round_index: int) -> float:
+        """Pre-fault ground-truth temperature of a tier at a round."""
+        phase = 2.0 * math.pi * round_index / max(self.rounds, 1)
+        return (
+            self.base_temp_c
+            + self.tier_gradient_c * (self.tiers - 1 - tier)
+            + self.swing_c * math.sin(phase)
+        )
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """Scored result of one plan under one campaign config.
+
+    Attributes:
+        plan: The plan that ran.
+        faults_total: Specs in the plan.
+        faults_detected: Specs whose tier got flagged at/after onset.
+        detection_latency_rounds: Mean rounds from onset to first flag
+            over detected specs; ``None`` with nothing to detect/found.
+        misdetection_rate: Flagged tier-rounds among never-faulted
+            tiers, as a fraction of their total tier-rounds.
+        mean_abs_error_c: Mean |reading − truth| over fresh readings.
+        max_abs_error_c: Worst single fresh-reading error.
+        degraded_rounds: Rounds the monitor reported ``degraded``.
+        stale_served: Tier-rounds served from a stale reading.
+        retries_used: Total bus re-polls across the run.
+    """
+
+    plan: FaultPlan
+    faults_total: int
+    faults_detected: int
+    detection_latency_rounds: Optional[float]
+    misdetection_rate: float
+    mean_abs_error_c: float
+    max_abs_error_c: float
+    degraded_rounds: int
+    stale_served: int
+    retries_used: int
+
+    def as_row(self) -> List[str]:
+        latency = (
+            "-"
+            if self.detection_latency_rounds is None
+            else f"{self.detection_latency_rounds:.1f}"
+        )
+        return [
+            self.plan.name,
+            f"{self.faults_detected}/{self.faults_total}",
+            latency,
+            f"{self.misdetection_rate:.3f}",
+            f"{self.mean_abs_error_c:.2f}",
+            f"{self.max_abs_error_c:.2f}",
+            str(self.degraded_rounds),
+            str(self.stale_served),
+            str(self.retries_used),
+        ]
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """All plan outcomes of one campaign."""
+
+    config: CampaignConfig
+    outcomes: List[PlanOutcome]
+
+    def render(self) -> str:
+        table = render_table(
+            [
+                "plan",
+                "detected",
+                "latency (rounds)",
+                "misdetect rate",
+                "mean |err| (degC)",
+                "max |err| (degC)",
+                "degraded rounds",
+                "stale served",
+                "retries",
+            ],
+            [outcome.as_row() for outcome in self.outcomes],
+            title=(
+                f"faultsim campaign: {self.config.tiers}-tier stack, "
+                f"{self.config.rounds} rounds/plan, seed {self.config.seed}"
+            ),
+        )
+        plans = "\n".join(o.plan.describe() for o in self.outcomes)
+        return f"{table}\n\nplans:\n{plans}"
+
+    def to_json(self) -> str:
+        payload = {
+            "tiers": self.config.tiers,
+            "rounds": self.config.rounds,
+            "seed": self.config.seed,
+            "outcomes": [
+                {
+                    "plan": o.plan.name,
+                    "faults_total": o.faults_total,
+                    "faults_detected": o.faults_detected,
+                    "detection_latency_rounds": o.detection_latency_rounds,
+                    "misdetection_rate": round(o.misdetection_rate, 6),
+                    "mean_abs_error_c": round(o.mean_abs_error_c, 4),
+                    "max_abs_error_c": round(o.max_abs_error_c, 4),
+                    "degraded_rounds": o.degraded_rounds,
+                    "stale_served": o.stale_served,
+                    "retries_used": o.retries_used,
+                }
+                for o in self.outcomes
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+
+def builtin_plans(tiers: int = 8, seed: int = 2012) -> List[FaultPlan]:
+    """The canonical plan catalogue (docs/faults.md documents each).
+
+    The first entry is always the empty plan — the golden zero-fault
+    reference every campaign carries as its control group.
+    """
+    if tiers < 1:
+        raise ValueError("tiers must be >= 1")
+    t = lambda k: k % tiers  # noqa: E731 - tier clamp for short stacks
+    return [
+        FaultPlan(name="zero-fault", seed=seed),
+        FaultPlan(
+            name="open-tsv",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.TSV_OPEN, tier=t(2), onset_round=5,
+                          duration_rounds=18),
+            ),
+        ),
+        FaultPlan(
+            name="noisy-link",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.BUS_BIT_FLIPS, tier=t(7), onset_round=4,
+                          duration_rounds=12, severity=3.0),
+            ),
+        ),
+        FaultPlan(
+            # Even-weight bursts slip past single-bit parity: the frame
+            # decodes "cleanly" with a garbage payload.  The canonical
+            # demonstration of why the report's accuracy columns matter
+            # even when the detection column looks healthy.
+            name="stealth-flips",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.BUS_BIT_FLIPS, tier=t(7), onset_round=4,
+                          duration_rounds=12, severity=2.0),
+            ),
+        ),
+        FaultPlan(
+            # Accelerated electromigration wear-out: ~mohm via resistance
+            # is invisible behind the 500-ohm driver until the void has
+            # grown it thousands-fold, then the eye collapses within a
+            # few rounds.  Severity is fractional resistance growth per
+            # round; ~400 crosses the BER knee mid-campaign.
+            name="drift-link",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.TSV_RESISTIVE_DRIFT, tier=t(3),
+                          onset_round=2, severity=400.0),
+            ),
+        ),
+        FaultPlan(
+            name="flaky-frames",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.FRAME_DROP, tier=t(1), onset_round=6,
+                          duration_rounds=15, severity=0.6),
+            ),
+        ),
+        FaultPlan(
+            name="stuck-sensor",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.SENSOR_STUCK, tier=t(4), onset_round=8),
+            ),
+        ),
+        FaultPlan(
+            name="drifting-sensor",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.SENSOR_DRIFT, tier=t(2), onset_round=5,
+                          severity=0.8),
+            ),
+        ),
+        FaultPlan(
+            name="supply-droop",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.SUPPLY_DROOP, tier=t(5), onset_round=10,
+                          duration_rounds=12, severity=0.06),
+            ),
+        ),
+        FaultPlan(
+            name="thermal-runaway",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.THERMAL_RUNAWAY, tier=0, onset_round=6,
+                          severity=4.0),
+            ),
+        ),
+        FaultPlan(
+            name="pile-up",
+            seed=seed,
+            specs=(
+                FaultSpec(FaultKind.TSV_OPEN, tier=t(6), onset_round=4,
+                          duration_rounds=10),
+                FaultSpec(FaultKind.BUS_BIT_FLIPS, tier=t(1), onset_round=8,
+                          duration_rounds=10, severity=3.0),
+                FaultSpec(FaultKind.THERMAL_RUNAWAY, tier=0, onset_round=12,
+                          severity=3.0),
+            ),
+        ),
+    ]
+
+
+@lru_cache(maxsize=4)
+def _campaign_design() -> Tuple[object, SensorConfig, SensingModel, ProcessLut]:
+    """The shared (per-process) reference design for campaign stacks."""
+    technology = nominal_65nm()
+    config = SensorConfig()
+    model = SensingModel(technology, config)
+    lut = ProcessLut.build(model)
+    return technology, config, model, lut
+
+
+def _build_stack(config: CampaignConfig) -> StackMonitor:
+    """A fresh monitored stack (private sensor noise streams) per plan."""
+    technology, sensor_config, model, lut = _campaign_design()
+    dies = sample_dies(technology, config.tiers, seed=config.seed)
+    sensors = {
+        tier: PTSensor(
+            technology,
+            config=sensor_config,
+            die=die,
+            die_id=tier,
+            sensing_model=model,
+            lut=lut,
+        )
+        for tier, die in enumerate(dies)
+    }
+    return StackMonitor(
+        sensors,
+        TsvSensorBus(tiers=config.tiers),
+        warning_c=config.warning_c,
+        emergency_c=config.emergency_c,
+        policy=config.policy,
+    )
+
+
+def _flagged(tier: int, snapshot: MonitorSnapshot) -> bool:
+    """Whether the monitor raised *any* signal about a tier this round."""
+    return (
+        tier in snapshot.dead_tiers
+        or tier in snapshot.warnings
+        or tier in snapshot.emergencies
+        or snapshot.tier_quality.get(tier) in ("stale", "lost")
+    )
+
+
+def run_plan(plan: FaultPlan, config: CampaignConfig) -> PlanOutcome:
+    """Run one plan for ``config.rounds`` and score the monitor."""
+    monitor = _build_stack(config)
+    snapshots: List[MonitorSnapshot] = []
+    errors: List[float] = []
+
+    with telemetry.span("faults.plan_run", plan=plan.name, tiers=config.tiers):
+        with faults.inject(plan) as injector:
+            for round_index in range(config.rounds):
+                truths = {
+                    tier: config.truth_c(tier, round_index)
+                    for tier in range(config.tiers)
+                }
+                # Ground truth for scoring includes injected heating —
+                # a runaway tier really is hotter; read it before poll()
+                # advances the fault clock.
+                actual = {
+                    tier: injector.true_temperature_c(tier, temp)
+                    for tier, temp in truths.items()
+                }
+                snapshot = monitor.poll(truths)
+                snapshots.append(snapshot)
+                errors.extend(
+                    abs(reading - actual[tier])
+                    for tier, reading in snapshot.temperatures_c.items()
+                )
+    _PLANS_RUN.inc()
+
+    detected = 0
+    latencies: List[int] = []
+    for spec in plan.specs:
+        first_flag = next(
+            (
+                r
+                for r in range(spec.onset_round, config.rounds)
+                if _flagged(spec.tier, snapshots[r])
+            ),
+            None,
+        )
+        if first_flag is None:
+            _MISSED_FAULTS.inc()
+        else:
+            detected += 1
+            latencies.append(first_flag - spec.onset_round)
+            _DETECTIONS.inc()
+            _DETECTION_LATENCY.observe(first_flag - spec.onset_round)
+
+    clean_tiers = sorted(set(range(config.tiers)) - plan.tiers_faulted())
+    clean_tier_rounds = len(clean_tiers) * config.rounds
+    false_flags = sum(
+        1
+        for snapshot in snapshots
+        for tier in clean_tiers
+        if _flagged(tier, snapshot)
+    )
+
+    return PlanOutcome(
+        plan=plan,
+        faults_total=len(plan.specs),
+        faults_detected=detected,
+        detection_latency_rounds=(
+            sum(latencies) / len(latencies) if latencies else None
+        ),
+        misdetection_rate=(
+            false_flags / clean_tier_rounds if clean_tier_rounds else 0.0
+        ),
+        mean_abs_error_c=sum(errors) / len(errors) if errors else 0.0,
+        max_abs_error_c=max(errors) if errors else 0.0,
+        degraded_rounds=sum(1 for s in snapshots if s.quality == "degraded"),
+        stale_served=sum(
+            1 for s in snapshots for q in s.tier_quality.values() if q == "stale"
+        ),
+        retries_used=sum(s.retries_used for s in snapshots),
+    )
+
+
+def run_campaign(
+    plans: Optional[Sequence[FaultPlan]] = None,
+    tiers: int = 8,
+    rounds: int = 40,
+    seed: int = 2012,
+    policy: Optional[ResiliencePolicy] = None,
+) -> CampaignReport:
+    """Sweep fault plans over a monitored stack and collect the scores.
+
+    Args:
+        plans: Plans to run; ``None`` uses :func:`builtin_plans`.
+        tiers: Stack height.
+        rounds: Polling rounds per plan.
+        seed: Die-population seed (plans keep their own seeds).
+        policy: Resilience policy under test; ``None`` = defaults.
+    """
+    config = CampaignConfig(tiers=tiers, rounds=rounds, seed=seed, policy=policy)
+    if plans is None:
+        plans = builtin_plans(tiers=tiers, seed=seed)
+    with telemetry.span("faults.campaign", plans=len(plans), tiers=tiers):
+        outcomes = [run_plan(plan, config) for plan in plans]
+    return CampaignReport(config=config, outcomes=outcomes)

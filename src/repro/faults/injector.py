@@ -1,0 +1,233 @@
+"""The fault injector: a seeded runtime that applies a plan's faults.
+
+One :class:`FaultInjector` owns a plan, a private randomness stream
+derived from the plan seed, and the round clock.  The stack's seams
+(:meth:`repro.core.sensor.PTSensor.read_environment`,
+:meth:`repro.core.tracking.TrackingSensor.read`,
+:meth:`repro.tsv.bus.TsvSensorBus.collect`) consult the process-wide
+active injector on every call; while none is active — the default —
+every hook is a single ``None`` check and **no randomness is consumed**,
+which is what makes the empty-plan golden test bit-exact.
+
+Time is counted in monitoring rounds: :meth:`FaultInjector.advance`
+moves the clock, and :meth:`repro.network.aggregator.StackMonitor.poll`
+advances the active injector automatically at the end of each round, so
+existing experiment loops pick up fault onset/expiry without changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.faults.models import (
+    ResistiveDriftModel,
+    burst_flip_count,
+    frame_drop_probability,
+    sensor_drift_offset_c,
+    supply_droop_volts,
+    thermal_runaway_offset_c,
+)
+from repro.faults.plan import BUS_KINDS, SENSOR_KINDS, FaultKind, FaultPlan
+
+_ENV_PERTURBATIONS = telemetry.counter(
+    "faults.env_perturbations",
+    unit="reads",
+    help="Sensor environments perturbed (droop / runaway faults)",
+)
+_READING_OVERRIDES = telemetry.counter(
+    "faults.reading_overrides",
+    unit="reads",
+    help="Sensor readings overridden (stuck / drifting faults)",
+)
+_FRAMES_DROPPED = telemetry.counter(
+    "faults.frames_dropped",
+    unit="frames",
+    help="Frames withheld from the bus (open TSV / dropped frames)",
+)
+_FRAMES_CORRUPTED = telemetry.counter(
+    "faults.frames_corrupted",
+    unit="frames",
+    help="Frames corrupted in transit by injected link faults",
+)
+_BITS_FLIPPED = telemetry.counter(
+    "faults.bits_flipped",
+    unit="bits",
+    help="Bits flipped by injected link faults",
+)
+_ROUNDS = telemetry.counter(
+    "faults.rounds", unit="rounds", help="Fault-clock rounds advanced"
+)
+_ACTIVE_FAULTS = telemetry.gauge(
+    "faults.active",
+    unit="faults",
+    help="Specs active at the current fault-clock round",
+)
+
+
+def sync_active_gauge(injector: Optional["FaultInjector"]) -> None:
+    """Point the ``faults.active`` gauge at an injector (or clear it)."""
+    if injector is None:
+        _ACTIVE_FAULTS.set(0)
+    else:
+        _ACTIVE_FAULTS.set(len(injector.plan.active(injector.round)))
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` at the stack's injection seams.
+
+    Args:
+        plan: The declarative fault plan.
+        frame_bits: Frame width used by the link-fault models.
+        drift_model: Link-budget model behind ``tsv_resistive_drift``;
+            ``None`` uses the reference 5 um via.
+
+    The injector is deterministic: all randomness comes from a
+    ``numpy`` generator seeded from ``plan.seed``, so the same plan
+    replays the same fault schedule on every run.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        frame_bits: int = 40,
+        drift_model: Optional[ResistiveDriftModel] = None,
+    ) -> None:
+        self.plan = plan
+        self.frame_bits = frame_bits
+        self.drift_model = drift_model if drift_model is not None else ResistiveDriftModel()
+        self.round = 0
+        self._rng = np.random.default_rng(np.random.SeedSequence((plan.seed, 0xFA017)))
+        self._stuck_temp_c: Dict[int, float] = {}
+        _ACTIVE_FAULTS.set(len(plan.active(0)))
+
+    # ------------------------------------------------------------------ clock
+
+    def advance(self, rounds: int = 1) -> None:
+        """Move the fault clock forward by ``rounds`` monitoring rounds."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self.round += rounds
+        _ROUNDS.inc(rounds)
+        _ACTIVE_FAULTS.set(len(self.plan.active(self.round)))
+        # A stuck output holds only while its fault is active; when every
+        # stuck spec for a tier expires, the latch clears.
+        for tier in list(self._stuck_temp_c):
+            if not self.plan.active_for_tier(tier, self.round, kinds={FaultKind.SENSOR_STUCK}):
+                del self._stuck_temp_c[tier]
+
+    # ------------------------------------------------------- sensor-layer hooks
+
+    def perturb_environment(self, tier: int, env):
+        """Apply droop/runaway faults to a tier's physical environment.
+
+        Returns the environment unchanged (same object) when no
+        environment-level fault targets the tier this round.
+        """
+        specs = self.plan.active_for_tier(
+            tier, self.round, kinds={FaultKind.SUPPLY_DROOP, FaultKind.THERMAL_RUNAWAY}
+        )
+        if not specs:
+            return env
+        temp_k, vdd = env.temp_k, env.vdd
+        for spec in specs:
+            age = spec.rounds_active(self.round)
+            if spec.kind is FaultKind.SUPPLY_DROOP:
+                vdd -= supply_droop_volts(spec.severity)
+            else:
+                temp_k += thermal_runaway_offset_c(spec.severity, age)
+        _ENV_PERTURBATIONS.inc()
+        return dataclasses.replace(env, temp_k=temp_k, vdd=max(vdd, 1e-3))
+
+    def true_temperature_c(self, tier: int, temp_c: float) -> float:
+        """Ground-truth junction temperature including injected heating.
+
+        Thermal runaway changes the *physical* temperature, so scorers
+        (the campaign runner) must judge sensor accuracy against the
+        perturbed truth, not the pre-fault profile.  Pure — consumes no
+        randomness.
+        """
+        offset = 0.0
+        for spec in self.plan.active_for_tier(
+            tier, self.round, kinds={FaultKind.THERMAL_RUNAWAY}
+        ):
+            offset += thermal_runaway_offset_c(spec.severity, spec.rounds_active(self.round))
+        return temp_c + offset
+
+    def perturb_reading(self, tier: int, reading):
+        """Apply stuck/drift faults to a published reading.
+
+        Works on any frozen dataclass with a ``temperature_c`` field
+        (:class:`~repro.core.sensor.SensorReading`,
+        :class:`~repro.core.tracking.TrackingReading`).
+        """
+        specs = self.plan.active_for_tier(
+            tier, self.round, kinds={FaultKind.SENSOR_STUCK, FaultKind.SENSOR_DRIFT}
+        )
+        if not specs:
+            return reading
+        temp_c = reading.temperature_c
+        for spec in specs:
+            if spec.kind is FaultKind.SENSOR_STUCK:
+                temp_c = self._stuck_temp_c.setdefault(tier, temp_c)
+            else:
+                temp_c += sensor_drift_offset_c(
+                    spec.severity, spec.rounds_active(self.round)
+                )
+        _READING_OVERRIDES.inc()
+        return dataclasses.replace(reading, temperature_c=temp_c)
+
+    # ---------------------------------------------------------- bus-layer hook
+
+    def filter_frame(self, tier: int, word: int, hops: int) -> Optional[int]:
+        """Pass one encoded frame through the tier's active link faults.
+
+        Returns the (possibly corrupted) word, or ``None`` when the
+        frame is lost entirely (open TSV, dropped frame).
+        """
+        specs = self.plan.active_for_tier(tier, self.round, kinds=BUS_KINDS)
+        if not specs:
+            return word
+        flipped_bits = 0
+        for spec in specs:
+            if spec.kind is FaultKind.TSV_OPEN:
+                _FRAMES_DROPPED.inc()
+                return None
+            if spec.kind is FaultKind.FRAME_DROP:
+                if self._rng.random() < frame_drop_probability(spec.severity):
+                    _FRAMES_DROPPED.inc()
+                    return None
+            elif spec.kind is FaultKind.BUS_BIT_FLIPS:
+                for bit in self._rng.integers(
+                    0, self.frame_bits, size=burst_flip_count(spec.severity)
+                ):
+                    word ^= 1 << int(bit)
+                    flipped_bits += 1
+            elif spec.kind is FaultKind.TSV_RESISTIVE_DRIFT:
+                ber = self.drift_model.bit_error_rate(
+                    spec.severity, spec.rounds_active(self.round)
+                )
+                flip_probability = 1.0 - (1.0 - ber) ** max(hops, 1)
+                for bit, flip in enumerate(
+                    self._rng.random(self.frame_bits) < flip_probability
+                ):
+                    if flip:
+                        word ^= 1 << bit
+                        flipped_bits += 1
+        if flipped_bits:
+            _FRAMES_CORRUPTED.inc()
+            _BITS_FLIPPED.inc(flipped_bits)
+        return word
+
+    # ------------------------------------------------------------- accounting
+
+    def faulted_now(self, tier: int) -> bool:
+        """Whether any fault targets ``tier`` at the current round."""
+        return bool(self.plan.active_for_tier(tier, self.round))
+
+    def sensor_faulted_now(self, tier: int) -> bool:
+        """Whether a sensor-layer fault targets ``tier`` right now."""
+        return bool(self.plan.active_for_tier(tier, self.round, kinds=SENSOR_KINDS))

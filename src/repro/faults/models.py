@@ -1,0 +1,153 @@
+"""Physical fault models: from mechanism to injectable perturbation.
+
+Each function maps a :class:`repro.faults.plan.FaultSpec`'s severity and
+age (rounds active) to the concrete perturbation the injector applies —
+a bit error rate, a temperature offset, a rail sag.  Where the stack
+already owns the physics, the model is driven off it rather than made
+up: resistive drift degrades the link budget of
+:class:`repro.tsv.electrical.TsvElectricalModel`, and the drift
+acceleration under thermo-mechanical load comes from the residual
+stress magnitude of :class:`repro.tsv.stress.StressModel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tsv.electrical import TsvElectricalModel
+from repro.tsv.geometry import TsvSite
+from repro.tsv.stress import StressModel
+
+#: Reference via used by the link-budget fault models (the 5 um class
+#: every other TSV experiment uses).
+REFERENCE_SITE = TsvSite(x=0.0, y=0.0, radius=5e-6)
+
+#: Residual BER of a healthy, closed-eye link — effectively error-free
+#: at frame scale; drift multiplies it upward.
+HEALTHY_LINK_BER = 1e-12
+
+
+@dataclass(frozen=True)
+class ResistiveDriftModel:
+    """Electromigration-style series-resistance growth of one TSV.
+
+    The via's copper column thins (voiding at the barrier interface)
+    under current and thermo-mechanical stress; series resistance grows
+    roughly linearly in time, the RC eye closes, and the bit error rate
+    rises exponentially in the eye-closure margin — the standard
+    high-speed-link BER-vs-margin shape.
+
+    Attributes:
+        electrical: Link budget of the healthy via.
+        stress: Residual-stress field; its wall magnitude accelerates
+            drift (thermal-cycling fatigue scales with stress).
+        site: Via geometry.
+        ber_slope: Decades of BER per unit fractional delay growth.
+    """
+
+    electrical: TsvElectricalModel = TsvElectricalModel()
+    stress: StressModel = StressModel()
+    site: TsvSite = REFERENCE_SITE
+    ber_slope: float = 24.0
+
+    def resistance_growth(self, severity: float, rounds_active: int) -> float:
+        """Fractional series-resistance growth after ``rounds_active``.
+
+        ``severity`` is the per-round fractional growth at the reference
+        stress level (150 MPa wall stress); higher residual stress
+        accelerates it linearly.
+        """
+        stress_factor = self.stress.sigma_edge_pa / 1.5e8
+        return severity * stress_factor * (1 + rounds_active)
+
+    def delay_growth(self, severity: float, rounds_active: int) -> float:
+        """Fractional hop-delay growth caused by the drifted resistance."""
+        growth = self.resistance_growth(severity, rounds_active)
+        r_via = self.electrical.resistance(self.site)
+        c_total = self.electrical.capacitance(self.site) + self.electrical.load_capacitance
+        nominal = (r_via + self.electrical.driver_resistance) * c_total
+        drifted = (r_via * (1.0 + growth) + self.electrical.driver_resistance) * c_total
+        return drifted / nominal - 1.0
+
+    def bit_error_rate(self, severity: float, rounds_active: int) -> float:
+        """Per-bit, per-hop flip probability of the drifted link.
+
+        Healthy links sit at ~1e-12; each unit of fractional delay
+        growth costs ``ber_slope`` decades of margin.  Clamped to 0.5
+        (a fully closed eye is a coin flip).
+        """
+        decades = self.ber_slope * self.delay_growth(severity, rounds_active)
+        if decades >= 15.0:  # past the 0.5 clamp; avoid float overflow
+            return 0.5
+        return min(HEALTHY_LINK_BER * 10.0**decades, 0.5)
+
+
+def supply_droop_volts(severity: float) -> float:
+    """Rail sag of an active supply-droop fault, volts.
+
+    Constant while active: the droop models a failed regulator stage or
+    a shared-TSV IR drop under a neighbouring tier's load step, both of
+    which are sustained rather than transient at conversion timescales.
+    """
+    return severity
+
+
+def thermal_runaway_offset_c(severity: float, rounds_active: int) -> float:
+    """Junction-temperature offset of a runaway tier, degC.
+
+    Leakage-temperature positive feedback compounds: the offset grows
+    by ``severity`` degC in the first round and accelerates 10 % per
+    round (the early, near-linear region of the E8 runaway trajectory —
+    campaigns are scored on detection before the knee, not after).
+    """
+    if rounds_active < 0:
+        return 0.0
+    return severity * sum(1.1**k for k in range(rounds_active + 1))
+
+
+def sensor_drift_offset_c(severity: float, rounds_active: int) -> float:
+    """Reading offset of a drifting sensor, degC (linear in age)."""
+    return severity * (rounds_active + 1)
+
+
+def frame_drop_probability(severity: float) -> float:
+    """Per-attempt frame-loss probability (clamped to [0, 1])."""
+    return min(max(severity, 0.0), 1.0)
+
+
+def burst_flip_count(severity: float) -> int:
+    """Bits flipped per corrupted frame in a coupling-noise burst.
+
+    At least one bit flips while the fault is active; fractional
+    severities round to the nearest count.
+    """
+    return max(1, int(round(severity)))
+
+
+def expected_flips_per_frame(ber: float, frame_bits: int, hops: int) -> float:
+    """Mean flipped bits for a frame crossing ``hops`` drifted links."""
+    survive = (1.0 - ber) ** hops
+    return frame_bits * (1.0 - survive)
+
+
+def detection_probability(ber: float, frame_bits: int) -> float:
+    """Probability parity catches a corrupted frame (odd-weight flips).
+
+    For independent per-bit flips the flip-count parity is odd with
+    probability ``(1 - (1 - 2p)^n) / 2`` — the analytic companion to
+    the campaign's measured misdetection rate.
+    """
+    return 0.5 * (1.0 - (1.0 - 2.0 * ber) ** frame_bits)
+
+
+def mean_time_to_failure_rounds(severity: float, threshold: float = 0.3) -> float:
+    """Rounds until resistive drift crosses a fractional-growth threshold.
+
+    A planning helper (used by docs/faults.md's worked example): with
+    linear growth ``severity`` per round, the threshold is crossed after
+    ``threshold / severity`` rounds.
+    """
+    if severity <= 0.0:
+        return math.inf
+    return threshold / severity

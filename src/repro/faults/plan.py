@@ -1,0 +1,205 @@
+"""Declarative fault plans: what breaks, where, when, and how badly.
+
+A :class:`FaultPlan` is data, not code — a tuple of :class:`FaultSpec`
+entries plus a seed.  The same plan object drives the injector's runtime
+hooks, the campaign runner's scoring (it knows which tier-rounds are
+faulted), and the documentation (docs/faults.md renders the catalogue
+from the same kind table).  Determinism is the design centre: a plan's
+randomised faults (bit flips, frame drops) derive every draw from the
+plan seed, so the same seed and the same plan produce the same fault
+schedule on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class FaultKind(str, Enum):
+    """The fault-model catalogue (see docs/faults.md for physics).
+
+    Each kind names one failure mechanism of a TSV 3-D sensor stack:
+
+    * ``TSV_OPEN`` — an inter-tier link is fully open (void, cracked
+      micro-bump); the tier's frames never arrive.
+    * ``TSV_RESISTIVE_DRIFT`` — electromigration/thermal cycling grows
+      the via's series resistance; the link's eye closes and the bit
+      error rate rises with severity (driven off ``tsv.electrical``).
+    * ``BUS_BIT_FLIPS`` — coupling-noise burst flips bits in frames
+      crossing the chain (severity = flips per corrupted frame).
+    * ``FRAME_DROP`` — the chain's flow control drops frames with
+      probability ``severity`` (marginal timing, FIFO overrun).
+    * ``SENSOR_STUCK`` — the tier's sensor output freezes at its
+      first faulted reading (hung FSM, latched scan chain).
+    * ``SENSOR_DRIFT`` — the reading drifts by ``severity`` degC per
+      round (reference aging, leaking calibration state).
+    * ``SUPPLY_DROOP`` — the tier's rail sags by ``severity`` volts;
+      the sensor still assumes nominal VDD, so droop shows up as
+      residual temperature error (the R-F8 mechanism).
+    * ``THERMAL_RUNAWAY`` — the tier's junction temperature ramps by
+      ``severity`` degC per active round (failed DTM loop, leakage
+      feedback) — the E8 scenario as an injectable fault.
+
+    >>> FaultKind.TSV_OPEN.value
+    'tsv_open'
+    >>> FaultKind("sensor_stuck") is FaultKind.SENSOR_STUCK
+    True
+    """
+
+    TSV_OPEN = "tsv_open"
+    TSV_RESISTIVE_DRIFT = "tsv_resistive_drift"
+    BUS_BIT_FLIPS = "bus_bit_flips"
+    FRAME_DROP = "frame_drop"
+    SENSOR_STUCK = "sensor_stuck"
+    SENSOR_DRIFT = "sensor_drift"
+    SUPPLY_DROOP = "supply_droop"
+    THERMAL_RUNAWAY = "thermal_runaway"
+
+
+#: Kinds injected at the TSV-bus layer (frames in transit).
+BUS_KINDS = frozenset(
+    {FaultKind.TSV_OPEN, FaultKind.TSV_RESISTIVE_DRIFT,
+     FaultKind.BUS_BIT_FLIPS, FaultKind.FRAME_DROP}
+)
+#: Kinds injected at the sensor layer (environment or reading).
+SENSOR_KINDS = frozenset(
+    {FaultKind.SENSOR_STUCK, FaultKind.SENSOR_DRIFT,
+     FaultKind.SUPPLY_DROOP, FaultKind.THERMAL_RUNAWAY}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: kind, target, activation window, severity.
+
+    Attributes:
+        kind: The fault model (a :class:`FaultKind` or its string value).
+        tier: Target tier — matched against a sensor's ``die_id`` and the
+            bus chain position.
+        onset_round: First monitoring round (0-based) the fault is active.
+        duration_rounds: Active rounds; ``None`` means permanent.
+        severity: Kind-specific magnitude (see :class:`FaultKind`).
+
+    >>> spec = FaultSpec(FaultKind.SUPPLY_DROOP, tier=1, onset_round=3,
+    ...                  duration_rounds=4, severity=0.08)
+    >>> [spec.active_at(r) for r in (2, 3, 6, 7)]
+    [False, True, True, False]
+    """
+
+    kind: FaultKind
+    tier: int
+    onset_round: int = 0
+    duration_rounds: Optional[int] = None
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.tier < 0:
+            raise ValueError("tier must be non-negative")
+        if self.onset_round < 0:
+            raise ValueError("onset_round must be non-negative")
+        if self.duration_rounds is not None and self.duration_rounds < 1:
+            raise ValueError("duration_rounds must be >= 1 (or None)")
+        if self.severity < 0.0:
+            raise ValueError("severity must be non-negative")
+
+    def active_at(self, round_index: int) -> bool:
+        """Whether the fault is active during ``round_index``."""
+        if round_index < self.onset_round:
+            return False
+        if self.duration_rounds is None:
+            return True
+        return round_index < self.onset_round + self.duration_rounds
+
+    def rounds_active(self, round_index: int) -> int:
+        """Completed active rounds before ``round_index`` (0 at onset)."""
+        if not self.active_at(round_index):
+            return 0
+        return round_index - self.onset_round
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded collection of fault specs.
+
+    The empty plan (no specs) is the golden reference: activating it
+    must leave every experiment bit-identical to not using the faults
+    layer at all (tests/test_faults.py pins this).
+
+    Attributes:
+        specs: The faults, in declaration order.
+        seed: Seed of the injector's private randomness stream (bit
+            flips, frame drops).  Same seed + same specs = same schedule.
+        name: Label used by campaign reports and telemetry.
+
+    >>> plan = FaultPlan(specs=(FaultSpec(FaultKind.TSV_OPEN, tier=2),),
+    ...                  name="open2")
+    >>> plan.empty, plan.tiers_faulted()
+    (False, {2})
+    >>> FaultPlan().empty
+    True
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 2012
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing."""
+        return not self.specs
+
+    def active(self, round_index: int) -> Tuple[FaultSpec, ...]:
+        """Specs active during a round, in declaration order."""
+        return tuple(s for s in self.specs if s.active_at(round_index))
+
+    def active_for_tier(
+        self, tier: int, round_index: int, kinds: Optional[Iterable[FaultKind]] = None
+    ) -> Tuple[FaultSpec, ...]:
+        """Active specs targeting ``tier``, optionally filtered by kind."""
+        wanted = None if kinds is None else frozenset(FaultKind(k) for k in kinds)
+        return tuple(
+            s
+            for s in self.specs
+            if s.tier == tier
+            and s.active_at(round_index)
+            and (wanted is None or s.kind in wanted)
+        )
+
+    def tiers_faulted(self) -> set:
+        """Every tier targeted by at least one spec."""
+        return {s.tier for s in self.specs}
+
+    def faulted_tier_rounds(self, rounds: int) -> Dict[int, List[int]]:
+        """Tier -> sorted rounds with at least one active fault.
+
+        The campaign scorer's ground truth for detection/misdetection
+        accounting over a ``rounds``-long run.
+        """
+        table: Dict[int, List[int]] = {}
+        for spec in self.specs:
+            for r in range(rounds):
+                if spec.active_at(r):
+                    table.setdefault(spec.tier, []).append(r)
+        return {tier: sorted(set(rs)) for tier, rs in table.items()}
+
+    def describe(self) -> str:
+        """One line per spec, for reports and logs."""
+        if self.empty:
+            return f"{self.name}: (no faults)"
+        lines = [f"{self.name}:"]
+        for s in self.specs:
+            window = (
+                f"round {s.onset_round}+"
+                if s.duration_rounds is None
+                else f"rounds {s.onset_round}..{s.onset_round + s.duration_rounds - 1}"
+            )
+            lines.append(
+                f"  {s.kind.value} tier={s.tier} {window} severity={s.severity:g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Process-wide fault-injection state, dependency-free.
+
+The injection seams (sensor reads, bus collection, monitor polls) live
+in modules the faults package itself builds on, so the *only* thing
+they import is this leaf module: the active-injector slot and its
+accessors.  :func:`repro.faults.inject` is the public way to set it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+_ACTIVE = None
+
+
+def active_injector() -> Optional["FaultInjector"]:  # noqa: F821 - doc type
+    """The active :class:`repro.faults.FaultInjector`, or ``None``.
+
+    Hot-path hooks call this once per operation; while no plan is
+    active the whole faults layer costs one function call returning
+    ``None`` and consumes no randomness.
+    """
+    return _ACTIVE
+
+
+def set_active(injector) -> None:
+    """Install (or clear, with ``None``) the process-wide injector."""
+    global _ACTIVE
+    _ACTIVE = injector

@@ -4,21 +4,31 @@ One conversion round = every alive tier senses, frames its reading, and the
 frames traverse the TSV daisy chain.  The aggregator's job is the
 unglamorous part a real monitoring network lives or dies by:
 
-* **parity errors** — re-poll the affected tier (bounded retries);
-* **missing tiers** — count consecutive misses and declare the tier dead
+* **parity errors** — re-poll the affected tier (bounded retries with
+  exponential backoff, budgeted by the :class:`ResiliencePolicy`);
+* **missing tiers** — count consecutive misses and quarantine the tier
   after a threshold instead of silently reporting stale data;
-* **revival probes** — a dead tier is still probed each round, so a tier
-  that recovers (re-seated link, cleared fault) rejoins the network
-  instead of being ignored forever;
+* **revival probes** — a quarantined tier is still probed each round; it
+  rejoins after the policy's required number of consecutive clean
+  probes, so a flapping link cannot oscillate the network per-round;
+* **graceful degradation** — while every tier answers, the monitor
+  publishes a fused stack estimate; once any tier goes stale or dark it
+  falls back to per-tier readings carrying explicit quality flags
+  (``fresh`` / ``stale`` / ``lost``) so consumers know what they hold;
 * **alarms** — classify each tier against warning/emergency thresholds so
   the DTM layer gets actionable state, not raw frames.
 
 The monitor distinguishes *why* a tier missed a round: a parity-failed
 re-poll that never delivered a clean frame is **corruption** (the tier is
 alive, the link is noisy), while silence is **possible death**.  Both
-count toward the dead-tier threshold, but they are tracked — and reported
-through telemetry — separately, so a noisy link and a dead tier look
-different on a dashboard.
+count toward the quarantine threshold, but they are tracked — and
+reported through telemetry — separately, so a noisy link and a dead tier
+look different on a dashboard.
+
+Under an active fault plan (:func:`repro.faults.inject`), each ``poll``
+is one fault-clock round: the monitor advances the active injector when
+the round completes, so plans' onset/duration windows line up with
+polling rounds without any experiment-side bookkeeping.
 """
 
 from __future__ import annotations
@@ -29,7 +39,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import telemetry
+from repro.core.errors import SensorError
 from repro.core.sensor import PTSensor
+from repro.faults.runtime import active_injector
 from repro.tsv.bus import TsvSensorBus
 
 DEAD_AFTER_CONSECUTIVE_MISSES = 3
@@ -67,6 +79,85 @@ _ALARM_TRANSITIONS = telemetry.counter(
     unit="events",
     help="Tiers newly entering the warning or emergency band",
 )
+_BACKOFF = telemetry.histogram(
+    "network.monitor.backoff_s",
+    unit="s",
+    help="Simulated backoff delay per bus re-poll",
+)
+_DEGRADED_ROUNDS = telemetry.counter(
+    "network.monitor.degraded_rounds",
+    unit="rounds",
+    help="Rounds that fell back from fused to per-tier readings",
+)
+_STALE_SERVED = telemetry.counter(
+    "network.monitor.stale_served",
+    unit="tier-rounds",
+    help="Tier-rounds answered from the last good reading (stale)",
+)
+_READ_FAILURES = telemetry.counter(
+    "network.monitor.read_failures",
+    unit="reads",
+    help="Tier conversions that raised (e.g. out-of-range) during a poll",
+)
+_PROBATION_FRAMES = telemetry.counter(
+    "network.monitor.probation_frames",
+    unit="frames",
+    help="Clean frames from quarantined tiers still counting toward revival",
+)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the aggregator rides through bus and sensor faults.
+
+    The default policy reproduces the monitor's historical behaviour
+    exactly (two retries, quarantine after three consecutive misses,
+    revival on the first clean probe), so constructing a
+    :class:`StackMonitor` without a policy changes nothing.
+
+    Attributes:
+        retry_limit: Bus re-polls per round for parity-failed tiers.
+        backoff_base_s: Simulated delay before the first re-poll; real
+            aggregator firmware backs off so a noise burst can pass.
+        backoff_factor: Multiplier per further re-poll (exponential).
+        dead_after: Consecutive missed rounds before quarantine.
+        revive_after: Consecutive clean probes a quarantined tier must
+            answer before it is trusted again.  1 = historical
+            behaviour; higher values damp flapping links.
+        max_stale_rounds: How many rounds a missed tier's last good
+            reading may still be served as ``stale`` before the tier is
+            reported ``lost`` with no temperature at all.
+
+    >>> ResiliencePolicy().retry_limit
+    2
+    >>> ResiliencePolicy(backoff_base_s=1e-6).backoff_s(attempt=2)
+    4e-06
+    """
+
+    retry_limit: int = 2
+    backoff_base_s: float = 2e-6
+    backoff_factor: float = 2.0
+    dead_after: int = DEAD_AFTER_CONSECUTIVE_MISSES
+    revive_after: int = 1
+    max_stale_rounds: int = 5
+
+    def __post_init__(self) -> None:
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be non-negative")
+        if self.backoff_base_s < 0.0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.dead_after < 1:
+            raise ValueError("dead_after must be >= 1")
+        if self.revive_after < 1:
+            raise ValueError("revive_after must be >= 1")
+        if self.max_stale_rounds < 0:
+            raise ValueError("max_stale_rounds must be non-negative")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated delay before re-poll number ``attempt`` (0-based)."""
+        return self.backoff_base_s * self.backoff_factor**attempt
 
 
 @dataclass
@@ -84,8 +175,10 @@ class TierState:
             rounds lost to parity failures that survived every retry.
         consecutive_silent_misses: The silence share of the streak —
             rounds where the tier produced no frame at all.
-        alive: False while the tier is declared dead (it is still probed
-            and revives on the next clean frame).
+        alive: False while the tier is quarantined (it is still probed
+            and revives after the policy's clean-probe count).
+        clean_probes: Consecutive clean probe answers while quarantined;
+            reaching ``ResiliencePolicy.revive_after`` revives the tier.
     """
 
     tier: int
@@ -96,6 +189,7 @@ class TierState:
     consecutive_parity_misses: int = 0
     consecutive_silent_misses: int = 0
     alive: bool = True
+    clean_probes: int = 0
 
     def _register_good_frame(self) -> None:
         self.consecutive_misses = 0
@@ -112,11 +206,24 @@ class MonitorSnapshot:
         hottest_tier: Tier with the highest fresh reading, or None.
         warnings: Tiers at or above the warning threshold.
         emergencies: Tiers at or above the emergency threshold.
-        dead_tiers: Tiers currently declared dead.
+        dead_tiers: Tiers currently quarantined.
         retries_used: Bus re-polls needed this round.
         parity_faults: Parity-failed frame receptions this round (across
             all attempts, before retries resolved them).
         revived_tiers: Tiers that came back from the dead this round.
+        quality: ``"fused"`` while every polled tier answered fresh this
+            round, else ``"degraded"`` — the graceful-degradation flag.
+        fused_temperature_c: The fused stack estimate (mean of the fresh
+            per-tier readings); ``None`` while degraded, when consumers
+            must fall back to :attr:`effective_temperatures_c` and judge
+            each tier by its :attr:`tier_quality` flag.
+        tier_quality: Per polled tier: ``"fresh"`` (clean frame this
+            round), ``"stale"`` (served from the last good reading,
+            within the policy's staleness budget) or ``"lost"`` (nothing
+            trustworthy to serve).
+        effective_temperatures_c: Best-effort reading per tier — fresh
+            values plus stale last-known values; ``lost`` tiers absent.
+        backoff_s: Total simulated retry backoff spent this round.
     """
 
     temperatures_c: Dict[int, float]
@@ -127,6 +234,11 @@ class MonitorSnapshot:
     retries_used: int
     parity_faults: int = 0
     revived_tiers: List[int] = field(default_factory=list)
+    quality: str = "fused"
+    fused_temperature_c: Optional[float] = None
+    tier_quality: Dict[int, str] = field(default_factory=dict)
+    effective_temperatures_c: Dict[int, float] = field(default_factory=dict)
+    backoff_s: float = 0.0
 
 
 class StackMonitor:
@@ -137,8 +249,12 @@ class StackMonitor:
         bus: The TSV read-out chain (its failure modes apply).
         warning_c: Warning threshold in Celsius.
         emergency_c: Emergency threshold in Celsius.
-        retry_limit: Bus re-polls per round for parity-failed tiers.
+        retry_limit: Bus re-polls per round for parity-failed tiers
+            (back-compat shorthand; ignored when ``policy`` is given).
         rng: Randomness for bus corruption; ``None`` = clean bus.
+        policy: The resilience policy (retry budget, backoff shape,
+            quarantine/revival thresholds, staleness budget); ``None``
+            builds the historical-default policy from ``retry_limit``.
     """
 
     def __init__(
@@ -149,6 +265,7 @@ class StackMonitor:
         emergency_c: float = 110.0,
         retry_limit: int = 2,
         rng: Optional[np.random.Generator] = None,
+        policy: Optional[ResiliencePolicy] = None,
     ) -> None:
         if warning_c >= emergency_c:
             raise ValueError("warning threshold must sit below emergency")
@@ -158,7 +275,10 @@ class StackMonitor:
         self.bus = bus
         self.warning_c = warning_c
         self.emergency_c = emergency_c
-        self.retry_limit = retry_limit
+        self.policy = (
+            policy if policy is not None else ResiliencePolicy(retry_limit=retry_limit)
+        )
+        self.retry_limit = self.policy.retry_limit
         self.rng = rng
         self.states: Dict[int, TierState] = {
             tier: TierState(tier=tier) for tier in self.sensors
@@ -166,9 +286,22 @@ class StackMonitor:
         self.history: List[MonitorSnapshot] = []
         self._alarmed: Dict[int, str] = {}
 
-    def _sense_tier(self, tier: int, temp_c: float, vdd: Optional[float]) -> int:
+    def _sense_tier(
+        self, tier: int, temp_c: float, vdd: Optional[float]
+    ) -> Optional[int]:
+        """One conversion, encoded — or ``None`` when the read fails.
+
+        A sensor driven outside its valid range (thermal runaway, severe
+        supply droop) raises instead of publishing garbage; the monitor
+        treats that tier exactly like one that went silent — no frame
+        this attempt — rather than letting one tier abort the round.
+        """
         sensor = self.sensors[tier]
-        reading = sensor.read(temp_c, vdd=vdd)
+        try:
+            reading = sensor.read(temp_c, vdd=vdd)
+        except SensorError:
+            _READ_FAILURES.inc()
+            return None
         return sensor.frame(reading)
 
     def poll(
@@ -185,24 +318,27 @@ class StackMonitor:
             The round's :class:`MonitorSnapshot`; tier states update as a
             side effect.
         """
-        # Dead tiers are probed too: polling them costs one conversion
-        # attempt, and it is the only way a revived tier can rejoin.
+        # Quarantined tiers are probed too: polling them costs one
+        # conversion attempt, and it is the only way a tier can rejoin.
         pending = [tier for tier in self.states if tier in true_temps_c]
+        requested = list(pending)
         fresh: Dict[int, float] = {}
         revived: List[int] = []
         retries_used = 0
         parity_faults = 0
+        backoff_s = 0.0
 
         with telemetry.span(
             "network.poll_round", tiers=len(pending), retry_limit=self.retry_limit
         ) as trace:
             attempts = 0
-            while pending and attempts <= self.retry_limit:
+            while pending and attempts <= self.policy.retry_limit:
                 polled = set(pending)
-                frames = {
-                    tier: self._sense_tier(tier, true_temps_c[tier], vdd)
-                    for tier in pending
-                }
+                frames = {}
+                for tier in pending:
+                    word = self._sense_tier(tier, true_temps_c[tier], vdd)
+                    if word is not None:
+                        frames[tier] = word
                 with telemetry.span(
                     "network.bus_collect", attempt=attempts, tiers=len(frames)
                 ) as bus_trace:
@@ -214,16 +350,10 @@ class StackMonitor:
                     )
                 parity_faults += len(report.parity_errors)
                 for tier, frame in report.frames.items():
-                    state = self.states[tier]
-                    if not state.alive:
-                        state.alive = True
+                    if self._register_clean_frame(tier, frame):
                         revived.append(tier)
-                        _TIER_REVIVALS.inc()
-                    state.temperature_c = frame.temperature_c
-                    state.dvtn = frame.dvtn
-                    state.dvtp = frame.dvtp
-                    state._register_good_frame()
-                    fresh[tier] = frame.temperature_c
+                    if self.states[tier].alive:
+                        fresh[tier] = frame.temperature_c
                 # Parity-failed tiers get re-polled; missing tiers do not (a
                 # stuck tier will not answer a retry either).  The bus reports
                 # every chain position absent from the shift-in as missing, so
@@ -232,7 +362,17 @@ class StackMonitor:
                     if tier in polled:
                         self._register_miss(tier, silent=True)
                 pending = list(report.parity_errors)
-                if pending:
+                # Count the backoff/retry only when the budget actually
+                # allows another attempt; failures that merely exhaust it
+                # fall through to the miss accounting below.
+                if pending and attempts < self.policy.retry_limit:
+                    # Exponential backoff before the re-poll: a coupling
+                    # burst on the chain is time-correlated, so waiting
+                    # beats hammering.  Time is simulated (accounted, not
+                    # slept) — the monitor is a model, not firmware.
+                    delay = self.policy.backoff_s(attempts)
+                    backoff_s += delay
+                    _BACKOFF.observe(delay)
                     retries_used += 1
                     _RETRIES.inc()
                 attempts += 1
@@ -248,6 +388,14 @@ class StackMonitor:
                 t for t, temp in fresh.items() if temp >= self.emergency_c
             )
             self._track_alarm_transitions(warnings, emergencies)
+            tier_quality, effective = self._degradation_view(requested, fresh)
+            quality = (
+                "fused"
+                if tier_quality and all(q == "fresh" for q in tier_quality.values())
+                else "degraded"
+            )
+            if quality == "degraded":
+                _DEGRADED_ROUNDS.inc()
             snapshot = MonitorSnapshot(
                 temperatures_c=fresh,
                 hottest_tier=max(fresh, key=fresh.get) if fresh else None,
@@ -257,6 +405,15 @@ class StackMonitor:
                 retries_used=retries_used,
                 parity_faults=parity_faults,
                 revived_tiers=sorted(revived),
+                quality=quality,
+                fused_temperature_c=(
+                    sum(fresh.values()) / len(fresh)
+                    if quality == "fused" and fresh
+                    else None
+                ),
+                tier_quality=tier_quality,
+                effective_temperatures_c=effective,
+                backoff_s=backoff_s,
             )
             _POLLS.inc()
             trace.set(
@@ -265,22 +422,84 @@ class StackMonitor:
                 parity_faults=parity_faults,
                 dead_tiers=len(snapshot.dead_tiers),
                 revived=len(revived),
+                quality=quality,
             )
         self.history.append(snapshot)
+        injector = active_injector()
+        if injector is not None:
+            # One poll = one fault-clock round; advancing here keeps fault
+            # onset/duration windows aligned with polling rounds for any
+            # caller, with no experiment-side bookkeeping.
+            injector.advance()
         return snapshot
+
+    def _register_clean_frame(self, tier: int, frame) -> bool:
+        """Fold one clean frame into tier state; True on revival.
+
+        A quarantined tier must answer ``policy.revive_after``
+        consecutive clean probes before it is trusted again; probation
+        answers update the stored reading (it is genuine data) but the
+        tier stays quarantined — and excluded from the fresh set —
+        until the streak completes.
+        """
+        state = self.states[tier]
+        revived = False
+        if not state.alive:
+            state.clean_probes += 1
+            if state.clean_probes >= self.policy.revive_after:
+                state.alive = True
+                revived = True
+                _TIER_REVIVALS.inc()
+            else:
+                _PROBATION_FRAMES.inc()
+        state.temperature_c = frame.temperature_c
+        state.dvtn = frame.dvtn
+        state.dvtp = frame.dvtp
+        state._register_good_frame()
+        if state.alive:
+            state.clean_probes = 0
+        return revived
 
     def _register_miss(self, tier: int, silent: bool) -> None:
         state = self.states[tier]
         state.consecutive_misses += 1
+        state.clean_probes = 0  # a miss breaks a quarantine probation streak
         if silent:
             state.consecutive_silent_misses += 1
             _SILENT_MISSES.inc()
         else:
             state.consecutive_parity_misses += 1
             _PARITY_MISSES.inc()
-        if state.alive and state.consecutive_misses >= DEAD_AFTER_CONSECUTIVE_MISSES:
+        if state.alive and state.consecutive_misses >= self.policy.dead_after:
             state.alive = False
             _DEAD_TIER_EVENTS.inc()
+
+    def _degradation_view(self, requested, fresh):
+        """Quality flag and best-effort reading per polled tier.
+
+        ``fresh`` beats ``stale`` beats ``lost``: a tier that missed
+        this round is served from its last good reading for up to
+        ``policy.max_stale_rounds`` rounds, with the flag making the
+        substitution explicit; past the budget (or with no good reading
+        stored) the tier is ``lost`` and reports nothing.
+        """
+        tier_quality: Dict[int, str] = {}
+        effective: Dict[int, float] = {}
+        for tier in requested:
+            state = self.states[tier]
+            if tier in fresh:
+                tier_quality[tier] = "fresh"
+                effective[tier] = fresh[tier]
+            elif (
+                state.temperature_c is not None
+                and 0 < state.consecutive_misses <= self.policy.max_stale_rounds
+            ):
+                tier_quality[tier] = "stale"
+                effective[tier] = state.temperature_c
+                _STALE_SERVED.inc()
+            else:
+                tier_quality[tier] = "lost"
+        return tier_quality, effective
 
     def _track_alarm_transitions(
         self, warnings: List[int], emergencies: List[int]

@@ -9,6 +9,11 @@ network:
   by frame parity with probability 1 for odd-weight corruption;
 * **stuck tiers** — a tier whose sensor or link is dead contributes no
   frame, and the aggregator must report the hole rather than hide it.
+
+When a fault plan is active (:func:`repro.faults.inject`), the injector
+additionally filters every frame through the plan's link faults — open
+TSVs, resistive drift, bit-flip bursts, frame drops — before the bus's
+own corruption model runs (see docs/faults.md).
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from repro import telemetry
+from repro.faults.runtime import active_injector
 from repro.readout.interface import FRAME_BITS, FrameError, SensorFrame, decode_frame
 
 _FRAMES_DELIVERED = telemetry.counter(
@@ -120,13 +126,21 @@ class TsvSensorBus:
         frames: Dict[int, SensorFrame] = {}
         parity_errors: List[int] = []
         missing: List[int] = []
+        injector = active_injector()
 
         for tier in range(self.tiers):
             if tier in self.stuck_tiers or tier not in frames_by_tier:
                 missing.append(tier)
                 continue
-            # A frame from tier t crosses t inter-tier links to tier 0.
-            word = self._corrupt(frames_by_tier[tier], hops=tier, rng=rng)
+            word = frames_by_tier[tier]
+            if injector is not None:
+                # Injected link faults apply before the bus's own noise: a
+                # frame from tier t crosses t inter-tier links to tier 0.
+                word = injector.filter_frame(tier, word, hops=tier)
+                if word is None:  # open TSV / dropped frame
+                    missing.append(tier)
+                    continue
+            word = self._corrupt(word, hops=tier, rng=rng)
             try:
                 frames[tier] = decode_frame(word)
             except FrameError:

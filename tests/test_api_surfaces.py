@@ -32,9 +32,13 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "Environment",
     "EnvironmentGrid",
     "ExperimentOutcome",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "MonitorSnapshot",
     "PTSensor",
     "PopulationReadings",
+    "ResiliencePolicy",
     "SensorConfig",
     "SensorFrame",
     "SensorReading",
@@ -46,6 +50,7 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "TrackingReading",
     "TrackingSensor",
     "TsvSensorBus",
+    "faults",
     "nominal_65nm",
     "read_population",
     "run_all",

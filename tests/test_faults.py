@@ -1,0 +1,317 @@
+"""Tests for the fault-injection subsystem: plans, injector, campaign.
+
+The load-bearing guarantees:
+
+* the **empty plan is golden** — activating it leaves every reading and
+  frame bit-identical to not touching the faults layer at all;
+* the **schedule is deterministic** — same seed + same plan replays the
+  same faults, flips, and scores on every run;
+* every fault kind perturbs exactly its documented seam.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import faults
+from repro.circuits.ring_oscillator import Environment
+from repro.core.sensing_model import SensingModel
+from repro.core.sensor import PTSensor
+from repro.device.technology import nominal_65nm
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.faults.campaign import (
+    CampaignConfig,
+    builtin_plans,
+    run_campaign,
+    run_plan,
+)
+from repro.faults.models import (
+    ResistiveDriftModel,
+    burst_flip_count,
+    thermal_runaway_offset_c,
+)
+from repro.network.aggregator import StackMonitor
+from repro.readout.interface import decode_frame
+from repro.tsv.bus import TsvSensorBus
+from repro.variation.montecarlo import sample_dies
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return nominal_65nm()
+
+
+@pytest.fixture(scope="module")
+def model(tech):
+    return SensingModel(tech)
+
+
+def make_sensors(tech, model, count=3, seed=77):
+    dies = sample_dies(tech, count, seed=seed)
+    return {
+        tier: PTSensor(tech, die=die, die_id=tier, sensing_model=model)
+        for tier, die in enumerate(dies)
+    }
+
+
+class TestPlanAlgebra:
+    def test_spec_window(self):
+        spec = FaultSpec(FaultKind.SENSOR_STUCK, tier=1, onset_round=3,
+                         duration_rounds=4)
+        assert not spec.active_at(2)
+        assert spec.active_at(3)
+        assert spec.active_at(6)
+        assert not spec.active_at(7)
+        assert spec.rounds_active(5) == 2
+
+    def test_permanent_fault_never_expires(self):
+        spec = FaultSpec(FaultKind.SENSOR_DRIFT, tier=0, onset_round=2)
+        assert spec.active_at(10_000)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.TSV_OPEN, tier=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.TSV_OPEN, tier=0, onset_round=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.TSV_OPEN, tier=0, duration_rounds=0)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.FRAME_DROP, tier=0, severity=-0.5)
+
+    def test_plan_queries(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(FaultKind.TSV_OPEN, tier=2, onset_round=1,
+                      duration_rounds=2),
+            FaultSpec(FaultKind.SENSOR_DRIFT, tier=0, onset_round=4),
+        ))
+        assert not plan.empty
+        assert plan.tiers_faulted() == {0, 2}
+        assert [s.kind for s in plan.active(1)] == [FaultKind.TSV_OPEN]
+        assert plan.active_for_tier(0, 5) == (plan.specs[1],)
+        assert plan.faulted_tier_rounds(6) == {2: [1, 2], 0: [4, 5]}
+
+    def test_describe_mentions_every_spec(self):
+        plan = builtin_plans(tiers=8)[-1]  # pile-up
+        text = plan.describe()
+        for spec in plan.specs:
+            assert spec.kind.value in text
+
+
+class TestGoldenEmptyPlan:
+    """The zero-fault plan must be indistinguishable from no plan."""
+
+    def test_sensor_reads_bit_identical(self, tech, model):
+        a = PTSensor(tech, die_id=0, sensing_model=model, seed=5)
+        b = PTSensor(tech, die_id=0, sensing_model=model, seed=5)
+        bare = [a.read(40.0 + i) for i in range(5)]
+        with faults.inject(FaultPlan()):
+            planned = [b.read(40.0 + i) for i in range(5)]
+        assert bare == planned  # dataclass equality: every field, no tolerance
+
+    def test_monitor_rounds_bit_identical(self, tech, model):
+        def run_rounds(plan):
+            monitor = StackMonitor(
+                make_sensors(tech, model), TsvSensorBus(tiers=3)
+            )
+            temps = {t: 50.0 + 3.0 * t for t in range(3)}
+            if plan is None:
+                return [monitor.poll(temps) for _ in range(4)]
+            with faults.inject(plan):
+                return [monitor.poll(temps) for _ in range(4)]
+
+        bare = run_rounds(None)
+        golden = run_rounds(FaultPlan())
+        for x, y in zip(bare, golden):
+            assert x == y
+
+    def test_empty_plan_hooks_return_same_objects(self, tech, model):
+        injector = FaultInjector(FaultPlan())
+        env = Environment(temp_k=300.0, vdd=1.2)
+        assert injector.perturb_environment(0, env) is env
+        assert injector.filter_frame(0, 0xABC, hops=2) == 0xABC
+        assert injector.true_temperature_c(3, 55.0) == 55.0
+
+    def test_empty_plan_consumes_no_randomness(self):
+        injector = FaultInjector(FaultPlan())
+        before = injector._rng.bit_generator.state
+        for tier in range(4):
+            injector.filter_frame(tier, 0x123456789, hops=tier)
+        injector.advance()
+        assert injector._rng.bit_generator.state == before
+
+
+class TestInjectorSeams:
+    def test_open_tsv_swallows_frames(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(FaultKind.TSV_OPEN, tier=1),
+        )))
+        assert injector.filter_frame(1, 0xFF, hops=1) is None
+        assert injector.filter_frame(0, 0xFF, hops=0) == 0xFF
+
+    def test_burst_flips_change_exact_bit_count(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(FaultKind.BUS_BIT_FLIPS, tier=0, severity=3.0),
+        )))
+        word = injector.filter_frame(0, 0, hops=1)
+        assert bin(word).count("1") == burst_flip_count(3.0) == 3
+
+    def test_supply_droop_sags_rail_only(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(FaultKind.SUPPLY_DROOP, tier=0, severity=0.1),
+        )))
+        env = Environment(temp_k=300.0, vdd=1.2)
+        sagged = injector.perturb_environment(0, env)
+        assert sagged.vdd == pytest.approx(1.1)
+        assert sagged.temp_k == env.temp_k
+
+    def test_thermal_runaway_compounds_with_age(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(FaultKind.THERMAL_RUNAWAY, tier=0, severity=2.0),
+        )))
+        env = Environment(temp_k=300.0, vdd=1.2)
+        first = injector.perturb_environment(0, env).temp_k
+        injector.advance(3)
+        later = injector.perturb_environment(0, env).temp_k
+        assert later > first > env.temp_k
+        assert later - env.temp_k == pytest.approx(
+            thermal_runaway_offset_c(2.0, 3)
+        )
+
+    def test_stuck_sensor_latches_first_faulted_reading(self, tech, model):
+        sensor = PTSensor(tech, die_id=0, sensing_model=model, seed=9)
+        with faults.inject(FaultPlan(specs=(
+            FaultSpec(FaultKind.SENSOR_STUCK, tier=0, onset_round=0),
+        ))) as injector:
+            first = sensor.read(40.0)
+            injector.advance()
+            second = sensor.read(90.0)
+        assert second.temperature_c == first.temperature_c
+
+    def test_sensor_drift_grows_linearly(self, tech, model):
+        sensor = PTSensor(tech, die_id=0, sensing_model=model, seed=9)
+        clean = sensor.read(50.0, deterministic=True).temperature_c
+        with faults.inject(FaultPlan(specs=(
+            FaultSpec(FaultKind.SENSOR_DRIFT, tier=0, severity=1.5),
+        ))) as injector:
+            at_zero = sensor.read(50.0, deterministic=True).temperature_c
+            injector.advance(2)
+            at_two = sensor.read(50.0, deterministic=True).temperature_c
+        assert at_zero == pytest.approx(clean + 1.5)
+        assert at_two == pytest.approx(clean + 4.5)
+
+    def test_faults_target_only_their_tier(self, tech, model):
+        sensors = make_sensors(tech, model)
+        plan = FaultPlan(specs=(
+            FaultSpec(FaultKind.SENSOR_DRIFT, tier=1, severity=5.0),
+        ))
+        clean = {t: s.read(50.0, deterministic=True).temperature_c
+                 for t, s in sensors.items()}
+        with faults.inject(plan):
+            faulted = {t: s.read(50.0, deterministic=True).temperature_c
+                       for t, s in sensors.items()}
+        assert faulted[0] == clean[0]
+        assert faulted[2] == clean[2]
+        assert faulted[1] == pytest.approx(clean[1] + 5.0)
+
+    def test_inject_restores_previous_injector(self):
+        outer = FaultPlan(name="outer")
+        inner = FaultPlan(name="inner")
+        assert faults.active_injector() is None
+        with faults.inject(outer) as oi:
+            assert faults.active_injector() is oi
+            with faults.inject(inner) as ii:
+                assert faults.active_injector() is ii
+            assert faults.active_injector() is oi
+        assert faults.active_injector() is None
+
+
+class TestDriftModel:
+    def test_ber_rises_with_age_and_severity(self):
+        m = ResistiveDriftModel()
+        assert m.bit_error_rate(400.0, 30) > m.bit_error_rate(400.0, 5)
+        assert m.bit_error_rate(400.0, 10) > m.bit_error_rate(4.0, 10)
+
+    def test_ber_clamped_to_coin_flip(self):
+        assert ResistiveDriftModel().bit_error_rate(1e9, 1000) == 0.5
+
+    def test_healthy_link_ber_floor(self):
+        assert ResistiveDriftModel().bit_error_rate(0.0, 100) == pytest.approx(
+            1e-12
+        )
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return CampaignConfig(tiers=3, rounds=8, seed=11)
+
+    def test_zero_fault_plan_is_clean(self, config):
+        outcome = run_plan(FaultPlan(name="zero-fault", seed=11), config)
+        assert outcome.faults_total == 0
+        assert outcome.misdetection_rate == 0.0
+        assert outcome.degraded_rounds == 0
+        assert outcome.mean_abs_error_c < 2.0
+
+    def test_schedule_is_deterministic(self, config):
+        plan = FaultPlan(name="p", seed=11, specs=(
+            FaultSpec(FaultKind.FRAME_DROP, tier=1, onset_round=2,
+                      severity=0.5),
+        ))
+        first = run_plan(plan, config)
+        second = run_plan(plan, config)
+        assert first == second  # float-exact: same seed, same schedule
+
+    def test_open_tsv_detected_at_onset(self, config):
+        plan = FaultPlan(name="open", seed=11, specs=(
+            FaultSpec(FaultKind.TSV_OPEN, tier=2, onset_round=3),
+        ))
+        outcome = run_plan(plan, config)
+        assert outcome.faults_detected == 1
+        assert outcome.detection_latency_rounds == 0.0
+        assert outcome.degraded_rounds > 0
+
+    def test_builtin_catalogue_leads_with_the_control(self):
+        plans = builtin_plans(tiers=4, seed=3)
+        assert plans[0].empty
+        assert len({p.name for p in plans}) == len(plans)
+        for plan in plans:
+            for spec in plan.specs:
+                assert 0 <= spec.tier < 4
+
+    def test_run_campaign_scores_every_plan(self):
+        report = run_campaign(
+            plans=builtin_plans(tiers=2, seed=5)[:3], tiers=2, rounds=6, seed=5
+        )
+        assert len(report.outcomes) == 3
+        rendered = report.render()
+        for outcome in report.outcomes:
+            assert outcome.plan.name in rendered
+
+    def test_campaign_report_json_round_trips(self):
+        import json
+
+        report = run_campaign(plans=[FaultPlan(name="z", seed=5)], tiers=2,
+                              rounds=4, seed=5)
+        payload = json.loads(report.to_json())
+        assert payload["tiers"] == 2
+        assert payload["outcomes"][0]["plan"] == "z"
+
+
+class TestFaultsimCli:
+    def test_faultsim_smoke(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "faultsim", "--tiers", "2", "--rounds", "4",
+            "--plan", "zero-fault", "open-tsv",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "zero-fault" in out and "open-tsv" in out
+
+    def test_faultsim_rejects_unknown_plan(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["faultsim", "--plan", "no-such-plan"])
+        assert code == 2
+        assert "unknown plan" in capsys.readouterr().err

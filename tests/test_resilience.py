@@ -1,0 +1,300 @@
+"""Edge-case tests for the aggregator's resilience policy layer.
+
+Covers the paths a clean-run test suite never exercises: the retry
+budget running out mid-round, faults switching on *between* retries of
+the same round, quarantine/revival cycling on a flapping link, and the
+graceful-degradation quality flags — with telemetry counters asserted
+alongside the snapshots, since operators watch the counters.
+"""
+
+import pytest
+
+from repro import faults, telemetry
+from repro.core.sensing_model import SensingModel
+from repro.core.sensor import PTSensor
+from repro.device.technology import nominal_65nm
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.network.aggregator import ResiliencePolicy, StackMonitor
+from repro.tsv.bus import TsvSensorBus
+from repro.variation.montecarlo import sample_dies
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return nominal_65nm()
+
+
+@pytest.fixture(scope="module")
+def model(tech):
+    return SensingModel(tech)
+
+
+def make_monitor(tech, model, tiers=3, policy=None, bus=None, seed=55):
+    dies = sample_dies(tech, tiers, seed=seed)
+    sensors = {
+        tier: PTSensor(tech, die=die, die_id=tier, sensing_model=model)
+        for tier, die in enumerate(dies)
+    }
+    return StackMonitor(
+        sensors, bus or TsvSensorBus(tiers=tiers), policy=policy
+    )
+
+
+def temps(tiers=3):
+    return {t: 50.0 + 2.0 * t for t in range(tiers)}
+
+
+class TestPolicyValidation:
+    def test_defaults_reproduce_historical_monitor(self):
+        policy = ResiliencePolicy()
+        assert policy.retry_limit == 2
+        assert policy.dead_after == 3
+        assert policy.revive_after == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retry_limit": -1},
+            {"backoff_base_s": -1e-6},
+            {"backoff_factor": 0.5},
+            {"dead_after": 0},
+            {"revive_after": 0},
+            {"max_stale_rounds": -1},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(**kwargs)
+
+    def test_backoff_is_exponential(self):
+        policy = ResiliencePolicy(backoff_base_s=1e-6, backoff_factor=3.0)
+        assert policy.backoff_s(0) == pytest.approx(1e-6)
+        assert policy.backoff_s(2) == pytest.approx(9e-6)
+
+
+class TestRetryBudgetExhaustion:
+    """A permanently-corrupting link must drain the budget, then miss."""
+
+    def _plan(self, tier=1):
+        # Odd-weight burst: parity catches every attempt, so every retry
+        # fails too and the budget drains completely.
+        return FaultPlan(specs=(
+            FaultSpec(FaultKind.BUS_BIT_FLIPS, tier=tier, severity=3.0),
+        ))
+
+    def test_budget_drains_and_tier_misses(self, tech, model):
+        policy = ResiliencePolicy(retry_limit=2)
+        monitor = make_monitor(tech, model, policy=policy)
+        with telemetry.capture():
+            with faults.inject(self._plan()):
+                snap = monitor.poll(temps())
+            assert snap.retries_used == 2
+            assert snap.parity_faults == 3  # initial attempt + 2 retries
+            assert 1 not in snap.temperatures_c
+            assert monitor.states[1].consecutive_parity_misses == 1
+            assert telemetry.counter("network.monitor.retries").value == 2
+            assert telemetry.counter("network.monitor.parity_misses").value == 1
+
+    def test_backoff_accounted_per_retry(self, tech, model):
+        policy = ResiliencePolicy(
+            retry_limit=3, backoff_base_s=1e-6, backoff_factor=2.0
+        )
+        monitor = make_monitor(tech, model, policy=policy)
+        with faults.inject(self._plan()):
+            snap = monitor.poll(temps())
+        # 1us + 2us + 4us across the three re-polls.
+        assert snap.backoff_s == pytest.approx(7e-6)
+
+    def test_zero_budget_fails_immediately(self, tech, model):
+        monitor = make_monitor(
+            tech, model, policy=ResiliencePolicy(retry_limit=0)
+        )
+        with faults.inject(self._plan()):
+            snap = monitor.poll(temps())
+        assert snap.retries_used == 0
+        assert snap.tier_quality[1] == "lost"  # no stored reading yet
+
+    def test_healthy_tiers_unaffected_by_neighbour_retries(self, tech, model):
+        monitor = make_monitor(tech, model)
+        with faults.inject(self._plan(tier=1)):
+            snap = monitor.poll(temps())
+        assert snap.tier_quality[0] == "fresh"
+        assert snap.tier_quality[2] == "fresh"
+        assert snap.quality == "degraded"
+
+
+class TestFaultOnsetDuringRepoll:
+    """Fault windows are per-round: a retry within the round still sees
+    the same fault state, and onset at round N hits round N's first
+    attempt — never a retry of round N-1."""
+
+    def test_onset_waits_for_its_round(self, tech, model):
+        plan = FaultPlan(specs=(
+            FaultSpec(FaultKind.BUS_BIT_FLIPS, tier=1, onset_round=1,
+                      severity=3.0),
+        ))
+        monitor = make_monitor(tech, model)
+        with faults.inject(plan):
+            clean = monitor.poll(temps())
+            faulted = monitor.poll(temps())
+        assert clean.parity_faults == 0 and clean.retries_used == 0
+        assert faulted.parity_faults > 0
+        assert 1 not in faulted.temperatures_c
+
+    def test_second_fault_catches_the_retry(self, tech, model):
+        # Tier 1's burst forces retries; tier 2's frame-drop window is
+        # already open, so the re-poll round-trips tier 2 through the
+        # injector again — the drop probability re-applies per attempt.
+        plan = FaultPlan(
+            seed=99,
+            specs=(
+                FaultSpec(FaultKind.BUS_BIT_FLIPS, tier=1, severity=3.0),
+                FaultSpec(FaultKind.FRAME_DROP, tier=2, severity=1.0),
+            ),
+        )
+        monitor = make_monitor(tech, model)
+        with faults.inject(plan):
+            snap = monitor.poll(temps())
+        assert 1 not in snap.temperatures_c  # parity, budget exhausted
+        assert 2 not in snap.temperatures_c  # dropped on every attempt
+        assert snap.tier_quality[1] == "lost"
+        assert snap.tier_quality[2] == "lost"
+        assert snap.temperatures_c.keys() == {0}
+
+    def test_fault_expiry_frees_the_tier(self, tech, model):
+        plan = FaultPlan(specs=(
+            FaultSpec(FaultKind.BUS_BIT_FLIPS, tier=1, onset_round=0,
+                      duration_rounds=1, severity=3.0),
+        ))
+        monitor = make_monitor(tech, model)
+        with faults.inject(plan):
+            during = monitor.poll(temps())
+            after = monitor.poll(temps())
+        assert 1 not in during.temperatures_c
+        assert 1 in after.temperatures_c
+        assert monitor.states[1].consecutive_misses == 0
+
+
+class TestQuarantineRevivalCycling:
+    """A flapping link cycles quarantine -> probation -> revival ->
+    re-quarantine; counters must record every transition."""
+
+    def _flapping_monitor(self, tech, model, revive_after):
+        policy = ResiliencePolicy(dead_after=2, revive_after=revive_after)
+        bus = TsvSensorBus(tiers=3, stuck_tiers={1})
+        return make_monitor(tech, model, policy=policy, bus=bus), bus
+
+    def test_full_cycle_with_counters(self, tech, model):
+        monitor, bus = self._flapping_monitor(tech, model, revive_after=2)
+        with telemetry.capture():
+            # Two misses -> quarantine.
+            monitor.poll(temps())
+            snap = monitor.poll(temps())
+            assert snap.dead_tiers == [1]
+            assert telemetry.counter(
+                "network.monitor.dead_tier_events"
+            ).value == 1
+
+            # Link back: first clean probe is probation, not revival.
+            bus.stuck_tiers.discard(1)
+            snap = monitor.poll(temps())
+            assert snap.dead_tiers == [1]
+            assert snap.revived_tiers == []
+            assert 1 not in snap.temperatures_c  # untrusted during probation
+            assert telemetry.counter(
+                "network.monitor.probation_frames"
+            ).value == 1
+
+            # Second consecutive clean probe completes revival.
+            snap = monitor.poll(temps())
+            assert snap.revived_tiers == [1]
+            assert snap.dead_tiers == []
+            assert 1 in snap.temperatures_c
+            assert telemetry.counter(
+                "network.monitor.tier_revivals"
+            ).value == 1
+
+            # Link flaps again: two misses -> second quarantine.
+            bus.stuck_tiers.add(1)
+            monitor.poll(temps())
+            snap = monitor.poll(temps())
+            assert snap.dead_tiers == [1]
+            assert telemetry.counter(
+                "network.monitor.dead_tier_events"
+            ).value == 2
+
+    def test_miss_resets_probation_streak(self, tech, model):
+        monitor, bus = self._flapping_monitor(tech, model, revive_after=2)
+        monitor.poll(temps())
+        monitor.poll(temps())
+        assert not monitor.states[1].alive
+        bus.stuck_tiers.discard(1)
+        monitor.poll(temps())  # probation probe #1
+        bus.stuck_tiers.add(1)
+        monitor.poll(temps())  # miss: streak broken
+        assert monitor.states[1].clean_probes == 0
+        bus.stuck_tiers.discard(1)
+        monitor.poll(temps())  # probation restarts at #1
+        snap = monitor.poll(temps())
+        assert snap.revived_tiers == [1]
+
+    def test_probation_updates_stored_reading(self, tech, model):
+        monitor, bus = self._flapping_monitor(tech, model, revive_after=3)
+        monitor.poll(temps())
+        monitor.poll(temps())
+        bus.stuck_tiers.discard(1)
+        hot = dict(temps())
+        hot[1] = 80.0
+        monitor.poll(hot)
+        # Probation data is genuine: the stored reading follows it even
+        # though the tier is not yet trusted.
+        assert monitor.states[1].temperature_c == pytest.approx(80.0, abs=2.0)
+        assert not monitor.states[1].alive
+
+
+class TestGracefulDegradation:
+    def test_stale_service_within_budget(self, tech, model):
+        policy = ResiliencePolicy(dead_after=10, max_stale_rounds=2)
+        bus = TsvSensorBus(tiers=3)
+        monitor = make_monitor(tech, model, policy=policy, bus=bus)
+        with telemetry.capture():
+            fused = monitor.poll(temps())
+            assert fused.quality == "fused"
+            assert fused.fused_temperature_c == pytest.approx(52.0, abs=1.0)
+
+            bus.stuck_tiers.add(1)
+            first = monitor.poll(temps())
+            second = monitor.poll(temps())
+            third = monitor.poll(temps())
+        for snap in (first, second):
+            assert snap.quality == "degraded"
+            assert snap.fused_temperature_c is None
+            assert snap.tier_quality[1] == "stale"
+            assert snap.effective_temperatures_c[1] == pytest.approx(
+                52.0, abs=2.0
+            )
+        # Past the staleness budget the tier is lost, not served.
+        assert third.tier_quality[1] == "lost"
+        assert 1 not in third.effective_temperatures_c
+        assert telemetry.counter("network.monitor.stale_served").value == 2
+        assert telemetry.counter("network.monitor.degraded_rounds").value == 3
+
+    def test_recovery_restores_fused_quality(self, tech, model):
+        bus = TsvSensorBus(tiers=3)
+        monitor = make_monitor(tech, model, bus=bus)
+        bus.stuck_tiers.add(2)
+        assert monitor.poll(temps()).quality == "degraded"
+        bus.stuck_tiers.discard(2)
+        snap = monitor.poll(temps())
+        assert snap.quality == "fused"
+        assert snap.fused_temperature_c is not None
+
+    def test_out_of_range_sensor_degrades_not_crashes(self, tech, model):
+        monitor = make_monitor(tech, model)
+        with telemetry.capture():
+            hot = dict(temps())
+            hot[0] = 400.0  # far beyond the macro's [-40, 125] range
+            snap = monitor.poll(hot)
+        assert snap.tier_quality[0] == "lost"
+        assert snap.quality == "degraded"
+        assert telemetry.counter("network.monitor.read_failures").value >= 1
