@@ -12,6 +12,9 @@ Usage::
     python -m repro bench --check       # performance regression gate
     python -m repro faultsim            # fault-injection campaign (docs/faults.md)
     python -m repro faultsim --plan open-tsv thermal-runaway --rounds 60
+    python -m repro serve --requests 200 --access-log access.jsonl
+    python -m repro loadgen --requests 2000 --rate 200   # docs/serving.md
+    python -m repro loadgen --requests 200 --fast --json
 """
 
 from __future__ import annotations
@@ -119,6 +122,133 @@ def _faultsim(args) -> int:
             handle.write(report.to_json())
         print(f"wrote {args.json_path}")
     return 0
+
+
+def _loadgen_config(args):
+    from repro.serve import (
+        AdmissionPolicy,
+        BatchPolicy,
+        LoadgenConfig,
+        ServeConfig,
+    )
+
+    if args.fast:
+        # CI smoke preset: small stack, closed loop so batches fill and
+        # the cache gets revisited, short think time so it runs in seconds.
+        tiers = min(args.tiers, 4)
+        clients = args.clients or 16
+        setpoints = 3
+    else:
+        tiers = args.tiers
+        clients = args.clients
+        setpoints = 6
+    serve = ServeConfig(
+        tiers=tiers,
+        seed=args.stack_seed,
+        batch=BatchPolicy(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms),
+        admission=AdmissionPolicy(queue_depth=args.queue_depth),
+        workers=args.workers,
+    )
+    return LoadgenConfig(
+        requests=args.requests,
+        seed=args.seed,
+        rate_rps=args.rate,
+        clients=clients,
+        think_time_s=args.think_ms / 1e3,
+        serve=serve,
+        setpoints=setpoints,
+        deadline_ms=args.deadline_ms,
+    )
+
+
+def _serve(args) -> int:
+    from repro.serve import run_loadgen_wall
+
+    config = _loadgen_config(args)
+    report = run_loadgen_wall(config, access_log=args.access_log)
+    print(report.render())
+    if args.access_log:
+        print(f"\nwrote access log {args.access_log}")
+    return 0 if report.errors == 0 else 1
+
+
+def _loadgen(args) -> int:
+    from repro.serve import run_loadgen, run_loadgen_wall
+
+    config = _loadgen_config(args)
+    report = run_loadgen_wall(config) if args.wall else run_loadgen(config)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.errors == 0 else 1
+
+
+def _add_serving_arguments(parser, loadgen: bool) -> None:
+    parser.add_argument(
+        "--requests", type=int, default=2000, help="requests to issue (default 2000)"
+    )
+    parser.add_argument(
+        "--tiers", type=int, default=8, help="stack height (default 8)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20120612, help="arrival/mix stream seed"
+    )
+    parser.add_argument(
+        "--stack-seed", type=int, default=2012, help="die-population seed (default 2012)"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=50.0, help="open-loop arrival rate, req/s"
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="closed-loop client count (default: open loop)",
+    )
+    parser.add_argument(
+        "--think-ms", type=float, default=1.0, help="closed-loop mean think time, ms"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32, help="micro-batch size bound (default 32)"
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="micro-batch wait bound, ms"
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=256, help="admission queue bound"
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="relative request deadline, ms (enables shedding)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="service worker threads"
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI smoke preset: 4 tiers, closed loop, few setpoints",
+    )
+    if loadgen:
+        parser.add_argument(
+            "--wall",
+            action="store_true",
+            help="drive the real threaded service instead of the "
+            "deterministic virtual-time simulation",
+        )
+        parser.add_argument(
+            "--json", action="store_true", help="emit the report as JSON"
+        )
+    else:
+        parser.add_argument(
+            "--access-log",
+            default=None,
+            metavar="PATH",
+            help="write one JSON line per served request",
+        )
 
 
 def _telemetry_summary(path: str) -> int:
@@ -231,6 +361,18 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="stream faults.* telemetry to a JSON-lines file",
     )
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the embedded micro-batching readout service against a "
+        "synthetic request stream (see docs/serving.md)",
+    )
+    _add_serving_arguments(serve_parser, loadgen=False)
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="deterministic load generator for the readout service "
+        "(see docs/serving.md)",
+    )
+    _add_serving_arguments(loadgen_parser, loadgen=True)
     bench_parser = sub.add_parser(
         "bench", help="run the performance benchmarks (see repro.benchmark)"
     )
@@ -262,6 +404,10 @@ def main(argv=None) -> int:
         return _bench(args)
     if args.command == "faultsim":
         return _faultsim(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "loadgen":
+        return _loadgen(args)
     if args.command == "telemetry":
         return _telemetry_summary(args.path)
     if args.command == "report":

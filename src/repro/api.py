@@ -42,13 +42,18 @@ fault injection        ``faults`` (module), ``FaultKind``, ``FaultPlan``,
 experiments            ``run_experiment``, ``run_all``,
                        ``ExperimentOutcome``, ``SuiteResult``
 observability          ``telemetry`` (module)
+serving                ``serve`` (module), ``ReadRequest``, ``ReadResult``,
+                       ``SensorReadService``, ``ServeConfig``,
+                       ``LoadgenConfig``, ``LoadgenReport``,
+                       ``run_loadgen``, ``PairedReadings``, ``read_paired``
 =====================  ==============================================
 """
 
 from __future__ import annotations
 
-from repro import faults, telemetry
+from repro import faults, serve, telemetry
 from repro.batch.grid import EnvironmentGrid
+from repro.batch.paired import PairedReadings, read_paired
 from repro.batch.population import PopulationReadings, read_population
 from repro.circuits.ring_oscillator import Environment
 from repro.config import SensorConfig
@@ -69,6 +74,15 @@ from repro.network.aggregator import (
     TierState,
 )
 from repro.readout.interface import SensorFrame
+from repro.serve import (
+    LoadgenConfig,
+    LoadgenReport,
+    ReadRequest,
+    ReadResult,
+    SensorReadService,
+    ServeConfig,
+    run_loadgen,
+)
 from repro.tsv.bus import BusReport, TsvSensorBus
 from repro.variation.montecarlo import DieSample, sample_dies
 
@@ -81,13 +95,20 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "LoadgenConfig",
+    "LoadgenReport",
     "MonitorSnapshot",
     "PTSensor",
+    "PairedReadings",
     "PopulationReadings",
+    "ReadRequest",
+    "ReadResult",
     "ResiliencePolicy",
     "SensorConfig",
     "SensorFrame",
+    "SensorReadService",
     "SensorReading",
+    "ServeConfig",
     "StackMonitor",
     "SuiteResult",
     "Technology",
@@ -98,10 +119,13 @@ __all__ = [
     "TsvSensorBus",
     "faults",
     "nominal_65nm",
+    "read_paired",
     "read_population",
     "run_all",
     "run_experiment",
+    "run_loadgen",
     "sample_dies",
+    "serve",
     "telemetry",
 ]
 
@@ -231,6 +255,20 @@ __test__ = {
     1
     >>> len(sink.spans_named("core.conversion"))
     1
+    """,
+    "serving": """
+    The serving engine answers a coalesced batch of typed requests with
+    one vectorised conversion; in deterministic mode the answers match a
+    sequential scalar loop within the batch engine's tolerances.
+
+    >>> from repro.api import ReadRequest, serve
+    >>> engine = serve.ReadEngine(serve.build_stack_sensors(tiers=2, seed=2012))
+    >>> results = engine.execute(
+    ...     [ReadRequest.point(0, 55.0), ReadRequest.scan(40.0)], now=0.0)
+    >>> [(r.status.value, len(r.readings), r.batch_size) for r in results]
+    [('ok', 1, 2), ('ok', 2, 2)]
+    >>> abs(results[0].readings[0].temperature_c - 55.0) < 1.5
+    True
     """,
     "experiments": """
     Every reconstructed table/figure is an experiment module;

@@ -17,7 +17,10 @@ a handful of ufunc passes:
   inversion and the full self-calibration loop;
 * :func:`read_population` — whole-die-population conversions, bit-faithful
   to the scalar ``PTSensor.read`` loops (same rng streams, same
-  quantisation).
+  quantisation);
+* :func:`read_paired` — flat one-lane-per-request conversions for
+  coalesced request batches (the :mod:`repro.serve` hot path), equally
+  bit-faithful to the sequential scalar request loop.
 
 Golden equivalence against the scalar path is pinned by
 ``tests/test_batch_engine.py``.
@@ -45,6 +48,7 @@ from repro.batch.energy import (
     conversion_time_batch,
 )
 from repro.batch.grid import EnvironmentGrid
+from repro.batch.paired import PairedReadings, paired_grid, read_paired
 from repro.batch.model import (
     BatchCalibration,
     calibrate_batch,
@@ -68,6 +72,7 @@ __all__ = [
     "BatchCalibration",
     "ConversionEnergyBatch",
     "EnvironmentGrid",
+    "PairedReadings",
     "PopulationReadings",
     "bank_frequencies_batch",
     "calibrate_batch",
@@ -79,10 +84,12 @@ __all__ = [
     "oscillator_frequency_batch",
     "oscillator_period_batch",
     "oscillator_power_batch",
+    "paired_grid",
     "population_bank_frequencies",
     "population_grid",
     "process_frequencies_batch",
     "process_jacobian_batch",
+    "read_paired",
     "read_population",
     "read_uncalibrated_population",
     "register_delay_kernel",

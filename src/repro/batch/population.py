@@ -95,15 +95,9 @@ def _require_uniform_design(sensors: Sequence[PTSensor]) -> PTSensor:
     """The batch engine evaluates one *design*; mixed populations must fall
     back to the scalar path."""
     reference = sensors[0]
+    reference_key = reference.design_key()
     for sensor in sensors[1:]:
-        same = (
-            sensor.config == reference.config
-            and sensor.technology == reference.technology
-            and sensor.bank.psro_n.stage == reference.bank.psro_n.stage
-            and sensor.bank.psro_p.stage == reference.bank.psro_p.stage
-            and sensor.bank.tsro.stage == reference.bank.tsro.stage
-        )
-        if not same:
+        if sensor.design_key() != reference_key:
             raise ValueError(
                 "read_population requires sensors of a single design "
                 "(same config, technology and stage models)"

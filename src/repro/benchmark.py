@@ -204,6 +204,24 @@ def bench_faultsim_zero_fault(rounds: int = 10) -> float:
     return _time(lambda: run_plan(plan, config))
 
 
+def bench_serve_microbatch(requests: int = 300) -> float:
+    """The serving stack end to end: virtual-time loadgen at 50 req/s.
+
+    Exercises request expansion, cache peel-off, the paired conversion
+    kernel and result assembly — the whole ``repro.serve`` hot path —
+    deterministically (no threads, no sleeps), so the timing reflects
+    compute, not wall-clock waiting.
+    """
+    from repro.serve import LoadgenConfig, ServeConfig, run_loadgen
+
+    config = LoadgenConfig(
+        requests=requests,
+        rate_rps=50.0,
+        serve=ServeConfig(tiers=8),
+    )
+    return _time(lambda: run_loadgen(config), repeats=1)
+
+
 BENCHMARKS: Dict[str, Callable[[], float]] = {
     "population_sweep_scalar_50x9": bench_population_sweep_scalar,
     "population_sweep_batch_200x9": bench_population_sweep_batch,
@@ -213,6 +231,7 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "thermal_steady_warm": bench_thermal_steady_warm,
     "stack_monitor_8tier_poll": bench_stack_monitor_8tier,
     "faultsim_8tier_smoke": bench_faultsim_zero_fault,
+    "serve_microbatch_50rps": bench_serve_microbatch,
 }
 
 

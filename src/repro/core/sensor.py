@@ -317,6 +317,24 @@ class PTSensor:
 
         return SensorSelfTest(self.model).run(measure(), measure())
 
+    def design_key(self) -> Tuple:
+        """Hashable identity of this sensor's *design* (not its die).
+
+        Two sensors share a design when they were taped out identically —
+        same configuration, technology and per-ring stage models — even
+        though each instance carries its own frozen mismatch.  The batch
+        engine (:func:`repro.batch.read_population`,
+        :func:`repro.batch.read_paired`) and the serving layer
+        (:mod:`repro.serve`) only coalesce sensors whose design keys match.
+        """
+        return (
+            self.config,
+            self.technology,
+            self.bank.psro_n.stage,
+            self.bank.psro_p.stage,
+            self.bank.tsro.stage,
+        )
+
     def true_process_shifts(self) -> Tuple[float, float]:
         """Ground-truth systematic (dV_tn, dV_tp) at this sensor site.
 

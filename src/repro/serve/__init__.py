@@ -1,0 +1,97 @@
+"""repro.serve — the embedded micro-batching sensor-readout service.
+
+A monitored 3-D stack answers *queries*: point reads, tier scans, Vt
+extractions, full-stack polls.  This package turns the reproduction's
+batch-evaluation engine into a small but complete serving system for
+those queries:
+
+- :mod:`repro.serve.requests` — the typed request/result contract.
+- :mod:`repro.serve.scheduler` — micro-batching (coalesce a request
+  stream into bounded batches: fill or time out).
+- :mod:`repro.serve.engine` — one vectorised conversion per batch via
+  :func:`repro.batch.read_paired`, with cache peel-off and fault seams.
+- :mod:`repro.serve.cache` — LRU+TTL result cache keyed by quantised
+  operating point.
+- :mod:`repro.serve.admission` — bounded queue, deadline shedding,
+  backpressure.
+- :mod:`repro.serve.service` — the threaded front door
+  (:class:`SensorReadService`), with JSONL access logging.
+- :mod:`repro.serve.loadgen` — a deterministic virtual-time load
+  generator reporting latency percentiles, batch-size histograms,
+  cache hit rate and the speedup over naive scalar serving.
+
+Quick start::
+
+    from repro.serve import ReadRequest, SensorReadService, ServeConfig
+
+    with SensorReadService(config=ServeConfig(tiers=4)) as service:
+        result = service.read(ReadRequest.point(tier=0, temp_c=55.0))
+        print(result.readings[0].temperature_c)
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionPolicy,
+    AdmissionStats,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.engine import ReadEngine
+from repro.serve.loadgen import (
+    CostModel,
+    LoadgenConfig,
+    LoadgenReport,
+    RequestMix,
+    batch_service_time,
+    naive_service_time,
+    run_loadgen,
+    run_loadgen_wall,
+)
+from repro.serve.requests import (
+    ReadRequest,
+    ReadResult,
+    RequestKind,
+    ResultStatus,
+    TierReading,
+)
+from repro.serve.scheduler import BatchPolicy, MicroBatcher, PendingResult
+from repro.serve.service import (
+    SensorReadService,
+    ServeConfig,
+    ServiceStats,
+    build_stack_sensors,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionPolicy",
+    "AdmissionStats",
+    "BatchPolicy",
+    "CacheStats",
+    "CostModel",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "MicroBatcher",
+    "PendingResult",
+    "QueueFullError",
+    "ReadEngine",
+    "ReadRequest",
+    "ReadResult",
+    "RequestKind",
+    "RequestMix",
+    "ResultCache",
+    "ResultStatus",
+    "SensorReadService",
+    "ServeConfig",
+    "ServiceClosedError",
+    "ServiceStats",
+    "TierReading",
+    "batch_service_time",
+    "build_stack_sensors",
+    "naive_service_time",
+    "run_loadgen",
+    "run_loadgen_wall",
+]

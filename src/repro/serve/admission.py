@@ -1,0 +1,114 @@
+"""Admission control: bounded queueing, shedding and backpressure.
+
+The serving queue is a finite resource.  The :class:`AdmissionController`
+enforces a hard depth bound at submit time (reject early, cheaply, rather
+than time out late), counts deadline shedding decided downstream by the
+engine, and exposes a continuous *backpressure* signal — queue fullness
+in ``[0, 1]`` — that well-behaved clients (the closed-loop load
+generator, a DTM controller) can use to slow down before rejections
+start.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro import telemetry
+
+_ADMITTED = telemetry.counter(
+    "serve.admitted", unit="requests", help="Requests admitted to the serving queue"
+)
+_REJECTED = telemetry.counter(
+    "serve.rejected", unit="requests", help="Requests rejected at admission (queue full)"
+)
+_SHED = telemetry.counter(
+    "serve.shed", unit="requests", help="Queued requests shed past their deadline"
+)
+
+
+class AdmissionError(RuntimeError):
+    """Base class of admission-control rejections."""
+
+
+class QueueFullError(AdmissionError):
+    """The bounded serving queue is at capacity; back off and retry."""
+
+
+class ServiceClosedError(AdmissionError):
+    """The service is draining or closed and accepts no new requests."""
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs of the admission controller.
+
+    Attributes:
+        queue_depth: Maximum requests waiting for a batch slot.
+        shed_expired: Whether the engine drops queued requests whose
+            deadline has already passed instead of evaluating them.
+    """
+
+    queue_depth: int = 256
+    shed_expired: bool = True
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionStats:
+    """Counters of one controller instance."""
+
+    admitted: int
+    rejected: int
+    shed: int
+
+
+class AdmissionController:
+    """Thread-safe gate in front of the serving queue."""
+
+    def __init__(self, policy: AdmissionPolicy = AdmissionPolicy()) -> None:
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._rejected = 0
+        self._shed = 0
+
+    def admit(self, queue_length: int) -> None:
+        """Admit one request given the current queue length.
+
+        Raises:
+            QueueFullError: When the bounded queue is at capacity.  The
+                exception is the backpressure signal's hard edge; callers
+                polling :meth:`backpressure` should rarely see it.
+        """
+        if queue_length >= self.policy.queue_depth:
+            with self._lock:
+                self._rejected += 1
+            _REJECTED.inc()
+            raise QueueFullError(
+                f"serving queue full ({queue_length}/{self.policy.queue_depth})"
+            )
+        with self._lock:
+            self._admitted += 1
+        _ADMITTED.inc()
+
+    def record_shed(self, count: int = 1) -> None:
+        """Account requests the engine shed past their deadline."""
+        if count:
+            with self._lock:
+                self._shed += count
+            _SHED.inc(count)
+
+    def backpressure(self, queue_length: int) -> float:
+        """Queue fullness in ``[0, 1]``; 1.0 means submits will reject."""
+        return min(1.0, queue_length / self.policy.queue_depth)
+
+    def stats(self) -> AdmissionStats:
+        """A consistent snapshot of this controller's counters."""
+        with self._lock:
+            return AdmissionStats(
+                admitted=self._admitted, rejected=self._rejected, shed=self._shed
+            )

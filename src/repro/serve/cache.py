@@ -1,0 +1,155 @@
+"""LRU+TTL result cache keyed by quantised operating point.
+
+Two requests for the same tier at "the same" condition should cost one
+conversion, not two — but floating-point temperatures rarely repeat
+exactly.  The cache therefore quantises the environment to the sensor's
+own resolution class before keying: temperatures to ``temp_resolution_c``
+and supplies to ``vdd_resolution_v``.  Two requests whose conditions the
+silicon could not tell apart share a cache line.
+
+The cache only serves *deterministic-mode* conversions (the service's
+default): a noisy conversion consumes the sensor's private rng stream,
+so replaying it from a cache would silently change every stream after
+it.  Entries expire after ``ttl_s`` service-clock seconds and the least
+recently used entry is evicted at capacity.  The clock is injected by
+the caller, which is what lets the load generator run the same cache in
+virtual time, deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro import telemetry
+from repro.serve.requests import TierReading
+
+_CACHE_HITS = telemetry.counter(
+    "serve.cache_hits", unit="lookups", help="Result-cache hits"
+)
+_CACHE_MISSES = telemetry.counter(
+    "serve.cache_misses", unit="lookups", help="Result-cache misses"
+)
+_CACHE_EVICTIONS = telemetry.counter(
+    "serve.cache_evictions", unit="entries", help="LRU evictions from the result cache"
+)
+_CACHE_EXPIRED = telemetry.counter(
+    "serve.cache_expired", unit="entries", help="TTL expiries served as misses"
+)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one cache instance (process-wide twins live in telemetry)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """Thread-safe LRU+TTL cache of :class:`TierReading` values.
+
+    Args:
+        capacity: Maximum number of entries; the least recently *used*
+            entry is evicted beyond it.
+        ttl_s: Entry lifetime in service-clock seconds (``float("inf")``
+            disables expiry).
+        temp_resolution_c: Temperature quantisation step for keys.
+        vdd_resolution_v: Supply quantisation step for keys.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        ttl_s: float = 5.0,
+        temp_resolution_c: float = 0.25,
+        vdd_resolution_v: float = 0.005,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl_s <= 0.0:
+            raise ValueError("ttl_s must be positive")
+        if temp_resolution_c <= 0.0 or vdd_resolution_v <= 0.0:
+            raise ValueError("quantisation resolutions must be positive")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.temp_resolution_c = temp_resolution_c
+        self.vdd_resolution_v = vdd_resolution_v
+        self._entries: "OrderedDict[Tuple, Tuple[float, TierReading]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def key(
+        self,
+        tier: int,
+        temp_c: float,
+        vdd: float,
+        assume_vdd: Optional[float] = None,
+    ) -> Tuple:
+        """The quantised cache key of one (tier, operating point) lookup."""
+        return (
+            tier,
+            round(temp_c / self.temp_resolution_c),
+            round(vdd / self.vdd_resolution_v),
+            None
+            if assume_vdd is None
+            else round(assume_vdd / self.vdd_resolution_v),
+        )
+
+    def get(self, key: Tuple, now: float) -> Optional[TierReading]:
+        """The live entry under ``key``, or ``None`` (counted as a miss)."""
+        with self._lock:
+            stored = self._entries.get(key)
+            if stored is not None:
+                stored_at, reading = stored
+                if now - stored_at < self.ttl_s:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    _CACHE_HITS.inc()
+                    return reading
+                del self._entries[key]
+                self._expirations += 1
+                _CACHE_EXPIRED.inc()
+            self._misses += 1
+            _CACHE_MISSES.inc()
+            return None
+
+    def put(self, key: Tuple, reading: TierReading, now: float) -> None:
+        """Store a reading, evicting the LRU entry past capacity."""
+        with self._lock:
+            self._entries[key] = (now, reading)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                _CACHE_EVICTIONS.inc()
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of this cache's counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                entries=len(self._entries),
+            )

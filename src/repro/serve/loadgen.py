@@ -1,0 +1,559 @@
+"""Deterministic load generator for the micro-batching readout service.
+
+The generator's default mode is a **virtual-time** discrete-event
+simulation: it replays the exact micro-batching policy of
+:class:`~repro.serve.scheduler.MicroBatcher` — batch opens at the head
+request's arrival, closes at fill or ``max_wait`` — against the *real*
+:class:`~repro.serve.engine.ReadEngine` (real conversions, real cache,
+real admission accounting), with the clock advanced analytically instead
+of slept.  Same seed, same report, bit for bit: latency percentiles,
+batch-size histogram, cache hit rate and shed rate are all reproducible,
+which is what lets CI assert on them.
+
+Service-time model (virtual mode): tiers are distinct physical sensors
+and convert concurrently, but one sensor serves its own conversions
+serially — so a batch occupies the stack for
+``batch_overhead + max over tiers(sum of that tier's miss conversion
+times) + per_reading * readings``.  The naive baseline serves each
+request alone: ``scalar_overhead + sum of its conversion times`` —
+no coalescing, no cache, no cross-tier concurrency.  The ratio of the
+two busy times is the reported ``speedup_vs_scalar``.
+
+``--wall`` instead drives the threaded :class:`SensorReadService` with
+real sleeps; useful as an end-to-end smoke of the concurrent runtime,
+but its latency numbers are only as reproducible as the host scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections import Counter as TallyCounter
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.engine import ReadEngine
+from repro.serve.requests import ReadRequest, ReadResult, ResultStatus
+from repro.serve.scheduler import BatchPolicy
+from repro.serve.service import SensorReadService, ServeConfig, build_stack_sensors
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Readout-path timing constants of the virtual-time simulation.
+
+    Attributes:
+        batch_overhead_s: Fixed controller/framing cost per coalesced
+            batch (command distribution over the TSV network).
+        scalar_overhead_s: Fixed cost per request on the naive
+            one-request-one-readout baseline.
+        per_reading_s: Result framing/transfer cost per tier reading.
+    """
+
+    batch_overhead_s: float = 50e-6
+    scalar_overhead_s: float = 50e-6
+    per_reading_s: float = 2e-6
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run, fully specified (and fully seeded).
+
+    Attributes:
+        requests: Total requests to issue.
+        seed: Seed of the arrival/mix stream (the stack has its own
+            seed in ``serve``).
+        rate_rps: Open-loop mean arrival rate (Poisson), requests/s.
+            Ignored when ``clients`` is set.
+        clients: Closed-loop client count; ``None`` selects open loop.
+        think_time_s: Closed-loop mean think time between a client's
+            completion and its next submit (exponential).
+        serve: The serving stack and policies under test.
+        cost: Virtual-time service-cost model.
+        setpoints: Number of discrete thermal setpoints the request mix
+            clusters around (cache locality comes from revisiting them).
+        temp_jitter_c: Gaussian jitter around each setpoint, Celsius.
+        deadline_ms: Relative deadline attached to every request
+            (``None`` disables deadlines, hence shedding).
+        point_weight / vt_weight / scan_weight / poll_weight: Request-mix
+            weights (normalised internally).
+    """
+
+    requests: int = 2000
+    seed: int = 20120612
+    rate_rps: float = 50.0
+    clients: Optional[int] = None
+    think_time_s: float = 0.02
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    cost: CostModel = field(default_factory=CostModel)
+    setpoints: int = 6
+    temp_jitter_c: float = 0.05
+    deadline_ms: Optional[float] = None
+    point_weight: float = 0.70
+    vt_weight: float = 0.10
+    scan_weight: float = 0.10
+    poll_weight: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.rate_rps <= 0.0:
+            raise ValueError("rate_rps must be positive")
+        if self.clients is not None and self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.setpoints < 1:
+            raise ValueError("setpoints must be >= 1")
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """What one load-generation run measured."""
+
+    mode: str
+    requests: int
+    served: int
+    ok: int
+    degraded: int
+    shed: int
+    errors: int
+    rejected: int
+    duration_s: float
+    throughput_rps: float
+    latency_ms: Dict[str, float]
+    batch_histogram: Dict[int, int]
+    mean_batch_size: float
+    cache: Optional[CacheStats]
+    cache_hit_rate: float
+    shed_rate: float
+    batched_busy_s: float
+    naive_busy_s: float
+    speedup_vs_scalar: float
+    seed: int
+
+    def to_json(self) -> str:
+        """The report as one JSON document (stable key order)."""
+        payload = {
+            "mode": self.mode,
+            "requests": self.requests,
+            "served": self.served,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": self.latency_ms,
+            "batch_histogram": {str(k): v for k, v in sorted(self.batch_histogram.items())},
+            "mean_batch_size": self.mean_batch_size,
+            "cache": None
+            if self.cache is None
+            else {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "expirations": self.cache.expirations,
+                "entries": self.cache.entries,
+                "hit_rate": self.cache.hit_rate,
+            },
+            "cache_hit_rate": self.cache_hit_rate,
+            "shed_rate": self.shed_rate,
+            "batched_busy_s": self.batched_busy_s,
+            "naive_busy_s": self.naive_busy_s,
+            "speedup_vs_scalar": self.speedup_vs_scalar,
+            "seed": self.seed,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def render(self) -> str:
+        """A human-readable summary block."""
+        lines = [
+            f"loadgen: {self.mode} | {self.served}/{self.requests} served "
+            f"in {self.duration_s * 1e3:.1f} ms "
+            f"({self.throughput_rps:.0f} req/s)",
+            f"  status: ok={self.ok} degraded={self.degraded} "
+            f"shed={self.shed} errors={self.errors} rejected={self.rejected}",
+            "  latency ms: "
+            + " ".join(
+                f"{k}={self.latency_ms[k]:.3f}"
+                for k in ("p50", "p95", "p99", "mean", "max")
+            ),
+            f"  batches: mean size {self.mean_batch_size:.2f} | histogram "
+            + " ".join(f"{k}x{v}" for k, v in sorted(self.batch_histogram.items())),
+        ]
+        if self.cache is not None:
+            lines.append(
+                f"  cache: {self.cache.hits} hits / "
+                f"{self.cache.hits + self.cache.misses} lookups "
+                f"(hit rate {self.cache.hit_rate:.1%}, "
+                f"{self.cache.evictions} evictions, "
+                f"{self.cache.expirations} expirations)"
+            )
+        lines.append(
+            f"  vs naive scalar serving: busy {self.batched_busy_s * 1e3:.2f} ms "
+            f"vs {self.naive_busy_s * 1e3:.2f} ms -> "
+            f"{self.speedup_vs_scalar:.1f}x"
+        )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------- request mix
+
+
+class RequestMix:
+    """Seeded stream of requests shaped like stack-monitoring traffic."""
+
+    def __init__(self, config: LoadgenConfig, tiers: Sequence[int]) -> None:
+        self._rng = np.random.default_rng(config.seed)
+        self._tiers = tuple(tiers)
+        self._setpoints = np.linspace(25.0, 85.0, config.setpoints)
+        self._jitter = config.temp_jitter_c
+        weights = np.asarray(
+            [
+                config.point_weight,
+                config.vt_weight,
+                config.scan_weight,
+                config.poll_weight,
+            ],
+            dtype=float,
+        )
+        if weights.min() < 0.0 or weights.sum() <= 0.0:
+            raise ValueError("request-mix weights must be non-negative, sum > 0")
+        self._weights = weights / weights.sum()
+        self._deadline_s = (
+            None if config.deadline_ms is None else config.deadline_ms / 1e3
+        )
+
+    def _temp(self) -> float:
+        setpoint = self._setpoints[self._rng.integers(len(self._setpoints))]
+        return float(setpoint + self._rng.normal(0.0, self._jitter))
+
+    def next(self, now: float) -> ReadRequest:
+        """The next request of the stream, stamped relative to ``now``."""
+        deadline = None if self._deadline_s is None else now + self._deadline_s
+        kind = int(self._rng.choice(4, p=self._weights))
+        if kind == 0:
+            tier = int(self._tiers[self._rng.integers(len(self._tiers))])
+            return ReadRequest.point(tier, self._temp(), deadline_s=deadline)
+        if kind == 1:
+            tier = int(self._tiers[self._rng.integers(len(self._tiers))])
+            return ReadRequest.vt(tier, self._temp(), deadline_s=deadline)
+        if kind == 2:
+            count = int(self._rng.integers(2, max(3, len(self._tiers) + 1)))
+            picks = self._rng.choice(len(self._tiers), size=min(count, len(self._tiers)), replace=False)
+            tiers = tuple(sorted(int(self._tiers[i]) for i in picks))
+            return ReadRequest.scan(self._temp(), tiers=tiers, deadline_s=deadline)
+        base = self._temp()
+        gradient = self._rng.normal(0.0, 1.5, size=len(self._tiers))
+        temps = {
+            tier: float(base + gradient[i]) for i, tier in enumerate(self._tiers)
+        }
+        return ReadRequest.poll(temps, default_temp_c=base, deadline_s=deadline)
+
+
+# ------------------------------------------------------------- cost modelling
+
+
+def batch_service_time(results: Sequence[ReadResult], cost: CostModel) -> float:
+    """Virtual stack-occupancy time of one coalesced batch.
+
+    Tiers convert concurrently (separate physical sensors); each tier
+    serialises its own cache-miss conversions; cache hits cost only the
+    per-reading framing.
+    """
+    per_tier: Dict[int, float] = defaultdict(float)
+    readings = 0
+    for result in results:
+        for reading in result.readings:
+            readings += 1
+            if not reading.cache_hit:
+                per_tier[reading.tier] += reading.conversion_time
+    busy = max(per_tier.values()) if per_tier else 0.0
+    return cost.batch_overhead_s + busy + cost.per_reading_s * readings
+
+
+def naive_service_time(result: ReadResult, cost: CostModel) -> float:
+    """What the same request costs served alone, scalar, uncached."""
+    if not result.readings:
+        return 0.0
+    conversions = sum(reading.conversion_time for reading in result.readings)
+    return cost.scalar_overhead_s + conversions
+
+
+# ----------------------------------------------------------- virtual-time sim
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = q * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
+    """Run the virtual-time simulation and return its report.
+
+    Open loop (``config.clients is None``): Poisson arrivals at
+    ``rate_rps``.  Closed loop: ``clients`` clients, each submitting,
+    blocking for its answer, thinking, and submitting again.
+    """
+    sensors = build_stack_sensors(config.serve.tiers, config.serve.seed)
+    cache = (
+        ResultCache(
+            capacity=config.serve.cache_capacity,
+            ttl_s=config.serve.cache_ttl_s,
+            temp_resolution_c=config.serve.temp_resolution_c,
+            vdd_resolution_v=config.serve.vdd_resolution_v,
+        )
+        if config.serve.cache_capacity and config.serve.deterministic
+        else None
+    )
+    engine = ReadEngine(
+        sensors, cache=cache, deterministic=config.serve.deterministic
+    )
+    mix = RequestMix(config, engine.tiers)
+    policy = config.serve.batch
+    depth = config.serve.admission.queue_depth
+
+    arrival_rng = np.random.default_rng(config.seed + 1)
+    # Event heap of (time, sequence, request).  Open loop pre-computes the
+    # whole arrival process; closed loop seeds one event per client and
+    # refills on completion.
+    events: List[Tuple[float, int, ReadRequest]] = []
+    sequence = 0
+    issued = 0
+
+    def push(when: float) -> None:
+        nonlocal sequence, issued
+        if issued >= config.requests:
+            return
+        heapq.heappush(events, (when, sequence, mix.next(when)))
+        sequence += 1
+        issued += 1
+
+    if config.clients is None:
+        t = 0.0
+        for _ in range(config.requests):
+            t += float(arrival_rng.exponential(1.0 / config.rate_rps))
+            push(t)
+    else:
+        for client in range(config.clients):
+            push(float(arrival_rng.uniform(0.0, config.think_time_s)))
+
+    queue: "deque[Tuple[float, ReadRequest]]" = deque()
+    free_at = 0.0
+    rejected = 0
+    served: List[ReadResult] = []
+    latencies: List[float] = []
+    batch_histogram: TallyCounter = TallyCounter()
+    batched_busy = 0.0
+    naive_busy = 0.0
+    first_arrival: Optional[float] = None
+    last_finish = 0.0
+    counts = {status: 0 for status in ResultStatus}
+
+    def ingest(until: float) -> None:
+        """Move every arrival at or before ``until`` into the queue."""
+        nonlocal rejected
+        while events and events[0][0] <= until:
+            when, _, request = heapq.heappop(events)
+            if len(queue) >= depth:
+                rejected += 1
+                continue
+            queue.append((when, request))
+
+    while events or queue:
+        if not queue:
+            ingest(events[0][0])
+            if not queue:  # the arrival was rejected (cannot happen empty)
+                continue
+        head_at = queue[0][0]
+        ready = max(free_at, head_at)
+        if first_arrival is None:
+            first_arrival = head_at
+        # The batch opened with its head request; it closes at fill or
+        # when the head's wait budget runs out (never before the worker
+        # is free).
+        close = max(ready, head_at + policy.max_wait_s)
+        ingest(ready)
+        if len(queue) >= policy.max_batch:
+            close = ready  # a full backlog flushes as soon as the worker frees
+        while (
+            len(queue) < policy.max_batch
+            and events
+            and events[0][0] <= close
+        ):
+            when, _, request = heapq.heappop(events)
+            if len(queue) >= depth:
+                rejected += 1
+                continue
+            queue.append((when, request))
+            if len(queue) >= policy.max_batch:
+                close = max(ready, when)
+        start = close
+        take = min(policy.max_batch, len(queue))
+        batch = [queue.popleft() for _ in range(take)]
+        results = engine.execute([request for _, request in batch], now=start)
+        service = batch_service_time(results, config.cost)
+        finish = start + service
+        free_at = finish
+        last_finish = finish
+        batched_busy += service
+        batch_histogram[take] += 1
+        for (arrived, _), result in zip(batch, results):
+            counts[result.status] += 1
+            served.append(result)
+            naive_busy += naive_service_time(result, config.cost)
+            if result.status in (ResultStatus.OK, ResultStatus.DEGRADED):
+                latencies.append(finish - arrived)
+            if config.clients is not None:
+                push(finish + float(arrival_rng.exponential(config.think_time_s)))
+
+    latencies.sort()
+    duration = max(last_finish - (first_arrival or 0.0), 0.0)
+    cache_stats = cache.stats() if cache is not None else None
+    return _build_report(
+        mode="virtual-open" if config.clients is None else "virtual-closed",
+        config=config,
+        served=served,
+        counts=counts,
+        rejected=rejected,
+        latencies=latencies,
+        batch_histogram=dict(batch_histogram),
+        duration=duration,
+        batched_busy=batched_busy,
+        naive_busy=naive_busy,
+        cache_stats=cache_stats,
+    )
+
+
+# --------------------------------------------------------------- wall-clock
+
+
+def run_loadgen_wall(
+    config: LoadgenConfig, access_log: Optional[str] = None
+) -> LoadgenReport:
+    """Drive the real threaded service, closed loop, with wall sleeps.
+
+    An end-to-end smoke of the concurrent runtime (threads, condition
+    variables, drain).  Latency numbers here depend on the host
+    scheduler; use the default virtual mode for reproducible statistics.
+    """
+    import time
+
+    from repro.serve.admission import QueueFullError
+
+    clients = config.clients or 4
+    think_rng = np.random.default_rng(config.seed + 1)
+    service = SensorReadService(config=config.serve, access_log=access_log)
+    mix = RequestMix(config, service.engine.tiers)
+    issued = 0
+    rejected = 0
+    served: List[ReadResult] = []
+    latencies: List[float] = []
+    counts = {status: 0 for status in ResultStatus}
+    naive_busy = 0.0
+    started = time.monotonic()
+    try:
+        pending = []
+        while issued < config.requests or pending:
+            while issued < config.requests and len(pending) < clients:
+                request = mix.next(time.monotonic())
+                try:
+                    pending.append(service.submit(request))
+                except QueueFullError:
+                    rejected += 1
+                issued += 1
+            future = pending.pop(0)
+            result = future.result(timeout=30.0)
+            counts[result.status] += 1
+            served.append(result)
+            naive_busy += naive_service_time(result, config.cost)
+            if result.status in (ResultStatus.OK, ResultStatus.DEGRADED):
+                latencies.append(result.latency_s)
+            think = float(think_rng.exponential(config.think_time_s))
+            if think > 0.0 and issued < config.requests:
+                time.sleep(min(think, 0.005))
+    finally:
+        service.close(drain=True)
+    duration = time.monotonic() - started
+    stats = service.stats()
+    latencies.sort()
+    batched_busy = sum(
+        batch_service_time([r], config.cost) for r in served
+    )  # indicative only in wall mode
+    return _build_report(
+        mode="wall-closed",
+        config=config,
+        served=served,
+        counts=counts,
+        rejected=rejected,
+        latencies=latencies,
+        batch_histogram=stats.batch_size_histogram,
+        duration=duration,
+        batched_busy=batched_busy,
+        naive_busy=naive_busy,
+        cache_stats=stats.cache,
+    )
+
+
+# ------------------------------------------------------------------- report
+
+
+def _build_report(
+    mode: str,
+    config: LoadgenConfig,
+    served: List[ReadResult],
+    counts: Dict[ResultStatus, int],
+    rejected: int,
+    latencies: List[float],
+    batch_histogram: Dict[int, int],
+    duration: float,
+    batched_busy: float,
+    naive_busy: float,
+    cache_stats: Optional[CacheStats],
+) -> LoadgenReport:
+    total_served = len(served)
+    total_batched = sum(size * n for size, n in batch_histogram.items())
+    total_batches = sum(batch_histogram.values())
+    cache_lookups = (
+        cache_stats.hits + cache_stats.misses if cache_stats is not None else 0
+    )
+    return LoadgenReport(
+        mode=mode,
+        requests=config.requests,
+        served=total_served,
+        ok=counts[ResultStatus.OK],
+        degraded=counts[ResultStatus.DEGRADED],
+        shed=counts[ResultStatus.SHED],
+        errors=counts[ResultStatus.ERROR],
+        rejected=rejected,
+        duration_s=duration,
+        throughput_rps=total_served / duration if duration > 0.0 else 0.0,
+        latency_ms={
+            "p50": _percentile(latencies, 0.50) * 1e3,
+            "p95": _percentile(latencies, 0.95) * 1e3,
+            "p99": _percentile(latencies, 0.99) * 1e3,
+            "mean": (sum(latencies) / len(latencies) * 1e3) if latencies else 0.0,
+            "max": latencies[-1] * 1e3 if latencies else 0.0,
+        },
+        batch_histogram=batch_histogram,
+        mean_batch_size=total_batched / total_batches if total_batches else 0.0,
+        cache=cache_stats,
+        cache_hit_rate=(
+            cache_stats.hits / cache_lookups if cache_lookups else 0.0
+        ),
+        shed_rate=counts[ResultStatus.SHED] / total_served if total_served else 0.0,
+        batched_busy_s=batched_busy,
+        naive_busy_s=naive_busy,
+        speedup_vs_scalar=naive_busy / batched_busy if batched_busy > 0.0 else 0.0,
+        seed=config.seed,
+    )

@@ -1,0 +1,216 @@
+"""Micro-batching scheduler: coalesce a request stream into batches.
+
+The scheduler trades a bounded amount of queueing delay for batch size:
+a batch opens when the first request arrives, and closes when either
+``max_batch`` requests have accumulated or ``max_wait_ms`` has elapsed
+since the batch opened — the classic micro-batching policy of
+serving systems, applied to sensor conversions.
+
+:class:`BatchPolicy` is the pure policy; :class:`MicroBatcher` is the
+threaded runtime the embedded service runs (worker threads, condition
+variable, graceful drain).  The load generator replays the *same policy*
+in virtual time without threads, which is what makes its latency
+statistics deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro import telemetry
+from repro.serve.admission import ServiceClosedError
+from repro.serve.requests import ReadRequest, ReadResult
+
+_QUEUE_WAIT = telemetry.histogram(
+    "serve.queue_wait_ms", unit="ms", help="Time requests spend queued before a batch"
+)
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The two knobs of the micro-batching trade-off.
+
+    Attributes:
+        max_batch: Largest number of requests coalesced into one
+            evaluation.
+        max_wait_ms: Longest a batch stays open waiting to fill, in
+            milliseconds.  ``0`` degenerates to opportunistic batching:
+            take whatever is queued, never wait.
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0.0:
+            raise ValueError("max_wait_ms must be non-negative")
+
+    @property
+    def max_wait_s(self) -> float:
+        """The wait bound in seconds."""
+        return self.max_wait_ms / 1e3
+
+
+class PendingResult:
+    """A write-once future for one submitted request."""
+
+    def __init__(self, request: ReadRequest, enqueued_at: float) -> None:
+        self.request = request
+        self.enqueued_at = enqueued_at
+        self._event = threading.Event()
+        self._result: Optional[ReadResult] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """Whether a result (or failure) has been published."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ReadResult:
+        """Block for the result; raises on timeout or service failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not served within the timeout")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _complete(self, result: ReadResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class MicroBatcher:
+    """Worker threads draining a bounded queue in micro-batches.
+
+    Args:
+        execute: Callback evaluating one coalesced batch —
+            ``execute(requests, now) -> results`` (the
+            :meth:`repro.serve.engine.ReadEngine.execute` signature).
+        policy: The batching policy.
+        clock: Monotonic time source (injectable for tests).
+        on_complete: Optional callback ``(pending, result)`` invoked for
+            every served request — the service's access-log hook.
+        workers: Worker-thread count.  One worker preserves the strict
+            arrival order of rng consumption; more workers trade that
+            determinism for pipelining across batches.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Sequence[ReadRequest], float], List[ReadResult]],
+        policy: BatchPolicy = BatchPolicy(),
+        clock: Callable[[], float] = time.monotonic,
+        on_complete: Optional[Callable[[PendingResult, ReadResult], None]] = None,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.policy = policy
+        self.clock = clock
+        self._execute = execute
+        self._on_complete = on_complete
+        self._queue: "deque[PendingResult]" = deque()
+        self._cv = threading.Condition()
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._loop, name=f"repro-serve-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # --------------------------------------------------------------- client
+
+    def __len__(self) -> int:
+        """Current queue length (racy by nature; used for backpressure)."""
+        return len(self._queue)
+
+    def submit(self, pending: PendingResult) -> None:
+        """Enqueue an admitted request for the next batch."""
+        with self._cv:
+            if self._closed:
+                raise ServiceClosedError("the service is closed")
+            self._queue.append(pending)
+            self._cv.notify_all()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests; optionally serve what is queued.
+
+        With ``drain=True`` (the default) workers finish the queue before
+        exiting; with ``drain=False`` queued requests fail with
+        :class:`ServiceClosedError`.
+        """
+        with self._cv:
+            if self._closed:
+                orphans = []
+            else:
+                self._closed = True
+                orphans = [] if drain else list(self._queue)
+                if not drain:
+                    self._queue.clear()
+            self._cv.notify_all()
+        for pending in orphans:
+            pending._fail(ServiceClosedError("the service closed before serving"))
+        for thread in self._threads:
+            thread.join()
+
+    # --------------------------------------------------------------- worker
+
+    def _take_batch(self) -> List[PendingResult]:
+        """Block for the next batch (empty list means: shut down)."""
+        with self._cv:
+            while True:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue:
+                    return []
+                # The batch opened when its head request arrived; keep it
+                # open until it fills or the wait budget runs out.  A
+                # closed (draining) batcher flushes immediately.
+                deadline = self._queue[0].enqueued_at + self.policy.max_wait_s
+                while len(self._queue) < self.policy.max_batch and not self._closed:
+                    remaining = deadline - self.clock()
+                    if remaining <= 0.0:
+                        break
+                    self._cv.wait(timeout=remaining)
+                    if not self._queue:
+                        break  # another worker drained it; start over
+                if not self._queue:
+                    continue
+                take = min(self.policy.max_batch, len(self._queue))
+                return [self._queue.popleft() for _ in range(take)]
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                return
+            started = self.clock()
+            for pending in batch:
+                _QUEUE_WAIT.observe((started - pending.enqueued_at) * 1e3)
+            try:
+                results = self._execute([p.request for p in batch], started)
+            except Exception as error:  # noqa: BLE001 - server must not die
+                for pending in batch:
+                    pending._fail(error)
+                continue
+            completed = self.clock()
+            for pending, result in zip(batch, results):
+                result = dataclasses.replace(
+                    result,
+                    enqueued_at=pending.enqueued_at,
+                    completed_at=completed,
+                )
+                pending._complete(result)
+                if self._on_complete is not None:
+                    self._on_complete(pending, result)

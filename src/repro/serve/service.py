@@ -1,0 +1,237 @@
+"""The embedded sensor-readout service: queue, batch, answer, log.
+
+:class:`SensorReadService` is the front door of a monitored stack: it
+admits typed :class:`~repro.serve.requests.ReadRequest` objects into a
+bounded queue, coalesces them into micro-batches, evaluates each batch
+in one vectorised pass, and publishes :class:`ReadResult` futures —
+optionally writing one JSON line per served request to an access log
+(via the thread-safe :class:`repro.telemetry.JsonlSink`).
+
+The service is *embedded* (in-process, thread-based): the reproduction
+has no network edge, but every serving concern short of sockets —
+micro-batching, caching, admission control, graceful drain, end-to-end
+latency accounting — is real and measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.sensor import PTSensor
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionStats,
+)
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.engine import ReadEngine
+from repro.serve.requests import ReadRequest, ReadResult, ResultStatus
+from repro.serve.scheduler import BatchPolicy, MicroBatcher, PendingResult
+from repro.telemetry import JsonlSink
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a serving stack needs, in one frozen config.
+
+    Attributes:
+        tiers: Stack height (one sensor per tier).
+        seed: Die-population seed of the served stack.
+        batch: Micro-batching policy.
+        admission: Admission-control policy.
+        cache_capacity: Result-cache entries (0 disables caching).
+        cache_ttl_s: Result-cache entry lifetime, service-clock seconds.
+        temp_resolution_c: Cache-key temperature quantisation.
+        vdd_resolution_v: Cache-key supply quantisation.
+        deterministic: Serve deterministic (mid-phase) conversions — the
+            default, and required for caching; ``False`` serves noisy
+            conversions and bypasses the cache.
+        workers: Worker threads draining the queue.
+    """
+
+    tiers: int = 8
+    seed: int = 2012
+    batch: BatchPolicy = field(default_factory=BatchPolicy)
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    cache_capacity: int = 2048
+    cache_ttl_s: float = 5.0
+    temp_resolution_c: float = 0.25
+    vdd_resolution_v: float = 0.005
+    deterministic: bool = True
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tiers < 1:
+            raise ValueError("tiers must be >= 1")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+def build_stack_sensors(
+    tiers: int = 8, seed: int = 2012
+) -> Dict[int, PTSensor]:
+    """One reference-design sensor per tier of a seeded stack.
+
+    The design-time model and LUT are shared across tiers (they are
+    per-design); each tier gets its own Monte-Carlo die and private
+    noise stream, exactly like :func:`repro.faults.campaign` stacks.
+    """
+    from repro.experiments.common import build_sensor, die_population
+
+    dies = die_population(tiers, seed)
+    return {tier: build_sensor(die, die_id=tier) for tier, die in enumerate(dies)}
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of the service's own accounting."""
+
+    served: int
+    errors: int
+    degraded: int
+    batches: int
+    batch_size_histogram: Dict[int, int]
+    queue_length: int
+    backpressure: float
+    admission: AdmissionStats
+    cache: Optional[CacheStats]
+
+
+class SensorReadService:
+    """The embedded micro-batching readout service over one stack.
+
+    Args:
+        sensors: ``tier -> PTSensor``; ``None`` builds a seeded stack
+            from ``config``.
+        config: Serving configuration.
+        access_log: Path of a JSONL access log (one record per served
+            request), or ``None`` for no log.
+        clock: Monotonic time source (injectable for tests).
+
+    Use as a context manager for guaranteed drain-and-close::
+
+        with SensorReadService(config=ServeConfig(tiers=4)) as service:
+            result = service.read(ReadRequest.point(0, 55.0))
+    """
+
+    def __init__(
+        self,
+        sensors: Optional[Dict[int, PTSensor]] = None,
+        config: ServeConfig = ServeConfig(),
+        access_log: Optional[str] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        if sensors is None:
+            sensors = build_stack_sensors(config.tiers, config.seed)
+        self.admission = AdmissionController(config.admission)
+        self.cache = (
+            ResultCache(
+                capacity=config.cache_capacity,
+                ttl_s=config.cache_ttl_s,
+                temp_resolution_c=config.temp_resolution_c,
+                vdd_resolution_v=config.vdd_resolution_v,
+            )
+            if config.cache_capacity and config.deterministic
+            else None
+        )
+        self.engine = ReadEngine(
+            sensors,
+            cache=self.cache,
+            admission=self.admission,
+            deterministic=config.deterministic,
+        )
+        self._access_sink = JsonlSink(access_log) if access_log else None
+        self._served = 0
+        self._errors = 0
+        self._degraded = 0
+        self._batcher = MicroBatcher(
+            self.engine.execute,
+            policy=config.batch,
+            clock=clock,
+            on_complete=self._log_request,
+            workers=config.workers,
+        )
+
+    # --------------------------------------------------------------- client
+
+    def submit(self, request: ReadRequest) -> PendingResult:
+        """Admit and enqueue one request; returns its future.
+
+        Raises:
+            QueueFullError: Admission rejected the request (bounded
+                queue at capacity) — the hard backpressure edge.
+            ServiceClosedError: The service is draining or closed.
+        """
+        self.admission.admit(len(self._batcher))
+        pending = PendingResult(request, enqueued_at=self.clock())
+        self._batcher.submit(pending)
+        return pending
+
+    def read(
+        self, request: ReadRequest, timeout: Optional[float] = 30.0
+    ) -> ReadResult:
+        """Submit one request and block for its answer."""
+        return self.submit(request).result(timeout)
+
+    def backpressure(self) -> float:
+        """Queue fullness in ``[0, 1]`` — slow down as it approaches 1."""
+        return self.admission.backpressure(len(self._batcher))
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admitting; drain (default) or fail queued requests."""
+        self._batcher.close(drain=drain)
+        if self._access_sink is not None:
+            self._access_sink.flush()
+            self._access_sink.close()
+            self._access_sink = None
+
+    def __enter__(self) -> "SensorReadService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # ----------------------------------------------------------- accounting
+
+    def _log_request(self, pending: PendingResult, result: ReadResult) -> None:
+        self._served += 1
+        if result.status is ResultStatus.ERROR:
+            self._errors += 1
+        elif result.status is ResultStatus.DEGRADED:
+            self._degraded += 1
+        if self._access_sink is not None:
+            self._access_sink.emit_metric(
+                {
+                    "type": "access",
+                    "kind": result.request.kind.value,
+                    "status": result.status.value,
+                    "readings": len(result.readings),
+                    "cache_hits": result.cache_hits,
+                    "batch_size": result.batch_size,
+                    "latency_ms": round(result.latency_s * 1e3, 4),
+                    "enqueued_at": round(result.enqueued_at, 6),
+                }
+            )
+
+    def stats(self) -> ServiceStats:
+        """Snapshot the service's serving counters."""
+        queue_length = len(self._batcher)
+        return ServiceStats(
+            served=self._served,
+            errors=self._errors,
+            degraded=self._degraded,
+            batches=self.engine.batches,
+            batch_size_histogram=self.engine.batch_size_histogram(),
+            queue_length=queue_length,
+            backpressure=self.admission.backpressure(queue_length),
+            admission=self.admission.stats(),
+            cache=self.cache.stats() if self.cache is not None else None,
+        )

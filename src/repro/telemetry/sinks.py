@@ -87,10 +87,14 @@ class JsonlSink(Sink):
         self._lock = threading.Lock()
 
     def _write(self, record: dict) -> None:
-        line = json.dumps(record, sort_keys=True)
+        # Serialise *inside* the lock: a record that is still being
+        # updated by another thread must not be snapshotted concurrently
+        # with a write, and the serialise+write pair must be atomic for
+        # lines to stay whole under concurrent emitters.
         with self._lock:
             if self._handle is None:
                 raise ValueError("JsonlSink is closed")
+            line = json.dumps(record, sort_keys=True)
             self._handle.write(line + "\n")
 
     def emit_span(self, record: dict) -> None:

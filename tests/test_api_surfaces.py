@@ -35,13 +35,20 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "LoadgenConfig",
+    "LoadgenReport",
     "MonitorSnapshot",
     "PTSensor",
+    "PairedReadings",
     "PopulationReadings",
+    "ReadRequest",
+    "ReadResult",
     "ResiliencePolicy",
     "SensorConfig",
     "SensorFrame",
+    "SensorReadService",
     "SensorReading",
+    "ServeConfig",
     "StackMonitor",
     "SuiteResult",
     "Technology",
@@ -52,10 +59,13 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "TsvSensorBus",
     "faults",
     "nominal_65nm",
+    "read_paired",
     "read_population",
     "run_all",
     "run_experiment",
+    "run_loadgen",
     "sample_dies",
+    "serve",
     "telemetry",
 })
 

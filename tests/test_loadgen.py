@@ -1,0 +1,180 @@
+"""Tests of the deterministic load generator (repro.serve.loadgen).
+
+The virtual-time simulation is a discrete-event replay of the real
+micro-batching policy against the real engine — these tests pin its
+determinism (same seed, same report), its accounting (every request is
+answered exactly once), and the behaviours the serving knobs exist for
+(shedding under deadlines, rejection under a full queue, batching under
+load).
+"""
+
+import pytest
+
+from repro.serve import (
+    AdmissionPolicy,
+    BatchPolicy,
+    CostModel,
+    LoadgenConfig,
+    ServeConfig,
+    run_loadgen,
+    run_loadgen_wall,
+)
+from repro.serve.loadgen import _percentile
+
+
+def small_config(**overrides):
+    base = dict(
+        requests=80,
+        rate_rps=200.0,
+        serve=ServeConfig(tiers=4, batch=BatchPolicy(max_batch=16, max_wait_ms=2.0)),
+    )
+    base.update(overrides)
+    return LoadgenConfig(**base)
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        first = run_loadgen(small_config())
+        second = run_loadgen(small_config())
+        assert first.to_json() == second.to_json()
+        assert first.latency_ms == second.latency_ms
+        assert first.batch_histogram == second.batch_histogram
+
+    def test_different_seed_different_arrivals(self):
+        first = run_loadgen(small_config())
+        second = run_loadgen(small_config(seed=99))
+        assert first.to_json() != second.to_json()
+
+
+class TestAccounting:
+    def test_every_request_answered_once(self):
+        report = run_loadgen(small_config())
+        assert report.served == report.requests
+        assert (
+            report.ok + report.degraded + report.shed + report.errors
+            == report.served
+        )
+        assert report.errors == 0
+        assert sum(s * n for s, n in report.batch_histogram.items()) == report.served
+
+    def test_cache_hits_under_setpoint_locality(self):
+        report = run_loadgen(small_config(requests=150))
+        assert report.cache is not None
+        assert report.cache.hits > 0
+        assert report.cache_hit_rate > 0.0
+
+    def test_latency_percentiles_ordered(self):
+        report = run_loadgen(small_config())
+        lat = report.latency_ms
+        assert 0.0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        assert report.throughput_rps > 0.0
+
+    def test_render_and_json_are_consistent(self):
+        import json
+
+        report = run_loadgen(small_config())
+        payload = json.loads(report.to_json())
+        assert payload["served"] == report.served
+        assert f"{report.served}/{report.requests} served" in report.render()
+
+
+class TestServingBehaviours:
+    def test_closed_loop_fills_batches_and_beats_scalar(self):
+        report = run_loadgen(
+            small_config(
+                requests=300,
+                clients=48,
+                think_time_s=0.001,
+                serve=ServeConfig(
+                    tiers=8, batch=BatchPolicy(max_batch=32, max_wait_ms=2.0)
+                ),
+            )
+        )
+        assert report.mode == "virtual-closed"
+        assert report.mean_batch_size > 8.0
+        assert report.speedup_vs_scalar >= 5.0
+
+    def test_tight_deadlines_shed_under_overload(self):
+        # A 2 ms fixed batch cost against 50 us arrival gaps: the queue
+        # grows without bound and 0.5 ms deadlines expire while queued.
+        report = run_loadgen(
+            small_config(
+                requests=120,
+                rate_rps=20_000.0,
+                deadline_ms=0.5,
+                cost=CostModel(batch_overhead_s=2e-3),
+                serve=ServeConfig(
+                    tiers=4, batch=BatchPolicy(max_batch=4, max_wait_ms=0.0)
+                ),
+            )
+        )
+        assert report.shed > 0
+        assert report.shed_rate > 0.0
+        assert report.served == report.requests  # shed answers still answer
+
+    def test_bounded_queue_rejects_under_overload(self):
+        report = run_loadgen(
+            small_config(
+                requests=120,
+                rate_rps=50_000.0,
+                serve=ServeConfig(
+                    tiers=4,
+                    batch=BatchPolicy(max_batch=2, max_wait_ms=0.0),
+                    admission=AdmissionPolicy(queue_depth=4),
+                ),
+            )
+        )
+        assert report.rejected > 0
+        assert report.served + report.rejected == report.requests
+
+    def test_cost_model_scales_speedup(self):
+        # With zero fixed overhead the naive baseline loses its main
+        # handicap; speedup must drop relative to the default model.
+        base = small_config(requests=150, clients=32, think_time_s=0.001)
+        cheap = small_config(
+            requests=150,
+            clients=32,
+            think_time_s=0.001,
+            cost=CostModel(batch_overhead_s=0.0, scalar_overhead_s=0.0),
+        )
+        assert (
+            run_loadgen(cheap).speedup_vs_scalar
+            < run_loadgen(base).speedup_vs_scalar
+        )
+
+
+class TestWallMode:
+    def test_wall_smoke_serves_everything(self):
+        report = run_loadgen_wall(
+            LoadgenConfig(
+                requests=24,
+                clients=6,
+                think_time_s=0.0005,
+                serve=ServeConfig(
+                    tiers=2, batch=BatchPolicy(max_batch=8, max_wait_ms=2.0)
+                ),
+            )
+        )
+        assert report.mode == "wall-closed"
+        assert report.served == 24
+        assert report.errors == 0
+        assert report.duration_s > 0.0
+
+
+class TestPercentile:
+    def test_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 1.0) == 4.0
+        assert _percentile(values, 0.5) == pytest.approx(2.5)
+        assert _percentile([], 0.5) == 0.0
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(requests=0)
+        with pytest.raises(ValueError):
+            LoadgenConfig(rate_rps=0.0)
+        with pytest.raises(ValueError):
+            LoadgenConfig(clients=0)

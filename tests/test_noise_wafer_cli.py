@@ -125,6 +125,40 @@ class TestCli:
         out = capsys.readouterr().out
         assert "### R-F1" in out and "### R-F2" in out
 
+    def test_faultsim_unknown_plan_exits_with_known_names(self, capsys):
+        """An unknown --plan is a friendly exit-2, never a raw KeyError."""
+        assert cli_main(["faultsim", "--plan", "no-such-plan"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown plan(s): no-such-plan" in err
+        assert "known:" in err
+        assert "open-tsv" in err  # the message lists the valid names
+
+    def test_loadgen_fast_smoke(self, capsys):
+        """The CI smoke invocation: zero errors, cache actually hitting."""
+        import json
+
+        assert cli_main(["loadgen", "--requests", "60", "--fast", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["errors"] == 0
+        assert report["cache"]["hits"] > 0
+        assert report["served"] == 60
+
+    def test_loadgen_deterministic_across_invocations(self, capsys):
+        args = ["loadgen", "--requests", "40", "--fast", "--json"]
+        assert cli_main(args) == 0
+        first = capsys.readouterr().out
+        assert cli_main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_serve_writes_access_log(self, tmp_path, capsys):
+        log = tmp_path / "access.jsonl"
+        code = cli_main(
+            ["serve", "--requests", "20", "--fast", "--access-log", str(log)]
+        )
+        assert code == 0
+        assert len(log.read_text().splitlines()) == 20
+
 
 class TestCliReport:
     def test_report_command_writes_files(self, tmp_path, capsys, monkeypatch):

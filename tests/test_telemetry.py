@@ -163,6 +163,40 @@ class TestJsonlRoundTrip:
         rendered = render_summary(summary)
         assert "test.op" in rendered and "test.events" in rendered
 
+    def test_jsonl_sink_is_thread_safe(self, tmp_path):
+        """Concurrent emitters must produce whole, parseable lines.
+
+        The sink serialises *inside* its lock, so records written from
+        many threads can neither interleave mid-line nor be snapshotted
+        while another thread still owns them.
+        """
+        import json
+        import threading
+
+        path = str(tmp_path / "concurrent.jsonl")
+        sink = JsonlSink(path)
+        per_thread, threads = 200, 8
+
+        def emitter(worker):
+            for i in range(per_thread):
+                sink.emit_metric({"worker": worker, "i": i, "type": "metric"})
+
+        workers = [
+            threading.Thread(target=emitter, args=(w,)) for w in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        sink.flush()
+        sink.close()
+        with open(path, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == per_thread * threads
+        for worker in range(threads):
+            seen = sorted(r["i"] for r in records if r["worker"] == worker)
+            assert seen == list(range(per_thread))
+
     def test_malformed_line_raises(self):
         with pytest.raises(TelemetryFileError):
             load_summary(['{"type": "metric"', ""])
