@@ -15,6 +15,10 @@ Usage::
     python -m repro serve --requests 200 --access-log access.jsonl
     python -m repro loadgen --requests 2000 --rate 200   # docs/serving.md
     python -m repro loadgen --requests 200 --fast --json
+    python -m repro loadgen --edge --fast        # shard-scaling sweep (docs/edge.md)
+    python -m repro edge --shards 4              # serve NDJSON+HTTP on a TCP port
+    python -m repro edge --smoke                 # boot, round-trip, drain, exit
+    python -m repro edge-bench --shards 1 4      # wall-clock sharded throughput
 """
 
 from __future__ import annotations
@@ -175,6 +179,8 @@ def _serve(args) -> int:
 def _loadgen(args) -> int:
     from repro.serve import run_loadgen, run_loadgen_wall
 
+    if args.edge:
+        return _loadgen_edge(args)
     config = _loadgen_config(args)
     report = run_loadgen_wall(config) if args.wall else run_loadgen(config)
     if args.json:
@@ -182,6 +188,106 @@ def _loadgen(args) -> int:
     else:
         print(report.render())
     return 0 if report.errors == 0 else 1
+
+
+def _loadgen_edge(args) -> int:
+    from repro.edge.loadgen import EdgeLoadgenConfig, run_loadgen_edge
+    from repro.serve import AdmissionPolicy, BatchPolicy, ServeConfig
+
+    # The edge sweep asks a saturation question, so the single-stack
+    # loadgen defaults (50 req/s, 2000 requests) would show nothing;
+    # substitute edge-scale defaults unless the user overrode them.
+    rate = 500000.0 if args.rate == 50.0 else args.rate
+    if args.requests == 2000:
+        requests = 1500 if args.fast else 4000
+    else:
+        requests = args.requests
+    serve = ServeConfig(
+        tiers=min(args.tiers, 4) if args.fast else args.tiers,
+        batch=BatchPolicy(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms),
+        admission=AdmissionPolicy(queue_depth=args.queue_depth),
+    )
+    config = EdgeLoadgenConfig(
+        requests=requests,
+        seed=args.seed,
+        rate_rps=rate,
+        shard_counts=tuple(args.shard_counts),
+        stacks=args.stacks,
+        root_seed=args.root_seed,
+        serve=serve,
+    )
+    report = run_loadgen_edge(config)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.monotonic else 1
+
+
+def _edge(args) -> int:
+    from repro.edge import EdgeClient, EdgeConfig, EdgeServerThread
+    from repro.serve.requests import ReadRequest
+
+    config = EdgeConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        tiers=args.tiers,
+        root_seed=args.root_seed,
+        window=args.window,
+        start_method=args.start_method,
+    )
+    with EdgeServerThread(config) as edge:
+        print(f"edge: {args.shards} shard(s) on {edge.host}:{edge.port} "
+              f"(NDJSON + HTTP; see docs/edge.md)")
+        if args.smoke:
+            with EdgeClient(edge.host, edge.port) as client:
+                checks = [
+                    ("point", ReadRequest.point(0, 45.0)),
+                    ("vt", ReadRequest.vt(0, 45.0)),
+                    ("scan", ReadRequest.scan(55.0, tiers=(0, min(1, args.tiers - 1)))),
+                    ("poll", ReadRequest.poll({t: 40.0 + t for t in range(args.tiers)})),
+                ]
+                for name, request in checks:
+                    result = client.read(hash(name) % 1024, request)
+                    if not result.ok:
+                        print(f"smoke {name}: FAILED ({result.status.value})",
+                              file=sys.stderr)
+                        return 1
+                    print(f"smoke {name}: ok "
+                          f"(shard {result.shard}, {len(result.readings)} readings)")
+                health = client.ping()["shards"]
+            if not all(s["state"] == "healthy" for s in health):
+                print(f"smoke health: FAILED ({health})", file=sys.stderr)
+                return 1
+            print("smoke health: all shards healthy; draining")
+            return 0
+        try:
+            while True:
+                time.sleep(3600.0)
+        except KeyboardInterrupt:
+            print("\ndraining...")
+    return 0
+
+
+def _edge_bench(args) -> int:
+    from repro.edge.bench import run_edge_bench
+
+    report = run_edge_bench(
+        shard_counts=tuple(args.shards),
+        requests=args.requests,
+        clients=args.clients,
+        tiers=args.tiers,
+        stacks=args.stacks,
+        root_seed=args.root_seed,
+        start_method=args.start_method,
+    )
+    print(report.render())
+    expected = sum(
+        p.requests for p in report.points
+    )  # every request must come back ok at every shard count
+    observed = sum(p.ok for p in report.points)
+    return 0 if observed == expected else 1
 
 
 def _add_serving_arguments(parser, loadgen: bool) -> None:
@@ -241,6 +347,33 @@ def _add_serving_arguments(parser, loadgen: bool) -> None:
         )
         parser.add_argument(
             "--json", action="store_true", help="emit the report as JSON"
+        )
+        parser.add_argument(
+            "--edge",
+            action="store_true",
+            help="sweep aggregate throughput vs shard count for the sharded "
+            "network edge (virtual time; substitutes saturation-scale "
+            "defaults for --rate/--requests unless overridden; docs/edge.md)",
+        )
+        parser.add_argument(
+            "--shard-counts",
+            type=int,
+            nargs="+",
+            default=[1, 2, 4],
+            metavar="N",
+            help="shard counts to sweep with --edge (default: 1 2 4)",
+        )
+        parser.add_argument(
+            "--stacks",
+            type=int,
+            default=64,
+            help="stack-id space routed over the shards with --edge (default 64)",
+        )
+        parser.add_argument(
+            "--root-seed",
+            type=int,
+            default=2012,
+            help="edge deployment root seed with --edge (default 2012)",
         )
     else:
         parser.add_argument(
@@ -373,6 +506,77 @@ def main(argv=None) -> int:
         "(see docs/serving.md)",
     )
     _add_serving_arguments(loadgen_parser, loadgen=True)
+    edge_parser = sub.add_parser(
+        "edge",
+        help="serve the sharded sensor-readout edge over TCP "
+        "(NDJSON + HTTP; see docs/edge.md)",
+    )
+    edge_parser.add_argument(
+        "--host", default="127.0.0.1", help="listen address (default 127.0.0.1)"
+    )
+    edge_parser.add_argument(
+        "--port", type=int, default=0, help="listen port (default 0 = ephemeral)"
+    )
+    edge_parser.add_argument(
+        "--shards", type=int, default=4, help="backend worker processes (default 4)"
+    )
+    edge_parser.add_argument(
+        "--tiers", type=int, default=8, help="stack height per shard (default 8)"
+    )
+    edge_parser.add_argument(
+        "--root-seed", type=int, default=2012, help="deployment root seed"
+    )
+    edge_parser.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="outstanding requests allowed per shard (default 64)",
+    )
+    edge_parser.add_argument(
+        "--start-method",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="worker process start method (default spawn)",
+    )
+    edge_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot, round-trip every request kind once, drain, exit",
+    )
+    edge_bench_parser = sub.add_parser(
+        "edge-bench",
+        help="wall-clock aggregate throughput of a real sharded edge "
+        "(see docs/edge.md)",
+    )
+    edge_bench_parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 4],
+        metavar="N",
+        help="shard counts to measure (default: 1 4)",
+    )
+    edge_bench_parser.add_argument(
+        "--requests", type=int, default=400, help="requests per shard count"
+    )
+    edge_bench_parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent client threads"
+    )
+    edge_bench_parser.add_argument(
+        "--tiers", type=int, default=4, help="stack height per shard (default 4)"
+    )
+    edge_bench_parser.add_argument(
+        "--stacks", type=int, default=64, help="stack-id space (default 64)"
+    )
+    edge_bench_parser.add_argument(
+        "--root-seed", type=int, default=2012, help="deployment root seed"
+    )
+    edge_bench_parser.add_argument(
+        "--start-method",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="worker process start method (default spawn)",
+    )
     bench_parser = sub.add_parser(
         "bench", help="run the performance benchmarks (see repro.benchmark)"
     )
@@ -408,6 +612,10 @@ def main(argv=None) -> int:
         return _serve(args)
     if args.command == "loadgen":
         return _loadgen(args)
+    if args.command == "edge":
+        return _edge(args)
+    if args.command == "edge-bench":
+        return _edge_bench(args)
     if args.command == "telemetry":
         return _telemetry_summary(args.path)
     if args.command == "report":

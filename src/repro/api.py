@@ -46,12 +46,16 @@ serving                ``serve`` (module), ``ReadRequest``, ``ReadResult``,
                        ``SensorReadService``, ``ServeConfig``,
                        ``LoadgenConfig``, ``LoadgenReport``,
                        ``run_loadgen``, ``PairedReadings``, ``read_paired``
+network edge           ``edge`` (module), ``EdgeClient``, ``EdgeConfig``,
+                       ``EdgeError``, ``EdgeResult``, ``EdgeServer``,
+                       ``EdgeServerThread``, ``EdgeLoadgenConfig``,
+                       ``run_loadgen_edge``, ``HashRing``, ``shard_seed``
 =====================  ==============================================
 """
 
 from __future__ import annotations
 
-from repro import faults, serve, telemetry
+from repro import edge, faults, serve, telemetry
 from repro.batch.grid import EnvironmentGrid
 from repro.batch.paired import PairedReadings, read_paired
 from repro.batch.population import PopulationReadings, read_population
@@ -60,6 +64,18 @@ from repro.config import SensorConfig
 from repro.core.sensor import PTSensor, SensorReading
 from repro.core.tracking import TrackingPolicy, TrackingReading, TrackingSensor
 from repro.device.technology import Technology, nominal_65nm
+from repro.edge import (
+    EdgeClient,
+    EdgeConfig,
+    EdgeError,
+    EdgeLoadgenConfig,
+    EdgeResult,
+    EdgeServer,
+    EdgeServerThread,
+    HashRing,
+    run_loadgen_edge,
+    shard_seed,
+)
 from repro.experiments.runner import (
     ExperimentOutcome,
     SuiteResult,
@@ -89,12 +105,20 @@ from repro.variation.montecarlo import DieSample, sample_dies
 __all__ = [
     "BusReport",
     "DieSample",
+    "EdgeClient",
+    "EdgeConfig",
+    "EdgeError",
+    "EdgeLoadgenConfig",
+    "EdgeResult",
+    "EdgeServer",
+    "EdgeServerThread",
     "Environment",
     "EnvironmentGrid",
     "ExperimentOutcome",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "HashRing",
     "LoadgenConfig",
     "LoadgenReport",
     "MonitorSnapshot",
@@ -117,6 +141,7 @@ __all__ = [
     "TrackingReading",
     "TrackingSensor",
     "TsvSensorBus",
+    "edge",
     "faults",
     "nominal_65nm",
     "read_paired",
@@ -124,8 +149,10 @@ __all__ = [
     "run_all",
     "run_experiment",
     "run_loadgen",
+    "run_loadgen_edge",
     "sample_dies",
     "serve",
+    "shard_seed",
     "telemetry",
 ]
 
@@ -269,6 +296,27 @@ __test__ = {
     [('ok', 1, 2), ('ok', 2, 2)]
     >>> abs(results[0].readings[0].temperature_c - 55.0) < 1.5
     True
+    """,
+    "network_edge": """
+    The network edge routes stack ids onto shard workers through a
+    consistent hash ring, and every shard derives its die-population
+    seed from the deployment root seed — stable across processes, hosts
+    and respawns (the basis of the cross-process determinism guarantee).
+
+    >>> from repro.api import HashRing, shard_seed
+    >>> shard_seed(2012, 0) == shard_seed(2012, 0)
+    True
+    >>> len({shard_seed(2012, i) for i in range(4)})
+    4
+    >>> ring = HashRing(range(4))
+    >>> owners = [ring.route(stack) for stack in range(8)]
+    >>> owners == [HashRing(range(4)).route(stack) for stack in range(8)]
+    True
+    >>> from repro.api import EdgeError
+    >>> EdgeError("backpressure", "window full").retryable
+    True
+    >>> EdgeError("invalid", "bad kind").retryable
+    False
     """,
     "experiments": """
     Every reconstructed table/figure is an experiment module;

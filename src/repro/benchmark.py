@@ -222,6 +222,20 @@ def bench_serve_microbatch(requests: int = 300) -> float:
     return _time(lambda: run_loadgen(config), repeats=1)
 
 
+def bench_edge_loadgen(requests: int = 1500) -> float:
+    """The edge shard-scaling loadgen: 1 and 4 virtual shards.
+
+    Partitions one seeded saturating arrival stream across shard counts
+    and replays each shard's micro-batching service in virtual time —
+    real conversions per shard seed, simulated clock, no processes — so
+    the timing reflects the routing + serving compute, not sockets.
+    """
+    from repro.edge import EdgeLoadgenConfig, run_loadgen_edge
+
+    config = EdgeLoadgenConfig(requests=requests, shard_counts=(1, 4))
+    return _time(lambda: run_loadgen_edge(config), repeats=1)
+
+
 BENCHMARKS: Dict[str, Callable[[], float]] = {
     "population_sweep_scalar_50x9": bench_population_sweep_scalar,
     "population_sweep_batch_200x9": bench_population_sweep_batch,
@@ -232,6 +246,7 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "stack_monitor_8tier_poll": bench_stack_monitor_8tier,
     "faultsim_8tier_smoke": bench_faultsim_zero_fault,
     "serve_microbatch_50rps": bench_serve_microbatch,
+    "edge_loadgen_1v4shard": bench_edge_loadgen,
 }
 
 

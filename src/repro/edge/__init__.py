@@ -1,0 +1,73 @@
+"""repro.edge: the network edge of the sharded sensor-readout deployment.
+
+The subsystem that turns the in-process serving stack
+(:mod:`repro.serve`) into a deployable service:
+
+* :mod:`~repro.edge.protocol` — the typed NDJSON wire protocol and its
+  closed error vocabulary;
+* :mod:`~repro.edge.sharding` — per-shard seed derivation and the
+  consistent-hash ring routing stack ids to shards;
+* :mod:`~repro.edge.worker` — the backend worker process, one seeded
+  die stack + embedded :class:`~repro.serve.service.SensorReadService`
+  per shard;
+* :mod:`~repro.edge.supervisor` — the health-checked shard pool
+  (spawn, probe, quarantine, respawn, drain) with per-shard bounded
+  outstanding-request windows;
+* :mod:`~repro.edge.server` — the asyncio TCP front end speaking NDJSON
+  and a minimal HTTP/1.1 adapter on one port;
+* :mod:`~repro.edge.client` — typed sync and asyncio clients with
+  retry/backoff on retryable failures;
+* :mod:`~repro.edge.loadgen` — the virtual-time shard-scaling sweep
+  behind ``python -m repro loadgen --edge``.
+
+See ``docs/edge.md`` for the protocol reference and failure semantics.
+"""
+
+from repro.edge.client import AsyncEdgeClient, EdgeClient, RetryPolicy
+from repro.edge.loadgen import (
+    EdgeLoadgenConfig,
+    EdgeLoadgenReport,
+    ShardScalingPoint,
+    run_loadgen_edge,
+)
+from repro.edge.protocol import (
+    ERROR_CODES,
+    HTTP_STATUS,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    EdgeError,
+    EdgeResult,
+)
+from repro.edge.server import EdgeConfig, EdgeServer, EdgeServerThread, metrics_text
+from repro.edge.sharding import HashRing, ShardSpec, shard_seed
+from repro.edge.supervisor import ShardPool, ShardState
+from repro.edge.worker import WorkerConfig, worker_main
+
+__all__ = [
+    "AsyncEdgeClient",
+    "EdgeClient",
+    "EdgeConfig",
+    "EdgeError",
+    "EdgeLoadgenConfig",
+    "EdgeLoadgenReport",
+    "EdgeResult",
+    "EdgeServer",
+    "EdgeServerThread",
+    "ERROR_CODES",
+    "HashRing",
+    "HTTP_STATUS",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "RetryPolicy",
+    "RETRYABLE_CODES",
+    "ShardPool",
+    "ShardScalingPoint",
+    "ShardSpec",
+    "ShardState",
+    "WorkerConfig",
+    "metrics_text",
+    "run_loadgen_edge",
+    "shard_seed",
+    "worker_main",
+]

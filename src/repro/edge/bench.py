@@ -1,0 +1,146 @@
+"""Wall-clock benchmarking of a real edge deployment.
+
+Where :mod:`repro.edge.loadgen` answers the scaling question in virtual
+time (deterministic, CI-pinnable), :func:`run_edge_bench` measures the
+real thing: spawned shard processes, real sockets, real pickling — the
+end-to-end plumbing cost.  ``python -m repro edge-bench`` is its CLI.
+
+Wall-clock numbers are only as stable as the host; treat them as a
+smoke-with-a-stopwatch, not a regression gate (the gate is the
+virtual-time benchmark in ``benchmarks/bench_edge.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.edge.client import EdgeClient
+from repro.edge.server import EdgeConfig, EdgeServerThread
+from repro.serve.requests import ReadRequest
+
+
+def _request_stream(tiers: int, count: int) -> List[ReadRequest]:
+    """A deterministic mixed-kind request list (no RNG, no clock)."""
+    setpoints = (25.0, 35.0, 45.0, 55.0, 65.0, 75.0)
+    requests: List[ReadRequest] = []
+    for i in range(count):
+        temp = setpoints[i % len(setpoints)]
+        kind = i % 10
+        tier = i % tiers
+        if kind < 7:
+            requests.append(ReadRequest.point(tier, temp))
+        elif kind == 7:
+            requests.append(ReadRequest.vt(tier, temp))
+        elif kind == 8:
+            scan = tuple(range(0, tiers, 2)) or (0,)
+            requests.append(ReadRequest.scan(temp, tiers=scan))
+        else:
+            requests.append(
+                ReadRequest.poll({t: temp + 0.5 * t for t in range(tiers)})
+            )
+    return requests
+
+
+@dataclass(frozen=True)
+class EdgeBenchPoint:
+    """One wall-clock measurement at one shard count."""
+
+    shards: int
+    requests: int
+    ok: int
+    retried: int
+    duration_s: float
+    throughput_rps: float
+    scaling_vs_one: float
+
+
+@dataclass(frozen=True)
+class EdgeBenchReport:
+    """The wall-clock shard sweep of one run."""
+
+    points: Tuple[EdgeBenchPoint, ...]
+
+    def render(self) -> str:
+        lines = [
+            "edge bench (wall clock, real processes):",
+            "  shards  requests     ok  retried  duration   throughput  scaling",
+        ]
+        for p in self.points:
+            lines.append(
+                f"  {p.shards:>6}  {p.requests:>8}  {p.ok:>5}  {p.retried:>7}  "
+                f"{p.duration_s:>7.2f}s  {p.throughput_rps:>8.0f}/s  "
+                f"{p.scaling_vs_one:>6.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def run_edge_bench(
+    shard_counts: Sequence[int] = (1, 4),
+    requests: int = 400,
+    clients: int = 8,
+    tiers: int = 4,
+    stacks: int = 64,
+    root_seed: int = 2012,
+    start_method: str = "spawn",
+) -> EdgeBenchReport:
+    """Measure aggregate wall-clock throughput at each shard count.
+
+    ``clients`` threads, each with its own connection, split ``requests``
+    requests round-robin over ``stacks`` stack ids.
+    """
+    stream = _request_stream(tiers, requests)
+    points: List[EdgeBenchPoint] = []
+    base: float = 0.0
+    for shards in shard_counts:
+        config = EdgeConfig(
+            shards=shards,
+            port=0,
+            tiers=tiers,
+            root_seed=root_seed,
+            start_method=start_method,
+        )
+        counters: Dict[str, int] = {"ok": 0, "retried": 0}
+        counter_lock = threading.Lock()
+        with EdgeServerThread(config) as edge:
+
+            def worker(offset: int) -> None:
+                ok = retried = 0
+                with EdgeClient(edge.host, edge.port) as client:
+                    for i in range(offset, len(stream), clients):
+                        result = client.read(i % stacks, stream[i])
+                        if result.ok:
+                            ok += 1
+                        if result.attempts > 1:
+                            retried += 1
+                with counter_lock:
+                    counters["ok"] += ok
+                    counters["retried"] += retried
+
+            threads = [
+                threading.Thread(target=worker, args=(offset,), daemon=True)
+                for offset in range(clients)
+            ]
+            started = time.monotonic()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            duration = time.monotonic() - started
+        throughput = requests / duration if duration > 0.0 else 0.0
+        if not points:
+            base = throughput
+        points.append(
+            EdgeBenchPoint(
+                shards=shards,
+                requests=requests,
+                ok=counters["ok"],
+                retried=counters["retried"],
+                duration_s=duration,
+                throughput_rps=throughput,
+                scaling_vs_one=throughput / base if base > 0.0 else 0.0,
+            )
+        )
+    return EdgeBenchReport(points=tuple(points))

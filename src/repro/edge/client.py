@@ -1,0 +1,312 @@
+"""Typed clients for the edge protocol: sync sockets and asyncio.
+
+:class:`EdgeClient` is the blocking client — one socket, one outstanding
+operation at a time, the natural fit for scripts, tests and per-thread
+benchmark workers.  :class:`AsyncEdgeClient` multiplexes: any number of
+coroutines may await reads on one connection; a background reader task
+matches pipelined answers to callers by ``id``.
+
+Both retry **retryable** failures (``backpressure``, ``shard_down``)
+with capped exponential backoff and raise
+:class:`~repro.edge.protocol.EdgeError` once attempts are exhausted or
+immediately for non-retryable codes.  A successful retry is visible in
+:attr:`EdgeResult.attempts`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.edge import protocol
+from repro.edge.protocol import EdgeError, EdgeResult
+from repro.serve.requests import ReadRequest
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff-and-resend behaviour for retryable edge errors.
+
+    ``attempts`` counts total tries (1 = never retry).  Waits grow as
+    ``backoff_s * 2**n`` capped at ``max_backoff_s``.
+    """
+
+    attempts: int = 4
+    backoff_s: float = 0.05
+    max_backoff_s: float = 1.0
+
+    def wait_s(self, attempt: int) -> float:
+        return min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+
+
+class EdgeClient:
+    """Blocking NDJSON client for one edge server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        retry: RetryPolicy = RetryPolicy(),
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retry = retry
+        self._ids = itertools.count(1)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # ---------------------------------------------------------------- wiring
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        self._file = self._sock.makefile("rb")
+
+    def _ensure(self) -> None:
+        if self._sock is None:
+            self._connect()
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "EdgeClient":
+        self._ensure()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _exchange(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one operation, return its answer; reconnect on a dead socket."""
+        request_id = payload["id"]
+        try:
+            self._ensure()
+            self._sock.sendall(protocol.encode(payload))
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise EdgeError(
+                        protocol.SHARD_DOWN, "connection closed by server"
+                    )
+                answer = protocol.decode_line(line)
+                if answer.get("id") == request_id:
+                    return answer
+                # An unsolicited line (e.g. an id-less oversized warning
+                # meant for a different writer) — not ours, keep reading.
+        except (OSError, EdgeError):
+            self.close()
+            raise
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------- ops
+
+    def read(
+        self,
+        stack_id: int,
+        request: ReadRequest,
+        deadline_ms: Optional[float] = None,
+    ) -> EdgeResult:
+        """Serve one :class:`ReadRequest` against ``stack_id``'s shard.
+
+        Retries retryable failures per the client's :class:`RetryPolicy`;
+        raises :class:`EdgeError` when they are exhausted (or at once for
+        non-retryable codes).
+        """
+        wire = protocol.request_to_wire(request, deadline_ms=deadline_ms)
+        last_error: Optional[EdgeError] = None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                time.sleep(self.retry.wait_s(attempt - 1))
+            payload = {
+                "v": protocol.PROTOCOL_VERSION,
+                "id": f"c{next(self._ids)}",
+                "op": "read",
+                "stack": stack_id,
+                "request": wire,
+            }
+            try:
+                answer = self._exchange(payload)
+            except EdgeError as error:
+                last_error = error
+                if not error.retryable:
+                    raise
+                continue
+            except OSError as error:
+                last_error = EdgeError(
+                    protocol.SHARD_DOWN, f"connection failed: {error}"
+                )
+                continue
+            if answer.get("ok"):
+                return protocol.wire_to_edge_result(answer, attempts=attempt + 1)
+            error = EdgeError.from_wire(answer.get("error", {}))
+            if not error.retryable:
+                raise error
+            last_error = error
+        raise last_error if last_error is not None else EdgeError(
+            protocol.INTERNAL, "retries exhausted without an error"
+        )
+
+    def ping(self) -> Dict[str, Any]:
+        answer = self._exchange({"id": f"c{next(self._ids)}", "op": "ping"})
+        if not answer.get("ok"):
+            raise EdgeError.from_wire(answer.get("error", {}))
+        return answer
+
+    def stats(self) -> Dict[str, Any]:
+        answer = self._exchange({"id": f"c{next(self._ids)}", "op": "stats"})
+        if not answer.get("ok"):
+            raise EdgeError.from_wire(answer.get("error", {}))
+        return answer
+
+    def raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One arbitrary operation, no retries — protocol tests and chaos."""
+        payload = dict(payload)
+        payload.setdefault("id", f"c{next(self._ids)}")
+        return self._exchange(payload)
+
+
+class AsyncEdgeClient:
+    """Asyncio NDJSON client; pipelines any number of concurrent reads."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retry: RetryPolicy = RetryPolicy(),
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retry = retry
+        self._ids = itertools.count(1)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._reader_task: Optional["asyncio.Task"] = None
+        self._write_lock: Optional[asyncio.Lock] = None
+
+    async def connect(self) -> "AsyncEdgeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+        self._fail_pending(EdgeError(protocol.CLOSED, "client closed"))
+
+    async def __aenter__(self) -> "AsyncEdgeClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    def _fail_pending(self, error: EdgeError) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                answer = protocol.decode_line(line)
+                future = self._pending.pop(answer.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(answer)
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - connection-level failure
+            pass
+        finally:
+            self._fail_pending(
+                EdgeError(protocol.SHARD_DOWN, "connection closed by server")
+            )
+
+    async def _exchange(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self._writer is None:
+            await self.connect()
+        future = asyncio.get_running_loop().create_future()
+        self._pending[payload["id"]] = future
+        async with self._write_lock:
+            self._writer.write(protocol.encode(payload))
+            await self._writer.drain()
+        return await future
+
+    async def read(
+        self,
+        stack_id: int,
+        request: ReadRequest,
+        deadline_ms: Optional[float] = None,
+    ) -> EdgeResult:
+        wire = protocol.request_to_wire(request, deadline_ms=deadline_ms)
+        last_error: Optional[EdgeError] = None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                await asyncio.sleep(self.retry.wait_s(attempt - 1))
+            payload = {
+                "v": protocol.PROTOCOL_VERSION,
+                "id": f"a{next(self._ids)}",
+                "op": "read",
+                "stack": stack_id,
+                "request": wire,
+            }
+            try:
+                answer = await self._exchange(payload)
+            except EdgeError as error:
+                last_error = error
+                if not error.retryable:
+                    raise
+                continue
+            if answer.get("ok"):
+                return protocol.wire_to_edge_result(answer, attempts=attempt + 1)
+            error = EdgeError.from_wire(answer.get("error", {}))
+            if not error.retryable:
+                raise error
+            last_error = error
+        raise last_error if last_error is not None else EdgeError(
+            protocol.INTERNAL, "retries exhausted without an error"
+        )
+
+    async def ping(self) -> Dict[str, Any]:
+        answer = await self._exchange({"id": f"a{next(self._ids)}", "op": "ping"})
+        if not answer.get("ok"):
+            raise EdgeError.from_wire(answer.get("error", {}))
+        return answer

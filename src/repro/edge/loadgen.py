@@ -1,0 +1,399 @@
+"""Virtual-time load generation for the sharded edge: throughput vs shards.
+
+``python -m repro loadgen --edge`` answers one question reproducibly:
+*how does aggregate readout throughput scale as the shard pool grows?*
+
+The simulation reuses the serving stack's virtual-time machinery
+(:mod:`repro.serve.loadgen`): one seeded arrival stream of
+``(arrival time, stack id, request)`` is generated **once**, then for
+each shard count ``N`` it is partitioned by the same
+:class:`~repro.edge.sharding.HashRing` the real edge uses, and each
+shard's slice is served by a real :class:`~repro.serve.engine.ReadEngine`
+over that shard's seeded die stack with the exact micro-batching policy,
+clock advanced analytically.  Identical stream across shard counts means
+the scaling curve measures *sharding*, nothing else; identical seeds
+with the real edge means the simulated shards serve the same stacks the
+deployed workers do.
+
+Aggregate throughput at ``N`` shards is total served requests divided by
+the makespan (first arrival to last completion across all shards).  The
+report pins the scaling factors and whether the curve is monotonic —
+which CI and ``bench --check`` assert on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.edge.sharding import HashRing, shard_seed
+from repro.serve.cache import ResultCache
+from repro.serve.engine import ReadEngine
+from repro.serve.loadgen import (
+    CostModel,
+    LoadgenConfig,
+    RequestMix,
+    _percentile,
+    batch_service_time,
+)
+from repro.serve.requests import ReadRequest, ReadResult, ResultStatus
+from repro.serve.service import ServeConfig, build_stack_sensors
+
+
+@dataclass(frozen=True)
+class EdgeLoadgenConfig:
+    """One edge-scaling run, fully specified (and fully seeded).
+
+    Attributes:
+        requests: Arrival-stream length (shared by every shard count).
+        seed: Seed of the arrival/mix/stack-id stream.
+        rate_rps: Open-loop Poisson arrival rate.  The default
+            deliberately exceeds one shard's service capacity — the
+            scaling question is only meaningful under saturation.
+        shard_counts: The pool sizes to sweep, ascending.
+        stacks: Size of the stack-id space clients address (routing
+            keys; hashed onto shards by the ring).
+        root_seed: Deployment root seed; shard ``i`` serves the stack
+            seeded with :func:`~repro.edge.sharding.shard_seed`.
+        serve: Per-shard serving policies (tiers, batch, admission,
+            cache).  ``serve.seed`` is ignored — shards derive their own.
+        cost: Virtual-time service-cost model.
+        edge_overhead_s: Edge-side routing/framing cost per request,
+            added to each request's latency (not to shard occupancy —
+            the edge front end is not the bottleneck being modelled).
+        ring_replicas: Virtual nodes per shard on the routing ring.
+    """
+
+    requests: int = 4000
+    seed: int = 20120612
+    rate_rps: float = 500000.0
+    shard_counts: Tuple[int, ...] = (1, 2, 4)
+    stacks: int = 64
+    root_seed: int = 2012
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    cost: CostModel = field(default_factory=CostModel)
+    edge_overhead_s: float = 20e-6
+    ring_replicas: int = 64
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.rate_rps <= 0.0:
+            raise ValueError("rate_rps must be positive")
+        if not self.shard_counts:
+            raise ValueError("need at least one shard count")
+        if any(n < 1 for n in self.shard_counts):
+            raise ValueError("shard counts must be >= 1")
+        if tuple(sorted(self.shard_counts)) != tuple(self.shard_counts):
+            raise ValueError("shard_counts must be ascending")
+        if self.stacks < 1:
+            raise ValueError("stacks must be >= 1")
+
+
+@dataclass(frozen=True)
+class ShardScalingPoint:
+    """What the sweep measured at one shard count."""
+
+    shards: int
+    served: int
+    rejected: int
+    shed: int
+    errors: int
+    throughput_rps: float
+    makespan_s: float
+    latency_ms: Dict[str, float]
+    mean_batch_size: float
+    cache_hit_rate: float
+    per_shard_served: Tuple[int, ...]
+    scaling_vs_one: float
+
+
+@dataclass(frozen=True)
+class EdgeLoadgenReport:
+    """The shard-scaling curve of one seeded arrival stream."""
+
+    requests: int
+    rate_rps: float
+    stacks: int
+    seed: int
+    root_seed: int
+    points: Tuple[ShardScalingPoint, ...]
+    monotonic: bool
+
+    @property
+    def scaling(self) -> Dict[int, float]:
+        return {point.shards: point.scaling_vs_one for point in self.points}
+
+    def point(self, shards: int) -> ShardScalingPoint:
+        for candidate in self.points:
+            if candidate.shards == shards:
+                return candidate
+        raise KeyError(f"no scaling point for {shards} shards")
+
+    def to_json(self) -> str:
+        payload = {
+            "requests": self.requests,
+            "rate_rps": self.rate_rps,
+            "stacks": self.stacks,
+            "seed": self.seed,
+            "root_seed": self.root_seed,
+            "monotonic": self.monotonic,
+            "points": [
+                {
+                    "shards": p.shards,
+                    "served": p.served,
+                    "rejected": p.rejected,
+                    "shed": p.shed,
+                    "errors": p.errors,
+                    "throughput_rps": p.throughput_rps,
+                    "makespan_s": p.makespan_s,
+                    "latency_ms": p.latency_ms,
+                    "mean_batch_size": p.mean_batch_size,
+                    "cache_hit_rate": p.cache_hit_rate,
+                    "per_shard_served": list(p.per_shard_served),
+                    "scaling_vs_one": p.scaling_vs_one,
+                }
+                for p in self.points
+            ],
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [
+            f"edge loadgen: {self.requests} requests @ {self.rate_rps:.0f} req/s "
+            f"over {self.stacks} stacks (seed {self.seed}, root seed {self.root_seed})",
+            "  shards  served  rejected  throughput   p50 ms   p95 ms  "
+            "batch  cache%  scaling",
+        ]
+        for p in self.points:
+            lines.append(
+                f"  {p.shards:>6}  {p.served:>6}  {p.rejected:>8}  "
+                f"{p.throughput_rps:>8.0f}/s  {p.latency_ms['p50']:>7.3f}  "
+                f"{p.latency_ms['p95']:>7.3f}  {p.mean_batch_size:>5.2f}  "
+                f"{p.cache_hit_rate * 100:>5.1f}  {p.scaling_vs_one:>6.2f}x"
+            )
+        lines.append(
+            "  scaling is monotonic"
+            if self.monotonic
+            else "  WARNING: scaling is NOT monotonic"
+        )
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------ the simulation
+
+
+def _generate_stream(
+    config: EdgeLoadgenConfig,
+) -> List[Tuple[float, int, int, ReadRequest]]:
+    """The seeded arrival stream: (arrival, sequence, stack id, request).
+
+    Generated once and shared by every shard count, so the scaling sweep
+    compares pools on identical traffic.
+    """
+    serve = config.serve
+    tiers = tuple(range(serve.tiers))
+    mix = RequestMix(
+        LoadgenConfig(
+            requests=config.requests,
+            seed=config.seed,
+            rate_rps=config.rate_rps,
+            serve=serve,
+            cost=config.cost,
+        ),
+        tiers,
+    )
+    arrival_rng = np.random.default_rng(config.seed + 1)
+    stack_rng = np.random.default_rng(config.seed + 2)
+    stream = []
+    t = 0.0
+    for sequence in range(config.requests):
+        t += float(arrival_rng.exponential(1.0 / config.rate_rps))
+        stack_id = int(stack_rng.integers(config.stacks))
+        stream.append((t, sequence, stack_id, mix.next(t)))
+    return stream
+
+
+@dataclass
+class _ShardOutcome:
+    served: List[ReadResult] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+    batch_histogram: TallyCounter = field(default_factory=TallyCounter)
+    rejected: int = 0
+    cache_hits: int = 0
+    cache_lookups: int = 0
+    first_arrival: Optional[float] = None
+    last_finish: float = 0.0
+
+
+def _simulate_shard(
+    arrivals: Sequence[Tuple[float, int, ReadRequest]],
+    shard_index: int,
+    config: EdgeLoadgenConfig,
+) -> _ShardOutcome:
+    """Serve one shard's arrival slice with the real engine, virtual clock.
+
+    Same fill-or-timeout batching semantics as
+    :func:`repro.serve.loadgen.run_loadgen`, over this shard's own seeded
+    die stack.
+    """
+    serve = config.serve
+    sensors = build_stack_sensors(serve.tiers, shard_seed(config.root_seed, shard_index))
+    cache = (
+        ResultCache(
+            capacity=serve.cache_capacity,
+            ttl_s=serve.cache_ttl_s,
+            temp_resolution_c=serve.temp_resolution_c,
+            vdd_resolution_v=serve.vdd_resolution_v,
+        )
+        if serve.cache_capacity and serve.deterministic
+        else None
+    )
+    engine = ReadEngine(sensors, cache=cache, deterministic=serve.deterministic)
+    policy = serve.batch
+    depth = serve.admission.queue_depth
+    outcome = _ShardOutcome()
+
+    events: List[Tuple[float, int, ReadRequest]] = list(arrivals)
+    heapq.heapify(events)
+    queue: List[Tuple[float, ReadRequest]] = []
+    free_at = 0.0
+
+    def ingest(until: float) -> None:
+        while events and events[0][0] <= until:
+            when, _, request = heapq.heappop(events)
+            if len(queue) >= depth:
+                outcome.rejected += 1
+                continue
+            queue.append((when, request))
+
+    while events or queue:
+        if not queue:
+            ingest(events[0][0])
+            if not queue:
+                continue
+        head_at = queue[0][0]
+        ready = max(free_at, head_at)
+        if outcome.first_arrival is None:
+            outcome.first_arrival = head_at
+        close = max(ready, head_at + policy.max_wait_s)
+        ingest(ready)
+        if len(queue) >= policy.max_batch:
+            close = ready
+        while len(queue) < policy.max_batch and events and events[0][0] <= close:
+            when, _, request = heapq.heappop(events)
+            if len(queue) >= depth:
+                outcome.rejected += 1
+                continue
+            queue.append((when, request))
+            if len(queue) >= policy.max_batch:
+                close = max(ready, when)
+        start = close
+        take = min(policy.max_batch, len(queue))
+        batch = queue[:take]
+        del queue[:take]
+        results = engine.execute([request for _, request in batch], now=start)
+        service = batch_service_time(results, config.cost)
+        finish = start + service
+        free_at = finish
+        outcome.last_finish = max(outcome.last_finish, finish)
+        outcome.batch_histogram[take] += 1
+        for (arrived, _), result in zip(batch, results):
+            outcome.served.append(result)
+            if result.status in (ResultStatus.OK, ResultStatus.DEGRADED):
+                outcome.latencies.append(
+                    finish - arrived + config.edge_overhead_s
+                )
+    if cache is not None:
+        stats = cache.stats()
+        outcome.cache_hits = stats.hits
+        outcome.cache_lookups = stats.hits + stats.misses
+    return outcome
+
+
+def run_loadgen_edge(config: EdgeLoadgenConfig = EdgeLoadgenConfig()) -> EdgeLoadgenReport:
+    """Sweep the shard counts over one shared arrival stream."""
+    stream = _generate_stream(config)
+    points: List[ShardScalingPoint] = []
+    base_throughput: Optional[float] = None
+    for shards in config.shard_counts:
+        ring = HashRing(range(shards), replicas=config.ring_replicas)
+        slices: Dict[int, List[Tuple[float, int, ReadRequest]]] = {
+            shard: [] for shard in range(shards)
+        }
+        for arrival, sequence, stack_id, request in stream:
+            slices[ring.route(stack_id)].append((arrival, sequence, request))
+        outcomes = [
+            _simulate_shard(slices[shard], shard, config) for shard in range(shards)
+        ]
+        served = [r for o in outcomes for r in o.served]
+        latencies = sorted(x for o in outcomes for x in o.latencies)
+        first = min(
+            (o.first_arrival for o in outcomes if o.first_arrival is not None),
+            default=0.0,
+        )
+        last = max((o.last_finish for o in outcomes), default=0.0)
+        makespan = max(last - first, 0.0)
+        throughput = len(served) / makespan if makespan > 0.0 else 0.0
+        if base_throughput is None:
+            base_throughput = throughput
+        histogram: TallyCounter = TallyCounter()
+        for o in outcomes:
+            histogram.update(o.batch_histogram)
+        total_batched = sum(size * n for size, n in histogram.items())
+        total_batches = sum(histogram.values())
+        hits = sum(o.cache_hits for o in outcomes)
+        lookups = sum(o.cache_lookups for o in outcomes)
+        statuses = TallyCounter(result.status for result in served)
+        points.append(
+            ShardScalingPoint(
+                shards=shards,
+                served=len(served),
+                rejected=sum(o.rejected for o in outcomes),
+                shed=statuses[ResultStatus.SHED],
+                errors=statuses[ResultStatus.ERROR],
+                throughput_rps=throughput,
+                makespan_s=makespan,
+                latency_ms={
+                    "p50": _percentile(latencies, 0.50) * 1e3,
+                    "p95": _percentile(latencies, 0.95) * 1e3,
+                    "p99": _percentile(latencies, 0.99) * 1e3,
+                    "mean": (sum(latencies) / len(latencies) * 1e3)
+                    if latencies
+                    else 0.0,
+                    "max": latencies[-1] * 1e3 if latencies else 0.0,
+                },
+                mean_batch_size=total_batched / total_batches if total_batches else 0.0,
+                cache_hit_rate=hits / lookups if lookups else 0.0,
+                per_shard_served=tuple(len(o.served) for o in outcomes),
+                scaling_vs_one=throughput / base_throughput
+                if base_throughput and base_throughput > 0.0
+                else 0.0,
+            )
+        )
+    monotonic = all(
+        later.throughput_rps >= earlier.throughput_rps
+        for earlier, later in zip(points, points[1:])
+    )
+    return EdgeLoadgenReport(
+        requests=config.requests,
+        rate_rps=config.rate_rps,
+        stacks=config.stacks,
+        seed=config.seed,
+        root_seed=config.root_seed,
+        points=tuple(points),
+        monotonic=monotonic,
+    )
+
+
+__all__ = [
+    "EdgeLoadgenConfig",
+    "EdgeLoadgenReport",
+    "ShardScalingPoint",
+    "run_loadgen_edge",
+]

@@ -1,0 +1,346 @@
+"""The edge wire protocol: newline-delimited JSON, typed both ways.
+
+One connection carries a stream of JSON objects, one per line (NDJSON).
+Every client line is an *operation* (``op``) tagged with a caller-chosen
+``id``; every server line is the answer to exactly one operation,
+echoing that ``id`` — so clients may pipeline freely and match answers
+out of order.
+
+Operations::
+
+    {"v": 1, "id": "r1", "op": "read", "stack": 7, "request": {...}}
+    {"id": "p1", "op": "ping"}
+    {"id": "s1", "id": "s1", "op": "stats"}
+
+``read`` carries one :class:`~repro.serve.requests.ReadRequest` in wire
+form (see :func:`request_to_wire`); ``stack`` is the client-visible
+stack id the router hashes onto a shard.  Deadlines travel as *relative*
+``deadline_ms`` and are re-anchored against the shard worker's clock at
+decode time (the two processes share no clock).
+
+Answers::
+
+    {"id": "r1", "ok": true, "shard": 2, "result": {...}}
+    {"id": "r1", "ok": false, "error":
+        {"code": "backpressure", "message": "...", "retryable": true}}
+
+Failures are *typed*: :data:`ERROR_CODES` is the closed vocabulary, and
+``retryable`` tells a client whether backing off and resending is sound
+(shard window full, shard being respawned) or pointless (malformed
+request).  The same payloads ride the HTTP adapter with the status codes
+in :data:`HTTP_STATUS`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.serve.requests import (
+    ReadRequest,
+    ReadResult,
+    RequestKind,
+    ResultStatus,
+    TierReading,
+)
+
+PROTOCOL_VERSION = 1
+
+#: Hard bound on one NDJSON line (either direction).  A full-stack poll of
+#: a tall stack is ~2 KiB; anything near this bound is abuse, not traffic.
+MAX_LINE_BYTES = 256 * 1024
+
+# ------------------------------------------------------------- error codes
+
+MALFORMED = "malformed"  # line is not a JSON object
+INVALID = "invalid"  # JSON is fine, the request inside is not
+UNKNOWN_OP = "unknown_op"  # op outside the protocol vocabulary
+OVERSIZED = "oversized"  # line exceeded MAX_LINE_BYTES
+BACKPRESSURE = "backpressure"  # shard window / queue full — back off, retry
+SHARD_DOWN = "shard_down"  # owning shard died mid-flight or is quarantined
+CLOSED = "closed"  # server is draining; no new work
+INTERNAL = "internal"  # engine exception; the request itself may be fine
+
+ERROR_CODES = frozenset(
+    {
+        MALFORMED,
+        INVALID,
+        UNKNOWN_OP,
+        OVERSIZED,
+        BACKPRESSURE,
+        SHARD_DOWN,
+        CLOSED,
+        INTERNAL,
+    }
+)
+
+#: Codes a client may answer with backoff-and-resend.
+RETRYABLE_CODES = frozenset({BACKPRESSURE, SHARD_DOWN})
+
+#: HTTP status the adapter maps each code onto.
+HTTP_STATUS: Dict[str, int] = {
+    MALFORMED: 400,
+    INVALID: 400,
+    UNKNOWN_OP: 404,
+    OVERSIZED: 413,
+    BACKPRESSURE: 503,
+    SHARD_DOWN: 503,
+    CLOSED: 503,
+    INTERNAL: 500,
+}
+
+
+class EdgeError(RuntimeError):
+    """One typed edge failure, as an exception.
+
+    Raised by :class:`repro.edge.client.EdgeClient` when the server
+    answers with an error payload (after retries, for retryable codes)
+    and used server-side to funnel routing/window failures into wire
+    errors.
+    """
+
+    def __init__(self, code: str, message: str, retryable: Optional[bool] = None):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown edge error code {code!r}")
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retryable = code in RETRYABLE_CODES if retryable is None else retryable
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "EdgeError":
+        code = payload.get("code", INTERNAL)
+        if code not in ERROR_CODES:
+            code = INTERNAL
+        return cls(
+            code,
+            str(payload.get("message", "")),
+            retryable=bool(payload.get("retryable", code in RETRYABLE_CODES)),
+        )
+
+
+# ----------------------------------------------------------------- framing
+
+
+def encode(payload: Mapping[str, Any]) -> bytes:
+    """One wire line: compact JSON plus the newline terminator."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a JSON object.
+
+    Raises:
+        EdgeError: ``malformed`` when the line is not a JSON object.
+    """
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise EdgeError(MALFORMED, f"line is not JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise EdgeError(MALFORMED, "line is not a JSON object")
+    return payload
+
+
+def error_payload(
+    request_id: Optional[str], error: EdgeError, shard: Optional[int] = None
+) -> Dict[str, Any]:
+    """The failure answer to one operation."""
+    payload: Dict[str, Any] = {"id": request_id, "ok": False, "error": error.to_wire()}
+    if shard is not None:
+        payload["shard"] = shard
+    return payload
+
+
+def result_payload(
+    request_id: Optional[str], result_wire: Mapping[str, Any], shard: int
+) -> Dict[str, Any]:
+    """The success answer to one ``read`` operation."""
+    return {"id": request_id, "ok": True, "shard": shard, "result": dict(result_wire)}
+
+
+# ------------------------------------------------------- request round-trip
+
+_KINDS = {kind.value: kind for kind in RequestKind}
+
+
+def request_to_wire(
+    request: ReadRequest, deadline_ms: Optional[float] = None
+) -> Dict[str, Any]:
+    """The wire form of one :class:`ReadRequest`.
+
+    ``request.deadline_s`` is service-clock-relative and meaningless to a
+    remote peer, so it never crosses the wire; pass a *relative*
+    ``deadline_ms`` instead and the shard worker re-anchors it against
+    its own clock on decode.
+    """
+    payload: Dict[str, Any] = {"kind": request.kind.value, "temp_c": request.temp_c}
+    if request.tier is not None:
+        payload["tier"] = request.tier
+    if request.tiers is not None:
+        payload["tiers"] = list(request.tiers)
+    if request.temps_c is not None:
+        payload["temps_c"] = {str(t): c for t, c in request.temps_c.items()}
+    if request.vdd is not None:
+        payload["vdd"] = request.vdd
+    if request.assume_vdd is not None:
+        payload["assume_vdd"] = request.assume_vdd
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return payload
+
+
+def wire_to_request(payload: Mapping[str, Any], now: float) -> ReadRequest:
+    """Decode one wire request against the local clock ``now``.
+
+    Raises:
+        EdgeError: ``invalid`` on an unknown kind, missing or ill-typed
+            fields — with a message naming the offence.
+    """
+    if not isinstance(payload, Mapping):
+        raise EdgeError(INVALID, "request must be a JSON object")
+    kind_name = payload.get("kind")
+    kind = _KINDS.get(kind_name)
+    if kind is None:
+        raise EdgeError(
+            INVALID,
+            f"unknown request kind {kind_name!r}; known: {sorted(_KINDS)}",
+        )
+    deadline_ms = payload.get("deadline_ms")
+    deadline_s = None
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms < 0:
+            raise EdgeError(INVALID, "deadline_ms must be a non-negative number")
+        deadline_s = now + float(deadline_ms) / 1e3
+    temps_c = payload.get("temps_c")
+    if temps_c is not None:
+        if not isinstance(temps_c, Mapping):
+            raise EdgeError(INVALID, "temps_c must map tier -> Celsius")
+        try:
+            temps_c = {int(t): float(c) for t, c in temps_c.items()}
+        except (TypeError, ValueError) as error:
+            raise EdgeError(INVALID, f"temps_c entries must be numeric: {error}")
+    tiers = payload.get("tiers")
+    if tiers is not None:
+        if not isinstance(tiers, (list, tuple)):
+            raise EdgeError(INVALID, "tiers must be a list of tier indices")
+        try:
+            tiers = tuple(int(t) for t in tiers)
+        except (TypeError, ValueError) as error:
+            raise EdgeError(INVALID, f"tiers entries must be integers: {error}")
+    try:
+        return ReadRequest(
+            kind=kind,
+            temp_c=float(payload.get("temp_c", 25.0)),
+            tier=None if payload.get("tier") is None else int(payload["tier"]),
+            tiers=tiers,
+            temps_c=temps_c,
+            vdd=None if payload.get("vdd") is None else float(payload["vdd"]),
+            assume_vdd=(
+                None
+                if payload.get("assume_vdd") is None
+                else float(payload["assume_vdd"])
+            ),
+            deadline_s=deadline_s,
+        )
+    except (TypeError, ValueError) as error:
+        raise EdgeError(INVALID, str(error)) from error
+
+
+# -------------------------------------------------------- result round-trip
+
+
+def result_to_wire(result: ReadResult) -> Dict[str, Any]:
+    """The wire form of one served :class:`ReadResult`."""
+    return {
+        "status": result.status.value,
+        "batch_size": result.batch_size,
+        "cache_hits": result.cache_hits,
+        "error": result.error,
+        "latency_ms": result.latency_s * 1e3,
+        "readings": [
+            {
+                "tier": r.tier,
+                "temperature_c": r.temperature_c,
+                "dvtn": r.dvtn,
+                "dvtp": r.dvtp,
+                "converged": r.converged,
+                "quality": r.quality,
+                "cache_hit": r.cache_hit,
+                "conversion_time": r.conversion_time,
+                "energy_j": r.energy_j,
+            }
+            for r in result.readings
+        ],
+    }
+
+
+@dataclass(frozen=True)
+class EdgeResult:
+    """A served answer, as the typed client returns it.
+
+    Field-for-field the remote :class:`~repro.serve.requests.ReadResult`
+    (readings are real :class:`TierReading` instances; JSON's
+    shortest-round-trip floats make the values bit-identical to the
+    shard's), plus the answering shard and the client-side attempt count.
+    """
+
+    id: str
+    shard: int
+    status: ResultStatus
+    readings: Tuple[TierReading, ...]
+    batch_size: int
+    cache_hits: int
+    error: Optional[str]
+    latency_ms: float
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (ResultStatus.OK, ResultStatus.DEGRADED)
+
+    def reading_for(self, tier: int) -> TierReading:
+        for reading in self.readings:
+            if reading.tier == tier:
+                return reading
+        raise KeyError(f"no reading for tier {tier}")
+
+
+def wire_to_edge_result(
+    payload: Mapping[str, Any], attempts: int = 1
+) -> EdgeResult:
+    """Decode one success answer into an :class:`EdgeResult`."""
+    result = payload.get("result") or {}
+    readings = tuple(
+        TierReading(
+            tier=int(r["tier"]),
+            temperature_c=float(r["temperature_c"]),
+            dvtn=float(r["dvtn"]),
+            dvtp=float(r["dvtp"]),
+            converged=bool(r["converged"]),
+            quality=str(r.get("quality", "ok")),
+            cache_hit=bool(r.get("cache_hit", False)),
+            conversion_time=float(r.get("conversion_time", 0.0)),
+            energy_j=float(r.get("energy_j", 0.0)),
+        )
+        for r in result.get("readings", ())
+    )
+    return EdgeResult(
+        id=str(payload.get("id")),
+        shard=int(payload.get("shard", -1)),
+        status=ResultStatus(result.get("status", "error")),
+        readings=readings,
+        batch_size=int(result.get("batch_size", 0)),
+        cache_hits=int(result.get("cache_hits", 0)),
+        error=result.get("error"),
+        latency_ms=float(result.get("latency_ms", 0.0)),
+        attempts=attempts,
+    )

@@ -1,0 +1,649 @@
+"""The asyncio network edge: NDJSON + minimal HTTP over one TCP port.
+
+:class:`EdgeServer` is the remote front door of a sharded sensor-readout
+deployment.  One listening socket speaks both protocols — the first byte
+of a connection decides:
+
+* ``{`` opens the newline-delimited JSON protocol of
+  :mod:`repro.edge.protocol` (pipelined ops, answers matched by id);
+* anything else is parsed as HTTP/1.1, a minimal adapter with three
+  routes: ``POST /v1/read`` (one read per request/response),
+  ``GET /healthz`` (shard supervision state) and ``GET /metrics``
+  (the process-wide telemetry registry in Prometheus text format).
+
+Requests route through the :class:`~repro.edge.supervisor.ShardPool`;
+every failure a client can see is typed (`docs/edge.md` lists the
+vocabulary) and the connection always survives a bad line — malformed
+JSON, unknown ops and oversized payloads are answered, not punished
+with a reset.
+
+Threading model: the asyncio loop owns sockets and framing; the pool
+owns processes and pipes; ``asyncio.wrap_future`` bridges the two.  A
+blocking helper (:class:`EdgeServerThread`) runs the whole server on a
+background thread for the sync CLI, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro import telemetry
+from repro.edge import protocol
+from repro.edge.protocol import EdgeError
+from repro.edge.sharding import ShardSpec
+from repro.edge.supervisor import ShardPool
+from repro.edge.worker import WorkerConfig
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.scheduler import BatchPolicy
+
+_CONNECTIONS = telemetry.counter(
+    "edge.connections", unit="connections", help="TCP connections accepted"
+)
+_REQUESTS = telemetry.counter(
+    "edge.requests", unit="requests", help="NDJSON read operations received"
+)
+_HTTP_REQUESTS = telemetry.counter(
+    "edge.http_requests", unit="requests", help="HTTP requests received"
+)
+_ERRORS = telemetry.counter(
+    "edge.errors", unit="responses", help="Typed error responses sent to clients"
+)
+_REQUEST_MS = telemetry.histogram(
+    "edge.request_ms", unit="ms", help="Edge-side end-to-end read latency"
+)
+
+_HTTP_METHODS = (b"GET", b"POST", b"PUT", b"HEAD", b"DELETE", b"OPTIONS", b"PATCH")
+
+
+@dataclass(frozen=True)
+class EdgeConfig:
+    """One edge deployment, fully specified.
+
+    Attributes:
+        host / port: Listening address (port ``0`` picks an ephemeral
+            port, exposed as :attr:`EdgeServer.port` once started).
+        shards: Backend worker-process count.
+        tiers: Stack height of every shard's die stack.
+        root_seed: Deployment seed; shard ``i`` serves the stack seeded
+            with ``shard_seed(root_seed, i)``.
+        deterministic: Serve deterministic conversions (the default and
+            the mode the cross-process determinism guarantee covers).
+        batch / admission: Per-shard embedded-service policies.
+        cache_capacity / cache_ttl_s: Per-shard result-cache knobs.
+        window: Bound on requests outstanding per shard at the edge —
+            the remote face of admission control.
+        max_line_bytes: NDJSON line / HTTP body bound; beyond it the
+            client gets a typed ``oversized`` error.
+        start_method: Multiprocessing start method of the workers
+            (``spawn`` is the safe default; ``fork`` starts faster).
+        health_interval_s / health_timeout_s / respawn_backoff_s:
+            Supervision cadence.
+        shard_fault_plans: Optional ``shard index -> FaultPlan`` map;
+            each named shard activates its plan at startup (per-shard
+            fault targeting).
+        access_log: Optional per-shard access-log path; use the
+            ``{pid}`` / ``{instance}`` placeholders to keep one file per
+            worker process.
+        enable_chaos: Let clients stage worker crashes/hangs (tests).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    shards: int = 4
+    tiers: int = 8
+    root_seed: int = 2012
+    deterministic: bool = True
+    batch: BatchPolicy = field(default_factory=BatchPolicy)
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    cache_capacity: int = 2048
+    cache_ttl_s: float = 5.0
+    window: int = 64
+    max_line_bytes: int = protocol.MAX_LINE_BYTES
+    start_method: str = "spawn"
+    health_interval_s: float = 1.0
+    health_timeout_s: float = 5.0
+    respawn_backoff_s: float = 0.05
+    ring_replicas: int = 64
+    shard_fault_plans: Optional[Mapping[int, object]] = None
+    access_log: Optional[str] = None
+    enable_chaos: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.max_line_bytes < 1024:
+            raise ValueError("max_line_bytes must be >= 1024")
+
+    def worker_configs(self) -> Tuple[WorkerConfig, ...]:
+        """One :class:`WorkerConfig` per shard, seeds derived."""
+        plans = dict(self.shard_fault_plans or {})
+        return tuple(
+            WorkerConfig(
+                shard_index=spec.index,
+                seed=spec.seed,
+                tiers=spec.tiers,
+                deterministic=self.deterministic,
+                batch=self.batch,
+                admission=self.admission,
+                cache_capacity=self.cache_capacity,
+                cache_ttl_s=self.cache_ttl_s,
+                fault_plan=plans.get(spec.index),
+                access_log=self.access_log,
+                enable_chaos=self.enable_chaos,
+            )
+            for spec in (
+                ShardSpec.of(i, self.root_seed, self.tiers)
+                for i in range(self.shards)
+            )
+        )
+
+
+def metrics_text(registry=None) -> str:
+    """The telemetry registry in Prometheus exposition text format.
+
+    Dotted metric names become underscore-joined with a ``repro_``
+    prefix; histograms export ``_count`` / ``_sum`` plus min/max gauges.
+    """
+    if registry is None:
+        registry = telemetry.get().registry
+    lines = []
+    for record in registry.snapshot():
+        name = "repro_" + record["name"].replace(".", "_")
+        kind = record["kind"]
+        if kind == "histogram":
+            lines.append(f"# TYPE {name} summary")
+            lines.append(f"{name}_count {record['count']}")
+            lines.append(f"{name}_sum {record['sum']}")
+            for stat in ("min", "max", "mean", "p50", "p90"):
+                if record.get(stat) is not None:
+                    lines.append(f"{name}_{stat} {record[stat]}")
+            continue
+        prom_kind = "counter" if kind == "counter" else "gauge"
+        value = record["value"]
+        lines.append(f"# TYPE {name} {prom_kind}")
+        lines.append(f"{name} {0 if value is None else value}")
+    return "\n".join(lines) + "\n"
+
+
+class EdgeServer:
+    """The asyncio TCP/HTTP edge over a supervised shard pool."""
+
+    def __init__(self, config: EdgeConfig = EdgeConfig()) -> None:
+        self.config = config
+        self.pool = ShardPool(
+            config.worker_configs(),
+            window=config.window,
+            start_method=config.start_method,
+            health_interval_s=config.health_interval_s,
+            health_timeout_s=config.health_timeout_s,
+            respawn_backoff_s=config.respawn_backoff_s,
+            ring_replicas=config.ring_replicas,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._closing = False
+        self.port: Optional[int] = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Spawn the shard pool and open the listening socket."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.pool.start)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self, drain: bool = True, connection_grace_s: float = 5.0) -> None:
+        """Graceful drain: stop accepting, finish in-flight, stop shards.
+
+        Connections still open after ``connection_grace_s`` (an idle
+        client holding its socket) are cancelled — drain waits for
+        *work*, not for clients to hang up.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            done, stragglers = await asyncio.wait(
+                list(self._connections),
+                timeout=connection_grace_s if drain else 0.1,
+            )
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.gather(*stragglers, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lambda: self.pool.close(drain=drain))
+
+    # ------------------------------------------------------------ connections
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        _CONNECTIONS.inc()
+        write_lock = asyncio.Lock()
+        inflight: set = set()
+        try:
+            buffer = bytearray()
+            dropping = False
+            http = None  # undecided until the first byte
+            while True:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    if http is None and buffer:
+                        http = not buffer.startswith(b"{")
+                    if http:
+                        await self._handle_http(reader, writer, bytes(buffer))
+                        return
+                    if dropping:
+                        buffer.clear()
+                    elif len(buffer) > self.config.max_line_bytes:
+                        await self._send(
+                            writer,
+                            write_lock,
+                            protocol.error_payload(
+                                None,
+                                EdgeError(
+                                    protocol.OVERSIZED,
+                                    f"line exceeds {self.config.max_line_bytes} bytes",
+                                ),
+                            ),
+                        )
+                        _ERRORS.inc()
+                        dropping = True
+                        buffer.clear()
+                    chunk = await reader.read(65536)
+                    if not chunk:
+                        return
+                    buffer += chunk
+                    continue
+                if http is None:
+                    http = not buffer.startswith(b"{")
+                    if http:
+                        await self._handle_http(reader, writer, bytes(buffer))
+                        return
+                line = bytes(buffer[:newline])
+                del buffer[: newline + 1]
+                if dropping:
+                    dropping = False  # the runt tail of an oversized line
+                    continue
+                if not line.strip():
+                    continue
+                if len(line) > self.config.max_line_bytes:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        protocol.error_payload(
+                            None,
+                            EdgeError(
+                                protocol.OVERSIZED,
+                                f"line exceeds {self.config.max_line_bytes} bytes",
+                            ),
+                        ),
+                    )
+                    _ERRORS.inc()
+                    continue
+                done = await self._handle_line(line, writer, write_lock, inflight)
+                if done:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away; in-flight work still completes below
+        except asyncio.CancelledError:
+            pass  # drain grace expired; fall through to cleanup
+        finally:
+            self._connections.discard(task)
+            try:
+                if inflight:
+                    await asyncio.gather(*list(inflight), return_exceptions=True)
+                writer.close()
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer, write_lock, payload: Mapping[str, Any]) -> None:
+        async with write_lock:
+            writer.write(protocol.encode(payload))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass  # reader hung up mid-answer; nothing left to say
+
+    # ------------------------------------------------------------------ NDJSON
+
+    async def _handle_line(self, line, writer, write_lock, inflight) -> bool:
+        """Dispatch one NDJSON operation; True means: close the connection."""
+        try:
+            payload = protocol.decode_line(line)
+        except EdgeError as error:
+            _ERRORS.inc()
+            await self._send(writer, write_lock, protocol.error_payload(None, error))
+            return False
+        request_id = payload.get("id")
+        op = payload.get("op", "read")
+        if op == "read":
+            task = asyncio.ensure_future(
+                self._answer_read(payload, request_id, writer, write_lock)
+            )
+            inflight.add(task)
+            task.add_done_callback(inflight.discard)
+            return False
+        if op == "ping":
+            await self._send(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "pong": "edge",
+                    "draining": self._closing,
+                    "shards": self.pool.health(),
+                },
+            )
+            return False
+        if op == "stats":
+            loop = asyncio.get_running_loop()
+            stats = await loop.run_in_executor(None, self.pool.shard_stats)
+            await self._send(
+                writer,
+                write_lock,
+                {"id": request_id, "ok": True, "shards": stats},
+            )
+            return False
+        if op == "chaos" and self.config.enable_chaos:
+            try:
+                self.pool.chaos(int(payload.get("shard", 0)), payload.get("kind", "exit"))
+                await self._send(writer, write_lock, {"id": request_id, "ok": True})
+            except (EdgeError, ValueError, KeyError) as error:
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.error_payload(
+                        request_id, EdgeError(protocol.INTERNAL, str(error))
+                    ),
+                )
+            return False
+        _ERRORS.inc()
+        await self._send(
+            writer,
+            write_lock,
+            protocol.error_payload(
+                request_id,
+                EdgeError(
+                    protocol.UNKNOWN_OP,
+                    f"unknown op {op!r}; known: read, ping, stats",
+                ),
+            ),
+        )
+        return False
+
+    async def _answer_read(self, payload, request_id, writer, write_lock) -> None:
+        answer = await self._route_read(payload, request_id)
+        await self._send(writer, write_lock, answer)
+
+    async def _route_read(self, payload, request_id) -> Dict[str, Any]:
+        """Route one read through its shard; always returns an answer."""
+        _REQUESTS.inc()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        stack_id = payload.get("stack", 0)
+        if not isinstance(stack_id, int):
+            _ERRORS.inc()
+            return protocol.error_payload(
+                request_id,
+                EdgeError(protocol.INVALID, "stack must be an integer stack id"),
+            )
+        wire_request = payload.get("request")
+        if not isinstance(wire_request, dict):
+            _ERRORS.inc()
+            return protocol.error_payload(
+                request_id,
+                EdgeError(protocol.INVALID, "read needs a 'request' object"),
+            )
+        shard = self.pool.route(stack_id)
+        with telemetry.span(
+            "edge.request", id=request_id, stack=stack_id, shard=shard
+        ) as span:
+            try:
+                future = self.pool.submit_read(stack_id, wire_request)
+                reply = await asyncio.wrap_future(future)
+            except EdgeError as error:
+                _ERRORS.inc()
+                span.set(error=error.code)
+                return protocol.error_payload(request_id, error, shard=shard)
+            _REQUEST_MS.observe((loop.time() - started) * 1e3)
+            if reply.get("ok"):
+                span.set(status=reply["result"]["status"])
+                return protocol.result_payload(request_id, reply["result"], shard)
+            _ERRORS.inc()
+            error = EdgeError.from_wire(reply.get("error", {}))
+            span.set(error=error.code)
+            return protocol.error_payload(request_id, error, shard=shard)
+
+    # -------------------------------------------------------------------- HTTP
+
+    async def _handle_http(self, reader, writer, head: bytes) -> None:
+        """Serve one HTTP/1.1 exchange, then close (Connection: close)."""
+        _HTTP_REQUESTS.inc()
+        try:
+            data = bytearray(head)
+            while b"\r\n\r\n" not in data:
+                if len(data) > self.config.max_line_bytes:
+                    await self._http_error(
+                        writer, EdgeError(protocol.OVERSIZED, "headers too large")
+                    )
+                    return
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                data += chunk
+            header_blob, _, body = data.partition(b"\r\n\r\n")
+            request_line, *header_lines = header_blob.split(b"\r\n")
+            try:
+                method, target, _version = request_line.decode("latin-1").split(" ", 2)
+            except ValueError:
+                await self._http_error(
+                    writer, EdgeError(protocol.MALFORMED, "bad HTTP request line")
+                )
+                return
+            headers = {}
+            for header_line in header_lines:
+                name, _, value = header_line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > self.config.max_line_bytes:
+                await self._http_error(
+                    writer,
+                    EdgeError(
+                        protocol.OVERSIZED,
+                        f"body exceeds {self.config.max_line_bytes} bytes",
+                    ),
+                )
+                return
+            body = bytearray(body)
+            while len(body) < length:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                body += chunk
+            await self._http_route(writer, method, target, bytes(body[:length]))
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def _http_route(self, writer, method: str, target: str, body: bytes) -> None:
+        if method == "POST" and target == "/v1/read":
+            try:
+                payload = protocol.decode_line(body)
+            except EdgeError as error:
+                _ERRORS.inc()
+                await self._http_error(writer, error)
+                return
+            answer = await self._route_read(payload, payload.get("id"))
+            if answer.get("ok"):
+                await self._http_respond(writer, 200, answer)
+            else:
+                code = answer["error"]["code"]
+                await self._http_respond(
+                    writer, protocol.HTTP_STATUS.get(code, 500), answer
+                )
+            return
+        if method == "GET" and target == "/healthz":
+            shards = self.pool.health()
+            all_healthy = all(s["state"] == "healthy" for s in shards)
+            await self._http_respond(
+                writer,
+                200 if all_healthy else 503,
+                {
+                    "status": "ok" if all_healthy else "degraded",
+                    "draining": self._closing,
+                    "shards": shards,
+                },
+            )
+            return
+        if method == "GET" and target == "/metrics":
+            await self._http_respond_text(writer, 200, metrics_text())
+            return
+        _ERRORS.inc()
+        await self._http_error(
+            writer,
+            EdgeError(
+                protocol.UNKNOWN_OP,
+                f"no route {method} {target}; try POST /v1/read, "
+                "GET /healthz, GET /metrics",
+            ),
+        )
+
+    async def _http_error(self, writer, error: EdgeError) -> None:
+        await self._http_respond(
+            writer,
+            protocol.HTTP_STATUS.get(error.code, 500),
+            protocol.error_payload(None, error),
+        )
+
+    async def _http_respond(self, writer, status: int, payload: Mapping[str, Any]) -> None:
+        blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        await self._http_write(writer, status, "application/json", blob)
+
+    async def _http_respond_text(self, writer, status: int, text: str) -> None:
+        await self._http_write(
+            writer, status, "text/plain; version=0.0.4", text.encode("utf-8")
+        )
+
+    async def _http_write(self, writer, status: int, content_type: str, blob: bytes) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  413: "Payload Too Large", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+        )
+        if status == 503:
+            head += "Retry-After: 1\r\n"
+        head += "Connection: close\r\n\r\n"
+        writer.write(head.encode("latin-1") + blob)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+class EdgeServerThread:
+    """A running :class:`EdgeServer` on a background event loop.
+
+    The bridge between the asyncio server and synchronous callers (CLI,
+    tests, benchmarks)::
+
+        with EdgeServerThread(EdgeConfig(shards=2, port=0)) as edge:
+            client = EdgeClient(edge.host, edge.port)
+            ...
+
+    ``start()`` blocks until the pool is probed and the socket is bound;
+    ``stop()`` drains gracefully.
+    """
+
+    def __init__(self, config: EdgeConfig = EdgeConfig()) -> None:
+        self.config = config
+        self.server: Optional[EdgeServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        if self.server is None or self.server.port is None:
+            raise RuntimeError("edge server is not running")
+        return self.server.port
+
+    def start(self, timeout: float = 120.0) -> "EdgeServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="edge-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("edge server did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        server = EdgeServer(self.config)
+
+        async def boot():
+            try:
+                await server.start()
+                self.server = server
+            except BaseException as error:  # noqa: BLE001 - reported to starter
+                self._startup_error = error
+            finally:
+                self._started.set()
+
+        loop.run_until_complete(boot())
+        if self._startup_error is None:
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+        else:
+            loop.close()
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        if self._loop is None or self.server is None:
+            return
+        done = threading.Event()
+
+        def shutdown():
+            task = asyncio.ensure_future(self.server.close(drain=drain))
+            task.add_done_callback(lambda _t: (done.set(), self._loop.stop()))
+
+        self._loop.call_soon_threadsafe(shutdown)
+        done.wait(timeout)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        self._loop = None
+
+    def __enter__(self) -> "EdgeServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)

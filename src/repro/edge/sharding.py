@@ -1,0 +1,90 @@
+"""Shard identity: per-shard seeds and stack-id-consistent routing.
+
+Each backend worker process owns one seeded die stack.  Two properties
+make the pool reproducible and operable:
+
+* **Seeds derive, never collide.**  :func:`shard_seed` expands the
+  deployment's root seed through a :class:`numpy.random.SeedSequence`
+  spawn key, so shard ``i`` builds the same die population in any
+  process, on any host, at any respawn — the foundation of the golden
+  cross-process determinism test.
+* **Routing is consistent, not modular.**  :class:`HashRing` places
+  every shard at ``replicas`` SHA-256 points on a ring and routes a
+  stack id to the next point clockwise.  Growing the pool from N to N+1
+  shards remaps only ~1/(N+1) of the stack-id space (a plain
+  ``stack_id % shards`` would remap almost all of it), so clients keep
+  their cache- and fault-locality across resizes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def shard_seed(root_seed: int, shard_index: int) -> int:
+    """The die-population seed of shard ``shard_index``.
+
+    Deterministic in ``(root_seed, shard_index)`` and stable across
+    processes and platforms (SeedSequence is specified arithmetic, not
+    ``hash()``).
+    """
+    if shard_index < 0:
+        raise ValueError("shard_index must be >= 0")
+    sequence = np.random.SeedSequence(entropy=root_seed, spawn_key=(shard_index,))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+def _ring_point(token: str) -> int:
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent stack-id → shard routing over a fixed shard set."""
+
+    def __init__(self, shards: Sequence[int], replicas: int = 64) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shards = tuple(shards)
+        self.replicas = replicas
+        points: List[int] = []
+        owners: Dict[int, int] = {}
+        for shard in self.shards:
+            for replica in range(replicas):
+                point = _ring_point(f"shard-{shard}:{replica}")
+                # SHA-256 collisions on 64-bit prefixes are not a design
+                # concern; first writer keeps the point.
+                if point not in owners:
+                    owners[point] = shard
+                    points.append(point)
+        points.sort()
+        self._points = points
+        self._owners = owners
+
+    def route(self, stack_id: int) -> int:
+        """The shard owning ``stack_id``."""
+        point = _ring_point(f"stack:{stack_id}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity, as the supervisor and loadgen both build it."""
+
+    index: int
+    seed: int
+    tiers: int
+
+    @classmethod
+    def of(cls, index: int, root_seed: int, tiers: int) -> "ShardSpec":
+        return cls(index=index, seed=shard_seed(root_seed, index), tiers=tiers)

@@ -1,0 +1,436 @@
+"""The shard pool: spawn, route, window, health-check, respawn, drain.
+
+:class:`ShardPool` owns the backend worker processes.  It is plain
+threads-and-pipes (no asyncio) so the same pool serves the asyncio
+server, the sync CLI, and tests; the server bridges its
+:class:`concurrent.futures.Future` results onto the event loop with
+``asyncio.wrap_future``.
+
+Responsibilities:
+
+* **Routing** — stack id → shard through the consistent
+  :class:`~repro.edge.sharding.HashRing`.
+* **Windows** — at most ``window`` outstanding requests per shard; the
+  excess is rejected *at the edge* with a typed, retryable
+  ``backpressure`` error, propagating the embedded service's
+  :class:`~repro.serve.admission.AdmissionController` discipline to
+  remote clients instead of letting pipes buffer unboundedly.
+* **Supervision** — a health thread pings every shard; a dead or
+  unresponsive shard is quarantined (its outstanding requests fail with
+  retryable ``shard_down`` errors — never a hang), killed if needed, and
+  respawned from its original :class:`~repro.edge.worker.WorkerConfig`
+  after a short backoff.  Same config, same seed, same stack: the
+  replacement is bit-identical.  The vocabulary deliberately mirrors the
+  quarantine/probation/revival state machine of
+  :class:`repro.network.aggregator.StackMonitor`.
+* **Drain** — ``close(drain=True)`` stops new work, lets every shard
+  finish its queue, and joins the processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro import telemetry
+from repro.edge.protocol import BACKPRESSURE, CLOSED, EdgeError, SHARD_DOWN
+from repro.edge.sharding import HashRing
+from repro.edge.worker import WorkerConfig, worker_main
+
+_SHARD_DEATHS = telemetry.counter(
+    "edge.shard_deaths", unit="shards", help="Shard worker deaths observed"
+)
+_SHARD_RESTARTS = telemetry.counter(
+    "edge.shard_restarts", unit="shards", help="Shard workers respawned"
+)
+_WINDOW_REJECTED = telemetry.counter(
+    "edge.rejected",
+    unit="requests",
+    help="Requests rejected at the edge (per-shard window full)",
+)
+_INFLIGHT = telemetry.gauge(
+    "edge.inflight", unit="requests", help="Requests outstanding across all shards"
+)
+
+
+class ShardState(str, Enum):
+    """Lifecycle of one backend worker, in supervision vocabulary."""
+
+    STARTING = "starting"
+    HEALTHY = "healthy"
+    QUARANTINED = "quarantined"
+    STOPPED = "stopped"
+
+
+class _Shard:
+    """Parent-side bookkeeping of one worker process."""
+
+    def __init__(self, config: WorkerConfig) -> None:
+        self.config = config
+        self.process = None
+        self.conn = None
+        self.reader: Optional[threading.Thread] = None
+        self.state = ShardState.STOPPED
+        self.restarts = 0
+        self.lock = threading.Lock()
+        self.send_lock = threading.Lock()
+        self.outstanding: Dict[int, Future] = {}
+        self.seq = itertools.count()
+
+    @property
+    def index(self) -> int:
+        return self.config.shard_index
+
+
+class ShardPool:
+    """A supervised pool of sharded backend worker processes."""
+
+    def __init__(
+        self,
+        workers: Sequence[WorkerConfig],
+        window: int = 64,
+        start_method: str = "spawn",
+        health_interval_s: float = 1.0,
+        health_timeout_s: float = 5.0,
+        spawn_timeout_s: float = 30.0,
+        respawn_backoff_s: float = 0.05,
+        ring_replicas: int = 64,
+    ) -> None:
+        if not workers:
+            raise ValueError("need at least one shard worker")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        indices = [w.shard_index for w in workers]
+        if len(set(indices)) != len(indices):
+            raise ValueError("shard indices must be unique")
+        self.window = window
+        self.health_interval_s = health_interval_s
+        self.health_timeout_s = health_timeout_s
+        self.spawn_timeout_s = spawn_timeout_s
+        self.respawn_backoff_s = respawn_backoff_s
+        self._context = multiprocessing.get_context(start_method)
+        self._shards: Dict[int, _Shard] = {
+            w.shard_index: _Shard(w) for w in workers
+        }
+        self.ring = HashRing(sorted(self._shards), replicas=ring_replicas)
+        self._closing = threading.Event()
+        self._health_thread: Optional[threading.Thread] = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self, health_checks: bool = True) -> None:
+        """Spawn every worker and (optionally) the supervision thread."""
+        for shard in self._shards.values():
+            self._spawn(shard)
+        for shard in self._shards.values():
+            self._probe(shard, timeout=self.spawn_timeout_s)
+        if health_checks:
+            self._health_thread = threading.Thread(
+                target=self._health_loop, name="edge-health", daemon=True
+            )
+            self._health_thread.start()
+
+    def _spawn(self, shard: _Shard) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=worker_main,
+            args=(shard.config, child_conn),
+            name=f"edge-shard-{shard.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        with shard.lock:
+            shard.process = process
+            shard.conn = parent_conn
+            shard.state = ShardState.STARTING
+        shard.reader = threading.Thread(
+            target=self._reader_loop,
+            args=(shard, parent_conn),
+            name=f"edge-reader-{shard.index}",
+            daemon=True,
+        )
+        shard.reader.start()
+
+    def _probe(self, shard: _Shard, timeout: float) -> bool:
+        """Probation ping: promote to HEALTHY on a pong, quarantine on miss."""
+        try:
+            self.ping(shard.index, timeout=timeout)
+        except (EdgeError, TimeoutError, FutureTimeoutError):
+            self._quarantine(shard, reason="probe failed")
+            return False
+        with shard.lock:
+            if shard.state is ShardState.STARTING:
+                shard.state = ShardState.HEALTHY
+        return True
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool: drain (default) or abandon queued work, join all."""
+        self._closing.set()
+        acks = []
+        for shard in self._shards.values():
+            with shard.lock:
+                conn_ok = shard.conn is not None and shard.state in (
+                    ShardState.STARTING,
+                    ShardState.HEALTHY,
+                )
+            if conn_ok:
+                try:
+                    acks.append(
+                        (shard, self._send(shard, {"op": "shutdown", "drain": drain}))
+                    )
+                except EdgeError:
+                    pass
+        for shard, future in acks:
+            try:
+                future.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        for shard in self._shards.values():
+            process = shard.process
+            if process is not None:
+                process.join(timeout=timeout)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            with shard.lock:
+                shard.state = ShardState.STOPPED
+                leftovers = list(shard.outstanding.values())
+                shard.outstanding.clear()
+            for future in leftovers:
+                if not future.done():
+                    future.set_exception(
+                        EdgeError(CLOSED, "edge pool closed before serving")
+                    )
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=5.0)
+            self._health_thread = None
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # ----------------------------------------------------------------- client
+
+    def route(self, stack_id: int) -> int:
+        """The shard index owning ``stack_id``."""
+        return self.ring.route(stack_id)
+
+    def submit_read(self, stack_id: int, wire_request: Dict[str, Any]) -> "Future":
+        """Route one wire-form read to its shard; future of the raw reply.
+
+        Raises:
+            EdgeError: ``backpressure`` when the shard's outstanding
+                window is full (retryable); ``shard_down`` when the shard
+                is quarantined or mid-respawn (retryable); ``closed``
+                when the pool is draining.
+        """
+        shard = self._shards[self.route(stack_id)]
+        return self._send(shard, {"op": "read", "request": wire_request}, windowed=True)
+
+    def ping(self, shard_index: int, timeout: float = 5.0) -> Dict[str, Any]:
+        """Round-trip one health probe through a shard worker."""
+        future = self._send(self._shards[shard_index], {"op": "ping"})
+        return future.result(timeout=timeout)
+
+    def shard_stats(self, timeout: float = 10.0) -> List[Dict[str, Any]]:
+        """Service-level stats gathered from every live shard."""
+        futures = []
+        for shard in self._shards.values():
+            try:
+                futures.append((shard, self._send(shard, {"op": "stats"})))
+            except EdgeError as error:
+                futures.append((shard, error))
+        stats: List[Dict[str, Any]] = []
+        for shard, outcome in futures:
+            if isinstance(outcome, EdgeError):
+                stats.append({"shard": shard.index, "error": outcome.to_wire()})
+                continue
+            try:
+                stats.append(outcome.result(timeout=timeout)["stats"])
+            except Exception as error:  # noqa: BLE001 - per-shard isolation
+                stats.append(
+                    {
+                        "shard": shard.index,
+                        "error": EdgeError(SHARD_DOWN, str(error)).to_wire(),
+                    }
+                )
+        return stats
+
+    def chaos(self, shard_index: int, op: str) -> None:
+        """Send a chaos op (``exit`` / ``hang``) to one shard worker.
+
+        Only honoured by workers configured with ``enable_chaos`` — the
+        hook the resilience tests use to stage crashes.
+        """
+        if op not in ("exit", "hang"):
+            raise ValueError("chaos op must be 'exit' or 'hang'")
+        self._send(self._shards[shard_index], {"op": op})
+
+    def health(self) -> List[Dict[str, Any]]:
+        """Parent-side health of every shard (no worker round-trips)."""
+        report = []
+        for index in sorted(self._shards):
+            shard = self._shards[index]
+            with shard.lock:
+                process = shard.process
+                report.append(
+                    {
+                        "shard": index,
+                        "state": shard.state.value,
+                        "outstanding": len(shard.outstanding),
+                        "window": self.window,
+                        "restarts": shard.restarts,
+                        "pid": None if process is None else process.pid,
+                        "alive": process is not None and process.is_alive(),
+                    }
+                )
+        return report
+
+    def healthy(self) -> bool:
+        """Whether every shard is currently serving."""
+        return all(entry["state"] == "healthy" for entry in self.health())
+
+    @property
+    def shard_indices(self) -> List[int]:
+        return sorted(self._shards)
+
+    @property
+    def shard_configs(self) -> List[WorkerConfig]:
+        return [self._shards[i].config for i in sorted(self._shards)]
+
+    # ------------------------------------------------------------- internals
+
+    def _send(
+        self, shard: _Shard, message: Dict[str, Any], windowed: bool = False
+    ) -> "Future":
+        if self._closing.is_set() and message.get("op") != "shutdown":
+            raise EdgeError(CLOSED, "edge pool is draining")
+        with shard.lock:
+            if shard.state not in (ShardState.STARTING, ShardState.HEALTHY):
+                raise EdgeError(
+                    SHARD_DOWN,
+                    f"shard {shard.index} is {shard.state.value}; retry shortly",
+                )
+            if windowed and len(shard.outstanding) >= self.window:
+                _WINDOW_REJECTED.inc()
+                raise EdgeError(
+                    BACKPRESSURE,
+                    f"shard {shard.index} window full "
+                    f"({len(shard.outstanding)}/{self.window}); back off and retry",
+                )
+            seq = next(shard.seq)
+            future: Future = Future()
+            shard.outstanding[seq] = future
+            conn = shard.conn
+        if windowed:
+            self._track_inflight(+1)
+            future.add_done_callback(lambda _f: self._track_inflight(-1))
+        message = dict(message, seq=seq)
+        try:
+            with shard.send_lock:
+                conn.send(message)
+        except (BrokenPipeError, OSError):
+            with shard.lock:
+                shard.outstanding.pop(seq, None)
+            self._on_shard_death(shard)
+            raise EdgeError(SHARD_DOWN, f"shard {shard.index} pipe is broken")
+        return future
+
+    def _track_inflight(self, delta: int) -> None:
+        with self._inflight_lock:
+            self._inflight += delta
+            _INFLIGHT.set(self._inflight)
+
+    def _reader_loop(self, shard: _Shard, conn) -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                self._on_shard_death(shard, conn)
+                return
+            future = None
+            with shard.lock:
+                future = shard.outstanding.pop(message.get("seq"), None)
+            if future is not None and not future.done():
+                future.set_result(message)
+
+    def _on_shard_death(self, shard: _Shard, conn=None) -> None:
+        """Quarantine a dead shard, fail its in-flight work, respawn."""
+        with shard.lock:
+            if conn is not None and shard.conn is not conn:
+                return  # a stale reader observed its own replaced pipe
+            if shard.state in (ShardState.QUARANTINED, ShardState.STOPPED):
+                return
+            deliberate = self._closing.is_set()
+            shard.state = (
+                ShardState.STOPPED if deliberate else ShardState.QUARANTINED
+            )
+            failed = list(shard.outstanding.values())
+            shard.outstanding.clear()
+        _SHARD_DEATHS.inc()
+        error = EdgeError(
+            SHARD_DOWN,
+            f"shard {shard.index} died with the request in flight; "
+            "it is being respawned — retry",
+        )
+        for future in failed:
+            if not future.done():
+                future.set_exception(error)
+        if not deliberate:
+            threading.Thread(
+                target=self._respawn, args=(shard,), name=f"edge-respawn-{shard.index}",
+                daemon=True,
+            ).start()
+
+    def _quarantine(self, shard: _Shard, reason: str) -> None:
+        """Force a live-but-unresponsive shard through the death path."""
+        with shard.lock:
+            process = shard.process
+            if shard.state is not ShardState.HEALTHY and shard.state is not ShardState.STARTING:
+                return
+        if process is not None and process.is_alive():
+            process.terminate()  # the reader thread sees EOF and fans out
+        else:
+            self._on_shard_death(shard)
+
+    def _respawn(self, shard: _Shard) -> None:
+        if self._closing.is_set():
+            return
+        # Exponential backoff against crash loops: a worker dying at
+        # startup (bad plan, broken import) respawns ever more slowly
+        # instead of burning a process per respawn_backoff_s.
+        backoff = self.respawn_backoff_s * (2 ** min(shard.restarts, 8))
+        self._closing.wait(backoff)
+        if self._closing.is_set():
+            return
+        old = shard.process
+        if old is not None:
+            old.join(timeout=5.0)
+        self._spawn(shard)
+        shard.restarts += 1
+        _SHARD_RESTARTS.inc()
+        self._probe(shard, timeout=self.spawn_timeout_s)
+
+    def _health_loop(self) -> None:
+        while not self._closing.wait(self.health_interval_s):
+            for shard in list(self._shards.values()):
+                if self._closing.is_set():
+                    return
+                with shard.lock:
+                    state = shard.state
+                if state is not ShardState.HEALTHY:
+                    continue
+                try:
+                    self.ping(shard.index, timeout=self.health_timeout_s)
+                except (EdgeError, TimeoutError, FutureTimeoutError):
+                    self._quarantine(shard, reason="health ping missed")

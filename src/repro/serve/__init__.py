@@ -58,10 +58,12 @@ from repro.serve.requests import (
 )
 from repro.serve.scheduler import BatchPolicy, MicroBatcher, PendingResult
 from repro.serve.service import (
+    DEFAULT_ACCESS_LOG_PATTERN,
     SensorReadService,
     ServeConfig,
     ServiceStats,
     build_stack_sensors,
+    resolve_access_log_path,
 )
 
 __all__ = [
@@ -72,6 +74,7 @@ __all__ = [
     "BatchPolicy",
     "CacheStats",
     "CostModel",
+    "DEFAULT_ACCESS_LOG_PATTERN",
     "LoadgenConfig",
     "LoadgenReport",
     "MicroBatcher",
@@ -92,6 +95,7 @@ __all__ = [
     "batch_service_time",
     "build_stack_sensors",
     "naive_service_time",
+    "resolve_access_log_path",
     "run_loadgen",
     "run_loadgen_wall",
 ]

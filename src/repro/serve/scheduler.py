@@ -59,11 +59,19 @@ class BatchPolicy:
 
 
 class PendingResult:
-    """A write-once future for one submitted request."""
+    """A write-once future for one submitted request.
 
-    def __init__(self, request: ReadRequest, enqueued_at: float) -> None:
+    ``context`` is an opaque caller-owned tag carried alongside the
+    request (the edge worker stores its wire sequence number there); the
+    scheduler never reads it.
+    """
+
+    def __init__(
+        self, request: ReadRequest, enqueued_at: float, context: object = None
+    ) -> None:
         self.request = request
         self.enqueued_at = enqueued_at
+        self.context = context
         self._event = threading.Event()
         self._result: Optional[ReadResult] = None
         self._error: Optional[BaseException] = None
@@ -100,6 +108,12 @@ class MicroBatcher:
         clock: Monotonic time source (injectable for tests).
         on_complete: Optional callback ``(pending, result)`` invoked for
             every served request — the service's access-log hook.
+        on_fail: Optional callback ``(pending, error)`` invoked for every
+            request that *fails* instead of completing (engine exception,
+            or queued at a non-draining close) — after the future itself
+            is failed.  Embedders that answer requests through
+            ``on_complete`` (the edge shard worker) use this to guarantee
+            every submitted request gets exactly one reply.
         workers: Worker-thread count.  One worker preserves the strict
             arrival order of rng consumption; more workers trade that
             determinism for pipelining across batches.
@@ -111,6 +125,7 @@ class MicroBatcher:
         policy: BatchPolicy = BatchPolicy(),
         clock: Callable[[], float] = time.monotonic,
         on_complete: Optional[Callable[[PendingResult, ReadResult], None]] = None,
+        on_fail: Optional[Callable[[PendingResult, BaseException], None]] = None,
         workers: int = 1,
     ) -> None:
         if workers < 1:
@@ -119,6 +134,7 @@ class MicroBatcher:
         self.clock = clock
         self._execute = execute
         self._on_complete = on_complete
+        self._on_fail = on_fail
         self._queue: "deque[PendingResult]" = deque()
         self._cv = threading.Condition()
         self._closed = False
@@ -160,7 +176,10 @@ class MicroBatcher:
                     self._queue.clear()
             self._cv.notify_all()
         for pending in orphans:
-            pending._fail(ServiceClosedError("the service closed before serving"))
+            error = ServiceClosedError("the service closed before serving")
+            pending._fail(error)
+            if self._on_fail is not None:
+                self._on_fail(pending, error)
         for thread in self._threads:
             thread.join()
 
@@ -203,6 +222,8 @@ class MicroBatcher:
             except Exception as error:  # noqa: BLE001 - server must not die
                 for pending in batch:
                     pending._fail(error)
+                    if self._on_fail is not None:
+                        self._on_fail(pending, error)
                 continue
             completed = self.clock()
             for pending, result in zip(batch, results):

@@ -15,9 +15,12 @@ latency accounting — is real and measured.
 
 from __future__ import annotations
 
+import itertools
+import os
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.sensor import PTSensor
 from repro.serve.admission import (
@@ -86,6 +89,53 @@ def build_stack_sensors(
     return {tier: build_sensor(die, die_id=tier) for tier, die in enumerate(dies)}
 
 
+# ------------------------------------------------------------- access logs
+#
+# Two services in one process pointed at the same access-log path used to
+# interleave (and clobber) each other's JSONL records.  The registry below
+# uniquifies colliding paths per process; ``{pid}`` / ``{instance}``
+# placeholders let multi-process deployments (the edge's shard workers)
+# keep per-owner files by construction.
+
+DEFAULT_ACCESS_LOG_PATTERN = "serve-access-{pid}-{instance}.jsonl"
+
+_access_log_lock = threading.Lock()
+_access_log_active: set = set()
+_access_log_instances = itertools.count()
+
+
+def resolve_access_log_path(path: str) -> str:
+    """Resolve one service's access-log path, collision-free in-process.
+
+    ``{pid}`` and ``{instance}`` placeholders are substituted (process id
+    and a process-wide monotonically increasing service instance id).  A
+    literal path already claimed by a live service in this process gets
+    ``.pid<pid>-<instance>`` inserted before its suffix instead of
+    silently sharing the sink.
+    """
+    instance = next(_access_log_instances)
+    if "{pid}" in path or "{instance}" in path:
+        path = path.replace("{pid}", str(os.getpid()))
+        path = path.replace("{instance}", str(instance))
+    with _access_log_lock:
+        if path not in _access_log_active:
+            _access_log_active.add(path)
+            return path
+        stem, dot, suffix = path.rpartition(".")
+        if not dot:
+            stem, suffix = path, "jsonl"
+        unique = f"{stem}.pid{os.getpid()}-{instance}.{suffix}"
+        while unique in _access_log_active:  # pragma: no cover - defensive
+            unique = f"{stem}.pid{os.getpid()}-{next(_access_log_instances)}.{suffix}"
+        _access_log_active.add(unique)
+        return unique
+
+
+def _release_access_log_path(path: str) -> None:
+    with _access_log_lock:
+        _access_log_active.discard(path)
+
+
 @dataclass(frozen=True)
 class ServiceStats:
     """A point-in-time snapshot of the service's own accounting."""
@@ -109,8 +159,18 @@ class SensorReadService:
             from ``config``.
         config: Serving configuration.
         access_log: Path of a JSONL access log (one record per served
-            request), or ``None`` for no log.
+            request), or ``None`` for no log.  ``{pid}`` / ``{instance}``
+            placeholders are substituted, and a path another live service
+            of this process already writes is uniquified — see
+            :func:`resolve_access_log_path`; the actual path is exposed
+            as :attr:`access_log_path`.
         clock: Monotonic time source (injectable for tests).
+        on_result: Optional callback ``(pending, result)`` invoked for
+            every served request after the service's own accounting —
+            the hook an embedding shard worker answers its clients from.
+        on_fail: Optional callback ``(pending, error)`` invoked for every
+            request that fails instead of completing (engine exception,
+            non-draining close).
 
     Use as a context manager for guaranteed drain-and-close::
 
@@ -124,9 +184,12 @@ class SensorReadService:
         config: ServeConfig = ServeConfig(),
         access_log: Optional[str] = None,
         clock=time.monotonic,
+        on_result: Optional[Callable[[PendingResult, ReadResult], None]] = None,
+        on_fail: Optional[Callable[[PendingResult, BaseException], None]] = None,
     ) -> None:
         self.config = config
         self.clock = clock
+        self._on_result = on_result
         if sensors is None:
             sensors = build_stack_sensors(config.tiers, config.seed)
         self.admission = AdmissionController(config.admission)
@@ -146,7 +209,12 @@ class SensorReadService:
             admission=self.admission,
             deterministic=config.deterministic,
         )
-        self._access_sink = JsonlSink(access_log) if access_log else None
+        self.access_log_path = (
+            resolve_access_log_path(access_log) if access_log else None
+        )
+        self._access_sink = (
+            JsonlSink(self.access_log_path) if self.access_log_path else None
+        )
         self._served = 0
         self._errors = 0
         self._degraded = 0
@@ -155,13 +223,18 @@ class SensorReadService:
             policy=config.batch,
             clock=clock,
             on_complete=self._log_request,
+            on_fail=on_fail,
             workers=config.workers,
         )
 
     # --------------------------------------------------------------- client
 
-    def submit(self, request: ReadRequest) -> PendingResult:
+    def submit(self, request: ReadRequest, context: object = None) -> PendingResult:
         """Admit and enqueue one request; returns its future.
+
+        ``context`` is an opaque caller tag carried on the returned
+        :class:`PendingResult` (and through the ``on_result`` /
+        ``on_fail`` callbacks); the service never reads it.
 
         Raises:
             QueueFullError: Admission rejected the request (bounded
@@ -169,7 +242,7 @@ class SensorReadService:
             ServiceClosedError: The service is draining or closed.
         """
         self.admission.admit(len(self._batcher))
-        pending = PendingResult(request, enqueued_at=self.clock())
+        pending = PendingResult(request, enqueued_at=self.clock(), context=context)
         self._batcher.submit(pending)
         return pending
 
@@ -192,6 +265,8 @@ class SensorReadService:
             self._access_sink.flush()
             self._access_sink.close()
             self._access_sink = None
+        if self.access_log_path is not None:
+            _release_access_log_path(self.access_log_path)
 
     def __enter__(self) -> "SensorReadService":
         return self
@@ -220,6 +295,8 @@ class SensorReadService:
                     "enqueued_at": round(result.enqueued_at, 6),
                 }
             )
+        if self._on_result is not None:
+            self._on_result(pending, result)
 
     def stats(self) -> ServiceStats:
         """Snapshot the service's serving counters."""

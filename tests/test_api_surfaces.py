@@ -29,12 +29,20 @@ from repro.readout.energy import ConversionEnergy
 PUBLIC_API_SNAPSHOT = frozenset({
     "BusReport",
     "DieSample",
+    "EdgeClient",
+    "EdgeConfig",
+    "EdgeError",
+    "EdgeLoadgenConfig",
+    "EdgeResult",
+    "EdgeServer",
+    "EdgeServerThread",
     "Environment",
     "EnvironmentGrid",
     "ExperimentOutcome",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "HashRing",
     "LoadgenConfig",
     "LoadgenReport",
     "MonitorSnapshot",
@@ -57,6 +65,7 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "TrackingReading",
     "TrackingSensor",
     "TsvSensorBus",
+    "edge",
     "faults",
     "nominal_65nm",
     "read_paired",
@@ -64,8 +73,10 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "run_all",
     "run_experiment",
     "run_loadgen",
+    "run_loadgen_edge",
     "sample_dies",
     "serve",
+    "shard_seed",
     "telemetry",
 })
 

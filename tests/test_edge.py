@@ -1,0 +1,516 @@
+"""The network edge: wire protocol, routing, failure paths, determinism.
+
+Three layers of coverage:
+
+* pure units — NDJSON framing, typed errors, request/result round-trips,
+  shard seeds and consistent-hash routing (no processes involved);
+* one shared live server (4 spawn-started shards, chaos enabled) — the
+  protocol surface end to end: all four request kinds, malformed lines,
+  unknown ops, oversized payloads, mid-batch disconnects, the HTTP
+  adapter, and a staged shard crash with recovery;
+* the golden cross-process guarantee — a 4-shard edge deployment answers
+  bit-identically to an in-process replay of each shard's embedded
+  service, partitioned by the same hash ring.
+"""
+
+import json
+import socket
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.edge import (
+    EdgeClient,
+    EdgeConfig,
+    EdgeError,
+    EdgeServerThread,
+    HashRing,
+    RetryPolicy,
+    shard_seed,
+)
+from repro.edge import protocol
+from repro.serve import ReadRequest, SensorReadService
+
+TIERS = 4
+SHARDS = 4
+ROOT_SEED = 2012
+MAX_LINE = 8192
+
+
+# ------------------------------------------------------------------ units
+
+
+class TestProtocolFraming:
+    def test_encode_decode_round_trip(self):
+        payload = {"id": "r1", "op": "read", "stack": 7}
+        line = protocol.encode(payload)
+        assert line.endswith(b"\n")
+        assert protocol.decode_line(line[:-1]) == payload
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(EdgeError) as info:
+            protocol.decode_line(b"not json at all")
+        assert info.value.code == protocol.MALFORMED
+        assert not info.value.retryable
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(EdgeError) as info:
+            protocol.decode_line(b"[1, 2, 3]")
+        assert info.value.code == protocol.MALFORMED
+
+    def test_error_codes_are_a_closed_vocabulary(self):
+        with pytest.raises(ValueError):
+            EdgeError("made_up_code", "nope")
+
+    def test_retryable_defaults_follow_the_code(self):
+        assert EdgeError(protocol.BACKPRESSURE, "x").retryable
+        assert EdgeError(protocol.SHARD_DOWN, "x").retryable
+        assert not EdgeError(protocol.INVALID, "x").retryable
+        assert not EdgeError(protocol.MALFORMED, "x").retryable
+
+    def test_error_wire_round_trip(self):
+        error = EdgeError(protocol.BACKPRESSURE, "window full")
+        back = EdgeError.from_wire(error.to_wire())
+        assert (back.code, back.message, back.retryable) == (
+            error.code,
+            error.message,
+            error.retryable,
+        )
+
+    def test_unknown_wire_code_degrades_to_internal(self):
+        error = EdgeError.from_wire({"code": "martian", "message": "?"})
+        assert error.code == protocol.INTERNAL
+
+    def test_every_error_code_has_an_http_status(self):
+        assert set(protocol.HTTP_STATUS) == set(protocol.ERROR_CODES)
+        assert all(400 <= s <= 599 for s in protocol.HTTP_STATUS.values())
+
+
+class TestRequestWireRoundTrip:
+    @pytest.mark.parametrize(
+        "request_",
+        [
+            ReadRequest.point(1, 55.0),
+            ReadRequest.point(0, 40.0, vdd=1.05, assume_vdd=1.0),
+            ReadRequest.vt(2, 60.0),
+            ReadRequest.scan(35.0, tiers=(0, 2)),
+            ReadRequest.poll({0: 30.0, 1: 45.5, 3: 72.25}),
+        ],
+        ids=["point", "point-vdd", "vt", "scan", "poll"],
+    )
+    def test_round_trip_preserves_fields(self, request_):
+        wire = protocol.request_to_wire(request_)
+        back = protocol.wire_to_request(json.loads(json.dumps(wire)), now=0.0)
+        assert back.kind == request_.kind
+        assert back.temp_c == request_.temp_c
+        assert back.tier == request_.tier
+        assert back.tiers == request_.tiers
+        assert back.temps_c == request_.temps_c
+        assert back.vdd == request_.vdd
+        assert back.assume_vdd == request_.assume_vdd
+
+    def test_deadline_is_relative_and_reanchored(self):
+        wire = protocol.request_to_wire(ReadRequest.point(0, 50.0), deadline_ms=250.0)
+        assert wire["deadline_ms"] == 250.0
+        request = protocol.wire_to_request(wire, now=100.0)
+        assert request.deadline_s == pytest.approx(100.25)
+
+    def test_service_local_deadline_never_crosses_the_wire(self):
+        request = ReadRequest.point(0, 50.0, deadline_s=12345.0)
+        assert "deadline_s" not in protocol.request_to_wire(request)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"kind": "warp", "temp_c": 25.0},
+            {"kind": "point", "tier": 0, "deadline_ms": -5},
+            {"kind": "point", "tier": 0, "temps_c": "hot"},
+            {"kind": "scan", "tiers": "all"},
+        ],
+        ids=["unknown-kind", "negative-deadline", "bad-temps", "bad-tiers"],
+    )
+    def test_invalid_requests_are_typed(self, payload):
+        with pytest.raises(EdgeError) as info:
+            protocol.wire_to_request(payload, now=0.0)
+        assert info.value.code == protocol.INVALID
+        assert not info.value.retryable
+
+
+class TestSharding:
+    def test_shard_seed_is_deterministic(self):
+        assert shard_seed(ROOT_SEED, 3) == shard_seed(ROOT_SEED, 3)
+
+    def test_shard_seeds_are_distinct(self):
+        seeds = [shard_seed(ROOT_SEED, i) for i in range(16)]
+        assert len(set(seeds)) == 16
+        assert shard_seed(ROOT_SEED, 0) != shard_seed(ROOT_SEED + 1, 0)
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError):
+            shard_seed(ROOT_SEED, -1)
+
+    def test_ring_routes_deterministically_into_the_shard_set(self):
+        ring = HashRing(range(SHARDS))
+        again = HashRing(range(SHARDS))
+        for stack in range(200):
+            owner = ring.route(stack)
+            assert owner in range(SHARDS)
+            assert again.route(stack) == owner
+
+    def test_ring_spreads_stacks_across_shards(self):
+        ring = HashRing(range(SHARDS))
+        counts = {s: 0 for s in range(SHARDS)}
+        for stack in range(1000):
+            counts[ring.route(stack)] += 1
+        assert all(count > 100 for count in counts.values())
+
+    def test_growing_the_ring_remaps_a_minority(self):
+        small, grown = HashRing(range(4)), HashRing(range(5))
+        moved = sum(
+            1 for stack in range(1000) if small.route(stack) != grown.route(stack)
+        )
+        # Consistent hashing: ~1/5 of the space moves; modular routing
+        # would move ~4/5.  Allow slack for ring-point luck.
+        assert moved < 500
+
+    def test_ring_rejects_empty_shard_set(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+# ------------------------------------------------------- one live server
+
+
+@pytest.fixture(scope="module")
+def edge():
+    config = EdgeConfig(
+        shards=SHARDS,
+        tiers=TIERS,
+        root_seed=ROOT_SEED,
+        max_line_bytes=MAX_LINE,
+        enable_chaos=True,
+        health_interval_s=0.2,
+        health_timeout_s=2.0,
+        respawn_backoff_s=0.05,
+    )
+    server = EdgeServerThread(config).start()
+    yield server
+    server.stop(drain=True)
+
+
+@pytest.fixture()
+def client(edge):
+    with EdgeClient(edge.host, edge.port) as c:
+        yield c
+
+
+def _raw_connection(edge):
+    sock = socket.create_connection((edge.host, edge.port), timeout=30.0)
+    return sock, sock.makefile("rb")
+
+
+class TestEdgeRequestSurface:
+    def test_all_four_kinds_round_trip(self, client):
+        point = client.read(3, ReadRequest.point(1, 55.0))
+        assert point.ok and point.reading_for(1).temperature_c == pytest.approx(
+            55.0, abs=1.5
+        )
+        vt = client.read(3, ReadRequest.vt(0, 60.0))
+        assert vt.ok and abs(vt.readings[0].dvtn) < 0.2
+        scan = client.read(5, ReadRequest.scan(35.0))
+        assert scan.ok and len(scan.readings) == TIERS
+        poll = client.read(9, ReadRequest.poll({t: 30.0 + 5 * t for t in range(TIERS)}))
+        assert poll.ok and [r.tier for r in poll.readings] == list(range(TIERS))
+
+    def test_answering_shard_matches_the_public_ring(self, client):
+        ring = HashRing(range(SHARDS))
+        for stack in range(12):
+            result = client.read(stack, ReadRequest.point(0, 42.0))
+            assert result.shard == ring.route(stack)
+
+    def test_ping_reports_shard_health(self, client):
+        answer = client.ping()
+        assert answer["pong"] == "edge"
+        assert len(answer["shards"]) == SHARDS
+
+    def test_stats_come_from_every_shard(self, client):
+        client.read(0, ReadRequest.point(0, 50.0))
+        shards = client.stats()["shards"]
+        assert sorted(s["shard"] for s in shards) == list(range(SHARDS))
+        assert sum(s["served"] for s in shards) >= 1
+
+
+class TestEdgeErrorPaths:
+    def test_malformed_line_is_answered_and_connection_survives(self, edge):
+        # The first byte decides the connection's protocol, so a
+        # malformed *NDJSON* line still opens with '{'.
+        sock, reader = _raw_connection(edge)
+        try:
+            sock.sendall(b"{this is not json\n")
+            answer = json.loads(reader.readline())
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == protocol.MALFORMED
+            sock.sendall(protocol.encode({"id": "after", "op": "ping"}))
+            answer = json.loads(reader.readline())
+            assert answer["id"] == "after" and answer["ok"] is True
+        finally:
+            sock.close()
+
+    def test_unknown_op_is_typed(self, client):
+        answer = client.raw({"op": "teleport"})
+        assert answer["ok"] is False
+        assert answer["error"]["code"] == protocol.UNKNOWN_OP
+        assert answer["error"]["retryable"] is False
+
+    def test_unknown_request_kind_is_typed(self, client):
+        answer = client.raw(
+            {"op": "read", "stack": 0, "request": {"kind": "warp", "temp_c": 25.0}}
+        )
+        assert answer["ok"] is False
+        assert answer["error"]["code"] == protocol.INVALID
+
+    def test_read_without_request_object_is_invalid(self, client):
+        answer = client.raw({"op": "read", "stack": 0})
+        assert answer["error"]["code"] == protocol.INVALID
+
+    def test_non_integer_stack_is_invalid(self, client):
+        answer = client.raw(
+            {
+                "op": "read",
+                "stack": "seven",
+                "request": protocol.request_to_wire(ReadRequest.point(0, 40.0)),
+            }
+        )
+        assert answer["error"]["code"] == protocol.INVALID
+
+    def test_oversized_line_is_answered_and_connection_survives(self, edge):
+        sock, reader = _raw_connection(edge)
+        try:
+            huge = b'{"pad": "' + b"x" * (2 * MAX_LINE) + b'"}\n'
+            sock.sendall(huge)
+            answer = json.loads(reader.readline())
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == protocol.OVERSIZED
+            sock.sendall(protocol.encode({"id": "small", "op": "ping"}))
+            answer = json.loads(reader.readline())
+            assert answer["id"] == "small" and answer["ok"] is True
+        finally:
+            sock.close()
+
+    def test_client_disconnect_mid_batch_does_not_wedge_the_server(self, edge):
+        sock, _reader = _raw_connection(edge)
+        wire = protocol.request_to_wire(ReadRequest.point(0, 61.0))
+        for i in range(8):
+            sock.sendall(
+                protocol.encode(
+                    {"id": f"orphan{i}", "op": "read", "stack": i, "request": wire}
+                )
+            )
+        sock.close()  # walk away with every answer still in flight
+        with EdgeClient(edge.host, edge.port) as fresh:
+            result = fresh.read(0, ReadRequest.point(0, 47.0))
+            assert result.ok
+            assert all(s["state"] == "healthy" for s in fresh.ping()["shards"])
+
+
+class TestEdgeHttpAdapter:
+    def test_post_read(self, edge):
+        conn = HTTPConnection(edge.host, edge.port, timeout=30.0)
+        try:
+            body = json.dumps(
+                {
+                    "id": "h1",
+                    "stack": 4,
+                    "request": protocol.request_to_wire(ReadRequest.point(2, 58.0)),
+                }
+            )
+            conn.request("POST", "/v1/read", body=body)
+            response = conn.getresponse()
+            answer = json.loads(response.read())
+            assert response.status == 200
+            assert answer["ok"] is True
+            readings = answer["result"]["readings"]
+            assert readings[0]["tier"] == 2
+            assert abs(readings[0]["temperature_c"] - 58.0) < 1.5
+        finally:
+            conn.close()
+
+    def test_post_read_error_maps_to_http_status(self, edge):
+        conn = HTTPConnection(edge.host, edge.port, timeout=30.0)
+        try:
+            body = json.dumps({"stack": 0, "request": {"kind": "warp"}})
+            conn.request("POST", "/v1/read", body=body)
+            response = conn.getresponse()
+            answer = json.loads(response.read())
+            assert response.status == protocol.HTTP_STATUS[protocol.INVALID]
+            assert answer["error"]["code"] == protocol.INVALID
+        finally:
+            conn.close()
+
+    def test_healthz(self, edge):
+        conn = HTTPConnection(edge.host, edge.port, timeout=30.0)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 200
+            assert payload["status"] == "ok"
+            assert len(payload["shards"]) == SHARDS
+        finally:
+            conn.close()
+
+    def test_metrics_exposition(self, edge):
+        conn = HTTPConnection(edge.host, edge.port, timeout=30.0)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert "repro_edge_connections" in text
+            assert "repro_edge_requests" in text
+        finally:
+            conn.close()
+
+    def test_unknown_route_is_404(self, edge):
+        conn = HTTPConnection(edge.host, edge.port, timeout=30.0)
+        try:
+            conn.request("GET", "/v2/teleport")
+            response = conn.getresponse()
+            answer = json.loads(response.read())
+            assert response.status == 404
+            assert answer["error"]["code"] == protocol.UNKNOWN_OP
+        finally:
+            conn.close()
+
+
+class TestAsyncClient:
+    def test_pipelined_concurrent_reads(self, edge):
+        import asyncio
+
+        from repro.edge import AsyncEdgeClient
+
+        async def go():
+            async with AsyncEdgeClient(edge.host, edge.port) as client:
+                results = await asyncio.gather(
+                    *[
+                        client.read(s, ReadRequest.point(s % TIERS, 40.0 + s))
+                        for s in range(10)
+                    ]
+                )
+                pong = await client.ping()
+            return results, pong
+
+        results, pong = asyncio.run(go())
+        assert all(r.ok for r in results)
+        ring = HashRing(range(SHARDS))
+        assert [r.shard for r in results] == [ring.route(s) for s in range(10)]
+        assert pong["ok"] is True
+
+
+class TestShardCrashRecovery:
+    def test_crash_in_flight_is_retryable_and_the_shard_respawns(self, edge):
+        ring = HashRing(range(SHARDS))
+        victim = ring.route(0)
+        patient = EdgeClient(
+            edge.host,
+            edge.port,
+            retry=RetryPolicy(attempts=10, backoff_s=0.1, max_backoff_s=1.0),
+        )
+        try:
+            before = {
+                s["shard"]: s["restarts"] for s in patient.ping()["shards"]
+            }
+            answer = patient.raw({"op": "chaos", "shard": victim, "kind": "exit"})
+            assert answer["ok"] is True
+            # The very next read to the dead shard either rides the retry
+            # loop to success or — if retries outpace the respawn — fails
+            # *typed and retryable*, never hangs.
+            try:
+                result = patient.read(0, ReadRequest.point(0, 52.0))
+                assert result.ok
+            except EdgeError as error:
+                assert error.retryable
+                time.sleep(2.0)
+                assert patient.read(0, ReadRequest.point(0, 52.0)).ok
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                shards = {
+                    s["shard"]: s for s in patient.ping()["shards"]
+                }
+                if (
+                    shards[victim]["restarts"] > before[victim]
+                    and shards[victim]["state"] == "healthy"
+                ):
+                    break
+                time.sleep(0.2)
+            else:
+                pytest.fail("crashed shard was not respawned to healthy in time")
+            # The respawned shard serves the same seeded stack.
+            assert patient.read(0, ReadRequest.point(0, 52.0)).ok
+        finally:
+            patient.close()
+
+
+class TestGoldenCrossProcessDeterminism:
+    """A sharded edge deployment is bit-identical to in-process serving.
+
+    Shard i's worker builds its die stack from ``shard_seed(root, i)``;
+    replaying the same requests against an in-process
+    :class:`SensorReadService` built from the same
+    :class:`WorkerConfig` must reproduce every answer bit for bit —
+    across a process boundary, a JSON wire and a respawnable worker.
+    """
+
+    def test_edge_matches_in_process_replay(self, edge, client):
+        requests = []
+        for stack in range(24):
+            requests.append((stack, ReadRequest.point(stack % TIERS, 30.0 + stack)))
+            if stack % 3 == 0:
+                requests.append((stack, ReadRequest.vt(stack % TIERS, 45.0)))
+            if stack % 5 == 0:
+                requests.append((stack, ReadRequest.scan(38.5)))
+
+        remote = {}
+        ring = HashRing(range(SHARDS))
+        for key, (stack, request) in enumerate(requests):
+            result = client.read(stack, request)
+            assert result.ok
+            remote[key] = result
+
+        by_shard = {}
+        for key, (stack, request) in enumerate(requests):
+            by_shard.setdefault(ring.route(stack), []).append((key, request))
+        configs = {w.shard_index: w for w in edge.config.worker_configs()}
+        for shard_index, batch in sorted(by_shard.items()):
+            with SensorReadService(
+                config=configs[shard_index].serve_config()
+            ) as local:
+                for key, request in batch:
+                    local_result = local.read(request)
+                    remote_result = remote[key]
+                    assert remote_result.shard == shard_index
+                    assert len(local_result.readings) == len(remote_result.readings)
+                    for mine, theirs in zip(
+                        local_result.readings, remote_result.readings
+                    ):
+                        assert mine.tier == theirs.tier
+                        # Bitwise: JSON floats round-trip exactly.
+                        assert mine.temperature_c == theirs.temperature_c
+                        assert mine.dvtn == theirs.dvtn
+                        assert mine.dvtp == theirs.dvtp
+
+    def test_distinct_shards_serve_distinct_stacks(self, client):
+        """Different shard seeds ⇒ different die populations."""
+        ring = HashRing(range(SHARDS))
+        by_shard = {}
+        for stack in range(64):
+            shard = ring.route(stack)
+            if shard not in by_shard:
+                by_shard[shard] = client.read(
+                    stack, ReadRequest.vt(0, 50.0)
+                ).readings[0].dvtn
+            if len(by_shard) == SHARDS:
+                break
+        assert len(set(by_shard.values())) == len(by_shard)

@@ -1,0 +1,87 @@
+"""Access-log path resolution: two services must never share a sink.
+
+Regression tests for the historical collision where two
+:class:`SensorReadService` instances in one process pointed at the same
+JSONL path interleaved (and clobbered) each other's records.
+"""
+
+import json
+import os
+
+from repro.serve import (
+    DEFAULT_ACCESS_LOG_PATTERN,
+    ReadRequest,
+    SensorReadService,
+    ServeConfig,
+    resolve_access_log_path,
+)
+from repro.serve.service import _release_access_log_path
+
+
+class TestResolveAccessLogPath:
+    def test_placeholders_substituted(self):
+        path = resolve_access_log_path(os.path.join("x", "log-{pid}-{instance}.jsonl"))
+        try:
+            assert str(os.getpid()) in path
+            assert "{instance}" not in path and "{pid}" not in path
+        finally:
+            _release_access_log_path(path)
+
+    def test_default_pattern_has_placeholders(self):
+        assert "{pid}" in DEFAULT_ACCESS_LOG_PATTERN
+        assert "{instance}" in DEFAULT_ACCESS_LOG_PATTERN
+
+    def test_literal_collision_is_uniquified(self, tmp_path):
+        literal = str(tmp_path / "access.jsonl")
+        first = resolve_access_log_path(literal)
+        second = resolve_access_log_path(literal)
+        try:
+            assert first == literal
+            assert second != literal
+            assert second.endswith(".jsonl")
+        finally:
+            _release_access_log_path(first)
+            _release_access_log_path(second)
+
+    def test_release_frees_the_path(self, tmp_path):
+        literal = str(tmp_path / "access.jsonl")
+        first = resolve_access_log_path(literal)
+        _release_access_log_path(first)
+        again = resolve_access_log_path(literal)
+        try:
+            assert again == literal
+        finally:
+            _release_access_log_path(again)
+
+
+class TestTwoServicesOneProcess:
+    def test_concurrent_services_write_disjoint_files(self, tmp_path):
+        """Two live services given the same path keep separate logs."""
+        literal = str(tmp_path / "shared.jsonl")
+        config = ServeConfig(tiers=2, cache_capacity=0)
+        with SensorReadService(config=config, access_log=literal) as a:
+            with SensorReadService(config=config, access_log=literal) as b:
+                assert a.access_log_path != b.access_log_path
+                a.read(ReadRequest.point(0, 40.0))
+                b.read(ReadRequest.point(1, 50.0))
+                b.read(ReadRequest.point(0, 60.0))
+        with open(a.access_log_path, encoding="utf-8") as handle:
+            a_records = [json.loads(line) for line in handle if line.strip()]
+        with open(b.access_log_path, encoding="utf-8") as handle:
+            b_records = [json.loads(line) for line in handle if line.strip()]
+        assert len(a_records) == 1
+        assert len(b_records) == 2
+        assert all(r["type"] == "access" for r in a_records + b_records)
+
+    def test_sequential_services_can_reuse_the_literal_path(self, tmp_path):
+        """close() releases the claim, so restart reuses the same file."""
+        literal = str(tmp_path / "restart.jsonl")
+        config = ServeConfig(tiers=2, cache_capacity=0)
+        with SensorReadService(config=config, access_log=literal) as first:
+            first.read(ReadRequest.point(0, 40.0))
+            first_path = first.access_log_path
+        with SensorReadService(config=config, access_log=literal) as second:
+            second.read(ReadRequest.point(0, 41.0))
+            second_path = second.access_log_path
+        assert first_path == literal
+        assert second_path == literal

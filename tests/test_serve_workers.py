@@ -1,0 +1,83 @@
+"""Worker-count determinism guarantees of the micro-batching service.
+
+Pins the contract documented in docs/serving.md ("Workers and
+determinism"):
+
+* deterministic mode consumes **no** rng — answers are pure functions of
+  (sensor, temperature, vdd), hence bit-identical for any worker count
+  and any batch composition;
+* noisy mode with ``workers=1`` preserves rng-draw order (arrival
+  order), hence bit-identical run-to-run even when batch boundaries
+  shift;
+* noisy mode with ``workers>1`` reassigns draws across concurrently
+  executing batches — values move run-to-run, statistics do not.
+"""
+
+import numpy as np
+
+from repro.serve import BatchPolicy, ReadRequest, SensorReadService, ServeConfig
+
+TIERS = 4
+
+
+def _serve_points(workers, deterministic, max_wait_ms=2.0, n=160):
+    config = ServeConfig(
+        tiers=TIERS,
+        seed=2012,
+        deterministic=deterministic,
+        workers=workers,
+        cache_capacity=0,  # caching would mask rng-order effects
+        batch=BatchPolicy(max_batch=8, max_wait_ms=max_wait_ms),
+    )
+    temps = [25.0 + (i % 7) * 9.5 for i in range(n)]
+    with SensorReadService(config=config) as service:
+        pendings = [
+            service.submit(ReadRequest.point(i % TIERS, temps[i]))
+            for i in range(n)
+        ]
+        values = [p.result(30.0).readings[0].temperature_c for p in pendings]
+    return temps, values
+
+
+class TestDeterministicModeBitIdentity:
+    def test_worker_count_is_invisible(self):
+        _, one = _serve_points(workers=1, deterministic=True)
+        _, four = _serve_points(workers=4, deterministic=True)
+        assert one == four  # bitwise: no rng is consumed in deterministic mode
+
+    def test_batch_composition_is_invisible(self):
+        _, waiting = _serve_points(workers=1, deterministic=True, max_wait_ms=2.0)
+        _, eager = _serve_points(workers=1, deterministic=True, max_wait_ms=0.0)
+        assert waiting == eager
+
+    def test_matches_scalar_replay(self):
+        """A fresh single-worker service replays the same answers."""
+        _, first = _serve_points(workers=1, deterministic=True)
+        _, second = _serve_points(workers=1, deterministic=True)
+        assert first == second
+
+
+class TestNoisyModeWorkerOrdering:
+    def test_single_worker_is_reproducible(self):
+        """workers=1 preserves arrival-order rng consumption bit-for-bit."""
+        _, a = _serve_points(workers=1, deterministic=False)
+        _, b = _serve_points(workers=1, deterministic=False)
+        assert a == b
+
+    def test_single_worker_survives_batch_boundary_shifts(self):
+        """Draw order follows arrival order, not batch boundaries."""
+        _, waiting = _serve_points(workers=1, deterministic=False, max_wait_ms=2.0)
+        _, eager = _serve_points(workers=1, deterministic=False, max_wait_ms=0.0)
+        assert waiting == eager
+
+    def test_multi_worker_preserves_statistics(self):
+        """workers=4 may reassign draws, but accuracy must not move."""
+        temps, one = _serve_points(workers=1, deterministic=False)
+        _, four = _serve_points(workers=4, deterministic=False)
+        err_one = float(np.mean(np.abs(np.array(one) - np.array(temps))))
+        err_four = float(np.mean(np.abs(np.array(four) - np.array(temps))))
+        # Same noise streams, same per-request draw counts: the two mean
+        # absolute errors estimate the same quantity.
+        assert abs(err_one - err_four) < 0.05
+        # And every answer stays inside the sensor's accuracy class.
+        assert float(np.max(np.abs(np.array(four) - np.array(temps)))) < 1.5
