@@ -3,9 +3,12 @@
 The acceptance bar of the network edge (docs/edge.md):
 
 * **scaling** — under a saturating arrival stream, 4 shards must serve
-  at least 2x the throughput of 1 shard, and the 1→2→4 curve must be
+  at least 2.5x the throughput of 1 shard, and the 1→2→4 curve must be
   monotonic (a pool that only breaks even would mean the routing or the
-  per-shard windows serialise the work);
+  per-shard windows serialise the work).  The bar rose from 2x when the
+  loadgen started charging honest per-request wire cost to the shards:
+  the binary wire's cheaper codec and coalesced IPC lift the curve
+  (see benchmarks/bench_wire.py for the per-message costs);
 * **determinism** — the shard-scaling loadgen is a virtual-time
   discrete-event simulation over seeded per-shard stacks, so two runs
   with the same config must produce the same report, byte for byte.
@@ -21,7 +24,7 @@ import time
 from repro.edge import EdgeLoadgenConfig, run_loadgen_edge
 
 REQUESTS = 4000
-MIN_SCALING_4SHARD = 2.0
+MIN_SCALING_4SHARD = 2.5
 
 
 def _config(shard_counts=(1, 2, 4)):

@@ -215,6 +215,7 @@ def _loadgen_edge(args) -> int:
         stacks=args.stacks,
         root_seed=args.root_seed,
         serve=serve,
+        wire=args.wire,
     )
     report = run_loadgen_edge(config)
     if args.json:
@@ -239,9 +240,9 @@ def _edge(args) -> int:
     )
     with EdgeServerThread(config) as edge:
         print(f"edge: {args.shards} shard(s) on {edge.host}:{edge.port} "
-              f"(NDJSON + HTTP; see docs/edge.md)")
+              f"(NDJSON + binary frames + HTTP; see docs/edge.md)")
         if args.smoke:
-            with EdgeClient(edge.host, edge.port) as client:
+            with EdgeClient(edge.host, edge.port, wire=args.wire) as client:
                 checks = [
                     ("point", ReadRequest.point(0, 45.0)),
                     ("vt", ReadRequest.vt(0, 45.0)),
@@ -281,6 +282,7 @@ def _edge_bench(args) -> int:
         stacks=args.stacks,
         root_seed=args.root_seed,
         start_method=args.start_method,
+        wire=args.wire,
     )
     print(report.render())
     expected = sum(
@@ -374,6 +376,13 @@ def _add_serving_arguments(parser, loadgen: bool) -> None:
             type=int,
             default=2012,
             help="edge deployment root seed with --edge (default 2012)",
+        )
+        parser.add_argument(
+            "--wire",
+            choices=("ndjson", "binary"),
+            default="binary",
+            help="wire-cost profile charged to the shards with --edge "
+            "(default binary, the deployed fast wire)",
         )
     else:
         parser.add_argument(
@@ -543,6 +552,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="boot, round-trip every request kind once, drain, exit",
     )
+    edge_parser.add_argument(
+        "--wire",
+        choices=("ndjson", "binary"),
+        default="ndjson",
+        help="wire format the --smoke client speaks (default ndjson)",
+    )
     edge_bench_parser = sub.add_parser(
         "edge-bench",
         help="wall-clock aggregate throughput of a real sharded edge "
@@ -570,6 +585,12 @@ def main(argv=None) -> int:
     )
     edge_bench_parser.add_argument(
         "--root-seed", type=int, default=2012, help="deployment root seed"
+    )
+    edge_bench_parser.add_argument(
+        "--wire",
+        choices=("ndjson", "binary"),
+        default="ndjson",
+        help="wire format the client threads speak (default ndjson)",
     )
     edge_bench_parser.add_argument(
         "--start-method",

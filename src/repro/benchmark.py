@@ -236,6 +236,69 @@ def bench_edge_loadgen(requests: int = 1500) -> float:
     return _time(lambda: run_loadgen_edge(config), repeats=1)
 
 
+def bench_wire_codec(messages: int = 2000) -> float:
+    """2000 binary read exchanges through the frame codec.
+
+    Decode of the packed inbound ``read`` plus encode of the packed
+    outbound answer — the per-message CPU of the edge event loop on the
+    fast wire.  The relative bar (binary at most half the NDJSON cost)
+    lives in benchmarks/bench_wire.py; this entry pins the absolute
+    codec cost so a packed-path regression (e.g. silently falling back
+    to JSON bodies) fails the ``--check``.
+    """
+    from repro.edge import protocol
+    from repro.serve.requests import ReadRequest
+
+    requests = [
+        protocol.encode_frame(
+            {
+                "v": protocol.PROTOCOL_VERSION,
+                "id": i,
+                "op": "read",
+                "stack": i % 64,
+                "request": protocol.request_to_wire(ReadRequest.point(i % 4, 45.0)),
+            }
+        )
+        for i in range(messages)
+    ]
+    answers = [
+        {
+            "id": i,
+            "ok": True,
+            "shard": i % 4,
+            "result": {
+                "status": "ok",
+                "batch_size": 8,
+                "cache_hits": 3,
+                "error": None,
+                "latency_ms": 1.25,
+                "readings": [
+                    {
+                        "tier": 1,
+                        "temperature_c": 45.03125,
+                        "dvtn": 0.0123,
+                        "dvtp": -0.0045,
+                        "converged": True,
+                        "quality": "ok",
+                        "cache_hit": False,
+                    }
+                ],
+            },
+        }
+        for i in range(messages)
+    ]
+
+    def loop():
+        header_size = protocol.FRAME_HEADER_SIZE
+        for blob in requests:
+            _version, kind, _length = protocol.decode_frame_header(blob[:header_size])
+            protocol.decode_frame_body(kind, blob[header_size:])
+        for answer in answers:
+            protocol.encode_frame(answer)
+
+    return _time(loop)
+
+
 BENCHMARKS: Dict[str, Callable[[], float]] = {
     "population_sweep_scalar_50x9": bench_population_sweep_scalar,
     "population_sweep_batch_200x9": bench_population_sweep_batch,
@@ -247,6 +310,7 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "faultsim_8tier_smoke": bench_faultsim_zero_fault,
     "serve_microbatch_50rps": bench_serve_microbatch,
     "edge_loadgen_1v4shard": bench_edge_loadgen,
+    "edge_wire_codec_2k": bench_wire_codec,
 }
 
 

@@ -3,8 +3,9 @@
 The subsystem that turns the in-process serving stack
 (:mod:`repro.serve`) into a deployable service:
 
-* :mod:`~repro.edge.protocol` — the typed NDJSON wire protocol and its
-  closed error vocabulary;
+* :mod:`~repro.edge.protocol` — the typed NDJSON wire protocol, the
+  length-prefixed binary frame format, and their shared closed error
+  vocabulary;
 * :mod:`~repro.edge.sharding` — per-shard seed derivation and the
   consistent-hash ring routing stack ids to shards;
 * :mod:`~repro.edge.worker` — the backend worker process, one seeded
@@ -13,21 +14,25 @@ The subsystem that turns the in-process serving stack
 * :mod:`~repro.edge.supervisor` — the health-checked shard pool
   (spawn, probe, quarantine, respawn, drain) with per-shard bounded
   outstanding-request windows;
-* :mod:`~repro.edge.server` — the asyncio TCP front end speaking NDJSON
-  and a minimal HTTP/1.1 adapter on one port;
-* :mod:`~repro.edge.client` — typed sync and asyncio clients with
-  retry/backoff on retryable failures;
+* :mod:`~repro.edge.server` — the asyncio TCP front end speaking NDJSON,
+  binary frames and a keep-alive HTTP/1.1 adapter on one port (the
+  protocol is sniffed from the first byte of each connection);
+* :mod:`~repro.edge.client` — typed sync and asyncio clients
+  (``wire="ndjson"`` or ``"binary"``) with retry/backoff on retryable
+  failures;
 * :mod:`~repro.edge.loadgen` — the virtual-time shard-scaling sweep
   behind ``python -m repro loadgen --edge``.
 
 See ``docs/edge.md`` for the protocol reference and failure semantics.
 """
 
-from repro.edge.client import AsyncEdgeClient, EdgeClient, RetryPolicy
+from repro.edge.client import WIRE_FORMATS, AsyncEdgeClient, EdgeClient, RetryPolicy
 from repro.edge.loadgen import (
+    WIRE_COSTS,
     EdgeLoadgenConfig,
     EdgeLoadgenReport,
     ShardScalingPoint,
+    WireCostModel,
     run_loadgen_edge,
 )
 from repro.edge.protocol import (
@@ -65,6 +70,9 @@ __all__ = [
     "ShardScalingPoint",
     "ShardSpec",
     "ShardState",
+    "WIRE_COSTS",
+    "WIRE_FORMATS",
+    "WireCostModel",
     "WorkerConfig",
     "metrics_text",
     "run_loadgen_edge",

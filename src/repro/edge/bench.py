@@ -85,11 +85,13 @@ def run_edge_bench(
     stacks: int = 64,
     root_seed: int = 2012,
     start_method: str = "spawn",
+    wire: str = "ndjson",
 ) -> EdgeBenchReport:
     """Measure aggregate wall-clock throughput at each shard count.
 
     ``clients`` threads, each with its own connection, split ``requests``
-    requests round-robin over ``stacks`` stack ids.
+    requests round-robin over ``stacks`` stack ids.  ``wire`` picks the
+    client wire format (``"ndjson"`` or ``"binary"``).
     """
     stream = _request_stream(tiers, requests)
     points: List[EdgeBenchPoint] = []
@@ -108,7 +110,7 @@ def run_edge_bench(
 
             def worker(offset: int) -> None:
                 ok = retried = 0
-                with EdgeClient(edge.host, edge.port) as client:
+                with EdgeClient(edge.host, edge.port, wire=wire) as client:
                     for i in range(offset, len(stream), clients):
                         result = client.read(i % stacks, stream[i])
                         if result.ok:

@@ -6,6 +6,11 @@ benchmark workers.  :class:`AsyncEdgeClient` multiplexes: any number of
 coroutines may await reads on one connection; a background reader task
 matches pipelined answers to callers by ``id``.
 
+Both speak either wire format — ``wire="ndjson"`` (the default,
+line-delimited JSON) or ``wire="binary"`` (length-prefixed packed
+frames; the server detects the format from the first byte, so no
+handshake round-trip is spent negotiating).
+
 Both retry **retryable** failures (``backpressure``, ``shard_down``)
 with capped exponential backoff and raise
 :class:`~repro.edge.protocol.EdgeError` once attempts are exhausted or
@@ -43,8 +48,17 @@ class RetryPolicy:
         return min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
 
 
+WIRE_FORMATS = ("ndjson", "binary")
+
+
+def _check_wire(wire: str) -> str:
+    if wire not in WIRE_FORMATS:
+        raise ValueError(f"wire must be one of {WIRE_FORMATS}, not {wire!r}")
+    return wire
+
+
 class EdgeClient:
-    """Blocking NDJSON client for one edge server."""
+    """Blocking client for one edge server (NDJSON or binary frames)."""
 
     def __init__(
         self,
@@ -52,14 +66,22 @@ class EdgeClient:
         port: int,
         timeout_s: float = 30.0,
         retry: RetryPolicy = RetryPolicy(),
+        wire: str = "ndjson",
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.retry = retry
+        self.wire = _check_wire(wire)
         self._ids = itertools.count(1)
         self._sock: Optional[socket.socket] = None
         self._file = None
+
+    def _next_id(self):
+        # Packed binary frames carry integer ids; NDJSON keeps the
+        # readable string form.
+        n = next(self._ids)
+        return n if self.wire == "binary" else f"c{n}"
 
     # ---------------------------------------------------------------- wiring
 
@@ -99,12 +121,27 @@ class EdgeClient:
         request_id = payload["id"]
         try:
             self._ensure()
+            if self.wire == "binary":
+                self._sock.sendall(protocol.encode_frame(payload))
+                while True:
+                    answer = self._read_frame()
+                    if answer.get("id") == request_id:
+                        return answer
+                    # Not ours (an id-less framing warning); keep reading.
             self._sock.sendall(protocol.encode(payload))
             while True:
                 line = self._file.readline()
                 if not line:
                     raise EdgeError(
                         protocol.SHARD_DOWN, "connection closed by server"
+                    )
+                if not line.endswith(b"\n"):
+                    # A fragment at EOF: the server died mid-response.
+                    # Typed and retryable — never a JSON decode crash.
+                    raise EdgeError(
+                        protocol.CLOSED,
+                        "connection closed mid-response by server",
+                        retryable=True,
                     )
                 answer = protocol.decode_line(line)
                 if answer.get("id") == request_id:
@@ -117,6 +154,32 @@ class EdgeClient:
         except Exception:
             self.close()
             raise
+
+    def _read_frame(self) -> Dict[str, Any]:
+        """Read exactly one binary frame off the socket file."""
+        header = self._read_exactly(protocol.FRAME_HEADER_SIZE, "frame header")
+        _version, kind, length = protocol.decode_frame_header(header)
+        body = self._read_exactly(length, "frame body")
+        return protocol.decode_frame_body(kind, body)
+
+    def _read_exactly(self, count: int, what: str) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining > 0:
+            chunk = self._file.read(remaining)
+            if not chunk:
+                if len(chunks) == 0 and remaining == count and what == "frame header":
+                    raise EdgeError(
+                        protocol.SHARD_DOWN, "connection closed by server"
+                    )
+                raise EdgeError(
+                    protocol.CLOSED,
+                    f"connection closed mid-{what} by server",
+                    retryable=True,
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
     # ------------------------------------------------------------------- ops
 
@@ -139,7 +202,7 @@ class EdgeClient:
                 time.sleep(self.retry.wait_s(attempt - 1))
             payload = {
                 "v": protocol.PROTOCOL_VERSION,
-                "id": f"c{next(self._ids)}",
+                "id": self._next_id(),
                 "op": "read",
                 "stack": stack_id,
                 "request": wire,
@@ -167,13 +230,13 @@ class EdgeClient:
         )
 
     def ping(self) -> Dict[str, Any]:
-        answer = self._exchange({"id": f"c{next(self._ids)}", "op": "ping"})
+        answer = self._exchange({"id": self._next_id(), "op": "ping"})
         if not answer.get("ok"):
             raise EdgeError.from_wire(answer.get("error", {}))
         return answer
 
     def stats(self) -> Dict[str, Any]:
-        answer = self._exchange({"id": f"c{next(self._ids)}", "op": "stats"})
+        answer = self._exchange({"id": self._next_id(), "op": "stats"})
         if not answer.get("ok"):
             raise EdgeError.from_wire(answer.get("error", {}))
         return answer
@@ -181,28 +244,34 @@ class EdgeClient:
     def raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """One arbitrary operation, no retries — protocol tests and chaos."""
         payload = dict(payload)
-        payload.setdefault("id", f"c{next(self._ids)}")
+        payload.setdefault("id", self._next_id())
         return self._exchange(payload)
 
 
 class AsyncEdgeClient:
-    """Asyncio NDJSON client; pipelines any number of concurrent reads."""
+    """Asyncio edge client; pipelines any number of concurrent reads."""
 
     def __init__(
         self,
         host: str,
         port: int,
         retry: RetryPolicy = RetryPolicy(),
+        wire: str = "ndjson",
     ) -> None:
         self.host = host
         self.port = port
         self.retry = retry
+        self.wire = _check_wire(wire)
         self._ids = itertools.count(1)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
-        self._pending: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._pending: Dict[Any, "asyncio.Future[Dict[str, Any]]"] = {}
         self._reader_task: Optional["asyncio.Task"] = None
         self._write_lock: Optional[asyncio.Lock] = None
+
+    def _next_id(self):
+        n = next(self._ids)
+        return n if self.wire == "binary" else f"a{n}"
 
     async def connect(self) -> "AsyncEdgeClient":
         self._reader, self._writer = await asyncio.open_connection(
@@ -244,10 +313,21 @@ class AsyncEdgeClient:
     async def _read_loop(self) -> None:
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
-                    break
-                answer = protocol.decode_line(line)
+                if self.wire == "binary":
+                    try:
+                        header = await self._reader.readexactly(
+                            protocol.FRAME_HEADER_SIZE
+                        )
+                    except asyncio.IncompleteReadError:
+                        break
+                    _version, kind, length = protocol.decode_frame_header(header)
+                    body = await self._reader.readexactly(length)
+                    answer = protocol.decode_frame_body(kind, body)
+                else:
+                    line = await self._reader.readline()
+                    if not line:
+                        break
+                    answer = protocol.decode_line(line)
                 future = self._pending.pop(answer.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(answer)
@@ -265,8 +345,9 @@ class AsyncEdgeClient:
             await self.connect()
         future = asyncio.get_running_loop().create_future()
         self._pending[payload["id"]] = future
+        encode = protocol.encode_frame if self.wire == "binary" else protocol.encode
         async with self._write_lock:
-            self._writer.write(protocol.encode(payload))
+            self._writer.write(encode(payload))
             await self._writer.drain()
         return await future
 
@@ -283,7 +364,7 @@ class AsyncEdgeClient:
                 await asyncio.sleep(self.retry.wait_s(attempt - 1))
             payload = {
                 "v": protocol.PROTOCOL_VERSION,
-                "id": f"a{next(self._ids)}",
+                "id": self._next_id(),
                 "op": "read",
                 "stack": stack_id,
                 "request": wire,
@@ -306,7 +387,7 @@ class AsyncEdgeClient:
         )
 
     async def ping(self) -> Dict[str, Any]:
-        answer = await self._exchange({"id": f"a{next(self._ids)}", "op": "ping"})
+        answer = await self._exchange({"id": self._next_id(), "op": "ping"})
         if not answer.get("ok"):
             raise EdgeError.from_wire(answer.get("error", {}))
         return answer

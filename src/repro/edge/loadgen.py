@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import math
 from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -46,6 +47,63 @@ from repro.serve.service import ServeConfig, build_stack_sensors
 
 
 @dataclass(frozen=True)
+class WireCostModel:
+    """Per-request wire + IPC CPU occupancy of one shard's serving path.
+
+    The virtual-time sweep charges each shard for the protocol work the
+    real deployment does per request — decoding it off the wire,
+    encoding its result, and the worker-pipe message carrying it.  The
+    constants are calibrated against the real codecs by
+    ``benchmarks/bench_wire.py``.
+
+    Attributes:
+        decode_request_s: CPU seconds to decode one read off the wire.
+        encode_result_s: CPU seconds to encode one result onto the wire.
+        ipc_message_s: CPU seconds per worker pipe message (pickle +
+            syscall + wakeup).
+        ipc_batch: Requests coalesced per pipe message (1 = a message
+            per request, the uncoalesced wire).
+    """
+
+    decode_request_s: float
+    encode_result_s: float
+    ipc_message_s: float
+    ipc_batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ipc_batch < 1:
+            raise ValueError("ipc_batch must be >= 1")
+
+    def batch_cost_s(self, take: int) -> float:
+        """Wire occupancy of serving one batch of ``take`` requests."""
+        messages = math.ceil(take / self.ipc_batch)
+        return (
+            take * (self.decode_request_s + self.encode_result_s)
+            + messages * self.ipc_message_s
+        )
+
+
+#: The two deployment profiles the sweep can model, calibrated from
+#: ``benchmarks/bench_wire.py`` on the reference machine: ``ndjson`` is
+#: the legacy slow wire (JSON lines, one pipe message per read);
+#: ``binary`` is the fast wire (packed frames + IPC coalesced 16-deep).
+WIRE_COSTS: Dict[str, WireCostModel] = {
+    "ndjson": WireCostModel(
+        decode_request_s=2.7e-6,
+        encode_result_s=7.8e-6,
+        ipc_message_s=2.0e-6,
+        ipc_batch=1,
+    ),
+    "binary": WireCostModel(
+        decode_request_s=1.6e-6,
+        encode_result_s=2.4e-6,
+        ipc_message_s=2.0e-6,
+        ipc_batch=16,
+    ),
+}
+
+
+@dataclass(frozen=True)
 class EdgeLoadgenConfig:
     """One edge-scaling run, fully specified (and fully seeded).
 
@@ -63,6 +121,10 @@ class EdgeLoadgenConfig:
         serve: Per-shard serving policies (tiers, batch, admission,
             cache).  ``serve.seed`` is ignored — shards derive their own.
         cost: Virtual-time service-cost model.
+        wire: Which :data:`WIRE_COSTS` profile to charge shards with
+            (``"binary"``, the deployed default, or ``"ndjson"``).
+        wire_cost: Explicit :class:`WireCostModel` overriding ``wire``'s
+            profile (``None`` resolves from :data:`WIRE_COSTS`).
         edge_overhead_s: Edge-side routing/framing cost per request,
             added to each request's latency (not to shard occupancy —
             the edge front end is not the bottleneck being modelled).
@@ -77,6 +139,8 @@ class EdgeLoadgenConfig:
     root_seed: int = 2012
     serve: ServeConfig = field(default_factory=ServeConfig)
     cost: CostModel = field(default_factory=CostModel)
+    wire: str = "binary"
+    wire_cost: Optional[WireCostModel] = None
     edge_overhead_s: float = 20e-6
     ring_replicas: int = 64
 
@@ -93,6 +157,14 @@ class EdgeLoadgenConfig:
             raise ValueError("shard_counts must be ascending")
         if self.stacks < 1:
             raise ValueError("stacks must be >= 1")
+        if self.wire not in WIRE_COSTS:
+            raise ValueError(
+                f"wire must be one of {tuple(WIRE_COSTS)}, not {self.wire!r}"
+            )
+
+    def resolve_wire_cost(self) -> WireCostModel:
+        """The wire-cost model in force (explicit override or profile)."""
+        return self.wire_cost if self.wire_cost is not None else WIRE_COSTS[self.wire]
 
 
 @dataclass(frozen=True)
@@ -122,6 +194,7 @@ class EdgeLoadgenReport:
     stacks: int
     seed: int
     root_seed: int
+    wire: str
     points: Tuple[ShardScalingPoint, ...]
     monotonic: bool
 
@@ -142,6 +215,7 @@ class EdgeLoadgenReport:
             "stacks": self.stacks,
             "seed": self.seed,
             "root_seed": self.root_seed,
+            "wire": self.wire,
             "monotonic": self.monotonic,
             "points": [
                 {
@@ -166,7 +240,8 @@ class EdgeLoadgenReport:
     def render(self) -> str:
         lines = [
             f"edge loadgen: {self.requests} requests @ {self.rate_rps:.0f} req/s "
-            f"over {self.stacks} stacks (seed {self.seed}, root seed {self.root_seed})",
+            f"over {self.stacks} stacks, {self.wire} wire "
+            f"(seed {self.seed}, root seed {self.root_seed})",
             "  shards  served  rejected  throughput   p50 ms   p95 ms  "
             "batch  cache%  scaling",
         ]
@@ -257,6 +332,7 @@ def _simulate_shard(
     engine = ReadEngine(sensors, cache=cache, deterministic=serve.deterministic)
     policy = serve.batch
     depth = serve.admission.queue_depth
+    wire_cost = config.resolve_wire_cost()
     outcome = _ShardOutcome()
 
     events: List[Tuple[float, int, ReadRequest]] = list(arrivals)
@@ -298,7 +374,9 @@ def _simulate_shard(
         batch = queue[:take]
         del queue[:take]
         results = engine.execute([request for _, request in batch], now=start)
-        service = batch_service_time(results, config.cost)
+        service = batch_service_time(results, config.cost) + wire_cost.batch_cost_s(
+            take
+        )
         finish = start + service
         free_at = finish
         outcome.last_finish = max(outcome.last_finish, finish)
@@ -386,6 +464,7 @@ def run_loadgen_edge(config: EdgeLoadgenConfig = EdgeLoadgenConfig()) -> EdgeLoa
         stacks=config.stacks,
         seed=config.seed,
         root_seed=config.root_seed,
+        wire=config.wire,
         points=tuple(points),
         monotonic=monotonic,
     )
@@ -395,5 +474,7 @@ __all__ = [
     "EdgeLoadgenConfig",
     "EdgeLoadgenReport",
     "ShardScalingPoint",
+    "WIRE_COSTS",
+    "WireCostModel",
     "run_loadgen_edge",
 ]

@@ -1,10 +1,15 @@
-"""The edge wire protocol: newline-delimited JSON, typed both ways.
+"""The edge wire protocol: NDJSON and binary frames, typed both ways.
 
-One connection carries a stream of JSON objects, one per line (NDJSON).
-Every client line is an *operation* (``op``) tagged with a caller-chosen
-``id``; every server line is the answer to exactly one operation,
-echoing that ``id`` — so clients may pipeline freely and match answers
-out of order.
+Two wire formats share one port, negotiated by the **first byte** of a
+connection: ``{`` opens the newline-delimited JSON protocol below;
+:data:`BINARY_MAGIC` opens the length-prefixed binary frame protocol
+(see *Binary frames*); anything else is HTTP.
+
+In NDJSON form one connection carries a stream of JSON objects, one per
+line.  Every client line is an *operation* (``op``) tagged with a
+caller-chosen ``id``; every server line is the answer to exactly one
+operation, echoing that ``id`` — so clients may pipeline freely and
+match answers out of order.
 
 Operations::
 
@@ -34,6 +39,8 @@ in :data:`HTTP_STATUS`.
 from __future__ import annotations
 
 import json
+import math
+import struct
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -312,6 +319,391 @@ class EdgeResult:
             if reading.tier == tier:
                 return reading
         raise KeyError(f"no reading for tier {tier}")
+
+
+# ----------------------------------------------------------- binary frames
+#
+# The fast wire.  A frame is an 8-byte struct-packed header followed by a
+# body of exactly ``length`` bytes::
+#
+#     0      1      2         4            8
+#     +------+------+---------+------------+----------------- - -
+#     | magic| ver  |  flags  |   length   |  body (length bytes)
+#     | 0xB7 | 0x01 | u16 BE  |   u32 BE   |
+#     +------+------+---------+------------+----------------- - -
+#
+# The low 4 bits of ``flags`` select the body encoding: JSON (any
+# payload; the compatibility body), or fixed-field packed bodies for the
+# three hot shapes — ``read`` operations, ``read`` answers, and typed
+# errors.  ``encode_frame`` picks the packed form when the payload fits
+# (integer ids, in-range fields) and falls back to a JSON body
+# otherwise, so *every* NDJSON payload has a binary representation.
+# Floats are packed as IEEE-754 doubles (struct ``d``), which is exactly
+# the value — the cross-process bit-identity guarantee holds on both
+# wires.
+#
+# The magic byte 0xB7 is not ``{`` and not an ASCII letter, so the
+# server's first-byte sniffer can tell a binary connection from NDJSON
+# and HTTP without consuming anything.
+
+BINARY_MAGIC = 0xB7
+BINARY_VERSION = 1
+
+FRAME_HEADER = struct.Struct("!BBHI")  # magic, version, flags, body length
+FRAME_HEADER_SIZE = FRAME_HEADER.size  # 8 bytes
+
+#: Body encodings (low 4 bits of the header ``flags``).
+FRAME_JSON = 0x0  # body is one JSON object (control ops, fallbacks)
+FRAME_READ = 0x1  # packed ``read`` operation — the hot request
+FRAME_RESULT = 0x2  # packed ``read`` answer
+FRAME_ERROR = 0x3  # packed typed error
+
+_FRAME_KIND_MASK = 0x000F
+
+# Closed vocabularies get stable wire indices (wire order is part of the
+# protocol; append only).
+_CODE_BY_INDEX: Tuple[str, ...] = (
+    MALFORMED,
+    INVALID,
+    UNKNOWN_OP,
+    OVERSIZED,
+    BACKPRESSURE,
+    SHARD_DOWN,
+    CLOSED,
+    INTERNAL,
+)
+_INDEX_BY_CODE = {code: i for i, code in enumerate(_CODE_BY_INDEX)}
+_KIND_BY_INDEX: Tuple[RequestKind, ...] = tuple(RequestKind)
+_INDEX_BY_KIND = {kind: i for i, kind in enumerate(_KIND_BY_INDEX)}
+_STATUS_BY_INDEX: Tuple[ResultStatus, ...] = tuple(ResultStatus)
+_INDEX_BY_STATUS = {status: i for i, status in enumerate(_STATUS_BY_INDEX)}
+
+# id(i64; -1 = none), stack(i64), kind(u8), tier(i16; -1 = none),
+# temp_c, vdd, assume_vdd, deadline_ms (NaN = absent)
+_READ_FIXED = struct.Struct("!qqBhdddd")
+# id(i64), shard(i16), status(u8), batch_size(u16), cache_hits(u16),
+# latency_ms
+_RESULT_FIXED = struct.Struct("!qhBHHd")
+# tier(u16), temperature_c, dvtn, dvtp, conversion_time, energy_j,
+# converged(u8), cache_hit(u8)
+_READING = struct.Struct("!HdddddBB")
+# id(i64; -1 = none), shard(i16; -1 = none), code(u8), retryable(u8)
+_ERROR_FIXED = struct.Struct("!qhBB")
+_U16 = struct.Struct("!H")
+_TEMP_ENTRY = struct.Struct("!Hd")
+
+_ABSENT_U16 = 0xFFFF  # count sentinel: field absent (vs present-but-empty)
+
+
+def _pack_str(text: Optional[str]) -> bytes:
+    blob = b"" if text is None else text.encode("utf-8")
+    if len(blob) > 0xFFFE:
+        blob = blob[:0xFFFE]
+    return _U16.pack(len(blob) + 1 if text is not None else 0) + blob
+
+
+class _BodyReader:
+    """Sequential unpacking with typed truncation errors."""
+
+    def __init__(self, body: bytes, what: str) -> None:
+        self.body = body
+        self.offset = 0
+        self.what = what
+
+    def unpack(self, spec: struct.Struct) -> tuple:
+        try:
+            values = spec.unpack_from(self.body, self.offset)
+        except struct.error as error:
+            raise EdgeError(
+                MALFORMED, f"truncated {self.what} frame: {error}"
+            ) from error
+        self.offset += spec.size
+        return values
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.body):
+            raise EdgeError(MALFORMED, f"truncated {self.what} frame")
+        blob = self.body[self.offset : self.offset + count]
+        self.offset += count
+        return blob
+
+    def unpack_str(self) -> Optional[str]:
+        (marker,) = self.unpack(_U16)
+        if marker == 0:
+            return None
+        return self.take(marker - 1).decode("utf-8", errors="replace")
+
+
+def _encode_read_body(payload: Mapping[str, Any]) -> bytes:
+    request = payload["request"]
+    if not isinstance(request, Mapping):
+        raise ValueError("read needs a request object")
+    kind = _KINDS.get(request.get("kind"))
+    if kind is None:
+        raise ValueError("unknown request kind")
+    tier = request.get("tier")
+    deadline_ms = request.get("deadline_ms")
+    parts = [
+        _READ_FIXED.pack(
+            int(payload.get("id", -1)),
+            int(payload.get("stack", 0)),
+            _INDEX_BY_KIND[kind],
+            -1 if tier is None else int(tier),
+            float(request.get("temp_c", 25.0)),
+            _nan_if_none(request.get("vdd")),
+            _nan_if_none(request.get("assume_vdd")),
+            _nan_if_none(deadline_ms),
+        )
+    ]
+    tiers = request.get("tiers")
+    if tiers is None:
+        parts.append(_U16.pack(_ABSENT_U16))
+    else:
+        parts.append(_U16.pack(len(tiers)))
+        for t in tiers:
+            parts.append(_U16.pack(int(t)))
+    temps_c = request.get("temps_c")
+    if temps_c is None:
+        parts.append(_U16.pack(_ABSENT_U16))
+    else:
+        parts.append(_U16.pack(len(temps_c)))
+        for t, c in temps_c.items():
+            parts.append(_TEMP_ENTRY.pack(int(t), float(c)))
+    return b"".join(parts)
+
+
+def _nan_if_none(value: Optional[float]) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def _none_if_nan(value: float) -> Optional[float]:
+    return None if math.isnan(value) else value
+
+
+def _decode_read_body(body: bytes) -> Dict[str, Any]:
+    reader = _BodyReader(body, "read")
+    (rid, stack, kind_index, tier, temp_c, vdd, assume_vdd, deadline_ms) = (
+        reader.unpack(_READ_FIXED)
+    )
+    if kind_index >= len(_KIND_BY_INDEX):
+        raise EdgeError(INVALID, f"unknown request kind index {kind_index}")
+    request: Dict[str, Any] = {
+        "kind": _KIND_BY_INDEX[kind_index].value,
+        "temp_c": temp_c,
+    }
+    if tier >= 0:
+        request["tier"] = tier
+    if (vdd := _none_if_nan(vdd)) is not None:
+        request["vdd"] = vdd
+    if (assume_vdd := _none_if_nan(assume_vdd)) is not None:
+        request["assume_vdd"] = assume_vdd
+    if (deadline_ms := _none_if_nan(deadline_ms)) is not None:
+        request["deadline_ms"] = deadline_ms
+    (n_tiers,) = reader.unpack(_U16)
+    if n_tiers != _ABSENT_U16:
+        request["tiers"] = [reader.unpack(_U16)[0] for _ in range(n_tiers)]
+    (n_temps,) = reader.unpack(_U16)
+    if n_temps != _ABSENT_U16:
+        temps: Dict[str, float] = {}
+        for _ in range(n_temps):
+            t, c = reader.unpack(_TEMP_ENTRY)
+            temps[str(t)] = c
+        request["temps_c"] = temps
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": None if rid < 0 else rid,
+        "op": "read",
+        "stack": stack,
+        "request": request,
+    }
+
+
+def _encode_result_body(payload: Mapping[str, Any]) -> bytes:
+    result = payload["result"]
+    status = ResultStatus(result["status"])
+    readings = result.get("readings", ())
+    parts = [
+        _RESULT_FIXED.pack(
+            int(payload.get("id", -1)),
+            int(payload.get("shard", -1)),
+            _INDEX_BY_STATUS[status],
+            int(result.get("batch_size", 0)),
+            int(result.get("cache_hits", 0)),
+            float(result.get("latency_ms", 0.0)),
+        ),
+        _pack_str(result.get("error")),
+        _U16.pack(len(readings)),
+    ]
+    for r in readings:
+        parts.append(
+            _READING.pack(
+                int(r["tier"]),
+                float(r["temperature_c"]),
+                float(r["dvtn"]),
+                float(r["dvtp"]),
+                float(r.get("conversion_time", 0.0)),
+                float(r.get("energy_j", 0.0)),
+                1 if r.get("converged", False) else 0,
+                1 if r.get("cache_hit", False) else 0,
+            )
+        )
+        parts.append(_pack_str(r.get("quality", "ok")))
+    return b"".join(parts)
+
+
+def _decode_result_body(body: bytes) -> Dict[str, Any]:
+    reader = _BodyReader(body, "result")
+    rid, shard, status_index, batch_size, cache_hits, latency_ms = reader.unpack(
+        _RESULT_FIXED
+    )
+    if status_index >= len(_STATUS_BY_INDEX):
+        raise EdgeError(MALFORMED, f"unknown result status index {status_index}")
+    error = reader.unpack_str()
+    (n_readings,) = reader.unpack(_U16)
+    readings = []
+    for _ in range(n_readings):
+        (tier, temp, dvtn, dvtp, conv, energy, converged, cache_hit) = (
+            reader.unpack(_READING)
+        )
+        quality = reader.unpack_str()
+        readings.append(
+            {
+                "tier": tier,
+                "temperature_c": temp,
+                "dvtn": dvtn,
+                "dvtp": dvtp,
+                "converged": bool(converged),
+                "quality": "ok" if quality is None else quality,
+                "cache_hit": bool(cache_hit),
+                "conversion_time": conv,
+                "energy_j": energy,
+            }
+        )
+    return {
+        "id": None if rid < 0 else rid,
+        "ok": True,
+        "shard": shard,
+        "result": {
+            "status": _STATUS_BY_INDEX[status_index].value,
+            "batch_size": batch_size,
+            "cache_hits": cache_hits,
+            "error": error,
+            "latency_ms": latency_ms,
+            "readings": readings,
+        },
+    }
+
+
+def _encode_error_body(payload: Mapping[str, Any]) -> bytes:
+    error = payload["error"]
+    code = error.get("code", INTERNAL)
+    rid = payload.get("id")
+    shard = payload.get("shard")
+    return (
+        _ERROR_FIXED.pack(
+            -1 if rid is None else int(rid),
+            -1 if shard is None else int(shard),
+            _INDEX_BY_CODE[code],
+            1 if error.get("retryable", code in RETRYABLE_CODES) else 0,
+        )
+        + _pack_str(error.get("message", ""))
+    )
+
+
+def _decode_error_body(body: bytes) -> Dict[str, Any]:
+    reader = _BodyReader(body, "error")
+    rid, shard, code_index, retryable = reader.unpack(_ERROR_FIXED)
+    code = (
+        _CODE_BY_INDEX[code_index]
+        if code_index < len(_CODE_BY_INDEX)
+        else INTERNAL
+    )
+    message = reader.unpack_str() or ""
+    payload: Dict[str, Any] = {
+        "id": None if rid < 0 else rid,
+        "ok": False,
+        "error": {
+            "code": code,
+            "message": message,
+            "retryable": bool(retryable),
+        },
+    }
+    if shard >= 0:
+        payload["shard"] = shard
+    return payload
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """One binary frame: packed body when the payload fits, JSON body else.
+
+    The packed forms require integer ids (the binary clients allocate
+    numeric ids); anything that does not fit — string ids, out-of-range
+    fields, control ops — rides a JSON body, so every payload of the
+    NDJSON protocol is expressible on the binary wire.
+    """
+    rid = payload.get("id")
+    packed_id = rid is None or isinstance(rid, int)
+    try:
+        if packed_id and payload.get("op") == "read":
+            return _frame(FRAME_READ, _encode_read_body(payload))
+        if packed_id and payload.get("ok") and "result" in payload:
+            return _frame(FRAME_RESULT, _encode_result_body(payload))
+        if (
+            packed_id
+            and payload.get("ok") is False
+            and isinstance(payload.get("error"), Mapping)
+        ):
+            return _frame(FRAME_ERROR, _encode_error_body(payload))
+    except (KeyError, TypeError, ValueError, OverflowError, struct.error):
+        pass  # payload does not fit the fixed fields; JSON body below
+    return _frame(FRAME_JSON, json.dumps(payload, separators=(",", ":")).encode("utf-8"))
+
+
+def _frame(kind: int, body: bytes) -> bytes:
+    return FRAME_HEADER.pack(BINARY_MAGIC, BINARY_VERSION, kind, len(body)) + body
+
+
+def decode_frame_header(header: bytes) -> Tuple[int, int, int]:
+    """Parse one frame header into ``(version, kind, body_length)``.
+
+    Raises:
+        EdgeError: ``malformed`` on a short header or wrong magic — the
+            stream offers no resync point, so the connection must close;
+            ``invalid`` on an unsupported version — the header layout
+            (and so the ``length`` field) still holds, so the caller may
+            skip the body and keep the connection.
+    """
+    if len(header) < FRAME_HEADER_SIZE:
+        raise EdgeError(MALFORMED, "truncated frame header")
+    magic, version, flags, length = FRAME_HEADER.unpack(header[:FRAME_HEADER_SIZE])
+    if magic != BINARY_MAGIC:
+        raise EdgeError(
+            MALFORMED, f"bad frame magic 0x{magic:02x} (want 0x{BINARY_MAGIC:02x})"
+        )
+    if version != BINARY_VERSION:
+        raise EdgeError(
+            INVALID,
+            f"unsupported frame version {version} (speaking {BINARY_VERSION})",
+        )
+    return version, flags & _FRAME_KIND_MASK, length
+
+
+def decode_frame_body(kind: int, body: bytes) -> Dict[str, Any]:
+    """Decode one frame body into the equivalent NDJSON payload.
+
+    Raises:
+        EdgeError: ``malformed`` on truncated bodies / non-object JSON,
+            ``invalid`` on unknown frame kinds.
+    """
+    if kind == FRAME_JSON:
+        return decode_line(body)
+    if kind == FRAME_READ:
+        return _decode_read_body(body)
+    if kind == FRAME_RESULT:
+        return _decode_result_body(body)
+    if kind == FRAME_ERROR:
+        return _decode_error_body(body)
+    raise EdgeError(INVALID, f"unknown frame kind {kind}")
 
 
 def wire_to_edge_result(

@@ -1,15 +1,25 @@
-"""The asyncio network edge: NDJSON + minimal HTTP over one TCP port.
+"""The asyncio network edge: NDJSON, binary frames + HTTP on one port.
 
 :class:`EdgeServer` is the remote front door of a sharded sensor-readout
-deployment.  One listening socket speaks both protocols — the first byte
-of a connection decides:
+deployment.  One listening socket speaks three protocols — the first
+byte of a connection decides:
 
 * ``{`` opens the newline-delimited JSON protocol of
   :mod:`repro.edge.protocol` (pipelined ops, answers matched by id);
-* anything else is parsed as HTTP/1.1, a minimal adapter with three
-  routes: ``POST /v1/read`` (one read per request/response),
+* ``0xB7`` (the frame magic) opens the length-prefixed binary frame
+  protocol — same operations and error vocabulary, struct-packed
+  fixed-field bodies for the hot ``read`` path, negotiated simply by
+  the client sending its first frame;
+* anything else is parsed as HTTP/1.1 with **keep-alive** (the 1.1
+  default: many exchanges per connection, pipelining honoured), a
+  minimal adapter with three routes: ``POST /v1/read``,
   ``GET /healthz`` (shard supervision state) and ``GET /metrics``
   (the process-wide telemetry registry in Prometheus text format).
+
+Connections idle longer than ``idle_timeout_s`` are closed; the
+``/healthz`` and ``/metrics`` bodies can be cached for
+``status_cache_s`` so aggressive scrapers don't make the edge render
+its registry per probe.
 
 Requests route through the :class:`~repro.edge.supervisor.ShardPool`;
 every failure a client can see is typed (`docs/edge.md` lists the
@@ -28,8 +38,9 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro import telemetry
 from repro.edge import protocol
@@ -55,6 +66,18 @@ _ERRORS = telemetry.counter(
 _REQUEST_MS = telemetry.histogram(
     "edge.request_ms", unit="ms", help="Edge-side end-to-end read latency"
 )
+_BYTES_IN = telemetry.counter(
+    "edge.bytes_in", unit="bytes", help="Bytes read from client connections"
+)
+_BYTES_OUT = telemetry.counter(
+    "edge.bytes_out", unit="bytes", help="Bytes written to client connections"
+)
+_CPU_US = telemetry.histogram(
+    "edge.cpu_us_per_request",
+    unit="us",
+    help="Edge CPU time spent decoding + encoding one read exchange "
+    "(wire cost only; shard time excluded)",
+)
 
 _HTTP_METHODS = (b"GET", b"POST", b"PUT", b"HEAD", b"DELETE", b"OPTIONS", b"PATCH")
 
@@ -76,8 +99,18 @@ class EdgeConfig:
         cache_capacity / cache_ttl_s: Per-shard result-cache knobs.
         window: Bound on requests outstanding per shard at the edge —
             the remote face of admission control.
-        max_line_bytes: NDJSON line / HTTP body bound; beyond it the
-            client gets a typed ``oversized`` error.
+        ipc_batch: Routed reads coalesced per worker pipe message (1
+            restores one-message-per-read IPC).
+        ipc_linger_s: Longest a part-filled IPC batch waits to fill
+            before flushing to the worker pipe.
+        max_line_bytes: NDJSON line / binary frame body / HTTP body
+            bound; beyond it the client gets a typed ``oversized``
+            error.
+        idle_timeout_s: Close connections that stay silent this long
+            between reads (``0`` disables the timeout).
+        status_cache_s: Serve ``/healthz`` and ``/metrics`` from a
+            cached render no older than this (``0``, the default,
+            renders fresh per request).
         start_method: Multiprocessing start method of the workers
             (``spawn`` is the safe default; ``fork`` starts faster).
         health_interval_s / health_timeout_s / respawn_backoff_s:
@@ -102,7 +135,11 @@ class EdgeConfig:
     cache_capacity: int = 2048
     cache_ttl_s: float = 5.0
     window: int = 64
+    ipc_batch: int = 16
+    ipc_linger_s: float = 0.0005
     max_line_bytes: int = protocol.MAX_LINE_BYTES
+    idle_timeout_s: float = 300.0
+    status_cache_s: float = 0.0
     start_method: str = "spawn"
     health_interval_s: float = 1.0
     health_timeout_s: float = 5.0
@@ -117,6 +154,14 @@ class EdgeConfig:
             raise ValueError("shards must be >= 1")
         if self.max_line_bytes < 1024:
             raise ValueError("max_line_bytes must be >= 1024")
+        if self.ipc_batch < 1:
+            raise ValueError("ipc_batch must be >= 1")
+        if self.ipc_linger_s < 0.0:
+            raise ValueError("ipc_linger_s must be non-negative")
+        if self.idle_timeout_s < 0.0:
+            raise ValueError("idle_timeout_s must be non-negative")
+        if self.status_cache_s < 0.0:
+            raise ValueError("status_cache_s must be non-negative")
 
     def worker_configs(self) -> Tuple[WorkerConfig, ...]:
         """One :class:`WorkerConfig` per shard, seeds derived."""
@@ -182,11 +227,16 @@ class EdgeServer:
             health_timeout_s=config.health_timeout_s,
             respawn_backoff_s=config.respawn_backoff_s,
             ring_replicas=config.ring_replicas,
+            ipc_batch=config.ipc_batch,
+            ipc_linger_s=config.ipc_linger_s,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._closing = False
         self.port: Optional[int] = None
+        # target -> (rendered_at, status, content_type, blob); see
+        # EdgeConfig.status_cache_s.
+        self._status_cache: Dict[str, Tuple[float, int, str, bytes]] = {}
 
     # -------------------------------------------------------------- lifecycle
 
@@ -237,68 +287,19 @@ class EdgeServer:
         write_lock = asyncio.Lock()
         inflight: set = set()
         try:
-            buffer = bytearray()
-            dropping = False
-            http = None  # undecided until the first byte
-            while True:
-                newline = buffer.find(b"\n")
-                if newline < 0:
-                    if http is None and buffer:
-                        http = not buffer.startswith(b"{")
-                    if http:
-                        await self._handle_http(reader, writer, bytes(buffer))
-                        return
-                    if dropping:
-                        buffer.clear()
-                    elif len(buffer) > self.config.max_line_bytes:
-                        await self._send(
-                            writer,
-                            write_lock,
-                            protocol.error_payload(
-                                None,
-                                EdgeError(
-                                    protocol.OVERSIZED,
-                                    f"line exceeds {self.config.max_line_bytes} bytes",
-                                ),
-                            ),
-                        )
-                        _ERRORS.inc()
-                        dropping = True
-                        buffer.clear()
-                    chunk = await reader.read(65536)
-                    if not chunk:
-                        return
-                    buffer += chunk
-                    continue
-                if http is None:
-                    http = not buffer.startswith(b"{")
-                    if http:
-                        await self._handle_http(reader, writer, bytes(buffer))
-                        return
-                line = bytes(buffer[:newline])
-                del buffer[: newline + 1]
-                if dropping:
-                    dropping = False  # the runt tail of an oversized line
-                    continue
-                if not line.strip():
-                    continue
-                if len(line) > self.config.max_line_bytes:
-                    await self._send(
-                        writer,
-                        write_lock,
-                        protocol.error_payload(
-                            None,
-                            EdgeError(
-                                protocol.OVERSIZED,
-                                f"line exceeds {self.config.max_line_bytes} bytes",
-                            ),
-                        ),
+            first = await self._read_some(reader)
+            if first:
+                buffer = bytearray(first)
+                if buffer.startswith(b"{"):
+                    await self._serve_ndjson(
+                        reader, writer, buffer, write_lock, inflight
                     )
-                    _ERRORS.inc()
-                    continue
-                done = await self._handle_line(line, writer, write_lock, inflight)
-                if done:
-                    return
+                elif buffer[0] == protocol.BINARY_MAGIC:
+                    await self._serve_binary(
+                        reader, writer, buffer, write_lock, inflight
+                    )
+                else:
+                    await self._serve_http(reader, writer, buffer)
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # client went away; in-flight work still completes below
         except asyncio.CancelledError:
@@ -313,9 +314,34 @@ class EdgeServer:
             except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _send(self, writer, write_lock, payload: Mapping[str, Any]) -> None:
+    async def _read_some(self, reader) -> bytes:
+        """One chunk from the client, idle-timeout bounded; ``b''`` closes."""
+        if self.config.idle_timeout_s > 0.0:
+            try:
+                chunk = await asyncio.wait_for(
+                    reader.read(65536), timeout=self.config.idle_timeout_s
+                )
+            except asyncio.TimeoutError:
+                return b""
+        else:
+            chunk = await reader.read(65536)
+        if chunk:
+            _BYTES_IN.inc(len(chunk))
+        return chunk
+
+    async def _send(
+        self,
+        writer,
+        write_lock,
+        payload: Mapping[str, Any],
+        encode: Callable[[Mapping[str, Any]], bytes] = protocol.encode,
+    ) -> None:
+        await self._send_raw(writer, write_lock, encode(payload))
+
+    async def _send_raw(self, writer, write_lock, blob: bytes) -> None:
         async with write_lock:
-            writer.write(protocol.encode(payload))
+            writer.write(blob)
+            _BYTES_OUT.inc(len(blob))
             try:
                 await writer.drain()
             except (ConnectionResetError, BrokenPipeError, OSError):
@@ -323,23 +349,184 @@ class EdgeServer:
 
     # ------------------------------------------------------------------ NDJSON
 
-    async def _handle_line(self, line, writer, write_lock, inflight) -> bool:
-        """Dispatch one NDJSON operation; True means: close the connection."""
+    async def _serve_ndjson(
+        self, reader, writer, buffer: bytearray, write_lock, inflight
+    ) -> None:
+        """The newline-delimited JSON face: one op per line, pipelined."""
+        dropping = False
+        while True:
+            newline = buffer.find(b"\n")
+            if newline < 0:
+                if dropping:
+                    buffer.clear()
+                elif len(buffer) > self.config.max_line_bytes:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        protocol.error_payload(
+                            None,
+                            EdgeError(
+                                protocol.OVERSIZED,
+                                f"line exceeds {self.config.max_line_bytes} bytes",
+                            ),
+                        ),
+                    )
+                    _ERRORS.inc()
+                    dropping = True
+                    buffer.clear()
+                chunk = await self._read_some(reader)
+                if not chunk:
+                    return
+                buffer += chunk
+                continue
+            line = bytes(buffer[:newline])
+            del buffer[: newline + 1]
+            if dropping:
+                dropping = False  # the runt tail of an oversized line
+                continue
+            if not line.strip():
+                continue
+            if len(line) > self.config.max_line_bytes:
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.error_payload(
+                        None,
+                        EdgeError(
+                            protocol.OVERSIZED,
+                            f"line exceeds {self.config.max_line_bytes} bytes",
+                        ),
+                    ),
+                )
+                _ERRORS.inc()
+                continue
+            await self._handle_line(line, writer, write_lock, inflight)
+
+    async def _handle_line(self, line, writer, write_lock, inflight) -> None:
+        """Decode one NDJSON line and dispatch its operation."""
+        started = time.perf_counter()
         try:
             payload = protocol.decode_line(line)
         except EdgeError as error:
             _ERRORS.inc()
             await self._send(writer, write_lock, protocol.error_payload(None, error))
-            return False
+            return
+        decode_s = time.perf_counter() - started
+        await self._dispatch(
+            payload, writer, write_lock, inflight, protocol.encode, decode_s
+        )
+
+    # ----------------------------------------------------------- binary frames
+
+    async def _serve_binary(
+        self, reader, writer, buffer: bytearray, write_lock, inflight
+    ) -> None:
+        """The length-prefixed binary-frame face: same ops, packed bodies.
+
+        Framing errors follow the NDJSON answer-don't-reset discipline
+        wherever a resync point exists: an unsupported version or an
+        oversized frame is answered typed and its declared body skipped;
+        bad magic means framing is lost, so the error is answered and
+        the connection closed.  A header truncated at EOF closes
+        quietly.
+        """
+        encode = protocol.encode_frame
+        while True:
+            while len(buffer) < protocol.FRAME_HEADER_SIZE:
+                chunk = await self._read_some(reader)
+                if not chunk:
+                    return  # clean close (or truncated header) at EOF
+                buffer += chunk
+            header = bytes(buffer[: protocol.FRAME_HEADER_SIZE])
+            started = time.perf_counter()
+            try:
+                _version, kind, length = protocol.decode_frame_header(header)
+            except EdgeError as error:
+                _ERRORS.inc()
+                await self._send(
+                    writer, write_lock, protocol.error_payload(None, error), encode
+                )
+                if error.code == protocol.MALFORMED:
+                    return  # bad magic: no resync point in the stream
+                # Unsupported version: the header layout (and so the
+                # length field) still holds — skip the body and survive.
+                length = protocol.FRAME_HEADER.unpack(header)[3]
+                del buffer[: protocol.FRAME_HEADER_SIZE]
+                if not await self._skip_bytes(reader, buffer, length):
+                    return
+                continue
+            decode_s = time.perf_counter() - started
+            del buffer[: protocol.FRAME_HEADER_SIZE]
+            if length > self.config.max_line_bytes:
+                _ERRORS.inc()
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.error_payload(
+                        None,
+                        EdgeError(
+                            protocol.OVERSIZED,
+                            f"frame body of {length} bytes exceeds "
+                            f"{self.config.max_line_bytes}",
+                        ),
+                    ),
+                    encode,
+                )
+                if not await self._skip_bytes(reader, buffer, length):
+                    return
+                continue
+            while len(buffer) < length:
+                chunk = await self._read_some(reader)
+                if not chunk:
+                    return  # body truncated at EOF
+                buffer += chunk
+            body = bytes(buffer[:length])
+            del buffer[:length]
+            started = time.perf_counter()
+            try:
+                payload = protocol.decode_frame_body(kind, body)
+            except EdgeError as error:
+                _ERRORS.inc()
+                await self._send(
+                    writer, write_lock, protocol.error_payload(None, error), encode
+                )
+                continue
+            decode_s += time.perf_counter() - started
+            await self._dispatch(
+                payload, writer, write_lock, inflight, encode, decode_s
+            )
+
+    async def _skip_bytes(self, reader, buffer: bytearray, count: int) -> bool:
+        """Discard ``count`` declared body bytes; ``False`` means EOF."""
+        while count > 0:
+            if buffer:
+                taken = min(count, len(buffer))
+                del buffer[:taken]
+                count -= taken
+                continue
+            chunk = await self._read_some(reader)
+            if not chunk:
+                return False
+            buffer += chunk
+        return True
+
+    # --------------------------------------------------------------- dispatch
+
+    async def _dispatch(
+        self, payload, writer, write_lock, inflight, encode, decode_s: float
+    ) -> None:
+        """Route one decoded operation; answers with ``encode``'s format."""
         request_id = payload.get("id")
         op = payload.get("op", "read")
         if op == "read":
             task = asyncio.ensure_future(
-                self._answer_read(payload, request_id, writer, write_lock)
+                self._answer_read(
+                    payload, request_id, writer, write_lock, encode, decode_s
+                )
             )
             inflight.add(task)
             task.add_done_callback(inflight.discard)
-            return False
+            return
         if op == "ping":
             await self._send(
                 writer,
@@ -351,8 +538,9 @@ class EdgeServer:
                     "draining": self._closing,
                     "shards": self.pool.health(),
                 },
+                encode,
             )
-            return False
+            return
         if op == "stats":
             loop = asyncio.get_running_loop()
             stats = await loop.run_in_executor(None, self.pool.shard_stats)
@@ -360,12 +548,15 @@ class EdgeServer:
                 writer,
                 write_lock,
                 {"id": request_id, "ok": True, "shards": stats},
+                encode,
             )
-            return False
+            return
         if op == "chaos" and self.config.enable_chaos:
             try:
                 self.pool.chaos(int(payload.get("shard", 0)), payload.get("kind", "exit"))
-                await self._send(writer, write_lock, {"id": request_id, "ok": True})
+                await self._send(
+                    writer, write_lock, {"id": request_id, "ok": True}, encode
+                )
             except (EdgeError, ValueError, KeyError) as error:
                 await self._send(
                     writer,
@@ -373,8 +564,9 @@ class EdgeServer:
                     protocol.error_payload(
                         request_id, EdgeError(protocol.INTERNAL, str(error))
                     ),
+                    encode,
                 )
-            return False
+            return
         _ERRORS.inc()
         await self._send(
             writer,
@@ -386,12 +578,17 @@ class EdgeServer:
                     f"unknown op {op!r}; known: read, ping, stats",
                 ),
             ),
+            encode,
         )
-        return False
 
-    async def _answer_read(self, payload, request_id, writer, write_lock) -> None:
+    async def _answer_read(
+        self, payload, request_id, writer, write_lock, encode, decode_s: float
+    ) -> None:
         answer = await self._route_read(payload, request_id)
-        await self._send(writer, write_lock, answer)
+        started = time.perf_counter()
+        blob = encode(answer)
+        _CPU_US.observe((decode_s + time.perf_counter() - started) * 1e6)
+        await self._send_raw(writer, write_lock, blob)
 
     async def _route_read(self, payload, request_id) -> Dict[str, Any]:
         """Route one read through its shard; always returns an answer."""
@@ -434,86 +631,118 @@ class EdgeServer:
 
     # -------------------------------------------------------------------- HTTP
 
-    async def _handle_http(self, reader, writer, head: bytes) -> None:
-        """Serve one HTTP/1.1 exchange, then close (Connection: close)."""
-        _HTTP_REQUESTS.inc()
+    async def _serve_http(self, reader, writer, buffer: bytearray) -> None:
+        """Serve HTTP/1.1 exchanges until the connection is done.
+
+        Keep-alive is the HTTP/1.1 default: the loop answers request
+        after request on one connection (honouring ``Connection:
+        close`` / ``keep-alive``, with HTTP/1.0 defaulting to close),
+        and pipelined requests already buffered are answered in order.
+        Unframable requests (bad request line, oversized or unreadable
+        bodies) are still *answered* typed, but end the connection —
+        the stream offers no safe resync point past them.
+        """
         try:
-            data = bytearray(head)
-            while b"\r\n\r\n" not in data:
-                if len(data) > self.config.max_line_bytes:
+            while True:
+                while b"\r\n\r\n" not in buffer:
+                    if len(buffer) > self.config.max_line_bytes:
+                        await self._http_error(
+                            writer,
+                            EdgeError(protocol.OVERSIZED, "headers too large"),
+                            keep_alive=False,
+                        )
+                        return
+                    chunk = await self._read_some(reader)
+                    if not chunk:
+                        return
+                    buffer += chunk
+                _HTTP_REQUESTS.inc()
+                header_blob, _, _rest = bytes(buffer).partition(b"\r\n\r\n")
+                del buffer[: len(header_blob) + 4]
+                request_line, *header_lines = header_blob.split(b"\r\n")
+                try:
+                    method, target, version = request_line.decode("latin-1").split(
+                        " ", 2
+                    )
+                except ValueError:
                     await self._http_error(
-                        writer, EdgeError(protocol.OVERSIZED, "headers too large")
+                        writer,
+                        EdgeError(protocol.MALFORMED, "bad HTTP request line"),
+                        keep_alive=False,
                     )
                     return
-                chunk = await reader.read(65536)
-                if not chunk:
+                headers = {}
+                for header_line in header_lines:
+                    name, _, value = header_line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                keep_alive = version.strip().upper() != "HTTP/1.0"
+                connection = headers.get("connection", "").lower()
+                if connection == "close":
+                    keep_alive = False
+                elif connection == "keep-alive":
+                    keep_alive = True
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    await self._http_error(
+                        writer,
+                        EdgeError(protocol.MALFORMED, "bad Content-Length"),
+                        keep_alive=False,
+                    )
                     return
-                data += chunk
-            header_blob, _, body = data.partition(b"\r\n\r\n")
-            request_line, *header_lines = header_blob.split(b"\r\n")
-            try:
-                method, target, _version = request_line.decode("latin-1").split(" ", 2)
-            except ValueError:
-                await self._http_error(
-                    writer, EdgeError(protocol.MALFORMED, "bad HTTP request line")
-                )
-                return
-            headers = {}
-            for header_line in header_lines:
-                name, _, value = header_line.decode("latin-1").partition(":")
-                headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length", "0") or "0")
-            if length > self.config.max_line_bytes:
-                await self._http_error(
-                    writer,
-                    EdgeError(
-                        protocol.OVERSIZED,
-                        f"body exceeds {self.config.max_line_bytes} bytes",
-                    ),
-                )
-                return
-            body = bytearray(body)
-            while len(body) < length:
-                chunk = await reader.read(65536)
-                if not chunk:
+                if length > self.config.max_line_bytes:
+                    # Answered, not reset — but the unread body poisons
+                    # the stream, so this exchange is the connection's
+                    # last.
+                    await self._http_error(
+                        writer,
+                        EdgeError(
+                            protocol.OVERSIZED,
+                            f"body exceeds {self.config.max_line_bytes} bytes",
+                        ),
+                        keep_alive=False,
+                    )
                     return
-                body += chunk
-            await self._http_route(writer, method, target, bytes(body[:length]))
+                while len(buffer) < length:
+                    chunk = await self._read_some(reader)
+                    if not chunk:
+                        return
+                    buffer += chunk
+                body = bytes(buffer[:length])
+                del buffer[:length]
+                await self._http_route(writer, method, target, body, keep_alive)
+                if not keep_alive:
+                    return
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
 
-    async def _http_route(self, writer, method: str, target: str, body: bytes) -> None:
+    async def _http_route(
+        self, writer, method: str, target: str, body: bytes, keep_alive: bool
+    ) -> None:
         if method == "POST" and target == "/v1/read":
+            started = time.perf_counter()
             try:
                 payload = protocol.decode_line(body)
             except EdgeError as error:
                 _ERRORS.inc()
-                await self._http_error(writer, error)
+                await self._http_error(writer, error, keep_alive)
                 return
+            decode_s = time.perf_counter() - started
             answer = await self._route_read(payload, payload.get("id"))
+            started = time.perf_counter()
+            blob = json.dumps(answer, separators=(",", ":")).encode("utf-8")
+            _CPU_US.observe((decode_s + time.perf_counter() - started) * 1e6)
             if answer.get("ok"):
-                await self._http_respond(writer, 200, answer)
+                status = 200
             else:
-                code = answer["error"]["code"]
-                await self._http_respond(
-                    writer, protocol.HTTP_STATUS.get(code, 500), answer
-                )
-            return
-        if method == "GET" and target == "/healthz":
-            shards = self.pool.health()
-            all_healthy = all(s["state"] == "healthy" for s in shards)
-            await self._http_respond(
-                writer,
-                200 if all_healthy else 503,
-                {
-                    "status": "ok" if all_healthy else "degraded",
-                    "draining": self._closing,
-                    "shards": shards,
-                },
+                status = protocol.HTTP_STATUS.get(answer["error"]["code"], 500)
+            await self._http_write(
+                writer, status, "application/json", blob, keep_alive
             )
             return
-        if method == "GET" and target == "/metrics":
-            await self._http_respond_text(writer, 200, metrics_text())
+        if method == "GET" and target in ("/healthz", "/metrics"):
+            status, content_type, blob = self._status_body(target)
+            await self._http_write(writer, status, content_type, blob, keep_alive)
             return
         _ERRORS.inc()
         await self._http_error(
@@ -523,25 +752,55 @@ class EdgeServer:
                 f"no route {method} {target}; try POST /v1/read, "
                 "GET /healthz, GET /metrics",
             ),
+            keep_alive,
         )
 
-    async def _http_error(self, writer, error: EdgeError) -> None:
+    def _status_body(self, target: str) -> Tuple[int, str, bytes]:
+        """Render (or re-serve) a status route, cached ``status_cache_s``."""
+        cached = self._status_cache.get(target)
+        now = time.monotonic()
+        if cached is not None and now - cached[0] < self.config.status_cache_s:
+            return cached[1], cached[2], cached[3]
+        if target == "/healthz":
+            shards = self.pool.health()
+            all_healthy = all(s["state"] == "healthy" for s in shards)
+            status = 200 if all_healthy else 503
+            content_type = "application/json"
+            blob = json.dumps(
+                {
+                    "status": "ok" if all_healthy else "degraded",
+                    "draining": self._closing,
+                    "shards": shards,
+                },
+                separators=(",", ":"),
+            ).encode("utf-8")
+        else:
+            status = 200
+            content_type = "text/plain; version=0.0.4"
+            blob = metrics_text().encode("utf-8")
+        if self.config.status_cache_s > 0.0:
+            self._status_cache[target] = (now, status, content_type, blob)
+        return status, content_type, blob
+
+    async def _http_error(
+        self, writer, error: EdgeError, keep_alive: bool
+    ) -> None:
         await self._http_respond(
             writer,
             protocol.HTTP_STATUS.get(error.code, 500),
             protocol.error_payload(None, error),
+            keep_alive,
         )
 
-    async def _http_respond(self, writer, status: int, payload: Mapping[str, Any]) -> None:
+    async def _http_respond(
+        self, writer, status: int, payload: Mapping[str, Any], keep_alive: bool
+    ) -> None:
         blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-        await self._http_write(writer, status, "application/json", blob)
+        await self._http_write(writer, status, "application/json", blob, keep_alive)
 
-    async def _http_respond_text(self, writer, status: int, text: str) -> None:
-        await self._http_write(
-            writer, status, "text/plain; version=0.0.4", text.encode("utf-8")
-        )
-
-    async def _http_write(self, writer, status: int, content_type: str, blob: bytes) -> None:
+    async def _http_write(
+        self, writer, status: int, content_type: str, blob: bytes, keep_alive: bool
+    ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   413: "Payload Too Large", 500: "Internal Server Error",
                   503: "Service Unavailable"}.get(status, "OK")
@@ -552,8 +811,14 @@ class EdgeServer:
         )
         if status == 503:
             head += "Retry-After: 1\r\n"
-        head += "Connection: close\r\n\r\n"
-        writer.write(head.encode("latin-1") + blob)
+        head += (
+            "Connection: keep-alive\r\n\r\n"
+            if keep_alive
+            else "Connection: close\r\n\r\n"
+        )
+        data = head.encode("latin-1") + blob
+        writer.write(data)
+        _BYTES_OUT.inc(len(data))
         try:
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError, OSError):

@@ -15,6 +15,13 @@ Responsibilities:
   ``backpressure`` error, propagating the embedded service's
   :class:`~repro.serve.admission.AdmissionController` discipline to
   remote clients instead of letting pipes buffer unboundedly.
+* **Batch-coalesced IPC** — routed reads are not sent one pipe message
+  each: up to ``ipc_batch`` of them are coalesced into a single framed
+  ``read_batch`` message, flushed when the window fills or after a
+  sub-millisecond ``ipc_linger_s``.  One pickle, one pipe write, one
+  wakeup per *batch* instead of per request — and the shard's
+  micro-batcher sees a real batch arrive at once instead of a trickle
+  of singletons.  A failed item in a batch fails alone.
 * **Supervision** — a health thread pings every shard; a dead or
   unresponsive shard is quarantined (its outstanding requests fail with
   retryable ``shard_down`` errors — never a hang), killed if needed, and
@@ -32,6 +39,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from enum import Enum
@@ -55,6 +63,16 @@ _WINDOW_REJECTED = telemetry.counter(
 )
 _INFLIGHT = telemetry.gauge(
     "edge.inflight", unit="requests", help="Requests outstanding across all shards"
+)
+_IPC_MESSAGES = telemetry.counter(
+    "edge.ipc_messages",
+    unit="messages",
+    help="Coalesced read_batch pipe messages sent to shard workers",
+)
+_IPC_BATCH = telemetry.histogram(
+    "edge.ipc_batch",
+    unit="requests",
+    help="Routed reads coalesced per worker pipe message",
 )
 
 
@@ -81,6 +99,13 @@ class _Shard:
         self.send_lock = threading.Lock()
         self.outstanding: Dict[int, Future] = {}
         self.seq = itertools.count()
+        # Coalescing state: reads wait here (briefly) to share one pipe
+        # message.  ``flush_lock`` makes pop-and-send atomic so batches
+        # can never be written to the pipe out of arrival order.
+        self.batch: List[Dict[str, Any]] = []
+        self.batch_cv = threading.Condition()
+        self.flush_lock = threading.Lock()
+        self.flusher: Optional[threading.Thread] = None
 
     @property
     def index(self) -> int:
@@ -100,15 +125,23 @@ class ShardPool:
         spawn_timeout_s: float = 30.0,
         respawn_backoff_s: float = 0.05,
         ring_replicas: int = 64,
+        ipc_batch: int = 16,
+        ipc_linger_s: float = 0.0005,
     ) -> None:
         if not workers:
             raise ValueError("need at least one shard worker")
         if window < 1:
             raise ValueError("window must be >= 1")
+        if ipc_batch < 1:
+            raise ValueError("ipc_batch must be >= 1")
+        if ipc_linger_s < 0.0:
+            raise ValueError("ipc_linger_s must be non-negative")
         indices = [w.shard_index for w in workers]
         if len(set(indices)) != len(indices):
             raise ValueError("shard indices must be unique")
         self.window = window
+        self.ipc_batch = ipc_batch
+        self.ipc_linger_s = ipc_linger_s
         self.health_interval_s = health_interval_s
         self.health_timeout_s = health_timeout_s
         self.spawn_timeout_s = spawn_timeout_s
@@ -131,6 +164,15 @@ class ShardPool:
             self._spawn(shard)
         for shard in self._shards.values():
             self._probe(shard, timeout=self.spawn_timeout_s)
+        if self.ipc_batch > 1 and self.ipc_linger_s > 0.0:
+            for shard in self._shards.values():
+                shard.flusher = threading.Thread(
+                    target=self._linger_loop,
+                    args=(shard,),
+                    name=f"edge-flush-{shard.index}",
+                    daemon=True,
+                )
+                shard.flusher.start()
         if health_checks:
             self._health_thread = threading.Thread(
                 target=self._health_loop, name="edge-health", daemon=True
@@ -174,6 +216,10 @@ class ShardPool:
     def close(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop the pool: drain (default) or abandon queued work, join all."""
         self._closing.set()
+        for shard in self._shards.values():
+            with shard.batch_cv:
+                shard.batch_cv.notify_all()  # release the linger flushers
+            self._flush_reads(shard)  # deliver coalesced stragglers pre-shutdown
         acks = []
         for shard in self._shards.values():
             with shard.lock:
@@ -209,6 +255,10 @@ class ShardPool:
                     future.set_exception(
                         EdgeError(CLOSED, "edge pool closed before serving")
                     )
+        for shard in self._shards.values():
+            if shard.flusher is not None:
+                shard.flusher.join(timeout=5.0)
+                shard.flusher = None
         if self._health_thread is not None:
             self._health_thread.join(timeout=5.0)
             self._health_thread = None
@@ -228,6 +278,12 @@ class ShardPool:
     def submit_read(self, stack_id: int, wire_request: Dict[str, Any]) -> "Future":
         """Route one wire-form read to its shard; future of the raw reply.
 
+        The read joins the shard's coalescing buffer rather than being
+        written to the pipe immediately: it ships in the next
+        ``read_batch`` message, at the latest ``ipc_linger_s`` from now.
+        Window accounting happens here, at admission into the buffer, so
+        backpressure semantics are identical to the uncoalesced wire.
+
         Raises:
             EdgeError: ``backpressure`` when the shard's outstanding
                 window is full (retryable); ``shard_down`` when the shard
@@ -235,7 +291,33 @@ class ShardPool:
                 when the pool is draining.
         """
         shard = self._shards[self.route(stack_id)]
-        return self._send(shard, {"op": "read", "request": wire_request}, windowed=True)
+        if self._closing.is_set():
+            raise EdgeError(CLOSED, "edge pool is draining")
+        with shard.lock:
+            if shard.state not in (ShardState.STARTING, ShardState.HEALTHY):
+                raise EdgeError(
+                    SHARD_DOWN,
+                    f"shard {shard.index} is {shard.state.value}; retry shortly",
+                )
+            if len(shard.outstanding) >= self.window:
+                _WINDOW_REJECTED.inc()
+                raise EdgeError(
+                    BACKPRESSURE,
+                    f"shard {shard.index} window full "
+                    f"({len(shard.outstanding)}/{self.window}); back off and retry",
+                )
+            seq = next(shard.seq)
+            future: Future = Future()
+            shard.outstanding[seq] = future
+        self._track_inflight(+1)
+        future.add_done_callback(lambda _f: self._track_inflight(-1))
+        with shard.batch_cv:
+            shard.batch.append({"seq": seq, "request": wire_request})
+            full = len(shard.batch) >= self.ipc_batch
+            shard.batch_cv.notify_all()
+        if full or self.ipc_linger_s <= 0.0 or shard.flusher is None:
+            self._flush_reads(shard)
+        return future
 
     def ping(self, shard_index: int, timeout: float = 5.0) -> Dict[str, Any]:
         """Round-trip one health probe through a shard worker."""
@@ -345,6 +427,75 @@ class ShardPool:
             self._on_shard_death(shard)
             raise EdgeError(SHARD_DOWN, f"shard {shard.index} pipe is broken")
         return future
+
+    def _flush_reads(self, shard: _Shard) -> None:
+        """Drain the shard's coalescing buffer to the pipe, in order.
+
+        Pop-and-send is atomic under ``flush_lock``: an inline flush (a
+        submitter filling the window) and the linger flusher can never
+        interleave their pipe writes, so batches always hit the pipe in
+        buffer order.  A dead shard fails the drained reads with a
+        retryable ``shard_down`` instead of hanging them.
+        """
+        while True:
+            with shard.flush_lock:
+                with shard.batch_cv:
+                    if not shard.batch:
+                        return
+                    items = shard.batch[: self.ipc_batch]
+                    del shard.batch[: self.ipc_batch]
+                with shard.lock:
+                    alive = shard.state in (ShardState.STARTING, ShardState.HEALTHY)
+                    conn = shard.conn
+                    # A shard death between reservation and flush already
+                    # failed (and dropped) these futures; don't resend
+                    # their seqs to the replacement worker.
+                    items = [i for i in items if i["seq"] in shard.outstanding]
+                if not items:
+                    continue
+                if not alive or conn is None:
+                    error = EdgeError(
+                        SHARD_DOWN,
+                        f"shard {shard.index} is down; retry shortly",
+                    )
+                    with shard.lock:
+                        futures = [
+                            shard.outstanding.pop(i["seq"], None) for i in items
+                        ]
+                    for future in futures:
+                        if future is not None and not future.done():
+                            future.set_exception(error)
+                    continue
+                try:
+                    with shard.send_lock:
+                        conn.send({"op": "read_batch", "items": items})
+                except (BrokenPipeError, OSError):
+                    self._on_shard_death(shard)
+                    continue
+                _IPC_MESSAGES.inc()
+                _IPC_BATCH.observe(float(len(items)))
+
+    def _linger_loop(self, shard: _Shard) -> None:
+        """Per-shard flusher: give a part-filled batch ``ipc_linger_s``
+        to fill, then flush whatever accumulated."""
+        while not self._closing.is_set():
+            with shard.batch_cv:
+                while not shard.batch and not self._closing.is_set():
+                    shard.batch_cv.wait(timeout=0.2)
+                if self._closing.is_set():
+                    break
+                deadline = time.monotonic() + self.ipc_linger_s
+                while (
+                    shard.batch
+                    and len(shard.batch) < self.ipc_batch
+                    and not self._closing.is_set()
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    shard.batch_cv.wait(timeout=remaining)
+            self._flush_reads(shard)
+        self._flush_reads(shard)  # stragglers between close() and our exit
 
     def _track_inflight(self, delta: int) -> None:
         with self._inflight_lock:

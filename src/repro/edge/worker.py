@@ -125,6 +125,47 @@ def _stats_payload(service: SensorReadService, config: WorkerConfig) -> Dict[str
     }
 
 
+def _serve_read_batch(service: SensorReadService, items, send) -> None:
+    """Serve one coalesced pipe message of routed reads.
+
+    The whole batch is handed to the service in one
+    :meth:`~repro.serve.service.SensorReadService.submit_many` call so
+    the micro-batcher sees a real batch, not a trickle of singletons.
+    A bad item fails alone: decode errors and per-item admission
+    rejections are answered for that ``seq`` only, and the rest of the
+    batch is still served.
+    """
+    now = service.clock()
+    decoded = []  # (seq, request) pairs that survived decoding
+    for item in items:
+        seq = item.get("seq")
+        try:
+            decoded.append((seq, wire_to_request(item.get("request"), now=now)))
+        except EdgeError as error:
+            send({"seq": seq, "ok": False, "error": error.to_wire()})
+    outcomes = service.submit_many(
+        [(request, seq) for seq, request in decoded]
+    )
+    for (seq, _), outcome in zip(decoded, outcomes):
+        if isinstance(outcome, QueueFullError):
+            send(
+                {
+                    "seq": seq,
+                    "ok": False,
+                    "error": EdgeError(BACKPRESSURE, str(outcome)).to_wire(),
+                }
+            )
+        elif isinstance(outcome, ServiceClosedError):
+            send(
+                {
+                    "seq": seq,
+                    "ok": False,
+                    "error": EdgeError(CLOSED, str(outcome)).to_wire(),
+                }
+            )
+        # PendingResult outcomes are answered through on_result/on_fail.
+
+
 def worker_main(config: WorkerConfig, conn) -> None:
     """Run one shard worker until shutdown or parent death.
 
@@ -176,7 +217,9 @@ def worker_main(config: WorkerConfig, conn) -> None:
             seq = message.get("seq")
             op = message.get("op")
             try:
-                if op == "read":
+                if op == "read_batch":
+                    _serve_read_batch(service, message.get("items", ()), send)
+                elif op == "read":
                     try:
                         request = wire_to_request(
                             message.get("request"), now=service.clock()

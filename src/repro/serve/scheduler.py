@@ -159,6 +159,22 @@ class MicroBatcher:
             self._queue.append(pending)
             self._cv.notify_all()
 
+    def submit_many(self, pendings: Sequence[PendingResult]) -> None:
+        """Enqueue several admitted requests under one lock acquisition.
+
+        The whole group lands in the queue before any worker wakes, so a
+        coalesced upstream batch (the edge's batched worker IPC) reaches
+        the batch-taking logic as one run of requests rather than a
+        trickle of singletons.
+        """
+        if not pendings:
+            return
+        with self._cv:
+            if self._closed:
+                raise ServiceClosedError("the service is closed")
+            self._queue.extend(pendings)
+            self._cv.notify_all()
+
     def close(self, drain: bool = True) -> None:
         """Stop accepting requests; optionally serve what is queued.
 

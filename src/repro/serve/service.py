@@ -20,13 +20,15 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.sensor import PTSensor
 from repro.serve.admission import (
     AdmissionController,
     AdmissionPolicy,
     AdmissionStats,
+    QueueFullError,
+    ServiceClosedError,
 )
 from repro.serve.cache import CacheStats, ResultCache
 from repro.serve.engine import ReadEngine
@@ -245,6 +247,40 @@ class SensorReadService:
         pending = PendingResult(request, enqueued_at=self.clock(), context=context)
         self._batcher.submit(pending)
         return pending
+
+    def submit_many(
+        self, items: "Sequence[Tuple[ReadRequest, object]]"
+    ) -> "List[object]":
+        """Admit and enqueue a batch of ``(request, context)`` pairs.
+
+        The batch is enqueued in one scheduler lock acquisition, so the
+        micro-batcher sees it as one run of requests (the edge's batched
+        worker IPC hands whole pipe messages through here).  Admission is
+        still per item — a rejected item fails alone: its slot in the
+        returned list holds the admission exception
+        (:class:`QueueFullError` / :class:`ServiceClosedError`) instead
+        of a :class:`PendingResult`, and the rest of the batch proceeds.
+        """
+        now = self.clock()
+        queued = len(self._batcher)
+        outcomes: "List[object]" = []
+        accepted: "List[PendingResult]" = []
+        for request, context in items:
+            try:
+                self.admission.admit(queued + len(accepted))
+            except (QueueFullError, ServiceClosedError) as error:
+                outcomes.append(error)
+                continue
+            pending = PendingResult(request, enqueued_at=now, context=context)
+            accepted.append(pending)
+            outcomes.append(pending)
+        try:
+            self._batcher.submit_many(accepted)
+        except ServiceClosedError as error:
+            for i, outcome in enumerate(outcomes):
+                if isinstance(outcome, PendingResult):
+                    outcomes[i] = error
+        return outcomes
 
     def read(
         self, request: ReadRequest, timeout: Optional[float] = 30.0

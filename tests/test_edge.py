@@ -15,6 +15,7 @@ Three layers of coverage:
 
 import json
 import socket
+import threading
 import time
 from http.client import HTTPConnection
 
@@ -27,6 +28,8 @@ from repro.edge import (
     EdgeServerThread,
     HashRing,
     RetryPolicy,
+    ShardPool,
+    WorkerConfig,
     shard_seed,
 )
 from repro.edge import protocol
@@ -460,10 +463,17 @@ class TestGoldenCrossProcessDeterminism:
     replaying the same requests against an in-process
     :class:`SensorReadService` built from the same
     :class:`WorkerConfig` must reproduce every answer bit for bit —
-    across a process boundary, a JSON wire and a respawnable worker.
+    across a process boundary, either wire format (JSON text floats and
+    IEEE-754 doubles both round-trip exactly), the batch-coalesced
+    worker pipes, and a respawnable worker.
     """
 
-    def test_edge_matches_in_process_replay(self, edge, client):
+    @pytest.mark.parametrize("wire", ["ndjson", "binary"])
+    def test_edge_matches_in_process_replay(self, edge, wire):
+        with EdgeClient(edge.host, edge.port, wire=wire) as client:
+            self._assert_matches_in_process_replay(edge, client)
+
+    def _assert_matches_in_process_replay(self, edge, client):
         requests = []
         for stack in range(24):
             requests.append((stack, ReadRequest.point(stack % TIERS, 30.0 + stack)))
@@ -514,3 +524,489 @@ class TestGoldenCrossProcessDeterminism:
             if len(by_shard) == SHARDS:
                 break
         assert len(set(by_shard.values())) == len(by_shard)
+
+# --------------------------------------------------- binary frame format
+
+
+class TestBinaryFrameCodec:
+    """Pure units: the length-prefixed binary frames (no processes)."""
+
+    def _round_trip(self, payload):
+        blob = protocol.encode_frame(payload)
+        _version, kind, length = protocol.decode_frame_header(
+            blob[: protocol.FRAME_HEADER_SIZE]
+        )
+        body = blob[protocol.FRAME_HEADER_SIZE :]
+        assert len(body) == length
+        return kind, protocol.decode_frame_body(kind, body)
+
+    def test_hot_read_rides_the_packed_frame(self):
+        payload = {
+            "v": protocol.PROTOCOL_VERSION,
+            "id": 7,
+            "op": "read",
+            "stack": 12,
+            "request": protocol.request_to_wire(
+                ReadRequest.point(1, 55.0), deadline_ms=250.0
+            ),
+        }
+        kind, back = self._round_trip(payload)
+        assert kind == protocol.FRAME_READ
+        assert back == payload
+        assert len(protocol.encode_frame(payload)) < len(protocol.encode(payload))
+
+    @pytest.mark.parametrize(
+        "request_",
+        [
+            ReadRequest.vt(2, 60.0),
+            ReadRequest.scan(35.0, tiers=(0, 2)),
+            ReadRequest.poll({0: 30.0, 1: 45.5, 3: 72.25}),
+        ],
+        ids=["vt", "scan", "poll"],
+    )
+    def test_every_request_kind_round_trips_packed(self, request_):
+        payload = {
+            "v": protocol.PROTOCOL_VERSION,
+            "id": 1,
+            "op": "read",
+            "stack": 3,
+            "request": protocol.request_to_wire(request_),
+        }
+        kind, back = self._round_trip(payload)
+        assert kind == protocol.FRAME_READ
+        assert back == payload
+
+    def test_error_frame_round_trips_packed(self):
+        payload = {
+            "id": 9,
+            "ok": False,
+            "error": EdgeError(protocol.BACKPRESSURE, "window full").to_wire(),
+        }
+        kind, back = self._round_trip(payload)
+        assert kind == protocol.FRAME_ERROR
+        assert back["error"]["code"] == protocol.BACKPRESSURE
+        assert back["error"]["retryable"] is True
+        assert back["id"] == 9
+
+    def test_string_ids_fall_back_to_the_json_body(self):
+        payload = {
+            "v": protocol.PROTOCOL_VERSION,
+            "id": "c1",
+            "op": "read",
+            "stack": 0,
+            "request": protocol.request_to_wire(ReadRequest.point(0, 40.0)),
+        }
+        kind, back = self._round_trip(payload)
+        assert kind == protocol.FRAME_JSON
+        assert back == payload
+
+    def test_control_ops_ride_the_json_body(self):
+        kind, back = self._round_trip({"id": 3, "op": "ping"})
+        assert kind == protocol.FRAME_JSON
+        assert back == {"id": 3, "op": "ping"}
+
+    def test_short_header_is_malformed(self):
+        with pytest.raises(EdgeError) as info:
+            protocol.decode_frame_header(b"\xb7\x01")
+        assert info.value.code == protocol.MALFORMED
+
+    def test_bad_magic_is_malformed(self):
+        header = protocol.FRAME_HEADER.pack(0x42, protocol.BINARY_VERSION, 0, 0)
+        with pytest.raises(EdgeError) as info:
+            protocol.decode_frame_header(header)
+        assert info.value.code == protocol.MALFORMED
+
+    def test_wrong_version_is_invalid_but_length_still_parses(self):
+        header = protocol.FRAME_HEADER.pack(protocol.BINARY_MAGIC, 99, 0, 123)
+        with pytest.raises(EdgeError) as info:
+            protocol.decode_frame_header(header)
+        assert info.value.code == protocol.INVALID
+        # The header layout holds across versions: a peer may still skip
+        # the declared body and keep the connection.
+        assert protocol.FRAME_HEADER.unpack(header)[3] == 123
+
+    def test_truncated_body_is_malformed(self):
+        blob = protocol.encode_frame(
+            {
+                "id": 1,
+                "op": "read",
+                "stack": 0,
+                "request": protocol.request_to_wire(ReadRequest.point(0, 40.0)),
+            }
+        )
+        body = blob[protocol.FRAME_HEADER_SIZE : -4]
+        with pytest.raises(EdgeError) as info:
+            protocol.decode_frame_body(protocol.FRAME_READ, body)
+        assert info.value.code == protocol.MALFORMED
+
+
+def _send_frames(sock, *payloads):
+    sock.sendall(b"".join(protocol.encode_frame(p) for p in payloads))
+
+
+def _recv_frame(reader):
+    header = reader.read(protocol.FRAME_HEADER_SIZE)
+    _version, kind, length = protocol.decode_frame_header(header)
+    return protocol.decode_frame_body(kind, reader.read(length))
+
+
+class TestBinaryWireLive:
+    """The server's binary face over real sockets (hostile inputs too)."""
+
+    def test_read_and_ping_on_one_binary_connection(self, edge):
+        sock, reader = _raw_connection(edge)
+        try:
+            _send_frames(
+                sock,
+                {
+                    "v": protocol.PROTOCOL_VERSION,
+                    "id": 1,
+                    "op": "read",
+                    "stack": 3,
+                    "request": protocol.request_to_wire(ReadRequest.point(1, 55.0)),
+                },
+                {"id": 2, "op": "ping"},
+            )
+            answers = {a["id"]: a for a in (_recv_frame(reader), _recv_frame(reader))}
+            assert answers[1]["ok"] is True
+            assert answers[1]["result"]["readings"][0]["tier"] == 1
+            assert answers[2]["ok"] is True and answers[2]["pong"] == "edge"
+        finally:
+            sock.close()
+
+    def test_binary_answers_match_ndjson_bit_for_bit(self, edge, client):
+        request = ReadRequest.point(1, 58.25)
+        over_json = client.read(6, request)
+        with EdgeClient(edge.host, edge.port, wire="binary") as binary:
+            over_frames = binary.read(6, request)
+        assert over_frames.shard == over_json.shard
+        for mine, theirs in zip(over_frames.readings, over_json.readings):
+            assert mine.temperature_c == theirs.temperature_c
+            assert mine.dvtn == theirs.dvtn
+            assert mine.dvtp == theirs.dvtp
+
+    def test_bad_magic_mid_stream_is_answered_then_closed(self, edge):
+        sock, reader = _raw_connection(edge)
+        try:
+            _send_frames(sock, {"id": 1, "op": "ping"})
+            assert _recv_frame(reader)["ok"] is True
+            # Garbage where a header should be: no resync point exists,
+            # so the server answers typed and hangs up.
+            sock.sendall(b"\x00" * protocol.FRAME_HEADER_SIZE)
+            answer = _recv_frame(reader)
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == protocol.MALFORMED
+            assert reader.read() == b""  # server closed the connection
+        finally:
+            sock.close()
+
+    def test_wrong_version_is_answered_and_connection_survives(self, edge):
+        sock, reader = _raw_connection(edge)
+        try:
+            body = b"x" * 16
+            sock.sendall(
+                protocol.FRAME_HEADER.pack(protocol.BINARY_MAGIC, 99, 0, len(body))
+                + body
+            )
+            answer = _recv_frame(reader)
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == protocol.INVALID
+            # The declared body was skipped; the connection still serves.
+            _send_frames(sock, {"id": 2, "op": "ping"})
+            assert _recv_frame(reader)["id"] == 2
+        finally:
+            sock.close()
+
+    def test_oversized_declared_length_is_answered_and_survives(self, edge):
+        sock, reader = _raw_connection(edge)
+        try:
+            body = b"y" * (2 * MAX_LINE)
+            sock.sendall(
+                protocol.FRAME_HEADER.pack(
+                    protocol.BINARY_MAGIC,
+                    protocol.BINARY_VERSION,
+                    protocol.FRAME_JSON,
+                    len(body),
+                )
+                + body
+            )
+            answer = _recv_frame(reader)
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == protocol.OVERSIZED
+            _send_frames(sock, {"id": 2, "op": "ping"})
+            assert _recv_frame(reader)["id"] == 2
+        finally:
+            sock.close()
+
+    def test_truncated_header_at_eof_closes_quietly(self, edge):
+        sock, reader = _raw_connection(edge)
+        try:
+            sock.sendall(bytes([protocol.BINARY_MAGIC]) + b"\x01\x00")
+            sock.shutdown(socket.SHUT_WR)
+            assert reader.read() == b""  # no answer, just a clean close
+        finally:
+            sock.close()
+
+    def test_ndjson_line_on_a_binary_connection_is_rejected_typed(self, edge):
+        # The first byte pins the connection's protocol; a '{' where a
+        # frame header should be is a bad magic byte.
+        sock, reader = _raw_connection(edge)
+        try:
+            _send_frames(sock, {"id": 1, "op": "ping"})
+            assert _recv_frame(reader)["ok"] is True
+            sock.sendall(protocol.encode({"id": "late", "op": "ping"}))
+            answer = _recv_frame(reader)
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == protocol.MALFORMED
+            assert reader.read() == b""
+        finally:
+            sock.close()
+
+    def test_binary_frame_on_an_ndjson_connection_is_rejected_typed(self, edge):
+        # The mirror image: a connection that opened with '{' stays
+        # NDJSON; a frame is just a malformed line once a newline shows.
+        sock, reader = _raw_connection(edge)
+        try:
+            sock.sendall(protocol.encode({"id": "first", "op": "ping"}))
+            assert json.loads(reader.readline())["ok"] is True
+            sock.sendall(protocol.encode_frame({"id": 2, "op": "ping"}) + b"\n")
+            answer = json.loads(reader.readline())
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == protocol.MALFORMED
+            # The NDJSON face resyncs on newlines: still serving.
+            sock.sendall(protocol.encode({"id": "again", "op": "ping"}))
+            assert json.loads(reader.readline())["id"] == "again"
+        finally:
+            sock.close()
+
+
+# --------------------------------------------------------- HTTP keep-alive
+
+
+def _read_http_response(reader):
+    status_line = reader.readline().decode("latin-1")
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = reader.readline().decode("latin-1")
+        if line in ("\r\n", "\n", ""):
+            break
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = reader.read(int(headers.get("content-length", 0)))
+    return status, headers, body
+
+
+class TestHttpKeepAlive:
+    def test_many_exchanges_reuse_one_connection(self, edge):
+        conn = HTTPConnection(edge.host, edge.port, timeout=30.0)
+        try:
+            socks = set()
+            for _ in range(3):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 200
+                assert response.headers["Connection"] == "keep-alive"
+                socks.add(id(conn.sock))
+            assert len(socks) == 1, "keep-alive must not reconnect per request"
+        finally:
+            conn.close()
+
+    def test_pipelined_requests_on_one_socket(self, edge):
+        sock, reader = _raw_connection(edge)
+        try:
+            request = b"GET /healthz HTTP/1.1\r\nHost: edge\r\n\r\n"
+            sock.sendall(request * 2)  # both in flight before any answer
+            for _ in range(2):
+                status, headers, body = _read_http_response(reader)
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                assert json.loads(body)["status"] == "ok"
+        finally:
+            sock.close()
+
+    def test_connection_close_header_is_honored(self, edge):
+        sock, reader = _raw_connection(edge)
+        try:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nHost: edge\r\nConnection: close\r\n\r\n"
+            )
+            status, headers, _body = _read_http_response(reader)
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert reader.read() == b""
+        finally:
+            sock.close()
+
+    def test_http_10_defaults_to_close(self, edge):
+        sock, reader = _raw_connection(edge)
+        try:
+            sock.sendall(b"GET /healthz HTTP/1.0\r\nHost: edge\r\n\r\n")
+            status, headers, _body = _read_http_response(reader)
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert reader.read() == b""
+        finally:
+            sock.close()
+
+    def test_oversized_content_length_is_answered_then_closed(self, edge):
+        # The unread body would poison the stream, so the typed answer
+        # (not a reset) is followed by a close.
+        sock, reader = _raw_connection(edge)
+        try:
+            sock.sendall(
+                b"POST /v1/read HTTP/1.1\r\nHost: edge\r\n"
+                + f"Content-Length: {4 * MAX_LINE}\r\n\r\n".encode()
+            )
+            status, headers, body = _read_http_response(reader)
+            assert status == protocol.HTTP_STATUS[protocol.OVERSIZED]
+            assert json.loads(body)["error"]["code"] == protocol.OVERSIZED
+            assert headers["connection"] == "close"
+            assert reader.read() == b""
+        finally:
+            sock.close()
+
+
+# ------------------------------------- idle timeout and status caching
+
+
+@pytest.fixture(scope="module")
+def tiny_edge():
+    """A 1-shard server with a short idle timeout and status caching."""
+    config = EdgeConfig(
+        shards=1,
+        tiers=2,
+        root_seed=ROOT_SEED,
+        idle_timeout_s=1.0,
+        status_cache_s=30.0,
+        health_interval_s=0.2,
+    )
+    server = EdgeServerThread(config).start()
+    yield server
+    server.stop(drain=True)
+
+
+class TestIdleTimeoutAndStatusCache:
+    def test_idle_connection_is_closed_after_the_timeout(self, tiny_edge):
+        sock, reader = _raw_connection(tiny_edge)
+        try:
+            sock.settimeout(10.0)
+            sock.sendall(protocol.encode({"id": "warm", "op": "ping"}))
+            assert json.loads(reader.readline())["ok"] is True
+            started = time.monotonic()
+            assert reader.readline() == b""  # server hangs up on the idler
+            elapsed = time.monotonic() - started
+            assert 0.5 <= elapsed < 8.0
+        finally:
+            sock.close()
+
+    def test_status_bodies_are_served_from_the_cache(self, tiny_edge):
+        conn = HTTPConnection(tiny_edge.host, tiny_edge.port, timeout=30.0)
+        try:
+            conn.request("GET", "/metrics")
+            first = conn.getresponse().read()
+            # Serve a read (moves the live counters), then scrape again:
+            # within status_cache_s the rendered body must not change.
+            with EdgeClient(tiny_edge.host, tiny_edge.port) as client:
+                assert client.read(0, ReadRequest.point(0, 45.0)).ok
+            conn.request("GET", "/metrics")
+            second = conn.getresponse().read()
+            assert first == second
+            conn.request("GET", "/healthz")
+            cached_health = conn.getresponse().read()
+            conn.request("GET", "/healthz")
+            assert conn.getresponse().read() == cached_health
+        finally:
+            conn.close()
+
+
+# --------------------------------------------- client failure semantics
+
+
+class _TruncatingServer(threading.Thread):
+    """Accepts connections, then dies mid-response: a fragment, no newline."""
+
+    def __init__(self):
+        super().__init__(daemon=True)
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self.listener.getsockname()[1]
+
+    def run(self):
+        while True:
+            try:
+                conn, _addr = self.listener.accept()
+            except OSError:
+                return
+            with conn:
+                try:
+                    conn.recv(65536)
+                    conn.sendall(b'{"id": "c1", "ok": tr')  # cut mid-answer
+                except OSError:
+                    pass
+
+    def stop(self):
+        self.listener.close()
+
+
+class TestClientPartialResponse:
+    def test_truncated_response_is_a_typed_retryable_closed_error(self):
+        server = _TruncatingServer()
+        server.start()
+        try:
+            client = EdgeClient(
+                "127.0.0.1",
+                server.port,
+                retry=RetryPolicy(attempts=2, backoff_s=0.01),
+            )
+            with client, pytest.raises(EdgeError) as info:
+                client.read(0, ReadRequest.point(0, 45.0))
+            # Never a JSON decode crash: the fragment at EOF maps to the
+            # typed, retryable `closed` error (both attempts truncated).
+            assert info.value.code == protocol.CLOSED
+            assert info.value.retryable is True
+        finally:
+            server.stop()
+
+
+# ------------------------------------------------- coalesced worker IPC
+
+
+class TestCoalescedWorkerIpc:
+    def test_bad_item_in_a_coalesced_batch_fails_alone(self):
+        workers = [
+            WorkerConfig(shard_index=0, seed=shard_seed(ROOT_SEED, 0), tiers=2)
+        ]
+        pool = ShardPool(workers, ipc_batch=8, ipc_linger_s=0.05)
+        pool.start(health_checks=False)
+        try:
+            good = protocol.request_to_wire(ReadRequest.point(0, 45.0))
+            bad = {"kind": "warp", "temp_c": 25.0}
+            futures = [
+                pool.submit_read(0, good),
+                pool.submit_read(0, bad),
+                pool.submit_read(0, good),
+            ]
+            answers = [f.result(timeout=30.0) for f in futures]
+        finally:
+            pool.close()
+        assert answers[0]["ok"] is True
+        assert answers[2]["ok"] is True
+        assert answers[1]["ok"] is False
+        assert answers[1]["error"]["code"] == protocol.INVALID
+
+    def test_single_message_ipc_still_serves(self):
+        # ipc_batch=1 is the uncoalesced wire: exactly the old behavior.
+        workers = [
+            WorkerConfig(shard_index=0, seed=shard_seed(ROOT_SEED, 0), tiers=2)
+        ]
+        pool = ShardPool(workers, ipc_batch=1, ipc_linger_s=0.0)
+        pool.start(health_checks=False)
+        try:
+            wire = protocol.request_to_wire(ReadRequest.point(0, 45.0))
+            answers = [
+                pool.submit_read(i, wire).result(timeout=30.0) for i in range(4)
+            ]
+        finally:
+            pool.close()
+        assert all(a["ok"] for a in answers)
