@@ -226,7 +226,7 @@ def _loadgen_edge(args) -> int:
 
 
 def _edge(args) -> int:
-    from repro.edge import EdgeClient, EdgeConfig, EdgeServerThread
+    from repro.edge import AdminClient, EdgeClient, EdgeConfig, EdgeServerThread
     from repro.serve.requests import ReadRequest
 
     config = EdgeConfig(
@@ -237,6 +237,8 @@ def _edge(args) -> int:
         root_seed=args.root_seed,
         window=args.window,
         start_method=args.start_method,
+        admin_token=args.admin_token,
+        warm_spares=args.warm_spares,
     )
     with EdgeServerThread(config) as edge:
         print(f"edge: {args.shards} shard(s) on {edge.host}:{edge.port} "
@@ -261,7 +263,30 @@ def _edge(args) -> int:
             if not all(s["state"] == "healthy" for s in health):
                 print(f"smoke health: FAILED ({health})", file=sys.stderr)
                 return 1
-            print("smoke health: all shards healthy; draining")
+            print("smoke health: all shards healthy")
+            for wire in ("ndjson", "binary"):
+                with AdminClient(
+                    edge.host, edge.port, token=args.admin_token, wire=wire
+                ) as admin:
+                    status = admin.status()["status"]
+                if status["shards"] != sorted(status["shards"]):
+                    print(f"smoke admin/{wire}: FAILED ({status})", file=sys.stderr)
+                    return 1
+                print(f"smoke admin/{wire}: ok (generation "
+                      f"{status['generation']}, shards {status['shards']})")
+            with AdminClient(
+                edge.host, edge.port, token=args.admin_token
+            ) as admin:
+                grown = admin.scale(args.shards + 1)["shards"]
+                shrunk = admin.scale(args.shards)["shards"]
+            with EdgeClient(edge.host, edge.port, wire=args.wire) as client:
+                result = client.read(7, ReadRequest.point(0, 45.0))
+            if not result.ok or len(shrunk) != args.shards:
+                print(f"smoke reshard: FAILED (grew to {grown}, shrank to "
+                      f"{shrunk}, read ok={result.ok})", file=sys.stderr)
+                return 1
+            print(f"smoke reshard: ok (grew to {grown}, shrank to {shrunk}, "
+                  f"reads survived); draining")
             return 0
         try:
             while True:
@@ -548,9 +573,21 @@ def main(argv=None) -> int:
         help="worker process start method (default spawn)",
     )
     edge_parser.add_argument(
+        "--admin-token",
+        default=None,
+        help="require this token on admin.* ops (default: admin plane open)",
+    )
+    edge_parser.add_argument(
+        "--warm-spares",
+        type=int,
+        default=0,
+        help="pre-seeded standby workers for instant scale-up (default 0)",
+    )
+    edge_parser.add_argument(
         "--smoke",
         action="store_true",
-        help="boot, round-trip every request kind once, drain, exit",
+        help="boot, round-trip every request kind once, reshard live, "
+        "drain, exit",
     )
     edge_parser.add_argument(
         "--wire",

@@ -50,6 +50,8 @@ network edge           ``edge`` (module), ``EdgeClient``, ``EdgeConfig``,
                        ``EdgeError``, ``EdgeResult``, ``EdgeServer``,
                        ``EdgeServerThread``, ``EdgeLoadgenConfig``,
                        ``run_loadgen_edge``, ``HashRing``, ``shard_seed``
+elastic control plane  ``AdminClient``, ``AutoscalePolicy``,
+                       ``EdgeDeployment``
 =====================  ==============================================
 """
 
@@ -65,8 +67,11 @@ from repro.core.sensor import PTSensor, SensorReading
 from repro.core.tracking import TrackingPolicy, TrackingReading, TrackingSensor
 from repro.device.technology import Technology, nominal_65nm
 from repro.edge import (
+    AdminClient,
+    AutoscalePolicy,
     EdgeClient,
     EdgeConfig,
+    EdgeDeployment,
     EdgeError,
     EdgeLoadgenConfig,
     EdgeResult,
@@ -103,10 +108,13 @@ from repro.tsv.bus import BusReport, TsvSensorBus
 from repro.variation.montecarlo import DieSample, sample_dies
 
 __all__ = [
+    "AdminClient",
+    "AutoscalePolicy",
     "BusReport",
     "DieSample",
     "EdgeClient",
     "EdgeConfig",
+    "EdgeDeployment",
     "EdgeError",
     "EdgeLoadgenConfig",
     "EdgeResult",
@@ -317,6 +325,25 @@ __test__ = {
     True
     >>> EdgeError("invalid", "bad kind").retryable
     False
+    """,
+    "elastic_control_plane": """
+    One `EdgeDeployment` declaration derives every config layer, for any
+    shard index — the basis of warm spares and elastic scale-up (a shard
+    joining later is bit-identical to the same index booted on day one).
+
+    >>> from repro.api import AutoscalePolicy, EdgeDeployment
+    >>> deployment = EdgeDeployment(shards=2, tiers=4, root_seed=2012)
+    >>> [w.shard_index for w in deployment.worker_configs()]
+    [0, 1]
+    >>> deployment.worker_config(7).seed == deployment.worker_config(7).seed
+    True
+    >>> deployment.serve_config(0).tiers
+    4
+    >>> edge_config = deployment.edge_config()
+    >>> EdgeDeployment.from_edge_config(edge_config) == deployment
+    True
+    >>> AutoscalePolicy().hysteresis >= 1
+    True
     """,
     "experiments": """
     Every reconstructed table/figure is an experiment module;

@@ -299,6 +299,33 @@ def bench_wire_codec(messages: int = 2000) -> float:
     return _time(loop)
 
 
+def bench_edge_reshard(shards_from: int = 2, shards_to: int = 4) -> float:
+    """A live pool reshape: grow a real two-worker pool to four shards.
+
+    Times ``ShardPool.scale_to`` end to end — spare/cold spawn, join
+    probe, prewarm conversion and the atomic ring republishes — against
+    forked worker processes.  Pins the wall-clock cost of elasticity:
+    a regression here (say, a drain that stopped overlapping with the
+    spawn, or a prewarm that reconverts every tier serially) doubles
+    the window during which the autoscaler's action lags the load.
+    """
+    from repro.edge import EdgeDeployment, ShardPool
+
+    deployment = EdgeDeployment(
+        shards=shards_from, tiers=4, root_seed=2012, start_method="fork"
+    )
+    pool = ShardPool(
+        deployment.worker_configs(),
+        start_method="fork",
+        config_factory=deployment.worker_config,
+    )
+    pool.start(health_checks=False)
+    try:
+        return _time(lambda: pool.scale_to(shards_to), repeats=1)
+    finally:
+        pool.close()
+
+
 BENCHMARKS: Dict[str, Callable[[], float]] = {
     "population_sweep_scalar_50x9": bench_population_sweep_scalar,
     "population_sweep_batch_200x9": bench_population_sweep_batch,
@@ -311,6 +338,7 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "serve_microbatch_50rps": bench_serve_microbatch,
     "edge_loadgen_1v4shard": bench_edge_loadgen,
     "edge_wire_codec_2k": bench_wire_codec,
+    "edge_reshard_2to4": bench_edge_reshard,
 }
 
 

@@ -11,9 +11,16 @@ The subsystem that turns the in-process serving stack
 * :mod:`~repro.edge.worker` — the backend worker process, one seeded
   die stack + embedded :class:`~repro.serve.service.SensorReadService`
   per shard;
-* :mod:`~repro.edge.supervisor` — the health-checked shard pool
-  (spawn, probe, quarantine, respawn, drain) with per-shard bounded
-  outstanding-request windows;
+* :mod:`~repro.edge.supervisor` — the health-checked, **elastic** shard
+  pool (spawn, probe, quarantine, respawn, drain; live add/remove via
+  atomic ring republish, warm spares, rolling restarts) with per-shard
+  bounded outstanding-request windows;
+* :mod:`~repro.edge.deploy` — the :class:`~repro.edge.deploy.EdgeDeployment`
+  builder deriving every config layer (edge / worker / embedded
+  service) from one declaration;
+* :mod:`~repro.edge.autoscale` — the telemetry-driven
+  :class:`~repro.edge.autoscale.Autoscaler` loop (queue depth + p99,
+  hysteresis + cooldown) over the elastic pool;
 * :mod:`~repro.edge.server` — the asyncio TCP front end speaking NDJSON,
   binary frames and a keep-alive HTTP/1.1 adapter on one port (the
   protocol is sniffed from the first byte of each connection);
@@ -26,7 +33,16 @@ The subsystem that turns the in-process serving stack
 See ``docs/edge.md`` for the protocol reference and failure semantics.
 """
 
-from repro.edge.client import WIRE_FORMATS, AsyncEdgeClient, EdgeClient, RetryPolicy
+from repro.edge.autoscale import AutoscalePolicy, Autoscaler
+from repro.edge.client import (
+    ADMIN_WIRES,
+    WIRE_FORMATS,
+    AdminClient,
+    AsyncEdgeClient,
+    EdgeClient,
+    RetryPolicy,
+)
+from repro.edge.deploy import EdgeDeployment, serve_config_for
 from repro.edge.loadgen import (
     WIRE_COSTS,
     EdgeLoadgenConfig,
@@ -36,6 +52,7 @@ from repro.edge.loadgen import (
     run_loadgen_edge,
 )
 from repro.edge.protocol import (
+    ADMIN_OPS,
     ERROR_CODES,
     HTTP_STATUS,
     MAX_LINE_BYTES,
@@ -45,14 +62,20 @@ from repro.edge.protocol import (
     EdgeResult,
 )
 from repro.edge.server import EdgeConfig, EdgeServer, EdgeServerThread, metrics_text
-from repro.edge.sharding import HashRing, ShardSpec, shard_seed
+from repro.edge.sharding import HashRing, ShardSpec, remapped_fraction, shard_seed
 from repro.edge.supervisor import ShardPool, ShardState
 from repro.edge.worker import WorkerConfig, worker_main
 
 __all__ = [
+    "ADMIN_OPS",
+    "ADMIN_WIRES",
+    "AdminClient",
     "AsyncEdgeClient",
+    "AutoscalePolicy",
+    "Autoscaler",
     "EdgeClient",
     "EdgeConfig",
+    "EdgeDeployment",
     "EdgeError",
     "EdgeLoadgenConfig",
     "EdgeLoadgenReport",
@@ -75,7 +98,9 @@ __all__ = [
     "WireCostModel",
     "WorkerConfig",
     "metrics_text",
+    "remapped_fraction",
     "run_loadgen_edge",
+    "serve_config_for",
     "shard_seed",
     "worker_main",
 ]

@@ -1,0 +1,217 @@
+"""Telemetry-driven elastic scaling: the :class:`Autoscaler` loop.
+
+The autoscaler closes the loop between the metrics registry and the
+elastic :class:`~repro.edge.supervisor.ShardPool`: it periodically reads
+
+* **queue depth** — the ``edge.inflight`` gauge over the pool's
+  aggregate window (how full the per-shard outstanding windows are), and
+* **tail latency** — p99 of the ``edge.request_ms`` histogram,
+
+and grows or shrinks the pool one shard at a time through
+``pool.scale_to``.  Two dampers keep it from flapping:
+
+* **hysteresis** — a signal must stay over (or under) its threshold for
+  ``hysteresis`` consecutive evaluation ticks before any action;
+* **cooldown** — after an action, no further action for ``cooldown_s``
+  (a reshard shifts load; judging the new topology too early would
+  oscillate).
+
+Scale-up is deliberately more eager than scale-down: *either* signal
+(depth or p99) being hot grows the pool, while shrinking requires the
+depth signal alone to be cold — tail latency can stay noisy at low
+traffic without causing a shrink/grow cycle.
+
+The decision step (:meth:`Autoscaler.step`) is a pure-ish function of
+the current signals, callable directly with an injected clock — that is
+what the unit tests drive; :meth:`Autoscaler.start` merely runs it on a
+daemon thread every ``interval_s``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import monotonic
+from typing import Any, Dict, Optional
+
+from repro import telemetry
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Knobs of the telemetry-driven scaling loop.
+
+    Attributes:
+        min_shards / max_shards: Hard bounds on the active shard count.
+        interval_s: Evaluation cadence of the background loop.
+        scale_up_utilisation: Grow when aggregate window utilisation
+            (``edge.inflight`` / (active shards x window)) stays at or
+            above this.
+        scale_down_utilisation: Shrink when utilisation stays at or
+            below this.
+        scale_up_p99_ms: Grow when the ``edge.request_ms`` p99 stays at
+            or above this (0 disables the latency signal).
+        hysteresis: Consecutive hot (or cold) ticks required before an
+            action.
+        cooldown_s: Quiet period after any scale action.
+    """
+
+    min_shards: int = 1
+    max_shards: int = 8
+    interval_s: float = 1.0
+    scale_up_utilisation: float = 0.75
+    scale_down_utilisation: float = 0.15
+    scale_up_p99_ms: float = 250.0
+    hysteresis: int = 3
+    cooldown_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ValueError("min_shards must be >= 1")
+        if self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if not 0.0 <= self.scale_down_utilisation < self.scale_up_utilisation:
+            raise ValueError(
+                "need 0 <= scale_down_utilisation < scale_up_utilisation"
+            )
+        if self.hysteresis < 1:
+            raise ValueError("hysteresis must be >= 1")
+        if self.interval_s <= 0.0:
+            raise ValueError("interval_s must be positive")
+        if self.cooldown_s < 0.0:
+            raise ValueError("cooldown_s must be non-negative")
+
+
+class Autoscaler:
+    """Drives ``pool.scale_to`` from registry signals, damped.
+
+    ``pool`` needs three members: ``active_count`` (int property),
+    ``window`` (int attribute) and ``scale_to(n)``; the elastic
+    :class:`~repro.edge.supervisor.ShardPool` provides all three.
+    """
+
+    def __init__(
+        self,
+        pool,
+        policy: AutoscalePolicy = AutoscalePolicy(),
+        registry=None,
+        clock=monotonic,
+    ) -> None:
+        self.pool = pool
+        self.policy = policy
+        self.registry = registry if registry is not None else telemetry.get().registry
+        self.clock = clock
+        self._hot_ticks = 0
+        self._cold_ticks = 0
+        self._last_action_at: Optional[float] = None
+        self._last_action: Optional[str] = None
+        self._actions = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # --------------------------------------------------------------- signals
+
+    def signals(self) -> Dict[str, Any]:
+        """The current inputs of the decision, as the loop reads them."""
+        inflight_gauge = self.registry.get("edge.inflight")
+        inflight = 0.0
+        if inflight_gauge is not None and inflight_gauge.value is not None:
+            inflight = float(inflight_gauge.value)
+        latency = self.registry.get("edge.request_ms")
+        p99 = latency.quantile(0.99) if latency is not None else None
+        active = self.pool.active_count
+        capacity = max(1, active * self.pool.window)
+        return {
+            "active": active,
+            "inflight": inflight,
+            "utilisation": inflight / capacity,
+            "p99_ms": p99,
+        }
+
+    # -------------------------------------------------------------- decision
+
+    def step(self, now: Optional[float] = None) -> Optional[str]:
+        """One evaluation tick; returns ``"up"``, ``"down"`` or ``None``."""
+        policy = self.policy
+        now = self.clock() if now is None else now
+        sig = self.signals()
+        hot = sig["utilisation"] >= policy.scale_up_utilisation or (
+            policy.scale_up_p99_ms > 0.0
+            and sig["p99_ms"] is not None
+            and sig["p99_ms"] >= policy.scale_up_p99_ms
+        )
+        cold = sig["utilisation"] <= policy.scale_down_utilisation
+        self._hot_ticks = self._hot_ticks + 1 if hot else 0
+        self._cold_ticks = self._cold_ticks + 1 if cold else 0
+        in_cooldown = (
+            self._last_action_at is not None
+            and now - self._last_action_at < policy.cooldown_s
+        )
+        if in_cooldown:
+            return None
+        active = sig["active"]
+        if self._hot_ticks >= policy.hysteresis and active < policy.max_shards:
+            self._act("up", active + 1, now)
+            return "up"
+        if (
+            self._cold_ticks >= policy.hysteresis
+            and not hot
+            and active > policy.min_shards
+        ):
+            self._act("down", active - 1, now)
+            return "down"
+        return None
+
+    def _act(self, direction: str, target: int, now: float) -> None:
+        self._hot_ticks = 0
+        self._cold_ticks = 0
+        self._last_action_at = now
+        self._last_action = direction
+        self._actions += 1
+        self.pool.scale_to(target)
+
+    def status(self) -> Dict[str, Any]:
+        """Loop state for ``admin.status`` / debugging."""
+        return {
+            "running": self._thread is not None and self._thread.is_alive(),
+            "actions": self._actions,
+            "last_action": self._last_action,
+            "hot_ticks": self._hot_ticks,
+            "cold_ticks": self._cold_ticks,
+            "policy": {
+                "min_shards": self.policy.min_shards,
+                "max_shards": self.policy.max_shards,
+                "interval_s": self.policy.interval_s,
+                "scale_up_utilisation": self.policy.scale_up_utilisation,
+                "scale_down_utilisation": self.policy.scale_down_utilisation,
+                "scale_up_p99_ms": self.policy.scale_up_p99_ms,
+                "hysteresis": self.policy.hysteresis,
+                "cooldown_s": self.policy.cooldown_s,
+            },
+        }
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "Autoscaler":
+        """Run the loop on a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="edge-autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.policy.interval_s):
+            try:
+                self.step()
+            except Exception:  # noqa: BLE001 - a failed reshard must not kill the loop
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)

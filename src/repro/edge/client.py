@@ -248,6 +248,125 @@ class EdgeClient:
         return self._exchange(payload)
 
 
+#: Wires the admin client speaks; the data wires plus the HTTP adapter.
+ADMIN_WIRES = ("ndjson", "binary", "http")
+
+
+class AdminClient:
+    """Typed client for the ``admin.*`` control plane, over any wire.
+
+    One verb per method::
+
+        with AdminClient(host, port, token="s3cret") as admin:
+            admin.scale(4)              # reshape the pool
+            admin.drain_shard(3)        # drain + remove one shard
+            admin.restart()             # rolling restart, one shard at a time
+            admin.status()["status"]    # topology, generation, health
+
+    ``wire`` may be ``"ndjson"``, ``"binary"`` (the op rides a JSON-body
+    frame) or ``"http"`` (``POST /v1/admin/<verb>`` /
+    ``GET /v1/admin/status``, token in the ``X-Admin-Token`` header).
+    Admin ops are **not retried**: a reshape is not idempotent, so a
+    failure surfaces to the operator instead of being resent.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: Optional[str] = None,
+        wire: str = "ndjson",
+        timeout_s: float = 120.0,
+    ) -> None:
+        if wire not in ADMIN_WIRES:
+            raise ValueError(f"wire must be one of {ADMIN_WIRES}, not {wire!r}")
+        self.host = host
+        self.port = port
+        self.token = token
+        self.wire = wire
+        self.timeout_s = timeout_s
+        self._client: Optional[EdgeClient] = None
+        if wire in WIRE_FORMATS:
+            self._client = EdgeClient(
+                host,
+                port,
+                timeout_s=timeout_s,
+                retry=RetryPolicy(attempts=1),
+                wire=wire,
+            )
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+
+    def __enter__(self) -> "AdminClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ verbs
+
+    def status(self) -> Dict[str, Any]:
+        """Topology, ring generation, spares and per-shard health."""
+        return self._call(protocol.ADMIN_STATUS)
+
+    def scale(self, shards: int) -> Dict[str, Any]:
+        """Reshape the pool to ``shards`` active shards."""
+        return self._call(protocol.ADMIN_SCALE, shards=shards)
+
+    def drain_shard(self, shard: int) -> Dict[str, Any]:
+        """Drain one shard's in-flight reads, then remove it."""
+        return self._call(protocol.ADMIN_DRAIN_SHARD, shard=shard)
+
+    def restart(self, shard: Optional[int] = None) -> Dict[str, Any]:
+        """Rolling restart (or recycle just ``shard`` when given)."""
+        return self._call(protocol.ADMIN_RESTART, shard=shard)
+
+    # --------------------------------------------------------------- plumbing
+
+    def _call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": op}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        if self.token is not None:
+            payload["token"] = self.token
+        if self.wire == "http":
+            answer = self._http_call(op, payload)
+        else:
+            answer = self._client.raw(payload)
+        if not answer.get("ok"):
+            raise EdgeError.from_wire(answer.get("error", {}))
+        return answer
+
+    def _http_call(self, op: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        import http.client
+        import json
+
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["X-Admin-Token"] = self.token
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            if op == protocol.ADMIN_STATUS:
+                connection.request("GET", "/v1/admin/status", headers=headers)
+            else:
+                verb = op.split(".", 1)[1]
+                body = json.dumps(
+                    {k: v for k, v in payload.items() if k != "op"},
+                    separators=(",", ":"),
+                ).encode("utf-8")
+                connection.request(
+                    "POST", f"/v1/admin/{verb}", body=body, headers=headers
+                )
+            response = connection.getresponse()
+            blob = response.read()
+        finally:
+            connection.close()
+        return protocol.decode_line(blob)
+
+
 class AsyncEdgeClient:
     """Asyncio edge client; pipelines any number of concurrent reads."""
 

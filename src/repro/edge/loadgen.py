@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.edge.sharding import HashRing, shard_seed
+from repro.edge.sharding import HashRing, remapped_fraction, shard_seed
 from repro.serve.cache import ResultCache
 from repro.serve.engine import ReadEngine
 from repro.serve.loadgen import (
@@ -183,6 +183,10 @@ class ShardScalingPoint:
     cache_hit_rate: float
     per_shard_served: Tuple[int, ...]
     scaling_vs_one: float
+    # Fraction of the key space that re-homed when the ring grew from
+    # the previous swept shard count to this one (None for the first
+    # point) — ties the scaling curve to the reshard cost it implies.
+    remap_from_prev: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -231,6 +235,7 @@ class EdgeLoadgenReport:
                     "cache_hit_rate": p.cache_hit_rate,
                     "per_shard_served": list(p.per_shard_served),
                     "scaling_vs_one": p.scaling_vs_one,
+                    "remap_from_prev": p.remap_from_prev,
                 }
                 for p in self.points
             ],
@@ -243,14 +248,20 @@ class EdgeLoadgenReport:
             f"over {self.stacks} stacks, {self.wire} wire "
             f"(seed {self.seed}, root seed {self.root_seed})",
             "  shards  served  rejected  throughput   p50 ms   p95 ms  "
-            "batch  cache%  scaling",
+            "batch  cache%  scaling  remap%",
         ]
         for p in self.points:
+            remap = (
+                "     -"
+                if p.remap_from_prev is None
+                else f"{p.remap_from_prev * 100:>5.1f}"
+            )
             lines.append(
                 f"  {p.shards:>6}  {p.served:>6}  {p.rejected:>8}  "
                 f"{p.throughput_rps:>8.0f}/s  {p.latency_ms['p50']:>7.3f}  "
                 f"{p.latency_ms['p95']:>7.3f}  {p.mean_batch_size:>5.2f}  "
-                f"{p.cache_hit_rate * 100:>5.1f}  {p.scaling_vs_one:>6.2f}x"
+                f"{p.cache_hit_rate * 100:>5.1f}  {p.scaling_vs_one:>6.2f}x  "
+                f"{remap}"
             )
         lines.append(
             "  scaling is monotonic"
@@ -399,8 +410,15 @@ def run_loadgen_edge(config: EdgeLoadgenConfig = EdgeLoadgenConfig()) -> EdgeLoa
     stream = _generate_stream(config)
     points: List[ShardScalingPoint] = []
     base_throughput: Optional[float] = None
+    previous_ring: Optional[HashRing] = None
     for shards in config.shard_counts:
         ring = HashRing(range(shards), replicas=config.ring_replicas)
+        remap_from_prev = (
+            None
+            if previous_ring is None
+            else remapped_fraction(previous_ring, ring)
+        )
+        previous_ring = ring
         slices: Dict[int, List[Tuple[float, int, ReadRequest]]] = {
             shard: [] for shard in range(shards)
         }
@@ -452,6 +470,7 @@ def run_loadgen_edge(config: EdgeLoadgenConfig = EdgeLoadgenConfig()) -> EdgeLoa
                 scaling_vs_one=throughput / base_throughput
                 if base_throughput and base_throughput > 0.0
                 else 0.0,
+                remap_from_prev=remap_from_prev,
             )
         )
     monotonic = all(

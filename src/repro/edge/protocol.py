@@ -16,6 +16,14 @@ Operations::
     {"v": 1, "id": "r1", "op": "read", "stack": 7, "request": {...}}
     {"id": "p1", "op": "ping"}
     {"id": "s1", "id": "s1", "op": "stats"}
+    {"id": "a1", "op": "admin.scale", "shards": 4, "token": "..."}
+
+The ``admin.*`` family (:data:`ADMIN_OPS`) is the control plane: shard
+topology queries and reshapes.  Admin ops ride every wire the data ops
+do — NDJSON lines, binary frames (JSON body), and HTTP
+(``POST /v1/admin/<verb>`` / ``GET /v1/admin/status``) — and are gated
+by the deployment's ``admin_token`` when one is configured (a missing
+or wrong token answers ``invalid``; the vocabulary stays closed).
 
 ``read`` carries one :class:`~repro.serve.requests.ReadRequest` in wire
 form (see :func:`request_to_wire`); ``stack`` is the client-visible
@@ -96,6 +104,18 @@ HTTP_STATUS: Dict[str, int] = {
     CLOSED: 503,
     INTERNAL: 500,
 }
+
+# --------------------------------------------------------------- admin ops
+
+ADMIN_STATUS = "admin.status"  # topology, generation, per-shard health
+ADMIN_SCALE = "admin.scale"  # reshape to {"shards": n}
+ADMIN_DRAIN_SHARD = "admin.drain_shard"  # drain + remove {"shard": i}
+ADMIN_RESTART = "admin.restart"  # rolling restart (or one {"shard": i})
+
+#: The closed control-plane op family.  Like :data:`ERROR_CODES`, this
+#: vocabulary only ever grows; every verb is expressible over NDJSON,
+#: binary frames (JSON body) and HTTP (``POST /v1/admin/<verb>``).
+ADMIN_OPS = frozenset({ADMIN_STATUS, ADMIN_SCALE, ADMIN_DRAIN_SHARD, ADMIN_RESTART})
 
 
 class EdgeError(RuntimeError):

@@ -12,9 +12,12 @@ byte of a connection decides:
   the client sending its first frame;
 * anything else is parsed as HTTP/1.1 with **keep-alive** (the 1.1
   default: many exchanges per connection, pipelining honoured), a
-  minimal adapter with three routes: ``POST /v1/read``,
-  ``GET /healthz`` (shard supervision state) and ``GET /metrics``
-  (the process-wide telemetry registry in Prometheus text format).
+  minimal adapter with routes ``POST /v1/read``, ``GET /healthz``
+  (shard supervision state), ``GET /metrics`` (the process-wide
+  telemetry registry in Prometheus text format), plus the control
+  plane: ``GET /v1/admin/status`` and ``POST /v1/admin/<verb>``
+  (``scale``, ``drain_shard``, ``restart``), token-gated when the
+  deployment configures ``admin_token``.
 
 Connections idle longer than ``idle_timeout_s`` are closed; the
 ``/healthz`` and ``/metrics`` bodies can be cached for
@@ -44,8 +47,9 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro import telemetry
 from repro.edge import protocol
+from repro.edge.autoscale import Autoscaler
+from repro.edge.deploy import EdgeDeployment
 from repro.edge.protocol import EdgeError
-from repro.edge.sharding import ShardSpec
 from repro.edge.supervisor import ShardPool
 from repro.edge.worker import WorkerConfig
 from repro.serve.admission import AdmissionPolicy
@@ -122,6 +126,15 @@ class EdgeConfig:
             ``{pid}`` / ``{instance}`` placeholders to keep one file per
             worker process.
         enable_chaos: Let clients stage worker crashes/hangs (tests).
+        admin_token: Shared secret gating the ``admin.*`` control-plane
+            ops (``None``, the default, leaves them open — suitable for
+            loopback deployments only).
+        warm_spares: Pre-seeded standby workers kept outside the ring so
+            scale-up is a ring-join, not a cold spawn.
+        autoscale: Optional
+            :class:`~repro.edge.autoscale.AutoscalePolicy`; when set,
+            the server runs an :class:`~repro.edge.autoscale.Autoscaler`
+            loop against its own pool.
     """
 
     host: str = "127.0.0.1"
@@ -148,10 +161,15 @@ class EdgeConfig:
     shard_fault_plans: Optional[Mapping[int, object]] = None
     access_log: Optional[str] = None
     enable_chaos: bool = False
+    admin_token: Optional[str] = None
+    warm_spares: int = 0
+    autoscale: Optional[object] = None  # AutoscalePolicy; object keeps it picklable-lazy
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.warm_spares < 0:
+            raise ValueError("warm_spares must be >= 0")
         if self.max_line_bytes < 1024:
             raise ValueError("max_line_bytes must be >= 1024")
         if self.ipc_batch < 1:
@@ -164,27 +182,21 @@ class EdgeConfig:
             raise ValueError("status_cache_s must be non-negative")
 
     def worker_configs(self) -> Tuple[WorkerConfig, ...]:
-        """One :class:`WorkerConfig` per shard, seeds derived."""
-        plans = dict(self.shard_fault_plans or {})
-        return tuple(
-            WorkerConfig(
-                shard_index=spec.index,
-                seed=spec.seed,
-                tiers=spec.tiers,
-                deterministic=self.deterministic,
-                batch=self.batch,
-                admission=self.admission,
-                cache_capacity=self.cache_capacity,
-                cache_ttl_s=self.cache_ttl_s,
-                fault_plan=plans.get(spec.index),
-                access_log=self.access_log,
-                enable_chaos=self.enable_chaos,
-            )
-            for spec in (
-                ShardSpec.of(i, self.root_seed, self.tiers)
-                for i in range(self.shards)
-            )
+        """Deprecated: build configs through :class:`EdgeDeployment`.
+
+        The derivation moved to
+        :meth:`repro.edge.deploy.EdgeDeployment.worker_configs`; this
+        shim delegates and warns.
+        """
+        import warnings
+
+        warnings.warn(
+            "EdgeConfig.worker_configs() is deprecated; use "
+            "EdgeDeployment.from_edge_config(config).worker_configs()",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return EdgeDeployment.from_edge_config(self).worker_configs()
 
 
 def metrics_text(registry=None) -> str:
@@ -219,8 +231,9 @@ class EdgeServer:
 
     def __init__(self, config: EdgeConfig = EdgeConfig()) -> None:
         self.config = config
+        deployment = EdgeDeployment.from_edge_config(config)
         self.pool = ShardPool(
-            config.worker_configs(),
+            deployment.worker_configs(),
             window=config.window,
             start_method=config.start_method,
             health_interval_s=config.health_interval_s,
@@ -229,7 +242,12 @@ class EdgeServer:
             ring_replicas=config.ring_replicas,
             ipc_batch=config.ipc_batch,
             ipc_linger_s=config.ipc_linger_s,
+            config_factory=deployment.worker_config,
+            warm_spares=config.warm_spares,
         )
+        self.autoscaler: Optional[Autoscaler] = None
+        if config.autoscale is not None:
+            self.autoscaler = Autoscaler(self.pool, config.autoscale)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._closing = False
@@ -248,6 +266,8 @@ class EdgeServer:
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.autoscaler is not None:
+            self.autoscaler.start()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -263,6 +283,9 @@ class EdgeServer:
         *work*, not for clients to hang up.
         """
         self._closing = True
+        if self.autoscaler is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.autoscaler.stop)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -551,6 +574,16 @@ class EdgeServer:
                 encode,
             )
             return
+        if op in protocol.ADMIN_OPS:
+            # Reshapes drain shards and spawn processes — seconds, not
+            # microseconds; they run off the connection loop so data ops
+            # keep flowing on this and every other connection.
+            task = asyncio.ensure_future(
+                self._answer_admin(payload, request_id, writer, write_lock, encode)
+            )
+            inflight.add(task)
+            task.add_done_callback(inflight.discard)
+            return
         if op == "chaos" and self.config.enable_chaos:
             try:
                 self.pool.chaos(int(payload.get("shard", 0)), payload.get("kind", "exit"))
@@ -575,11 +608,116 @@ class EdgeServer:
                 request_id,
                 EdgeError(
                     protocol.UNKNOWN_OP,
-                    f"unknown op {op!r}; known: read, ping, stats",
+                    f"unknown op {op!r}; known: read, ping, stats, "
+                    + ", ".join(sorted(protocol.ADMIN_OPS)),
                 ),
             ),
             encode,
         )
+
+    # ------------------------------------------------------------ admin plane
+
+    async def _answer_admin(
+        self, payload, request_id, writer, write_lock, encode
+    ) -> None:
+        answer = await self._admin_execute(payload, request_id)
+        await self._send(writer, write_lock, answer, encode)
+
+    async def _admin_execute(self, payload, request_id) -> Dict[str, Any]:
+        """Run one ``admin.*`` op; returns the (typed) answer payload.
+
+        Wire-agnostic: the NDJSON/binary dispatcher and the HTTP adapter
+        both funnel here, so every verb behaves identically on every
+        wire.  Token failures answer ``invalid`` (the vocabulary stays
+        closed) and are terminal, not retryable.
+        """
+        op = payload.get("op")
+        token = self.config.admin_token
+        if token is not None and payload.get("token") != token:
+            _ERRORS.inc()
+            return protocol.error_payload(
+                request_id,
+                EdgeError(
+                    protocol.INVALID,
+                    "admin ops need a valid 'token' on this deployment",
+                    retryable=False,
+                ),
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            if op == protocol.ADMIN_STATUS:
+                return {"id": request_id, "ok": True, "status": self._admin_status()}
+            if op == protocol.ADMIN_SCALE:
+                shards = payload.get("shards")
+                if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+                    raise EdgeError(
+                        protocol.INVALID,
+                        "admin.scale needs a positive integer 'shards'",
+                    )
+                indices = await loop.run_in_executor(
+                    None, lambda: self.pool.scale_to(shards)
+                )
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "shards": indices,
+                    "generation": self.pool.generation,
+                }
+            if op == protocol.ADMIN_DRAIN_SHARD:
+                shard = payload.get("shard")
+                if not isinstance(shard, int) or isinstance(shard, bool):
+                    raise EdgeError(
+                        protocol.INVALID,
+                        "admin.drain_shard needs an integer 'shard'",
+                    )
+                await loop.run_in_executor(
+                    None, lambda: self.pool.remove_shard(shard)
+                )
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "shards": self.pool.shard_indices,
+                    "generation": self.pool.generation,
+                }
+            if op == protocol.ADMIN_RESTART:
+                shard = payload.get("shard")
+                if shard is None:
+                    restarted = await loop.run_in_executor(
+                        None, self.pool.rolling_restart
+                    )
+                elif isinstance(shard, int) and not isinstance(shard, bool):
+                    await loop.run_in_executor(
+                        None, lambda: self.pool.restart_shard(shard)
+                    )
+                    restarted = [shard]
+                else:
+                    raise EdgeError(
+                        protocol.INVALID,
+                        "admin.restart 'shard' must be an integer when present",
+                    )
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "restarted": restarted,
+                    "generation": self.pool.generation,
+                }
+            raise EdgeError(protocol.UNKNOWN_OP, f"unknown admin op {op!r}")
+        except EdgeError as error:
+            _ERRORS.inc()
+            return protocol.error_payload(request_id, error)
+        except ValueError as error:
+            _ERRORS.inc()
+            return protocol.error_payload(
+                request_id, EdgeError(protocol.INVALID, str(error))
+            )
+
+    def _admin_status(self) -> Dict[str, Any]:
+        status = self.pool.status()
+        status["draining"] = self._closing
+        status["autoscaler"] = (
+            None if self.autoscaler is None else self.autoscaler.status()
+        )
+        return status
 
     async def _answer_read(
         self, payload, request_id, writer, write_lock, encode, decode_s: float
@@ -710,15 +848,46 @@ class EdgeServer:
                     buffer += chunk
                 body = bytes(buffer[:length])
                 del buffer[:length]
-                await self._http_route(writer, method, target, body, keep_alive)
+                await self._http_route(
+                    writer, method, target, body, keep_alive, headers
+                )
                 if not keep_alive:
                     return
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
 
     async def _http_route(
-        self, writer, method: str, target: str, body: bytes, keep_alive: bool
+        self,
+        writer,
+        method: str,
+        target: str,
+        body: bytes,
+        keep_alive: bool,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> None:
+        if target == "/v1/admin/status" and method == "GET":
+            await self._http_admin(
+                writer, protocol.ADMIN_STATUS, b"", keep_alive, headers
+            )
+            return
+        if target.startswith("/v1/admin/") and method == "POST":
+            op = "admin." + target[len("/v1/admin/") :]
+            if op not in protocol.ADMIN_OPS:
+                _ERRORS.inc()
+                await self._http_error(
+                    writer,
+                    EdgeError(
+                        protocol.UNKNOWN_OP,
+                        f"no admin route {target}; verbs: "
+                        + ", ".join(
+                            sorted(o.split(".", 1)[1] for o in protocol.ADMIN_OPS)
+                        ),
+                    ),
+                    keep_alive,
+                )
+                return
+            await self._http_admin(writer, op, body, keep_alive, headers)
+            return
         if method == "POST" and target == "/v1/read":
             started = time.perf_counter()
             try:
@@ -750,10 +919,45 @@ class EdgeServer:
             EdgeError(
                 protocol.UNKNOWN_OP,
                 f"no route {method} {target}; try POST /v1/read, "
-                "GET /healthz, GET /metrics",
+                "GET /healthz, GET /metrics, GET /v1/admin/status, "
+                "POST /v1/admin/<verb>",
             ),
             keep_alive,
         )
+
+    async def _http_admin(
+        self,
+        writer,
+        op: str,
+        body: bytes,
+        keep_alive: bool,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """The HTTP face of the admin plane: same executor, typed answers.
+
+        The token travels as an ``X-Admin-Token`` header (or a ``token``
+        field in the JSON body); the answer is the wire payload of the
+        equivalent NDJSON op, status-mapped through
+        :data:`~repro.edge.protocol.HTTP_STATUS`.
+        """
+        payload: Dict[str, Any] = {}
+        if body.strip():
+            try:
+                payload = protocol.decode_line(body)
+            except EdgeError as error:
+                _ERRORS.inc()
+                await self._http_error(writer, error, keep_alive)
+                return
+        payload["op"] = op
+        header_token = (headers or {}).get("x-admin-token")
+        if header_token is not None and "token" not in payload:
+            payload["token"] = header_token
+        answer = await self._admin_execute(payload, payload.get("id"))
+        if answer.get("ok"):
+            status = 200
+        else:
+            status = protocol.HTTP_STATUS.get(answer["error"]["code"], 500)
+        await self._http_respond(writer, status, answer, keep_alive)
 
     def _status_body(self, target: str) -> Tuple[int, str, bytes]:
         """Render (or re-serve) a status route, cached ``status_cache_s``."""

@@ -14,6 +14,13 @@ make the pool reproducible and operable:
   shards remaps only ~1/(N+1) of the stack-id space (a plain
   ``stack_id % shards`` would remap almost all of it), so clients keep
   their cache- and fault-locality across resizes.
+* **Topologies are versioned.**  A ring carries a ``generation``
+  number; the elastic :class:`~repro.edge.supervisor.ShardPool`
+  republishes a fresh ring (generation + 1) on every reshard, so
+  late-arriving work and mid-reshard respawns can tell a stale topology
+  from the live one.  :func:`remapped_fraction` measures how much of
+  the stack-id space two rings disagree on — the number the reshard
+  benchmark gates against the ~1/(N+1) theory.
 """
 
 from __future__ import annotations
@@ -45,15 +52,22 @@ def _ring_point(token: str) -> int:
 
 
 class HashRing:
-    """Consistent stack-id → shard routing over a fixed shard set."""
+    """Consistent stack-id → shard routing over one frozen shard set.
 
-    def __init__(self, shards: Sequence[int], replicas: int = 64) -> None:
+    A ring never mutates; elastic topologies are a *sequence* of rings,
+    each stamped with the ``generation`` it was published at.
+    """
+
+    def __init__(
+        self, shards: Sequence[int], replicas: int = 64, generation: int = 0
+    ) -> None:
         if not shards:
             raise ValueError("need at least one shard")
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         self.shards = tuple(shards)
         self.replicas = replicas
+        self.generation = generation
         points: List[int] = []
         owners: Dict[int, int] = {}
         for shard in self.shards:
@@ -75,6 +89,32 @@ class HashRing:
         if index == len(self._points):
             index = 0
         return self._owners[self._points[index]]
+
+    def successor(self, shards: Sequence[int], replicas: int = 64) -> "HashRing":
+        """A new ring over ``shards`` published at the next generation."""
+        return HashRing(shards, replicas=replicas, generation=self.generation + 1)
+
+
+# Sample size of :func:`remapped_fraction`; also the probe set the
+# supervisor counts ``edge.remapped_keys`` over at each republish.
+REMAP_SAMPLE = 1024
+
+
+def remapped_fraction(
+    old: HashRing, new: HashRing, sample: int = REMAP_SAMPLE
+) -> float:
+    """Fraction of a stack-id probe set whose owner differs between rings.
+
+    Consistent hashing promises growing N → N+1 moves ~1/(N+1) of the
+    key space; this measures the actual figure over ``sample`` probe
+    stack ids (deterministic — the probe ids are just 0..sample-1).
+    """
+    if sample < 1:
+        raise ValueError("sample must be >= 1")
+    moved = sum(
+        1 for stack_id in range(sample) if old.route(stack_id) != new.route(stack_id)
+    )
+    return moved / sample
 
 
 @dataclass(frozen=True)

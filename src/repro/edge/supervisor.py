@@ -1,4 +1,4 @@
-"""The shard pool: spawn, route, window, health-check, respawn, drain.
+"""The shard pool: spawn, route, window, health-check, respawn, reshard.
 
 :class:`ShardPool` owns the backend worker processes.  It is plain
 threads-and-pipes (no asyncio) so the same pool serves the asyncio
@@ -9,7 +9,10 @@ server, the sync CLI, and tests; the server bridges its
 Responsibilities:
 
 * **Routing** — stack id → shard through the consistent
-  :class:`~repro.edge.sharding.HashRing`.
+  :class:`~repro.edge.sharding.HashRing`.  The ring is immutable; the
+  pool *republishes* a fresh ring (generation + 1) whenever the
+  topology changes, with one atomic reference swap — readers never see
+  a half-built topology.
 * **Windows** — at most ``window`` outstanding requests per shard; the
   excess is rejected *at the edge* with a typed, retryable
   ``backpressure`` error, propagating the embedded service's
@@ -25,11 +28,21 @@ Responsibilities:
 * **Supervision** — a health thread pings every shard; a dead or
   unresponsive shard is quarantined (its outstanding requests fail with
   retryable ``shard_down`` errors — never a hang), killed if needed, and
-  respawned from its original :class:`~repro.edge.worker.WorkerConfig`
-  after a short backoff.  Same config, same seed, same stack: the
-  replacement is bit-identical.  The vocabulary deliberately mirrors the
-  quarantine/probation/revival state machine of
+  respawned after a short backoff.  The respawn consults the **live**
+  topology: a shard removed while quarantined never comes back, and a
+  worker respawned mid-reshard re-mints its config from the deployment
+  factory and rejoins the current ring generation.  Same seed, same
+  stack: the replacement is bit-identical.  The vocabulary deliberately
+  mirrors the quarantine/probation/revival state machine of
   :class:`repro.network.aggregator.StackMonitor`.
+* **Elasticity** — :meth:`add_shard` / :meth:`remove_shard` /
+  :meth:`scale_to` reshape the pool live.  A departing shard leaves the
+  ring first (new work re-routes), then its in-flight reads drain
+  per-shard before the worker is torn down — zero dropped
+  non-retryable requests.  ``warm_spares`` keeps pre-seeded workers
+  idling outside the ring so scale-up is a ring-join, not a cold
+  spawn.  :meth:`rolling_restart` recycles one shard at a time through
+  the same drain path.
 * **Drain** — ``close(drain=True)`` stops new work, lets every shard
   finish its queue, and joins the processes.
 """
@@ -43,11 +56,11 @@ import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from enum import Enum
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import telemetry
 from repro.edge.protocol import BACKPRESSURE, CLOSED, EdgeError, SHARD_DOWN
-from repro.edge.sharding import HashRing
+from repro.edge.sharding import REMAP_SAMPLE, HashRing
 from repro.edge.worker import WorkerConfig, worker_main
 
 _SHARD_DEATHS = telemetry.counter(
@@ -74,15 +87,55 @@ _IPC_BATCH = telemetry.histogram(
     unit="requests",
     help="Routed reads coalesced per worker pipe message",
 )
+_SHARDS = telemetry.gauge(
+    "edge.shards", unit="shards", help="Shards currently in the routing ring"
+)
+_RESHARD_EVENTS = telemetry.counter(
+    "edge.reshard_events",
+    unit="events",
+    help="Ring republishes (scale up/down, rolling restarts)",
+)
+_DRAIN_MS = telemetry.histogram(
+    "edge.drain_ms",
+    unit="ms",
+    help="Per-shard drain time before teardown (remove / restart)",
+)
+_REMAPPED_KEYS = telemetry.counter(
+    "edge.remapped_keys",
+    unit="keys",
+    help="Probe stack ids whose owner moved at a ring republish "
+    f"(out of {REMAP_SAMPLE} sampled per event)",
+)
 
 
 class ShardState(str, Enum):
-    """Lifecycle of one backend worker, in supervision vocabulary."""
+    """Lifecycle of one backend worker, in supervision vocabulary.
 
+    Elastic lifecycle: ``warm`` (spawned, probed, outside the ring) →
+    ``starting`` → ``healthy`` (serving) → ``draining`` (leaving the
+    ring or restarting; in-flight work completes, new work is refused
+    with a retryable error) → ``stopped`` (gone).  ``quarantined`` is
+    the crash detour: the supervisor respawns the worker into the
+    *current* topology, unless the shard was removed meanwhile.
+    """
+
+    WARM = "warm"
     STARTING = "starting"
     HEALTHY = "healthy"
     QUARANTINED = "quarantined"
+    DRAINING = "draining"
     STOPPED = "stopped"
+
+
+# States whose worker process is expected to answer pipe messages.
+_LIVE_STATES = (
+    ShardState.WARM,
+    ShardState.STARTING,
+    ShardState.HEALTHY,
+    ShardState.DRAINING,
+)
+# States a routed read may be admitted in.
+_SERVING_STATES = (ShardState.STARTING, ShardState.HEALTHY)
 
 
 class _Shard:
@@ -95,6 +148,8 @@ class _Shard:
         self.reader: Optional[threading.Thread] = None
         self.state = ShardState.STOPPED
         self.restarts = 0
+        self.generation = 0  # ring generation the worker last joined at
+        self.retiring = False  # deliberate per-shard teardown in progress
         self.lock = threading.Lock()
         self.send_lock = threading.Lock()
         self.outstanding: Dict[int, Future] = {}
@@ -106,6 +161,7 @@ class _Shard:
         self.batch_cv = threading.Condition()
         self.flush_lock = threading.Lock()
         self.flusher: Optional[threading.Thread] = None
+        self.gone = threading.Event()  # permanently retired (stops the flusher)
 
     @property
     def index(self) -> int:
@@ -113,7 +169,7 @@ class _Shard:
 
 
 class ShardPool:
-    """A supervised pool of sharded backend worker processes."""
+    """A supervised, elastic pool of sharded backend worker processes."""
 
     def __init__(
         self,
@@ -127,6 +183,8 @@ class ShardPool:
         ring_replicas: int = 64,
         ipc_batch: int = 16,
         ipc_linger_s: float = 0.0005,
+        config_factory: Optional[Callable[[int], WorkerConfig]] = None,
+        warm_spares: int = 0,
     ) -> None:
         if not workers:
             raise ValueError("need at least one shard worker")
@@ -136,6 +194,10 @@ class ShardPool:
             raise ValueError("ipc_batch must be >= 1")
         if ipc_linger_s < 0.0:
             raise ValueError("ipc_linger_s must be non-negative")
+        if warm_spares < 0:
+            raise ValueError("warm_spares must be >= 0")
+        if warm_spares > 0 and config_factory is None:
+            raise ValueError("warm_spares needs a config_factory to mint configs")
         indices = [w.shard_index for w in workers]
         if len(set(indices)) != len(indices):
             raise ValueError("shard indices must be unique")
@@ -146,11 +208,22 @@ class ShardPool:
         self.health_timeout_s = health_timeout_s
         self.spawn_timeout_s = spawn_timeout_s
         self.respawn_backoff_s = respawn_backoff_s
+        self.ring_replicas = ring_replicas
+        self.warm_spares = warm_spares
+        self._config_factory = config_factory
         self._context = multiprocessing.get_context(start_method)
         self._shards: Dict[int, _Shard] = {
             w.shard_index: _Shard(w) for w in workers
         }
+        self._spares: Dict[int, _Shard] = {}
         self.ring = HashRing(sorted(self._shards), replicas=ring_replicas)
+        self._last_remap_fraction = 0.0
+        # ``_topology_lock`` guards ring republishes and the shard/spare
+        # dicts; ``_admin_lock`` serialises whole reshape operations
+        # (scale / restart) so two admin calls cannot interleave drains.
+        self._topology_lock = threading.RLock()
+        self._admin_lock = threading.RLock()
+        self._replenish_lock = threading.Lock()
         self._closing = threading.Event()
         self._health_thread: Optional[threading.Thread] = None
         self._inflight = 0
@@ -159,25 +232,29 @@ class ShardPool:
     # -------------------------------------------------------------- lifecycle
 
     def start(self, health_checks: bool = True) -> None:
-        """Spawn every worker and (optionally) the supervision thread."""
+        """Spawn every worker (and warm spares), probe, start supervision."""
         for shard in self._shards.values():
             self._spawn(shard)
         for shard in self._shards.values():
             self._probe(shard, timeout=self.spawn_timeout_s)
-        if self.ipc_batch > 1 and self.ipc_linger_s > 0.0:
-            for shard in self._shards.values():
-                shard.flusher = threading.Thread(
-                    target=self._linger_loop,
-                    args=(shard,),
-                    name=f"edge-flush-{shard.index}",
-                    daemon=True,
-                )
-                shard.flusher.start()
+            self._start_flusher(shard)
+        _SHARDS.set(len(self._shards))
+        self._replenish_spares(wait=True)
         if health_checks:
             self._health_thread = threading.Thread(
                 target=self._health_loop, name="edge-health", daemon=True
             )
             self._health_thread.start()
+
+    def _start_flusher(self, shard: _Shard) -> None:
+        if self.ipc_batch > 1 and self.ipc_linger_s > 0.0 and shard.flusher is None:
+            shard.flusher = threading.Thread(
+                target=self._linger_loop,
+                args=(shard,),
+                name=f"edge-flush-{shard.index}",
+                daemon=True,
+            )
+            shard.flusher.start()
 
     def _spawn(self, shard: _Shard) -> None:
         parent_conn, child_conn = self._context.Pipe()
@@ -193,6 +270,7 @@ class ShardPool:
             shard.process = process
             shard.conn = parent_conn
             shard.state = ShardState.STARTING
+            shard.generation = self.ring.generation
         shard.reader = threading.Thread(
             target=self._reader_loop,
             args=(shard, parent_conn),
@@ -201,32 +279,36 @@ class ShardPool:
         )
         shard.reader.start()
 
-    def _probe(self, shard: _Shard, timeout: float) -> bool:
-        """Probation ping: promote to HEALTHY on a pong, quarantine on miss."""
+    def _probe(
+        self,
+        shard: _Shard,
+        timeout: float,
+        to_state: ShardState = ShardState.HEALTHY,
+    ) -> bool:
+        """Probation ping: promote on a pong, quarantine on a miss."""
         try:
-            self.ping(shard.index, timeout=timeout)
+            self._ping_shard(shard, timeout=timeout)
         except (EdgeError, TimeoutError, FutureTimeoutError):
             self._quarantine(shard, reason="probe failed")
             return False
         with shard.lock:
-            if shard.state is ShardState.STARTING:
-                shard.state = ShardState.HEALTHY
+            if shard.state in (ShardState.STARTING, ShardState.WARM):
+                shard.state = to_state
         return True
 
     def close(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop the pool: drain (default) or abandon queued work, join all."""
         self._closing.set()
-        for shard in self._shards.values():
+        with self._topology_lock:
+            everyone = list(self._shards.values()) + list(self._spares.values())
+        for shard in everyone:
             with shard.batch_cv:
                 shard.batch_cv.notify_all()  # release the linger flushers
             self._flush_reads(shard)  # deliver coalesced stragglers pre-shutdown
         acks = []
-        for shard in self._shards.values():
+        for shard in everyone:
             with shard.lock:
-                conn_ok = shard.conn is not None and shard.state in (
-                    ShardState.STARTING,
-                    ShardState.HEALTHY,
-                )
+                conn_ok = shard.conn is not None and shard.state in _LIVE_STATES
             if conn_ok:
                 try:
                     acks.append(
@@ -239,7 +321,7 @@ class ShardPool:
                 future.result(timeout=timeout)
             except Exception:  # noqa: BLE001 - teardown is best-effort
                 pass
-        for shard in self._shards.values():
+        for shard in everyone:
             process = shard.process
             if process is not None:
                 process.join(timeout=timeout)
@@ -250,12 +332,13 @@ class ShardPool:
                 shard.state = ShardState.STOPPED
                 leftovers = list(shard.outstanding.values())
                 shard.outstanding.clear()
+            shard.gone.set()
             for future in leftovers:
                 if not future.done():
                     future.set_exception(
                         EdgeError(CLOSED, "edge pool closed before serving")
                     )
-        for shard in self._shards.values():
+        for shard in everyone:
             if shard.flusher is not None:
                 shard.flusher.join(timeout=5.0)
                 shard.flusher = None
@@ -268,6 +351,323 @@ class ShardPool:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------- elasticity
+
+    @property
+    def generation(self) -> int:
+        """Generation of the currently published ring."""
+        return self.ring.generation
+
+    @property
+    def active_count(self) -> int:
+        """Shards currently in the routing ring."""
+        return len(self._shards)
+
+    @property
+    def spare_indices(self) -> List[int]:
+        """Indices of warm spares standing by outside the ring."""
+        with self._topology_lock:
+            return sorted(self._spares)
+
+    def _republish(self) -> None:
+        """Swap in a new ring over the current shard set (atomic).
+
+        Callers hold ``_topology_lock``.  Remap impact is measured over
+        the :data:`~repro.edge.sharding.REMAP_SAMPLE` probe stack ids
+        and exported as ``edge.remapped_keys``.
+        """
+        old = self.ring
+        new = old.successor(sorted(self._shards), replicas=self.ring_replicas)
+        moved = sum(
+            1
+            for stack_id in range(REMAP_SAMPLE)
+            if old.route(stack_id) != new.route(stack_id)
+        )
+        self.ring = new  # one reference assignment: readers see old or new
+        self._last_remap_fraction = moved / REMAP_SAMPLE
+        _REMAPPED_KEYS.inc(moved)
+        _RESHARD_EVENTS.inc()
+        _SHARDS.set(len(self._shards))
+
+    def _next_index(self) -> int:
+        """Smallest shard index not active — removed gaps are refilled
+        first (same index, same derived seed, bit-identical stack)."""
+        with self._topology_lock:
+            for index in sorted(self._spares):
+                if index not in self._shards:
+                    return index
+            index = 0
+            while index in self._shards:
+                index += 1
+            return index
+
+    def add_shard(self, index: Optional[int] = None, timeout: Optional[float] = None) -> int:
+        """Grow the pool by one shard; returns the joined index.
+
+        Prefers promoting a warm spare (ring-join, no spawn on the
+        critical path); otherwise cold-spawns from the config factory.
+        The ring is republished only after the worker answers a probe,
+        so a joining shard never receives routed work it cannot serve.
+        """
+        timeout = self.spawn_timeout_s if timeout is None else timeout
+        with self._admin_lock:
+            if self._closing.is_set():
+                raise EdgeError(CLOSED, "edge pool is draining")
+            if index is None:
+                index = self._next_index()
+            with self._topology_lock:
+                if index in self._shards:
+                    raise ValueError(f"shard {index} is already active")
+                spare = self._spares.pop(index, None)
+            shard: Optional[_Shard] = None
+            if spare is not None and self._probe(spare, timeout=timeout):
+                shard = spare
+            if shard is None:
+                if self._config_factory is None:
+                    raise ValueError(
+                        "cannot add shards without a config_factory "
+                        "(construct the pool via EdgeDeployment)"
+                    )
+                shard = _Shard(self._config_factory(index))
+                self._spawn(shard)
+                self._start_flusher(shard)
+                if not self._probe(shard, timeout=timeout):
+                    raise EdgeError(
+                        SHARD_DOWN, f"shard {index} failed its join probe"
+                    )
+                self._prewarm(shard, timeout=timeout)
+            with self._topology_lock:
+                self._shards[index] = shard
+                with shard.lock:
+                    shard.generation = self.ring.generation + 1
+                self._republish()
+            self._replenish_spares()
+            return index
+
+    def remove_shard(self, index: int, timeout: float = 30.0) -> None:
+        """Shrink the pool by one shard, draining it before teardown.
+
+        The shard leaves the ring *first* (new work re-routes to the
+        survivors; the brief race window of already-routed submissions
+        is answered with a retryable ``shard_down``), then its in-flight
+        reads drain, then the worker shuts down.  Nothing non-retryable
+        is dropped.
+        """
+        with self._admin_lock:
+            with self._topology_lock:
+                if index not in self._shards:
+                    raise ValueError(f"shard {index} is not active")
+                if len(self._shards) <= 1:
+                    raise ValueError("cannot remove the last shard")
+                shard = self._shards.pop(index)
+                with shard.lock:
+                    was_live = shard.state in _SERVING_STATES
+                    if was_live:
+                        shard.state = ShardState.DRAINING
+                self._republish()
+            if was_live:
+                self._drain_shard(shard, timeout=timeout)
+            self._teardown_worker(shard, timeout=timeout)
+            shard.gone.set()
+
+    def scale_to(self, shards: int, timeout: Optional[float] = None) -> List[int]:
+        """Reshape to ``shards`` active shards; returns the final indices.
+
+        Grows and shrinks one shard at a time so every intermediate
+        topology is a valid, fully-drained deployment.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        with self._admin_lock:
+            while len(self._shards) < shards:
+                self.add_shard(timeout=timeout)
+            while len(self._shards) > shards:
+                # Retire the highest index: the next grow refills it
+                # with the identical derived seed.
+                self.remove_shard(max(self._shards))
+            return self.shard_indices
+
+    def restart_shard(self, index: int, timeout: float = 30.0) -> None:
+        """Recycle one shard through the drain path, keeping its ring slot.
+
+        The shard stays *in* the ring (its keys do not remap — answers
+        for them stay bit-identical), but stops admitting new work:
+        submissions during the restart get a retryable ``shard_down``
+        and land on the replacement worker on retry.
+        """
+        with self._admin_lock:
+            with self._topology_lock:
+                shard = self._shards.get(index)
+                if shard is None:
+                    raise ValueError(f"shard {index} is not active")
+            with shard.lock:
+                if shard.state not in _SERVING_STATES:
+                    raise EdgeError(
+                        SHARD_DOWN,
+                        f"shard {index} is {shard.state.value}; "
+                        "only serving shards restart",
+                    )
+                shard.state = ShardState.DRAINING
+            self._drain_shard(shard, timeout=timeout)
+            self._teardown_worker(shard, timeout=timeout, final=False)
+            if self._config_factory is not None:
+                shard.config = self._config_factory(index)
+            self._spawn(shard)
+            self._start_flusher(shard)
+            self._prewarm(shard, timeout=self.spawn_timeout_s)
+            shard.retiring = False
+            with shard.lock:
+                shard.restarts += 1
+            _SHARD_RESTARTS.inc()
+            _RESHARD_EVENTS.inc()
+            self._probe(shard, timeout=self.spawn_timeout_s)
+
+    def rolling_restart(self, timeout: float = 30.0) -> List[int]:
+        """Recycle every active shard, one at a time; returns the order."""
+        restarted = []
+        with self._admin_lock:
+            for index in self.shard_indices:
+                if self._closing.is_set():
+                    break
+                self.restart_shard(index, timeout=timeout)
+                restarted.append(index)
+        return restarted
+
+    def _drain_shard(self, shard: _Shard, timeout: float) -> bool:
+        """Wait for a draining shard's in-flight reads to complete.
+
+        Flushes the coalescing buffer first (accepted work must reach
+        the worker), then polls the outstanding window down to zero.
+        Returns ``False`` on timeout (leftovers are failed retryable by
+        the subsequent teardown).
+        """
+        started = time.perf_counter()
+        with shard.batch_cv:
+            shard.batch_cv.notify_all()
+        self._flush_reads(shard)
+        deadline = started + timeout
+        drained = True
+        while True:
+            with shard.lock:
+                remaining = len(shard.outstanding)
+            if remaining == 0:
+                break
+            if time.perf_counter() >= deadline:
+                drained = False
+                break
+            time.sleep(0.002)
+        _DRAIN_MS.observe((time.perf_counter() - started) * 1e3)
+        return drained
+
+    def _prewarm(self, shard: _Shard, timeout: float) -> None:
+        """Run one all-tier conversion on a joining worker, best-effort.
+
+        A freshly spawned worker's first routed read would otherwise pay
+        the full self-calibration cost and spike the tail latency of the
+        reshard window; one scan read warms every tier's calibration
+        before the shard takes (or resumes) traffic.
+        """
+        from repro.edge.protocol import request_to_wire
+        from repro.serve.requests import ReadRequest
+
+        wire = request_to_wire(ReadRequest.scan(45.0))
+        try:
+            future = self._send(shard, {"op": "read", "request": wire})
+            future.result(timeout=timeout)
+        except Exception:  # noqa: BLE001 - the probe already proved liveness
+            pass
+
+    def _teardown_worker(
+        self, shard: _Shard, timeout: float = 30.0, final: bool = True
+    ) -> None:
+        """Shut one worker process down (deliberately — no respawn)."""
+        shard.retiring = True
+        with shard.lock:
+            conn_ok = shard.conn is not None and shard.state in _LIVE_STATES
+        ack = None
+        if conn_ok:
+            try:
+                ack = self._send(shard, {"op": "shutdown", "drain": True})
+            except EdgeError:
+                pass
+        if ack is not None:
+            try:
+                ack.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        process = shard.process
+        if process is not None:
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        with shard.lock:
+            shard.state = ShardState.STOPPED
+            leftovers = list(shard.outstanding.values())
+            shard.outstanding.clear()
+        error = EdgeError(
+            SHARD_DOWN, f"shard {shard.index} retired before serving; retry"
+        )
+        for future in leftovers:
+            if not future.done():
+                future.set_exception(error)
+        if final:
+            shard.retiring = False
+
+    def _replenish_spares(self, wait: bool = False) -> None:
+        """Keep ``warm_spares`` pre-seeded workers standing by.
+
+        Spares spawn off the admin path (scale-up latency is a ring
+        join, not a process spawn); ``wait=True`` spawns inline for
+        deterministic startup.
+        """
+        if self.warm_spares <= 0 or self._closing.is_set():
+            return
+        if wait:
+            self._spawn_spares()
+            return
+        threading.Thread(
+            target=self._spawn_spares, name="edge-spares", daemon=True
+        ).start()
+
+    def _spawn_spares(self) -> None:
+        with self._replenish_lock:
+            while not self._closing.is_set():
+                with self._topology_lock:
+                    if len(self._spares) >= self.warm_spares:
+                        return
+                    index = 0
+                    while index in self._shards or index in self._spares:
+                        index += 1
+                    # Reserve the slot before the (slow) spawn.
+                    spare = _Shard(self._config_factory(index))
+                    self._spares[index] = spare
+                self._spawn(spare)
+                self._start_flusher(spare)
+                if self._probe(
+                    spare, timeout=self.spawn_timeout_s, to_state=ShardState.WARM
+                ):
+                    self._prewarm(spare, timeout=self.spawn_timeout_s)
+                    continue
+                with self._topology_lock:
+                    self._spares.pop(index, None)
+                return  # a spare that cannot boot would just crash-loop here
+
+    def status(self) -> Dict[str, Any]:
+        """Topology + supervision state, as ``admin.status`` reports it."""
+        with self._topology_lock:
+            ring = self.ring
+            active = sorted(self._shards)
+            spares = sorted(self._spares)
+        return {
+            "generation": ring.generation,
+            "shards": active,
+            "spares": spares,
+            "window": self.window,
+            "last_remap_fraction": self._last_remap_fraction,
+            "health": self.health(),
+        }
 
     # ----------------------------------------------------------------- client
 
@@ -287,14 +687,22 @@ class ShardPool:
         Raises:
             EdgeError: ``backpressure`` when the shard's outstanding
                 window is full (retryable); ``shard_down`` when the shard
-                is quarantined or mid-respawn (retryable); ``closed``
-                when the pool is draining.
+                is quarantined, draining or mid-respawn (retryable);
+                ``closed`` when the pool is draining.
         """
-        shard = self._shards[self.route(stack_id)]
         if self._closing.is_set():
             raise EdgeError(CLOSED, "edge pool is draining")
+        shard = self._shards.get(self.route(stack_id))
+        if shard is None:
+            # The owner left between the ring read and the dict lookup;
+            # the republished ring knows the new owner.
+            shard = self._shards.get(self.route(stack_id))
+            if shard is None:
+                raise EdgeError(
+                    SHARD_DOWN, "routing raced a reshard; retry shortly"
+                )
         with shard.lock:
-            if shard.state not in (ShardState.STARTING, ShardState.HEALTHY):
+            if shard.state not in _SERVING_STATES:
                 raise EdgeError(
                     SHARD_DOWN,
                     f"shard {shard.index} is {shard.state.value}; retry shortly",
@@ -319,15 +727,18 @@ class ShardPool:
             self._flush_reads(shard)
         return future
 
+    def _ping_shard(self, shard: _Shard, timeout: float = 5.0) -> Dict[str, Any]:
+        future = self._send(shard, {"op": "ping"})
+        return future.result(timeout=timeout)
+
     def ping(self, shard_index: int, timeout: float = 5.0) -> Dict[str, Any]:
         """Round-trip one health probe through a shard worker."""
-        future = self._send(self._shards[shard_index], {"op": "ping"})
-        return future.result(timeout=timeout)
+        return self._ping_shard(self._shards[shard_index], timeout=timeout)
 
     def shard_stats(self, timeout: float = 10.0) -> List[Dict[str, Any]]:
         """Service-level stats gathered from every live shard."""
         futures = []
-        for shard in self._shards.values():
+        for shard in list(self._shards.values()):
             try:
                 futures.append((shard, self._send(shard, {"op": "stats"})))
             except EdgeError as error:
@@ -361,8 +772,9 @@ class ShardPool:
     def health(self) -> List[Dict[str, Any]]:
         """Parent-side health of every shard (no worker round-trips)."""
         report = []
-        for index in sorted(self._shards):
-            shard = self._shards[index]
+        with self._topology_lock:
+            shards = {index: self._shards[index] for index in sorted(self._shards)}
+        for index, shard in shards.items():
             with shard.lock:
                 process = shard.process
                 report.append(
@@ -372,6 +784,7 @@ class ShardPool:
                         "outstanding": len(shard.outstanding),
                         "window": self.window,
                         "restarts": shard.restarts,
+                        "generation": shard.generation,
                         "pid": None if process is None else process.pid,
                         "alive": process is not None and process.is_alive(),
                     }
@@ -388,7 +801,8 @@ class ShardPool:
 
     @property
     def shard_configs(self) -> List[WorkerConfig]:
-        return [self._shards[i].config for i in sorted(self._shards)]
+        with self._topology_lock:
+            return [self._shards[i].config for i in sorted(self._shards)]
 
     # ------------------------------------------------------------- internals
 
@@ -398,7 +812,7 @@ class ShardPool:
         if self._closing.is_set() and message.get("op") != "shutdown":
             raise EdgeError(CLOSED, "edge pool is draining")
         with shard.lock:
-            if shard.state not in (ShardState.STARTING, ShardState.HEALTHY):
+            if shard.state not in _LIVE_STATES:
                 raise EdgeError(
                     SHARD_DOWN,
                     f"shard {shard.index} is {shard.state.value}; retry shortly",
@@ -435,7 +849,9 @@ class ShardPool:
         submitter filling the window) and the linger flusher can never
         interleave their pipe writes, so batches always hit the pipe in
         buffer order.  A dead shard fails the drained reads with a
-        retryable ``shard_down`` instead of hanging them.
+        retryable ``shard_down`` instead of hanging them.  A *draining*
+        shard still flushes: admitted work completes even while new
+        work is refused.
         """
         while True:
             with shard.flush_lock:
@@ -445,7 +861,7 @@ class ShardPool:
                     items = shard.batch[: self.ipc_batch]
                     del shard.batch[: self.ipc_batch]
                 with shard.lock:
-                    alive = shard.state in (ShardState.STARTING, ShardState.HEALTHY)
+                    alive = shard.state in _LIVE_STATES
                     conn = shard.conn
                     # A shard death between reservation and flush already
                     # failed (and dropped) these futures; don't resend
@@ -478,11 +894,15 @@ class ShardPool:
     def _linger_loop(self, shard: _Shard) -> None:
         """Per-shard flusher: give a part-filled batch ``ipc_linger_s``
         to fill, then flush whatever accumulated."""
-        while not self._closing.is_set():
+        while not self._closing.is_set() and not shard.gone.is_set():
             with shard.batch_cv:
-                while not shard.batch and not self._closing.is_set():
+                while (
+                    not shard.batch
+                    and not self._closing.is_set()
+                    and not shard.gone.is_set()
+                ):
                     shard.batch_cv.wait(timeout=0.2)
-                if self._closing.is_set():
+                if self._closing.is_set() or shard.gone.is_set():
                     break
                 deadline = time.monotonic() + self.ipc_linger_s
                 while (
@@ -522,7 +942,7 @@ class ShardPool:
                 return  # a stale reader observed its own replaced pipe
             if shard.state in (ShardState.QUARANTINED, ShardState.STOPPED):
                 return
-            deliberate = self._closing.is_set()
+            deliberate = self._closing.is_set() or shard.retiring
             shard.state = (
                 ShardState.STOPPED if deliberate else ShardState.QUARANTINED
             )
@@ -547,7 +967,7 @@ class ShardPool:
         """Force a live-but-unresponsive shard through the death path."""
         with shard.lock:
             process = shard.process
-            if shard.state is not ShardState.HEALTHY and shard.state is not ShardState.STARTING:
+            if shard.state not in _LIVE_STATES:
                 return
         if process is not None and process.is_alive():
             process.terminate()  # the reader thread sees EOF and fans out
@@ -564,6 +984,19 @@ class ShardPool:
         self._closing.wait(backoff)
         if self._closing.is_set():
             return
+        # Respawn against the *live* topology, not the topology the
+        # worker died under: a shard removed while quarantined stays
+        # gone, and a respawn racing a reshard re-mints its config from
+        # the deployment factory and stamps the current ring generation
+        # (the old bug respawned from a config snapshot frozen at boot).
+        with self._topology_lock:
+            if self._shards.get(shard.index) is not shard:
+                with shard.lock:
+                    shard.state = ShardState.STOPPED
+                shard.gone.set()
+                return
+            if self._config_factory is not None:
+                shard.config = self._config_factory(shard.index)
         old = shard.process
         if old is not None:
             old.join(timeout=5.0)
@@ -582,6 +1015,6 @@ class ShardPool:
                 if state is not ShardState.HEALTHY:
                     continue
                 try:
-                    self.ping(shard.index, timeout=self.health_timeout_s)
+                    self._ping_shard(shard, timeout=self.health_timeout_s)
                 except (EdgeError, TimeoutError, FutureTimeoutError):
                     self._quarantine(shard, reason="health ping missed")

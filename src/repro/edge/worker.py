@@ -79,16 +79,24 @@ class WorkerConfig:
     enable_chaos: bool = False
 
     def serve_config(self) -> ServeConfig:
-        return ServeConfig(
-            tiers=self.tiers,
-            seed=self.seed,
-            batch=self.batch,
-            admission=self.admission,
-            cache_capacity=self.cache_capacity,
-            cache_ttl_s=self.cache_ttl_s,
-            deterministic=self.deterministic,
-            workers=1,
+        """Deprecated: use :func:`repro.edge.deploy.serve_config_for`.
+
+        The derivation moved into :mod:`repro.edge.deploy` so every
+        config layer derives from one :class:`EdgeDeployment` source of
+        truth; this shim delegates and warns.
+        """
+        import warnings
+
+        warnings.warn(
+            "WorkerConfig.serve_config() is deprecated; use "
+            "repro.edge.deploy.serve_config_for(config) or build configs "
+            "through EdgeDeployment",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.edge.deploy import serve_config_for
+
+        return serve_config_for(self)
 
 
 def _stats_payload(service: SensorReadService, config: WorkerConfig) -> Dict[str, Any]:
@@ -199,8 +207,10 @@ def worker_main(config: WorkerConfig, conn) -> None:
 
         set_active(FaultInjector(config.fault_plan))
 
+    from repro.edge.deploy import serve_config_for
+
     service = SensorReadService(
-        config=config.serve_config(),
+        config=serve_config_for(config),
         access_log=config.access_log,
         on_result=on_result,
         on_fail=on_fail,

@@ -27,10 +27,13 @@ from repro.readout.energy import ConversionEnergy
 # the same change; removals or renames require a deprecation cycle (see
 # docs/architecture.md, "API stability").
 PUBLIC_API_SNAPSHOT = frozenset({
+    "AdminClient",
+    "AutoscalePolicy",
     "BusReport",
     "DieSample",
     "EdgeClient",
     "EdgeConfig",
+    "EdgeDeployment",
     "EdgeError",
     "EdgeLoadgenConfig",
     "EdgeResult",

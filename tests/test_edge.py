@@ -24,6 +24,7 @@ import pytest
 from repro.edge import (
     EdgeClient,
     EdgeConfig,
+    EdgeDeployment,
     EdgeError,
     EdgeServerThread,
     HashRing,
@@ -492,10 +493,10 @@ class TestGoldenCrossProcessDeterminism:
         by_shard = {}
         for key, (stack, request) in enumerate(requests):
             by_shard.setdefault(ring.route(stack), []).append((key, request))
-        configs = {w.shard_index: w for w in edge.config.worker_configs()}
+        deployment = EdgeDeployment.from_edge_config(edge.config)
         for shard_index, batch in sorted(by_shard.items()):
             with SensorReadService(
-                config=configs[shard_index].serve_config()
+                config=deployment.serve_config(shard_index)
             ) as local:
                 for key, request in batch:
                     local_result = local.read(request)
