@@ -16,9 +16,11 @@ Usage::
     python -m repro loadgen --requests 2000 --rate 200   # docs/serving.md
     python -m repro loadgen --requests 200 --fast --json
     python -m repro loadgen --edge --fast        # shard-scaling sweep (docs/edge.md)
+    python -m repro loadgen --stream             # 10k-subscriber fan-out sweep
     python -m repro edge --shards 4              # serve NDJSON+HTTP on a TCP port
     python -m repro edge --smoke                 # boot, round-trip, drain, exit
     python -m repro edge-bench --shards 1 4      # wall-clock sharded throughput
+    python -m repro telemetry catalogue          # the full metric table (docs)
 """
 
 from __future__ import annotations
@@ -181,6 +183,8 @@ def _loadgen(args) -> int:
 
     if args.edge:
         return _loadgen_edge(args)
+    if args.stream:
+        return _loadgen_stream(args)
     config = _loadgen_config(args)
     report = run_loadgen_wall(config) if args.wall else run_loadgen(config)
     if args.json:
@@ -223,6 +227,22 @@ def _loadgen_edge(args) -> int:
     else:
         print(report.render())
     return 0 if report.monotonic else 1
+
+
+def _loadgen_stream(args) -> int:
+    from repro.edge.stream_loadgen import StreamLoadgenConfig, run_loadgen_stream
+
+    config = StreamLoadgenConfig(
+        subscribers=args.subscribers,
+        seed=args.seed,
+        duration_s=1.0 if args.fast else 5.0,
+    )
+    report = run_loadgen_stream(config)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.detector_no_worse else 1
 
 
 def _edge(args) -> int:
@@ -286,13 +306,94 @@ def _edge(args) -> int:
                       f"{shrunk}, read ok={result.ok})", file=sys.stderr)
                 return 1
             print(f"smoke reshard: ok (grew to {grown}, shrank to {shrunk}, "
-                  f"reads survived); draining")
+                  f"reads survived)")
+            code = _edge_smoke_stream(edge, args)
+            if code:
+                return code
+            print("smoke: draining")
             return 0
         try:
             while True:
                 time.sleep(3600.0)
         except KeyboardInterrupt:
             print("\ndraining...")
+    return 0
+
+
+def _edge_smoke_stream(edge, args) -> int:
+    """The streaming leg of ``edge --smoke``: push + SSE round-trips."""
+    import socket
+    import threading
+
+    from repro.edge import EdgeClient
+    from repro.serve.requests import ReadRequest
+
+    # Subscribe on the smoke wire, drive a synthetic runaway from a
+    # second connection, and expect reads plus the early-warning alert
+    # pushed back (docs/streaming.md).
+    with EdgeClient(edge.host, edge.port, wire=args.wire) as streaming, \
+            EdgeClient(edge.host, edge.port) as driver:
+        receiver = streaming.subscribe(kinds=["read", "alert"])
+        for i in range(12):
+            result = driver.read(901, ReadRequest.point(0, 45.0 + 8.0 * i))
+            if not result.ok:
+                print(f"smoke stream: FAILED (read {i}: "
+                      f"{result.status.value})", file=sys.stderr)
+                return 1
+        alert = None
+        seen_reads = 0
+        for _ in range(60):
+            event = receiver.next()
+            if event["event"] == "read":
+                seen_reads += 1
+            elif event["event"] == "alert":
+                alert = event
+                break
+        ack = receiver.unsubscribe()
+    if alert is None or not seen_reads or not ack.get("ok"):
+        print(f"smoke stream: FAILED (reads pushed {seen_reads}, "
+              f"alert {alert}, unsubscribe {ack})", file=sys.stderr)
+        return 1
+    print(f"smoke stream/{args.wire}: ok ({seen_reads} reads pushed, "
+          f"{alert['name']} at round {alert['round']}, "
+          f"unsubscribed with {ack['dropped']} dropped)")
+
+    # The SSE face: a pump keeps read events flowing while we take a
+    # bounded stream over plain HTTP.
+    stop = threading.Event()
+
+    def pump() -> None:
+        with EdgeClient(edge.host, edge.port) as client:
+            while not stop.is_set():
+                client.read(902, ReadRequest.point(0, 50.0))
+                time.sleep(0.01)
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    try:
+        sock = socket.create_connection((edge.host, edge.port), timeout=30.0)
+        try:
+            sock.sendall(b"GET /v1/stream?kinds=read&limit=2 HTTP/1.1\r\n"
+                         b"Host: smoke\r\nConnection: close\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        finally:
+            sock.close()
+    finally:
+        stop.set()
+        thread.join()
+    head, _, body = data.partition(b"\r\n\r\n")
+    blocks = [b for b in body.decode("utf-8").split("\n\n") if b.strip()]
+    if b"text/event-stream" not in head or len(blocks) != 2:
+        print(f"smoke stream/sse: FAILED (head {head[:80]!r}, "
+              f"{len(blocks)} block(s))", file=sys.stderr)
+        return 1
+    print(f"smoke stream/sse: ok ({len(blocks)} events over "
+          f"text/event-stream)")
     return 0
 
 
@@ -383,6 +484,20 @@ def _add_serving_arguments(parser, loadgen: bool) -> None:
             "defaults for --rate/--requests unless overridden; docs/edge.md)",
         )
         parser.add_argument(
+            "--stream",
+            action="store_true",
+            help="sweep stream fan-out with tens of thousands of virtual-time "
+            "subscribers and compare streaming vs batch runaway detection "
+            "(docs/streaming.md)",
+        )
+        parser.add_argument(
+            "--subscribers",
+            type=int,
+            default=10_000,
+            help="concurrent subscriptions to simulate with --stream "
+            "(default 10000)",
+        )
+        parser.add_argument(
             "--shard-counts",
             type=int,
             nargs="+",
@@ -443,6 +558,30 @@ def _telemetry_summary(path: str) -> int:
     return 0
 
 
+def _telemetry_catalogue(args) -> int:
+    from repro.telemetry import catalogue
+
+    if args.check:
+        drift = catalogue.check_docs(args.check)
+        if drift:
+            print(f"metric catalogue in {args.check} has drifted "
+                  f"from the registry:", file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            print("regenerate with: python -m repro telemetry catalogue "
+                  f"--write {args.check}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: metric catalogue matches the registry")
+        return 0
+    if args.write:
+        changed = catalogue.write_docs(args.write)
+        print(f"{args.write}: "
+              + ("catalogue regenerated" if changed else "already current"))
+        return 0
+    print(catalogue.render_table())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -497,6 +636,24 @@ def main(argv=None) -> int:
         "summary", help="aggregate a telemetry JSONL file into tables"
     )
     summary_parser.add_argument("path", help="telemetry JSON-lines file")
+    catalogue_parser = telemetry_sub.add_parser(
+        "catalogue",
+        help="render the full metric table from the live registry "
+        "(the generated section of docs/telemetry.md)",
+    )
+    catalogue_group = catalogue_parser.add_mutually_exclusive_group()
+    catalogue_group.add_argument(
+        "--check",
+        metavar="PATH",
+        default=None,
+        help="fail when PATH's generated table drifts from the registry",
+    )
+    catalogue_group.add_argument(
+        "--write",
+        metavar="PATH",
+        default=None,
+        help="regenerate the table between PATH's catalogue markers",
+    )
     faultsim_parser = sub.add_parser(
         "faultsim",
         help="run a fault-injection campaign over a monitored stack "
@@ -675,6 +832,8 @@ def main(argv=None) -> int:
     if args.command == "edge-bench":
         return _edge_bench(args)
     if args.command == "telemetry":
+        if args.telemetry_command == "catalogue":
+            return _telemetry_catalogue(args)
         return _telemetry_summary(args.path)
     if args.command == "report":
         from repro.experiments.runner import run_all, write_report

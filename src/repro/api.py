@@ -52,6 +52,8 @@ network edge           ``edge`` (module), ``EdgeClient``, ``EdgeConfig``,
                        ``run_loadgen_edge``, ``HashRing``, ``shard_seed``
 elastic control plane  ``AdminClient``, ``AutoscalePolicy``,
                        ``EdgeDeployment``
+streaming              ``StreamPolicy``, ``RunawayPolicy``,
+                       ``StreamLoadgenConfig``, ``run_loadgen_stream``
 =====================  ==============================================
 """
 
@@ -78,7 +80,10 @@ from repro.edge import (
     EdgeServer,
     EdgeServerThread,
     HashRing,
+    StreamLoadgenConfig,
+    StreamPolicy,
     run_loadgen_edge,
+    run_loadgen_stream,
     shard_seed,
 )
 from repro.experiments.runner import (
@@ -95,6 +100,7 @@ from repro.network.aggregator import (
     TierState,
 )
 from repro.readout.interface import SensorFrame
+from repro.telemetry.runaway import RunawayPolicy
 from repro.serve import (
     LoadgenConfig,
     LoadgenReport,
@@ -136,12 +142,15 @@ __all__ = [
     "ReadRequest",
     "ReadResult",
     "ResiliencePolicy",
+    "RunawayPolicy",
     "SensorConfig",
     "SensorFrame",
     "SensorReadService",
     "SensorReading",
     "ServeConfig",
     "StackMonitor",
+    "StreamLoadgenConfig",
+    "StreamPolicy",
     "SuiteResult",
     "Technology",
     "TierState",
@@ -158,6 +167,7 @@ __all__ = [
     "run_experiment",
     "run_loadgen",
     "run_loadgen_edge",
+    "run_loadgen_stream",
     "sample_dies",
     "serve",
     "shard_seed",
@@ -343,6 +353,30 @@ __test__ = {
     >>> EdgeDeployment.from_edge_config(edge_config) == deployment
     True
     >>> AutoscalePolicy().hysteresis >= 1
+    True
+    """,
+    "streaming": """
+    The stream plane pushes instead of answering: subscriptions over
+    SSE/NDJSON/binary share one bounded-queue hub, and the online
+    EWMA-slope detector turns live reads into early-warning alerts
+    (docs/streaming.md).  Policies validate at construction and the
+    detection comparison is seeded end to end.
+
+    >>> from repro.api import RunawayPolicy, StreamLoadgenConfig, StreamPolicy
+    >>> StreamPolicy().heartbeat_s
+    5.0
+    >>> RunawayPolicy().clear_slope_c < RunawayPolicy().warn_slope_c
+    True
+    >>> StreamPolicy(queue=0)   # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    ValueError: ...
+    >>> from repro.api import run_loadgen_stream
+    >>> report = run_loadgen_stream(StreamLoadgenConfig(
+    ...     subscribers=50, duration_s=0.2))
+    >>> report.detector_no_worse
+    True
+    >>> report.peak_queue_depth <= report.queue
     True
     """,
     "experiments": """

@@ -326,6 +326,31 @@ def bench_edge_reshard(shards_from: int = 2, shards_to: int = 4) -> float:
         pool.close()
 
 
+def bench_stream_fanout(subscribers: int = 10_000, events: int = 50) -> float:
+    """50 publishes fanned out to 10k live bounded subscribers.
+
+    A real :class:`~repro.telemetry.stream.StreamHub` with 10k real
+    :class:`~repro.telemetry.stream.Subscription` queues (bound 64, no
+    consumers draining — the worst case): each publish is a match check
+    plus a locked deque append per subscriber, overflow drops oldest.
+    Pins the per-delivery cost of the fan-out hot path; a regression
+    here (say, a publish that started copying the event per subscriber,
+    or taking the hub lock) multiplies across every subscriber of every
+    edge server.
+    """
+    from repro.telemetry.stream import StreamHub
+
+    hub = StreamHub()
+    for _ in range(subscribers):
+        hub.subscribe(kinds=["metric"], queue=64)
+
+    def loop():
+        for i in range(events):
+            hub.publish("metric", {"name": "bench.fanout", "value": float(i)})
+
+    return _time(loop, repeats=1)
+
+
 BENCHMARKS: Dict[str, Callable[[], float]] = {
     "population_sweep_scalar_50x9": bench_population_sweep_scalar,
     "population_sweep_batch_200x9": bench_population_sweep_batch,
@@ -339,6 +364,7 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "edge_loadgen_1v4shard": bench_edge_loadgen,
     "edge_wire_codec_2k": bench_wire_codec,
     "edge_reshard_2to4": bench_edge_reshard,
+    "stream_fanout_10k": bench_stream_fanout,
 }
 
 

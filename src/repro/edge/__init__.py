@@ -27,10 +27,17 @@ The subsystem that turns the in-process serving stack
 * :mod:`~repro.edge.client` — typed sync and asyncio clients
   (``wire="ndjson"`` or ``"binary"``) with retry/backoff on retryable
   failures;
+* :mod:`~repro.edge.stream` — the server-push plane behind one edge
+  instance: the fan-out hub subscribers attach to (SSE, NDJSON or
+  binary), windowed rollups over ``GET /v1/rollup``, and the streaming
+  thermal-runaway early-warning detector;
 * :mod:`~repro.edge.loadgen` — the virtual-time shard-scaling sweep
-  behind ``python -m repro loadgen --edge``.
+  behind ``python -m repro loadgen --edge``;
+* :mod:`~repro.edge.stream_loadgen` — the 10k-subscriber fan-out sweep
+  behind ``python -m repro loadgen --stream``.
 
-See ``docs/edge.md`` for the protocol reference and failure semantics.
+See ``docs/edge.md`` for the protocol reference and failure semantics,
+``docs/streaming.md`` for the subscription plane.
 """
 
 from repro.edge.autoscale import AutoscalePolicy, Autoscaler
@@ -39,8 +46,10 @@ from repro.edge.client import (
     WIRE_FORMATS,
     AdminClient,
     AsyncEdgeClient,
+    AsyncSubscription,
     EdgeClient,
     RetryPolicy,
+    StreamReceiver,
 )
 from repro.edge.deploy import EdgeDeployment, serve_config_for
 from repro.edge.loadgen import (
@@ -53,6 +62,7 @@ from repro.edge.loadgen import (
 )
 from repro.edge.protocol import (
     ADMIN_OPS,
+    STREAM_OPS,
     ERROR_CODES,
     HTTP_STATUS,
     MAX_LINE_BYTES,
@@ -63,6 +73,18 @@ from repro.edge.protocol import (
 )
 from repro.edge.server import EdgeConfig, EdgeServer, EdgeServerThread, metrics_text
 from repro.edge.sharding import HashRing, ShardSpec, remapped_fraction, shard_seed
+from repro.edge.stream import (
+    EVENT_KINDS,
+    MAX_SUBSCRIBER_QUEUE,
+    StreamPlane,
+    StreamPolicy,
+)
+from repro.edge.stream_loadgen import (
+    FanoutCostModel,
+    StreamLoadgenConfig,
+    StreamLoadgenReport,
+    run_loadgen_stream,
+)
 from repro.edge.supervisor import ShardPool, ShardState
 from repro.edge.worker import WorkerConfig, worker_main
 
@@ -71,6 +93,7 @@ __all__ = [
     "ADMIN_WIRES",
     "AdminClient",
     "AsyncEdgeClient",
+    "AsyncSubscription",
     "AutoscalePolicy",
     "Autoscaler",
     "EdgeClient",
@@ -83,16 +106,25 @@ __all__ = [
     "EdgeServer",
     "EdgeServerThread",
     "ERROR_CODES",
+    "FanoutCostModel",
+    "EVENT_KINDS",
     "HashRing",
     "HTTP_STATUS",
     "MAX_LINE_BYTES",
+    "MAX_SUBSCRIBER_QUEUE",
     "PROTOCOL_VERSION",
     "RetryPolicy",
     "RETRYABLE_CODES",
+    "STREAM_OPS",
     "ShardPool",
     "ShardScalingPoint",
     "ShardSpec",
     "ShardState",
+    "StreamLoadgenConfig",
+    "StreamLoadgenReport",
+    "StreamPlane",
+    "StreamPolicy",
+    "StreamReceiver",
     "WIRE_COSTS",
     "WIRE_FORMATS",
     "WireCostModel",
@@ -100,6 +132,7 @@ __all__ = [
     "metrics_text",
     "remapped_fraction",
     "run_loadgen_edge",
+    "run_loadgen_stream",
     "serve_config_for",
     "shard_seed",
     "worker_main",

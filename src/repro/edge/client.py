@@ -25,7 +25,7 @@ import itertools
 import socket
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.edge import protocol
 from repro.edge.protocol import EdgeError, EdgeResult
@@ -247,6 +247,114 @@ class EdgeClient:
         payload.setdefault("id", self._next_id())
         return self._exchange(payload)
 
+    def subscribe(
+        self,
+        kinds: Optional[list] = None,
+        metrics: Optional[list] = None,
+        queue: Optional[int] = None,
+    ) -> "StreamReceiver":
+        """Open a server-push subscription on this connection.
+
+        Returns a :class:`StreamReceiver`.  While the subscription is
+        live the connection belongs to the stream: pushed events
+        interleave with answers, so issue reads from a *different*
+        client and consume here with :meth:`StreamReceiver.next` /
+        :meth:`StreamReceiver.take` until
+        :meth:`StreamReceiver.unsubscribe`.
+        """
+        payload: Dict[str, Any] = {"id": self._next_id(), "op": protocol.STREAM_SUBSCRIBE}
+        if kinds is not None:
+            payload["kinds"] = list(kinds)
+        if metrics is not None:
+            payload["metrics"] = list(metrics)
+        if queue is not None:
+            payload["queue"] = queue
+        answer = self._exchange(payload)
+        if not answer.get("ok"):
+            raise EdgeError.from_wire(answer.get("error", {}))
+        return StreamReceiver(self, answer["subscription"])
+
+    def _read_payload(self) -> Dict[str, Any]:
+        """One pushed object or answer off the wire (either format)."""
+        self._ensure()
+        if self.wire == "binary":
+            return self._read_frame()
+        line = self._file.readline()
+        if not line:
+            raise EdgeError(protocol.SHARD_DOWN, "connection closed by server")
+        if not line.endswith(b"\n"):
+            raise EdgeError(
+                protocol.CLOSED,
+                "connection closed mid-response by server",
+                retryable=True,
+            )
+        return protocol.decode_line(line)
+
+
+class StreamReceiver:
+    """The consuming half of one :meth:`EdgeClient.subscribe` call.
+
+    Yields pushed event objects (``{"event": ..., "seq": ..., "sub": ...}``
+    — including ``heartbeat`` and the typed ``notice`` a slow consumer
+    earns) until :meth:`unsubscribe`, which returns the server's final
+    accounting (``dropped``).
+    """
+
+    def __init__(self, client: EdgeClient, subscription: int) -> None:
+        self.client = client
+        self.subscription = subscription
+        self.closed = False
+
+    def next(self) -> Dict[str, Any]:
+        """Block for the next pushed event on this connection."""
+        while True:
+            payload = self.client._read_payload()
+            if "event" in payload:
+                return payload
+            # An answer to someone else's op on this connection; with the
+            # documented one-op-at-a-time discipline this does not happen,
+            # but skipping is strictly safer than crashing the stream.
+
+    def take(self, count: int, ignore: Tuple[str, ...] = ("heartbeat",)) -> list:
+        """Collect ``count`` events, skipping kinds in ``ignore``."""
+        events = []
+        while len(events) < count:
+            event = self.next()
+            if event.get("event") in ignore:
+                continue
+            events.append(event)
+        return events
+
+    def unsubscribe(self) -> Dict[str, Any]:
+        """End the subscription; returns the ack (with ``dropped``)."""
+        if self.closed:
+            return {"ok": True, "subscription": self.subscription, "dropped": 0}
+        self.closed = True
+        request_id = self.client._next_id()
+        payload = {
+            "id": request_id,
+            "op": protocol.STREAM_UNSUBSCRIBE,
+            "subscription": self.subscription,
+        }
+        encode = (
+            protocol.encode_frame if self.client.wire == "binary" else protocol.encode
+        )
+        self.client._ensure()
+        self.client._sock.sendall(encode(payload))
+        while True:
+            answer = self.client._read_payload()
+            if answer.get("id") == request_id:
+                if not answer.get("ok"):
+                    raise EdgeError.from_wire(answer.get("error", {}))
+                return answer
+
+    def __enter__(self) -> "StreamReceiver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.unsubscribe()
+
 
 #: Wires the admin client speaks; the data wires plus the HTTP adapter.
 ADMIN_WIRES = ("ndjson", "binary", "http")
@@ -385,6 +493,7 @@ class AsyncEdgeClient:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: Dict[Any, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._subscriptions: Dict[int, "asyncio.Queue[Dict[str, Any]]"] = {}
         self._reader_task: Optional["asyncio.Task"] = None
         self._write_lock: Optional[asyncio.Lock] = None
 
@@ -447,6 +556,9 @@ class AsyncEdgeClient:
                     if not line:
                         break
                     answer = protocol.decode_line(line)
+                if "event" in answer and "id" not in answer:
+                    self._route_event(answer)
+                    continue
                 future = self._pending.pop(answer.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(answer)
@@ -458,6 +570,23 @@ class AsyncEdgeClient:
             self._fail_pending(
                 EdgeError(protocol.SHARD_DOWN, "connection closed by server")
             )
+            subscriptions, self._subscriptions = self._subscriptions, {}
+            for sub_id, queue in subscriptions.items():
+                self._route_event_closed(queue, sub_id)
+
+    @staticmethod
+    def _route_event_closed(queue: "asyncio.Queue", sub_id: int) -> None:
+        """Tell a subscription consumer the connection is gone."""
+        notice = {"event": "notice", "sub": sub_id, "code": protocol.CLOSED}
+        while True:
+            try:
+                queue.put_nowait(notice)
+                return
+            except asyncio.QueueFull:
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
 
     async def _exchange(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         if self._writer is None:
@@ -510,3 +639,119 @@ class AsyncEdgeClient:
         if not answer.get("ok"):
             raise EdgeError.from_wire(answer.get("error", {}))
         return answer
+
+    # ------------------------------------------------------------- streaming
+
+    def _route_event(self, event: Dict[str, Any]) -> None:
+        """Deliver one pushed event to its subscription's local queue.
+
+        The local queue is bounded like the server side: on overflow the
+        oldest locally-buffered event is discarded so a paused consumer
+        cannot grow the client without bound (the server's own drop
+        accounting still produces the typed ``notice``).
+        """
+        queue = self._subscriptions.get(event.get("sub"))
+        if queue is None:
+            return
+        while True:
+            try:
+                queue.put_nowait(event)
+                return
+            except asyncio.QueueFull:
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+
+    async def subscribe(
+        self,
+        kinds: Optional[list] = None,
+        metrics: Optional[list] = None,
+        queue: Optional[int] = None,
+    ) -> "AsyncSubscription":
+        """Open a server-push subscription multiplexed on this connection.
+
+        Pushed events are routed off the shared reader into a per-
+        subscription queue, so reads and other ops keep working
+        concurrently.  Iterate the returned handle (``async for``) or
+        await :meth:`AsyncSubscription.next`.
+        """
+        payload: Dict[str, Any] = {
+            "id": self._next_id(),
+            "op": protocol.STREAM_SUBSCRIBE,
+        }
+        if kinds is not None:
+            payload["kinds"] = list(kinds)
+        if metrics is not None:
+            payload["metrics"] = list(metrics)
+        if queue is not None:
+            payload["queue"] = queue
+        answer = await self._exchange(payload)
+        if not answer.get("ok"):
+            raise EdgeError.from_wire(answer.get("error", {}))
+        sub_id = answer["subscription"]
+        queue_obj: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue(
+            maxsize=answer["queue"]
+        )
+        self._subscriptions[sub_id] = queue_obj
+        return AsyncSubscription(self, sub_id, queue_obj)
+
+    async def unsubscribe(self, subscription: int) -> Dict[str, Any]:
+        """End a subscription; returns the ack (with ``dropped``)."""
+        answer = await self._exchange({
+            "id": self._next_id(),
+            "op": protocol.STREAM_UNSUBSCRIBE,
+            "subscription": subscription,
+        })
+        self._subscriptions.pop(subscription, None)
+        if not answer.get("ok"):
+            raise EdgeError.from_wire(answer.get("error", {}))
+        return answer
+
+
+class AsyncSubscription:
+    """Consuming handle for one :meth:`AsyncEdgeClient.subscribe`."""
+
+    def __init__(
+        self,
+        client: AsyncEdgeClient,
+        subscription: int,
+        queue: "asyncio.Queue[Dict[str, Any]]",
+    ) -> None:
+        self.client = client
+        self.subscription = subscription
+        self._queue = queue
+        self.closed = False
+
+    async def next(self) -> Dict[str, Any]:
+        """Await the next pushed event for this subscription.
+
+        When the connection dies mid-subscription the final event is a
+        synthesized ``notice`` with ``{"code": "closed"}``.
+        """
+        return await self._queue.get()
+
+    async def take(
+        self, count: int, ignore: Tuple[str, ...] = ("heartbeat",)
+    ) -> list:
+        """Collect ``count`` events, skipping kinds in ``ignore``."""
+        events = []
+        while len(events) < count:
+            event = await self.next()
+            if event.get("event") in ignore:
+                continue
+            events.append(event)
+        return events
+
+    async def unsubscribe(self) -> Dict[str, Any]:
+        if self.closed:
+            return {"ok": True, "subscription": self.subscription, "dropped": 0}
+        self.closed = True
+        return await self.client.unsubscribe(self.subscription)
+
+    async def __aenter__(self) -> "AsyncSubscription":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            await self.unsubscribe()

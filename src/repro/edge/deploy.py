@@ -36,6 +36,7 @@ from typing import Mapping, Optional, Tuple
 
 from repro.edge import protocol
 from repro.edge.sharding import ShardSpec
+from repro.edge.stream import StreamPolicy
 from repro.edge.worker import WorkerConfig
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.scheduler import BatchPolicy
@@ -98,6 +99,7 @@ class EdgeDeployment:
     admin_token: Optional[str] = None
     warm_spares: int = 0
     autoscale: Optional[object] = None  # AutoscalePolicy; object keeps import lazy
+    stream: StreamPolicy = field(default_factory=StreamPolicy)
 
     def __post_init__(self) -> None:
         if self.shards < 1:

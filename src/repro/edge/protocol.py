@@ -117,6 +117,18 @@ ADMIN_RESTART = "admin.restart"  # rolling restart (or one {"shard": i})
 #: binary frames (JSON body) and HTTP (``POST /v1/admin/<verb>``).
 ADMIN_OPS = frozenset({ADMIN_STATUS, ADMIN_SCALE, ADMIN_DRAIN_SHARD, ADMIN_RESTART})
 
+# -------------------------------------------------------------- stream ops
+
+STREAM_SUBSCRIBE = "stream.subscribe"  # {"kinds": [...], "metrics": [...], "queue": n}
+STREAM_UNSUBSCRIBE = "stream.unsubscribe"  # {"subscription": id}
+
+#: The closed subscription op family.  Subscribing turns server push on
+#: for the connection: event objects (``{"event": ..., "seq": ..., ...}``
+#: — note: no ``id`` field) are interleaved with answers on the NDJSON
+#: wire and ride JSON-body frames on the binary wire; the HTTP face
+#: streams the same events as SSE over ``GET /v1/stream``.
+STREAM_OPS = frozenset({STREAM_SUBSCRIBE, STREAM_UNSUBSCRIBE})
+
 
 class EdgeError(RuntimeError):
     """One typed edge failure, as an exception.

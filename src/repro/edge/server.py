@@ -44,12 +44,14 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro import telemetry
 from repro.edge import protocol
 from repro.edge.autoscale import Autoscaler
 from repro.edge.deploy import EdgeDeployment
 from repro.edge.protocol import EdgeError
+from repro.edge.stream import StreamPlane, StreamPolicy, clamp_queue, format_sse
 from repro.edge.supervisor import ShardPool
 from repro.edge.worker import WorkerConfig
 from repro.serve.admission import AdmissionPolicy
@@ -135,6 +137,9 @@ class EdgeConfig:
             :class:`~repro.edge.autoscale.AutoscalePolicy`; when set,
             the server runs an :class:`~repro.edge.autoscale.Autoscaler`
             loop against its own pool.
+        stream: The streaming plane's knobs (sampler cadence, heartbeat,
+            subscriber queue bound, rollup windows, detector thresholds);
+            see :class:`~repro.edge.stream.StreamPolicy`.
     """
 
     host: str = "127.0.0.1"
@@ -164,6 +169,7 @@ class EdgeConfig:
     admin_token: Optional[str] = None
     warm_spares: int = 0
     autoscale: Optional[object] = None  # AutoscalePolicy; object keeps it picklable-lazy
+    stream: StreamPolicy = field(default_factory=StreamPolicy)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -248,6 +254,7 @@ class EdgeServer:
         self.autoscaler: Optional[Autoscaler] = None
         if config.autoscale is not None:
             self.autoscaler = Autoscaler(self.pool, config.autoscale)
+        self.plane = StreamPlane(config.stream)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._closing = False
@@ -266,6 +273,7 @@ class EdgeServer:
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.plane.start(loop)
         if self.autoscaler is not None:
             self.autoscaler.start()
 
@@ -283,6 +291,7 @@ class EdgeServer:
         *work*, not for clients to hang up.
         """
         self._closing = True
+        await self.plane.stop()
         if self.autoscaler is not None:
             loop = asyncio.get_running_loop()
             await loop.run_in_executor(None, self.autoscaler.stop)
@@ -309,17 +318,20 @@ class EdgeServer:
         _CONNECTIONS.inc()
         write_lock = asyncio.Lock()
         inflight: set = set()
+        # subscription id -> (Subscription, pusher task); the connection
+        # owns its pushers and tears them down on any exit path.
+        pushers: Dict[int, Tuple[Any, asyncio.Task]] = {}
         try:
             first = await self._read_some(reader)
             if first:
                 buffer = bytearray(first)
                 if buffer.startswith(b"{"):
                     await self._serve_ndjson(
-                        reader, writer, buffer, write_lock, inflight
+                        reader, writer, buffer, write_lock, inflight, pushers
                     )
                 elif buffer[0] == protocol.BINARY_MAGIC:
                     await self._serve_binary(
-                        reader, writer, buffer, write_lock, inflight
+                        reader, writer, buffer, write_lock, inflight, pushers
                     )
                 else:
                     await self._serve_http(reader, writer, buffer)
@@ -330,6 +342,13 @@ class EdgeServer:
         finally:
             self._connections.discard(task)
             try:
+                for sub, pusher in pushers.values():
+                    self.plane.hub.unsubscribe(sub)
+                    pusher.cancel()
+                if pushers:
+                    await asyncio.gather(
+                        *(p for _, p in pushers.values()), return_exceptions=True
+                    )
                 if inflight:
                     await asyncio.gather(*list(inflight), return_exceptions=True)
                 writer.close()
@@ -373,7 +392,7 @@ class EdgeServer:
     # ------------------------------------------------------------------ NDJSON
 
     async def _serve_ndjson(
-        self, reader, writer, buffer: bytearray, write_lock, inflight
+        self, reader, writer, buffer: bytearray, write_lock, inflight, pushers
     ) -> None:
         """The newline-delimited JSON face: one op per line, pipelined."""
         dropping = False
@@ -423,9 +442,11 @@ class EdgeServer:
                 )
                 _ERRORS.inc()
                 continue
-            await self._handle_line(line, writer, write_lock, inflight)
+            await self._handle_line(line, writer, write_lock, inflight, pushers)
 
-    async def _handle_line(self, line, writer, write_lock, inflight) -> None:
+    async def _handle_line(
+        self, line, writer, write_lock, inflight, pushers
+    ) -> None:
         """Decode one NDJSON line and dispatch its operation."""
         started = time.perf_counter()
         try:
@@ -436,13 +457,13 @@ class EdgeServer:
             return
         decode_s = time.perf_counter() - started
         await self._dispatch(
-            payload, writer, write_lock, inflight, protocol.encode, decode_s
+            payload, writer, write_lock, inflight, pushers, protocol.encode, decode_s
         )
 
     # ----------------------------------------------------------- binary frames
 
     async def _serve_binary(
-        self, reader, writer, buffer: bytearray, write_lock, inflight
+        self, reader, writer, buffer: bytearray, write_lock, inflight, pushers
     ) -> None:
         """The length-prefixed binary-frame face: same ops, packed bodies.
 
@@ -516,7 +537,7 @@ class EdgeServer:
                 continue
             decode_s += time.perf_counter() - started
             await self._dispatch(
-                payload, writer, write_lock, inflight, encode, decode_s
+                payload, writer, write_lock, inflight, pushers, encode, decode_s
             )
 
     async def _skip_bytes(self, reader, buffer: bytearray, count: int) -> bool:
@@ -536,7 +557,7 @@ class EdgeServer:
     # --------------------------------------------------------------- dispatch
 
     async def _dispatch(
-        self, payload, writer, write_lock, inflight, encode, decode_s: float
+        self, payload, writer, write_lock, inflight, pushers, encode, decode_s: float
     ) -> None:
         """Route one decoded operation; answers with ``encode``'s format."""
         request_id = payload.get("id")
@@ -584,6 +605,11 @@ class EdgeServer:
             inflight.add(task)
             task.add_done_callback(inflight.discard)
             return
+        if op in protocol.STREAM_OPS:
+            await self._answer_stream(
+                payload, request_id, writer, write_lock, pushers, encode
+            )
+            return
         if op == "chaos" and self.config.enable_chaos:
             try:
                 self.pool.chaos(int(payload.get("shard", 0)), payload.get("kind", "exit"))
@@ -609,7 +635,7 @@ class EdgeServer:
                 EdgeError(
                     protocol.UNKNOWN_OP,
                     f"unknown op {op!r}; known: read, ping, stats, "
-                    + ", ".join(sorted(protocol.ADMIN_OPS)),
+                    + ", ".join(sorted(protocol.ADMIN_OPS | protocol.STREAM_OPS)),
                 ),
             ),
             encode,
@@ -717,7 +743,143 @@ class EdgeServer:
         status["autoscaler"] = (
             None if self.autoscaler is None else self.autoscaler.status()
         )
+        status["stream"] = self.plane.status()
         return status
+
+    # ----------------------------------------------------------- stream plane
+
+    def _parse_subscribe(self, payload) -> Tuple[Any, Any, int]:
+        """Validate subscribe fields -> (kinds, metrics, queue)."""
+        kinds = payload.get("kinds")
+        if kinds is not None and not (
+            isinstance(kinds, list) and all(isinstance(k, str) for k in kinds)
+        ):
+            raise EdgeError(
+                protocol.INVALID, "'kinds' must be a list of event kinds"
+            )
+        metrics = payload.get("metrics")
+        if metrics is not None and not (
+            isinstance(metrics, list) and all(isinstance(m, str) for m in metrics)
+        ):
+            raise EdgeError(
+                protocol.INVALID, "'metrics' must be a list of name prefixes"
+            )
+        try:
+            queue = clamp_queue(payload.get("queue"), self.config.stream.queue)
+        except ValueError as error:
+            raise EdgeError(protocol.INVALID, str(error)) from error
+        return kinds, metrics, queue
+
+    async def _answer_stream(
+        self, payload, request_id, writer, write_lock, pushers, encode
+    ) -> None:
+        """``stream.subscribe`` / ``stream.unsubscribe`` on a data wire.
+
+        Subscribing attaches a pusher task to this connection: event
+        objects (``{"event": ..., "seq": ..., "sub": ...}`` — no ``id``
+        field, so request/answer matching is unaffected) interleave with
+        answers under the connection write lock; on the binary wire they
+        ride JSON-body frames.  The subscription dies with the
+        connection, on unsubscribe, or when its queue policy says the
+        consumer is too slow (events drop, typed — never the socket).
+        """
+        op = payload.get("op")
+        if op == protocol.STREAM_SUBSCRIBE:
+            try:
+                kinds, metrics, queue = self._parse_subscribe(payload)
+            except EdgeError as error:
+                _ERRORS.inc()
+                await self._send(
+                    writer, write_lock,
+                    protocol.error_payload(request_id, error), encode,
+                )
+                return
+            loop = asyncio.get_running_loop()
+            flag = asyncio.Event()
+            sub = self.plane.hub.subscribe(
+                kinds=kinds,
+                metrics=metrics,
+                queue=queue,
+                notify=lambda: loop.call_soon_threadsafe(flag.set),
+            )
+            # Ack first, then start pushing: the subscriber must see its
+            # subscription id before the first event referencing it.
+            await self._send(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "subscription": sub.id,
+                    "queue": sub.maxlen,
+                },
+                encode,
+            )
+            task = asyncio.ensure_future(
+                self._push_events(sub, flag, writer, write_lock, encode)
+            )
+            pushers[sub.id] = (sub, task)
+            return
+        sub_id = payload.get("subscription")
+        entry = pushers.pop(sub_id, None) if isinstance(sub_id, int) else None
+        if entry is None:
+            _ERRORS.inc()
+            await self._send(
+                writer,
+                write_lock,
+                protocol.error_payload(
+                    request_id,
+                    EdgeError(
+                        protocol.INVALID,
+                        "stream.unsubscribe needs the integer 'subscription' "
+                        "id of a live subscription on this connection",
+                    ),
+                ),
+                encode,
+            )
+            return
+        sub, task = entry
+        self.plane.hub.unsubscribe(sub)
+        task.cancel()
+        await asyncio.gather(task, return_exceptions=True)
+        await self._send(
+            writer,
+            write_lock,
+            {
+                "id": request_id,
+                "ok": True,
+                "subscription": sub.id,
+                "dropped": sub.dropped,
+            },
+            encode,
+        )
+
+    async def _push_events(self, sub, flag, writer, write_lock, encode) -> None:
+        """One subscription's pusher: drain-or-heartbeat until torn down."""
+        heartbeat_s = self.config.stream.heartbeat_s
+        try:
+            while not (self._closing or sub.closed):
+                try:
+                    await asyncio.wait_for(flag.wait(), timeout=heartbeat_s)
+                    flag.clear()
+                except asyncio.TimeoutError:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        {"event": "heartbeat", "sub": sub.id},
+                        encode,
+                    )
+                    continue
+                for event in sub.poll():
+                    record = event.to_wire()
+                    record["sub"] = sub.id
+                    await self._send(writer, write_lock, record, encode)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self.plane.hub.unsubscribe(sub)
 
     async def _answer_read(
         self, payload, request_id, writer, write_lock, encode, decode_s: float
@@ -761,6 +923,7 @@ class EdgeServer:
             _REQUEST_MS.observe((loop.time() - started) * 1e3)
             if reply.get("ok"):
                 span.set(status=reply["result"]["status"])
+                self.plane.ingest_read(stack_id, reply["result"], loop.time())
                 return protocol.result_payload(request_id, reply["result"], shard)
             _ERRORS.inc()
             error = EdgeError.from_wire(reply.get("error", {}))
@@ -848,10 +1011,10 @@ class EdgeServer:
                     buffer += chunk
                 body = bytes(buffer[:length])
                 del buffer[:length]
-                await self._http_route(
+                consumed = await self._http_route(
                     writer, method, target, body, keep_alive, headers
                 )
-                if not keep_alive:
+                if consumed or not keep_alive:
                     return
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
@@ -913,13 +1076,23 @@ class EdgeServer:
             status, content_type, blob = self._status_body(target)
             await self._http_write(writer, status, content_type, blob, keep_alive)
             return
+        path = target.split("?", 1)[0]
+        if method == "GET" and path == "/v1/stream":
+            # The SSE response has no length; it owns the connection
+            # until the stream ends, so this exchange is the last.
+            await self._http_stream(writer, target)
+            return True
+        if method == "GET" and path == "/v1/rollup":
+            await self._http_rollup(writer, target, keep_alive)
+            return
         _ERRORS.inc()
         await self._http_error(
             writer,
             EdgeError(
                 protocol.UNKNOWN_OP,
                 f"no route {method} {target}; try POST /v1/read, "
-                "GET /healthz, GET /metrics, GET /v1/admin/status, "
+                "GET /healthz, GET /metrics, GET /v1/stream, "
+                "GET /v1/rollup, GET /v1/admin/status, "
                 "POST /v1/admin/<verb>",
             ),
             keep_alive,
@@ -958,6 +1131,112 @@ class EdgeServer:
         else:
             status = protocol.HTTP_STATUS.get(answer["error"]["code"], 500)
         await self._http_respond(writer, status, answer, keep_alive)
+
+    async def _http_stream(self, writer, target: str) -> None:
+        """``GET /v1/stream`` — the SSE face of the subscription plane.
+
+        Query parameters: ``metrics`` (comma-separated name prefixes),
+        ``kinds`` (comma-separated event kinds), ``queue`` (bound),
+        ``heartbeat`` (seconds), ``limit`` (end the stream after this
+        many events — 0, the default, streams until either side goes
+        away).  The response is ``text/event-stream`` with no
+        Content-Length and ``Connection: close``: the stream *is* the
+        rest of the connection.
+        """
+        query = parse_qs(urlsplit(target).query)
+
+        def csv(key):
+            values = [v for raw in query.get(key, []) for v in raw.split(",") if v]
+            return values or None
+
+        try:
+            queue_raw = query.get("queue")
+            queue = clamp_queue(
+                int(queue_raw[0]) if queue_raw else None, self.config.stream.queue
+            )
+            heartbeat_s = float(
+                query.get("heartbeat", [self.config.stream.heartbeat_s])[0]
+            )
+            limit = int(query.get("limit", ["0"])[0])
+            if heartbeat_s <= 0 or limit < 0:
+                raise ValueError("heartbeat must be > 0 and limit >= 0")
+        except ValueError as error:
+            _ERRORS.inc()
+            await self._http_error(
+                writer, EdgeError(protocol.INVALID, str(error)), keep_alive=False
+            )
+            return
+        loop = asyncio.get_running_loop()
+        flag = asyncio.Event()
+        sub = self.plane.hub.subscribe(
+            kinds=csv("kinds"),
+            metrics=csv("metrics"),
+            queue=queue,
+            notify=lambda: loop.call_soon_threadsafe(flag.set),
+        )
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        sent = 0
+        try:
+            writer.write(head)
+            _BYTES_OUT.inc(len(head))
+            await writer.drain()
+            while not (self._closing or sub.closed):
+                try:
+                    await asyncio.wait_for(flag.wait(), timeout=heartbeat_s)
+                    flag.clear()
+                except asyncio.TimeoutError:
+                    blob = format_sse({"event": "heartbeat", "sub": sub.id})
+                    writer.write(blob)
+                    _BYTES_OUT.inc(len(blob))
+                    await writer.drain()
+                    continue
+                for event in sub.poll():
+                    record = event.to_wire()
+                    record["sub"] = sub.id
+                    blob = format_sse(record)
+                    writer.write(blob)
+                    _BYTES_OUT.inc(len(blob))
+                    sent += 1
+                    if limit and sent >= limit:
+                        break
+                await writer.drain()
+                if limit and sent >= limit:
+                    return
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # subscriber went away; the finally drops the subscription
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self.plane.hub.unsubscribe(sub)
+
+    async def _http_rollup(self, writer, target: str, keep_alive: bool) -> None:
+        """``GET /v1/rollup`` — sealed time-series windows as JSON.
+
+        Query parameters: ``metric`` (comma-separated exact names;
+        default all series) and ``last`` (newest n windows per series).
+        """
+        query = parse_qs(urlsplit(target).query)
+        names = [
+            name for raw in query.get("metric", []) for name in raw.split(",") if name
+        ] or None
+        try:
+            last_raw = query.get("last")
+            last = int(last_raw[0]) if last_raw else None
+            if last is not None and last < 1:
+                raise ValueError("last must be >= 1")
+        except ValueError as error:
+            _ERRORS.inc()
+            await self._http_error(
+                writer, EdgeError(protocol.INVALID, str(error)), keep_alive
+            )
+            return
+        body = self.plane.rollup_snapshot(names=names, last=last)
+        await self._http_respond(writer, 200, body, keep_alive)
 
     def _status_body(self, target: str) -> Tuple[int, str, bytes]:
         """Render (or re-serve) a status route, cached ``status_cache_s``."""

@@ -1,0 +1,230 @@
+"""The edge's streaming plane: sampler, rollups and the alert detector.
+
+:class:`StreamPlane` bundles everything the server-push surface needs,
+per :class:`~repro.edge.server.EdgeServer` instance:
+
+* a :class:`~repro.telemetry.stream.StreamHub` subscribers attach to
+  (over SSE, NDJSON ``stream.subscribe`` or binary frames — the server
+  owns the sockets, the plane owns the fan-out);
+* a *sampler* task that, while anyone is subscribed, publishes ``metric``
+  events from the process-wide registry every ``sample_s`` and feeds
+  counter deltas / gauge values into the rollup table;
+* a :class:`~repro.telemetry.rollup.RollupTable` fed raw hot-path
+  observations (request latency, per-tier temperatures) and served over
+  ``GET /v1/rollup``;
+* a :class:`~repro.telemetry.runaway.RunawayDetector` ingesting every
+  successful read and publishing ``alert.*`` events onto the hub.
+
+The hot-path contract: with no subscribers, :meth:`ingest_read` costs a
+handful of float ops (rollups + detector — both lock-plus-arithmetic)
+and the hub check is one attribute read.  Publishing never blocks on a
+consumer; slow subscribers drop (typed, counted) per
+:mod:`repro.telemetry.stream`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro import telemetry
+from repro.telemetry.rollup import RollupPolicy, RollupTable
+from repro.telemetry.runaway import RunawayDetector, RunawayPolicy
+from repro.telemetry.stream import DEFAULT_QUEUE, StreamHub
+
+#: Queue bound ceiling a client may request per subscription.
+MAX_SUBSCRIBER_QUEUE = 65536
+
+#: Event kinds a subscription may filter on at the edge.
+EVENT_KINDS = ("metric", "read", "alert", "heartbeat", "notice")
+
+
+@dataclass(frozen=True)
+class StreamPolicy:
+    """Knobs of the edge streaming plane.
+
+    Attributes:
+        sample_s: Sampler cadence — how often ``metric`` events are
+            published and counter/gauge samples are rolled up while at
+            least one subscriber is attached.
+        heartbeat_s: Idle push cadence: a subscriber that has seen no
+            event for this long gets a ``heartbeat`` so it can tell a
+            quiet stream from a dead connection.
+        queue: Default per-subscriber queue bound (events); clients may
+            ask for more, capped at :data:`MAX_SUBSCRIBER_QUEUE`.
+        rollup: Window width / ring depth of the rollup table.
+        detector: Early-warning thresholds (see
+            :class:`~repro.telemetry.runaway.RunawayPolicy`).
+    """
+
+    sample_s: float = 0.25
+    heartbeat_s: float = 5.0
+    queue: int = DEFAULT_QUEUE
+    rollup: RollupPolicy = field(default_factory=RollupPolicy)
+    detector: RunawayPolicy = field(default_factory=RunawayPolicy)
+
+    def __post_init__(self) -> None:
+        if self.sample_s <= 0:
+            raise ValueError(f"sample_s must be > 0, got {self.sample_s}")
+        if self.heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be > 0, got {self.heartbeat_s}")
+        if not 1 <= self.queue <= MAX_SUBSCRIBER_QUEUE:
+            raise ValueError(
+                f"queue must lie in [1, {MAX_SUBSCRIBER_QUEUE}], got {self.queue}")
+
+
+class StreamPlane:
+    """Hub + rollups + detector + sampler behind one edge server."""
+
+    def __init__(self, policy: Optional[StreamPolicy] = None) -> None:
+        self.policy = policy if policy is not None else StreamPolicy()
+        self.hub = StreamHub()
+        self.rollups = RollupTable(self.policy.rollup)
+        self.detector = RunawayDetector(self.policy.detector, hub=self.hub)
+        self._rounds: Dict[int, int] = {}
+        self._counter_last: Dict[str, float] = {}
+        self._sampler_task = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self, loop) -> None:
+        """Start the sampler on the server's event loop."""
+        self._sampler_task = loop.create_task(self._sample_forever())
+
+    async def stop(self) -> None:
+        """Cancel the sampler and drop every subscription."""
+        task = self._sampler_task
+        self._sampler_task = None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except BaseException:
+                pass
+        self.hub.close()
+
+    async def _sample_forever(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.policy.sample_s)
+            self.sample(loop.time())
+
+    # ------------------------------------------------------------- ingestion
+
+    def sample(self, t: float) -> int:
+        """One sampler tick: publish metric events, roll up samples.
+
+        Counters contribute their per-tick delta (a rate shape), gauges
+        their current value; histograms are covered by the registry's
+        own quantiles and by the raw hot-path rollup feeds.  Costs
+        nothing beyond the rollup arithmetic when nobody subscribes.
+        """
+        active = self.hub.active
+        published = 0
+        for record in telemetry.get().registry.snapshot():
+            name = record["name"]
+            kind = record["kind"]
+            if kind == "counter":
+                value = float(record["value"])
+                delta = value - self._counter_last.get(name, 0.0)
+                self._counter_last[name] = value
+                self.rollups.observe(name, delta, t)
+            elif kind == "gauge":
+                if record["value"] is None:
+                    continue
+                value = float(record["value"])
+                self.rollups.observe(name, value, t)
+            else:
+                if not active:
+                    continue
+                self.hub.publish("metric", {
+                    "name": name, "kind": kind, "count": record["count"],
+                    "mean": record["mean"], "p90": record["p90"],
+                })
+                published += 1
+                continue
+            if active:
+                self.hub.publish(
+                    "metric", {"name": name, "kind": kind, "value": value})
+                published += 1
+        self.rollups.advance(t)
+        return published
+
+    def ingest_read(
+        self, stack_id: int, result: Mapping[str, Any], t: float
+    ) -> List[dict]:
+        """Feed one successful read (wire-form result) into the plane.
+
+        Rolls up the edge-observed latency and each tier's temperature,
+        advances the stack's logical round clock, runs the detector, and
+        (when subscribed) publishes a compact ``read`` event.  Returns
+        any alerts that fired.
+        """
+        latency_ms = result.get("latency_ms")
+        if isinstance(latency_ms, (int, float)):
+            self.rollups.observe("read.latency_ms", float(latency_ms), t)
+        temps: Dict[int, float] = {}
+        for reading in result.get("readings", ()):
+            tier = reading.get("tier")
+            temp = reading.get("temperature_c")
+            if isinstance(tier, int) and isinstance(temp, (int, float)):
+                temps[tier] = float(temp)
+                self.rollups.observe("read.temperature_c", float(temp), t)
+        round_index = self._rounds.get(stack_id, 0)
+        self._rounds[stack_id] = round_index + 1
+        alerts = self.detector.observe_reading(stack_id, temps, round_index)
+        if self.hub.active:
+            self.hub.publish("read", {
+                "stack": stack_id,
+                "round": round_index,
+                "temps_c": {str(tier): temps[tier] for tier in sorted(temps)},
+            })
+        return alerts
+
+    # --------------------------------------------------------------- queries
+
+    def rollup_snapshot(
+        self, names: Optional[List[str]] = None, last: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """The ``GET /v1/rollup`` body."""
+        return {
+            "ok": True,
+            "window_s": self.policy.rollup.window_s,
+            "ring": self.policy.rollup.ring,
+            "rollups": self.rollups.snapshot(names=names, last=last),
+        }
+
+    def status(self) -> Dict[str, Any]:
+        """Streaming-plane numbers for admin status surfaces."""
+        return {
+            "subscribers": self.hub.subscribers,
+            "alerts": len(self.detector.alerts),
+            "rollup_series": len(self.rollups.names()),
+        }
+
+
+def clamp_queue(requested: Optional[int], default: int) -> int:
+    """Validate a client-requested queue bound."""
+    if requested is None:
+        return default
+    if (
+        not isinstance(requested, int)
+        or isinstance(requested, bool)
+        or not 1 <= requested <= MAX_SUBSCRIBER_QUEUE
+    ):
+        raise ValueError(
+            f"queue must be an integer in [1, {MAX_SUBSCRIBER_QUEUE}]")
+    return requested
+
+
+def format_sse(record: Mapping[str, Any]) -> bytes:
+    """One event object as an SSE block (``event:`` / ``id:`` / ``data:``)."""
+    kind = record.get("event", "message")
+    seq = record.get("seq")
+    lines = [f"event: {kind}"]
+    if seq is not None:
+        lines.append(f"id: {seq}")
+    lines.append("data: " + json.dumps(record, separators=(",", ":")))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")

@@ -1,0 +1,332 @@
+"""Virtual-time load generation for the streaming plane: fan-out at 10k.
+
+``python -m repro loadgen --stream`` answers two questions reproducibly:
+
+* **Does fan-out stay bounded at tens of thousands of subscribers?**
+  The hub's publish path is an append per matching subscriber — cost
+  linear in subscriber count, memory capped at ``queue`` events per
+  subscriber, and a slow consumer *drops* (typed, counted) instead of
+  blocking the publisher.  The sweep evolves every subscriber's queue
+  occupancy through a seeded fluid model in virtual time and charges
+  the publisher with per-delivery CPU constants calibrated against the
+  real :class:`~repro.telemetry.stream.StreamHub` by
+  ``benchmarks/bench_stream.py``.
+* **Does the streaming detector beat the batch baseline?**  For each
+  swept severity a ``thermal_runaway`` trajectory (the exact compounding
+  model from :mod:`repro.faults.models`) is fed to a real
+  :class:`~repro.telemetry.runaway.RunawayDetector` and compared with
+  the post-hoc absolute-band baseline
+  (:func:`~repro.telemetry.runaway.batch_alarm_round`).
+
+Everything is seeded and clock-free: the same config yields the same
+report bit for bit, which is what lets ``bench --check`` gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.models import thermal_runaway_offset_c
+from repro.telemetry.runaway import (
+    RunawayPolicy,
+    batch_alarm_round,
+    streaming_alert_round,
+)
+from repro.telemetry.stream import DEFAULT_QUEUE
+
+
+@dataclass(frozen=True)
+class FanoutCostModel:
+    """Per-event CPU occupancy of the hub's publish path.
+
+    Calibrated against the real hub by ``benchmarks/bench_stream.py``
+    on the reference machine: publishing one event costs a fixed
+    overhead (sequence bump, snapshot read, event construction) plus a
+    per-matching-subscriber delivery (match check + locked deque
+    append).
+
+    Attributes:
+        publish_overhead_s: Fixed CPU seconds per published event.
+        delivery_s: CPU seconds per subscriber delivery.
+        event_bytes: Approximate resident size of one queued event —
+            what bounds a subscriber's memory at ``queue`` events.
+    """
+
+    publish_overhead_s: float = 2.0e-6
+    delivery_s: float = 1.4e-6
+    event_bytes: int = 400
+
+    def publish_cost_s(self, subscribers: int) -> float:
+        """CPU occupancy of one publish fanned out to ``subscribers``."""
+        return self.publish_overhead_s + subscribers * self.delivery_s
+
+
+@dataclass(frozen=True)
+class StreamLoadgenConfig:
+    """One streaming fan-out run, fully specified (and fully seeded).
+
+    Attributes:
+        subscribers: Concurrent subscriptions to sweep (the acceptance
+            scale is 10k).
+        seed: Seed of the drain-rate and arrival-jitter draws.
+        duration_s: Virtual seconds of streaming simulated.
+        publish_rps: Events published per virtual second (every
+            subscriber matches every event — the worst-case fan-out).
+        queue: Per-subscriber queue bound (events).
+        tick_s: Fluid-model step width.
+        slow_fraction: Fraction of subscribers whose drain rate sits
+            below the publish rate — they must *drop*, never stall.
+        slow_drain_factor: Slow subscribers drain at this multiple of
+            ``publish_rps`` (< 1).
+        fast_drain_factor: Healthy subscribers drain at this multiple
+            of ``publish_rps`` (> 1), with seeded lognormal spread.
+        cost: Per-delivery CPU constants (see :class:`FanoutCostModel`).
+        detector: Early-warning policy used for the detection-latency
+            comparison.
+        severities: ``thermal_runaway`` severities swept.
+        base_temp_c: Steady temperature before the fault activates.
+        onset_round: Round the injected fault activates.
+        rounds: Length of each synthetic trajectory.
+    """
+
+    subscribers: int = 10_000
+    seed: int = 20120613
+    duration_s: float = 5.0
+    publish_rps: float = 200.0
+    queue: int = DEFAULT_QUEUE
+    tick_s: float = 0.05
+    slow_fraction: float = 0.05
+    slow_drain_factor: float = 0.3
+    fast_drain_factor: float = 2.0
+    cost: FanoutCostModel = field(default_factory=FanoutCostModel)
+    detector: RunawayPolicy = field(default_factory=RunawayPolicy)
+    severities: Tuple[float, ...] = (1.0, 1.5, 2.0, 3.0)
+    base_temp_c: float = 60.0
+    onset_round: int = 4
+    rounds: int = 40
+
+    def __post_init__(self) -> None:
+        if self.subscribers < 1:
+            raise ValueError("subscribers must be >= 1")
+        if self.duration_s <= 0 or self.tick_s <= 0:
+            raise ValueError("duration_s and tick_s must be positive")
+        if self.publish_rps <= 0:
+            raise ValueError("publish_rps must be positive")
+        if self.queue < 1:
+            raise ValueError("queue must be >= 1")
+        if not 0.0 <= self.slow_fraction <= 1.0:
+            raise ValueError("slow_fraction must lie in [0, 1]")
+        if not self.severities:
+            raise ValueError("need at least one severity")
+        if self.rounds <= self.onset_round:
+            raise ValueError("rounds must exceed onset_round")
+
+
+@dataclass(frozen=True)
+class DetectionPoint:
+    """Streaming vs batch detection at one runaway severity."""
+
+    severity: float
+    batch_round: Optional[int]
+    stream_round: Optional[int]
+
+    @property
+    def lead_rounds(self) -> Optional[int]:
+        """Rounds of warning the stream buys over the batch baseline."""
+        if self.batch_round is None or self.stream_round is None:
+            return None
+        return self.batch_round - self.stream_round
+
+
+@dataclass(frozen=True)
+class StreamLoadgenReport:
+    """What one seeded fan-out sweep measured."""
+
+    subscribers: int
+    seed: int
+    duration_s: float
+    publish_rps: float
+    queue: int
+    events_published: int
+    deliveries: int
+    dropped: int
+    drop_fraction: float
+    slow_subscribers: int
+    dropping_subscribers: int
+    peak_queue_depth: int
+    subscriber_memory_bytes: int
+    publish_cpu_s: float
+    publish_us_per_event: float
+    fanout_events_per_s: float
+    detection: Tuple[DetectionPoint, ...]
+    detector_no_worse: bool
+
+    def to_json(self) -> str:
+        payload = {
+            "subscribers": self.subscribers,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "publish_rps": self.publish_rps,
+            "queue": self.queue,
+            "events_published": self.events_published,
+            "deliveries": self.deliveries,
+            "dropped": self.dropped,
+            "drop_fraction": self.drop_fraction,
+            "slow_subscribers": self.slow_subscribers,
+            "dropping_subscribers": self.dropping_subscribers,
+            "peak_queue_depth": self.peak_queue_depth,
+            "subscriber_memory_bytes": self.subscriber_memory_bytes,
+            "publish_cpu_s": self.publish_cpu_s,
+            "publish_us_per_event": self.publish_us_per_event,
+            "fanout_events_per_s": self.fanout_events_per_s,
+            "detector_no_worse": self.detector_no_worse,
+            "detection": [
+                {
+                    "severity": p.severity,
+                    "batch_round": p.batch_round,
+                    "stream_round": p.stream_round,
+                    "lead_rounds": p.lead_rounds,
+                }
+                for p in self.detection
+            ],
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [
+            f"stream loadgen: {self.subscribers} subscribers x "
+            f"{self.publish_rps:.0f} events/s for {self.duration_s:.1f}s "
+            f"virtual (queue {self.queue}, seed {self.seed})",
+            f"  published {self.events_published} events -> "
+            f"{self.deliveries} deliveries, {self.dropped} dropped "
+            f"({self.drop_fraction * 100:.2f}%) across "
+            f"{self.dropping_subscribers} slow subscriber(s)",
+            f"  peak queue depth {self.peak_queue_depth}/{self.queue} "
+            f"(bounded: {self.subscriber_memory_bytes // 1024} KiB/sub), "
+            f"publish {self.publish_us_per_event:.1f} us/event -> "
+            f"{self.fanout_events_per_s:.0f} events/s sustainable",
+            "  detection (streaming EWMA-slope vs batch absolute band):",
+            "    severity  batch@  stream@  lead",
+        ]
+        for p in self.detection:
+            lines.append(
+                f"    {p.severity:>8.2f}  {str(p.batch_round):>6}  "
+                f"{str(p.stream_round):>7}  {str(p.lead_rounds):>4}"
+            )
+        lines.append(
+            "  streaming detector is never later than the batch baseline"
+            if self.detector_no_worse
+            else "  WARNING: streaming detector is LATER than the batch baseline"
+        )
+        return "\n".join(lines)
+
+
+def runaway_trajectory(config: StreamLoadgenConfig, severity: float) -> List[float]:
+    """One synthetic per-round tier trace under a compounding runaway."""
+    temps = []
+    for round_index in range(config.rounds):
+        offset = 0.0
+        if round_index >= config.onset_round:
+            offset = thermal_runaway_offset_c(
+                severity, round_index - config.onset_round
+            )
+        temps.append(config.base_temp_c + offset)
+    return temps
+
+
+def run_loadgen_stream(
+    config: StreamLoadgenConfig = StreamLoadgenConfig(),
+) -> StreamLoadgenReport:
+    """Run the seeded fan-out sweep; see the module docstring."""
+    rng = np.random.default_rng(config.seed)
+    n = config.subscribers
+
+    # Seeded drain rates: a slow tail that must shed load, a healthy
+    # majority with lognormal spread above the publish rate.
+    slow = rng.random(n) < config.slow_fraction
+    drain = np.where(
+        slow,
+        config.publish_rps * config.slow_drain_factor,
+        config.publish_rps
+        * config.fast_drain_factor
+        * np.exp(rng.normal(0.0, 0.25, n)),
+    )
+
+    # Fluid queue model, stepped in virtual time: occupancy rises by the
+    # tick's arrivals, falls by each subscriber's drain, and clips at the
+    # bound — the clipped excess is exactly what the real hub drops
+    # (oldest-first) without ever blocking the publisher.
+    ticks = int(round(config.duration_s / config.tick_s))
+    occupancy = np.zeros(n)
+    dropped_per_sub = np.zeros(n)
+    peak = 0.0
+    events_published = 0
+    deliveries = 0
+    for _ in range(ticks):
+        arrivals = int(rng.poisson(config.publish_rps * config.tick_s))
+        events_published += arrivals
+        deliveries += arrivals * n
+        occupancy += arrivals
+        occupancy -= drain * config.tick_s
+        np.clip(occupancy, 0.0, None, out=occupancy)
+        overflow = np.clip(occupancy - config.queue, 0.0, None)
+        dropped_per_sub += overflow
+        occupancy -= overflow
+        peak = max(peak, float(occupancy.max()))
+
+    dropped = int(round(float(dropped_per_sub.sum())))
+    publish_cpu_s = events_published * config.cost.publish_cost_s(n)
+    per_event_s = config.cost.publish_cost_s(n)
+
+    detection = []
+    for severity in config.severities:
+        temps = runaway_trajectory(config, severity)
+        detection.append(
+            DetectionPoint(
+                severity=severity,
+                batch_round=batch_alarm_round(
+                    temps, config.detector.batch_alarm_c
+                ),
+                stream_round=streaming_alert_round(temps, config.detector),
+            )
+        )
+    detector_no_worse = all(
+        p.stream_round is not None
+        and (p.batch_round is None or p.stream_round <= p.batch_round)
+        for p in detection
+    )
+
+    return StreamLoadgenReport(
+        subscribers=n,
+        seed=config.seed,
+        duration_s=config.duration_s,
+        publish_rps=config.publish_rps,
+        queue=config.queue,
+        events_published=events_published,
+        deliveries=deliveries,
+        dropped=dropped,
+        drop_fraction=dropped / max(deliveries, 1),
+        slow_subscribers=int(slow.sum()),
+        dropping_subscribers=int((dropped_per_sub > 0).sum()),
+        peak_queue_depth=int(round(peak)),
+        subscriber_memory_bytes=config.queue * config.cost.event_bytes,
+        publish_cpu_s=publish_cpu_s,
+        publish_us_per_event=per_event_s * 1e6,
+        fanout_events_per_s=1.0 / per_event_s,
+        detection=tuple(detection),
+        detector_no_worse=detector_no_worse,
+    )
+
+
+__all__ = [
+    "DetectionPoint",
+    "FanoutCostModel",
+    "StreamLoadgenConfig",
+    "StreamLoadgenReport",
+    "run_loadgen_stream",
+    "runaway_trajectory",
+]

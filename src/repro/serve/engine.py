@@ -31,6 +31,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry.stream import HUB as _STREAM_HUB
 from repro.batch.paired import read_paired
 from repro.core.sensor import PTSensor
 from repro.faults.runtime import active_injector
@@ -216,6 +217,21 @@ class ReadEngine:
                 self._evaluate(misses, requests, injector, now)
 
             self._assemble(requests, results, jobs, batch_size)
+
+            # In-process streaming seam: while anything subscribes to the
+            # process-wide hub (examples, notebooks, an embedded monitor),
+            # publish each served reading.  One attribute read when idle.
+            if _STREAM_HUB.active:
+                for result in results:
+                    if result is not None and result.readings:
+                        _STREAM_HUB.publish("read", {
+                            "source": "serve",
+                            "status": result.status.value,
+                            "temps_c": {
+                                str(r.tier): r.temperature_c
+                                for r in result.readings
+                            },
+                        })
 
             with self._lock:
                 self._batches += 1

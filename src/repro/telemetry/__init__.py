@@ -56,10 +56,19 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "NullSink",
+    "RollupPolicy",
+    "RollupTable",
+    "RollupWindow",
+    "RunawayDetector",
+    "RunawayPolicy",
     "Sink",
     "Span",
+    "StreamEvent",
+    "StreamHub",
+    "Subscription",
     "Telemetry",
     "TelemetryError",
+    "batch_alarm_round",
     "capture",
     "configure",
     "counter",
@@ -67,6 +76,7 @@ __all__ = [
     "flush_metrics",
     "gauge",
     "get",
+    "get_hub",
     "histogram",
     "reset_metrics",
     "span",
@@ -200,3 +210,23 @@ def reset_metrics() -> None:
 def capture(sink: Optional[Sink] = None, reset: bool = True):
     """Context manager: temporarily enable telemetry (see Telemetry.capture)."""
     return _TELEMETRY.capture(sink=sink, reset=reset)
+
+
+# The streaming layer binds its own stream.* instruments at import time,
+# so it must come after the process-wide instance above exists.
+from repro.telemetry.rollup import (  # noqa: E402
+    RollupPolicy,
+    RollupTable,
+    RollupWindow,
+)
+from repro.telemetry.stream import (  # noqa: E402
+    StreamEvent,
+    StreamHub,
+    Subscription,
+    get_hub,
+)
+from repro.telemetry.runaway import (  # noqa: E402
+    RunawayDetector,
+    RunawayPolicy,
+    batch_alarm_round,
+)

@@ -1,0 +1,159 @@
+"""The auto-generated metric catalogue: registry -> markdown, with drift check.
+
+Every instrument in this codebase is born with a unit and a help string
+(:mod:`repro.telemetry.registry` requires neither, convention demands
+both), which makes the registry itself the source of truth for the
+documentation's metric table.  This module renders that table and checks
+``docs/telemetry.md`` against it:
+
+* ``python -m repro telemetry catalogue`` prints the markdown table;
+* ``... catalogue --write docs/telemetry.md`` regenerates the table
+  between the ``BEGIN``/``END`` markers in place;
+* ``... catalogue --check docs/telemetry.md`` exits non-zero when the
+  docs and the registry disagree — CI runs this, so a new instrument
+  without a regenerated table (or a deleted one leaving a stale row)
+  fails the build.
+
+The registry is populated by *importing* the instrumented modules, so
+:data:`INSTRUMENTED_MODULES` lists every module that binds instruments
+at import time; a module added to the system without being listed here
+shows up as drift the moment its metrics are documented (or never shows
+up at all — which the docs reviewer will notice, and the check keeps
+honest thereafter).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import List, Optional
+
+#: Modules that bind instruments at import time.  Importing these fills
+#: the process-wide registry with the full catalogue.
+INSTRUMENTED_MODULES = (
+    "repro.core",
+    "repro.batch",
+    "repro.network",
+    "repro.thermal",
+    "repro.serve",
+    "repro.serve.engine",
+    "repro.edge.server",
+    "repro.edge.supervisor",
+    "repro.experiments.runner",
+    "repro.telemetry",  # binds the stream.* instruments via the streaming layer
+)
+
+#: Markers delimiting the generated table inside ``docs/telemetry.md``.
+BEGIN_MARK = (
+    "<!-- BEGIN metric catalogue "
+    "(generated: python -m repro telemetry catalogue --write docs/telemetry.md) -->"
+)
+END_MARK = "<!-- END metric catalogue -->"
+
+_HEADER = "| name | kind | unit | description |"
+_RULE = "|---|---|---|---|"
+
+
+def collect() -> List[dict]:
+    """Import every instrumented module; return the catalogue rows sorted.
+
+    Each row is ``{"name", "kind", "unit", "help"}``.
+    """
+    for module in INSTRUMENTED_MODULES:
+        importlib.import_module(module)
+    from repro import telemetry
+
+    rows = [
+        {
+            "name": instrument.name,
+            "kind": instrument.kind,
+            "unit": instrument.unit or "-",
+            "help": instrument.help or "-",
+        }
+        for instrument in telemetry.get().registry.instruments()
+    ]
+    rows.sort(key=lambda row: row["name"])
+    return rows
+
+
+def render_table(rows: Optional[List[dict]] = None) -> str:
+    """The catalogue as a markdown table (no surrounding markers)."""
+    if rows is None:
+        rows = collect()
+    lines = [_HEADER, _RULE]
+    for row in rows:
+        lines.append(
+            f"| `{row['name']}` | {row['kind']} | {row['unit']} | {row['help']} |"
+        )
+    return "\n".join(lines)
+
+
+def render_block(rows: Optional[List[dict]] = None) -> str:
+    """The generated region, markers included."""
+    return f"{BEGIN_MARK}\n{render_table(rows)}\n{END_MARK}"
+
+
+def _split_docs(text: str, path: str) -> tuple:
+    """(before, table, after) around the marker region, or raise."""
+    try:
+        before, rest = text.split(BEGIN_MARK, 1)
+        table, after = rest.split(END_MARK, 1)
+    except ValueError:
+        raise ValueError(
+            f"{path} has no metric-catalogue markers "
+            f"({BEGIN_MARK!r} ... {END_MARK!r})"
+        ) from None
+    return before, table.strip("\n"), after
+
+
+def check_docs(path: str) -> List[str]:
+    """Drift between the docs' table and the live registry (empty = clean)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    _, documented, _ = _split_docs(text, path)
+    expected = render_table()
+    if documented == expected:
+        return []
+    documented_rows = {
+        line.split("|")[1].strip(): line
+        for line in documented.splitlines()
+        if line.startswith("| `")
+    }
+    expected_rows = {
+        line.split("|")[1].strip(): line
+        for line in expected.splitlines()
+        if line.startswith("| `")
+    }
+    drift = []
+    for name in sorted(expected_rows.keys() - documented_rows.keys()):
+        drift.append(f"missing from docs: {name}")
+    for name in sorted(documented_rows.keys() - expected_rows.keys()):
+        drift.append(f"stale in docs (no such instrument): {name}")
+    for name in sorted(expected_rows.keys() & documented_rows.keys()):
+        if expected_rows[name] != documented_rows[name]:
+            drift.append(f"row differs: {name}")
+    return drift or ["table formatting differs from the generator's output"]
+
+
+def write_docs(path: str) -> bool:
+    """Regenerate the table in place; True when the file changed."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    before, _, after = _split_docs(text, path)
+    updated = before + render_block() + after
+    if updated == text:
+        return False
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(updated)
+    return True
+
+
+__all__ = [
+    "BEGIN_MARK",
+    "END_MARK",
+    "INSTRUMENTED_MODULES",
+    "check_docs",
+    "collect",
+    "render_block",
+    "render_table",
+    "write_docs",
+]

@@ -1,0 +1,217 @@
+"""Deterministic time-series rollups: windowed min/mean/p99 per metric.
+
+Raw observations (a request latency, a tier temperature) are bucketed
+into fixed-width windows aligned to the epoch (``floor(t / window_s)``).
+A closed window is *sealed* into an immutable :class:`RollupWindow`
+carrying exact count/sum/min/max plus p50/p99 from the same deterministic
+decimating-reservoir technique the PR 2 histograms use — on overflow the
+reservoir keeps every other sample and doubles its stride, so memory is
+bounded and no RNG is consumed.  Each series retains a ring of the most
+recent sealed windows; the edge serves them over ``GET /v1/rollup``.
+
+Determinism: given the same ``(value, t)`` observation sequence, window
+boundaries, counts and quantiles are bit-identical — timestamps are
+supplied by the caller (virtual time in tests and loadgen, wall clock on
+a live edge), never read from a clock here.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+#: Reservoir capacity per open window.  Windows are short-lived, so a
+#: smaller reservoir than the registry histograms' 512 keeps the ring
+#: memory proportional to ``ring * reservoir`` per metric.
+WINDOW_RESERVOIR = 128
+
+
+@dataclass(frozen=True)
+class RollupPolicy:
+    """Shape of the rollup plane: window width and ring depth."""
+
+    window_s: float = 1.0
+    ring: int = 60
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {self.window_s}")
+        if self.ring < 1:
+            raise ValueError(f"ring must be >= 1, got {self.ring}")
+
+
+@dataclass(frozen=True)
+class RollupWindow:
+    """One sealed window of a metric's observations."""
+
+    start: float
+    end: float
+    count: int
+    sum: float
+    min: float
+    max: float
+    p50: float
+    p99: float
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count
+
+    def to_record(self) -> dict:
+        """JSON-serialisable form (what ``/v1/rollup`` returns)."""
+        return {
+            "start": self.start,
+            "end": self.end,
+            "count": self.count,
+            "min": self.min,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.p50,
+            "p99": self.p99,
+        }
+
+
+class _OpenWindow:
+    """The accumulating (unsealed) window of one series."""
+
+    __slots__ = ("index", "count", "sum", "min", "max",
+                 "reservoir", "stride", "since_kept")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.reservoir: List[float] = []
+        self.stride = 1
+        self.since_kept = 0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.since_kept += 1
+        if self.since_kept >= self.stride:
+            self.since_kept = 0
+            self.reservoir.append(value)
+            if len(self.reservoir) >= WINDOW_RESERVOIR:
+                self.reservoir = self.reservoir[::2]
+                self.stride *= 2
+
+    def seal(self, window_s: float) -> RollupWindow:
+        ordered = sorted(self.reservoir)
+        last = len(ordered) - 1
+
+        def quantile(q: float) -> float:
+            return ordered[min(last, int(round(q * last)))]
+
+        return RollupWindow(
+            start=self.index * window_s,
+            end=(self.index + 1) * window_s,
+            count=self.count,
+            sum=self.sum,
+            min=self.min,
+            max=self.max,
+            p50=quantile(0.5),
+            p99=quantile(0.99),
+        )
+
+
+class RollupSeries:
+    """One metric's open window plus its ring of sealed windows."""
+
+    def __init__(self, name: str, policy: RollupPolicy) -> None:
+        self.name = name
+        self.policy = policy
+        self._open: Optional[_OpenWindow] = None
+        self._sealed: Deque[RollupWindow] = deque(maxlen=policy.ring)
+
+    def _index_of(self, t: float) -> int:
+        return int(math.floor(t / self.policy.window_s))
+
+    def _roll_to(self, index: int) -> None:
+        if self._open is not None and index > self._open.index:
+            if self._open.count:
+                self._sealed.append(self._open.seal(self.policy.window_s))
+            self._open = None
+        if self._open is None:
+            self._open = _OpenWindow(index)
+
+    def observe(self, value: float, t: float) -> None:
+        """Record ``value`` at time ``t`` (monotonically non-decreasing)."""
+        self._roll_to(self._index_of(t))
+        assert self._open is not None
+        self._open.record(float(value))
+
+    def advance(self, t: float) -> None:
+        """Seal any window that ended at or before ``t`` (no new data)."""
+        if self._open is not None and self._index_of(t) > self._open.index:
+            if self._open.count:
+                self._sealed.append(self._open.seal(self.policy.window_s))
+            self._open = None
+
+    def windows(self, last: Optional[int] = None) -> List[RollupWindow]:
+        """Sealed windows, oldest first (``last`` trims to the newest n)."""
+        sealed = list(self._sealed)
+        if last is not None:
+            sealed = sealed[-last:]
+        return sealed
+
+
+class RollupTable:
+    """Name -> series store behind one lock; the edge's rollup plane.
+
+    Get-or-create on observe, like the metrics registry: the first
+    observation of a name creates its series.
+    """
+
+    def __init__(self, policy: Optional[RollupPolicy] = None) -> None:
+        self.policy = policy if policy is not None else RollupPolicy()
+        self._series: Dict[str, RollupSeries] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, name: str, value: float, t: float) -> None:
+        """Record one observation of metric ``name`` at time ``t``."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = RollupSeries(name, self.policy)
+                self._series[name] = series
+            series.observe(value, t)
+
+    def advance(self, t: float) -> None:
+        """Seal every series' windows that ended at or before ``t``."""
+        with self._lock:
+            for series in self._series.values():
+                series.advance(t)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def windows(self, name: str, last: Optional[int] = None) -> List[RollupWindow]:
+        """Sealed windows of ``name`` (empty when the series is unknown)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                return []
+            return series.windows(last)
+
+    def snapshot(
+        self, names: Optional[List[str]] = None, last: Optional[int] = None
+    ) -> Dict[str, List[dict]]:
+        """JSON-serialisable rollups, keyed by metric name."""
+        with self._lock:
+            selected = sorted(self._series) if names is None else names
+            return {
+                name: [w.to_record() for w in self._series[name].windows(last)]
+                for name in selected
+                if name in self._series
+            }

@@ -1,0 +1,230 @@
+"""Streaming thermal-runaway early warning (online E8).
+
+The batch E8 experiment maps the runaway power boundary post-hoc from a
+full sweep; the :class:`StackMonitor` alarm bands fire when a tier's
+*absolute* temperature crosses 95 °C (warning) / 110 °C (emergency).
+Both see runaway late: a compounding fault (``thermal_runaway`` grows the
+offset ~1.1x per round) spends many rounds below the absolute band while
+its *slope* is already unmistakable.
+
+:class:`RunawayDetector` watches the slope.  Per ``(stack, tier)`` it
+keeps an EWMA of the temperature and an EWMA of the per-round delta; when
+the smoothed slope and smoothed temperature both exceed their thresholds
+for ``consecutive`` rounds it arms and publishes one
+``alert.runaway_warning`` event, then holds the alert (hysteresis) until
+the smoothed slope stays below ``clear_slope_c`` for
+``clear_consecutive`` rounds, publishing ``alert.runaway_clear``.
+
+Bit-reproducibility: the detector is pure IEEE-754 float recurrences on a
+logical round clock — no RNG, no wall time — so in deterministic mode the
+same read sequence yields the same alert at the same round with the same
+payload floats, regardless of which wire face (NDJSON, binary, HTTP/SSE)
+carried the reads.
+
+:func:`batch_alarm_round` is the post-hoc baseline the acceptance gate
+compares against: the first round a raw trace crosses the absolute
+monitor band.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import telemetry
+from repro.telemetry.stream import StreamHub
+
+#: Event names published onto the stream.
+ALERT_WARNING = "alert.runaway_warning"
+ALERT_CLEAR = "alert.runaway_clear"
+
+_ALERTS = telemetry.counter(
+    "stream.alerts", unit="alerts",
+    help="alert.* events published by the runaway early-warning detector.")
+
+
+@dataclass(frozen=True)
+class RunawayPolicy:
+    """Knobs of the early-warning detector.
+
+    ``alpha``/``slope_alpha`` smooth the temperature and its per-round
+    delta; an alert arms when smoothed slope >= ``warn_slope_c`` *and*
+    smoothed temperature >= ``warn_temp_c`` for ``consecutive`` rounds,
+    and clears when smoothed slope <= ``clear_slope_c`` for
+    ``clear_consecutive`` rounds (hysteresis: the gap between the two
+    slope thresholds stops border flapping).  ``batch_alarm_c`` is the
+    absolute monitor band the baseline comparison uses.
+    """
+
+    alpha: float = 0.5
+    slope_alpha: float = 0.5
+    warn_slope_c: float = 0.75
+    warn_temp_c: float = 75.0
+    consecutive: int = 2
+    clear_slope_c: float = 0.25
+    clear_consecutive: int = 3
+    batch_alarm_c: float = 95.0
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "slope_alpha"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must lie in (0, 1], got {value}")
+        if self.clear_slope_c >= self.warn_slope_c:
+            raise ValueError(
+                "clear_slope_c must sit below warn_slope_c (hysteresis)")
+        if self.consecutive < 1 or self.clear_consecutive < 1:
+            raise ValueError("consecutive counts must be >= 1")
+
+
+class _TierState:
+    """EWMA state of one (stack, tier)."""
+
+    __slots__ = ("ewma_temp", "ewma_slope", "last_temp",
+                 "armed_streak", "calm_streak", "alerted", "alert_round")
+
+    def __init__(self) -> None:
+        self.ewma_temp: Optional[float] = None
+        self.ewma_slope = 0.0
+        self.last_temp = 0.0
+        self.armed_streak = 0
+        self.calm_streak = 0
+        self.alerted = False
+        self.alert_round: Optional[int] = None
+
+
+class RunawayDetector:
+    """Online per-tier runaway detection over live reads.
+
+    Feed it ``(stack, tier, temp_c, round)`` observations in round order
+    (:meth:`observe`, or :meth:`observe_reading` for a whole stack's
+    tier map); it returns the alert payload when one fires and publishes
+    ``alert`` events onto ``hub`` when one is attached.  Thread-safe;
+    consumes no randomness.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[RunawayPolicy] = None,
+        hub: Optional[StreamHub] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else RunawayPolicy()
+        self.hub = hub
+        self._states: Dict[Tuple[int, int], _TierState] = {}
+        self._lock = threading.Lock()
+        self.alerts: List[dict] = []
+
+    def observe(
+        self, stack: int, tier: int, temp_c: float, round_index: int
+    ) -> Optional[dict]:
+        """Ingest one tier temperature; returns an alert payload or None."""
+        policy = self.policy
+        temp_c = float(temp_c)
+        with self._lock:
+            state = self._states.get((stack, tier))
+            if state is None:
+                state = _TierState()
+                self._states[(stack, tier)] = state
+            if state.ewma_temp is None:
+                state.ewma_temp = temp_c
+                state.last_temp = temp_c
+                return None
+            state.ewma_temp = (
+                policy.alpha * temp_c + (1.0 - policy.alpha) * state.ewma_temp
+            )
+            raw_slope = temp_c - state.last_temp
+            state.last_temp = temp_c
+            state.ewma_slope = (
+                policy.slope_alpha * raw_slope
+                + (1.0 - policy.slope_alpha) * state.ewma_slope
+            )
+            payload: Optional[dict] = None
+            if not state.alerted:
+                hot = (
+                    state.ewma_slope >= policy.warn_slope_c
+                    and state.ewma_temp >= policy.warn_temp_c
+                )
+                state.armed_streak = state.armed_streak + 1 if hot else 0
+                if state.armed_streak >= policy.consecutive:
+                    state.alerted = True
+                    state.alert_round = round_index
+                    state.calm_streak = 0
+                    payload = self._payload(
+                        ALERT_WARNING, stack, tier, round_index, state)
+            else:
+                calm = state.ewma_slope <= policy.clear_slope_c
+                state.calm_streak = state.calm_streak + 1 if calm else 0
+                if state.calm_streak >= policy.clear_consecutive:
+                    state.alerted = False
+                    state.armed_streak = 0
+                    payload = self._payload(
+                        ALERT_CLEAR, stack, tier, round_index, state)
+            if payload is not None:
+                self.alerts.append(payload)
+        if payload is not None:
+            _ALERTS.inc()
+            if self.hub is not None:
+                self.hub.publish("alert", payload)
+        return payload
+
+    def observe_reading(
+        self, stack: int, temps_c: Mapping[int, float], round_index: int
+    ) -> List[dict]:
+        """Ingest a whole stack read (tier -> temp); returns fired alerts."""
+        fired = []
+        for tier in sorted(temps_c):
+            payload = self.observe(stack, tier, temps_c[tier], round_index)
+            if payload is not None:
+                fired.append(payload)
+        return fired
+
+    def _payload(
+        self, name: str, stack: int, tier: int, round_index: int,
+        state: _TierState,
+    ) -> dict:
+        return {
+            "name": name,
+            "stack": stack,
+            "tier": tier,
+            "round": round_index,
+            "temp_c": state.ewma_temp,
+            "slope_c": state.ewma_slope,
+        }
+
+    def state(self, stack: int, tier: int) -> Optional[dict]:
+        """The EWMA state of one tier (for status surfaces and tests)."""
+        with self._lock:
+            state = self._states.get((stack, tier))
+            if state is None:
+                return None
+            return {
+                "ewma_temp": state.ewma_temp,
+                "ewma_slope": state.ewma_slope,
+                "alerted": state.alerted,
+                "alert_round": state.alert_round,
+            }
+
+
+def batch_alarm_round(
+    temps_c: Sequence[float], threshold_c: Optional[float] = None
+) -> Optional[int]:
+    """The post-hoc batch baseline: first round a raw trace crosses the
+    absolute monitor alarm band (None when it never does)."""
+    limit = RunawayPolicy().batch_alarm_c if threshold_c is None else threshold_c
+    for index, temp in enumerate(temps_c):
+        if temp >= limit:
+            return index
+    return None
+
+
+def streaming_alert_round(
+    temps_c: Sequence[float], policy: Optional[RunawayPolicy] = None
+) -> Optional[int]:
+    """First round a fresh detector alerts on a single-tier trace."""
+    detector = RunawayDetector(policy)
+    for index, temp in enumerate(temps_c):
+        payload = detector.observe(0, 0, temp, index)
+        if payload is not None and payload["name"] == ALERT_WARNING:
+            return index
+    return None

@@ -1,0 +1,317 @@
+"""Server-push event streaming: a fan-out hub with bounded subscribers.
+
+The pull faces (Prometheus text, ``/v1/rollup``) answer "what happened";
+the stream answers "what is happening".  A :class:`StreamHub` fans
+published events out to any number of :class:`Subscription` objects, each
+holding a *bounded* deque:
+
+* **Publish never blocks.**  Delivering to a subscriber is an append
+  under that subscriber's lock; when the queue is full the oldest event
+  is dropped and counted.  A slow consumer can never stall the hot path
+  — it loses events instead, and learns that it did.
+* **Drops are typed.**  The first poll after a drop is prefixed with a
+  synthesized ``notice`` event carrying ``{"code": "backpressure",
+  "dropped": n}`` — the same closed error vocabulary the edge wire uses.
+* **Idle costs one attribute read.**  Publishers gate on
+  :attr:`StreamHub.active`; with no subscribers the hot seams pay a
+  single boolean check.
+
+Event kinds are a small open set (``metric``, ``read``, ``alert``,
+``heartbeat``, ``notice``); subscriptions filter by kind and, for named
+payloads, by dotted-name prefix.  Everything is thread-safe and consumes
+no randomness, so streaming never perturbs a seeded run.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro import telemetry
+
+#: Default per-subscriber queue bound (events, not bytes).
+DEFAULT_QUEUE = 256
+
+#: Event kinds the hub itself synthesizes.
+NOTICE = "notice"
+HEARTBEAT = "heartbeat"
+
+_EVENTS = telemetry.counter(
+    "stream.events_published", unit="events",
+    help="Events published into the stream hub (before fan-out).")
+_DELIVERED = telemetry.counter(
+    "stream.events_delivered", unit="events",
+    help="Event deliveries enqueued across all subscribers.")
+_DROPPED = telemetry.counter(
+    "stream.events_dropped", unit="events",
+    help="Deliveries dropped because a subscriber queue was full.")
+_SUBSCRIBERS = telemetry.gauge(
+    "stream.subscribers", unit="subscribers",
+    help="Live subscriptions on the process-wide stream hub.")
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One immutable event on the stream: a kind, a sequence, a payload."""
+
+    seq: int
+    kind: str
+    data: Mapping[str, object]
+
+    def to_wire(self) -> dict:
+        """The flat JSON object pushed to subscribers."""
+        record = {"event": self.kind, "seq": self.seq}
+        record.update(self.data)
+        return record
+
+
+class Subscription:
+    """One subscriber's bounded view of the stream.
+
+    Created by :meth:`StreamHub.subscribe`; consumers call :meth:`poll`
+    (non-blocking) or :meth:`wait` and read :attr:`dropped` for loss
+    accounting.  The queue bound caps per-subscriber memory at
+    ``queue`` events regardless of how far the consumer falls behind.
+    """
+
+    def __init__(
+        self,
+        hub: "StreamHub",
+        sub_id: int,
+        kinds: Optional[Iterable[str]],
+        metrics: Optional[Iterable[str]],
+        queue: int,
+        notify: Optional[Callable[[], None]],
+    ) -> None:
+        if queue < 1:
+            raise ValueError(f"subscription queue bound must be >= 1, got {queue}")
+        self.id = sub_id
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.prefixes: Optional[Tuple[str, ...]] = (
+            tuple(metrics) if metrics is not None else None
+        )
+        self.maxlen = int(queue)
+        self._hub = hub
+        self._lock = threading.Lock()
+        self._queue: Deque[StreamEvent] = deque()
+        self._dropped_total = 0
+        self._dropped_pending = 0
+        self._event = threading.Event()
+        self._notify = notify
+        self.closed = False
+
+    # -- matching ----------------------------------------------------
+
+    def matches(self, event: StreamEvent) -> bool:
+        """Whether this subscription wants ``event``."""
+        if self.kinds is not None and event.kind not in self.kinds:
+            return False
+        if self.prefixes is not None and event.kind == "metric":
+            name = str(event.data.get("name", ""))
+            return any(name.startswith(prefix) for prefix in self.prefixes)
+        return True
+
+    # -- producer side (hub only) ------------------------------------
+
+    def _offer(self, event: StreamEvent) -> bool:
+        """Enqueue ``event``, dropping the oldest on overflow.
+
+        Returns True when the event was enqueued without loss.  Never
+        blocks: overflow evicts, counts, and carries on.
+        """
+        dropped = False
+        with self._lock:
+            if len(self._queue) >= self.maxlen:
+                self._queue.popleft()
+                self._dropped_total += 1
+                self._dropped_pending += 1
+                dropped = True
+            self._queue.append(event)
+        self._event.set()
+        if self._notify is not None:
+            try:
+                self._notify()
+            except Exception:
+                pass
+        return not dropped
+
+    # -- consumer side -----------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Total deliveries lost to this subscriber's queue bound."""
+        return self._dropped_total
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def poll(self, max_events: Optional[int] = None) -> List[StreamEvent]:
+        """Drain queued events (non-blocking).
+
+        When deliveries were dropped since the previous poll, the batch
+        is prefixed with a synthesized ``notice`` event —
+        ``{"code": "backpressure", "dropped": n}`` — so consumers see
+        typed, counted loss instead of silent gaps.
+        """
+        with self._lock:
+            dropped = self._dropped_pending
+            self._dropped_pending = 0
+            if max_events is None or max_events >= len(self._queue):
+                events = list(self._queue)
+                self._queue.clear()
+            else:
+                events = [self._queue.popleft() for _ in range(max_events)]
+            if not self._queue:
+                self._event.clear()
+        if dropped:
+            notice = StreamEvent(
+                seq=self._hub._next_seq(),
+                kind=NOTICE,
+                data={"code": "backpressure", "dropped": dropped},
+            )
+            events.insert(0, notice)
+        return events
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until at least one event is queued (True) or timeout."""
+        return self._event.wait(timeout)
+
+    def _wake(self) -> None:
+        """Wake any waiter (close paths: let pushers notice ``closed``)."""
+        self._event.set()
+        if self._notify is not None:
+            try:
+                self._notify()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Unsubscribe (idempotent)."""
+        self._hub.unsubscribe(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class StreamHub:
+    """Fan-out broker: publish once, deliver to every matching subscriber.
+
+    Hubs are cheap; the edge server owns one per instance and the serve
+    path shares the process-wide hub from :func:`get_hub`.  Publishing
+    with zero subscribers short-circuits on :attr:`active` — instrumented
+    hot seams pay one boolean read when nobody is listening.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subs: Dict[int, Subscription] = {}
+        self._snapshot: Tuple[Subscription, ...] = ()
+        self._next_id = 0
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self.active = False
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
+
+    def subscribe(
+        self,
+        kinds: Optional[Iterable[str]] = None,
+        metrics: Optional[Iterable[str]] = None,
+        queue: int = DEFAULT_QUEUE,
+        notify: Optional[Callable[[], None]] = None,
+    ) -> Subscription:
+        """Register a subscriber.
+
+        ``kinds`` filters by event kind (None = all kinds); ``metrics``
+        filters ``metric`` events by dotted-name prefix; ``queue`` bounds
+        the subscriber's memory; ``notify`` is an optional callable
+        invoked after each enqueue (the edge uses it to kick an asyncio
+        event from the publisher thread).
+        """
+        with self._lock:
+            self._next_id += 1
+            sub = Subscription(self, self._next_id, kinds, metrics, queue, notify)
+            self._subs[sub.id] = sub
+            self._snapshot = tuple(self._subs.values())
+            self.active = True
+        _SUBSCRIBERS.set(len(self._snapshot))
+        return sub
+
+    def unsubscribe(self, sub: "Subscription | int") -> bool:
+        """Remove a subscription by object or id (idempotent)."""
+        sub_id = sub.id if isinstance(sub, Subscription) else int(sub)
+        with self._lock:
+            removed = self._subs.pop(sub_id, None)
+            if removed is None:
+                return False
+            removed.closed = True
+            self._snapshot = tuple(self._subs.values())
+            self.active = bool(self._snapshot)
+        removed._wake()
+        _SUBSCRIBERS.set(len(self._snapshot))
+        return True
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._snapshot)
+
+    def publish(self, kind: str, data: Mapping[str, object]) -> int:
+        """Publish one event; returns the number of lossless deliveries.
+
+        Never blocks on any consumer: a full subscriber queue drops its
+        oldest event (counted per subscriber and in
+        ``stream.events_dropped``) and the publisher moves on.
+        """
+        subs = self._snapshot
+        if not subs:
+            return 0
+        event = StreamEvent(seq=self._next_seq(), kind=kind, data=dict(data))
+        _EVENTS.inc()
+        delivered = 0
+        matched = 0
+        dropped = 0
+        for sub in subs:
+            if sub.matches(event):
+                matched += 1
+                if sub._offer(event):
+                    delivered += 1
+                else:
+                    dropped += 1
+        if matched:
+            _DELIVERED.inc(matched)
+        if dropped:
+            _DROPPED.inc(dropped)
+        return delivered
+
+    def close(self) -> None:
+        """Drop every subscription (used on server shutdown)."""
+        with self._lock:
+            dropped = list(self._subs.values())
+            for sub in dropped:
+                sub.closed = True
+            self._subs.clear()
+            self._snapshot = ()
+            self.active = False
+        for sub in dropped:
+            sub._wake()
+        _SUBSCRIBERS.set(0)
+
+
+#: The process-wide hub: in-process consumers (examples, notebooks)
+#: subscribe here, and the serve engine publishes ``read`` events into it
+#: whenever it is active.
+HUB = StreamHub()
+
+
+def get_hub() -> StreamHub:
+    """The process-wide stream hub."""
+    return HUB

@@ -57,10 +57,13 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "ResiliencePolicy",
     "SensorConfig",
     "SensorFrame",
+    "RunawayPolicy",
     "SensorReadService",
     "SensorReading",
     "ServeConfig",
     "StackMonitor",
+    "StreamLoadgenConfig",
+    "StreamPolicy",
     "SuiteResult",
     "Technology",
     "TierState",
@@ -77,6 +80,7 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "run_experiment",
     "run_loadgen",
     "run_loadgen_edge",
+    "run_loadgen_stream",
     "sample_dies",
     "serve",
     "shard_seed",

@@ -1,0 +1,91 @@
+"""The documentation stays navigable and honest.
+
+Two guarantees, both cheap enough to gate every CI run:
+
+* **no dead links** — every relative markdown link and every
+  ``#fragment`` in ``docs/`` and the top-level guides resolves to a
+  real file (and, for fragments, a real heading in it);
+* **no stale API references** — docs never point readers at the
+  deprecated config derivations that :mod:`repro.edge.deploy`
+  superseded.
+
+The metric-catalogue drift gate lives in ``tests/test_stream.py``
+alongside the generator it checks.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The markdown that makes promises worth checking.
+DOC_FILES = sorted(
+    [*(REPO / "docs").glob("*.md"), REPO / "README.md"]
+    + [REPO / name for name in ("DESIGN.md", "ROADMAP.md")
+       if (REPO / name).exists()]
+)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _anchor(heading: str) -> str:
+    """GitHub's heading -> fragment slug (the flavour our docs use)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _links(markdown: str):
+    return _LINK.findall(_CODE_FENCE.sub("", markdown))
+
+
+def _doc_ids():
+    return [str(path.relative_to(REPO)) for path in DOC_FILES]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _links(doc.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part else doc
+        if not resolved.exists():
+            broken.append(f"{target} -> missing file {path_part}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            headings = _HEADING.findall(resolved.read_text(encoding="utf-8"))
+            if fragment not in {_anchor(h) for h in headings}:
+                broken.append(f"{target} -> no heading #{fragment}")
+    assert not broken, (
+        f"{doc.relative_to(REPO)} has dead links:\n  " + "\n  ".join(broken)
+    )
+
+
+def test_docs_never_advertise_deprecated_config_derivations():
+    stale = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        for needle in ("EdgeConfig.worker_configs", "WorkerConfig.serve_config"):
+            if needle in text:
+                stale.append(f"{doc.relative_to(REPO)}: {needle}")
+    assert not stale, (
+        "docs reference deprecated derivations (use EdgeDeployment):\n  "
+        + "\n  ".join(stale)
+    )
+
+
+def test_every_docs_page_is_reachable_from_the_index():
+    index = (REPO / "docs" / "index.md").read_text(encoding="utf-8")
+    linked = {target.partition("#")[0] for target in _links(index)}
+    missing = [
+        page.name
+        for page in sorted((REPO / "docs").glob("*.md"))
+        if page.name != "index.md" and page.name not in linked
+    ]
+    assert not missing, f"docs/index.md never links: {missing}"

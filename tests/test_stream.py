@@ -1,0 +1,400 @@
+"""The streaming plane's pure units: hub, rollups, detector, sweeps, docs.
+
+No sockets and no processes here — everything is the deterministic core
+the edge faces sit on: fan-out with bounded queues and typed loss,
+epoch-aligned rollup windows, the EWMA-slope early-warning detector
+(bit-reproducible by construction), the seeded 10k-subscriber sweep, and
+the registry-generated metric catalogue.  The live wire faces are
+covered in ``tests/test_stream_edge.py``.
+"""
+
+import math
+
+import pytest
+
+from repro.edge.stream import StreamPolicy, clamp_queue, format_sse
+from repro.edge.stream_loadgen import (
+    StreamLoadgenConfig,
+    run_loadgen_stream,
+    runaway_trajectory,
+)
+from repro.telemetry.rollup import RollupPolicy, RollupTable
+from repro.telemetry.runaway import (
+    ALERT_CLEAR,
+    ALERT_WARNING,
+    RunawayDetector,
+    RunawayPolicy,
+    batch_alarm_round,
+    streaming_alert_round,
+)
+from repro.telemetry.stream import StreamHub
+
+
+# ------------------------------------------------------------------ hub
+
+
+class TestStreamHub:
+    def test_publish_with_no_subscribers_is_inert(self):
+        hub = StreamHub()
+        assert not hub.active
+        assert hub.publish("metric", {"name": "x", "value": 1.0}) == 0
+
+    def test_subscribe_receives_matching_events_in_order(self):
+        hub = StreamHub()
+        sub = hub.subscribe(kinds=["read"])
+        assert hub.active
+        hub.publish("read", {"stack": 1})
+        hub.publish("metric", {"name": "x", "value": 1.0})  # filtered out
+        hub.publish("read", {"stack": 2})
+        events = sub.poll()
+        assert [e.kind for e in events] == ["read", "read"]
+        assert [e.data["stack"] for e in events] == [1, 2]
+        assert events[0].seq < events[1].seq
+
+    def test_metric_prefix_filter(self):
+        hub = StreamHub()
+        sub = hub.subscribe(kinds=["metric"], metrics=["serve."])
+        hub.publish("metric", {"name": "serve.requests", "value": 1})
+        hub.publish("metric", {"name": "edge.requests", "value": 1})
+        names = [e.data["name"] for e in sub.poll()]
+        assert names == ["serve.requests"]
+
+    def test_prefix_filter_only_applies_to_metric_events(self):
+        hub = StreamHub()
+        sub = hub.subscribe(metrics=["serve."])
+        hub.publish("alert", {"name": "alert.runaway_warning"})
+        assert [e.kind for e in sub.poll()] == ["alert"]
+
+    def test_slow_consumer_drops_oldest_and_gets_typed_notice(self):
+        hub = StreamHub()
+        sub = hub.subscribe(queue=3)
+        for i in range(7):
+            hub.publish("read", {"round": i})
+        assert sub.pending == 3
+        assert sub.dropped == 4
+        events = sub.poll()
+        assert events[0].kind == "notice"
+        assert events[0].data == {"code": "backpressure", "dropped": 4}
+        assert [e.data["round"] for e in events[1:]] == [4, 5, 6]
+        # The notice is one-shot: a clean poll has no notice.
+        hub.publish("read", {"round": 7})
+        assert [e.kind for e in sub.poll()] == ["read"]
+
+    def test_publisher_never_blocks_on_full_queue(self):
+        hub = StreamHub()
+        sub = hub.subscribe(queue=1)
+        for i in range(1000):
+            hub.publish("read", {"round": i})
+        assert sub.pending == 1
+        assert sub.dropped == 999
+
+    def test_unsubscribe_is_idempotent_and_deactivates(self):
+        hub = StreamHub()
+        sub = hub.subscribe()
+        assert hub.unsubscribe(sub) is True
+        assert hub.unsubscribe(sub.id) is False
+        assert not hub.active
+        assert sub.closed
+
+    def test_close_wakes_and_closes_every_subscription(self):
+        hub = StreamHub()
+        subs = [hub.subscribe() for _ in range(3)]
+        hub.close()
+        assert all(sub.closed for sub in subs)
+        assert hub.subscribers == 0
+
+    def test_notify_callback_fires_on_enqueue(self):
+        hub = StreamHub()
+        kicks = []
+        hub.subscribe(notify=lambda: kicks.append(1))
+        hub.publish("read", {})
+        assert kicks == [1]
+
+    def test_wait_returns_once_an_event_is_queued(self):
+        hub = StreamHub()
+        sub = hub.subscribe()
+        assert sub.wait(timeout=0.0) is False
+        hub.publish("read", {})
+        assert sub.wait(timeout=0.0) is True
+
+    def test_queue_bound_must_be_positive(self):
+        hub = StreamHub()
+        with pytest.raises(ValueError):
+            hub.subscribe(queue=0)
+
+    def test_event_wire_shape_has_no_request_id(self):
+        hub = StreamHub()
+        sub = hub.subscribe()
+        hub.publish("read", {"stack": 3})
+        record = sub.poll()[0].to_wire()
+        assert record["event"] == "read"
+        assert record["stack"] == 3
+        assert "id" not in record  # never collides with request answers
+
+
+# ---------------------------------------------------------------- rollups
+
+
+class TestRollups:
+    def test_windows_seal_on_roll_with_exact_stats(self):
+        table = RollupTable(RollupPolicy(window_s=1.0, ring=10))
+        for i in range(5):
+            table.observe("lat", float(i), t=0.1 * (i + 1))  # all in [0, 1)
+        table.observe("lat", 99.0, t=1.5)  # rolls the window
+        (window,) = table.windows("lat")[:1]
+        assert (window.start, window.end) == (0.0, 1.0)
+        assert window.count == 5
+        assert window.min == 0.0 and window.max == 4.0
+        assert window.mean == pytest.approx(2.0)
+        assert window.p50 == 2.0
+
+    def test_advance_seals_without_new_data(self):
+        table = RollupTable(RollupPolicy(window_s=1.0, ring=10))
+        table.observe("lat", 1.0, t=0.5)
+        assert table.windows("lat") == []
+        table.advance(2.0)
+        assert len(table.windows("lat")) == 1
+
+    def test_ring_keeps_only_the_newest_windows(self):
+        table = RollupTable(RollupPolicy(window_s=1.0, ring=3))
+        for i in range(8):
+            table.observe("lat", float(i), t=float(i) + 0.5)
+        table.advance(100.0)
+        windows = table.windows("lat")
+        assert len(windows) == 3
+        assert [w.start for w in windows] == [5.0, 6.0, 7.0]
+
+    def test_snapshot_filters_names_and_last(self):
+        table = RollupTable(RollupPolicy(window_s=1.0, ring=10))
+        for name in ("a", "b"):
+            for i in range(4):
+                table.observe(name, 1.0, t=float(i) + 0.5)
+        table.advance(10.0)
+        snap = table.snapshot(names=["b", "missing"], last=2)
+        assert sorted(snap) == ["b"]
+        assert len(snap["b"]) == 2
+
+    def test_identical_observations_give_identical_windows(self):
+        def run():
+            table = RollupTable(RollupPolicy(window_s=0.5, ring=20))
+            for i in range(200):
+                table.observe("x", math.sin(i / 7.0), t=i * 0.03)
+            table.advance(100.0)
+            return [w.to_record() for w in table.windows("x")]
+
+        assert run() == run()
+
+    def test_reservoir_decimation_bounds_memory(self):
+        table = RollupTable(RollupPolicy(window_s=10.0, ring=2))
+        for i in range(10_000):
+            table.observe("x", float(i), t=0.5)
+        series = table._series["x"]
+        assert len(series._open.reservoir) < 256
+        table.advance(20.0)
+        (window,) = table.windows("x")
+        assert window.count == 10_000
+        assert window.p99 >= window.p50
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RollupPolicy(window_s=0.0)
+        with pytest.raises(ValueError):
+            RollupPolicy(ring=0)
+
+
+# --------------------------------------------------------------- detector
+
+
+class TestRunawayDetector:
+    def test_flat_trace_never_alerts(self):
+        detector = RunawayDetector()
+        for i in range(50):
+            assert detector.observe(0, 0, 60.0, i) is None
+        assert detector.alerts == []
+
+    def test_runaway_alerts_before_the_batch_band(self):
+        config = StreamLoadgenConfig()
+        for severity in config.severities:
+            temps = runaway_trajectory(config, severity)
+            batch = batch_alarm_round(temps)
+            stream = streaming_alert_round(temps)
+            assert stream is not None
+            assert batch is not None
+            assert stream < batch, (severity, stream, batch)
+
+    def test_alert_then_hysteresis_clear(self):
+        policy = RunawayPolicy(
+            warn_slope_c=1.0, warn_temp_c=50.0, consecutive=2,
+            clear_slope_c=0.2, clear_consecutive=3,
+        )
+        detector = RunawayDetector(policy)
+        # After the plateau the slope EWMA halves each round; it needs
+        # eight flat rounds to sit below clear_slope_c for three in a row.
+        trace = [50.0, 55.0, 60.0, 65.0, 70.0] + [70.0] * 8
+        fired = []
+        for i, temp in enumerate(trace):
+            payload = detector.observe(4, 2, temp, i)
+            if payload:
+                fired.append((payload["name"], i))
+        names = [name for name, _ in fired]
+        assert names == [ALERT_WARNING, ALERT_CLEAR]
+        # The alert arms only after `consecutive` hot rounds.
+        assert fired[0][1] >= policy.consecutive
+
+    def test_hub_receives_alert_events(self):
+        hub = StreamHub()
+        sub = hub.subscribe(kinds=["alert"])
+        detector = RunawayDetector(
+            RunawayPolicy(warn_slope_c=0.5, warn_temp_c=10.0, consecutive=1),
+            hub=hub,
+        )
+        for i, temp in enumerate([50.0, 60.0, 70.0]):
+            detector.observe(1, 0, temp, i)
+        events = sub.poll()
+        assert events and events[0].data["name"] == ALERT_WARNING
+
+    def test_decisions_are_bit_reproducible(self):
+        temps = runaway_trajectory(StreamLoadgenConfig(), 1.5)
+
+        def run():
+            detector = RunawayDetector()
+            for i, temp in enumerate(temps):
+                detector.observe(7, 3, temp, i)
+            return detector.alerts
+
+        first, second = run(), run()
+        assert first == second  # exact float equality, field for field
+        assert first and first[0]["temp_c"] == second[0]["temp_c"]
+
+    def test_observe_reading_visits_tiers_in_sorted_order(self):
+        detector = RunawayDetector(
+            RunawayPolicy(warn_slope_c=0.5, warn_temp_c=10.0, consecutive=1)
+        )
+        for i in range(3):
+            fired = detector.observe_reading(
+                0, {2: 50.0 + 10 * i, 0: 50.0 + 10 * i}, i
+            )
+        assert [alert["tier"] for alert in detector.alerts] == [0, 2]
+        assert all(alert["name"] == ALERT_WARNING for alert in fired)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RunawayPolicy(alpha=0.0)
+        with pytest.raises(ValueError):
+            RunawayPolicy(clear_slope_c=1.0, warn_slope_c=0.5)
+        with pytest.raises(ValueError):
+            RunawayPolicy(consecutive=0)
+
+
+# ------------------------------------------------------------ edge policy
+
+
+class TestStreamPolicy:
+    def test_defaults_are_valid(self):
+        policy = StreamPolicy()
+        assert policy.queue >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamPolicy(sample_s=0.0)
+        with pytest.raises(ValueError):
+            StreamPolicy(heartbeat_s=-1.0)
+        with pytest.raises(ValueError):
+            StreamPolicy(queue=0)
+
+    def test_clamp_queue(self):
+        assert clamp_queue(None, 256) == 256
+        assert clamp_queue(17, 256) == 17
+        for bad in (0, -5, True, "16", 10**9):
+            with pytest.raises(ValueError):
+                clamp_queue(bad, 256)
+
+    def test_format_sse_block(self):
+        blob = format_sse({"event": "read", "seq": 42, "stack": 3})
+        text = blob.decode("utf-8")
+        assert text.startswith("event: read\nid: 42\ndata: ")
+        assert text.endswith("\n\n")
+        assert '"stack":3' in text
+
+
+# ---------------------------------------------------------------- loadgen
+
+
+class TestStreamLoadgen:
+    def test_report_is_deterministic(self):
+        config = StreamLoadgenConfig(subscribers=500, duration_s=0.5)
+        assert (
+            run_loadgen_stream(config).to_json()
+            == run_loadgen_stream(config).to_json()
+        )
+
+    def test_occupancy_respects_the_bound_and_slow_tail_drops(self):
+        config = StreamLoadgenConfig(
+            subscribers=2000, duration_s=3.0, queue=32
+        )
+        report = run_loadgen_stream(config)
+        assert report.peak_queue_depth <= config.queue
+        assert report.dropped > 0
+        assert 0 < report.drop_fraction < 1
+        assert report.detector_no_worse
+        assert all(
+            p.lead_rounds is not None and p.lead_rounds >= 0
+            for p in report.detection
+        )
+
+    def test_render_and_json_round(self):
+        report = run_loadgen_stream(
+            StreamLoadgenConfig(subscribers=100, duration_s=0.2)
+        )
+        assert "subscribers" in report.to_json()
+        assert "detection" in report.render() or "severity" in report.render()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StreamLoadgenConfig(subscribers=0)
+        with pytest.raises(ValueError):
+            StreamLoadgenConfig(slow_fraction=1.5)
+        with pytest.raises(ValueError):
+            StreamLoadgenConfig(rounds=3, onset_round=4)
+
+
+# -------------------------------------------------------------- catalogue
+
+
+class TestMetricCatalogue:
+    def test_table_covers_the_streaming_instruments(self):
+        from repro.telemetry import catalogue
+
+        table = catalogue.render_table()
+        for name in (
+            "stream.events_published",
+            "stream.events_dropped",
+            "stream.subscribers",
+            "stream.alerts",
+            "edge.requests",
+            "serve.requests",
+        ):
+            assert f"`{name}`" in table
+
+    def test_docs_table_matches_the_registry(self):
+        from repro.telemetry import catalogue
+
+        assert catalogue.check_docs("docs/telemetry.md") == []
+
+    def test_drift_is_detected(self, tmp_path):
+        from repro.telemetry import catalogue
+
+        page = tmp_path / "telemetry.md"
+        block = catalogue.render_block()
+        tampered = block.replace("`stream.alerts`", "`stream.alerts_gone`", 1)
+        page.write_text(f"# metrics\n\n{tampered}\n")
+        drift = catalogue.check_docs(str(page))
+        assert any("stream.alerts" in line for line in drift)
+
+    def test_missing_markers_raise(self, tmp_path):
+        from repro.telemetry import catalogue
+
+        page = tmp_path / "plain.md"
+        page.write_text("# no markers here\n")
+        with pytest.raises(ValueError):
+            catalogue.check_docs(str(page))

@@ -1,0 +1,371 @@
+"""The streaming plane over live wires: SSE, NDJSON and binary faces.
+
+One shared live server (2 spawn-started shards) carries most of the
+coverage: subscribe/unsubscribe round-trips on both framed wires and the
+asyncio client, SSE block format and ``limit``, heartbeats on a quiet
+stream, slow-consumer drop accounting surfaced as typed notices, rollup
+windows over HTTP, churn storms, and a subscription surviving a live
+reshard.  The bit-reproducibility guarantee — the detector makes the
+same decision regardless of which wire face carried the reads — gets a
+single-shard server of its own, driving identical escalating read
+sequences through NDJSON, binary frames and ``POST /v1/read``.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.edge import (
+    AdminClient,
+    AsyncEdgeClient,
+    EdgeClient,
+    EdgeConfig,
+    EdgeError,
+    EdgeServerThread,
+    StreamPolicy,
+    protocol,
+)
+from repro.telemetry.runaway import ALERT_WARNING, RunawayPolicy
+from repro.serve import ReadRequest
+
+TIERS = 4
+ROOT_SEED = 2012
+
+#: A detector sensitive enough that client-driven ambient escalation
+#: trips it within a handful of reads.
+SENSITIVE = RunawayPolicy(
+    warn_slope_c=0.5, warn_temp_c=40.0, consecutive=2, clear_slope_c=0.1
+)
+
+
+@pytest.fixture(scope="module")
+def edge():
+    config = EdgeConfig(
+        shards=2,
+        tiers=TIERS,
+        root_seed=ROOT_SEED,
+        stream=StreamPolicy(sample_s=0.05, heartbeat_s=0.25, detector=SENSITIVE),
+    )
+    server = EdgeServerThread(config).start()
+    yield server
+    server.stop(drain=True)
+
+
+def _escalate(client, stack, rounds=10, start=40.0, step=4.0):
+    for i in range(rounds):
+        result = client.read(stack, ReadRequest.point(1, start + step * i))
+        assert result.ok
+    return rounds
+
+
+# ----------------------------------------------------------- framed wires
+
+
+class TestSubscribeRoundTrips:
+    @pytest.mark.parametrize("wire", ["ndjson", "binary"])
+    def test_subscribe_receives_reads_and_alerts(self, edge, wire):
+        with EdgeClient(edge.host, edge.port, wire=wire) as streaming, \
+                EdgeClient(edge.host, edge.port) as reader:
+            receiver = streaming.subscribe(kinds=["read", "alert"])
+            stack = 30 if wire == "ndjson" else 31
+            _escalate(reader, stack)
+            events = receiver.take(6)
+            kinds = {event["event"] for event in events}
+            assert "read" in kinds
+            reads = [e for e in events if e["event"] == "read"]
+            assert all(e["sub"] == receiver.subscription for e in events)
+            assert all("temps_c" in e and "round" in e for e in reads)
+            # The compounding ambient trips the sensitive detector.
+            for _ in range(100):
+                if any(e["event"] == "alert" for e in events):
+                    break
+                events.append(receiver.next())
+            alert = next(e for e in events if e["event"] == "alert")
+            assert alert["name"] == ALERT_WARNING
+            assert alert["stack"] == stack
+            ack = receiver.unsubscribe()
+            assert ack["ok"] and ack["subscription"] == receiver.subscription
+            assert ack["dropped"] >= 0
+
+    def test_heartbeats_flow_on_a_quiet_stream(self, edge):
+        with EdgeClient(edge.host, edge.port) as client:
+            receiver = client.subscribe(kinds=["heartbeat"])
+            beat = receiver.take(2, ignore=())
+            assert all(event["event"] == "heartbeat" for event in beat)
+            assert all(event["sub"] == receiver.subscription for event in beat)
+            receiver.unsubscribe()
+
+    def test_subscription_filters_by_metric_prefix(self, edge):
+        with EdgeClient(edge.host, edge.port) as client:
+            receiver = client.subscribe(kinds=["metric"], metrics=["stream."])
+            events = receiver.take(3)
+            assert all(e["name"].startswith("stream.") for e in events)
+            receiver.unsubscribe()
+
+    def test_validation_rejects_bad_fields(self, edge):
+        with EdgeClient(edge.host, edge.port) as client:
+            for payload in (
+                {"op": "stream.subscribe", "kinds": "read"},
+                {"op": "stream.subscribe", "metrics": [1, 2]},
+                {"op": "stream.subscribe", "queue": 0},
+                {"op": "stream.subscribe", "queue": 10**9},
+                {"op": "stream.unsubscribe", "subscription": "nope"},
+                {"op": "stream.unsubscribe", "subscription": 424242},
+            ):
+                answer = client.raw(dict(payload))
+                assert not answer.get("ok")
+                assert answer["error"]["code"] == protocol.INVALID
+
+    def test_slow_consumer_gets_backpressure_notice_not_a_stall(self, edge):
+        with EdgeClient(edge.host, edge.port) as client:
+            receiver = client.subscribe(kinds=["read"], queue=4)
+            # Publish a burst straight into the live server's hub from
+            # this thread: the asyncio pusher cannot drain between
+            # publishes, so the bounded queue must shed - and the server
+            # must stay responsive throughout (nothing blocks).
+            hub = edge.server.plane.hub
+            for i in range(500):
+                hub.publish("read", {"stack": 99, "round": i, "temps_c": {}})
+            deadline = time.monotonic() + 10.0
+            notice = None
+            while notice is None and time.monotonic() < deadline:
+                event = receiver.next()
+                if event["event"] == "notice":
+                    notice = event
+            assert notice is not None, "no backpressure notice arrived"
+            assert notice["code"] == "backpressure"
+            assert notice["dropped"] > 0
+            ack = receiver.unsubscribe()
+            assert ack["dropped"] > 0
+
+    def test_churn_storm_leaves_no_residue(self, edge):
+        def cycle():
+            for _ in range(5):
+                with EdgeClient(edge.host, edge.port) as client:
+                    receiver = client.subscribe(kinds=["heartbeat"])
+                    receiver.unsubscribe()
+
+        threads = [threading.Thread(target=cycle) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        deadline = time.monotonic() + 5.0
+        while edge.server.plane.hub.subscribers and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert edge.server.plane.hub.subscribers == 0
+        # The server still answers.
+        with EdgeClient(edge.host, edge.port) as client:
+            assert client.read(3, ReadRequest.point(0, 30.0)).ok
+
+    def test_disconnect_without_unsubscribe_reaps_the_subscription(self, edge):
+        before = edge.server.plane.hub.subscribers
+        client = EdgeClient(edge.host, edge.port)
+        client.subscribe(kinds=["read"])
+        client.close()  # vanish without stream.unsubscribe
+        deadline = time.monotonic() + 5.0
+        while edge.server.plane.hub.subscribers > before:
+            assert time.monotonic() < deadline, "subscription leaked"
+            time.sleep(0.05)
+
+
+# ------------------------------------------------------------ async client
+
+
+class TestAsyncSubscription:
+    def test_events_flow_while_reads_multiplex(self, edge):
+        async def scenario():
+            async with AsyncEdgeClient(edge.host, edge.port) as client:
+                sub = await client.subscribe(kinds=["read"])
+                results = await asyncio.gather(
+                    *[
+                        client.read(40 + i, ReadRequest.point(1, 45.0))
+                        for i in range(4)
+                    ]
+                )
+                assert all(result.ok for result in results)
+                events = await asyncio.wait_for(sub.take(4), timeout=30.0)
+                assert {event["event"] for event in events} == {"read"}
+                ack = await sub.unsubscribe()
+                assert ack["ok"]
+
+        asyncio.run(scenario())
+
+
+# ------------------------------------------------------------- HTTP faces
+
+
+class TestHttpFaces:
+    def test_sse_stream_with_limit(self, edge):
+        # A pump keeps read events flowing until the SSE response ends,
+        # so the subscription always has traffic whenever it attaches.
+        stop = threading.Event()
+
+        def pump():
+            with EdgeClient(edge.host, edge.port) as client:
+                while not stop.is_set():
+                    client.read(50, ReadRequest.point(1, 45.0))
+                    time.sleep(0.01)
+
+        probe = threading.Thread(target=pump, daemon=True)
+        probe.start()
+        sock = socket.create_connection((edge.host, edge.port), timeout=30.0)
+        try:
+            sock.sendall(
+                b"GET /v1/stream?kinds=read&limit=2 HTTP/1.1\r\n"
+                b"Host: t\r\nConnection: close\r\n\r\n"
+            )
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        finally:
+            sock.close()
+            stop.set()
+        probe.join()
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert b"200 OK" in head
+        assert b"text/event-stream" in head
+        assert b"Connection: close" in head
+        blocks = [b for b in body.decode("utf-8").split("\n\n") if b.strip()]
+        assert len(blocks) == 2
+        for block in blocks:
+            lines = block.split("\n")
+            assert lines[0] == "event: read"
+            assert lines[1].startswith("id: ")
+            record = json.loads(lines[2][len("data: "):])
+            assert record["event"] == "read" and "temps_c" in record
+
+    def test_sse_rejects_bad_query(self, edge):
+        for query in ("limit=-1", "heartbeat=0", "queue=0"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://{edge.host}:{edge.port}/v1/stream?{query}",
+                    timeout=30.0,
+                )
+            assert err.value.code == 400, query
+            assert json.load(err.value)["error"]["code"] == protocol.INVALID
+
+    def test_rollup_windows_over_http(self, edge):
+        with EdgeClient(edge.host, edge.port) as client:
+            for i in range(8):
+                assert client.read(60, ReadRequest.point(1, 42.0)).ok
+        deadline = time.monotonic() + 30.0
+        windows = []
+        while not windows and time.monotonic() < deadline:
+            time.sleep(0.2)
+            with urllib.request.urlopen(
+                f"http://{edge.host}:{edge.port}/v1/rollup"
+                "?metric=read.temperature_c&last=5",
+                timeout=30.0,
+            ) as response:
+                payload = json.load(response)
+            assert payload["ok"]
+            windows = payload["rollups"].get("read.temperature_c", [])
+        assert windows, "no sealed temperature windows appeared"
+        newest = windows[-1]
+        assert newest["count"] >= 1
+        assert newest["min"] <= newest["mean"] <= newest["max"]
+        assert set(newest) >= {"start", "end", "p50", "p99"}
+
+    def test_admin_status_reports_the_stream_plane(self, edge):
+        with AdminClient(edge.host, edge.port) as admin:
+            status = admin.status()["status"]
+        assert {"subscribers", "alerts", "rollup_series"} <= set(status["stream"])
+
+
+# ------------------------------------------------------ reshard survival
+
+
+class TestReshardSurvival:
+    def test_subscription_survives_a_live_scale(self, edge):
+        with EdgeClient(edge.host, edge.port) as streaming, \
+                EdgeClient(edge.host, edge.port) as reader, \
+                AdminClient(edge.host, edge.port) as admin:
+            receiver = streaming.subscribe(kinds=["read"])
+            assert reader.read(70, ReadRequest.point(0, 35.0)).ok
+            assert receiver.take(1)[0]["event"] == "read"
+            answer = admin.scale(3)
+            assert answer["ok"]
+            try:
+                assert reader.read(71, ReadRequest.point(0, 35.0)).ok
+                event = receiver.take(1)[0]
+                assert event["event"] == "read"
+                assert event["sub"] == receiver.subscription
+                receiver.unsubscribe()
+            finally:
+                admin.scale(2)
+
+
+# -------------------------------------------- cross-face bit-identity
+
+
+class TestDetectorBitIdentityAcrossFaces:
+    """The same reads through different wire faces decide identically."""
+
+    AMBIENTS = [40.0 + 4.0 * i for i in range(8)]
+
+    def _drive_ndjson(self, server, stack):
+        with EdgeClient(server.host, server.port, wire="ndjson") as client:
+            for ambient in self.AMBIENTS:
+                assert client.read(stack, ReadRequest.point(1, ambient)).ok
+
+    def _drive_binary(self, server, stack):
+        with EdgeClient(server.host, server.port, wire="binary") as client:
+            for ambient in self.AMBIENTS:
+                assert client.read(stack, ReadRequest.point(1, ambient)).ok
+
+    def _drive_http(self, server, stack):
+        for i, ambient in enumerate(self.AMBIENTS):
+            payload = json.dumps(
+                {
+                    "id": f"h{i}",
+                    "op": "read",
+                    "stack": stack,
+                    "request": protocol.request_to_wire(
+                        ReadRequest.point(1, ambient)
+                    ),
+                }
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                f"http://{server.host}:{server.port}/v1/read",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30.0) as response:
+                answer = json.load(response)
+            assert answer["ok"]
+
+    def test_alert_rounds_and_floats_match(self):
+        config = EdgeConfig(
+            shards=1,
+            tiers=TIERS,
+            root_seed=ROOT_SEED,
+            stream=StreamPolicy(detector=SENSITIVE),
+        )
+        alerts = {}
+        for face, drive in (
+            ("ndjson", self._drive_ndjson),
+            ("binary", self._drive_binary),
+            ("http", self._drive_http),
+        ):
+            server = EdgeServerThread(config).start()
+            try:
+                drive(server, stack=5)
+                fired = list(server.server.plane.detector.alerts)
+            finally:
+                server.stop(drain=True)
+            assert fired, f"no alert fired on the {face} face"
+            alerts[face] = fired
+
+        # Same decision, same round, same EWMA floats - bit for bit.
+        assert alerts["ndjson"] == alerts["binary"] == alerts["http"]
