@@ -397,6 +397,222 @@ def _edge_smoke_stream(edge, args) -> int:
     return 0
 
 
+def _fleet(args) -> int:
+    if args.bench:
+        return _fleet_bench(args)
+    if args.smoke:
+        return _fleet_smoke(args)
+    if not args.hosts:
+        print(
+            "fleet: pass --hosts name=host:port[@domain] ... to drive a "
+            "live fleet, or --smoke / --bench for a local one",
+            file=sys.stderr,
+        )
+        return 2
+    return _fleet_drive(args)
+
+
+def _fleet_drive(args) -> int:
+    """Loadgen mode: hedged reads against an already-running fleet."""
+    from repro.edge.protocol import EdgeError, RETRYABLE_CODES
+    from repro.fleet import (
+        FleetClient,
+        FleetDirectory,
+        FleetSupervisor,
+        HostSpec,
+        SupervisorPolicy,
+    )
+    from repro.serve.requests import ReadRequest
+
+    specs = tuple(HostSpec.parse(spec) for spec in args.hosts)
+    directory = FleetDirectory(
+        hosts=specs, shards=args.fleet_shards, replication=args.replication
+    )
+    print(
+        f"fleet: {len(specs)} host(s), {args.fleet_shards} fleet shard(s), "
+        f"replication {args.replication}"
+    )
+    for shard, replicas in sorted(directory.placement().items()):
+        print(
+            f"  shard {shard}: "
+            + ", ".join(
+                f"{name}@{directory.host(name).domain}" for name in replicas
+            )
+        )
+    fatal = 0
+    with FleetClient(directory, wire=args.wire) as client:
+        supervisor = FleetSupervisor(
+            client.router, SupervisorPolicy(interval_s=0.5), wire="ndjson"
+        )
+        states = supervisor.check_once()
+        print(
+            "health: "
+            + ", ".join(f"{name}={state}" for name, state in sorted(states.items()))
+        )
+        for i in range(args.requests):
+            request = ReadRequest.point(i % args.tiers, 30.0 + 5.0 * (i % 8))
+            try:
+                client.read(i % args.stacks, request)
+            except EdgeError as error:
+                if error.code not in RETRYABLE_CODES:
+                    fatal += 1
+        stats = client.stats()
+        print(
+            f"drove {args.requests} read(s): {stats['hedges']} hedge(s), "
+            f"{stats['hedge_wins']} hedge win(s), "
+            f"{stats['failovers']} failover(s), "
+            f"{fatal} non-retryable error(s)"
+        )
+        for name, summary in sorted(stats["hosts"].items()):
+            print(
+                f"  {name}: n={int(summary['count'])} "
+                f"p50 {summary['p50_ms']:.1f}ms p99 {summary['p99_ms']:.1f}ms"
+            )
+    return 0 if fatal == 0 else 1
+
+
+def _fleet_smoke(args) -> int:
+    """Boot a local fleet, kill one host mid-traffic, expect zero
+    non-retryable errors and bit-identical cross-replica answers."""
+    from repro.edge.client import EdgeClient
+    from repro.edge.protocol import EdgeError, RETRYABLE_CODES
+    from repro.fleet import (
+        FleetBenchConfig,
+        FleetClient,
+        FleetFaultPlan,
+        FleetSupervisor,
+        SupervisorPolicy,
+        build_fleet,
+    )
+    from repro.serve.requests import ReadRequest
+
+    config = FleetBenchConfig(
+        hosts=args.local,
+        shards_per_host=1,
+        fleet_shards=args.fleet_shards,
+        replication=args.replication,
+        tiers=args.tiers,
+        start_method=args.start_method,
+    )
+    servers, directory = build_fleet(config, FleetFaultPlan.empty())
+    try:
+        # Determinism probe: every replica of one stack, over both
+        # wires, must return the same readings bit for bit.  cache_hit
+        # is serving metadata (first read on a host misses), so it is
+        # excluded from the comparison; the physics — temperatures,
+        # deltas, modeled conversion time and energy — must match
+        # exactly.
+        probe_stack = 5
+        probe = ReadRequest.point(0, 45.0)
+        answers = set()
+        for spec in directory.replicas_for_stack(probe_stack):
+            for wire in ("ndjson", "binary"):
+                with EdgeClient(spec.host, spec.port, wire=wire) as probe_client:
+                    result = probe_client.read(probe_stack, probe)
+                answers.add(
+                    repr(
+                        tuple(
+                            (
+                                r.tier,
+                                r.temperature_c,
+                                r.dvtn,
+                                r.dvtp,
+                                r.converged,
+                                r.quality,
+                                r.conversion_time,
+                                r.energy_j,
+                            )
+                            for r in result.readings
+                        )
+                    )
+                )
+        if len(answers) != 1:
+            print(f"smoke determinism: FAILED ({answers})", file=sys.stderr)
+            return 1
+        replicas = len(directory.replicas_for_stack(probe_stack))
+        print(
+            f"smoke determinism: ok ({replicas} replica(s) x 2 wires, "
+            f"bit-identical readings)"
+        )
+        fatal = 0
+        victim = directory.replicas_for_stack(0)[0].name
+        kill_at = args.requests // 3
+        with FleetClient(directory) as client:
+            supervisor = FleetSupervisor(
+                client.router,
+                SupervisorPolicy(
+                    interval_s=0.2, timeout_s=2.0, degraded_after=1, dead_after=2
+                ),
+                wire="ndjson",
+            )
+            supervisor.start()
+            try:
+                for i in range(args.requests):
+                    if i == kill_at:
+                        index = int(victim.removeprefix("host"))
+                        servers[index].stop(drain=False)
+                        print(f"smoke chaos: killed {victim} mid-traffic")
+                    request = ReadRequest.point(
+                        i % args.tiers, 30.0 + 5.0 * (i % 8)
+                    )
+                    try:
+                        client.read(i % args.stacks, request)
+                    except EdgeError as error:
+                        if error.code not in RETRYABLE_CODES:
+                            fatal += 1
+            finally:
+                supervisor.stop()
+            stats = client.stats()
+            states = supervisor.states()
+        if fatal or states.get(victim) == "healthy":
+            print(
+                f"smoke chaos: FAILED ({fatal} non-retryable error(s), "
+                f"states {states})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"smoke chaos: ok ({args.requests} reads, "
+            f"{stats['failovers']} failover(s), {stats['hedges']} hedge(s), "
+            f"0 non-retryable errors; {victim} now {states[victim]})"
+        )
+        return 0
+    finally:
+        for server in servers:
+            server.stop()
+
+
+def _fleet_bench(args) -> int:
+    from repro.fleet import FleetBenchConfig, run_fleet_bench
+
+    config = FleetBenchConfig(
+        hosts=args.local,
+        fleet_shards=args.fleet_shards,
+        replication=args.replication,
+        tiers=args.tiers,
+        requests=args.requests,
+        stall_ms=args.stall_ms,
+        wire=args.wire,
+        start_method=args.start_method,
+    )
+    report = run_fleet_bench(config)
+    print(report.render())
+    errors = (
+        report.unhedged.non_retryable_errors + report.hedged.non_retryable_errors
+    )
+    if errors:
+        print(f"fleet bench: {errors} non-retryable error(s)", file=sys.stderr)
+        return 1
+    if args.gate is not None and report.p99_ratio > args.gate:
+        print(
+            f"fleet bench: hedged p99 ratio {report.p99_ratio:.2f} exceeds "
+            f"gate {args.gate:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _edge_bench(args) -> int:
     from repro.edge.bench import run_edge_bench
 
@@ -792,6 +1008,77 @@ def main(argv=None) -> int:
         default="spawn",
         help="worker process start method (default spawn)",
     )
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="federate several edge hosts: replicated shards, hedged "
+        "reads, failure-domain placement (see docs/fleet.md)",
+    )
+    fleet_parser.add_argument(
+        "--hosts",
+        nargs="+",
+        default=None,
+        metavar="NAME=HOST:PORT[@DOMAIN]",
+        help="drive an already-running fleet (loadgen mode)",
+    )
+    fleet_parser.add_argument(
+        "--local",
+        type=int,
+        default=3,
+        metavar="N",
+        help="local hosts booted by --smoke / --bench (default 3)",
+    )
+    fleet_parser.add_argument(
+        "--fleet-shards", type=int, default=4, help="fleet shard count (default 4)"
+    )
+    fleet_parser.add_argument(
+        "--replication", type=int, default=2, help="replicas per shard (default 2)"
+    )
+    fleet_parser.add_argument(
+        "--tiers", type=int, default=4, help="stack height per shard (default 4)"
+    )
+    fleet_parser.add_argument(
+        "--requests", type=int, default=240, help="reads to drive (default 240)"
+    )
+    fleet_parser.add_argument(
+        "--stacks", type=int, default=64, help="stack-id space (default 64)"
+    )
+    fleet_parser.add_argument(
+        "--stall-ms",
+        type=float,
+        default=50.0,
+        help="--bench: injected stall on the slow host (default 50)",
+    )
+    fleet_parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="--bench: fail when hedged p99 / unhedged p99 exceeds RATIO",
+    )
+    fleet_parser.add_argument(
+        "--wire",
+        choices=("ndjson", "binary"),
+        default="ndjson",
+        help="wire format for fleet reads (default ndjson)",
+    )
+    fleet_parser.add_argument(
+        "--start-method",
+        choices=("spawn", "fork", "forkserver"),
+        default="fork",
+        help="worker start method for local hosts (default fork)",
+    )
+    fleet_mode = fleet_parser.add_mutually_exclusive_group()
+    fleet_mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot a local fleet, kill one host mid-traffic, expect zero "
+        "non-retryable errors",
+    )
+    fleet_mode.add_argument(
+        "--bench",
+        action="store_true",
+        help="hedged vs unhedged p99 under one injected slow host",
+    )
     bench_parser = sub.add_parser(
         "bench", help="run the performance benchmarks (see repro.benchmark)"
     )
@@ -831,6 +1118,8 @@ def main(argv=None) -> int:
         return _edge(args)
     if args.command == "edge-bench":
         return _edge_bench(args)
+    if args.command == "fleet":
+        return _fleet(args)
     if args.command == "telemetry":
         if args.telemetry_command == "catalogue":
             return _telemetry_catalogue(args)

@@ -54,12 +54,16 @@ elastic control plane  ``AdminClient``, ``AutoscalePolicy``,
                        ``EdgeDeployment``
 streaming              ``StreamPolicy``, ``RunawayPolicy``,
                        ``StreamLoadgenConfig``, ``run_loadgen_stream``
+fleet federation       ``fleet`` (module), ``FleetClient``,
+                       ``FleetDirectory``, ``FleetSupervisor``,
+                       ``HedgePolicy``, ``HostSpec``, ``FleetFaultPlan``,
+                       ``run_fleet_bench``
 =====================  ==============================================
 """
 
 from __future__ import annotations
 
-from repro import edge, faults, serve, telemetry
+from repro import edge, faults, fleet, serve, telemetry
 from repro.batch.grid import EnvironmentGrid
 from repro.batch.paired import PairedReadings, read_paired
 from repro.batch.population import PopulationReadings, read_population
@@ -93,6 +97,15 @@ from repro.experiments.runner import (
     run_experiment,
 )
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.fleet import (
+    FleetClient,
+    FleetDirectory,
+    FleetFaultPlan,
+    FleetSupervisor,
+    HedgePolicy,
+    HostSpec,
+    run_fleet_bench,
+)
 from repro.network.aggregator import (
     MonitorSnapshot,
     ResiliencePolicy,
@@ -132,7 +145,13 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "FleetClient",
+    "FleetDirectory",
+    "FleetFaultPlan",
+    "FleetSupervisor",
     "HashRing",
+    "HedgePolicy",
+    "HostSpec",
     "LoadgenConfig",
     "LoadgenReport",
     "MonitorSnapshot",
@@ -160,11 +179,13 @@ __all__ = [
     "TsvSensorBus",
     "edge",
     "faults",
+    "fleet",
     "nominal_65nm",
     "read_paired",
     "read_population",
     "run_all",
     "run_experiment",
+    "run_fleet_bench",
     "run_loadgen",
     "run_loadgen_edge",
     "run_loadgen_stream",
@@ -378,6 +399,37 @@ __test__ = {
     True
     >>> report.peak_queue_depth <= report.queue
     True
+    """,
+    "fleet_federation": """
+    The fleet layer places replicated shards across failure domains
+    (never two replicas in one domain while domains allow) and hedges
+    slow reads against a secondary replica.  Placement is pure data —
+    rendezvous-hashed from host names, generation-stamped — so a whole
+    fleet's replica map is known before any socket opens, and the hedge
+    budget adapts per host from tracked latency windows.
+
+    >>> from repro.api import FleetDirectory, HedgePolicy, HostSpec
+    >>> hosts = tuple(
+    ...     HostSpec(name=f"host{i}", host="127.0.0.1", port=7000 + i,
+    ...              domain=f"rack{i % 2}")
+    ...     for i in range(3))
+    >>> directory = FleetDirectory(hosts=hosts, shards=4, replication=2)
+    >>> sorted(directory.placement()) == [0, 1, 2, 3]
+    True
+    >>> all(
+    ...     len({directory.host(n).domain for n in names}) == 2
+    ...     for names in directory.placement().values())
+    True
+    >>> directory.with_hosts(hosts[:2]).generation
+    1
+    >>> HostSpec.parse("edge9=10.0.0.9:7009@rack3").domain
+    'rack3'
+    >>> from repro.api import fleet
+    >>> tracker = fleet.LatencyTracker(window=64)
+    >>> for ms in range(1, 33):
+    ...     tracker.observe("host0", float(ms))
+    >>> tracker.budget_ms("host0", HedgePolicy(quantile=0.5, min_samples=8))
+    17.0
     """,
     "experiments": """
     Every reconstructed table/figure is an experiment module;

@@ -351,6 +351,27 @@ def bench_stream_fanout(subscribers: int = 10_000, events: int = 50) -> float:
     return _time(loop, repeats=1)
 
 
+def bench_fleet_hedged() -> float:
+    """The 3-host hedged-vs-unhedged fleet measurement, end to end.
+
+    Boots three real localhost edge servers (spawned workers, real
+    sockets), stalls the busiest primary by 50 ms, and drives the
+    deterministic 240-request stream through both arms.  The p99 *ratio*
+    is gated by ``benchmarks/bench_fleet.py``; this entry pins the
+    wall-clock cost of the whole measurement — dominated by server boot,
+    per-replica warm-up and the unhedged arm eating the stall — so a
+    regression here means fleet boot or the read path itself got slower.
+    """
+    from repro.fleet import FleetBenchConfig, run_fleet_bench
+
+    def loop():
+        report = run_fleet_bench(FleetBenchConfig())
+        if report.hedged.non_retryable_errors or report.unhedged.non_retryable_errors:
+            raise RuntimeError(f"fleet bench errored:\n{report.render()}")
+
+    return _time(loop, repeats=1)
+
+
 BENCHMARKS: Dict[str, Callable[[], float]] = {
     "population_sweep_scalar_50x9": bench_population_sweep_scalar,
     "population_sweep_batch_200x9": bench_population_sweep_batch,
@@ -365,6 +386,7 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "edge_wire_codec_2k": bench_wire_codec,
     "edge_reshard_2to4": bench_edge_reshard,
     "stream_fanout_10k": bench_stream_fanout,
+    "fleet_hedged_3host": bench_fleet_hedged,
 }
 
 

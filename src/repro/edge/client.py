@@ -25,7 +25,7 @@ import itertools
 import socket
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.edge import protocol
 from repro.edge.protocol import EdgeError, EdgeResult
@@ -484,11 +484,16 @@ class AsyncEdgeClient:
         port: int,
         retry: RetryPolicy = RetryPolicy(),
         wire: str = "ndjson",
+        resolve: Optional[Callable[[], Tuple[str, int]]] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.retry = retry
         self.wire = _check_wire(wire)
+        #: Re-queried before every (re)connect, so a retry can follow the
+        #: target when it moves — fleet failover points this at the
+        #: router instead of burning the retry budget on a dead host.
+        self.resolve = resolve
         self._ids = itertools.count(1)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -502,6 +507,8 @@ class AsyncEdgeClient:
         return n if self.wire == "binary" else f"a{n}"
 
     async def connect(self) -> "AsyncEdgeClient":
+        if self.resolve is not None:
+            self.host, self.port = self.resolve()
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
@@ -567,6 +574,17 @@ class AsyncEdgeClient:
         except Exception:  # noqa: BLE001 - connection-level failure
             pass
         finally:
+            # Tear the dead connection down *here*, not lazily: the next
+            # ``_exchange`` must see ``_writer is None`` and reconnect
+            # (re-resolving the address) rather than write into a socket
+            # the server already closed.
+            writer, self._writer = self._writer, None
+            self._reader = None
+            if writer is not None:
+                try:
+                    writer.close()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
             self._fail_pending(
                 EdgeError(protocol.SHARD_DOWN, "connection closed by server")
             )
@@ -623,6 +641,12 @@ class AsyncEdgeClient:
                 last_error = error
                 if not error.retryable:
                     raise
+                continue
+            except OSError as error:
+                # Connect/write failure (host down, connection refused):
+                # retryable, and the next attempt re-resolves the target.
+                self._pending.pop(payload["id"], None)
+                last_error = EdgeError(protocol.SHARD_DOWN, str(error))
                 continue
             if answer.get("ok"):
                 return protocol.wire_to_edge_result(answer, attempts=attempt + 1)

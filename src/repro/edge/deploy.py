@@ -88,6 +88,7 @@ class EdgeDeployment:
     max_line_bytes: int = protocol.MAX_LINE_BYTES
     idle_timeout_s: float = 300.0
     status_cache_s: float = 0.0
+    stall_ms: float = 0.0
     start_method: str = "spawn"
     health_interval_s: float = 1.0
     health_timeout_s: float = 5.0

@@ -330,6 +330,9 @@ class EdgeResult:
     (readings are real :class:`TierReading` instances; JSON's
     shortest-round-trip floats make the values bit-identical to the
     shard's), plus the answering shard and the client-side attempt count.
+    Fleet clients additionally stamp ``hedged`` (this answer raced a
+    hedge) and ``host`` (the replica that won); both wires leave the
+    defaults for single-host reads.
     """
 
     id: str
@@ -341,6 +344,8 @@ class EdgeResult:
     error: Optional[str]
     latency_ms: float
     attempts: int = 1
+    hedged: bool = False
+    host: Optional[str] = None
 
     @property
     def ok(self) -> bool:

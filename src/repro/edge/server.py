@@ -52,7 +52,7 @@ from repro.edge.autoscale import Autoscaler
 from repro.edge.deploy import EdgeDeployment
 from repro.edge.protocol import EdgeError
 from repro.edge.stream import StreamPlane, StreamPolicy, clamp_queue, format_sse
-from repro.edge.supervisor import ShardPool
+from repro.edge.supervisor import ShardPool, ShardState
 from repro.edge.worker import WorkerConfig
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.scheduler import BatchPolicy
@@ -117,6 +117,9 @@ class EdgeConfig:
         status_cache_s: Serve ``/healthz`` and ``/metrics`` from a
             cached render no older than this (``0``, the default,
             renders fresh per request).
+        stall_ms: Artificial delay added to every read answer (fault
+            injection for fleet/hedging tests — a deterministic "slow
+            host"; ``0`` disables it).
         start_method: Multiprocessing start method of the workers
             (``spawn`` is the safe default; ``fork`` starts faster).
         health_interval_s / health_timeout_s / respawn_backoff_s:
@@ -158,6 +161,7 @@ class EdgeConfig:
     max_line_bytes: int = protocol.MAX_LINE_BYTES
     idle_timeout_s: float = 300.0
     status_cache_s: float = 0.0
+    stall_ms: float = 0.0
     start_method: str = "spawn"
     health_interval_s: float = 1.0
     health_timeout_s: float = 5.0
@@ -186,6 +190,8 @@ class EdgeConfig:
             raise ValueError("idle_timeout_s must be non-negative")
         if self.status_cache_s < 0.0:
             raise ValueError("status_cache_s must be non-negative")
+        if self.stall_ms < 0.0:
+            raise ValueError("stall_ms must be non-negative")
 
     def worker_configs(self) -> Tuple[WorkerConfig, ...]:
         """Deprecated: build configs through :class:`EdgeDeployment`.
@@ -205,14 +211,25 @@ class EdgeConfig:
         return EdgeDeployment.from_edge_config(self).worker_configs()
 
 
-def metrics_text(registry=None) -> str:
+def metrics_text(
+    registry=None,
+    labelled: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> str:
     """The telemetry registry in Prometheus exposition text format.
 
     Dotted metric names become underscore-joined with a ``repro_``
     prefix; histograms export ``_count`` / ``_sum`` plus min/max gauges.
+
+    ``labelled`` maps a dotted metric name to ``{label_expr: value}``
+    children (e.g. ``{"edge.shards": {'state="healthy"': 4}}``); each
+    child renders as ``name{label_expr} value`` grouped under its
+    family, right after the aggregate sample.  The registry itself
+    stays label-free — labelled breakdowns are computed at render time
+    from live state (shard lifecycle, fleet membership).
     """
     if registry is None:
         registry = telemetry.get().registry
+    labelled = labelled or {}
     lines = []
     for record in registry.snapshot():
         name = "repro_" + record["name"].replace(".", "_")
@@ -229,6 +246,8 @@ def metrics_text(registry=None) -> str:
         value = record["value"]
         lines.append(f"# TYPE {name} {prom_kind}")
         lines.append(f"{name} {0 if value is None else value}")
+        for label_expr, child_value in labelled.get(record["name"], {}).items():
+            lines.append(f"{name}{{{label_expr}}} {child_value}")
     return "\n".join(lines) + "\n"
 
 
@@ -895,6 +914,10 @@ class EdgeServer:
         _REQUESTS.inc()
         loop = asyncio.get_running_loop()
         started = loop.time()
+        if self.config.stall_ms > 0.0:
+            # Injected slow-host fault: every answer sits out the stall,
+            # so a hedging fleet client sees a fat per-host tail.
+            await asyncio.sleep(self.config.stall_ms / 1e3)
         stack_id = payload.get("stack", 0)
         if not isinstance(stack_id, int):
             _ERRORS.inc()
@@ -1080,7 +1103,7 @@ class EdgeServer:
         if method == "GET" and path == "/v1/stream":
             # The SSE response has no length; it owns the connection
             # until the stream ends, so this exchange is the last.
-            await self._http_stream(writer, target)
+            await self._http_stream(writer, target, headers)
             return True
         if method == "GET" and path == "/v1/rollup":
             await self._http_rollup(writer, target, keep_alive)
@@ -1132,7 +1155,12 @@ class EdgeServer:
             status = protocol.HTTP_STATUS.get(answer["error"]["code"], 500)
         await self._http_respond(writer, status, answer, keep_alive)
 
-    async def _http_stream(self, writer, target: str) -> None:
+    async def _http_stream(
+        self,
+        writer,
+        target: str,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """``GET /v1/stream`` — the SSE face of the subscription plane.
 
         Query parameters: ``metrics`` (comma-separated name prefixes),
@@ -1142,6 +1170,13 @@ class EdgeServer:
         away).  The response is ``text/event-stream`` with no
         Content-Length and ``Connection: close``: the stream *is* the
         rest of the connection.
+
+        A reconnect carrying ``Last-Event-ID`` (the standard SSE resume
+        header; our ids are the hub sequence numbers) replays retained
+        events past that id from the hub's replay ring before going
+        live; history that fell off the ring is announced with a typed
+        ``notice`` event (``code: "gap"``) instead of being skipped
+        silently.  Non-integer ids are ignored (fresh stream).
         """
         query = parse_qs(urlsplit(target).query)
 
@@ -1174,6 +1209,13 @@ class EdgeServer:
             queue=queue,
             notify=lambda: loop.call_soon_threadsafe(flag.set),
         )
+        last_event_id: Optional[int] = None
+        raw_last = (headers or {}).get("last-event-id", "").strip()
+        if raw_last:
+            try:
+                last_event_id = int(raw_last)
+            except ValueError:
+                last_event_id = None
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: text/event-stream\r\n"
@@ -1181,10 +1223,44 @@ class EdgeServer:
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
         sent = 0
+        replayed_max = 0
         try:
             writer.write(head)
             _BYTES_OUT.inc(len(head))
             await writer.drain()
+            if last_event_id is not None:
+                # Subscribe-then-replay: the subscription was registered
+                # above, so anything published from here on is queued —
+                # the replay covers the disconnect window and the live
+                # loop drops the overlap by sequence number.
+                events, gap = self.plane.hub.replay_since(
+                    last_event_id, sub.matches
+                )
+                if gap:
+                    blob = format_sse(
+                        {
+                            "event": "notice",
+                            "sub": sub.id,
+                            "code": "gap",
+                            "resume": last_event_id,
+                        }
+                    )
+                    writer.write(blob)
+                    _BYTES_OUT.inc(len(blob))
+                for event in events:
+                    record = event.to_wire()
+                    record["sub"] = sub.id
+                    record["replay"] = True
+                    blob = format_sse(record)
+                    writer.write(blob)
+                    _BYTES_OUT.inc(len(blob))
+                    replayed_max = event.seq
+                    sent += 1
+                    if limit and sent >= limit:
+                        break
+                await writer.drain()
+                if limit and sent >= limit:
+                    return
             while not (self._closing or sub.closed):
                 try:
                     await asyncio.wait_for(flag.wait(), timeout=heartbeat_s)
@@ -1196,6 +1272,8 @@ class EdgeServer:
                     await writer.drain()
                     continue
                 for event in sub.poll():
+                    if event.seq <= replayed_max:
+                        continue  # already sent during the resume replay
                     record = event.to_wire()
                     record["sub"] = sub.id
                     blob = format_sse(record)
@@ -1260,7 +1338,18 @@ class EdgeServer:
         else:
             status = 200
             content_type = "text/plain; version=0.0.4"
-            blob = metrics_text().encode("utf-8")
+            # Per-state shard breakdown, every lifecycle state present
+            # (zeroes included) so scrapers see a stable label set and a
+            # fleet health check can tell draining from quarantined.
+            by_state = {state.value: 0 for state in ShardState}
+            for entry in self.pool.health():
+                by_state[entry["state"]] = by_state.get(entry["state"], 0) + 1
+            labelled = {
+                "edge.shards": {
+                    f'state="{state}"': count for state, count in by_state.items()
+                }
+            }
+            blob = metrics_text(labelled=labelled).encode("utf-8")
         if self.config.status_cache_s > 0.0:
             self._status_cache[target] = (now, status, content_type, blob)
         return status, content_type, blob

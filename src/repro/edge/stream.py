@@ -54,6 +54,9 @@ class StreamPolicy:
             quiet stream from a dead connection.
         queue: Default per-subscriber queue bound (events); clients may
             ask for more, capped at :data:`MAX_SUBSCRIBER_QUEUE`.
+        replay: Events retained in the hub's replay ring, the window an
+            SSE reconnect with ``Last-Event-ID`` can resume across
+            without a gap notice (``0`` disables resume).
         rollup: Window width / ring depth of the rollup table.
         detector: Early-warning thresholds (see
             :class:`~repro.telemetry.runaway.RunawayPolicy`).
@@ -62,6 +65,7 @@ class StreamPolicy:
     sample_s: float = 0.25
     heartbeat_s: float = 5.0
     queue: int = DEFAULT_QUEUE
+    replay: int = 1024
     rollup: RollupPolicy = field(default_factory=RollupPolicy)
     detector: RunawayPolicy = field(default_factory=RunawayPolicy)
 
@@ -73,6 +77,8 @@ class StreamPolicy:
         if not 1 <= self.queue <= MAX_SUBSCRIBER_QUEUE:
             raise ValueError(
                 f"queue must lie in [1, {MAX_SUBSCRIBER_QUEUE}], got {self.queue}")
+        if self.replay < 0:
+            raise ValueError(f"replay must be >= 0, got {self.replay}")
 
 
 class StreamPlane:
@@ -80,7 +86,7 @@ class StreamPlane:
 
     def __init__(self, policy: Optional[StreamPolicy] = None) -> None:
         self.policy = policy if policy is not None else StreamPolicy()
-        self.hub = StreamHub()
+        self.hub = StreamHub(replay=self.policy.replay)
         self.rollups = RollupTable(self.policy.rollup)
         self.detector = RunawayDetector(self.policy.detector, hub=self.hub)
         self._rounds: Dict[int, int] = {}

@@ -1,0 +1,351 @@
+"""The distributed wall-clock benchmark: hedged vs unhedged tail latency.
+
+This is the real-processes fleet measurement PR 5 deferred: several
+:class:`~repro.edge.server.EdgeServerThread` hosts on localhost (each a
+full edge deployment with spawned shard workers and real sockets), one
+of them made a tail-latency hazard by an injected
+:class:`~repro.fleet.faults.FleetFaultPlan` stall, and a
+:class:`~repro.fleet.client.FleetClient` driving the same deterministic
+request stream twice — hedging disabled, then enabled.  The number that
+matters is the client-observed p99 ratio: with one slow host out of
+three and replication 2, roughly a third of reads have the slow host as
+primary, and a hedged client should clip almost all of that tail.
+
+``benchmarks/bench_fleet.py`` gates the ratio in CI;
+``python -m repro fleet`` exposes the same run on the command line.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.edge.bench import _request_stream
+from repro.edge.client import RetryPolicy
+from repro.edge.protocol import EdgeError, ReadRequest, RETRYABLE_CODES
+from repro.edge.server import EdgeConfig, EdgeServerThread
+from repro.fleet.client import FleetClient
+from repro.fleet.directory import FleetDirectory, HostSpec
+from repro.fleet.faults import FleetFaultPlan
+from repro.fleet.hedge import HedgePolicy
+
+
+@dataclass(frozen=True)
+class FleetBenchConfig:
+    """One fleet benchmark run, fully specified."""
+
+    # One shard per host and a sequential driver by default: the bench
+    # measures *host-level* tail (an injected stall sleeps without
+    # consuming CPU, so the hedge still overlaps it), and on small CI
+    # boxes extra client threads and worker processes only add scheduler
+    # noise that lands in both arms' p99.
+    hosts: int = 3
+    shards_per_host: int = 1
+    fleet_shards: int = 4
+    replication: int = 2
+    tiers: int = 4
+    root_seed: int = 2012
+    requests: int = 240
+    clients: int = 1
+    stacks: int = 64
+    stall_ms: float = 50.0
+    slow_host: Optional[int] = None
+    wire: str = "ndjson"
+    start_method: str = "fork"
+    # Uniform-cost point reads by default: scan/poll requests cost
+    # several times a point read even warm, and a per-host hedge budget
+    # cannot tell "heavy request" from "slow host" — the tail this
+    # bench isolates.  Mixed kinds remain available for soak runs.
+    mixed_kinds: bool = False
+    # Bench hedging is tuned for small sample windows: p90 instead of
+    # p99 (a ~30-sample window's p99 is just its max, so one queueing
+    # outlier would inflate the budget past the injected stall), and a
+    # 40 ms ceiling so the hedge always fires before a >= 50 ms stall
+    # resolves on its own.
+    hedge: HedgePolicy = field(
+        default_factory=lambda: HedgePolicy(
+            quantile=0.9,
+            initial_budget_ms=10.0,
+            min_budget_ms=2.0,
+            max_budget_ms=40.0,
+            min_samples=8,
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.hosts < 2:
+            raise ValueError("a fleet bench needs >= 2 hosts")
+        if self.slow_host is not None and not 0 <= self.slow_host < self.hosts:
+            raise ValueError("slow_host must name one of the hosts")
+
+    def host_names(self) -> List[str]:
+        return [f"host{i}" for i in range(self.hosts)]
+
+    def dry_directory(self) -> FleetDirectory:
+        """The placement this bench will run (addresses not yet known).
+
+        Placement depends only on host names and shard count, so the
+        replica map — and with it the most loaded primary, the natural
+        stall target — is known before any server starts.
+        """
+        return FleetDirectory(
+            hosts=tuple(
+                HostSpec(
+                    name=name,
+                    host="127.0.0.1",
+                    port=1,
+                    domain=f"domain-{index}",
+                )
+                for index, name in enumerate(self.host_names())
+            ),
+            shards=self.fleet_shards,
+            replication=self.replication,
+        )
+
+    def pick_slow_host(self) -> str:
+        """The host the default fault plan stalls.
+
+        ``slow_host`` when set; otherwise the host that is primary for
+        the most stack ids — a stall nobody routes to would measure
+        nothing.
+        """
+        if self.slow_host is not None:
+            return f"host{self.slow_host}"
+        directory = self.dry_directory()
+        counts: Dict[str, int] = {}
+        for stack in range(self.stacks):
+            name = directory.replicas_for_stack(stack)[0].name
+            counts[name] = counts.get(name, 0) + 1
+        return max(sorted(counts), key=lambda name: counts[name])
+
+
+@dataclass(frozen=True)
+class FleetArmResult:
+    """One arm (hedged or unhedged) of the benchmark."""
+
+    label: str
+    requests: int
+    ok: int
+    retried: int
+    hedges: int
+    hedge_wins: int
+    p50_ms: float
+    p99_ms: float
+    duration_s: float
+    non_retryable_errors: int
+
+
+@dataclass(frozen=True)
+class FleetBenchReport:
+    """Both arms plus the ratio the CI gate pins."""
+
+    config_note: str
+    unhedged: FleetArmResult
+    hedged: FleetArmResult
+
+    @property
+    def p99_ratio(self) -> float:
+        """hedged p99 / unhedged p99 (lower is better)."""
+        if self.unhedged.p99_ms <= 0.0:
+            return 1.0
+        return self.hedged.p99_ms / self.unhedged.p99_ms
+
+    def render(self) -> str:
+        lines = [
+            f"fleet bench ({self.config_note}):",
+            "  arm       requests    ok  hedges  wins   p50      p99      errors",
+        ]
+        for arm in (self.unhedged, self.hedged):
+            lines.append(
+                f"  {arm.label:<9} {arm.requests:>7} {arm.ok:>5} "
+                f"{arm.hedges:>7} {arm.hedge_wins:>5} "
+                f"{arm.p50_ms:>7.1f}ms {arm.p99_ms:>7.1f}ms "
+                f"{arm.non_retryable_errors:>6}"
+            )
+        lines.append(
+            f"  hedged p99 is {self.p99_ratio:.2f}x unhedged "
+            f"({100.0 * (1.0 - self.p99_ratio):.0f}% tail reduction)"
+        )
+        return "\n".join(lines)
+
+
+def _fleet_stream(config: FleetBenchConfig) -> List[ReadRequest]:
+    """The deterministic request list one arm replays."""
+    if config.mixed_kinds:
+        return _request_stream(config.tiers, config.requests)
+    setpoints = (25.0, 35.0, 45.0, 55.0, 65.0, 75.0)
+    return [
+        ReadRequest.point(i % config.tiers, setpoints[i % len(setpoints)])
+        for i in range(config.requests)
+    ]
+
+
+def _quantile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def build_fleet(
+    config: FleetBenchConfig, plan: Optional[FleetFaultPlan] = None
+) -> Tuple[List[EdgeServerThread], FleetDirectory]:
+    """Start ``config.hosts`` identical localhost edge servers.
+
+    Every host runs the same deterministic deployment (same
+    ``root_seed``/shards/tiers), so any host serves any stack
+    bit-identically; ``plan`` stalls apply per host.  Each host is
+    declared in its own failure domain.  Callers own the shutdown.
+    """
+    plan = plan if plan is not None else FleetFaultPlan.empty()
+    servers: List[EdgeServerThread] = []
+    specs: List[HostSpec] = []
+    try:
+        for index in range(config.hosts):
+            name = f"host{index}"
+            edge_config = EdgeConfig(
+                port=0,
+                shards=config.shards_per_host,
+                tiers=config.tiers,
+                root_seed=config.root_seed,
+                start_method=config.start_method,
+                stall_ms=plan.stall_for(name),
+            )
+            server = EdgeServerThread(edge_config)
+            server.start()
+            servers.append(server)
+            specs.append(
+                HostSpec(
+                    name=name,
+                    host=server.host,
+                    port=server.port,
+                    domain=f"domain-{index}",
+                )
+            )
+    except BaseException:
+        for server in servers:
+            server.stop()
+        raise
+    directory = FleetDirectory(
+        hosts=tuple(specs),
+        shards=config.fleet_shards,
+        replication=config.replication,
+    )
+    return servers, directory
+
+
+def _drive(
+    client: FleetClient, config: FleetBenchConfig, label: str
+) -> FleetArmResult:
+    stream = _fleet_stream(config)
+    # Untimed warm-up, two passes.  The first primes every (stack,
+    # request) pair on EVERY replica via :meth:`FleetClient.warm`: a
+    # stack's first read on a host pays tens of milliseconds of
+    # conversion — real, but not the tail under test — and a hedge only
+    # helps when the secondary it lands on is already warm.  warm()
+    # keeps those cold latencies out of the tracker; the second pass
+    # runs normal reads so budgets are seeded from steady state.
+    for index, request in enumerate(stream):
+        client.warm(index % config.stacks, request)
+    client.tracker.reset()
+    for stack in range(config.stacks):
+        try:
+            client.read(stack, stream[stack % len(stream)])
+        except EdgeError:
+            pass
+    warm = client.stats()
+    latencies: List[float] = []
+    counters = {"ok": 0, "retried": 0, "fatal": 0}
+    lock = threading.Lock()
+
+    def worker(offset: int) -> None:
+        local_lat: List[float] = []
+        ok = retried = fatal = 0
+        for i in range(offset, len(stream), config.clients):
+            started = time.perf_counter()
+            try:
+                result = client.read(i % config.stacks, stream[i])
+            except EdgeError as error:
+                if error.code not in RETRYABLE_CODES:
+                    fatal += 1
+                continue
+            local_lat.append((time.perf_counter() - started) * 1e3)
+            if result.ok:
+                ok += 1
+            if result.attempts > 1:
+                retried += 1
+        with lock:
+            latencies.extend(local_lat)
+            counters["ok"] += ok
+            counters["retried"] += retried
+            counters["fatal"] += fatal
+
+    threads = [
+        threading.Thread(target=worker, args=(offset,), daemon=True)
+        for offset in range(config.clients)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.monotonic() - started
+    stats = client.stats()
+    return FleetArmResult(
+        label=label,
+        requests=config.requests,
+        ok=counters["ok"],
+        retried=counters["retried"],
+        hedges=int(stats["hedges"]) - int(warm["hedges"]),
+        hedge_wins=int(stats["hedge_wins"]) - int(warm["hedge_wins"]),
+        p50_ms=_quantile(latencies, 0.50),
+        p99_ms=_quantile(latencies, 0.99),
+        duration_s=duration,
+        non_retryable_errors=counters["fatal"],
+    )
+
+
+def run_fleet_bench(
+    config: FleetBenchConfig = FleetBenchConfig(),
+    plan: Optional[FleetFaultPlan] = None,
+) -> FleetBenchReport:
+    """Measure hedged vs unhedged client p99 under one slow host.
+
+    The default ``plan`` stalls ``config.slow_host`` by
+    ``config.stall_ms`` — the injected tail the hedge must clip.  Both
+    arms run the identical request stream against the same live fleet.
+    """
+    if plan is None:
+        plan = FleetFaultPlan.slow_host(
+            config.pick_slow_host(), stall_ms=config.stall_ms
+        )
+    servers, directory = build_fleet(config, plan)
+    try:
+        arms: Dict[str, FleetArmResult] = {}
+        for label, enabled in (("unhedged", False), ("hedged", True)):
+            hedge = (
+                config.hedge
+                if enabled
+                else HedgePolicy(enabled=False)
+            )
+            with FleetClient(
+                directory,
+                wire=config.wire,
+                hedge=hedge,
+                retry=RetryPolicy(attempts=3, backoff_s=0.01),
+            ) as client:
+                arms[label] = _drive(client, config, label)
+    finally:
+        for server in servers:
+            server.stop()
+    note = (
+        f"{config.hosts} hosts x {config.shards_per_host} shards, "
+        f"replication {config.replication}, {plan.describe()}, "
+        f"wire {config.wire}"
+    )
+    return FleetBenchReport(
+        config_note=note, unhedged=arms["unhedged"], hedged=arms["hedged"]
+    )

@@ -1,0 +1,278 @@
+"""Fleet membership and placement: who serves which shard, and where.
+
+A fleet federates several :class:`~repro.edge.server.EdgeServer` hosts
+behind one client surface.  Every host runs the *same* deterministic
+deployment (same ``root_seed``, shard count and tiers), so any host can
+serve any stack bit-identically — replication costs placement
+bookkeeping, not data movement.  The :class:`FleetDirectory` owns that
+bookkeeping:
+
+* **Shard → replica set.**  The stack-id space is partitioned into
+  ``shards`` fleet shards by the same consistent
+  :class:`~repro.edge.sharding.HashRing` the edge pool uses internally;
+  each fleet shard is assigned an ordered replica set of hosts
+  (primary first).
+* **Per-tier replication factor.**  Hosts and shards carry a service
+  tier label (``"standard"`` by default); the replication factor is a
+  per-tier map, so a ``"hot"`` tier can run 3 replicas while bulk
+  traffic runs 2.
+* **Failure-domain-aware placement.**  Each host declares a failure
+  domain (rack, zone, machine).  Placement walks hosts in rendezvous
+  order (highest-random-weight over the same SHA-256 ring points the
+  hash ring uses) and skips hosts whose domain is already represented
+  in the shard's replica set; only when there are fewer domains than
+  replicas does it relax and reuse a domain.  No two replicas of a
+  shard share a domain unless the fleet is too small for that to be
+  possible.
+* **Generations.**  Directories are immutable and generation-stamped,
+  exactly like the edge's topology rings: membership changes produce a
+  *new* directory at ``generation + 1`` (:meth:`with_hosts`,
+  :meth:`without`), so routers and supervisors can tell a stale
+  placement from the live one.
+
+Rendezvous hashing keeps rebalancing minimal: when a host leaves, only
+the shards it served move, and they move to the next host in their
+existing preference order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.edge.sharding import HashRing, _ring_point
+
+#: The service tier hosts and shards default to.
+DEFAULT_TIER = "standard"
+
+#: Default replication factor per service tier.
+DEFAULT_REPLICATION: Mapping[str, int] = {DEFAULT_TIER: 2}
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One fleet member: an edge server address plus placement metadata.
+
+    Attributes:
+        name: Stable identity of the host in the fleet (placement and
+            health are keyed on it; addresses may change behind it).
+        host / port: Where the edge server listens.
+        domain: Declared failure domain (rack, zone, box).  Placement
+            avoids putting two replicas of a shard in one domain.
+        tier: Service tier label; selects the replication factor.
+        admin_token: Token the supervisor presents to this host's
+            ``admin.*`` plane (``None`` for open loopback hosts).
+    """
+
+    name: str
+    host: str
+    port: int
+    domain: str = "default"
+    tier: str = DEFAULT_TIER
+    admin_token: Optional[str] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    @classmethod
+    def parse(cls, spec: str) -> "HostSpec":
+        """Build a host from ``name=host:port[@domain]`` (CLI form).
+
+        ``host:port`` alone names the host after its address.
+        """
+        body = spec
+        name = None
+        if "=" in body:
+            name, body = body.split("=", 1)
+        domain = "default"
+        if "@" in body:
+            body, domain = body.rsplit("@", 1)
+        if ":" not in body:
+            raise ValueError(f"host spec {spec!r} needs host:port")
+        host, port_text = body.rsplit(":", 1)
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"host spec {spec!r} has a non-integer port")
+        return cls(name=name or body, host=host, port=port, domain=domain)
+
+
+def _rendezvous_order(shard: int, hosts: Sequence[HostSpec]) -> List[HostSpec]:
+    """Hosts in preference order for one shard (highest weight first).
+
+    Deterministic in (shard, host names) and independent of the order
+    hosts were declared in, so every router computes the same placement.
+    """
+    return sorted(
+        hosts,
+        key=lambda h: _ring_point(f"fleet:{h.name}:shard-{shard}"),
+        reverse=True,
+    )
+
+
+@dataclass(frozen=True)
+class FleetDirectory:
+    """The immutable placement map of one fleet generation.
+
+    Attributes:
+        hosts: Fleet members (order does not affect placement).
+        shards: Fleet shard count — the granularity at which the
+            stack-id space is partitioned and replicated.
+        replication: Service tier → replica count.  A plain int is
+            accepted and applied to every tier.
+        shard_tiers: Optional shard index → tier override (defaults to
+            ``"standard"`` for every shard).
+        generation: Stamp of this placement; membership changes mint
+            ``generation + 1`` directories.
+    """
+
+    hosts: Tuple[HostSpec, ...]
+    shards: int = 2
+    replication: Union[int, Mapping[str, int]] = field(
+        default_factory=lambda: dict(DEFAULT_REPLICATION)
+    )
+    shard_tiers: Optional[Mapping[int, str]] = None
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hosts", tuple(self.hosts))
+        if not self.hosts:
+            raise ValueError("a fleet needs at least one host")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        names = [h.name for h in self.hosts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate host names: {sorted(names)}")
+        if isinstance(self.replication, int):
+            object.__setattr__(
+                self, "replication", {DEFAULT_TIER: self.replication}
+            )
+        for tier, factor in self.replication.items():
+            if factor < 1:
+                raise ValueError(f"replication[{tier!r}] must be >= 1")
+            if factor > len(self.hosts):
+                raise ValueError(
+                    f"replication[{tier!r}]={factor} exceeds the "
+                    f"{len(self.hosts)}-host fleet"
+                )
+        object.__setattr__(
+            self,
+            "_ring",
+            HashRing(range(self.shards), generation=self.generation),
+        )
+        object.__setattr__(self, "_placement", self._place())
+        object.__setattr__(
+            self, "_by_name", {h.name: h for h in self.hosts}
+        )
+
+    # ----------------------------------------------------------- placement
+
+    def tier_of(self, shard: int) -> str:
+        """The service tier of one fleet shard."""
+        if self.shard_tiers is not None and shard in self.shard_tiers:
+            return self.shard_tiers[shard]
+        return DEFAULT_TIER
+
+    def replication_for(self, shard: int) -> int:
+        """The replica count shard ``shard`` is placed at."""
+        tier = self.tier_of(shard)
+        factors = self.replication
+        return factors.get(tier, factors.get(DEFAULT_TIER, 1))
+
+    def _place(self) -> Dict[int, Tuple[HostSpec, ...]]:
+        placement: Dict[int, Tuple[HostSpec, ...]] = {}
+        for shard in range(self.shards):
+            want = self.replication_for(shard)
+            order = _rendezvous_order(shard, self.hosts)
+            chosen: List[HostSpec] = []
+            used_domains: set = set()
+            for candidate in order:
+                if len(chosen) >= want:
+                    break
+                if candidate.domain in used_domains:
+                    continue
+                chosen.append(candidate)
+                used_domains.add(candidate.domain)
+            if len(chosen) < want:
+                # Fewer failure domains than replicas: relax the domain
+                # constraint rather than under-replicate.
+                for candidate in order:
+                    if len(chosen) >= want:
+                        break
+                    if candidate not in chosen:
+                        chosen.append(candidate)
+            placement[shard] = tuple(chosen)
+        return placement
+
+    def placement(self) -> Dict[int, Tuple[str, ...]]:
+        """Shard → ordered replica host names (primary first)."""
+        return {
+            shard: tuple(h.name for h in replicas)
+            for shard, replicas in self._placement.items()
+        }
+
+    def replicas(self, shard: int) -> Tuple[HostSpec, ...]:
+        """The ordered replica set of one fleet shard (primary first)."""
+        try:
+            return self._placement[shard]
+        except KeyError:
+            raise ValueError(
+                f"shard {shard} outside this {self.shards}-shard fleet"
+            )
+
+    def route(self, stack_id: int) -> int:
+        """The fleet shard owning ``stack_id`` (consistent hashing)."""
+        return self._ring.route(stack_id)
+
+    def replicas_for_stack(self, stack_id: int) -> Tuple[HostSpec, ...]:
+        """The ordered replica set serving one stack id."""
+        return self.replicas(self.route(stack_id))
+
+    def host(self, name: str) -> HostSpec:
+        """Look a member up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValueError(f"no host named {name!r} in the fleet")
+
+    # ---------------------------------------------------------- membership
+
+    def with_hosts(self, hosts: Sequence[HostSpec]) -> "FleetDirectory":
+        """A successor directory over ``hosts`` at ``generation + 1``."""
+        return replace(
+            self, hosts=tuple(hosts), generation=self.generation + 1
+        )
+
+    def without(self, name: str) -> "FleetDirectory":
+        """A successor directory with host ``name`` removed."""
+        remaining = tuple(h for h in self.hosts if h.name != name)
+        if len(remaining) == len(self.hosts):
+            raise ValueError(f"no host named {name!r} in the fleet")
+        return self.with_hosts(remaining)
+
+    def with_host(self, spec: HostSpec) -> "FleetDirectory":
+        """A successor directory with ``spec`` added (or replaced)."""
+        others = tuple(h for h in self.hosts if h.name != spec.name)
+        return self.with_hosts(others + (spec,))
+
+    # ------------------------------------------------------------- reports
+
+    def describe(self) -> str:
+        """Human-readable placement table (CLI / docs)."""
+        lines = [
+            f"fleet generation {self.generation}: "
+            f"{len(self.hosts)} hosts, {self.shards} shards"
+        ]
+        for spec in sorted(self.hosts, key=lambda h: h.name):
+            lines.append(
+                f"  host {spec.name} @ {spec.host}:{spec.port} "
+                f"domain={spec.domain} tier={spec.tier}"
+            )
+        for shard in range(self.shards):
+            names = ", ".join(h.name for h in self.replicas(shard))
+            lines.append(
+                f"  shard {shard} [{self.tier_of(shard)} "
+                f"x{self.replication_for(shard)}] -> {names}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Declarative host-level fault plans for fleet chaos and benchmarks.
+
+:mod:`repro.faults` speaks sensor physics — TSV opens, droop, runaway —
+injected *inside* a shard worker.  Fleet experiments need a different
+vocabulary: whole-host behaviours like "this host answers 50 ms late"
+or "this host is killed mid-traffic".  :class:`FleetFaultPlan` declares
+those per host; the bench harness and the ``fleet`` CLI translate them
+into deployments (a ``stall`` becomes the host's
+:attr:`~repro.edge.server.EdgeConfig.stall_ms`) and runtime actions (a
+``down`` host is stopped after ``after_reads`` logical reads).
+
+Plans are frozen data, like :class:`~repro.faults.plan.FaultPlan`: an
+experiment's chaos is declared once and reported alongside its results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Host-level fault kinds (closed vocabulary).
+STALL = "stall"
+DOWN = "down"
+HOST_FAULT_KINDS = (STALL, DOWN)
+
+
+@dataclass(frozen=True)
+class HostFault:
+    """One host-level fault: who, what, and when.
+
+    Attributes:
+        host: Name of the fleet member the fault targets.
+        kind: ``"stall"`` (every answer delayed ``stall_ms``) or
+            ``"down"`` (the host is stopped mid-run).
+        stall_ms: Injected per-read delay (``stall`` only).
+        after_reads: For ``down``, stop the host once this many logical
+            reads have completed (0 = down from the start).
+    """
+
+    host: str
+    kind: str = STALL
+    stall_ms: float = 50.0
+    after_reads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in HOST_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {HOST_FAULT_KINDS}, not {self.kind!r}"
+            )
+        if self.stall_ms < 0.0:
+            raise ValueError("stall_ms must be non-negative")
+        if self.after_reads < 0:
+            raise ValueError("after_reads must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """An immutable set of host faults for one fleet run."""
+
+    faults: Tuple[HostFault, ...] = field(default_factory=tuple)
+    name: str = "fleet-faults"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        targets = [f.host for f in self.faults]
+        if len(set(targets)) != len(targets):
+            raise ValueError(f"one fault per host; duplicates in {targets}")
+
+    @classmethod
+    def empty(cls) -> "FleetFaultPlan":
+        return cls(faults=(), name="no-faults")
+
+    @classmethod
+    def slow_host(cls, host: str, stall_ms: float = 50.0) -> "FleetFaultPlan":
+        """The benchmark's canonical plan: one stalled host."""
+        return cls(
+            faults=(HostFault(host=host, kind=STALL, stall_ms=stall_ms),),
+            name=f"slow-{host}",
+        )
+
+    def stall_for(self, host: str) -> float:
+        """The injected stall of ``host`` (0 when unfaulted)."""
+        for fault in self.faults:
+            if fault.host == host and fault.kind == STALL:
+                return fault.stall_ms
+        return 0.0
+
+    def downed(self) -> Dict[str, int]:
+        """Hosts to kill mid-run → the read count they die after."""
+        return {
+            fault.host: fault.after_reads
+            for fault in self.faults
+            if fault.kind == DOWN
+        }
+
+    def fault_for(self, host: str) -> Optional[HostFault]:
+        for fault in self.faults:
+            if fault.host == host:
+                return fault
+        return None
+
+    def describe(self) -> str:
+        if not self.faults:
+            return f"{self.name}: no host faults"
+        parts = []
+        for fault in self.faults:
+            if fault.kind == STALL:
+                parts.append(f"{fault.host}: stall {fault.stall_ms:g}ms")
+            else:
+                parts.append(f"{fault.host}: down after {fault.after_reads} reads")
+        return f"{self.name}: " + "; ".join(parts)

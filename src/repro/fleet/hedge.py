@@ -1,0 +1,149 @@
+"""Hedging policy and the per-host latency tracking behind it.
+
+A hedged read sends the request to the primary replica, waits a *latency
+budget*, and — if the primary has not answered — races a second copy
+against a secondary replica.  Deterministic replicas make this sound:
+either answer is authoritative, so the client takes the first and
+abandons the other.  The budget is the interesting part: too low and
+every read doubles the fleet's load, too high and the hedge never fires
+in time to help.  :class:`LatencyTracker` keeps a bounded window of
+observed latencies per host and serves the configured quantile (p99 by
+default) as that host's budget, so hedging adapts to each host's actual
+tail rather than a global guess.
+
+Everything here is thread-safe and consumes no randomness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and how aggressively the fleet client hedges.
+
+    Attributes:
+        enabled: Master switch; off, every read is a plain primary read
+            (the comparison arm of the fleet benchmark).
+        quantile: Latency quantile of the *hedge target* (the secondary
+            replica) used as the budget: once the primary has been
+            outstanding longer than the secondary's q-quantile, the
+            secondary would probably already have answered — hedge.
+            Keyed on the secondary, not the primary, so a host that is
+            *constantly* slow (whose own p99 absorbs its slowness)
+            still gets hedged around.
+        initial_budget_ms: Budget used for a host with fewer than
+            ``min_samples`` observations.
+        min_budget_ms / max_budget_ms: Clamp on the adaptive budget —
+            the floor stops a fast host from turning every read into
+            two, the ceiling keeps hedges useful under a fat tail.
+        min_samples: Observations of a host before its measured
+            quantile replaces ``initial_budget_ms``.
+        window: Latency samples retained per host (bounded ring).
+    """
+
+    enabled: bool = True
+    quantile: float = 0.99
+    initial_budget_ms: float = 20.0
+    min_budget_ms: float = 1.0
+    max_budget_ms: float = 500.0
+    min_samples: int = 16
+    window: int = 512
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError(f"quantile must lie in (0, 1], got {self.quantile}")
+        if self.initial_budget_ms < 0.0:
+            raise ValueError("initial_budget_ms must be non-negative")
+        if not 0.0 <= self.min_budget_ms <= self.max_budget_ms:
+            raise ValueError(
+                "need 0 <= min_budget_ms <= max_budget_ms, got "
+                f"[{self.min_budget_ms}, {self.max_budget_ms}]"
+            )
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.window < self.min_samples:
+            raise ValueError("window must be >= min_samples")
+
+    def clamp(self, budget_ms: float) -> float:
+        return min(max(budget_ms, self.min_budget_ms), self.max_budget_ms)
+
+
+class LatencyTracker:
+    """Bounded per-host latency windows with quantile queries.
+
+    ``observe`` is an append under one lock; ``quantile_ms`` sorts the
+    (small, bounded) window on demand — budgets are read once per hedge
+    decision, not per packet, so the sort stays off the hot path.
+    """
+
+    def __init__(self, window: int = 512) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._lock = threading.Lock()
+        self._samples: Dict[str, Deque[float]] = {}
+
+    def observe(self, host: str, latency_ms: float) -> None:
+        """Record one completed request against ``host``."""
+        with self._lock:
+            ring = self._samples.get(host)
+            if ring is None:
+                ring = deque(maxlen=self.window)
+                self._samples[host] = ring
+            ring.append(float(latency_ms))
+
+    def count(self, host: str) -> int:
+        with self._lock:
+            ring = self._samples.get(host)
+            return 0 if ring is None else len(ring)
+
+    def reset(self) -> None:
+        """Drop every window — e.g. after a warm-up pass whose cold-start
+        latencies would otherwise sit in the tail until evicted."""
+        with self._lock:
+            self._samples.clear()
+
+    def quantile_ms(self, host: str, q: float) -> Optional[float]:
+        """The ``q``-quantile of ``host``'s window (None when empty)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must lie in (0, 1], got {q}")
+        with self._lock:
+            ring = self._samples.get(host)
+            if not ring:
+                return None
+            ordered = sorted(ring)
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def p99_ms(self, host: str) -> Optional[float]:
+        return self.quantile_ms(host, 0.99)
+
+    def budget_ms(self, host: str, policy: HedgePolicy) -> float:
+        """The hedge budget for reads whose primary is ``host``."""
+        if self.count(host) < policy.min_samples:
+            return policy.clamp(policy.initial_budget_ms)
+        measured = self.quantile_ms(host, policy.quantile)
+        if measured is None:
+            return policy.clamp(policy.initial_budget_ms)
+        return policy.clamp(measured)
+
+    def snapshot(self) -> Mapping[str, Dict[str, float]]:
+        """Per-host latency summary (count / p50 / p99) for status ops."""
+        with self._lock:
+            hosts = {host: list(ring) for host, ring in self._samples.items()}
+        summary: Dict[str, Dict[str, float]] = {}
+        for host, samples in hosts.items():
+            if not samples:
+                continue
+            ordered = sorted(samples)
+            summary[host] = {
+                "count": float(len(ordered)),
+                "p50_ms": ordered[int(round(0.50 * (len(ordered) - 1)))],
+                "p99_ms": ordered[int(round(0.99 * (len(ordered) - 1)))],
+            }
+        return summary

@@ -1,0 +1,258 @@
+"""Fleet-level supervision: health probes, failover, rebalancing.
+
+The edge's :class:`~repro.edge.supervisor.ShardPool` supervises worker
+*processes* inside one host; :class:`FleetSupervisor` supervises the
+*hosts*.  A background thread round-trips the existing ``admin.status``
+op through each member on a fixed cadence and drives a small state
+machine per host:
+
+``healthy`` → (``degraded_after`` consecutive probe failures) →
+``degraded`` → (``dead_after``) → ``dead`` → (one successful probe) →
+``healthy``
+
+State flips feed the shared :class:`~repro.fleet.client.FleetRouter`
+immediately — a degraded host stops being anyone's primary, a dead host
+stops being a target at all.  On death the supervisor also *rebalances*:
+it publishes a successor :class:`~repro.fleet.directory.FleetDirectory`
+without the dead host (``generation + 1``, same generation-stamped
+pattern as the edge's topology rings), so every shard regains its full
+replica count among the survivors; recovery adds the host back at the
+next generation.  Routers refuse stale generations, so a slow probe
+thread can never roll placement backwards.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro import telemetry
+from repro.edge.client import AdminClient
+from repro.edge.protocol import EdgeError
+from repro.fleet.client import (
+    HOST_DEAD,
+    HOST_DEGRADED,
+    HOST_HEALTHY,
+    FleetRouter,
+)
+from repro.fleet.directory import HostSpec
+
+_CHECKS = telemetry.counter(
+    "fleet.health_checks", unit="probes",
+    help="admin.status probes issued by the fleet supervisor",
+)
+_TRANSITIONS = telemetry.counter(
+    "fleet.host_transitions", unit="events",
+    help="Host health state changes (healthy/degraded/dead)",
+)
+_HOSTS = telemetry.gauge(
+    "fleet.hosts", unit="hosts", help="Hosts in the fleet directory"
+)
+_HOSTS_HEALTHY = telemetry.gauge(
+    "fleet.hosts_healthy", unit="hosts",
+    help="Hosts currently probing healthy",
+)
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Cadence and thresholds of fleet host supervision."""
+
+    interval_s: float = 1.0
+    timeout_s: float = 5.0
+    degraded_after: int = 1
+    dead_after: int = 3
+    rebalance: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0")
+        if not 1 <= self.degraded_after <= self.dead_after:
+            raise ValueError("need 1 <= degraded_after <= dead_after")
+
+
+class FleetSupervisor:
+    """Health-checks fleet members and keeps the router's view live."""
+
+    def __init__(
+        self,
+        router: FleetRouter,
+        policy: SupervisorPolicy = SupervisorPolicy(),
+        wire: str = "ndjson",
+    ) -> None:
+        self.router = router
+        self.policy = policy
+        self.wire = wire
+        self._failures: Dict[str, int] = {}
+        self._states: Dict[str, str] = {}
+        self._removed: Dict[str, HostSpec] = {}
+        self._events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "FleetSupervisor":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.policy.timeout_s + self.policy.interval_s)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.check_once()
+            except Exception:  # noqa: BLE001 - supervision must not die
+                pass
+            self._stop.wait(self.policy.interval_s)
+
+    # --------------------------------------------------------------- probing
+
+    def _probe(self, spec: HostSpec) -> bool:
+        _CHECKS.inc()
+        client = AdminClient(
+            spec.host,
+            spec.port,
+            token=spec.admin_token,
+            timeout_s=self.policy.timeout_s,
+            wire=self.wire,
+        )
+        try:
+            status = client.status()
+        except (EdgeError, OSError):
+            return False
+        finally:
+            client.close()
+        return bool(status.get("ok", True))
+
+    def check_once(self) -> Dict[str, str]:
+        """One probe round over every member (current and removed).
+
+        Removed (dead) hosts keep being probed so recovery is noticed
+        and the host rejoins the directory.  Returns the resulting
+        host → state map.
+        """
+        directory = self.router.directory
+        with self._lock:
+            removed = dict(self._removed)
+        members = {spec.name: spec for spec in directory.hosts}
+        members.update(removed)
+        for name, spec in sorted(members.items()):
+            alive = self._probe(spec)
+            self._transition(spec, alive)
+        states = self.states()
+        _HOSTS.set(len(self.router.directory.hosts))
+        _HOSTS_HEALTHY.set(
+            sum(1 for state in states.values() if state == HOST_HEALTHY)
+        )
+        return states
+
+    def _transition(self, spec: HostSpec, alive: bool) -> None:
+        with self._lock:
+            previous = self._states.get(spec.name, HOST_HEALTHY)
+            if alive:
+                self._failures[spec.name] = 0
+                state = HOST_HEALTHY
+            else:
+                failures = self._failures.get(spec.name, 0) + 1
+                self._failures[spec.name] = failures
+                if failures >= self.policy.dead_after:
+                    state = HOST_DEAD
+                elif failures >= self.policy.degraded_after:
+                    state = HOST_DEGRADED
+                else:
+                    state = previous
+            self._states[spec.name] = state
+        if state == previous:
+            return
+        _TRANSITIONS.inc()
+        self.router.mark(spec.name, state)
+        with self._lock:
+            self._events.append(
+                {
+                    "host": spec.name,
+                    "from": previous,
+                    "to": state,
+                    "at": time.time(),
+                }
+            )
+        if state == HOST_DEAD:
+            self._rebalance_out(spec)
+        elif previous == HOST_DEAD and state == HOST_HEALTHY:
+            self._rebalance_in(spec)
+
+    def _rebalance_out(self, spec: HostSpec) -> None:
+        """Publish a successor placement without a dead host."""
+        if not self.policy.rebalance:
+            return
+        directory = self.router.directory
+        if spec.name not in {h.name for h in directory.hosts}:
+            return
+        survivors = tuple(h for h in directory.hosts if h.name != spec.name)
+        if not survivors:
+            return  # a fleet of zero hosts routes nothing; keep the map
+        try:
+            successor = directory.without(spec.name)
+        except ValueError:
+            # Replication exceeds the surviving fleet; serving degraded
+            # beats serving nothing — keep the old placement and let the
+            # router's health view skip the dead host.
+            return
+        if self.router.update_directory(successor):
+            with self._lock:
+                self._removed[spec.name] = spec
+
+    def _rebalance_in(self, spec: HostSpec) -> None:
+        """Re-admit a recovered host at the next generation."""
+        if not self.policy.rebalance:
+            return
+        with self._lock:
+            self._removed.pop(spec.name, None)
+        directory = self.router.directory
+        if spec.name in {h.name for h in directory.hosts}:
+            return
+        self.router.update_directory(directory.with_host(spec))
+
+    # --------------------------------------------------------------- queries
+
+    def states(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._states)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Health transitions observed so far (oldest first)."""
+        with self._lock:
+            return list(self._events)
+
+    def status(self) -> Dict[str, Any]:
+        """Fleet-level health summary (CLI / tests)."""
+        directory = self.router.directory
+        states = self.states()
+        return {
+            "generation": directory.generation,
+            "hosts": {
+                spec.name: {
+                    "address": f"{spec.host}:{spec.port}",
+                    "domain": spec.domain,
+                    "state": states.get(spec.name, HOST_HEALTHY),
+                }
+                for spec in directory.hosts
+            },
+            "removed": sorted(self._removed),
+            "transitions": len(self.events()),
+        }

@@ -38,6 +38,8 @@ INSTRUMENTED_MODULES = (
     "repro.serve.engine",
     "repro.edge.server",
     "repro.edge.supervisor",
+    "repro.fleet.client",
+    "repro.fleet.supervisor",
     "repro.experiments.runner",
     "repro.telemetry",  # binds the stream.* instruments via the streaming layer
 )

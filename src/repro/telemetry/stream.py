@@ -208,19 +208,64 @@ class StreamHub:
     hot seams pay one boolean read when nobody is listening.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, replay: int = 0) -> None:
+        if replay < 0:
+            raise ValueError("replay bound must be >= 0")
         self._lock = threading.Lock()
         self._subs: Dict[int, Subscription] = {}
         self._snapshot: Tuple[Subscription, ...] = ()
         self._next_id = 0
         self._seq = 0
         self._seq_lock = threading.Lock()
+        # Bounded ring of recently *published* events, the basis of SSE
+        # ``Last-Event-ID`` resume.  Only fed while the hub is active —
+        # with no subscribers nothing is published, so there is nothing
+        # to replay (and, consistently, nothing was missed).
+        self._replay: Optional[Deque[StreamEvent]] = (
+            deque(maxlen=int(replay)) if replay else None
+        )
+        self._replay_lock = threading.Lock()
         self.active = False
 
     def _next_seq(self) -> int:
         with self._seq_lock:
             self._seq += 1
             return self._seq
+
+    @property
+    def seq(self) -> int:
+        """The most recently issued sequence number."""
+        with self._seq_lock:
+            return self._seq
+
+    def replay_since(
+        self,
+        last_seq: int,
+        matcher: Optional[Callable[[StreamEvent], bool]] = None,
+    ) -> Tuple[List[StreamEvent], bool]:
+        """Retained events with ``seq > last_seq``, oldest first.
+
+        Returns ``(events, gap)`` — ``gap`` is True when events beyond
+        ``last_seq`` were published but are no longer retained (ring
+        overflow, or replay disabled), so a resuming consumer can be
+        told, typed, that its history has a hole rather than silently
+        skipping it.  ``matcher`` (usually ``Subscription.matches``)
+        filters the replayed events; gap detection stays conservative —
+        it looks at retention, not at the filter.
+        """
+        if self._replay is None:
+            return [], self.seq > last_seq
+        with self._replay_lock:
+            ring = list(self._replay)
+        if not ring:
+            return [], self.seq > last_seq
+        events = [
+            event
+            for event in ring
+            if event.seq > last_seq and (matcher is None or matcher(event))
+        ]
+        gap = ring[0].seq > last_seq + 1
+        return events, gap
 
     def subscribe(
         self,
@@ -276,6 +321,9 @@ class StreamHub:
             return 0
         event = StreamEvent(seq=self._next_seq(), kind=kind, data=dict(data))
         _EVENTS.inc()
+        if self._replay is not None:
+            with self._replay_lock:
+                self._replay.append(event)
         delivered = 0
         matched = 0
         dropped = 0

@@ -45,7 +45,13 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "FleetClient",
+    "FleetDirectory",
+    "FleetFaultPlan",
+    "FleetSupervisor",
     "HashRing",
+    "HedgePolicy",
+    "HostSpec",
     "LoadgenConfig",
     "LoadgenReport",
     "MonitorSnapshot",
@@ -73,11 +79,13 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "TsvSensorBus",
     "edge",
     "faults",
+    "fleet",
     "nominal_65nm",
     "read_paired",
     "read_population",
     "run_all",
     "run_experiment",
+    "run_fleet_bench",
     "run_loadgen",
     "run_loadgen_edge",
     "run_loadgen_stream",
