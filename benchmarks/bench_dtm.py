@@ -1,0 +1,72 @@
+"""DTM benchmark gates: placement at scale, live control, decision rate.
+
+The acceptance bars of the PR that introduced ``repro.dtm``
+(docs/dtm.md):
+
+* **placement engine >= 10x scalar greedy at >= 100k placements** — the
+  batch engine must sweep a six-slot greedy walk over a 100k+ candidate
+  evaluation budget at least an order of magnitude faster than the
+  original scalar path would (priced per-evaluation on a subsample at
+  its *cheapest* trial length, so the measured speedup is a floor), and
+  its site choices must match the exact walk bit for bit on a small
+  parity sweep;
+
+* **the live loop never trails the batch controller** — a real edge
+  server plus :class:`~repro.dtm.service.DtmService` fed an injected
+  runaway must issue its first throttle no later than the round the
+  post-hoc batch controller (:func:`batch_alarm_round` at the throttle
+  threshold) would flag on the same sensed trace;
+
+* **the decision table is never the bottleneck** — the server-side
+  decision hot path must clear a coarse CI floor; its absolute timing
+  also feeds ``dtm_decisions_1stack`` in ``python -m repro bench --check``.
+"""
+
+from repro.dtm.bench import (
+    measure_decision_rate,
+    run_live_vs_batch,
+    run_placement_bench,
+)
+
+MIN_SPEEDUP = 10.0
+MIN_SWEEP = 100_000
+MIN_DECISIONS_PER_S = 20_000.0  # coarse CI floor; ~260k/s on a dev host
+
+
+def test_placement_engine_is_10x_scalar_on_a_100k_sweep():
+    report = run_placement_bench()
+    print(f"\n{report.render()}")
+    assert report.scored >= MIN_SWEEP, (
+        f"sweep scored only {report.scored} placements "
+        f"(gate needs >= {MIN_SWEEP})"
+    )
+    assert report.parity_ok, "engine greedy diverged from the exact scalar walk"
+    assert report.tournament_ok, "tournament finished worse than greedy"
+    assert report.speedup >= MIN_SPEEDUP, (
+        f"engine speedup {report.speedup:.1f}x is under the "
+        f"{MIN_SPEEDUP:.0f}x bar (engine {report.engine_s:.3f} s vs "
+        f"scalar extrapolated {report.scalar_extrapolated_s:.1f} s)"
+    )
+
+
+def test_live_first_throttle_never_later_than_batch():
+    report = run_live_vs_batch()
+    print(f"\n{report.render()}")
+    assert report.service_errors == 0, report
+    assert report.batch_round is not None, (
+        "the injected trace never crossed the throttle threshold — "
+        "the race compared nothing"
+    )
+    assert report.live_no_later, (
+        f"live first throttle at round {report.live_round} trails the "
+        f"batch controller's round {report.batch_round}"
+    )
+
+
+def test_decision_table_clears_the_rate_floor():
+    report = measure_decision_rate()
+    print(f"\n{report.render()}")
+    assert report.per_second >= MIN_DECISIONS_PER_S, (
+        f"decision rate {report.per_second:,.0f}/s is under the "
+        f"{MIN_DECISIONS_PER_S:,.0f}/s floor"
+    )

@@ -20,6 +20,9 @@ Usage::
     python -m repro edge --shards 4              # serve NDJSON+HTTP on a TCP port
     python -m repro edge --smoke                 # boot, round-trip, drain, exit
     python -m repro edge-bench --shards 1 4      # wall-clock sharded throughput
+    python -m repro dtm --smoke                  # live closed loop on the wire
+    python -m repro dtm --bench                  # live-vs-batch + decision rate
+    python -m repro dtm --place                  # placement engine at scale
     python -m repro telemetry catalogue          # the full metric table (docs)
 """
 
@@ -395,6 +398,135 @@ def _edge_smoke_stream(edge, args) -> int:
     print(f"smoke stream/sse: ok ({len(blocks)} events over "
           f"text/event-stream)")
     return 0
+
+
+def _dtm(args) -> int:
+    if args.place:
+        return _dtm_place(args)
+    if args.bench:
+        return _dtm_bench(args)
+    if args.smoke:
+        return _dtm_smoke(args)
+    print("dtm: pass --smoke, --bench or --place", file=sys.stderr)
+    return 2
+
+
+def _dtm_smoke(args) -> int:
+    """Boot an edge + the DTM service, inject a runaway, expect a typed
+    throttle observed on the wire and all three faces agreeing."""
+    from repro.dtm import DtmClient, DtmPolicy, DtmService, DtmServiceConfig
+    from repro.edge import EdgeClient, EdgeConfig, EdgeServerThread
+    from repro.edge.stream import StreamPolicy
+    from repro.serve.requests import ReadRequest
+
+    policy = DtmPolicy()
+    config = EdgeConfig(
+        shards=args.shards,
+        tiers=args.tiers,
+        root_seed=args.root_seed,
+        stream=StreamPolicy(sample_s=0.05, heartbeat_s=0.25),
+        dtm=policy,
+        start_method=args.start_method,
+    )
+    stack_id, tier = 9, 1
+    with EdgeServerThread(config) as edge:
+        print(
+            f"dtm: {args.shards} shard(s) on {edge.host}:{edge.port}, "
+            f"service on the {args.wire} wire (see docs/dtm.md)"
+        )
+        service = DtmService(
+            edge.host,
+            edge.port,
+            DtmServiceConfig(policy=policy, deadline_ms=200.0, wire=args.wire),
+        )
+        service.start()
+        try:
+            with EdgeClient(edge.host, edge.port) as driver:
+                for i in range(12):
+                    result = driver.read(
+                        stack_id, ReadRequest.point(tier, 50.0 + 5.0 * i)
+                    )
+                    if not result.ok:
+                        print(
+                            f"smoke drive: FAILED (read {i}: "
+                            f"{result.status.value})",
+                            file=sys.stderr,
+                        )
+                        return 1
+                    time.sleep(0.01)
+            throttle = None
+            deadline = time.monotonic() + 30.0
+            with DtmClient(edge.host, edge.port) as dtm:
+                while throttle is None and time.monotonic() < deadline:
+                    throttles = [
+                        d
+                        for d in dtm.decisions()["decisions"]
+                        if d["stack"] == stack_id
+                        and d["action"] == "throttle"
+                        and d["applied"]
+                    ]
+                    if throttles:
+                        throttle = throttles[0]
+                    else:
+                        time.sleep(0.05)
+            if throttle is None:
+                print(
+                    "smoke throttle: FAILED (runaway injected but no "
+                    "throttle decision reached the wire)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"smoke throttle: ok (tier {throttle['tier']} throttled at "
+                f"round {throttle['round']}, scale {throttle['scale']:.2f})"
+            )
+            faces = {}
+            for wire in ("ndjson", "binary", "http"):
+                with DtmClient(edge.host, edge.port, wire=wire) as dtm:
+                    status = dtm.status()["status"]
+                faces[wire] = (status["seq"], tuple(sorted(status["scales"].items())))
+                print(
+                    f"smoke dtm/{wire}: ok (seq {status['seq']}, "
+                    f"{status['throttles']} throttle(s), "
+                    f"scales {status['scales']})"
+                )
+            if len(set(faces.values())) != 1:
+                print(f"smoke wires: FAILED (faces disagree: {faces})",
+                      file=sys.stderr)
+                return 1
+            print("smoke wires: ok (one table behind all three faces)")
+            stats = service.stats()
+            if stats["errors"]:
+                print(f"smoke service: FAILED ({stats})", file=sys.stderr)
+                return 1
+            print(
+                f"smoke service: ok ({stats['events']} event(s) consumed, "
+                f"{stats['decisions']} decision(s), "
+                f"{stats['duplicates']} duplicate(s))"
+            )
+        finally:
+            service.stop()
+        print("smoke: draining")
+    return 0
+
+
+def _dtm_bench(args) -> int:
+    from repro.dtm.bench import measure_decision_rate, run_live_vs_batch
+
+    live = run_live_vs_batch()
+    print(live.render())
+    rate = measure_decision_rate()
+    print(rate.render())
+    return 0 if live.service_errors == 0 and live.live_no_later else 1
+
+
+def _dtm_place(args) -> int:
+    from repro.dtm.bench import run_placement_bench
+
+    report = run_placement_bench(per_axis=args.per_axis, budget=args.budget)
+    print(report.render())
+    ok = report.parity_ok and report.tournament_ok and report.speedup >= 10.0
+    return 0 if ok else 1
 
 
 def _fleet(args) -> int:
@@ -1079,6 +1211,60 @@ def main(argv=None) -> int:
         action="store_true",
         help="hedged vs unhedged p99 under one injected slow host",
     )
+    dtm_parser = sub.add_parser(
+        "dtm",
+        help="fleet-scale DTM: live closed-loop control plane + batch "
+        "placement search engine (see docs/dtm.md)",
+    )
+    dtm_parser.add_argument(
+        "--shards", type=int, default=1, help="--smoke: backend shards (default 1)"
+    )
+    dtm_parser.add_argument(
+        "--tiers", type=int, default=4, help="--smoke: stack height (default 4)"
+    )
+    dtm_parser.add_argument(
+        "--root-seed", type=int, default=2012, help="--smoke: deployment root seed"
+    )
+    dtm_parser.add_argument(
+        "--wire",
+        choices=("ndjson", "binary", "http"),
+        default="ndjson",
+        help="--smoke: wire the DTM service issues decisions on "
+        "(default ndjson)",
+    )
+    dtm_parser.add_argument(
+        "--start-method",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="--smoke: worker process start method (default spawn)",
+    )
+    dtm_parser.add_argument(
+        "--per-axis",
+        type=int,
+        default=132,
+        help="--place: candidate grid per axis (default 132 -> 17424 sites)",
+    )
+    dtm_parser.add_argument(
+        "--budget", type=int, default=6, help="--place: sensor budget (default 6)"
+    )
+    dtm_mode = dtm_parser.add_mutually_exclusive_group()
+    dtm_mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot edge + DTM service, inject a runaway, expect a typed "
+        "throttle on the wire over all three faces",
+    )
+    dtm_mode.add_argument(
+        "--bench",
+        action="store_true",
+        help="live-vs-batch first-throttle race + decision-table rate",
+    )
+    dtm_mode.add_argument(
+        "--place",
+        action="store_true",
+        help="run the batch placement engine at scale and report its "
+        "speedup over the scalar path",
+    )
     bench_parser = sub.add_parser(
         "bench", help="run the performance benchmarks (see repro.benchmark)"
     )
@@ -1120,6 +1306,8 @@ def main(argv=None) -> int:
         return _edge_bench(args)
     if args.command == "fleet":
         return _fleet(args)
+    if args.command == "dtm":
+        return _dtm(args)
     if args.command == "telemetry":
         if args.telemetry_command == "catalogue":
             return _telemetry_catalogue(args)

@@ -58,12 +58,15 @@ fleet federation       ``fleet`` (module), ``FleetClient``,
                        ``FleetDirectory``, ``FleetSupervisor``,
                        ``HedgePolicy``, ``HostSpec``, ``FleetFaultPlan``,
                        ``run_fleet_bench``
+thermal management     ``dtm`` (module), ``DtmPolicy``, ``DtmTable``,
+                       ``DtmClient``, ``DtmService``, ``DtmServiceConfig``,
+                       ``PlacementEngine``, ``FloorplanSpec``
 =====================  ==============================================
 """
 
 from __future__ import annotations
 
-from repro import edge, faults, fleet, serve, telemetry
+from repro import dtm, edge, faults, fleet, serve, telemetry
 from repro.batch.grid import EnvironmentGrid
 from repro.batch.paired import PairedReadings, read_paired
 from repro.batch.population import PopulationReadings, read_population
@@ -72,6 +75,15 @@ from repro.config import SensorConfig
 from repro.core.sensor import PTSensor, SensorReading
 from repro.core.tracking import TrackingPolicy, TrackingReading, TrackingSensor
 from repro.device.technology import Technology, nominal_65nm
+from repro.dtm import (
+    DtmClient,
+    DtmPolicy,
+    DtmService,
+    DtmServiceConfig,
+    DtmTable,
+    FloorplanSpec,
+    PlacementEngine,
+)
 from repro.edge import (
     AdminClient,
     AutoscalePolicy,
@@ -131,6 +143,11 @@ __all__ = [
     "AutoscalePolicy",
     "BusReport",
     "DieSample",
+    "DtmClient",
+    "DtmPolicy",
+    "DtmService",
+    "DtmServiceConfig",
+    "DtmTable",
     "EdgeClient",
     "EdgeConfig",
     "EdgeDeployment",
@@ -149,6 +166,7 @@ __all__ = [
     "FleetDirectory",
     "FleetFaultPlan",
     "FleetSupervisor",
+    "FloorplanSpec",
     "HashRing",
     "HedgePolicy",
     "HostSpec",
@@ -157,6 +175,7 @@ __all__ = [
     "MonitorSnapshot",
     "PTSensor",
     "PairedReadings",
+    "PlacementEngine",
     "PopulationReadings",
     "ReadRequest",
     "ReadResult",
@@ -177,6 +196,7 @@ __all__ = [
     "TrackingReading",
     "TrackingSensor",
     "TsvSensorBus",
+    "dtm",
     "edge",
     "faults",
     "fleet",
@@ -430,6 +450,33 @@ __test__ = {
     ...     tracker.observe("host0", float(ms))
     >>> tracker.budget_ms("host0", HedgePolicy(quantile=0.5, min_samples=8))
     17.0
+    """,
+    "thermal_management": """
+    The DTM control plane shares one verb arithmetic between the offline
+    loop and the live wire: `dtm.decide` turns a reading into a typed
+    action, and a `DtmTable` applies actions idempotently by round (a
+    replayed decision answers the standing scale without moving it).
+    `FloorplanSpec` prunes candidate sensor sites around TSV keep-outs
+    for the batch placement engine (docs/dtm.md).
+
+    >>> from repro.api import DtmPolicy, DtmTable, dtm
+    >>> policy = DtmPolicy()
+    >>> dtm.decide(policy, 1.0, 92.0)       # hot reading -> throttle
+    ('throttle', 0.7)
+    >>> dtm.decide(policy, 1.0, 80.0)       # hysteresis band -> no verb
+    (None, 1.0)
+    >>> table = DtmTable(policy)
+    >>> table.apply(0, 1, 0, "throttle").scale
+    0.7
+    >>> table.apply(0, 1, 0, "throttle").applied   # same round: idempotent
+    False
+    >>> table.scale(0, 1)
+    0.7
+    >>> from repro.api import FloorplanSpec
+    >>> spec = FloorplanSpec(width=5e-3, height=5e-3, layer="tier0.si",
+    ...                      per_axis=4)
+    >>> len(spec.candidate_sites())
+    16
     """,
     "experiments": """
     Every reconstructed table/figure is an experiment module;

@@ -372,6 +372,22 @@ def bench_fleet_hedged() -> float:
     return _time(loop, repeats=1)
 
 
+def bench_dtm_decisions(decisions: int = 20_000) -> float:
+    """20k typed throttle/release decisions through one stack's DtmTable.
+
+    The server-side hot path of every ``dtm.throttle`` / ``dtm.release``
+    on the wire: round-idempotence check, the shared ``apply_action``
+    arithmetic, the bounded decision log and the exact counters.  The
+    relative floor (decisions/sec) lives in benchmarks/bench_dtm.py;
+    this entry pins the absolute per-decision cost so a regression
+    (say, the log scan going linear or a lock turning contended) fails
+    the ``--check``.
+    """
+    from repro.dtm.bench import measure_decision_rate
+
+    return min(measure_decision_rate(decisions).seconds for _ in range(3))
+
+
 BENCHMARKS: Dict[str, Callable[[], float]] = {
     "population_sweep_scalar_50x9": bench_population_sweep_scalar,
     "population_sweep_batch_200x9": bench_population_sweep_batch,
@@ -387,6 +403,7 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "edge_reshard_2to4": bench_edge_reshard,
     "stream_fanout_10k": bench_stream_fanout,
     "fleet_hedged_3host": bench_fleet_hedged,
+    "dtm_decisions_1stack": bench_dtm_decisions,
 }
 
 

@@ -1,0 +1,65 @@
+"""Fleet-scale dynamic thermal management and placement-at-scale.
+
+Two halves, one subsystem:
+
+* **Placement-at-scale** (:mod:`repro.dtm.engine`): a vectorized
+  candidate-scoring engine that evaluates millions of candidate sensor
+  placements per stack by batching reconstruction-error evaluation over
+  the thermal fields, plus a seeded top-k tournament driver and
+  floorplan-style inputs (tier dims, power maps, TSV keep-outs).
+  Parity-gated against the scalar greedy path in
+  :mod:`repro.network.placement`.
+
+* **Live DTM control plane** (:mod:`repro.dtm.table`,
+  :mod:`repro.dtm.service`): the server keeps a
+  :class:`~repro.dtm.table.DtmTable` of per-(stack, tier) power scales
+  with round-idempotent decision accounting, exposed as the ``dtm.*`` op
+  family on all three wire faces; a :class:`~repro.dtm.service.DtmService`
+  subscribes to the edge stream plane (``read`` events +
+  ``alert.runaway_warning``), runs the
+  :class:`~repro.network.dtm.DtmPolicy` hysteresis and issues typed
+  throttle/release decisions within a latency deadline budget.
+
+The control-plane arithmetic is shared with the offline E4 loop through
+:func:`repro.network.dtm.decide` / ``apply_action``, so live decisions
+and the batch experiment move scales identically.
+
+``service`` (and its :class:`DtmClient`/:class:`DtmService`) is exposed
+lazily: importing :mod:`repro.dtm` for the placement engine does not pull
+in the edge networking stack.
+"""
+
+from repro.dtm.engine import (
+    FloorplanSpec,
+    PlacementEngine,
+    TournamentResult,
+)
+from repro.dtm.table import DtmDecision, DtmTable
+from repro.network.dtm import DTM_ACTIONS, RELEASE, THROTTLE, DtmPolicy, apply_action, decide
+
+__all__ = [
+    "DTM_ACTIONS",
+    "DtmClient",
+    "DtmDecision",
+    "DtmPolicy",
+    "DtmService",
+    "DtmServiceConfig",
+    "DtmTable",
+    "FloorplanSpec",
+    "PlacementEngine",
+    "RELEASE",
+    "THROTTLE",
+    "TournamentResult",
+    "apply_action",
+    "decide",
+]
+
+_LAZY = {"DtmService", "DtmServiceConfig", "DtmClient"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.dtm import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

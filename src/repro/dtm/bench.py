@@ -1,0 +1,341 @@
+"""DTM acceptance measurements: placement throughput, decision latency.
+
+Three measurements, each behind a small report dataclass so the CLI
+(``python -m repro dtm --bench / --place``) and the benchmark gates in
+``benchmarks/bench_dtm.py`` share one implementation:
+
+* :func:`run_placement_bench` — the batch :class:`PlacementEngine`
+  sweeping a >=100k-placement greedy walk, against the per-evaluation
+  cost of the original scalar path (measured on a subsample and
+  extrapolated — running the scalar greedy at this scale outright would
+  take minutes).  The extrapolation deliberately prices a scalar
+  evaluation at trial length 1, the *cheapest* the scalar loop ever
+  gets, so the reported speedup is a floor.  Parity is checked on a
+  small exact sweep: the engine's greedy must choose the scalar walk's
+  sites bit for bit, and the tournament must never do worse.
+
+* :func:`run_live_vs_batch` — a real edge server plus the
+  :class:`~repro.dtm.service.DtmService` against an injected runaway
+  trace: the live loop's first throttle round must never be later than
+  the post-hoc batch controller (the round the sensed trace first
+  crosses ``throttle_c``, i.e. :func:`~repro.telemetry.runaway.batch_alarm_round`
+  at the throttle threshold).
+
+* :func:`measure_decision_rate` — throughput of the server-side
+  decision hot path (:meth:`DtmTable.apply`), the figure recorded as
+  ``dtm_decisions_1stack`` in ``benchmarks/BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dtm.engine import PlacementEngine
+from repro.dtm.table import DtmTable
+from repro.network.dtm import DtmPolicy, RELEASE, THROTTLE
+from repro.network.placement import (
+    candidate_grid,
+    greedy_placement,
+    reconstruction_error_scalar,
+)
+from repro.thermal.grid import build_stack_grid
+from repro.thermal.power import checkerboard_power_map, hotspot_power_map
+from repro.thermal.solver import steady_state
+from repro.tsv.geometry import StackDescriptor, TierSpec
+
+BENCH_LAYER = "tier0.si"
+
+
+def bench_fields(nx: int = 10):
+    """A small 2-tier assembly and three steady workload fields.
+
+    Deliberately coarse (the engine's cost scales with candidates and
+    probes, not the solver grid) so building the inputs stays cheap next
+    to the sweep being measured.
+    """
+    stack = StackDescriptor(tiers=[TierSpec("tier0"), TierSpec("tier1")])
+    grid = build_stack_grid(
+        stack.thermal_layers(nx, nx), stack.die_width, stack.die_height,
+        nx=nx, ny=nx,
+    )
+    w, h = stack.die_width, stack.die_height
+    idle = hotspot_power_map(nx, nx, w, h, [], 0.3)
+    workloads = [
+        {
+            BENCH_LAYER: hotspot_power_map(
+                nx, nx, w, h, [(0.8e-3, 0.8e-3, 1e-3, 1e-3, 2.0)], 0.4
+            ),
+            "tier1.si": idle,
+        },
+        {
+            BENCH_LAYER: hotspot_power_map(
+                nx, nx, w, h, [(3.2e-3, 3.2e-3, 1e-3, 1e-3, 2.0)], 0.4
+            ),
+            "tier1.si": idle,
+        },
+        {
+            BENCH_LAYER: checkerboard_power_map(nx, nx, 2.5, blocks=4),
+            "tier1.si": idle,
+        },
+    ]
+    fields = [steady_state(grid, workload) for workload in workloads]
+    return stack, fields
+
+
+# ------------------------------------------------------------- placement
+
+
+@dataclass(frozen=True)
+class PlacementBenchReport:
+    """Engine-vs-scalar throughput on one greedy sweep."""
+
+    candidates: int
+    budget: int
+    scored: int
+    engine_s: float
+    scalar_eval_s: float
+    parity_ok: bool
+    tournament_ok: bool
+    worst_error_c: float
+
+    @property
+    def scalar_extrapolated_s(self) -> float:
+        """What the scalar path would take for the same evaluations."""
+        return self.scalar_eval_s * self.scored
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_extrapolated_s / self.engine_s
+
+    def render(self) -> str:
+        return (
+            f"placement: {self.scored} placements scored over "
+            f"{self.candidates} candidates (budget {self.budget}) in "
+            f"{self.engine_s * 1e3:.0f} ms; scalar path at "
+            f"{self.scalar_eval_s * 1e6:.0f} us/eval would take "
+            f"{self.scalar_extrapolated_s:.1f} s -> {self.speedup:.0f}x; "
+            f"worst error {self.worst_error_c:.2f} degC; "
+            f"greedy parity {'ok' if self.parity_ok else 'FAILED'}, "
+            f"tournament {'ok' if self.tournament_ok else 'FAILED'}"
+        )
+
+
+def run_placement_bench(
+    per_axis: int = 132,
+    budget: int = 6,
+    probe_grid: int = 8,
+    subsample: int = 200,
+    parity_per_axis: int = 7,
+    parity_budget: int = 4,
+    nx: int = 10,
+) -> PlacementBenchReport:
+    """Time the engine's greedy sweep and price the scalar equivalent.
+
+    The default geometry scores ``budget * per_axis**2`` > 100k candidate
+    placements — the scale the acceptance gate names.  One "evaluation"
+    is one placement scored across *all* fields (the engine's unit of
+    work), and the scalar cost per evaluation is measured at trial
+    length 1, its cheapest case, so the speedup is conservative.
+    """
+    stack, fields = bench_fields(nx)
+    w, h = stack.die_width, stack.die_height
+
+    candidates = candidate_grid(w, h, per_axis=per_axis)
+    engine = PlacementEngine(fields, BENCH_LAYER, candidates, probe_grid=probe_grid)
+    started = time.perf_counter()
+    result = engine.greedy(budget)
+    engine_s = time.perf_counter() - started
+    scored = engine.scored
+
+    probe = candidates[:: max(1, len(candidates) // subsample)][:subsample]
+    started = time.perf_counter()
+    for site in probe:
+        max(
+            reconstruction_error_scalar(f, BENCH_LAYER, [site], probe_grid)
+            for f in fields
+        )
+    scalar_eval_s = (time.perf_counter() - started) / len(probe)
+
+    small = candidate_grid(w, h, per_axis=parity_per_axis)
+    exact = greedy_placement(
+        fields, BENCH_LAYER, small, parity_budget, probe_grid=probe_grid
+    )
+    small_engine = PlacementEngine(fields, BENCH_LAYER, small, probe_grid=probe_grid)
+    mirror = small_engine.greedy(parity_budget)
+    parity_ok = (
+        mirror.sites == exact.sites
+        and mirror.error_trace == exact.error_trace
+        and mirror.worst_error_c == exact.worst_error_c
+    )
+    tournament = small_engine.tournament(parity_budget, pool=256, rounds=3, keep=16)
+    tournament_ok = tournament.worst_error_c <= exact.worst_error_c
+
+    return PlacementBenchReport(
+        candidates=len(candidates),
+        budget=budget,
+        scored=scored,
+        engine_s=engine_s,
+        scalar_eval_s=scalar_eval_s,
+        parity_ok=parity_ok,
+        tournament_ok=tournament_ok,
+        worst_error_c=result.worst_error_c,
+    )
+
+
+# ---------------------------------------------------------- decision rate
+
+
+@dataclass(frozen=True)
+class DecisionRateReport:
+    """Throughput of the server-side decision table."""
+
+    decisions: int
+    seconds: float
+
+    @property
+    def per_second(self) -> float:
+        return self.decisions / self.seconds
+
+    def render(self) -> str:
+        return (
+            f"decisions: {self.decisions} typed decisions through one "
+            f"stack's table in {self.seconds * 1e3:.1f} ms "
+            f"({self.per_second:,.0f}/s)"
+        )
+
+
+def measure_decision_rate(decisions: int = 20_000, tiers: int = 4) -> DecisionRateReport:
+    """Time ``decisions`` throttle/release applies through one DtmTable.
+
+    Rounds increase strictly per tier (every apply lands, none are
+    duplicates), alternating verb runs so the scale actually moves —
+    the exact arithmetic the live wire pays per decision.
+    """
+    policy = DtmPolicy()
+    table = DtmTable(policy)
+    started = time.perf_counter()
+    for i in range(decisions):
+        tier = i % tiers
+        round_index = i // tiers
+        action = THROTTLE if (round_index // 8) % 2 == 0 else RELEASE
+        table.apply(0, tier, round_index, action, latency_ms=0.25)
+    seconds = time.perf_counter() - started
+    return DecisionRateReport(decisions=decisions, seconds=seconds)
+
+
+# ---------------------------------------------------------- live vs batch
+
+
+@dataclass(frozen=True)
+class LiveVsBatchReport:
+    """First-throttle timing: live control plane vs the batch controller."""
+
+    rounds: int
+    sensed_c: List[float]
+    batch_round: Optional[int]
+    live_round: Optional[int]
+    decisions: int
+    service_errors: int
+
+    @property
+    def live_no_later(self) -> bool:
+        """The acceptance gate: the live loop never trails the batch one."""
+        if self.live_round is None:
+            return False
+        return self.batch_round is None or self.live_round <= self.batch_round
+
+    def render(self) -> str:
+        batch = "never" if self.batch_round is None else f"round {self.batch_round}"
+        live = "never" if self.live_round is None else f"round {self.live_round}"
+        verdict = "ok" if self.live_no_later else "FAILED"
+        return (
+            f"live vs batch: injected runaway over {self.rounds} rounds "
+            f"(sensed {self.sensed_c[0]:.1f} -> {self.sensed_c[-1]:.1f} degC); "
+            f"batch controller throttles at {batch}, live service at {live} "
+            f"({self.decisions} decision(s), {self.service_errors} error(s)) "
+            f"-> {verdict}"
+        )
+
+
+def run_live_vs_batch(
+    rounds: int = 12,
+    start_c: float = 50.0,
+    step_c: float = 5.0,
+    stack: int = 9,
+    tier: int = 1,
+    policy: Optional[DtmPolicy] = None,
+    deadline_ms: float = 200.0,
+    timeout_s: float = 30.0,
+) -> LiveVsBatchReport:
+    """Race the live DTM service against the batch controller's round.
+
+    Boots a one-shard edge server, attaches a :class:`DtmService`, and
+    drives the same escalating trace both controllers see.  The batch
+    reference is :func:`batch_alarm_round` on the *sensed* trace at the
+    throttle threshold — the round the offline E4-style controller
+    would first throttle.  The live round is read back over the wire
+    from the server's decision log, so the comparison includes the whole
+    push/decide/apply path.
+    """
+    from repro.dtm.service import DtmClient, DtmService, DtmServiceConfig
+    from repro.edge import EdgeClient, EdgeConfig, EdgeServerThread
+    from repro.edge.stream import StreamPolicy
+    from repro.serve.requests import ReadRequest
+    from repro.telemetry.runaway import batch_alarm_round
+
+    policy = policy or DtmPolicy()
+    config = EdgeConfig(
+        shards=1,
+        tiers=max(2, tier + 1),
+        root_seed=2012,
+        stream=StreamPolicy(sample_s=0.05, heartbeat_s=0.25),
+        dtm=policy,
+    )
+    sensed: List[float] = []
+    with EdgeServerThread(config) as edge:
+        service = DtmService(
+            edge.host, edge.port,
+            DtmServiceConfig(policy=policy, deadline_ms=deadline_ms),
+        )
+        service.start()
+        try:
+            with EdgeClient(edge.host, edge.port) as driver:
+                for i in range(rounds):
+                    result = driver.read(
+                        stack, ReadRequest.point(tier, start_c + step_c * i)
+                    )
+                    by_tier = {r.tier: r for r in result.readings}
+                    sensed.append(by_tier[tier].temperature_c)
+                    time.sleep(0.01)
+            batch = batch_alarm_round(sensed, policy.throttle_c)
+            live = None
+            deadline = time.monotonic() + timeout_s
+            with DtmClient(edge.host, edge.port) as dtm:
+                while live is None and time.monotonic() < deadline:
+                    throttles = [
+                        d["round"]
+                        for d in dtm.decisions()["decisions"]
+                        if d["stack"] == stack
+                        and d["tier"] == tier
+                        and d["action"] == THROTTLE
+                        and d["applied"]
+                    ]
+                    if throttles:
+                        live = min(throttles)
+                    elif batch is None:
+                        break
+                    else:
+                        time.sleep(0.05)
+            stats = service.stats()
+        finally:
+            service.stop()
+    return LiveVsBatchReport(
+        rounds=rounds,
+        sensed_c=sensed,
+        batch_round=batch,
+        live_round=live,
+        decisions=stats["decisions"],
+        service_errors=stats["errors"],
+    )

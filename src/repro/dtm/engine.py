@@ -1,0 +1,371 @@
+"""Placement-at-scale: batch scoring of candidate sensor placements.
+
+The scalar path (:mod:`repro.network.placement`) evaluates one placement
+at a time — fine for a greedy walk over a few dozen candidates, hopeless
+for design-space exploration over floorplan variants.  This engine is
+the array twin (the :mod:`repro.batch` style): it precomputes, once per
+(field set, candidate set),
+
+* ``S`` — every candidate site's bilinear sample in every workload field,
+* ``T`` — the probe-lattice truth temperatures per field,
+* ``D2`` — candidate-to-probe squared distances,
+
+after which the worst-case reconstruction error of *any* placement (a row
+of candidate indices) is a gather plus two reductions.  A chunked
+:meth:`PlacementEngine.score` evaluates millions of placements without
+materialising millions of fields; :meth:`PlacementEngine.greedy`
+reproduces the scalar greedy exactly (same sites, same trace — the
+parity gate), and :meth:`PlacementEngine.tournament` is the seeded
+top-k search driver for budgets where greedy's one path is not enough.
+
+Floorplan-style inputs come in through :class:`FloorplanSpec`: tier
+dimensions, a candidate lattice, and TSV keep-out circles (derived from
+the stress model via :func:`repro.tsv.keepout.keep_out_radius`) that
+prune candidates a design rule would reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.network.placement import (
+    PlacementResult,
+    Site,
+    candidate_grid,
+    probe_points,
+    sample_field,
+)
+
+_SCORED = telemetry.counter(
+    "dtm.place.scored",
+    unit="placements",
+    help="Candidate placements scored by the batch engine",
+)
+_ROUNDS = telemetry.counter(
+    "dtm.place.rounds", unit="rounds", help="Tournament rounds run"
+)
+
+#: Placements evaluated per scoring chunk (bounds peak memory to a few MB).
+SCORE_CHUNK = 2048
+
+
+@dataclass(frozen=True)
+class FloorplanSpec:
+    """Floorplan-style placement input: tier dims + keep-out circles.
+
+    Attributes:
+        width / height: Tier dimensions in metres.
+        layer: Solver layer name the sensors observe.
+        per_axis: Candidate lattice resolution per axis.
+        margin: Edge margin as a fraction of each dimension.
+        keepouts: ``(x, y, radius)`` circles candidates may not enter —
+            TSV keep-out zones, macro blockages, pad rings.
+    """
+
+    width: float
+    height: float
+    layer: str
+    per_axis: int = 12
+    margin: float = 0.1
+    keepouts: Tuple[Tuple[float, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("floorplan dimensions must be positive")
+
+    @classmethod
+    def with_tsv_keepouts(
+        cls,
+        width: float,
+        height: float,
+        layer: str,
+        model,
+        tsvs: Sequence[Any],
+        mobility_tolerance: float = 0.05,
+        per_axis: int = 12,
+        margin: float = 0.1,
+    ) -> "FloorplanSpec":
+        """Keep-outs from a TSV array via the stress model's KOZ radii."""
+        from repro.tsv.keepout import keep_out_radius
+
+        keepouts = tuple(
+            (site.x, site.y, keep_out_radius(model, site, mobility_tolerance))
+            for site in tsvs
+        )
+        return cls(
+            width=width,
+            height=height,
+            layer=layer,
+            per_axis=per_axis,
+            margin=margin,
+            keepouts=keepouts,
+        )
+
+    def candidate_sites(self) -> List[Site]:
+        """The candidate lattice minus every keep-out circle.
+
+        Raises:
+            ValueError: when the keep-outs swallow every candidate.
+        """
+        sites = candidate_grid(
+            self.width, self.height, per_axis=self.per_axis, margin=self.margin
+        )
+        if not self.keepouts:
+            return sites
+        arr = np.asarray(sites)
+        clear = np.ones(len(sites), dtype=bool)
+        for x, y, radius in self.keepouts:
+            d2 = (arr[:, 0] - x) ** 2 + (arr[:, 1] - y) ** 2
+            clear &= d2 >= radius * radius
+        kept = [site for site, ok in zip(sites, clear) if ok]
+        if not kept:
+            raise ValueError(
+                "keep-out zones exclude every candidate site; widen the "
+                "lattice or relax the tolerance"
+            )
+        return kept
+
+
+@dataclass(frozen=True)
+class TournamentResult:
+    """Outcome of one seeded top-k tournament.
+
+    Attributes:
+        sites: The winning placement.
+        worst_error_c: Its worst-case reconstruction error.
+        scored: Total placements scored across all rounds (the figure the
+            throughput benchmark reports).
+        rounds: Rounds run.
+        history: Best error after each round (non-increasing).
+        seed: The seed that reproduces this exact search.
+    """
+
+    sites: List[Site]
+    worst_error_c: float
+    scored: int
+    rounds: int
+    history: List[float] = field(default_factory=list)
+    seed: int = 0
+
+
+class PlacementEngine:
+    """Batch scorer over one (workload fields, candidate sites) pair."""
+
+    def __init__(
+        self,
+        fields: Sequence[Any],
+        layer: str,
+        candidates: Sequence[Site],
+        probe_grid: int = 12,
+    ) -> None:
+        if not fields:
+            raise ValueError("need at least one workload field")
+        if not candidates:
+            raise ValueError("need at least one candidate site")
+        self.layer = layer
+        self.candidates = list(candidates)
+        self.probe_grid = probe_grid
+        arr = np.asarray(self.candidates, dtype=float).reshape(-1, 2)
+        cx, cy = arr[:, 0], arr[:, 1]
+        px, py = probe_points(fields[0], probe_grid)
+        # S: (n_fields, n_candidates) candidate samples; T: (n_fields,
+        # n_probes) truths; D2: (n_candidates, n_probes) distances.  The
+        # per-placement score needs nothing else.
+        self.samples = np.stack(
+            [sample_field(f, layer, cx, cy) for f in fields], axis=0
+        )
+        self.truth = np.stack(
+            [sample_field(f, layer, px, py) for f in fields], axis=0
+        )
+        self.d2 = (cx[:, None] - px[None, :]) ** 2 + (cy[:, None] - py[None, :]) ** 2
+        self.scored = 0
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidates)
+
+    # --------------------------------------------------------------- scoring
+
+    def score(
+        self, placements: np.ndarray, chunk: int = SCORE_CHUNK
+    ) -> np.ndarray:
+        """Worst-case reconstruction error of each placement row.
+
+        ``placements`` is an integer array of shape ``(m, k)`` indexing
+        :attr:`candidates`; row order and duplicates are the caller's
+        business (a duplicate site simply wastes a slot).  Scores match
+        :func:`repro.network.placement.reconstruction_error` maxed over
+        the engine's fields, bit for bit.
+        """
+        placements = np.asarray(placements, dtype=np.intp)
+        if placements.ndim != 2:
+            raise ValueError("placements must be a (m, k) index array")
+        m = placements.shape[0]
+        scores = np.empty(m)
+        for start in range(0, m, chunk):
+            rows = placements[start : start + chunk]
+            d2 = self.d2[rows]  # (mc, k, n_probes)
+            nearest = np.argmin(d2, axis=1)  # (mc, n_probes)
+            site_idx = np.take_along_axis(
+                rows, nearest, axis=1
+            )  # (mc, n_probes) candidate index per probe
+            estimate = self.samples[:, site_idx]  # (n_f, mc, n_probes)
+            err = np.abs(estimate - self.truth[:, None, :])
+            scores[start : start + rows.shape[0]] = err.max(axis=(0, 2))
+        self.scored += m
+        _SCORED.inc(m)
+        return scores
+
+    def score_sites(self, placements: Sequence[Sequence[Site]]) -> np.ndarray:
+        """Score placements given as site tuples (exact-match lookup)."""
+        index = {site: i for i, site in enumerate(self.candidates)}
+        rows = np.array(
+            [[index[tuple(site)] for site in placement] for placement in placements],
+            dtype=np.intp,
+        )
+        return self.score(rows)
+
+    # ---------------------------------------------------------------- greedy
+
+    def greedy(self, sensor_budget: int) -> PlacementResult:
+        """The scalar greedy walk on the precomputed arrays (exact parity).
+
+        Site choices and the error trace equal
+        :func:`repro.network.placement.greedy_placement` on the same
+        fields/candidates — the parity gate the batch engine is held to.
+        """
+        if sensor_budget < 1:
+            raise ValueError("sensor_budget must be >= 1")
+        if sensor_budget > self.n_candidates:
+            raise ValueError("sensor_budget exceeds the candidate count")
+        n_probes = self.truth.shape[1]
+        cand_err = np.abs(self.samples[:, :, None] - self.truth[:, None, :])
+        chosen_idx: List[int] = []
+        trace: List[float] = []
+        best_d2 = np.full(n_probes, np.inf)
+        best_site = np.zeros(n_probes, dtype=np.intp)
+        taken = np.zeros(self.n_candidates, dtype=bool)
+        worst = float("inf")
+        for _ in range(sensor_budget):
+            if chosen_idx:
+                cur_err = np.abs(self.samples[:, best_site] - self.truth)
+            else:
+                cur_err = np.full(self.truth.shape, np.inf)
+            closer = self.d2 < best_d2[None, :]
+            trial = np.where(closer[None, :, :], cand_err, cur_err[:, None, :])
+            scores = trial.max(axis=(0, 2))
+            scores[taken] = np.inf
+            pick = int(np.argmin(scores))
+            worst = float(scores[pick])
+            chosen_idx.append(pick)
+            taken[pick] = True
+            trace.append(worst)
+            improved = self.d2[pick] < best_d2
+            best_d2 = np.where(improved, self.d2[pick], best_d2)
+            best_site = np.where(improved, pick, best_site)
+        self.scored += sensor_budget * self.n_candidates
+        _SCORED.inc(sensor_budget * self.n_candidates)
+        sites = [self.candidates[i] for i in chosen_idx]
+        return PlacementResult(sites=sites, worst_error_c=worst, error_trace=trace)
+
+    # ------------------------------------------------------------ tournament
+
+    def tournament(
+        self,
+        sensor_budget: int,
+        pool: int = 4096,
+        rounds: int = 8,
+        keep: int = 64,
+        seed: int = 2012,
+        chunk: int = SCORE_CHUNK,
+    ) -> TournamentResult:
+        """Seeded top-k tournament over random placements.
+
+        Each round scores a ``pool`` of placements, keeps the ``keep``
+        best (stable order — ties break to the earlier row, so the same
+        seed always reproduces the same search), and refills the pool
+        with single-site mutations of the winners.  Round one seeds the
+        pool with the greedy placement plus uniform random draws, so the
+        tournament never finishes worse than greedy.
+        """
+        if sensor_budget < 1:
+            raise ValueError("sensor_budget must be >= 1")
+        if sensor_budget > self.n_candidates:
+            raise ValueError("sensor_budget exceeds the candidate count")
+        if pool < 2 or keep < 1 or keep >= pool or rounds < 1:
+            raise ValueError("need pool >= 2, 1 <= keep < pool, rounds >= 1")
+        rng = np.random.default_rng(seed)
+        scored_before = self.scored
+        greedy = self.greedy(sensor_budget)
+        index = {site: i for i, site in enumerate(self.candidates)}
+        population = self._random_population(rng, pool, sensor_budget)
+        population[0] = [index[site] for site in greedy.sites]
+        best_row = population[0].copy()
+        best_score = np.inf
+        history: List[float] = []
+        for _ in range(rounds):
+            scores = self.score(population, chunk=chunk)
+            order = np.argsort(scores, kind="stable")
+            elite = population[order[:keep]]
+            if float(scores[order[0]]) < best_score:
+                best_score = float(scores[order[0]])
+                best_row = elite[0].copy()
+            history.append(best_score)
+            _ROUNDS.inc()
+            children = self._mutate(rng, elite, pool - keep)
+            population = np.concatenate([elite, children], axis=0)
+        sites = [self.candidates[i] for i in best_row]
+        return TournamentResult(
+            sites=sites,
+            worst_error_c=best_score,
+            scored=self.scored - scored_before,
+            rounds=rounds,
+            history=history,
+            seed=seed,
+        )
+
+    # -------------------------------------------------------------- plumbing
+
+    def _random_population(
+        self, rng: np.random.Generator, pool: int, k: int
+    ) -> np.ndarray:
+        """``(pool, k)`` index rows, distinct sites within each row."""
+        rows = rng.integers(0, self.n_candidates, size=(pool, k), dtype=np.intp)
+        return self._fix_duplicates(rng, rows)
+
+    def _mutate(
+        self, rng: np.random.Generator, elite: np.ndarray, count: int
+    ) -> np.ndarray:
+        """``count`` children, each an elite row with one site re-rolled."""
+        parents = elite[rng.integers(0, elite.shape[0], size=count)]
+        children = parents.copy()
+        slot = rng.integers(0, children.shape[1], size=count)
+        children[np.arange(count), slot] = rng.integers(
+            0, self.n_candidates, size=count, dtype=np.intp
+        )
+        return self._fix_duplicates(rng, children)
+
+    def _fix_duplicates(
+        self, rng: np.random.Generator, rows: np.ndarray
+    ) -> np.ndarray:
+        """Re-roll within-row duplicate sites until every row is a set."""
+        k = rows.shape[1]
+        if k <= 1 or k > self.n_candidates:
+            if k > self.n_candidates:
+                raise ValueError("placement size exceeds the candidate count")
+            return rows
+        while True:
+            ordered = np.sort(rows, axis=1)
+            dup_rows = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+            if not dup_rows.any():
+                return rows
+            for r in np.flatnonzero(dup_rows):
+                seen: set = set()
+                for j in range(k):
+                    while int(rows[r, j]) in seen:
+                        rows[r, j] = rng.integers(0, self.n_candidates)
+                    seen.add(int(rows[r, j]))

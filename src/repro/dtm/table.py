@@ -1,0 +1,248 @@
+"""The server-side DTM state: per-(stack, tier) scales, exactly once.
+
+:class:`DtmTable` is what the ``dtm.*`` op family manipulates.  It owns
+
+* the standing power scale of every (stack, tier) the control plane has
+  touched (absent means full power, 1.0);
+* **round idempotence**: at most one decision is applied per
+  (stack, tier, round).  A replayed verb — a reconnecting controller
+  resending after an SSE resume, a duplicated wire delivery — answers
+  with the standing scale and ``applied: false`` instead of moving the
+  scale twice.  This is what makes the live loop safe to drive through
+  at-least-once delivery;
+* a bounded decision log with a monotone sequence number
+  (:meth:`decisions_since` lets an auditor tail it without gaps — the
+  exact decision accounting the benchmark asserts);
+* the deadline budget: every decision carries the controller's measured
+  event-to-decision latency, and misses are counted, not hidden.
+
+The scale arithmetic is :func:`repro.network.dtm.apply_action` — the
+same float ops the offline E4 loop runs — so a decision stream replayed
+into the batch controller lands on bit-identical scales.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.network.dtm import DTM_ACTIONS, DtmPolicy, apply_action
+
+_THROTTLES = telemetry.counter(
+    "dtm.throttles", unit="decisions", help="Applied dtm.throttle decisions"
+)
+_RELEASES = telemetry.counter(
+    "dtm.releases", unit="decisions", help="Applied dtm.release decisions"
+)
+_DUPLICATES = telemetry.counter(
+    "dtm.duplicates",
+    unit="decisions",
+    help="Decisions answered idempotently (round already decided)",
+)
+_DEADLINE_MISS = telemetry.counter(
+    "dtm.deadline_miss",
+    unit="decisions",
+    help="Decisions whose event-to-decision latency exceeded the deadline budget",
+)
+_DECISION_MS = telemetry.histogram(
+    "dtm.decision_latency_ms",
+    unit="ms",
+    help="Controller-measured event-to-decision latency per applied decision",
+)
+
+#: Default bound on the in-memory decision log.
+DECISION_LOG = 4096
+
+
+@dataclass(frozen=True)
+class DtmDecision:
+    """One applied (or idempotently replayed) control-plane decision.
+
+    ``seq`` is the table-wide monotone sequence number (``0`` on a
+    replay that found no prior applied decision to point at);
+    ``applied`` is False when round idempotence answered from standing
+    state instead of moving the scale.
+    """
+
+    seq: int
+    stack: int
+    tier: int
+    round: int
+    action: str
+    scale: float
+    applied: bool
+    latency_ms: Optional[float] = None
+
+    def to_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "seq": self.seq,
+            "stack": self.stack,
+            "tier": self.tier,
+            "round": self.round,
+            "action": self.action,
+            "scale": self.scale,
+            "applied": self.applied,
+        }
+        if self.latency_ms is not None:
+            record["latency_ms"] = self.latency_ms
+        return record
+
+
+class DtmTable:
+    """Thread-safe per-(stack, tier) scale table with decision accounting."""
+
+    def __init__(
+        self,
+        policy: Optional[DtmPolicy] = None,
+        deadline_ms: float = 50.0,
+        log: int = DECISION_LOG,
+    ) -> None:
+        if deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        if log < 1:
+            raise ValueError("log must be >= 1")
+        self.policy = policy if policy is not None else DtmPolicy()
+        self.deadline_ms = deadline_ms
+        self._lock = threading.Lock()
+        self._scales: Dict[Tuple[int, int], float] = {}
+        self._last_round: Dict[Tuple[int, int], int] = {}
+        self._last_seq: Dict[Tuple[int, int], int] = {}
+        self._log: Deque[DtmDecision] = deque(maxlen=log)
+        self._seq = 0
+        self.throttles = 0
+        self.releases = 0
+        self.duplicates = 0
+        self.deadline_misses = 0
+
+    # ------------------------------------------------------------- decisions
+
+    def apply(
+        self,
+        stack: int,
+        tier: int,
+        round_index: int,
+        action: str,
+        latency_ms: Optional[float] = None,
+    ) -> DtmDecision:
+        """Apply one decision verb, exactly once per (stack, tier, round).
+
+        Raises:
+            ValueError: on an unknown action or a negative round.
+        """
+        if action not in DTM_ACTIONS:
+            raise ValueError(
+                f"unknown DTM action {action!r}; known: {DTM_ACTIONS}"
+            )
+        if round_index < 0:
+            raise ValueError("round must be >= 0")
+        key = (stack, tier)
+        with self._lock:
+            last = self._last_round.get(key)
+            if last is not None and round_index <= last:
+                self.duplicates += 1
+                decision = DtmDecision(
+                    seq=self._last_seq.get(key, 0),
+                    stack=stack,
+                    tier=tier,
+                    round=round_index,
+                    action=action,
+                    scale=self._scales.get(key, 1.0),
+                    applied=False,
+                    latency_ms=latency_ms,
+                )
+            else:
+                scale = apply_action(
+                    self.policy, self._scales.get(key, 1.0), action
+                )
+                self._seq += 1
+                self._scales[key] = scale
+                self._last_round[key] = round_index
+                self._last_seq[key] = self._seq
+                decision = DtmDecision(
+                    seq=self._seq,
+                    stack=stack,
+                    tier=tier,
+                    round=round_index,
+                    action=action,
+                    scale=scale,
+                    applied=True,
+                    latency_ms=latency_ms,
+                )
+                self._log.append(decision)
+                if action == "throttle":
+                    self.throttles += 1
+                else:
+                    self.releases += 1
+                if latency_ms is not None and latency_ms > self.deadline_ms:
+                    self.deadline_misses += 1
+        if decision.applied:
+            (_THROTTLES if action == "throttle" else _RELEASES).inc()
+            if latency_ms is not None:
+                _DECISION_MS.observe(latency_ms)
+                if latency_ms > self.deadline_ms:
+                    _DEADLINE_MISS.inc()
+        else:
+            _DUPLICATES.inc()
+        return decision
+
+    # --------------------------------------------------------------- queries
+
+    def scale(self, stack: int, tier: int) -> float:
+        """The standing power fraction of one tier (1.0 when untouched)."""
+        with self._lock:
+            return self._scales.get((stack, tier), 1.0)
+
+    def scales(self) -> Dict[str, float]:
+        """Every touched tier's scale, keyed ``"stack:tier"`` (wire form)."""
+        with self._lock:
+            return {
+                f"{stack}:{tier}": scale
+                for (stack, tier), scale in sorted(self._scales.items())
+            }
+
+    def decisions_since(self, seq: int = 0, limit: int = DECISION_LOG) -> List[Dict[str, Any]]:
+        """Applied decisions with ``seq`` strictly greater than ``seq``."""
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        with self._lock:
+            tail = [d.to_record() for d in self._log if d.seq > seq]
+        return tail[:limit]
+
+    def status(self) -> Dict[str, Any]:
+        """The ``dtm.status`` body (policy, scales, exact accounting)."""
+        with self._lock:
+            return {
+                "policy": {
+                    "throttle_c": self.policy.throttle_c,
+                    "release_c": self.policy.release_c,
+                    "decrease_factor": self.policy.decrease_factor,
+                    "increase_step": self.policy.increase_step,
+                    "floor": self.policy.floor,
+                },
+                "deadline_ms": self.deadline_ms,
+                "seq": self._seq,
+                "scales": {
+                    f"{stack}:{tier}": scale
+                    for (stack, tier), scale in sorted(self._scales.items())
+                },
+                "throttles": self.throttles,
+                "releases": self.releases,
+                "duplicates": self.duplicates,
+                "deadline_misses": self.deadline_misses,
+                "throttled_tiers": sum(
+                    1 for scale in self._scales.values() if scale < 1.0
+                ),
+            }
+
+    def reset(self) -> int:
+        """Drop every scale and decision back to full power; returns seq."""
+        with self._lock:
+            seq = self._seq
+            self._scales.clear()
+            self._last_round.clear()
+            self._last_seq.clear()
+            self._log.clear()
+        return seq

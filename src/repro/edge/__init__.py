@@ -62,6 +62,7 @@ from repro.edge.loadgen import (
 )
 from repro.edge.protocol import (
     ADMIN_OPS,
+    DTM_OPS,
     STREAM_OPS,
     ERROR_CODES,
     HTTP_STATUS,
@@ -96,6 +97,7 @@ __all__ = [
     "AsyncSubscription",
     "AutoscalePolicy",
     "Autoscaler",
+    "DTM_OPS",
     "EdgeClient",
     "EdgeConfig",
     "EdgeDeployment",

@@ -38,6 +38,7 @@ from repro.edge import protocol
 from repro.edge.sharding import ShardSpec
 from repro.edge.stream import StreamPolicy
 from repro.edge.worker import WorkerConfig
+from repro.network.dtm import DtmPolicy
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.scheduler import BatchPolicy
 from repro.serve.service import ServeConfig
@@ -101,6 +102,8 @@ class EdgeDeployment:
     warm_spares: int = 0
     autoscale: Optional[object] = None  # AutoscalePolicy; object keeps import lazy
     stream: StreamPolicy = field(default_factory=StreamPolicy)
+    dtm: DtmPolicy = field(default_factory=DtmPolicy)
+    dtm_deadline_ms: float = 50.0
 
     def __post_init__(self) -> None:
         if self.shards < 1:

@@ -129,6 +129,23 @@ STREAM_UNSUBSCRIBE = "stream.unsubscribe"  # {"subscription": id}
 #: streams the same events as SSE over ``GET /v1/stream``.
 STREAM_OPS = frozenset({STREAM_SUBSCRIBE, STREAM_UNSUBSCRIBE})
 
+# ----------------------------------------------------------------- dtm ops
+
+DTM_STATUS = "dtm.status"  # policy, per-(stack, tier) scales, counters
+DTM_THROTTLE = "dtm.throttle"  # {"stack": s, "tier": t, "round": r, ...}
+DTM_RELEASE = "dtm.release"  # {"stack": s, "tier": t, "round": r, ...}
+DTM_DECISIONS = "dtm.decisions"  # {"since": seq} -> decision log tail
+DTM_RESET = "dtm.reset"  # drop all scales/decisions back to full power
+
+#: The closed thermal-management op family.  ``dtm.throttle`` and
+#: ``dtm.release`` are *idempotent by round*: the server applies at most
+#: one decision per (stack, tier, round) and answers duplicates with the
+#: standing scale (``applied: false``), so a reconnecting controller may
+#: replay without double-throttling.  Like the admin family, every verb
+#: rides NDJSON lines, binary frames (JSON body) and HTTP
+#: (``POST /v1/dtm/<verb>`` / ``GET /v1/dtm/status``).
+DTM_OPS = frozenset({DTM_STATUS, DTM_THROTTLE, DTM_RELEASE, DTM_DECISIONS, DTM_RESET})
+
 
 class EdgeError(RuntimeError):
     """One typed edge failure, as an exception.

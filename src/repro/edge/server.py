@@ -54,6 +54,9 @@ from repro.edge.protocol import EdgeError
 from repro.edge.stream import StreamPlane, StreamPolicy, clamp_queue, format_sse
 from repro.edge.supervisor import ShardPool, ShardState
 from repro.edge.worker import WorkerConfig
+from repro.dtm.table import DtmTable
+from repro.network.dtm import DtmPolicy
+from repro.telemetry.rollup import ROLLUP_TIERS
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.scheduler import BatchPolicy
 
@@ -143,6 +146,11 @@ class EdgeConfig:
         stream: The streaming plane's knobs (sampler cadence, heartbeat,
             subscriber queue bound, rollup windows, detector thresholds);
             see :class:`~repro.edge.stream.StreamPolicy`.
+        dtm: Hysteresis policy of the ``dtm.*`` control plane's decision
+            table (see :class:`~repro.network.dtm.DtmPolicy`); the live
+            controller's policy must match it for exact mirroring.
+        dtm_deadline_ms: Decision-latency budget; decisions reporting a
+            larger measured latency are counted as deadline misses.
     """
 
     host: str = "127.0.0.1"
@@ -174,8 +182,12 @@ class EdgeConfig:
     warm_spares: int = 0
     autoscale: Optional[object] = None  # AutoscalePolicy; object keeps it picklable-lazy
     stream: StreamPolicy = field(default_factory=StreamPolicy)
+    dtm: DtmPolicy = field(default_factory=DtmPolicy)
+    dtm_deadline_ms: float = 50.0
 
     def __post_init__(self) -> None:
+        if self.dtm_deadline_ms <= 0.0:
+            raise ValueError("dtm_deadline_ms must be positive")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
         if self.warm_spares < 0:
@@ -274,6 +286,7 @@ class EdgeServer:
         if config.autoscale is not None:
             self.autoscaler = Autoscaler(self.pool, config.autoscale)
         self.plane = StreamPlane(config.stream)
+        self.dtm = DtmTable(config.dtm, deadline_ms=config.dtm_deadline_ms)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._closing = False
@@ -629,6 +642,12 @@ class EdgeServer:
                 payload, request_id, writer, write_lock, pushers, encode
             )
             return
+        if op in protocol.DTM_OPS:
+            # Pure in-memory table ops — microseconds, answered inline.
+            await self._send(
+                writer, write_lock, self._dtm_execute(payload, request_id), encode
+            )
+            return
         if op == "chaos" and self.config.enable_chaos:
             try:
                 self.pool.chaos(int(payload.get("shard", 0)), payload.get("kind", "exit"))
@@ -654,7 +673,13 @@ class EdgeServer:
                 EdgeError(
                     protocol.UNKNOWN_OP,
                     f"unknown op {op!r}; known: read, ping, stats, "
-                    + ", ".join(sorted(protocol.ADMIN_OPS | protocol.STREAM_OPS)),
+                    + ", ".join(
+                        sorted(
+                            protocol.ADMIN_OPS
+                            | protocol.STREAM_OPS
+                            | protocol.DTM_OPS
+                        )
+                    ),
                 ),
             ),
             encode,
@@ -763,7 +788,79 @@ class EdgeServer:
             None if self.autoscaler is None else self.autoscaler.status()
         )
         status["stream"] = self.plane.status()
+        status["dtm"] = self.dtm.status()
         return status
+
+    # -------------------------------------------------------------- dtm plane
+
+    def _dtm_execute(self, payload, request_id) -> Dict[str, Any]:
+        """Run one ``dtm.*`` op; returns the (typed) answer payload.
+
+        Wire-agnostic like :meth:`_admin_execute`: the NDJSON/binary
+        dispatcher and the HTTP adapter both funnel here.  Decision verbs
+        are idempotent by round (see :class:`~repro.dtm.table.DtmTable`),
+        so at-least-once delivery is safe on every wire.
+        """
+        op = payload.get("op")
+        try:
+            if op == protocol.DTM_STATUS:
+                return {"id": request_id, "ok": True, "status": self.dtm.status()}
+            if op in (protocol.DTM_THROTTLE, protocol.DTM_RELEASE):
+                stack = payload.get("stack")
+                tier = payload.get("tier")
+                round_index = payload.get("round")
+                for name, value in (("stack", stack), ("tier", tier), ("round", round_index)):
+                    if not isinstance(value, int) or isinstance(value, bool):
+                        raise EdgeError(
+                            protocol.INVALID,
+                            f"{op} needs an integer '{name}'",
+                        )
+                latency_ms = payload.get("latency_ms")
+                if latency_ms is not None and (
+                    not isinstance(latency_ms, (int, float))
+                    or isinstance(latency_ms, bool)
+                    or latency_ms < 0
+                ):
+                    raise EdgeError(
+                        protocol.INVALID,
+                        "latency_ms must be a non-negative number when present",
+                    )
+                action = op.split(".", 1)[1]
+                decision = self.dtm.apply(
+                    stack,
+                    tier,
+                    round_index,
+                    action,
+                    latency_ms=None if latency_ms is None else float(latency_ms),
+                )
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "decision": decision.to_record(),
+                }
+            if op == protocol.DTM_DECISIONS:
+                since = payload.get("since", 0)
+                if not isinstance(since, int) or isinstance(since, bool) or since < 0:
+                    raise EdgeError(
+                        protocol.INVALID,
+                        "dtm.decisions 'since' must be a non-negative integer",
+                    )
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "decisions": self.dtm.decisions_since(since),
+                }
+            if op == protocol.DTM_RESET:
+                return {"id": request_id, "ok": True, "seq": self.dtm.reset()}
+            raise EdgeError(protocol.UNKNOWN_OP, f"unknown dtm op {op!r}")
+        except EdgeError as error:
+            _ERRORS.inc()
+            return protocol.error_payload(request_id, error)
+        except ValueError as error:
+            _ERRORS.inc()
+            return protocol.error_payload(
+                request_id, EdgeError(protocol.INVALID, str(error))
+            )
 
     # ----------------------------------------------------------- stream plane
 
@@ -1074,6 +1171,27 @@ class EdgeServer:
                 return
             await self._http_admin(writer, op, body, keep_alive, headers)
             return
+        if target == "/v1/dtm/status" and method == "GET":
+            await self._http_dtm(writer, protocol.DTM_STATUS, b"", keep_alive)
+            return
+        if target.startswith("/v1/dtm/") and method == "POST":
+            op = "dtm." + target[len("/v1/dtm/") :]
+            if op not in protocol.DTM_OPS:
+                _ERRORS.inc()
+                await self._http_error(
+                    writer,
+                    EdgeError(
+                        protocol.UNKNOWN_OP,
+                        f"no dtm route {target}; verbs: "
+                        + ", ".join(
+                            sorted(o.split(".", 1)[1] for o in protocol.DTM_OPS)
+                        ),
+                    ),
+                    keep_alive,
+                )
+                return
+            await self._http_dtm(writer, op, body, keep_alive)
+            return
         if method == "POST" and target == "/v1/read":
             started = time.perf_counter()
             try:
@@ -1116,7 +1234,8 @@ class EdgeServer:
                 f"no route {method} {target}; try POST /v1/read, "
                 "GET /healthz, GET /metrics, GET /v1/stream, "
                 "GET /v1/rollup, GET /v1/admin/status, "
-                "POST /v1/admin/<verb>",
+                "POST /v1/admin/<verb>, GET /v1/dtm/status, "
+                "POST /v1/dtm/<verb>",
             ),
             keep_alive,
         )
@@ -1149,6 +1268,26 @@ class EdgeServer:
         if header_token is not None and "token" not in payload:
             payload["token"] = header_token
         answer = await self._admin_execute(payload, payload.get("id"))
+        if answer.get("ok"):
+            status = 200
+        else:
+            status = protocol.HTTP_STATUS.get(answer["error"]["code"], 500)
+        await self._http_respond(writer, status, answer, keep_alive)
+
+    async def _http_dtm(
+        self, writer, op: str, body: bytes, keep_alive: bool
+    ) -> None:
+        """The HTTP face of the dtm plane: same funnel, typed answers."""
+        payload: Dict[str, Any] = {}
+        if body.strip():
+            try:
+                payload = protocol.decode_line(body)
+            except EdgeError as error:
+                _ERRORS.inc()
+                await self._http_error(writer, error, keep_alive)
+                return
+        payload["op"] = op
+        answer = self._dtm_execute(payload, payload.get("id"))
         if answer.get("ok"):
             status = 200
         else:
@@ -1296,7 +1435,9 @@ class EdgeServer:
         """``GET /v1/rollup`` — sealed time-series windows as JSON.
 
         Query parameters: ``metric`` (comma-separated exact names;
-        default all series) and ``last`` (newest n windows per series).
+        default all series), ``last`` (newest n windows per series) and
+        ``tier`` (``fine`` — the default — or ``coarse``, the
+        downsampled long-retention ring).
         """
         query = parse_qs(urlsplit(target).query)
         names = [
@@ -1307,13 +1448,19 @@ class EdgeServer:
             last = int(last_raw[0]) if last_raw else None
             if last is not None and last < 1:
                 raise ValueError("last must be >= 1")
+            tier_raw = query.get("tier")
+            tier = tier_raw[0] if tier_raw else "fine"
+            if tier not in ROLLUP_TIERS:
+                raise ValueError(
+                    f"tier must be one of {ROLLUP_TIERS}, not {tier!r}"
+                )
         except ValueError as error:
             _ERRORS.inc()
             await self._http_error(
                 writer, EdgeError(protocol.INVALID, str(error)), keep_alive
             )
             return
-        body = self.plane.rollup_snapshot(names=names, last=last)
+        body = self.plane.rollup_snapshot(names=names, last=last, tier=tier)
         await self._http_respond(writer, 200, body, keep_alive)
 
     def _status_body(self, target: str) -> Tuple[int, str, bytes]:

@@ -192,14 +192,20 @@ class StreamPlane:
     # --------------------------------------------------------------- queries
 
     def rollup_snapshot(
-        self, names: Optional[List[str]] = None, last: Optional[int] = None
+        self,
+        names: Optional[List[str]] = None,
+        last: Optional[int] = None,
+        tier: str = "fine",
     ) -> Dict[str, Any]:
-        """The ``GET /v1/rollup`` body."""
+        """The ``GET /v1/rollup`` body (``tier`` picks the retention ring)."""
+        policy = self.policy.rollup
+        coarse = tier == "coarse"
         return {
             "ok": True,
-            "window_s": self.policy.rollup.window_s,
-            "ring": self.policy.rollup.ring,
-            "rollups": self.rollups.snapshot(names=names, last=last),
+            "tier": tier,
+            "window_s": policy.coarse_window_s if coarse else policy.window_s,
+            "ring": policy.coarse_ring if coarse else policy.ring,
+            "rollups": self.rollups.snapshot(names=names, last=last, tier=tier),
         }
 
     def status(self) -> Dict[str, Any]:

@@ -21,6 +21,7 @@ from typing import Dict
 import numpy as np
 
 from repro.analysis.tables import render_table
+from repro.dtm.table import DtmTable
 from repro.experiments.common import die_population, reference_setup
 from repro.network.aggregator import StackMonitor
 from repro.network.dtm import DtmPolicy, DtmTrace, run_closed_loop
@@ -137,6 +138,11 @@ def run(fast: bool = False) -> E4Result:
         warning_c=policy.release_c,
         emergency_c=policy.throttle_c + 15.0,
     )
+    # The loop emits the live control plane's typed verbs; recording
+    # them through a DtmTable (the same arithmetic the edge runs) must
+    # land on exactly the trace's final scales — drift here would mean
+    # the offline study and the deployed controller disagree.
+    table = DtmTable(policy)
     trace = run_closed_loop(
         stack,
         grid,
@@ -146,7 +152,18 @@ def run(fast: bool = False) -> E4Result:
         dt=dt,
         steps=steps * 4,
         sensor_sites={i: SENSOR_SITE for i in range(len(stack.tiers))},
+        decision_sink=lambda tier, rnd, action: table.apply(0, tier, rnd, action),
     )
+    final_scales = trace.power_scales[-1]
+    mismatch = {
+        tier: (table.scale(0, tier), scale)
+        for tier, scale in final_scales.items()
+        if table.scale(0, tier) != scale
+    }
+    if mismatch:
+        raise AssertionError(
+            f"decision replay diverged from the closed loop: {mismatch}"
+        )
     return E4Result(open_peak_c=open_peak, closed_trace=trace, policy=policy)
 
 

@@ -11,32 +11,54 @@ DESIGN.md) built strictly on the reproduced sensor.
 
 from repro.network.aggregator import MonitorSnapshot, StackMonitor, TierState
 from repro.network.consensus import ConsensusReport, check_consensus
-from repro.network.dtm import DtmPolicy, DtmTrace, run_closed_loop
+from repro.network.dtm import (
+    DTM_ACTIONS,
+    RELEASE,
+    THROTTLE,
+    DtmPolicy,
+    DtmTrace,
+    apply_action,
+    decide,
+    run_closed_loop,
+)
 from repro.network.fusion import TemperatureKalman, filter_trace
 from repro.network.placement import (
     PlacementResult,
     candidate_grid,
     greedy_placement,
     observer_error,
+    observer_error_scalar,
+    probe_points,
     reconstruction_error,
+    reconstruction_error_scalar,
+    sample_field,
 )
 from repro.network.scheduler import AdaptiveSampler
 
 __all__ = [
     "AdaptiveSampler",
     "ConsensusReport",
+    "DTM_ACTIONS",
     "DtmPolicy",
     "DtmTrace",
     "MonitorSnapshot",
     "PlacementResult",
+    "RELEASE",
     "StackMonitor",
+    "THROTTLE",
     "TemperatureKalman",
     "TierState",
+    "apply_action",
     "candidate_grid",
     "check_consensus",
+    "decide",
     "filter_trace",
     "greedy_placement",
     "observer_error",
+    "observer_error_scalar",
+    "probe_points",
     "reconstruction_error",
+    "reconstruction_error_scalar",
     "run_closed_loop",
+    "sample_field",
 ]

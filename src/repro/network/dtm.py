@@ -21,7 +21,7 @@ the designer does not have to add.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,11 +62,49 @@ class DtmPolicy:
 
     def update(self, scale: float, reading_c: float) -> float:
         """Next power fraction for one tier given its sensor reading."""
-        if reading_c >= self.throttle_c:
-            return max(self.floor, scale * self.decrease_factor)
-        if reading_c < self.release_c:
-            return min(1.0, scale + self.increase_step)
-        return scale
+        return decide(self, scale, reading_c)[1]
+
+
+#: The two decision verbs of the live control plane (wire values).
+THROTTLE = "throttle"
+RELEASE = "release"
+DTM_ACTIONS = (THROTTLE, RELEASE)
+
+
+def apply_action(policy: DtmPolicy, scale: float, action: str) -> float:
+    """The scale one decision verb produces from the standing scale.
+
+    This is the single source of the controller arithmetic: the offline
+    loop below, the live :class:`repro.dtm.table.DtmTable` on the server
+    and the :class:`repro.dtm.service.DtmService` mirror all call it, so
+    a decision computed on one side replays to the same scale on the
+    other (exact float equality, no re-derivation drift).
+    """
+    if action == THROTTLE:
+        return max(policy.floor, scale * policy.decrease_factor)
+    if action == RELEASE:
+        return min(1.0, scale + policy.increase_step)
+    raise ValueError(f"unknown DTM action {action!r}; known: {DTM_ACTIONS}")
+
+
+def decide(
+    policy: DtmPolicy, scale: float, reading_c: float
+) -> Tuple[Optional[str], float]:
+    """One hysteresis step: ``(action, next_scale)`` for a tier reading.
+
+    ``action`` is ``"throttle"`` / ``"release"`` when the scale moves and
+    ``None`` when the reading sits in the hysteresis band — or when the
+    verb would be a no-op (already at the floor, already at full power),
+    so a live controller issues no wire traffic for standing state.
+    ``next_scale`` is always exactly :meth:`DtmPolicy.update`'s value.
+    """
+    if reading_c >= policy.throttle_c:
+        next_scale = apply_action(policy, scale, THROTTLE)
+        return (THROTTLE if next_scale != scale else None), next_scale
+    if reading_c < policy.release_c:
+        next_scale = apply_action(policy, scale, RELEASE)
+        return (RELEASE if next_scale != scale else None), next_scale
+    return None, scale
 
 
 @dataclass(frozen=True)
@@ -111,6 +149,7 @@ def run_closed_loop(
     dt: float,
     steps: int,
     sensor_sites: Dict[int, tuple],
+    decision_sink: Optional[Callable[[int, int, str], None]] = None,
 ) -> DtmTrace:
     """Run the sensor-driven throttling loop on the transient solver.
 
@@ -123,6 +162,11 @@ def run_closed_loop(
         dt: Control period in seconds (one solver step per control step).
         steps: Control steps to simulate.
         sensor_sites: Tier index -> (x, y) sensor location, metres.
+        decision_sink: Optional ``(tier, round, action)`` callback fired
+            for every emitted verb — the same typed decision stream the
+            live control plane carries, so a caller can record the run
+            into a :class:`repro.dtm.table.DtmTable` (experiment R-E4
+            does).  The trace itself is unaffected.
 
     Returns:
         The closed-loop :class:`DtmTrace`.
@@ -150,7 +194,9 @@ def run_closed_loop(
 
         snapshot = monitor.poll(true_temps)
         for tier_id, reading in snapshot.temperatures_c.items():
-            scales[tier_id] = policy.update(scales[tier_id], reading)
+            action, scales[tier_id] = decide(policy, scales[tier_id], reading)
+            if action is not None and decision_sink is not None:
+                decision_sink(tier_id, step - 1, action)
 
         times.append(step * dt)
         true_peaks.append(

@@ -16,6 +16,18 @@ This module implements the standard greedy worst-case-coverage approach:
 Greedy placement is within (1 - 1/e) of optimal for this class of
 coverage objective, and in practice lands within tenths of a degree of
 exhaustive search for the k <= 6 budgets a tier can afford.
+
+Two implementations coexist.  The *scalar* path
+(:func:`reconstruction_error_scalar`, :func:`observer_error_scalar`) is
+the original definition — one :meth:`TemperatureField.at` call per probe
+point — and stays as the golden reference.  The public functions run the
+*vectorized* fast path: the probe grid and every candidate site are
+sampled in one bilinear gather off the layer array
+(:func:`sample_field`), so the error of a whole placement is a handful of
+numpy reductions.  The fast path reproduces the scalar math operation for
+operation, so results agree bit-for-bit (the parity test pins this); the
+batch engine in :mod:`repro.dtm.engine` builds on the same primitives to
+score millions of placements.
 """
 
 from __future__ import annotations
@@ -47,25 +59,65 @@ class PlacementResult:
     error_trace: List[float]
 
 
+# ------------------------------------------------------------ sampling
+
+def sample_field(
+    field: TemperatureField, layer: str, xs: np.ndarray, ys: np.ndarray
+) -> np.ndarray:
+    """Bilinear temperature samples at many points in one gather.
+
+    The vectorized twin of :meth:`TemperatureField.at`: identical
+    clipping, index truncation and lerp ordering, applied to whole
+    coordinate arrays — so each element matches the scalar call bit for
+    bit.
+    """
+    plane = field.layer(layer)
+    ny, nx = plane.shape
+    fx = np.clip(np.asarray(xs, dtype=float) / field.grid.width, 0.0, 1.0) * (nx - 1)
+    fy = np.clip(np.asarray(ys, dtype=float) / field.grid.height, 0.0, 1.0) * (ny - 1)
+    ix0 = fx.astype(np.intp)
+    iy0 = fy.astype(np.intp)
+    ix1 = np.minimum(ix0 + 1, nx - 1)
+    iy1 = np.minimum(iy0 + 1, ny - 1)
+    tx = fx - ix0
+    ty = fy - iy0
+    top = (1 - tx) * plane[iy0, ix0] + tx * plane[iy0, ix1]
+    bottom = (1 - tx) * plane[iy1, ix0] + tx * plane[iy1, ix1]
+    return (1 - ty) * top + ty * bottom
+
+
+def probe_points(
+    field: TemperatureField, probe_grid: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The uniform error-probe lattice as flat (xs, ys) arrays.
+
+    Row-major in y then x — the same visit order as the scalar loops, so
+    per-probe arrays line up with the reference implementation.
+    """
+    xs = np.linspace(0.0, field.grid.width, probe_grid)
+    ys = np.linspace(0.0, field.grid.height, probe_grid)
+    gx, gy = np.meshgrid(xs, ys)
+    return gx.ravel(), gy.ravel()
+
+
+def _site_arrays(sites: Sequence[Site]) -> Tuple[np.ndarray, np.ndarray]:
+    arr = np.asarray(sites, dtype=float).reshape(len(sites), 2)
+    return arr[:, 0], arr[:, 1]
+
+
 def _field_samples(field: TemperatureField, layer: str, sites: Sequence[Site]) -> np.ndarray:
     return np.array([field.at(layer, x, y) for x, y in sites])
 
 
-def reconstruction_error(
+# ------------------------------------------------- reconstruction error
+
+def reconstruction_error_scalar(
     field: TemperatureField,
     layer: str,
     sites: Sequence[Site],
     probe_grid: int = 12,
 ) -> float:
-    """Worst absolute error reconstructing ``field`` from ``sites``.
-
-    Reconstruction is nearest-sensor (Voronoi) assignment — each die
-    location is attributed its closest sensor's reading, the scheme a
-    lightweight on-die monitor actually runs.  It also makes placement
-    well-behaved: adding a sensor only refines the cells around it, so the
-    worst error is non-increasing in the sensor budget.  Error is probed on
-    a uniform grid over the layer.
-    """
+    """The original point-at-a-time reconstruction error (golden path)."""
     if not sites:
         raise ValueError("need at least one sensor site")
     samples = _field_samples(field, layer, sites)
@@ -82,7 +134,36 @@ def reconstruction_error(
     return worst
 
 
-def observer_error(
+def reconstruction_error(
+    field: TemperatureField,
+    layer: str,
+    sites: Sequence[Site],
+    probe_grid: int = 12,
+) -> float:
+    """Worst absolute error reconstructing ``field`` from ``sites``.
+
+    Reconstruction is nearest-sensor (Voronoi) assignment — each die
+    location is attributed its closest sensor's reading, the scheme a
+    lightweight on-die monitor actually runs.  It also makes placement
+    well-behaved: adding a sensor only refines the cells around it, so the
+    worst error is non-increasing in the sensor budget.  Error is probed on
+    a uniform grid over the layer.
+
+    Vectorized: all probe points and all site samples are gathered in
+    one shot, bit-identical to :func:`reconstruction_error_scalar`.
+    """
+    if not sites:
+        raise ValueError("need at least one sensor site")
+    sx, sy = _site_arrays(sites)
+    px, py = probe_points(field, probe_grid)
+    samples = sample_field(field, layer, sx, sy)
+    truth = sample_field(field, layer, px, py)
+    d2 = (sx[None, :] - px[:, None]) ** 2 + (sy[None, :] - py[:, None]) ** 2
+    nearest = np.argmin(d2, axis=1)
+    return float(np.max(np.abs(samples[nearest] - truth), initial=0.0))
+
+
+def observer_error_scalar(
     field: TemperatureField,
     layer: str,
     sites: Sequence[Site],
@@ -90,33 +171,7 @@ def observer_error(
     probe_grid: int = 12,
     ridge: float = 1e-3,
 ) -> float:
-    """Worst error of a model-based observer reconstructing ``field``.
-
-    The observer knows the *shapes* of the design-time workload fields
-    (``basis_fields``, from the thermal sign-off runs) and models the live
-    field as a linear combination of them — valid because the thermal
-    system is linear in power.  The combination weights are least-squares
-    fitted to the sensor readings, then the full field is synthesised.
-
-    This is the cheap end of thermal-observer practice (no Kalman update,
-    no model reduction) and shows what placement must really provide:
-    sensor sites that make the basis responses *distinguishable* (a
-    well-conditioned sensing matrix), not merely spread out.
-
-    Args:
-        field: The live field to reconstruct.
-        layer: Observed layer.
-        sites: Sensor sites.
-        basis_fields: Design-time workload fields spanning the model.
-        probe_grid: Error-probe resolution per axis.
-        ridge: Relative Tikhonov damping on the weight solve (scaled by
-            the sensing matrix's mean diagonal).  Keeps the weights bounded
-            when an out-of-span field would otherwise be chased with huge
-            basis coefficients.
-
-    Returns:
-        Worst absolute reconstruction error over the probe grid, kelvin.
-    """
+    """The original point-at-a-time observer error (golden path)."""
     if not sites:
         raise ValueError("need at least one sensor site")
     if not basis_fields:
@@ -150,6 +205,75 @@ def observer_error(
     return worst
 
 
+def observer_error(
+    field: TemperatureField,
+    layer: str,
+    sites: Sequence[Site],
+    basis_fields: Sequence[TemperatureField],
+    probe_grid: int = 12,
+    ridge: float = 1e-3,
+) -> float:
+    """Worst error of a model-based observer reconstructing ``field``.
+
+    The observer knows the *shapes* of the design-time workload fields
+    (``basis_fields``, from the thermal sign-off runs) and models the live
+    field as a linear combination of them — valid because the thermal
+    system is linear in power.  The combination weights are least-squares
+    fitted to the sensor readings, then the full field is synthesised.
+
+    This is the cheap end of thermal-observer practice (no Kalman update,
+    no model reduction) and shows what placement must really provide:
+    sensor sites that make the basis responses *distinguishable* (a
+    well-conditioned sensing matrix), not merely spread out.
+
+    Vectorized fast path of :func:`observer_error_scalar` (same math;
+    the matrix products may differ from the scalar loop only by BLAS
+    reduction order, i.e. last-ulp float noise).
+
+    Args:
+        field: The live field to reconstruct.
+        layer: Observed layer.
+        sites: Sensor sites.
+        basis_fields: Design-time workload fields spanning the model.
+        probe_grid: Error-probe resolution per axis.
+        ridge: Relative Tikhonov damping on the weight solve (scaled by
+            the sensing matrix's mean diagonal).  Keeps the weights bounded
+            when an out-of-span field would otherwise be chased with huge
+            basis coefficients.
+
+    Returns:
+        Worst absolute reconstruction error over the probe grid, kelvin.
+    """
+    if not sites:
+        raise ValueError("need at least one sensor site")
+    if not basis_fields:
+        raise ValueError("need at least one basis field")
+    ambient = field.grid.ambient_k
+    sx, sy = _site_arrays(sites)
+    sensing = (
+        np.stack(
+            [sample_field(basis, layer, sx, sy) for basis in basis_fields], axis=1
+        )
+        - ambient
+    )
+    readings = sample_field(field, layer, sx, sy) - ambient
+    gram = sensing.T @ sensing
+    damping = ridge * float(np.trace(gram)) / len(basis_fields)
+    gram = gram + damping * np.eye(len(basis_fields))
+    weights = np.linalg.solve(gram, sensing.T @ readings)
+
+    px, py = probe_points(field, probe_grid)
+    truth = sample_field(field, layer, px, py)
+    basis_probe = (
+        np.stack(
+            [sample_field(basis, layer, px, py) for basis in basis_fields], axis=0
+        )
+        - ambient
+    )
+    estimate = ambient + weights @ basis_probe
+    return float(np.max(np.abs(estimate - truth), initial=0.0))
+
+
 def candidate_grid(width: float, height: float, per_axis: int = 5, margin: float = 0.1) -> List[Site]:
     """A uniform grid of candidate sensor sites with an edge margin."""
     if per_axis < 2:
@@ -167,6 +291,14 @@ def greedy_placement(
     probe_grid: int = 12,
 ) -> PlacementResult:
     """Greedily choose ``sensor_budget`` sites minimising worst-case error.
+
+    Runs the vectorized incremental greedy: the per-probe
+    nearest-chosen-site state is maintained as arrays, so evaluating
+    every remaining candidate for the next slot is one masked reduction
+    instead of a fresh scalar error sweep per candidate.  Site choices
+    and the error trace match the original
+    per-:func:`reconstruction_error_scalar` greedy exactly (ties break
+    to the earliest candidate in both).
 
     Args:
         fields: Representative workload temperature fields (the training
@@ -186,24 +318,41 @@ def greedy_placement(
     if not fields:
         raise ValueError("need at least one workload field")
 
-    chosen: List[Site] = []
-    remaining = list(candidates)
+    cx, cy = _site_arrays(candidates)
+    px, py = probe_points(fields[0], probe_grid)
+    # S: per-field candidate samples (n_fields, n_candidates); T: truths
+    # (n_fields, n_probes); D2: candidate-to-probe squared distances.
+    samples = np.stack([sample_field(f, layer, cx, cy) for f in fields], axis=0)
+    truth = np.stack([sample_field(f, layer, px, py) for f in fields], axis=0)
+    d2 = (cx[:, None] - px[None, :]) ** 2 + (cy[:, None] - py[None, :]) ** 2
+    # |candidate reading - truth| for every (field, candidate, probe):
+    # the error a probe would take if this candidate became its nearest.
+    cand_err = np.abs(samples[:, :, None] - truth[:, None, :])
+
+    n_candidates = len(candidates)
+    chosen_idx: List[int] = []
     trace: List[float] = []
+    best_d2 = np.full(px.shape, np.inf)
+    best_site = np.zeros(px.shape, dtype=np.intp)
+    taken = np.zeros(n_candidates, dtype=bool)
     worst = float("inf")
     for _ in range(sensor_budget):
-        best_site = None
-        best_error = float("inf")
-        for site in remaining:
-            trial = chosen + [site]
-            error = max(
-                reconstruction_error(field, layer, trial, probe_grid)
-                for field in fields
-            )
-            if error < best_error:
-                best_error = error
-                best_site = site
-        chosen.append(best_site)
-        remaining.remove(best_site)
-        worst = best_error
+        if chosen_idx:
+            cur_err = np.abs(samples[:, best_site] - truth)
+        else:
+            cur_err = np.full(truth.shape, np.inf)
+        closer = d2 < best_d2[None, :]
+        trial_err = np.where(closer[None, :, :], cand_err, cur_err[:, None, :])
+        scores = trial_err.max(axis=(0, 2))
+        scores[taken] = np.inf
+        pick = int(np.argmin(scores))
+        worst = float(scores[pick])
+        chosen_idx.append(pick)
+        taken[pick] = True
         trace.append(worst)
+        improved = d2[pick] < best_d2
+        best_d2 = np.where(improved, d2[pick], best_d2)
+        best_site = np.where(improved, pick, best_site)
+
+    chosen = [(float(cx[i]), float(cy[i])) for i in chosen_idx]
     return PlacementResult(sites=chosen, worst_error_c=worst, error_trace=trace)

@@ -36,6 +36,9 @@ INSTRUMENTED_MODULES = (
     "repro.thermal",
     "repro.serve",
     "repro.serve.engine",
+    "repro.dtm.engine",
+    "repro.dtm.service",
+    "repro.dtm.table",
     "repro.edge.server",
     "repro.edge.supervisor",
     "repro.fleet.client",

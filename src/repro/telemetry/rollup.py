@@ -9,6 +9,15 @@ reservoir keeps every other sample and doubles its stride, so memory is
 bounded and no RNG is consumed.  Each series retains a ring of the most
 recent sealed windows; the edge serves them over ``GET /v1/rollup``.
 
+Retention comes in two tiers.  The **fine** tier is the original ring of
+1-window resolution; the **coarse** tier is a second, downsampled ring
+whose windows span ``coarse_every`` fine windows each (default 15) and
+whose ring is deeper in wall-clock terms (24 windows of 15 epochs versus
+60 of 1).  Both tiers accumulate from the *same raw observations* — the
+coarse window runs its own decimating reservoir rather than merging fine
+quantiles, so its p50/p99 carry the same determinism guarantee.  The
+edge serves either over ``GET /v1/rollup?tier=``.
+
 Determinism: given the same ``(value, t)`` observation sequence, window
 boundaries, counts and quantiles are bit-identical — timestamps are
 supplied by the caller (virtual time in tests and loadgen, wall clock on
@@ -28,19 +37,40 @@ from typing import Deque, Dict, List, Optional
 #: memory proportional to ``ring * reservoir`` per metric.
 WINDOW_RESERVOIR = 128
 
+#: Retention tiers a rollup query may name.
+ROLLUP_TIERS = ("fine", "coarse")
+
 
 @dataclass(frozen=True)
 class RollupPolicy:
-    """Shape of the rollup plane: window width and ring depth."""
+    """Shape of the rollup plane: window widths and ring depths.
+
+    The fine tier keeps ``ring`` windows of ``window_s`` each; the
+    coarse tier keeps ``coarse_ring`` windows of
+    ``coarse_every * window_s`` each (defaults: 60 x 1 epoch plus
+    24 x 15 epochs).
+    """
 
     window_s: float = 1.0
     ring: int = 60
+    coarse_every: int = 15
+    coarse_ring: int = 24
 
     def __post_init__(self) -> None:
         if self.window_s <= 0:
             raise ValueError(f"window_s must be > 0, got {self.window_s}")
         if self.ring < 1:
             raise ValueError(f"ring must be >= 1, got {self.ring}")
+        if self.coarse_every < 2:
+            raise ValueError(
+                f"coarse_every must be >= 2, got {self.coarse_every}"
+            )
+        if self.coarse_ring < 1:
+            raise ValueError(f"coarse_ring must be >= 1, got {self.coarse_ring}")
+
+    @property
+    def coarse_window_s(self) -> float:
+        return self.window_s * self.coarse_every
 
 
 @dataclass(frozen=True)
@@ -125,13 +155,15 @@ class _OpenWindow:
 
 
 class RollupSeries:
-    """One metric's open window plus its ring of sealed windows."""
+    """One metric's open windows (both tiers) plus their sealed rings."""
 
     def __init__(self, name: str, policy: RollupPolicy) -> None:
         self.name = name
         self.policy = policy
         self._open: Optional[_OpenWindow] = None
         self._sealed: Deque[RollupWindow] = deque(maxlen=policy.ring)
+        self._open_coarse: Optional[_OpenWindow] = None
+        self._sealed_coarse: Deque[RollupWindow] = deque(maxlen=policy.coarse_ring)
 
     def _index_of(self, t: float) -> int:
         return int(math.floor(t / self.policy.window_s))
@@ -143,23 +175,53 @@ class RollupSeries:
             self._open = None
         if self._open is None:
             self._open = _OpenWindow(index)
+        coarse = index // self.policy.coarse_every
+        if self._open_coarse is not None and coarse > self._open_coarse.index:
+            if self._open_coarse.count:
+                self._sealed_coarse.append(
+                    self._open_coarse.seal(self.policy.coarse_window_s)
+                )
+            self._open_coarse = None
+        if self._open_coarse is None:
+            self._open_coarse = _OpenWindow(coarse)
 
     def observe(self, value: float, t: float) -> None:
-        """Record ``value`` at time ``t`` (monotonically non-decreasing)."""
+        """Record ``value`` at time ``t`` (monotonically non-decreasing).
+
+        Both tiers accumulate the raw value: the coarse window is not a
+        merge of fine windows but a second reservoir over the same
+        stream, so its quantiles are as deterministic as the fine ones.
+        """
         self._roll_to(self._index_of(t))
-        assert self._open is not None
-        self._open.record(float(value))
+        assert self._open is not None and self._open_coarse is not None
+        value = float(value)
+        self._open.record(value)
+        self._open_coarse.record(value)
 
     def advance(self, t: float) -> None:
         """Seal any window that ended at or before ``t`` (no new data)."""
-        if self._open is not None and self._index_of(t) > self._open.index:
+        index = self._index_of(t)
+        if self._open is not None and index > self._open.index:
             if self._open.count:
                 self._sealed.append(self._open.seal(self.policy.window_s))
             self._open = None
+        if (
+            self._open_coarse is not None
+            and index // self.policy.coarse_every > self._open_coarse.index
+        ):
+            if self._open_coarse.count:
+                self._sealed_coarse.append(
+                    self._open_coarse.seal(self.policy.coarse_window_s)
+                )
+            self._open_coarse = None
 
-    def windows(self, last: Optional[int] = None) -> List[RollupWindow]:
+    def windows(
+        self, last: Optional[int] = None, tier: str = "fine"
+    ) -> List[RollupWindow]:
         """Sealed windows, oldest first (``last`` trims to the newest n)."""
-        sealed = list(self._sealed)
+        if tier not in ROLLUP_TIERS:
+            raise ValueError(f"tier must be one of {ROLLUP_TIERS}, not {tier!r}")
+        sealed = list(self._sealed if tier == "fine" else self._sealed_coarse)
         if last is not None:
             sealed = sealed[-last:]
         return sealed
@@ -196,22 +258,31 @@ class RollupTable:
         with self._lock:
             return sorted(self._series)
 
-    def windows(self, name: str, last: Optional[int] = None) -> List[RollupWindow]:
+    def windows(
+        self, name: str, last: Optional[int] = None, tier: str = "fine"
+    ) -> List[RollupWindow]:
         """Sealed windows of ``name`` (empty when the series is unknown)."""
         with self._lock:
             series = self._series.get(name)
             if series is None:
                 return []
-            return series.windows(last)
+            return series.windows(last, tier=tier)
 
     def snapshot(
-        self, names: Optional[List[str]] = None, last: Optional[int] = None
+        self,
+        names: Optional[List[str]] = None,
+        last: Optional[int] = None,
+        tier: str = "fine",
     ) -> Dict[str, List[dict]]:
         """JSON-serialisable rollups, keyed by metric name."""
+        if tier not in ROLLUP_TIERS:
+            raise ValueError(f"tier must be one of {ROLLUP_TIERS}, not {tier!r}")
         with self._lock:
             selected = sorted(self._series) if names is None else names
             return {
-                name: [w.to_record() for w in self._series[name].windows(last)]
+                name: [
+                    w.to_record() for w in self._series[name].windows(last, tier=tier)
+                ]
                 for name in selected
                 if name in self._series
             }

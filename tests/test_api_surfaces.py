@@ -31,6 +31,11 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "AutoscalePolicy",
     "BusReport",
     "DieSample",
+    "DtmClient",
+    "DtmPolicy",
+    "DtmService",
+    "DtmServiceConfig",
+    "DtmTable",
     "EdgeClient",
     "EdgeConfig",
     "EdgeDeployment",
@@ -49,6 +54,7 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "FleetDirectory",
     "FleetFaultPlan",
     "FleetSupervisor",
+    "FloorplanSpec",
     "HashRing",
     "HedgePolicy",
     "HostSpec",
@@ -57,6 +63,7 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "MonitorSnapshot",
     "PTSensor",
     "PairedReadings",
+    "PlacementEngine",
     "PopulationReadings",
     "ReadRequest",
     "ReadResult",
@@ -77,6 +84,7 @@ PUBLIC_API_SNAPSHOT = frozenset({
     "TrackingReading",
     "TrackingSensor",
     "TsvSensorBus",
+    "dtm",
     "edge",
     "faults",
     "fleet",

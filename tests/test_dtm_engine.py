@@ -1,0 +1,352 @@
+"""repro.dtm offline halves: verbs, the decision table, the batch engine.
+
+No sockets here — the live loop has ``test_dtm_edge.py``.  This file
+pins (1) the controller verb layer (``decide`` / ``apply_action``) to the
+original ``DtmPolicy.update`` arithmetic, (2) the server-side
+:class:`DtmTable` semantics — round idempotence, exact accounting, the
+bounded decision log — and (3) the :class:`PlacementEngine` batch scorer
+against the scalar placement reference: scores bit-equal to
+``reconstruction_error``, greedy bit-equal to ``greedy_placement``, and
+the seeded tournament deterministic and never worse than greedy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dtm import (
+    DtmDecision,
+    DtmPolicy,
+    DtmTable,
+    FloorplanSpec,
+    PlacementEngine,
+    RELEASE,
+    THROTTLE,
+    apply_action,
+    decide,
+)
+from repro.network.placement import (
+    candidate_grid,
+    greedy_placement,
+    reconstruction_error,
+)
+from repro.thermal.grid import ThermalLayer, build_stack_grid
+from repro.thermal.materials import BEOL, COPPER, SILICON
+from repro.thermal.power import hotspot_power_map
+from repro.thermal.solver import steady_state
+from repro.tsv.geometry import TsvSite
+from repro.tsv.keepout import keep_out_radius
+from repro.tsv.stress import StressModel
+
+
+@pytest.fixture(scope="module")
+def grid():
+    layers = [
+        ThermalLayer("die.si", 100e-6, SILICON, heat_source=True),
+        ThermalLayer("die.beol", 8e-6, BEOL),
+        ThermalLayer("spreader", 500e-6, COPPER),
+    ]
+    return build_stack_grid(layers, 5e-3, 5e-3, nx=12, ny=12)
+
+
+@pytest.fixture(scope="module")
+def fields(grid):
+    workloads = [
+        hotspot_power_map(12, 12, 5e-3, 5e-3, [(0.8e-3, 0.8e-3, 1e-3, 1e-3, 2.0)], 0.3),
+        hotspot_power_map(12, 12, 5e-3, 5e-3, [(3.2e-3, 3.2e-3, 1e-3, 1e-3, 2.0)], 0.3),
+    ]
+    return [steady_state(grid, {"die.si": pmap}) for pmap in workloads]
+
+
+# --------------------------------------------------------------- verbs
+
+
+class TestDecide:
+    def test_decide_tracks_update_exactly(self):
+        policy = DtmPolicy()
+        rng = np.random.default_rng(7)
+        scales = rng.uniform(0.1, 1.0, 500)
+        readings = rng.uniform(60.0, 110.0, 500)
+        for scale, reading in zip(scales, readings):
+            action, nxt = decide(policy, float(scale), float(reading))
+            assert nxt == policy.update(float(scale), float(reading))
+            if action is not None:
+                assert nxt == apply_action(policy, float(scale), action)
+
+    def test_hot_reading_throttles(self):
+        policy = DtmPolicy()
+        action, nxt = decide(policy, 1.0, policy.throttle_c + 1.0)
+        assert action == THROTTLE
+        assert nxt == pytest.approx(policy.decrease_factor)
+
+    def test_cool_reading_releases(self):
+        policy = DtmPolicy()
+        action, nxt = decide(policy, 0.5, policy.release_c - 1.0)
+        assert action == RELEASE
+        assert nxt == pytest.approx(0.5 + policy.increase_step)
+
+    def test_hysteresis_band_is_silent(self):
+        policy = DtmPolicy()
+        mid = (policy.release_c + policy.throttle_c) / 2.0
+        assert decide(policy, 0.6, mid) == (None, 0.6)
+
+    def test_noop_verbs_emit_no_action(self):
+        policy = DtmPolicy()
+        # Already at the floor: hotter readings change nothing.
+        action, nxt = decide(policy, policy.floor, policy.throttle_c + 20.0)
+        assert action is None and nxt == policy.floor
+        # Already at full power: cool readings change nothing.
+        action, nxt = decide(policy, 1.0, policy.release_c - 20.0)
+        assert action is None and nxt == 1.0
+
+    def test_apply_action_rejects_unknown_verbs(self):
+        with pytest.raises(ValueError):
+            apply_action(DtmPolicy(), 1.0, "boost")
+
+
+# --------------------------------------------------------------- table
+
+
+class TestDtmTable:
+    def test_throttle_release_move_the_scale(self):
+        table = DtmTable(DtmPolicy())
+        first = table.apply(3, 1, 0, THROTTLE, latency_ms=2.0)
+        assert first == DtmDecision(
+            seq=1, stack=3, tier=1, round=0, action=THROTTLE,
+            scale=pytest.approx(0.7), applied=True, latency_ms=2.0,
+        )
+        second = table.apply(3, 1, 1, RELEASE)
+        assert second.applied and second.seq == 2
+        assert second.scale == pytest.approx(0.75)
+        assert table.scale(3, 1) == second.scale
+        assert table.scale(3, 0) == 1.0  # untouched tier
+
+    def test_round_idempotence(self):
+        table = DtmTable(DtmPolicy())
+        applied = table.apply(5, 0, 7, THROTTLE)
+        replay = table.apply(5, 0, 7, THROTTLE)
+        stale = table.apply(5, 0, 3, RELEASE)
+        assert applied.applied
+        for decision in (replay, stale):
+            assert not decision.applied
+            assert decision.scale == applied.scale  # standing state answered
+            assert decision.seq == applied.seq
+        assert table.duplicates == 2
+        assert table.throttles == 1 and table.releases == 0
+        # Duplicates never enter the applied-decision log.
+        assert [d["seq"] for d in table.decisions_since(0)] == [1]
+
+    def test_decisions_since_tails_without_gaps(self):
+        table = DtmTable(DtmPolicy())
+        for i in range(5):
+            table.apply(1, 0, i, THROTTLE if i % 2 == 0 else RELEASE)
+        assert [d["seq"] for d in table.decisions_since(0)] == [1, 2, 3, 4, 5]
+        assert [d["seq"] for d in table.decisions_since(3)] == [4, 5]
+        assert [d["seq"] for d in table.decisions_since(3, limit=1)] == [4]
+        assert table.decisions_since(5) == []
+
+    def test_log_is_bounded(self):
+        table = DtmTable(DtmPolicy(), log=4)
+        for i in range(10):
+            table.apply(1, 0, i, THROTTLE if i % 2 == 0 else RELEASE)
+        tail = table.decisions_since(0)
+        assert [d["seq"] for d in tail] == [7, 8, 9, 10]
+
+    def test_deadline_accounting(self):
+        table = DtmTable(DtmPolicy(), deadline_ms=5.0)
+        table.apply(1, 0, 0, THROTTLE, latency_ms=2.0)
+        table.apply(1, 0, 1, RELEASE, latency_ms=9.0)
+        table.apply(1, 0, 2, RELEASE)  # no latency reported, no miss
+        assert table.deadline_misses == 1
+
+    def test_status_and_reset(self):
+        table = DtmTable(DtmPolicy(), deadline_ms=25.0)
+        table.apply(2, 0, 0, THROTTLE)
+        table.apply(2, 1, 0, THROTTLE)
+        table.apply(2, 1, 1, RELEASE)
+        status = table.status()
+        assert status["deadline_ms"] == 25.0
+        assert status["seq"] == 3
+        assert status["throttles"] == 2 and status["releases"] == 1
+        assert status["scales"]["2:0"] == pytest.approx(0.7)
+        assert status["scales"]["2:1"] == pytest.approx(0.75)
+        assert status["throttled_tiers"] == 2
+        assert set(status["policy"]) == {
+            "throttle_c", "release_c", "decrease_factor", "increase_step", "floor",
+        }
+        assert table.reset() == 3
+        assert table.scales() == {}
+        assert table.decisions_since(0) == []
+        # Post-reset rounds start over: round 0 applies again.
+        assert table.apply(2, 0, 0, THROTTLE).applied
+
+    def test_matches_offline_update_arithmetic(self):
+        policy = DtmPolicy()
+        table = DtmTable(policy)
+        scale = 1.0
+        for i, reading in enumerate([90.0, 96.0, 99.0, 70.0, 60.0, 92.0]):
+            action, scale = decide(policy, scale, reading)
+            if action is not None:
+                decision = table.apply(9, 2, i, action)
+                assert decision.scale == scale  # bit-identical float path
+        assert table.scale(9, 2) == scale
+
+    def test_validation(self):
+        table = DtmTable(DtmPolicy())
+        with pytest.raises(ValueError):
+            table.apply(1, 0, 0, "boost")
+        with pytest.raises(ValueError):
+            table.apply(1, 0, -1, THROTTLE)
+        with pytest.raises(ValueError):
+            table.decisions_since(0, limit=0)
+        with pytest.raises(ValueError):
+            DtmTable(DtmPolicy(), deadline_ms=0.0)
+        with pytest.raises(ValueError):
+            DtmTable(DtmPolicy(), log=0)
+
+
+# --------------------------------------------------------------- floorplan
+
+
+class TestFloorplanSpec:
+    def test_keepouts_prune_candidates(self):
+        open_plan = FloorplanSpec(5e-3, 5e-3, "die.si", per_axis=6)
+        blocked = FloorplanSpec(
+            5e-3, 5e-3, "die.si", per_axis=6,
+            keepouts=((2.5e-3, 2.5e-3, 1.0e-3),),
+        )
+        all_sites = open_plan.candidate_sites()
+        kept = blocked.candidate_sites()
+        assert 0 < len(kept) < len(all_sites)
+        for x, y in kept:
+            assert (x - 2.5e-3) ** 2 + (y - 2.5e-3) ** 2 >= 1.0e-3 ** 2
+
+    def test_total_exclusion_raises(self):
+        smothered = FloorplanSpec(
+            5e-3, 5e-3, "die.si", per_axis=4,
+            keepouts=((2.5e-3, 2.5e-3, 1.0),),
+        )
+        with pytest.raises(ValueError):
+            smothered.candidate_sites()
+
+    def test_tsv_keepouts_use_the_stress_model(self):
+        model = StressModel()
+        via = TsvSite(2.5e-3, 2.5e-3, radius=200e-6)
+        spec = FloorplanSpec.with_tsv_keepouts(
+            5e-3, 5e-3, "die.si", model, [via], mobility_tolerance=0.05,
+            per_axis=8,
+        )
+        koz = keep_out_radius(model, via, 0.05)
+        assert spec.keepouts == ((via.x, via.y, koz),)
+        for x, y in spec.candidate_sites():
+            assert (x - via.x) ** 2 + (y - via.y) ** 2 >= koz * koz
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            FloorplanSpec(0.0, 5e-3, "die.si")
+
+
+# --------------------------------------------------------------- engine
+
+
+@pytest.fixture(scope="module")
+def engine(fields):
+    candidates = candidate_grid(5e-3, 5e-3, per_axis=5)
+    return PlacementEngine(fields, "die.si", candidates, probe_grid=8)
+
+
+class TestPlacementEngineScore:
+    def test_scores_bit_match_reconstruction_error(self, fields, engine):
+        rng = np.random.default_rng(2012)
+        rows = np.array(
+            [rng.choice(engine.n_candidates, size=3, replace=False) for _ in range(40)]
+        )
+        scores = engine.score(rows)
+        for row, score in zip(rows, scores):
+            sites = [engine.candidates[i] for i in row]
+            ref = max(
+                reconstruction_error(f, "die.si", sites, probe_grid=8)
+                for f in fields
+            )
+            assert score == ref  # bit-for-bit
+
+    def test_score_sites_matches_index_rows(self, engine):
+        rows = np.array([[0, 3, 7], [1, 2, 4]], dtype=np.intp)
+        by_index = engine.score(rows)
+        by_sites = engine.score_sites(
+            [[engine.candidates[i] for i in row] for row in rows]
+        )
+        assert np.array_equal(by_index, by_sites)
+
+    def test_chunking_does_not_change_scores(self, engine):
+        rng = np.random.default_rng(5)
+        rows = np.array(
+            [rng.choice(engine.n_candidates, size=4, replace=False) for _ in range(33)]
+        )
+        assert np.array_equal(engine.score(rows, chunk=7), engine.score(rows, chunk=1000))
+
+    def test_scored_counter_accumulates(self, fields):
+        fresh = PlacementEngine(
+            fields, "die.si", candidate_grid(5e-3, 5e-3, per_axis=4), probe_grid=6
+        )
+        fresh.score(np.zeros((12, 1), dtype=np.intp))
+        assert fresh.scored == 12
+
+    def test_rejects_bad_shapes(self, engine):
+        with pytest.raises(ValueError):
+            engine.score(np.zeros(4, dtype=np.intp))
+
+
+class TestPlacementEngineGreedy:
+    @pytest.mark.parametrize("budget", [1, 3, 6])
+    def test_greedy_parity_with_scalar_walk(self, fields, engine, budget):
+        reference = greedy_placement(
+            fields, "die.si",
+            candidate_grid(5e-3, 5e-3, per_axis=5),
+            sensor_budget=budget, probe_grid=8,
+        )
+        result = engine.greedy(budget)
+        assert result.sites == reference.sites
+        assert result.error_trace == reference.error_trace
+        assert result.worst_error_c == reference.worst_error_c
+
+    def test_budget_validation(self, engine):
+        with pytest.raises(ValueError):
+            engine.greedy(0)
+        with pytest.raises(ValueError):
+            engine.greedy(engine.n_candidates + 1)
+
+
+class TestPlacementEngineTournament:
+    def test_never_worse_than_greedy_and_deterministic(self, engine):
+        greedy = engine.greedy(3)
+        a = engine.tournament(3, pool=64, rounds=4, keep=8, seed=99)
+        b = engine.tournament(3, pool=64, rounds=4, keep=8, seed=99)
+        assert a.worst_error_c <= greedy.worst_error_c
+        assert a.sites == b.sites
+        assert a.worst_error_c == b.worst_error_c
+        assert a.history == b.history
+
+    def test_history_non_increasing_and_accounting(self, engine):
+        before = engine.scored
+        result = engine.tournament(2, pool=32, rounds=3, keep=4, seed=1)
+        assert all(b <= a for a, b in zip(result.history, result.history[1:]))
+        assert result.rounds == 3
+        assert result.scored == engine.scored - before
+        # pool scores per round plus the greedy seed walk.
+        assert result.scored == 3 * 32 + 2 * engine.n_candidates
+        assert result.worst_error_c == min(result.history)
+
+    def test_rows_stay_duplicate_free(self, engine):
+        rng = np.random.default_rng(3)
+        rows = engine._random_population(rng, 50, 4)
+        assert all(len(set(map(int, row))) == 4 for row in rows)
+        children = engine._mutate(rng, rows[:5], 40)
+        assert all(len(set(map(int, row))) == 4 for row in children)
+
+    def test_parameter_validation(self, engine):
+        with pytest.raises(ValueError):
+            engine.tournament(0)
+        with pytest.raises(ValueError):
+            engine.tournament(2, pool=8, keep=8)
+        with pytest.raises(ValueError):
+            engine.tournament(2, rounds=0)

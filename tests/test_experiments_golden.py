@@ -1,0 +1,269 @@
+"""Golden equivalence: R-E4/R-E5 numbers survive the engine re-point.
+
+The experiments now run through ``repro.dtm`` — E5's greedy placement on
+the batch :class:`PlacementEngine`, E4's controller through the typed
+``decide``/``apply_action`` verb layer with decisions recorded into a
+:class:`DtmTable`.  These tests recompute each study against the
+original scalar arithmetic — a verbatim point-at-a-time greedy walk over
+``reconstruction_error_scalar`` for E5, the seed in-line
+multiplicative-decrease/additive-increase update for E4 — and demand
+the reported numbers are unchanged (bit-exact where the float paths are
+operation-identical, last-ulp tolerance where BLAS order may differ).
+"""
+
+import pytest
+
+from repro.dtm import DtmTable, apply_action
+from repro.experiments import exp_e4_dtm, exp_e5_placement
+from repro.experiments.common import die_population, reference_setup
+from repro.core.sensor import PTSensor
+from repro.network.aggregator import StackMonitor
+from repro.network.dtm import DtmPolicy, run_closed_loop
+from repro.network.placement import (
+    candidate_grid,
+    observer_error_scalar,
+    reconstruction_error_scalar,
+)
+from repro.thermal.solver import steady_state, transient
+from repro.tsv.bus import TsvSensorBus
+from repro.units import kelvin_to_celsius
+
+
+# ----------------------------------------------------------------- R-E5
+
+
+def _greedy_scalar_reference(fields, layer, candidates, sensor_budget, probe_grid):
+    """The original point-at-a-time greedy walk (pre-engine semantics)."""
+    chosen = []
+    remaining = list(candidates)
+    trace = []
+    worst = float("inf")
+    for _ in range(sensor_budget):
+        best_site, best_err = None, float("inf")
+        for site in remaining:
+            trial = chosen + [site]
+            err = max(
+                reconstruction_error_scalar(f, layer, trial, probe_grid)
+                for f in fields
+            )
+            if err < best_err:
+                best_site, best_err = site, err
+        chosen.append(best_site)
+        remaining.remove(best_site)
+        worst = best_err
+        trace.append(worst)
+    return chosen, trace, worst
+
+
+class TestE5Golden:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        """The exact fast-mode inputs `exp_e5_placement.run(fast=True)` uses."""
+        nx = ny = 12
+        stack, grid = exp_e5_placement._assembly(nx, ny)
+        training = exp_e5_placement._training_workloads(stack, nx, ny)
+        basis_fields = [steady_state(grid, w) for w in training]
+        mixture_power = {
+            layer: 0.5 * training[0][layer]
+            + 0.3 * training[2][layer]
+            + 0.2 * training[3][layer]
+            for layer in training[0]
+        }
+        from repro.thermal.power import hotspot_power_map
+
+        w, h = stack.die_width, stack.die_height
+        novel_power = {
+            "tier0.si": hotspot_power_map(
+                nx, ny, w, h, [(0.9e-3, 3.1e-3, 1e-3, 1e-3, 1.8)], 0.35
+            ),
+            "tier1.si": training[0]["tier1.si"],
+        }
+        return {
+            "stack": stack,
+            "basis": basis_fields,
+            "mixture": steady_state(grid, mixture_power),
+            "novel": steady_state(grid, novel_power),
+        }
+
+    def test_rows_match_the_scalar_reference(self, setup):
+        result = exp_e5_placement.run(fast=True)
+        w, h = setup["stack"].die_width, setup["stack"].die_height
+        candidates = candidate_grid(w, h, per_axis=4)
+        sites, _, _ = _greedy_scalar_reference(
+            setup["basis"], exp_e5_placement.LAYER, candidates,
+            sensor_budget=6, probe_grid=8,
+        )
+        assert result.chosen_sites == sites
+        for row in result.rows:
+            chosen = sites[: row.budget]
+            layer = exp_e5_placement.LAYER
+            # Nearest-sensor rows are operation-identical float paths.
+            assert row.nearest_mix_c == reconstruction_error_scalar(
+                setup["mixture"], layer, chosen, 8
+            )
+            assert row.nearest_novel_c == reconstruction_error_scalar(
+                setup["novel"], layer, chosen, 8
+            )
+            # Observer rows solve a ridge system; BLAS order differs in
+            # the vectorized path, so pin to last-ulp tolerance.
+            assert row.observer_mix_c == pytest.approx(
+                observer_error_scalar(
+                    setup["mixture"], layer, chosen, setup["basis"], 8
+                ),
+                abs=1e-9, rel=1e-12,
+            )
+            assert row.observer_novel_c == pytest.approx(
+                observer_error_scalar(
+                    setup["novel"], layer, chosen, setup["basis"], 8
+                ),
+                abs=1e-9, rel=1e-12,
+            )
+
+
+# ----------------------------------------------------------------- R-E4
+
+
+def _reference_update(policy, scale, reading_c):
+    """The seed controller arithmetic, verbatim (pre-verb-layer)."""
+    if reading_c >= policy.throttle_c:
+        return max(policy.floor, scale * policy.decrease_factor)
+    if reading_c < policy.release_c:
+        return min(1.0, scale + policy.increase_step)
+    return scale
+
+
+def _e4_setup(nx, policy):
+    """One fresh E4 fast-mode assembly + monitor (deterministic build)."""
+    setup = reference_setup()
+    stack, grid = exp_e4_dtm._assembly(nx, nx)
+    workload = exp_e4_dtm._hot_workload(stack, nx, nx)
+    sensors = {
+        tier_id: PTSensor(
+            setup.technology,
+            config=setup.config,
+            die=die,
+            location=exp_e4_dtm.SENSOR_SITE,
+            die_id=tier_id,
+            sensing_model=setup.model,
+            lut=setup.lut,
+        )
+        for tier_id, die in enumerate(die_population(len(stack.tiers)))
+    }
+    monitor = StackMonitor(
+        sensors,
+        TsvSensorBus(tiers=len(stack.tiers)),
+        warning_c=policy.release_c,
+        emergency_c=policy.throttle_c + 15.0,
+    )
+    return stack, grid, monitor, workload
+
+
+def _reference_closed_loop(stack, grid, monitor, base_power, policy, dt, steps):
+    """A verbatim copy of the seed loop, driven by `_reference_update`."""
+    tiers = list(stack.tiers)
+    scales = {tier_id: 1.0 for tier_id in range(len(tiers))}
+    sites = {i: exp_e4_dtm.SENSOR_SITE for i in range(len(tiers))}
+    trace = []
+    state_field = None
+    for step in range(1, steps + 1):
+        scaled_power = {}
+        for tier_id, tier in enumerate(tiers):
+            layer = stack.transistor_layer_name(tier)
+            scaled_power[layer] = base_power[layer] * scales[tier_id]
+        state_field = transient(
+            grid, lambda t: scaled_power, dt=dt, steps=1, initial=state_field
+        )[0]
+        true_temps = {}
+        for tier_id, tier in enumerate(tiers):
+            layer = stack.transistor_layer_name(tier)
+            x, y = sites[tier_id]
+            true_temps[tier_id] = kelvin_to_celsius(state_field.at(layer, x, y))
+        snapshot = monitor.poll(true_temps)
+        for tier_id, reading in snapshot.temperatures_c.items():
+            scales[tier_id] = _reference_update(policy, scales[tier_id], reading)
+        true_peak = max(
+            kelvin_to_celsius(state_field.peak(stack.transistor_layer_name(t)))
+            for t in tiers
+        )
+        sensed_peak = max(snapshot.temperatures_c.values())
+        trace.append((step * dt, true_peak, sensed_peak, dict(scales)))
+    return trace
+
+
+class TestE4Golden:
+    NX = 10
+    STEPS = 48
+    DT = 0.02
+
+    def test_trace_matches_the_seed_arithmetic(self):
+        policy = DtmPolicy(throttle_c=85.0, release_c=78.0)
+        stack, grid, monitor, workload = _e4_setup(self.NX, policy)
+        reference = _reference_closed_loop(
+            stack, grid, monitor, workload, policy, self.DT, self.STEPS
+        )
+        # A second, independently-built assembly for the verb-layer run
+        # (fresh monitor state; the build is deterministic).
+        stack2, grid2, monitor2, workload2 = _e4_setup(self.NX, policy)
+        decisions = []
+        trace = run_closed_loop(
+            stack2, grid2, monitor2, workload2, policy,
+            dt=self.DT, steps=self.STEPS,
+            sensor_sites={i: exp_e4_dtm.SENSOR_SITE for i in range(len(stack2.tiers))},
+            decision_sink=lambda tier, rnd, action: decisions.append(
+                (tier, rnd, action)
+            ),
+        )
+        assert len(trace.times_s) == len(reference) == self.STEPS
+        for i, (t, true_peak, sensed_peak, scales) in enumerate(reference):
+            assert trace.times_s[i] == t
+            assert trace.true_peak_c[i] == true_peak  # bit-exact
+            assert trace.sensed_peak_c[i] == sensed_peak
+            assert trace.power_scales[i] == scales
+        assert decisions, "the hot workload must emit verbs"
+        # Replaying the decision stream through apply_action reproduces
+        # the trajectory's final scales exactly — the same contract the
+        # live DtmTable enforces on the server.
+        replayed = {}
+        for tier, _, action in decisions:
+            replayed[tier] = apply_action(policy, replayed.get(tier, 1.0), action)
+        final = trace.power_scales[-1]
+        for tier, scale in replayed.items():
+            assert final[tier] == scale
+        rounds = {}
+        for tier, rnd, _ in decisions:
+            assert rnd > rounds.get(tier, -1), "verb rounds must be increasing"
+            rounds[tier] = rnd
+
+    def test_run_records_decisions_into_a_table(self):
+        result = exp_e4_dtm.run(fast=True)
+        # run() replays the verb stream into a DtmTable and raises on
+        # divergence; reaching here means the replay matched.  Spot-check
+        # the public outcome is still the study's shape.
+        assert result.closed_peak_c() < result.policy.throttle_c + 5.0
+        assert result.closed_trace.throttled_steps > 0
+
+    def test_decide_equals_reference_update_on_a_grid(self):
+        policy = DtmPolicy()
+        import numpy as np
+
+        from repro.network.dtm import decide
+
+        rng = np.random.default_rng(11)
+        for scale, reading in zip(
+            rng.uniform(0.05, 1.0, 2000), rng.uniform(50.0, 120.0, 2000)
+        ):
+            assert decide(policy, float(scale), float(reading))[1] == \
+                _reference_update(policy, float(scale), float(reading))
+
+    def test_table_replay_matches_update_path(self):
+        policy = DtmPolicy()
+        table = DtmTable(policy)
+        scale = 1.0
+        from repro.network.dtm import decide
+
+        readings = [88.0, 92.0, 101.0, 83.0, 70.0, 60.0, 55.0, 90.0]
+        for rnd, reading in enumerate(readings):
+            action, scale = decide(policy, scale, reading)
+            if action is not None:
+                assert table.apply(0, 0, rnd, action).scale == scale
+        assert table.scale(0, 0) == scale

@@ -1,0 +1,170 @@
+"""Golden parity: vectorized placement fast path vs the scalar reference.
+
+The public `reconstruction_error`/`observer_error`/`greedy_placement` now
+run vectorized; the original point-at-a-time implementations stay behind
+as `*_scalar`.  These tests pin the fast path to the reference — bitwise
+where the math is operation-for-operation identical, last-ulp tolerance
+where BLAS reduction order may differ (the observer's weight synthesis).
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.placement import (
+    PlacementResult,
+    candidate_grid,
+    greedy_placement,
+    observer_error,
+    observer_error_scalar,
+    probe_points,
+    reconstruction_error,
+    reconstruction_error_scalar,
+    sample_field,
+)
+from repro.thermal.grid import ThermalLayer, build_stack_grid
+from repro.thermal.materials import BEOL, COPPER, SILICON
+from repro.thermal.power import hotspot_power_map, uniform_power_map
+from repro.thermal.solver import steady_state
+
+
+@pytest.fixture(scope="module")
+def grid():
+    layers = [
+        ThermalLayer("die.si", 100e-6, SILICON, heat_source=True),
+        ThermalLayer("die.beol", 8e-6, BEOL),
+        ThermalLayer("spreader", 500e-6, COPPER),
+    ]
+    return build_stack_grid(layers, 5e-3, 5e-3, nx=12, ny=12)
+
+
+@pytest.fixture(scope="module")
+def fields(grid):
+    workloads = [
+        hotspot_power_map(12, 12, 5e-3, 5e-3, [(0.8e-3, 0.8e-3, 1e-3, 1e-3, 2.0)], 0.3),
+        hotspot_power_map(12, 12, 5e-3, 5e-3, [(3.2e-3, 3.2e-3, 1e-3, 1e-3, 2.0)], 0.3),
+        hotspot_power_map(12, 12, 5e-3, 5e-3, [(2.0e-3, 3.5e-3, 1.4e-3, 0.8e-3, 1.5)], 0.4),
+    ]
+    return [steady_state(grid, {"die.si": pmap}) for pmap in workloads]
+
+
+class TestSampleFieldBitParity:
+    def test_matches_at_on_random_points(self, fields):
+        rng = np.random.default_rng(2012)
+        xs = rng.uniform(-0.5e-3, 5.5e-3, 200)  # includes out-of-range (clipped)
+        ys = rng.uniform(-0.5e-3, 5.5e-3, 200)
+        for field in fields:
+            vec = sample_field(field, "die.si", xs, ys)
+            ref = np.array([field.at("die.si", float(x), float(y)) for x, y in zip(xs, ys)])
+            assert np.array_equal(vec, ref)
+
+    def test_matches_at_on_grid_nodes(self, fields):
+        # Exactly-on-node points exercise the ix0 == ix1 degenerate lerp.
+        xs = np.linspace(0.0, 5e-3, 12)
+        ys = np.linspace(0.0, 5e-3, 12)
+        gx, gy = np.meshgrid(xs, ys)
+        vec = sample_field(fields[0], "die.si", gx.ravel(), gy.ravel())
+        ref = np.array(
+            [fields[0].at("die.si", float(x), float(y)) for x, y in zip(gx.ravel(), gy.ravel())]
+        )
+        assert np.array_equal(vec, ref)
+
+    def test_probe_points_scalar_visit_order(self, fields):
+        px, py = probe_points(fields[0], 5)
+        xs = np.linspace(0.0, 5e-3, 5)
+        ys = np.linspace(0.0, 5e-3, 5)
+        expected = [(x, y) for y in ys for x in xs]
+        assert list(zip(px, py)) == expected
+
+
+class TestReconstructionErrorParity:
+    def test_bit_identical(self, fields):
+        rng = np.random.default_rng(7)
+        for trial in range(6):
+            k = int(rng.integers(1, 6))
+            sites = [
+                (float(rng.uniform(0, 5e-3)), float(rng.uniform(0, 5e-3))) for _ in range(k)
+            ]
+            for field in fields:
+                fast = reconstruction_error(field, "die.si", sites, probe_grid=9)
+                ref = reconstruction_error_scalar(field, "die.si", sites, probe_grid=9)
+                assert fast == ref
+
+    def test_tie_breaks_to_first_site(self, fields):
+        # Two sites equidistant from a probe column: scalar argmin keeps
+        # the first; the fast path must agree exactly, not just closely.
+        sites = [(1.0e-3, 2.5e-3), (4.0e-3, 2.5e-3)]
+        fast = reconstruction_error(fields[0], "die.si", sites, probe_grid=11)
+        ref = reconstruction_error_scalar(fields[0], "die.si", sites, probe_grid=11)
+        assert fast == ref
+
+    def test_validation_matches(self, fields):
+        with pytest.raises(ValueError):
+            reconstruction_error(fields[0], "die.si", [], 8)
+
+
+class TestObserverErrorParity:
+    def test_within_last_ulp_band(self, fields):
+        rng = np.random.default_rng(11)
+        for trial in range(4):
+            k = int(rng.integers(3, 7))
+            sites = [
+                (float(rng.uniform(0, 5e-3)), float(rng.uniform(0, 5e-3))) for _ in range(k)
+            ]
+            for field in fields:
+                fast = observer_error(field, "die.si", sites, fields, probe_grid=8)
+                ref = observer_error_scalar(field, "die.si", sites, fields, probe_grid=8)
+                assert fast == pytest.approx(ref, abs=1e-9, rel=1e-12)
+
+    def test_validation_matches(self, fields):
+        with pytest.raises(ValueError):
+            observer_error(fields[0], "die.si", [], fields)
+        with pytest.raises(ValueError):
+            observer_error(fields[0], "die.si", [(1e-3, 1e-3)], [])
+
+
+def _greedy_scalar_reference(fields, layer, candidates, budget, probe_grid):
+    """The original scalar greedy, reimplemented verbatim as the oracle."""
+    chosen = []
+    remaining = list(candidates)
+    trace = []
+    worst = float("inf")
+    for _ in range(budget):
+        best_site = None
+        best_error = float("inf")
+        for site in remaining:
+            error = max(
+                reconstruction_error_scalar(field, layer, chosen + [site], probe_grid)
+                for field in fields
+            )
+            if error < best_error:
+                best_error = error
+                best_site = site
+        chosen.append(best_site)
+        remaining.remove(best_site)
+        worst = best_error
+        trace.append(worst)
+    return PlacementResult(sites=chosen, worst_error_c=worst, error_trace=trace)
+
+
+class TestGreedyParity:
+    def test_sites_and_trace_match_scalar_greedy(self, fields):
+        candidates = candidate_grid(5e-3, 5e-3, per_axis=4)
+        fast = greedy_placement(fields, "die.si", candidates, sensor_budget=4, probe_grid=6)
+        ref = _greedy_scalar_reference(fields, "die.si", candidates, 4, 6)
+        assert fast.sites == ref.sites
+        assert fast.error_trace == ref.error_trace
+        assert fast.worst_error_c == ref.worst_error_c
+
+    def test_single_field_single_sensor(self, fields):
+        candidates = candidate_grid(5e-3, 5e-3, per_axis=3)
+        fast = greedy_placement(fields[:1], "die.si", candidates, sensor_budget=1, probe_grid=7)
+        ref = _greedy_scalar_reference(fields[:1], "die.si", candidates, 1, 7)
+        assert fast.sites == ref.sites
+        assert fast.worst_error_c == ref.worst_error_c
+
+    def test_full_budget_exhausts_candidates(self, fields):
+        candidates = candidate_grid(5e-3, 5e-3, per_axis=3)
+        fast = greedy_placement(fields, "die.si", candidates, sensor_budget=9, probe_grid=5)
+        ref = _greedy_scalar_reference(fields, "die.si", candidates, 9, 5)
+        assert fast.sites == ref.sites
+        assert fast.error_trace == ref.error_trace

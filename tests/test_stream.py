@@ -200,6 +200,88 @@ class TestRollups:
             RollupPolicy(window_s=0.0)
         with pytest.raises(ValueError):
             RollupPolicy(ring=0)
+        with pytest.raises(ValueError):
+            RollupPolicy(coarse_every=1)
+        with pytest.raises(ValueError):
+            RollupPolicy(coarse_ring=0)
+
+
+class TestRollupTiers:
+    POLICY = RollupPolicy(window_s=1.0, ring=60, coarse_every=15, coarse_ring=24)
+
+    def test_coarse_windows_span_coarse_every_fine_epochs(self):
+        table = RollupTable(self.POLICY)
+        for i in range(30):  # two full coarse windows of 15 epochs each
+            table.observe("lat", float(i), t=float(i) + 0.5)
+        table.advance(100.0)
+        coarse = table.windows("lat", tier="coarse")
+        assert [(w.start, w.end) for w in coarse] == [(0.0, 15.0), (15.0, 30.0)]
+        assert [w.count for w in coarse] == [15, 15]
+        fine = table.windows("lat", tier="fine")
+        assert len(fine) == 30
+        # Exact stats aggregate across the covered fine windows.
+        assert coarse[0].sum == sum(w.sum for w in fine[:15])
+        assert coarse[0].min == min(w.min for w in fine[:15])
+        assert coarse[0].max == max(w.max for w in fine[:15])
+
+    def test_coarse_ring_outlives_the_fine_ring(self):
+        policy = RollupPolicy(window_s=1.0, ring=4, coarse_every=3, coarse_ring=5)
+        table = RollupTable(policy)
+        for i in range(30):
+            table.observe("lat", float(i), t=float(i) + 0.5)
+        table.advance(100.0)
+        fine = table.windows("lat", tier="fine")
+        coarse = table.windows("lat", tier="coarse")
+        assert [w.start for w in fine] == [26.0, 27.0, 28.0, 29.0]
+        # 5 coarse windows x 3 epochs reach back past the fine horizon.
+        assert [w.start for w in coarse] == [15.0, 18.0, 21.0, 24.0, 27.0]
+        assert coarse[0].start < fine[0].start
+
+    def test_coarse_quantiles_come_from_the_raw_stream(self):
+        table = RollupTable(self.POLICY)
+        for i in range(60):
+            table.observe("lat", float(i % 15), t=i * 0.25)  # 15 obs per epoch
+        table.advance(100.0)
+        (coarse,) = table.windows("lat", tier="coarse")
+        assert coarse.count == 60
+        assert coarse.p50 == 7.0
+        assert coarse.p99 == 14.0
+
+    def test_advance_seals_the_coarse_tier_too(self):
+        table = RollupTable(self.POLICY)
+        table.observe("lat", 1.0, t=0.5)
+        assert table.windows("lat", tier="coarse") == []
+        table.advance(15.0)
+        assert len(table.windows("lat", tier="coarse")) == 1
+
+    def test_tiers_are_deterministic(self):
+        def run():
+            table = RollupTable(self.POLICY)
+            for i in range(500):
+                table.observe("x", math.sin(i / 7.0), t=i * 0.2)
+            table.advance(1000.0)
+            return [w.to_record() for w in table.windows("x", tier="coarse")]
+
+        assert run() == run()
+
+    def test_snapshot_takes_a_tier(self):
+        table = RollupTable(self.POLICY)
+        for i in range(20):
+            table.observe("a", 1.0, t=float(i) + 0.5)
+        table.advance(100.0)
+        snap = table.snapshot(tier="coarse")
+        # One full window and one partial (sealed by advance); both span
+        # the full coarse width.
+        assert [w["end"] - w["start"] for w in snap["a"]] == [15.0, 15.0]
+        assert [w["count"] for w in snap["a"]] == [15, 5]
+
+    def test_unknown_tier_raises(self):
+        table = RollupTable(self.POLICY)
+        table.observe("a", 1.0, t=0.5)
+        with pytest.raises(ValueError):
+            table.windows("a", tier="medium")
+        with pytest.raises(ValueError):
+            table.snapshot(tier="medium")
 
 
 # --------------------------------------------------------------- detector

@@ -276,6 +276,45 @@ class TestHttpFaces:
         assert newest["min"] <= newest["mean"] <= newest["max"]
         assert set(newest) >= {"start", "end", "p50", "p99"}
 
+    def test_rollup_tier_query_selects_the_coarse_ring(self, edge):
+        # Feed a synthetic series straight into the live plane's table
+        # with virtual timestamps: 30 fine epochs fill two coarse
+        # windows (coarse_every=15) deterministically.
+        rollups = edge.server.plane.rollups
+        for i in range(30):
+            rollups.observe("test.tiered", float(i), float(i) + 0.5)
+        rollups.advance(1000.0)
+        with urllib.request.urlopen(
+            f"http://{edge.host}:{edge.port}/v1/rollup"
+            "?metric=test.tiered&tier=coarse",
+            timeout=30.0,
+        ) as response:
+            payload = json.load(response)
+        assert payload["ok"] and payload["tier"] == "coarse"
+        assert payload["window_s"] == 15.0 and payload["ring"] == 24
+        windows = payload["rollups"]["test.tiered"]
+        assert [(w["start"], w["end"]) for w in windows] == [
+            (0.0, 15.0), (15.0, 30.0),
+        ]
+        assert [w["count"] for w in windows] == [15, 15]
+        # The fine tier still answers (and is the default).
+        with urllib.request.urlopen(
+            f"http://{edge.host}:{edge.port}/v1/rollup?metric=test.tiered",
+            timeout=30.0,
+        ) as response:
+            fine = json.load(response)
+        assert fine["tier"] == "fine" and fine["window_s"] == 1.0
+        assert len(fine["rollups"]["test.tiered"]) > 2
+
+    def test_rollup_rejects_unknown_tier(self, edge):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                f"http://{edge.host}:{edge.port}/v1/rollup?tier=medium",
+                timeout=30.0,
+            )
+        assert err.value.code == 400
+        assert json.load(err.value)["error"]["code"] == protocol.INVALID
+
     def test_admin_status_reports_the_stream_plane(self, edge):
         with AdminClient(edge.host, edge.port) as admin:
             status = admin.status()["status"]
